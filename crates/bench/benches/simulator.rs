@@ -1,0 +1,117 @@
+//! Criterion micro-benchmarks of the simulator's hot paths.
+//!
+//! These measure *simulator* throughput (host-side performance), not the
+//! modeled machines — the modeled results live in the `exp_*` binaries.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::hint::black_box;
+
+use fgstp::{partition_stream, run_fgstp, FgstpConfig, PartitionConfig};
+use fgstp_bpred::{DirectionPredictor, Tournament};
+use fgstp_isa::Trace;
+use fgstp_mem::{Hierarchy, HierarchyConfig};
+use fgstp_ooo::{build_exec_stream, run_single, CoreConfig};
+use fgstp_sim::{runner::trace_workload, Scale};
+use fgstp_workloads::by_name;
+
+fn bench_trace(c: &mut Criterion) {
+    let w = by_name("hmmer_dp", Scale::Test).unwrap();
+    let mut g = c.benchmark_group("functional");
+    g.bench_function("trace_hmmer", |b| {
+        b.iter(|| fgstp_isa::trace_program(black_box(&w.program), 10_000_000).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_stream_and_partition(c: &mut Criterion) {
+    let w = by_name("gcc_expr", Scale::Test).unwrap();
+    let t: Trace = trace_workload(&w, Scale::Test);
+    let mut g = c.benchmark_group("partition");
+    g.throughput(Throughput::Elements(t.len() as u64));
+    g.bench_function("build_exec_stream", |b| {
+        b.iter(|| build_exec_stream(black_box(t.insts())))
+    });
+    let stream = build_exec_stream(t.insts());
+    g.bench_function("slice_lookahead", |b| {
+        b.iter(|| partition_stream(black_box(&stream), &PartitionConfig::default()))
+    });
+    g.finish();
+}
+
+fn bench_machines(c: &mut Criterion) {
+    let w = by_name("sjeng_eval", Scale::Test).unwrap();
+    let t = trace_workload(&w, Scale::Test);
+    let mut g = c.benchmark_group("timing");
+    g.throughput(Throughput::Elements(t.len() as u64));
+    g.sample_size(10);
+    g.bench_function("single_small", |b| {
+        b.iter(|| {
+            run_single(
+                black_box(t.insts()),
+                &CoreConfig::small(),
+                &HierarchyConfig::small(1),
+            )
+        })
+    });
+    g.bench_function("fused_small", |b| {
+        b.iter(|| {
+            run_single(
+                black_box(t.insts()),
+                &CoreConfig::fused(&CoreConfig::small()),
+                &HierarchyConfig::small(1),
+            )
+        })
+    });
+    g.bench_function("fgstp_small", |b| {
+        b.iter(|| {
+            run_fgstp(
+                black_box(t.insts()),
+                &FgstpConfig::small(),
+                &HierarchyConfig::small(2),
+            )
+        })
+    });
+    g.finish();
+}
+
+fn bench_substrates(c: &mut Criterion) {
+    let mut g = c.benchmark_group("substrates");
+    g.bench_function("cache_hit_loop", |b| {
+        b.iter_batched(
+            || Hierarchy::new(&HierarchyConfig::small(1)),
+            |mut h| {
+                let mut acc = 0u64;
+                for i in 0..1000u64 {
+                    acc += h.access_data(0, (i % 64) * 8, false, i);
+                }
+                acc
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("tournament_predict", |b| {
+        b.iter_batched(
+            || Tournament::new(12),
+            |mut p| {
+                let mut correct = 0u64;
+                for i in 0..1000u64 {
+                    let taken = i % 3 != 0;
+                    correct += u64::from(p.predict(i % 37) == taken);
+                    p.update(i % 37, taken);
+                }
+                correct
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_trace,
+    bench_stream_and_partition,
+    bench_machines,
+    bench_substrates
+);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! E10 — reconfiguration policy (extension).
+//!
+//! Fg-STP *reconfigures* two cores; a deployed design needs a policy for
+//! when to couple them. This experiment compares always-single,
+//! always-Fg-STP, an implementable sampling controller (one interval per
+//! mode, then commit, with reconfiguration penalties), and the oracle
+//! upper bound — per benchmark and in geomean.
+
+use fgstp::{run_fgstp, run_oracle, run_sampling, FgstpConfig, SamplingConfig};
+use fgstp_bench::{print_experiment, ExpArgs};
+use fgstp_mem::HierarchyConfig;
+use fgstp_ooo::run_single;
+use fgstp_sim::{geomean, runner::trace_workload, Table};
+use fgstp_workloads::suite;
+
+fn main() {
+    let args = ExpArgs::parse();
+    let cfg = FgstpConfig::small();
+    let hcfg = HierarchyConfig::small(2);
+    let single_h = HierarchyConfig::small(1);
+    let sampling = SamplingConfig::default();
+
+    let mut table = Table::new([
+        "benchmark",
+        "fgstp speedup",
+        "sampling speedup",
+        "oracle speedup",
+        "sampled mode",
+    ]);
+    let mut fg_all = Vec::new();
+    let mut sampled_all = Vec::new();
+    let mut oracle_all = Vec::new();
+    for w in suite(args.scale) {
+        let t = trace_workload(&w, args.scale);
+        let single = run_single(t.insts(), &cfg.core, &single_h);
+        let (fg, _) = run_fgstp(t.insts(), &cfg, &hcfg);
+        let oracle = run_oracle(t.insts(), &cfg, &hcfg);
+        let sampled = run_sampling(t.insts(), &cfg, &hcfg, &sampling);
+        let base = single.cycles as f64;
+        let s_fg = base / fg.cycles as f64;
+        let s_sam = base / sampled.cycles as f64;
+        let s_or = base / oracle.cycles as f64;
+        fg_all.push(s_fg);
+        sampled_all.push(s_sam);
+        oracle_all.push(s_or);
+        table.row([
+            w.name.to_owned(),
+            format!("{s_fg:.3}"),
+            format!("{s_sam:.3}"),
+            format!("{s_or:.3}"),
+            sampled.mode.to_string(),
+        ]);
+    }
+    table.row([
+        "GEOMEAN".to_owned(),
+        format!("{:.3}", geomean(&fg_all)),
+        format!("{:.3}", geomean(&sampled_all)),
+        format!("{:.3}", geomean(&oracle_all)),
+        String::new(),
+    ]);
+    print_experiment(
+        "E10",
+        "reconfiguration policy: always / sampling / oracle",
+        &args,
+        &table,
+    );
+}

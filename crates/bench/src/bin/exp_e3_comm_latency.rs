@@ -1,0 +1,53 @@
+//! E3 — sensitivity to inter-core communication latency.
+//!
+//! Sweeps the register-queue latency from 1 to 16 cycles and reports the
+//! geomean Fg-STP speedup over one small core. The curve motivates the
+//! paper's dedicated queues between adjacent cores: speedup degrades
+//! gracefully but monotonically with latency.
+
+use fgstp::{run_fgstp, FgstpConfig};
+use fgstp_bench::{print_experiment, ExpArgs};
+use fgstp_mem::HierarchyConfig;
+use fgstp_sim::{geomean, run_on, runner::trace_workload, MachineKind, Table};
+use fgstp_workloads::suite;
+
+fn main() {
+    let args = ExpArgs::parse();
+    let workloads = suite(args.scale);
+    let traces: Vec<_> = workloads
+        .iter()
+        .map(|w| trace_workload(w, args.scale))
+        .collect();
+    let singles: Vec<_> = traces
+        .iter()
+        .map(|t| run_on(MachineKind::SingleSmall, t.insts()))
+        .collect();
+
+    let mut table = Table::new([
+        "comm latency (cycles)",
+        "geomean speedup",
+        "geomean comms/100 insts",
+    ]);
+    for latency in [1u64, 2, 4, 6, 8, 12, 16] {
+        let mut speedups = Vec::new();
+        let mut comm_rates = Vec::new();
+        for (t, single) in traces.iter().zip(&singles) {
+            let mut cfg = FgstpConfig::small();
+            cfg.comm.latency = latency;
+            let (r, s) = run_fgstp(t.insts(), &cfg, &HierarchyConfig::small(2));
+            speedups.push(r.speedup_over(&single.result));
+            comm_rates.push((s.partition.comms_per_inst() * 100.0).max(1e-9));
+        }
+        table.row([
+            latency.to_string(),
+            format!("{:.3}", geomean(&speedups)),
+            format!("{:.2}", geomean(&comm_rates)),
+        ]);
+    }
+    print_experiment(
+        "E3",
+        "Fg-STP sensitivity to communication latency",
+        &args,
+        &table,
+    );
+}

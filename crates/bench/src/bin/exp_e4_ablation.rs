@@ -1,0 +1,65 @@
+//! E4 — ablation of Fg-STP's two signature mechanisms.
+//!
+//! Runs the suite with dependence speculation and/or replication disabled
+//! and reports the geomean speedup over one small core. The paper's claim
+//! that Fg-STP "differs from previous proposals on the extensive use of
+//! dependence speculation, replication and communication" predicts that
+//! removing either mechanism costs performance.
+
+use fgstp::{run_fgstp, FgstpConfig};
+use fgstp_bench::{print_experiment, ExpArgs};
+use fgstp_mem::HierarchyConfig;
+use fgstp_sim::{geomean, run_on, runner::trace_workload, MachineKind, Table};
+use fgstp_workloads::suite;
+
+fn main() {
+    let args = ExpArgs::parse();
+    let workloads = suite(args.scale);
+    let traces: Vec<_> = workloads
+        .iter()
+        .map(|w| trace_workload(w, args.scale))
+        .collect();
+    let singles: Vec<_> = traces
+        .iter()
+        .map(|t| run_on(MachineKind::SingleSmall, t.insts()))
+        .collect();
+
+    let variants: [(&str, bool, bool); 4] = [
+        ("full fg-stp", true, true),
+        ("no dep. speculation", false, true),
+        ("no replication", true, false),
+        ("neither", false, false),
+    ];
+    let mut table = Table::new([
+        "variant",
+        "geomean speedup",
+        "geomean comms/100",
+        "violations (sum)",
+    ]);
+    for (label, dep_spec, replication) in variants {
+        let mut speedups = Vec::new();
+        let mut comm_rates = Vec::new();
+        let mut violations = 0u64;
+        for (t, single) in traces.iter().zip(&singles) {
+            let mut cfg = FgstpConfig::small();
+            cfg.dep_speculation = dep_spec;
+            cfg.partition.replication = replication;
+            let (r, s) = run_fgstp(t.insts(), &cfg, &HierarchyConfig::small(2));
+            speedups.push(r.speedup_over(&single.result));
+            comm_rates.push((s.partition.comms_per_inst() * 100.0).max(1e-9));
+            violations += s.cross_violations;
+        }
+        table.row([
+            label.to_owned(),
+            format!("{:.3}", geomean(&speedups)),
+            format!("{:.2}", geomean(&comm_rates)),
+            violations.to_string(),
+        ]);
+    }
+    print_experiment(
+        "E4",
+        "dependence speculation / replication ablation",
+        &args,
+        &table,
+    );
+}

@@ -1,0 +1,56 @@
+//! E6 — communication bandwidth and queue occupancy.
+//!
+//! Sweeps the register-queue bandwidth (values per cycle per direction)
+//! and reports speedup, mean queue occupancy and producer-side
+//! back-pressure — the data that sizes the paper's queues.
+
+use fgstp::{run_fgstp, FgstpConfig};
+use fgstp_bench::{print_experiment, ExpArgs};
+use fgstp_mem::HierarchyConfig;
+use fgstp_sim::{geomean, run_on, runner::trace_workload, MachineKind, Table};
+use fgstp_workloads::suite;
+
+fn main() {
+    let args = ExpArgs::parse();
+    let workloads = suite(args.scale);
+    let traces: Vec<_> = workloads
+        .iter()
+        .map(|w| trace_workload(w, args.scale))
+        .collect();
+    let singles: Vec<_> = traces
+        .iter()
+        .map(|t| run_on(MachineKind::SingleSmall, t.insts()))
+        .collect();
+
+    let mut table = Table::new([
+        "bandwidth (values/cycle)",
+        "geomean speedup",
+        "mean occupancy",
+        "backpressure cycles (sum)",
+    ]);
+    for bandwidth in [1u32, 2, 4] {
+        let mut speedups = Vec::new();
+        let mut occupancy = Vec::new();
+        let mut backpressure = 0u64;
+        for (t, single) in traces.iter().zip(&singles) {
+            let mut cfg = FgstpConfig::small();
+            cfg.comm.bandwidth = bandwidth;
+            let (r, s) = run_fgstp(t.insts(), &cfg, &HierarchyConfig::small(2));
+            speedups.push(r.speedup_over(&single.result));
+            occupancy.push(s.mean_occupancy[0].max(s.mean_occupancy[1]).max(1e-9));
+            backpressure += s.backpressure[0] + s.backpressure[1];
+        }
+        table.row([
+            bandwidth.to_string(),
+            format!("{:.3}", geomean(&speedups)),
+            format!("{:.2}", geomean(&occupancy)),
+            backpressure.to_string(),
+        ]);
+    }
+    print_experiment(
+        "E6",
+        "communication bandwidth and queue occupancy",
+        &args,
+        &table,
+    );
+}

@@ -1,0 +1,96 @@
+//! E8 — cross-core memory-dependence speculation.
+//!
+//! Per benchmark: cross-core memory dependences, the violations/replays
+//! the speculative machine suffers, and the cycles it gains over the
+//! conservative machine that orders every load behind the youngest older
+//! remote store.
+
+use fgstp::{run_fgstp, FgstpConfig};
+use fgstp_bench::{print_experiment, ExpArgs};
+use fgstp_mem::HierarchyConfig;
+use fgstp_sim::{runner::trace_workload, Table};
+use fgstp_workloads::suite;
+
+fn main() {
+    let args = ExpArgs::parse();
+    let mut table = Table::new([
+        "benchmark",
+        "cross mem deps",
+        "violations",
+        "viol/1k loads",
+        "spec cycles",
+        "no-spec cycles",
+        "spec gain",
+    ]);
+    for w in suite(args.scale) {
+        let t = trace_workload(&w, args.scale);
+        let loads = t
+            .insts()
+            .iter()
+            .filter(|d| d.class() == fgstp_isa::InstClass::Load)
+            .count() as f64;
+        let spec_cfg = FgstpConfig::small();
+        let (spec, s_spec) = run_fgstp(t.insts(), &spec_cfg, &HierarchyConfig::small(2));
+        let mut cons_cfg = FgstpConfig::small();
+        cons_cfg.dep_speculation = false;
+        let (cons, _) = run_fgstp(t.insts(), &cons_cfg, &HierarchyConfig::small(2));
+        table.row([
+            w.name.to_owned(),
+            s_spec.partition.cross_mem_deps.to_string(),
+            s_spec.cross_violations.to_string(),
+            format!(
+                "{:.2}",
+                1000.0 * s_spec.cross_violations as f64 / loads.max(1.0)
+            ),
+            spec.cycles.to_string(),
+            cons.cycles.to_string(),
+            format!(
+                "{:+.1}%",
+                (cons.cycles as f64 / spec.cycles as f64 - 1.0) * 100.0
+            ),
+        ]);
+    }
+    print_experiment(
+        "E8a",
+        "cross-core memory dependence speculation",
+        &args,
+        &table,
+    );
+
+    // The Fg-STP partitioner deliberately co-locates store→load pairs, so
+    // violations are rare by construction. Force a naive round-robin
+    // partition to exercise (and price) the speculation machinery.
+    let mut forced = Table::new([
+        "benchmark",
+        "cross mem deps",
+        "violations",
+        "spec cycles",
+        "no-spec cycles",
+        "spec gain",
+    ]);
+    for w in suite(args.scale) {
+        let t = trace_workload(&w, args.scale);
+        let mut cfg = FgstpConfig::small();
+        cfg.partition.policy = fgstp::PartitionPolicy::ModN { chunk: 4 };
+        let (spec, s_spec) = run_fgstp(t.insts(), &cfg, &HierarchyConfig::small(2));
+        cfg.dep_speculation = false;
+        let (cons, _) = run_fgstp(t.insts(), &cfg, &HierarchyConfig::small(2));
+        forced.row([
+            w.name.to_owned(),
+            s_spec.partition.cross_mem_deps.to_string(),
+            s_spec.cross_violations.to_string(),
+            spec.cycles.to_string(),
+            cons.cycles.to_string(),
+            format!(
+                "{:+.1}%",
+                (cons.cycles as f64 / spec.cycles as f64 - 1.0) * 100.0
+            ),
+        ]);
+    }
+    print_experiment(
+        "E8b",
+        "the same under a forced naive (mod-4) partition",
+        &args,
+        &forced,
+    );
+}

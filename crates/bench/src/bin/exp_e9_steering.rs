@@ -1,0 +1,56 @@
+//! E9 — partitioning policy comparison.
+//!
+//! Fg-STP's slice-lookahead partitioner against the round-robin chunk
+//! baseline and classic online greedy dependence steering, at the same
+//! machine configuration. This isolates how much of the win comes from
+//! *how* the stream is partitioned.
+
+use fgstp::{run_fgstp, FgstpConfig, PartitionPolicy};
+use fgstp_bench::{print_experiment, ExpArgs};
+use fgstp_mem::HierarchyConfig;
+use fgstp_sim::{geomean, run_on, runner::trace_workload, MachineKind, Table};
+use fgstp_workloads::suite;
+
+fn main() {
+    let args = ExpArgs::parse();
+    let workloads = suite(args.scale);
+    let traces: Vec<_> = workloads
+        .iter()
+        .map(|w| trace_workload(w, args.scale))
+        .collect();
+    let singles: Vec<_> = traces
+        .iter()
+        .map(|t| run_on(MachineKind::SingleSmall, t.insts()))
+        .collect();
+
+    let policies: [(&str, PartitionPolicy); 4] = [
+        ("mod-64 round robin", PartitionPolicy::ModN { chunk: 64 }),
+        ("greedy dependence", PartitionPolicy::GreedyDep),
+        ("lookahead-256 (Fg-STP)", PartitionPolicy::fgstp_default()),
+        (
+            "lookahead-256, 0 refine",
+            PartitionPolicy::SliceLookahead {
+                window: 256,
+                refine_passes: 0,
+            },
+        ),
+    ];
+    let mut table = Table::new(["policy", "geomean speedup", "geomean comms/100"]);
+    for (label, policy) in policies {
+        let mut speedups = Vec::new();
+        let mut comm_rates = Vec::new();
+        for (t, single) in traces.iter().zip(&singles) {
+            let mut cfg = FgstpConfig::small();
+            cfg.partition.policy = policy;
+            let (r, s) = run_fgstp(t.insts(), &cfg, &HierarchyConfig::small(2));
+            speedups.push(r.speedup_over(&single.result));
+            comm_rates.push((s.partition.comms_per_inst() * 100.0).max(1e-9));
+        }
+        table.row([
+            label.to_owned(),
+            format!("{:.3}", geomean(&speedups)),
+            format!("{:.2}", geomean(&comm_rates)),
+        ]);
+    }
+    print_experiment("E9", "partitioning policy comparison", &args, &table);
+}

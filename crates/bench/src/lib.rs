@@ -1,0 +1,131 @@
+//! # fgstp-bench
+//!
+//! Experiment harness for the Fg-STP reproduction. Each `exp_*` binary in
+//! `src/bin/` regenerates one table or figure of the paper's evaluation —
+//! see the per-experiment index in `DESIGN.md` and the recorded
+//! paper-vs-measured comparison in `EXPERIMENTS.md`. The `benches/`
+//! directory holds Criterion micro-benchmarks of the simulator's hot
+//! paths.
+//!
+//! Every binary accepts an optional scale argument (`test`, `small`,
+//! `reference`; default `small`) controlling the dynamic instruction
+//! counts, and `--csv` to emit machine-readable output.
+
+use fgstp_sim::{Scale, Table};
+
+/// Command-line options shared by all experiment binaries.
+#[derive(Debug, Clone, Copy)]
+pub struct ExpArgs {
+    /// Workload scale.
+    pub scale: Scale,
+    /// Emit CSV instead of an aligned table.
+    pub csv: bool,
+}
+
+impl ExpArgs {
+    /// Parses `std::env::args()`: an optional scale word and `--csv`.
+    pub fn parse() -> ExpArgs {
+        let mut args = ExpArgs {
+            scale: Scale::Small,
+            csv: false,
+        };
+        for a in std::env::args().skip(1) {
+            match a.as_str() {
+                "test" => args.scale = Scale::Test,
+                "small" => args.scale = Scale::Small,
+                "reference" => args.scale = Scale::Reference,
+                "--csv" => args.csv = true,
+                other => {
+                    eprintln!("usage: exp_* [test|small|reference] [--csv] (got `{other}`)");
+                    std::process::exit(2);
+                }
+            }
+        }
+        args
+    }
+}
+
+/// Prints a rendered experiment table with a title banner, matching the
+/// format recorded in `EXPERIMENTS.md`.
+pub fn print_experiment(id: &str, caption: &str, args: &ExpArgs, table: &Table) {
+    println!("==== {id}: {caption} (scale: {:?}) ====", args.scale);
+    if args.csv {
+        print!("{}", table.to_csv());
+    } else {
+        println!("{table}");
+    }
+}
+
+/// Runs the E1/E2-style headline comparison: per-benchmark speedups of
+/// `[single, fused, fgstp]` over the single core, plus the geomean row and
+/// the Fg-STP-over-fusion summary line. Shared by `exp_e1_small_speedup`
+/// and `exp_e2_medium_speedup`.
+pub fn run_speedup_experiment(
+    id: &str,
+    caption: &str,
+    args: &ExpArgs,
+    kinds: [fgstp_sim::MachineKind; 3],
+) {
+    use fgstp_sim::{geomean, run_suite};
+    let [single, fused_kind, fgstp_kind] = kinds;
+    let results = run_suite(args.scale, &kinds);
+    let mut table = Table::new(["benchmark", "insts", "fused", "fgstp", "fgstp/fused"]);
+    let mut fused = Vec::new();
+    let mut fgstp = Vec::new();
+    for b in &results {
+        let s_fused = b.speedup(fused_kind, single);
+        let s_fgstp = b.speedup(fgstp_kind, single);
+        fused.push(s_fused);
+        fgstp.push(s_fgstp);
+        table.row([
+            b.name.to_owned(),
+            b.committed.to_string(),
+            format!("{s_fused:.3}"),
+            format!("{s_fgstp:.3}"),
+            format!("{:.3}", s_fgstp / s_fused),
+        ]);
+    }
+    let (gf, gs) = (geomean(&fused), geomean(&fgstp));
+    table.row([
+        "GEOMEAN".to_owned(),
+        String::new(),
+        format!("{gf:.3}"),
+        format!("{gs:.3}"),
+        format!("{:.3}", gs / gf),
+    ]);
+    print_experiment(id, caption, args, &table);
+    println!(
+        "Fg-STP over Core Fusion (geomean): {:+.1}%",
+        (gs / gf - 1.0) * 100.0
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn print_experiment_renders_both_formats() {
+        let mut t = Table::new(["a"]);
+        t.row(["1"]);
+        // Smoke test: must not panic in either mode.
+        print_experiment(
+            "T0",
+            "smoke",
+            &ExpArgs {
+                scale: Scale::Test,
+                csv: false,
+            },
+            &t,
+        );
+        print_experiment(
+            "T0",
+            "smoke",
+            &ExpArgs {
+                scale: Scale::Test,
+                csv: true,
+            },
+            &t,
+        );
+    }
+}

@@ -1,0 +1,85 @@
+//! Branch target buffer.
+
+/// A direct-mapped branch target buffer.
+///
+/// Maps a branch PC to its most recent taken target. The frontend uses a
+/// BTB miss on a predicted-taken branch as a one-cycle fetch bubble (the
+/// target is not known until decode).
+#[derive(Debug, Clone)]
+pub struct Btb {
+    entries: Vec<Option<(u64, u64)>>, // (pc, target)
+    hits: u64,
+    misses: u64,
+}
+
+impl Btb {
+    /// Creates a BTB with `2^index_bits` entries.
+    pub fn new(index_bits: u32) -> Btb {
+        Btb {
+            entries: vec![None; 1 << index_bits],
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    fn index(&self, pc: u64) -> usize {
+        (pc as usize) & (self.entries.len() - 1)
+    }
+
+    /// Looks up the predicted target for the branch at `pc`, recording
+    /// hit/miss statistics.
+    pub fn lookup(&mut self, pc: u64) -> Option<u64> {
+        match self.entries[self.index(pc)] {
+            Some((tag, target)) if tag == pc => {
+                self.hits += 1;
+                Some(target)
+            }
+            _ => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Installs or refreshes the target of the branch at `pc`.
+    pub fn update(&mut self, pc: u64, target: u64) {
+        let i = self.index(pc);
+        self.entries[i] = Some((pc, target));
+    }
+
+    /// (hits, misses) so far.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_then_hit_after_update() {
+        let mut btb = Btb::new(6);
+        assert_eq!(btb.lookup(0x80), None);
+        btb.update(0x80, 0x10);
+        assert_eq!(btb.lookup(0x80), Some(0x10));
+        assert_eq!(btb.stats(), (1, 1));
+    }
+
+    #[test]
+    fn aliasing_pcs_evict() {
+        let mut btb = Btb::new(2); // 4 entries: pcs 0x1 and 0x5 alias
+        btb.update(0x1, 100);
+        btb.update(0x5, 200);
+        assert_eq!(btb.lookup(0x1), None, "evicted by aliasing pc");
+        assert_eq!(btb.lookup(0x5), Some(200));
+    }
+
+    #[test]
+    fn update_refreshes_target() {
+        let mut btb = Btb::new(4);
+        btb.update(0x3, 10);
+        btb.update(0x3, 20);
+        assert_eq!(btb.lookup(0x3), Some(20));
+    }
+}

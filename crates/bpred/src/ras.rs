@@ -1,0 +1,87 @@
+//! Return-address stack.
+
+/// A fixed-depth return-address stack with wrap-around overwrite, as in
+/// real frontends (an overflowing push silently drops the oldest entry).
+#[derive(Debug, Clone)]
+pub struct ReturnStack {
+    entries: Vec<u64>,
+    top: usize,
+    len: usize,
+}
+
+impl ReturnStack {
+    /// Creates a stack holding up to `depth` return addresses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is zero.
+    pub fn new(depth: usize) -> ReturnStack {
+        assert!(depth > 0, "return stack needs at least one entry");
+        ReturnStack {
+            entries: vec![0; depth],
+            top: 0,
+            len: 0,
+        }
+    }
+
+    /// Pushes a return address (on a call).
+    pub fn push(&mut self, return_pc: u64) {
+        self.top = (self.top + 1) % self.entries.len();
+        self.entries[self.top] = return_pc;
+        self.len = (self.len + 1).min(self.entries.len());
+    }
+
+    /// Pops the predicted return address (on a return); `None` when empty.
+    pub fn pop(&mut self) -> Option<u64> {
+        if self.len == 0 {
+            return None;
+        }
+        let v = self.entries[self.top];
+        self.top = (self.top + self.entries.len() - 1) % self.entries.len();
+        self.len -= 1;
+        Some(v)
+    }
+
+    /// Current number of valid entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the stack has no valid entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifo_order() {
+        let mut ras = ReturnStack::new(8);
+        ras.push(10);
+        ras.push(20);
+        assert_eq!(ras.pop(), Some(20));
+        assert_eq!(ras.pop(), Some(10));
+        assert_eq!(ras.pop(), None);
+    }
+
+    #[test]
+    fn overflow_drops_oldest() {
+        let mut ras = ReturnStack::new(2);
+        ras.push(1);
+        ras.push(2);
+        ras.push(3); // drops 1
+        assert_eq!(ras.len(), 2);
+        assert_eq!(ras.pop(), Some(3));
+        assert_eq!(ras.pop(), Some(2));
+        assert_eq!(ras.pop(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_depth_panics() {
+        ReturnStack::new(0);
+    }
+}

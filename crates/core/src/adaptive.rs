@@ -1,0 +1,214 @@
+//! Reconfiguration controller: when should the two cores couple?
+//!
+//! Fg-STP *reconfigures* two cores to collaborate; a production design
+//! needs a policy for when coupling pays off (serial, unpartitionable code
+//! gains nothing and the second core could do other work). This module
+//! provides two controllers over the trace-driven machines:
+//!
+//! * [`run_oracle`] — picks the faster of single-core and Fg-STP execution
+//!   per workload: the upper bound any online controller can reach;
+//! * [`run_sampling`] — the implementable policy: execute a sample
+//!   interval in each mode, commit to the winner for the rest of the run,
+//!   and pay a reconfiguration penalty at each mode switch.
+//!
+//! Both controllers charge real cycles for everything they run, including
+//! the sampling intervals.
+
+use fgstp_isa::DynInst;
+use fgstp_mem::HierarchyConfig;
+use fgstp_ooo::run_single;
+
+use crate::machine::{run_fgstp, FgstpConfig};
+
+/// Which configuration the controller chose.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// One core runs the thread; the partner stays free.
+    Single,
+    /// Both cores collaborate (Fg-STP).
+    Fgstp,
+}
+
+impl std::fmt::Display for Mode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Mode::Single => "single",
+            Mode::Fgstp => "fgstp",
+        })
+    }
+}
+
+/// Outcome of an adaptive run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdaptiveResult {
+    /// Mode chosen for the steady-state portion.
+    pub mode: Mode,
+    /// Total cycles, sampling and switching included.
+    pub cycles: u64,
+    /// Cycles spent in the sampling phase (0 for the oracle).
+    pub sampling_cycles: u64,
+}
+
+/// Controller parameters for [`run_sampling`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SamplingConfig {
+    /// Instructions per sampling interval (one interval per mode).
+    pub sample_insts: usize,
+    /// Cycles charged per reconfiguration (draining both pipelines and
+    /// re-steering the frontend).
+    pub reconfig_penalty: u64,
+}
+
+impl Default for SamplingConfig {
+    fn default() -> SamplingConfig {
+        SamplingConfig {
+            sample_insts: 2_000,
+            reconfig_penalty: 200,
+        }
+    }
+}
+
+/// Runs `trace` in the faster of the two modes (cycles of the winner
+/// only) — the oracle upper bound for any reconfiguration policy.
+pub fn run_oracle(trace: &[DynInst], cfg: &FgstpConfig, hcfg: &HierarchyConfig) -> AdaptiveResult {
+    let single_h = HierarchyConfig { cores: 1, ..*hcfg };
+    let single = run_single(trace, &cfg.core, &single_h);
+    let (fgstp, _) = run_fgstp(trace, cfg, hcfg);
+    if single.cycles <= fgstp.cycles {
+        AdaptiveResult {
+            mode: Mode::Single,
+            cycles: single.cycles,
+            sampling_cycles: 0,
+        }
+    } else {
+        AdaptiveResult {
+            mode: Mode::Fgstp,
+            cycles: fgstp.cycles,
+            sampling_cycles: 0,
+        }
+    }
+}
+
+/// Runs `trace` under the sampling controller: one interval per mode, then
+/// the winner for the remainder, plus reconfiguration penalties.
+///
+/// Intervals are timed as independent segments (cold structures), which
+/// slightly over-charges the sampling phase — a conservative controller
+/// model.
+pub fn run_sampling(
+    trace: &[DynInst],
+    cfg: &FgstpConfig,
+    hcfg: &HierarchyConfig,
+    sampling: &SamplingConfig,
+) -> AdaptiveResult {
+    let n = trace.len();
+    let sample = sampling.sample_insts.min(n / 2);
+    if sample == 0 {
+        return run_oracle(trace, cfg, hcfg);
+    }
+    let single_h = HierarchyConfig { cores: 1, ..*hcfg };
+    let s0 = run_single(&trace[..sample], &cfg.core, &single_h);
+    let (s1, _) = run_fgstp(&trace[sample..2 * sample], cfg, hcfg);
+    let sampling_cycles = s0.cycles + s1.cycles + sampling.reconfig_penalty;
+    let rest = &trace[2 * sample..];
+    // Per-instruction rates from the samples pick the steady-state mode.
+    let single_cpi = s0.cycles as f64 / sample as f64;
+    let fgstp_cpi = s1.cycles as f64 / sample as f64;
+    let (mode, rest_cycles) = if single_cpi <= fgstp_cpi {
+        // Already in fgstp mode after the second sample: switch back.
+        let r = run_single(rest, &cfg.core, &single_h);
+        (Mode::Single, r.cycles + sampling.reconfig_penalty)
+    } else {
+        let (r, _) = run_fgstp(rest, cfg, hcfg);
+        (Mode::Fgstp, r.cycles)
+    };
+    AdaptiveResult {
+        mode,
+        cycles: sampling_cycles + rest_cycles,
+        sampling_cycles,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fgstp_isa::{assemble, trace_program, Trace};
+
+    fn partitionable() -> Trace {
+        let mut src = String::from("li x1, 1\nli x2, 1\nli x9, 400\n");
+        src.push_str(
+            "loop:\nadd x1, x1, x1\nxor x3, x1, x9\nadd x2, x2, x2\nxor x4, x2, x9\n\
+             addi x9, x9, -1\nbne x9, x0, loop\nhalt\n",
+        );
+        trace_program(&assemble(&src).unwrap(), 100_000).unwrap()
+    }
+
+    fn serial() -> Trace {
+        let mut src = String::from("li x1, 3\nli x9, 800\n");
+        src.push_str(
+            "loop:\nmul x1, x1, x9\naddi x1, x1, 1\naddi x9, x9, -1\nbne x9, x0, loop\nhalt\n",
+        );
+        trace_program(&assemble(&src).unwrap(), 100_000).unwrap()
+    }
+
+    #[test]
+    fn oracle_never_loses_to_either_mode() {
+        for t in [partitionable(), serial()] {
+            let cfg = FgstpConfig::small();
+            let hcfg = HierarchyConfig::small(2);
+            let oracle = run_oracle(t.insts(), &cfg, &hcfg);
+            let single = run_single(t.insts(), &cfg.core, &HierarchyConfig::small(1));
+            let (fg, _) = run_fgstp(t.insts(), &cfg, &hcfg);
+            assert!(oracle.cycles <= single.cycles);
+            assert!(oracle.cycles <= fg.cycles);
+        }
+    }
+
+    #[test]
+    fn oracle_picks_fgstp_for_partitionable_code() {
+        let t = partitionable();
+        let r = run_oracle(t.insts(), &FgstpConfig::small(), &HierarchyConfig::small(2));
+        assert_eq!(r.mode, Mode::Fgstp);
+    }
+
+    #[test]
+    fn sampling_controller_is_close_to_oracle() {
+        for t in [partitionable(), serial()] {
+            let cfg = FgstpConfig::small();
+            let hcfg = HierarchyConfig::small(2);
+            let oracle = run_oracle(t.insts(), &cfg, &hcfg);
+            let sampled = run_sampling(
+                t.insts(),
+                &cfg,
+                &hcfg,
+                &SamplingConfig {
+                    sample_insts: 500,
+                    reconfig_penalty: 100,
+                },
+            );
+            assert!(sampled.sampling_cycles > 0);
+            assert!(
+                (sampled.cycles as f64) < oracle.cycles as f64 * 1.5,
+                "sampling {} vs oracle {}",
+                sampled.cycles,
+                oracle.cycles
+            );
+        }
+    }
+
+    #[test]
+    fn tiny_traces_fall_back_to_the_oracle() {
+        let p = assemble("li x1, 1\nhalt").unwrap();
+        let t = trace_program(&p, 100).unwrap();
+        let r = run_sampling(
+            t.insts(),
+            &FgstpConfig::small(),
+            &HierarchyConfig::small(2),
+            &SamplingConfig {
+                sample_insts: 0,
+                reconfig_penalty: 0,
+            },
+        );
+        assert_eq!(r.sampling_cycles, 0);
+    }
+}

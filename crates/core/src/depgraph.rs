@@ -1,0 +1,300 @@
+//! Windowed dynamic dependence graph.
+//!
+//! The Fg-STP partitioning hardware observes the fetched instruction stream
+//! through a lookahead buffer and builds the register dependence graph of
+//! the current window. This module is that structure: nodes are window
+//! positions, edges are true register dependences (and load→store memory
+//! dependences), and the graph exposes the queries the partitioner needs —
+//! per-node predecessors/successors, dependence-chain depths and the
+//! critical path.
+
+use fgstp_ooo::ExecInst;
+
+/// Dependence graph over one window of the execution stream.
+///
+/// Node indices are positions within the window (0-based); edges point from
+/// producer to consumer and always go forward in program order.
+#[derive(Debug, Clone)]
+pub struct DepGraph {
+    len: usize,
+    preds: Vec<Vec<usize>>,
+    succs: Vec<Vec<usize>>,
+    /// Estimated execution weight per node (long-latency ops weigh more).
+    weights: Vec<u64>,
+}
+
+/// Rough latency weight used to rank chains (loads weigh as L1-hit-ish;
+/// the partitioner cares about relative chain lengths, not exact cycles).
+fn weight_of(x: &ExecInst) -> u64 {
+    use fgstp_isa::InstClass::*;
+    match x.class() {
+        IntAlu | Nop | Branch | Jump | Store => 1,
+        IntMul => 3,
+        FpAdd => 3,
+        FpMul => 4,
+        IntDiv | FpDiv => 16,
+        Load => 3,
+    }
+}
+
+impl DepGraph {
+    /// Builds the dependence graph of `window`. Register dependences whose
+    /// producer lies before the window are external and not represented as
+    /// edges (the partitioner handles them through its running state).
+    pub fn build(window: &[ExecInst]) -> DepGraph {
+        let len = window.len();
+        let base = window.first().map_or(0, |x| x.gseq);
+        let in_window = |g: u64| -> Option<usize> {
+            let idx = g.checked_sub(base)? as usize;
+            (idx < len).then_some(idx)
+        };
+        let mut preds = vec![Vec::new(); len];
+        let mut succs = vec![Vec::new(); len];
+        for (i, x) in window.iter().enumerate() {
+            for dep in x.deps.iter().flatten() {
+                if let Some(p) = in_window(dep.producer) {
+                    if !preds[i].contains(&p) {
+                        preds[i].push(p);
+                        succs[p].push(i);
+                    }
+                }
+            }
+            if let Some(md) = x.mem_dep {
+                if let Some(p) = in_window(md.store) {
+                    if !preds[i].contains(&p) {
+                        preds[i].push(p);
+                        succs[p].push(i);
+                    }
+                }
+            }
+        }
+        let weights = window.iter().map(weight_of).collect();
+        DepGraph {
+            len,
+            preds,
+            succs,
+            weights,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the window was empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// In-window producers of node `i`.
+    pub fn preds(&self, i: usize) -> &[usize] {
+        &self.preds[i]
+    }
+
+    /// In-window consumers of node `i`.
+    pub fn succs(&self, i: usize) -> &[usize] {
+        &self.succs[i]
+    }
+
+    /// Execution weight of node `i`.
+    pub fn weight(&self, i: usize) -> u64 {
+        self.weights[i]
+    }
+
+    /// Longest weighted path from any source *to* each node, inclusive.
+    pub fn depth_from_sources(&self) -> Vec<u64> {
+        let mut depth = vec![0u64; self.len];
+        for i in 0..self.len {
+            let best = self.preds[i].iter().map(|&p| depth[p]).max().unwrap_or(0);
+            depth[i] = best + self.weights[i];
+        }
+        depth
+    }
+
+    /// Longest weighted path from each node to any sink, inclusive.
+    pub fn depth_to_sinks(&self) -> Vec<u64> {
+        let mut depth = vec![0u64; self.len];
+        for i in (0..self.len).rev() {
+            let best = self.succs[i].iter().map(|&s| depth[s]).max().unwrap_or(0);
+            depth[i] = best + self.weights[i];
+        }
+        depth
+    }
+
+    /// One longest weighted dependence chain, in program order. Ties are
+    /// broken deterministically; exactly one path is returned even when
+    /// several chains have the same length.
+    pub fn critical_path(&self) -> Vec<usize> {
+        self.longest_chain(&vec![false; self.len])
+    }
+
+    /// One longest weighted dependence chain among nodes not marked in
+    /// `excluded`, in program order. Edges to or from excluded nodes are
+    /// ignored. Used by the partitioner to find the *second* chain after
+    /// seeding the first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `excluded.len() != self.len()`.
+    pub fn longest_chain(&self, excluded: &[bool]) -> Vec<usize> {
+        assert_eq!(excluded.len(), self.len, "exclusion mask size mismatch");
+        if self.len == 0 {
+            return Vec::new();
+        }
+        let mut from = vec![0u64; self.len];
+        for i in 0..self.len {
+            if excluded[i] {
+                continue;
+            }
+            let best = self.preds[i]
+                .iter()
+                .filter(|&&p| !excluded[p])
+                .map(|&p| from[p])
+                .max()
+                .unwrap_or(0);
+            from[i] = best + self.weights[i];
+        }
+        let Some(end) = (0..self.len)
+            .filter(|&i| !excluded[i])
+            .max_by_key(|&i| from[i])
+        else {
+            return Vec::new();
+        };
+        let mut chain = vec![end];
+        let mut cur = end;
+        while let Some(&p) = self.preds[cur]
+            .iter()
+            .find(|&&p| !excluded[p] && from[p] + self.weights[cur] == from[cur])
+        {
+            chain.push(p);
+            cur = p;
+        }
+        chain.reverse();
+        chain
+    }
+
+    /// Number of edges crossing a 2-way assignment (communication count).
+    pub fn cut_size(&self, assign: &[u8]) -> usize {
+        debug_assert_eq!(assign.len(), self.len);
+        let mut cut = 0;
+        for i in 0..self.len {
+            for &p in &self.preds[i] {
+                if assign[p] != assign[i] {
+                    cut += 1;
+                }
+            }
+        }
+        cut
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fgstp_isa::{assemble, trace_program};
+    use fgstp_ooo::build_exec_stream;
+
+    fn graph(src: &str) -> DepGraph {
+        let p = assemble(src).unwrap();
+        let t = trace_program(&p, 10_000).unwrap();
+        let s = build_exec_stream(t.insts());
+        DepGraph::build(&s)
+    }
+
+    #[test]
+    fn edges_follow_register_deps() {
+        let g = graph(
+            r#"
+                li  x1, 1       # 0
+                li  x2, 2       # 1
+                add x3, x1, x2  # 2
+                add x4, x3, x3  # 3
+                halt
+            "#,
+        );
+        assert_eq!(g.preds(2), &[0, 1]);
+        assert_eq!(g.preds(3), &[2]);
+        assert_eq!(g.succs(0), &[2]);
+    }
+
+    #[test]
+    fn memory_dependence_creates_an_edge() {
+        let g = graph(
+            r#"
+                li x1, 0x100    # 0
+                li x2, 9        # 1
+                sd x2, 0(x1)    # 2
+                ld x3, 0(x1)    # 3
+                halt
+            "#,
+        );
+        assert!(g.preds(3).contains(&2), "load depends on store");
+    }
+
+    #[test]
+    fn depths_accumulate_along_chains() {
+        let g = graph(
+            r#"
+                li  x1, 1        # 0: w=1
+                mul x2, x1, x1   # 1: w=3
+                add x3, x2, x2   # 2: w=1
+                halt
+            "#,
+        );
+        assert_eq!(g.depth_from_sources(), vec![1, 4, 5]);
+        assert_eq!(g.depth_to_sinks(), vec![5, 4, 1]);
+    }
+
+    #[test]
+    fn critical_path_selects_the_long_chain() {
+        let g = graph(
+            r#"
+                li  x1, 1        # 0: chain A (long: mul)
+                mul x2, x1, x1   # 1
+                li  x5, 4        # 2: chain B (short)
+                add x6, x5, x5   # 3
+                add x3, x2, x2   # 4: chain A
+                halt
+            "#,
+        );
+        let cp = g.critical_path();
+        assert!(cp.contains(&0) && cp.contains(&1) && cp.contains(&4));
+        assert!(!cp.contains(&2) && !cp.contains(&3));
+    }
+
+    #[test]
+    fn cut_size_counts_cross_assignments() {
+        let g = graph(
+            r#"
+                li  x1, 1
+                add x2, x1, x1
+                add x3, x2, x2
+                halt
+            "#,
+        );
+        assert_eq!(g.cut_size(&[0, 0, 0]), 0);
+        assert_eq!(g.cut_size(&[0, 1, 1]), 1);
+        assert_eq!(g.cut_size(&[0, 1, 0]), 2);
+    }
+
+    #[test]
+    fn empty_window_is_handled() {
+        let g = DepGraph::build(&[]);
+        assert!(g.is_empty());
+        assert!(g.critical_path().is_empty());
+    }
+
+    #[test]
+    fn external_producers_create_no_edges() {
+        // Build a graph over a window that starts mid-stream.
+        let p = assemble("li x1, 1\nadd x2, x1, x1\nadd x3, x2, x1\nhalt").unwrap();
+        let t = trace_program(&p, 100).unwrap();
+        let s = build_exec_stream(t.insts());
+        let g = DepGraph::build(&s[1..]);
+        assert_eq!(g.len(), 2);
+        // `add x2` (node 0 of the window) depends only on out-of-window li.
+        assert!(g.preds(0).is_empty());
+        assert_eq!(g.preds(1), &[0]);
+    }
+}

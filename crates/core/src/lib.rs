@@ -1,0 +1,59 @@
+//! # fgstp
+//!
+//! Reproduction of **Fg-STP: Fine-Grain Single Thread Partitioning on
+//! Multicores** (Ranjan, Latorre, Marcuello, González — HPCA 2011): a
+//! hardware-only scheme that reconfigures two conventional out-of-order
+//! cores to collaborate on fetching and executing one thread, partitioning
+//! the code at instruction granularity with extensive use of dependence
+//! speculation, replication and communication, over large instruction
+//! windows and with no software support.
+//!
+//! This crate is the paper's contribution; the substrates live in sibling
+//! crates (`fgstp-isa`, `fgstp-mem`, `fgstp-bpred`, `fgstp-ooo`):
+//!
+//! * [`depgraph`] — the windowed dynamic dependence graph the partitioning
+//!   hardware observes;
+//! * [`partition`] — instruction-granularity partitioning policies,
+//!   including the slice-lookahead policy with boundary refinement and the
+//!   replication pass;
+//! * [`commq`] — inter-core register communication queues (latency,
+//!   bandwidth, capacity, back-pressure);
+//! * [`machine`] — the dual-core timing machine: shared frontend
+//!   orchestration, cross-core memory-dependence speculation and global
+//!   in-order commit ([`run_fgstp`]);
+//! * [`exec`] — a functional partitioned executor that *proves* a
+//!   partition preserves sequential semantics ([`check_partition`]).
+//!
+//! The **Core Fusion** baseline the paper compares against is the fused
+//! two-cluster configuration of the `fgstp-ooo` core
+//! ([`fgstp_ooo::CoreConfig::fused`]), run through
+//! [`fgstp_ooo::run_single`].
+//!
+//! ```
+//! use fgstp::{run_fgstp, FgstpConfig};
+//! use fgstp_isa::{assemble, trace_program};
+//! use fgstp_mem::HierarchyConfig;
+//!
+//! let p = assemble("li x1, 2\nadd x2, x1, x1\nhalt")?;
+//! let t = trace_program(&p, 100)?;
+//! let (result, stats) = run_fgstp(t.insts(), &FgstpConfig::small(), &HierarchyConfig::small(2));
+//! assert_eq!(result.committed, 2);
+//! assert_eq!(stats.partition.insts[0] + stats.partition.insts[1], 2);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod adaptive;
+pub mod commq;
+pub mod depgraph;
+pub mod exec;
+pub mod machine;
+pub mod partition;
+
+pub use adaptive::{run_oracle, run_sampling, AdaptiveResult, Mode, SamplingConfig};
+pub use commq::{CommConfig, CommQueue};
+pub use depgraph::DepGraph;
+pub use exec::{check_partition, CheckError};
+pub use machine::{run_fgstp, run_fgstp_recorded, FgstpConfig, FgstpStats};
+pub use partition::{
+    partition_stream, PartitionConfig, PartitionPolicy, PartitionStats, PartitionedStream,
+};

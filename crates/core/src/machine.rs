@@ -1,0 +1,502 @@
+//! The Fg-STP dual-core timing machine.
+//!
+//! Two conventional out-of-order cores (the `fgstp-ooo` pipeline) execute
+//! the two partitioned halves of a single thread. This module provides the
+//! shared environment that couples them:
+//!
+//! * a **shared frontend orchestrator** — one branch predictor, a global
+//!   fetch gate for mispredictions, and a lookahead-buffer skew bound (a
+//!   core may run at most one partition window ahead of its partner);
+//! * the **register communication queues** ([`crate::CommQueue`]) that
+//!   deliver cross-core values with latency, bandwidth and capacity;
+//! * **cross-core memory-dependence speculation**: loads issue past remote
+//!   stores and replay on a conflict, or (speculation disabled) wait for
+//!   the youngest older remote store;
+//! * **global in-order commit** across both cores.
+
+use std::collections::HashMap;
+
+use fgstp_isa::DynInst;
+use fgstp_mem::{Hierarchy, HierarchyConfig};
+use fgstp_ooo::{
+    build_exec_stream, Core, CoreConfig, ExecEnv, ExecInst, FetchGate, LoadGate, Prediction,
+    PredictorState, RunResult,
+};
+
+use crate::commq::{CommConfig, CommQueue};
+use crate::partition::{partition_stream, PartitionConfig, PartitionStats, PartitionedStream};
+
+/// Configuration of the full Fg-STP machine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FgstpConfig {
+    /// Per-core configuration (both cores are identical).
+    pub core: CoreConfig,
+    /// Register communication queues (both directions).
+    pub comm: CommConfig,
+    /// Cycles after a remote store completes until its value is visible to
+    /// the other core's loads.
+    pub store_vis_latency: u64,
+    /// Replay penalty for a cross-core memory-dependence violation.
+    pub cross_violation_penalty: u64,
+    /// Whether loads may speculate past unresolved remote stores.
+    pub dep_speculation: bool,
+    /// Partitioner configuration.
+    pub partition: PartitionConfig,
+}
+
+impl FgstpConfig {
+    /// Fg-STP on two small cores (the paper's small 2-core CMP).
+    pub fn small() -> FgstpConfig {
+        FgstpConfig {
+            core: CoreConfig::small(),
+            comm: CommConfig::default(),
+            store_vis_latency: 6,
+            cross_violation_penalty: 12,
+            dep_speculation: true,
+            partition: PartitionConfig::default(),
+        }
+    }
+
+    /// Fg-STP on two medium cores (the paper's medium 2-core CMP).
+    pub fn medium() -> FgstpConfig {
+        FgstpConfig {
+            core: CoreConfig::medium(),
+            ..FgstpConfig::small()
+        }
+    }
+
+    /// Fetch-skew bound implied by the partition lookahead window.
+    pub fn fetch_skew(&self) -> u64 {
+        match self.partition.policy {
+            crate::partition::PartitionPolicy::SliceLookahead { window, .. } => window as u64,
+            _ => 256,
+        }
+    }
+}
+
+/// Fg-STP-specific statistics beyond the per-core pipeline counters.
+#[derive(Debug, Clone, Default)]
+pub struct FgstpStats {
+    /// Partitioning summary.
+    pub partition: PartitionStats,
+    /// Values delivered to each core (index = receiving core).
+    pub deliveries: [u64; 2],
+    /// Cycles sends waited on queue bandwidth/capacity, per direction.
+    pub backpressure: [u64; 2],
+    /// Mean queue occupancy per direction (index = receiving core).
+    pub mean_occupancy: [f64; 2],
+    /// Cross-core memory-dependence violations replayed.
+    pub cross_violations: u64,
+}
+
+/// The dual-core execution environment implementing [`ExecEnv`].
+#[derive(Debug)]
+struct FgstpEnv {
+    /// Predictions made by the shared frontend orchestrator, which sees
+    /// the fetch stream in program order *before* distribution — so the
+    /// predictor history is exactly the single-thread history (computed in
+    /// a prepass over the stream).
+    predictions: HashMap<u64, Prediction>,
+    branches: u64,
+    mispredicts: u64,
+    gate: FetchGate,
+    /// Completion cycle per global sequence number (primary copies only).
+    board: Vec<u64>,
+    /// Smallest gseq whose instruction has not completed yet. An
+    /// instruction may retire once every older instruction (on either
+    /// core) has completed — distributed commit with exchanged completion
+    /// pointers, rather than a serialized global commit port.
+    completed_frontier: u64,
+    /// Delivered cross-core values per receiving core.
+    deliveries: [HashMap<u64, u64>; 2],
+    /// Queues indexed by receiving core.
+    queues: [CommQueue; 2],
+    committed: u64,
+    /// Load gseq → youngest older remote store gseq.
+    barriers: HashMap<u64, u64>,
+    /// Next unfetched gseq per core (`u64::MAX` when exhausted).
+    next_fetch: [u64; 2],
+    fetch_skew: u64,
+    store_vis_latency: u64,
+    cross_violation_penalty: u64,
+    dep_speculation: bool,
+}
+
+impl FgstpEnv {
+    fn new(
+        cfg: &FgstpConfig,
+        stream: &[fgstp_ooo::ExecInst],
+        part: &PartitionedStream,
+    ) -> FgstpEnv {
+        // Prepass: the shared orchestrator predicts every control
+        // instruction in program order.
+        let mut pred = PredictorState::new(&cfg.core);
+        let mut predictions = HashMap::new();
+        for x in stream {
+            if x.class().is_control() {
+                predictions.insert(x.gseq, pred.predict(x));
+            }
+        }
+        FgstpEnv {
+            predictions,
+            branches: pred.branches,
+            mispredicts: pred.mispredicts,
+            gate: FetchGate::default(),
+            board: vec![u64::MAX; stream.len()],
+            completed_frontier: 0,
+            deliveries: [HashMap::new(), HashMap::new()],
+            queues: [CommQueue::new(cfg.comm), CommQueue::new(cfg.comm)],
+            committed: 0,
+            barriers: part.load_barriers.clone(),
+            next_fetch: [0, 0],
+            fetch_skew: cfg.fetch_skew(),
+            store_vis_latency: cfg.store_vis_latency,
+            cross_violation_penalty: cfg.cross_violation_penalty,
+            dep_speculation: cfg.dep_speculation,
+        }
+    }
+
+    fn completed(&self, gseq: u64) -> Option<u64> {
+        let c = self.board[gseq as usize];
+        (c != u64::MAX).then_some(c)
+    }
+}
+
+impl ExecEnv for FgstpEnv {
+    fn predict(&mut self, _core: usize, x: &ExecInst) -> Prediction {
+        *self
+            .predictions
+            .get(&x.gseq)
+            .expect("control instruction was pre-predicted")
+    }
+
+    fn fetch_blocked(&mut self, core: usize, gseq: u64, now: u64) -> bool {
+        if self.gate.blocked(gseq, now) {
+            return true;
+        }
+        // Lookahead-buffer bound: the partitioner distributes at most
+        // `fetch_skew` instructions ahead of the slower core.
+        let other = self.next_fetch[1 - core];
+        other != u64::MAX && gseq > other + self.fetch_skew
+    }
+
+    fn note_fetch_cursor(&mut self, core: usize, next_gseq: Option<u64>) {
+        self.next_fetch[core] = next_gseq.unwrap_or(u64::MAX);
+    }
+
+    fn block_fetch_after(&mut self, _core: usize, gseq: u64) {
+        self.gate.block_after(gseq);
+    }
+
+    fn resolve_fetch_block(&mut self, _core: usize, gseq: u64, resume: u64) {
+        self.gate.resolve(gseq, resume);
+    }
+
+    fn on_complete(&mut self, core: usize, x: &ExecInst, cycle: u64) {
+        if x.replica {
+            return;
+        }
+        self.board[x.gseq as usize] = cycle;
+        while (self.completed_frontier as usize) < self.board.len()
+            && self.board[self.completed_frontier as usize] != u64::MAX
+        {
+            self.completed_frontier += 1;
+        }
+        if x.sends {
+            let to = 1 - core;
+            let delivery = self.queues[to].send(cycle);
+            self.deliveries[to].insert(x.gseq, delivery);
+        }
+    }
+
+    fn cross_operand_ready(&mut self, core: usize, producer: u64) -> Option<u64> {
+        self.deliveries[core].get(&producer).copied()
+    }
+
+    fn cross_load_gate(
+        &mut self,
+        _core: usize,
+        x: &ExecInst,
+        ready_since: u64,
+        _now: u64,
+    ) -> LoadGate {
+        if !self.dep_speculation {
+            // Conservative cross-core ordering: wait for the youngest older
+            // remote store to complete and become visible.
+            return match self.barriers.get(&x.gseq) {
+                None => LoadGate::Free,
+                Some(&store) => match self.completed(store) {
+                    None => LoadGate::Retry,
+                    Some(c) => LoadGate::WaitUntil(c + self.store_vis_latency),
+                },
+            };
+        }
+        let Some(md) = x.mem_dep.filter(|m| m.cross) else {
+            return LoadGate::Free;
+        };
+        match self.completed(md.store) {
+            // The conflicting remote store has not even executed: the load
+            // speculates, is squashed when the store arrives, and replays.
+            None => LoadGate::Retry,
+            Some(c) => {
+                let visible = c + self.store_vis_latency;
+                if visible <= ready_since {
+                    LoadGate::Free
+                } else {
+                    LoadGate::Replay {
+                        data_at: visible + self.cross_violation_penalty,
+                    }
+                }
+            }
+        }
+    }
+
+    fn can_commit(&self, x: &ExecInst) -> bool {
+        // Distributed commit: retire once every older instruction (on
+        // either core) has completed. Per-core ROBs stay in order, so each
+        // core retires its own instructions in order; the frontier
+        // guarantees global precise-state recoverability.
+        x.gseq < self.completed_frontier
+    }
+
+    fn on_commit(&mut self, _core: usize, x: &ExecInst, _cycle: u64) {
+        if !x.replica {
+            self.committed += 1;
+        }
+    }
+}
+
+/// Upper bound on cycles per instruction before declaring a deadlock.
+const DEADLOCK_CPI: u64 = 2_000;
+
+/// Runs `trace` on the Fg-STP machine; returns the timing result and the
+/// Fg-STP-specific statistics.
+///
+/// # Panics
+///
+/// Panics if `hcfg` does not describe exactly two cores, or if the machine
+/// deadlocks (a model bug).
+pub fn run_fgstp(
+    trace: &[DynInst],
+    cfg: &FgstpConfig,
+    hcfg: &HierarchyConfig,
+) -> (RunResult, FgstpStats) {
+    let (result, stats, _) = run_fgstp_recorded(trace, cfg, hcfg, None);
+    (result, stats)
+}
+
+/// Like [`run_fgstp`], but optionally records per-instruction pipeline
+/// events on both cores (pass one recorder per core) and returns them —
+/// the two-core pipeview used by the `fgstpsim pipeview2` command.
+///
+/// # Panics
+///
+/// Panics if `hcfg` does not describe exactly two cores, or if the machine
+/// deadlocks (a model bug).
+#[allow(clippy::type_complexity)]
+pub fn run_fgstp_recorded(
+    trace: &[DynInst],
+    cfg: &FgstpConfig,
+    hcfg: &HierarchyConfig,
+    recorders: Option<[fgstp_ooo::PipeRecorder; 2]>,
+) -> (RunResult, FgstpStats, Option<[fgstp_ooo::PipeRecorder; 2]>) {
+    assert_eq!(hcfg.cores, 2, "Fg-STP reconfigures exactly two cores");
+    let stream = build_exec_stream(trace);
+    let part = partition_stream(&stream, &cfg.partition);
+    let mut env = FgstpEnv::new(cfg, &stream, &part);
+    let [s0, s1] = part.streams.clone();
+    let mut core0 = Core::new(0, cfg.core.clone(), s0);
+    let mut core1 = Core::new(1, cfg.core.clone(), s1);
+    let recording = recorders.is_some();
+    if let Some([r0, r1]) = recorders {
+        core0.set_recorder(r0);
+        core1.set_recorder(r1);
+    }
+    let mut mem = Hierarchy::new(hcfg);
+    let cap = (stream.len() as u64) * DEADLOCK_CPI + 100_000;
+    let mut now = 0u64;
+    let debug = std::env::var_os("FGSTP_TRACE").is_some();
+    while !(core0.done() && core1.done()) {
+        core0.cycle(now, &mut env, &mut mem);
+        core1.cycle(now, &mut env, &mut mem);
+        now += 1;
+        if debug && now.is_multiple_of(2000) {
+            eprintln!(
+                "[{}] commit={} c0 {} | c1 {}",
+                now,
+                env.completed_frontier,
+                core0.pipeline_snapshot(),
+                core1.pipeline_snapshot()
+            );
+        }
+        assert!(now < cap, "Fg-STP machine deadlocked at cycle {now}");
+    }
+    let cores = vec![*core0.stats(), *core1.stats()];
+    let stats = FgstpStats {
+        partition: part.stats,
+        deliveries: [env.queues[0].sends(), env.queues[1].sends()],
+        backpressure: [
+            env.queues[0].backpressure_cycles(),
+            env.queues[1].backpressure_cycles(),
+        ],
+        mean_occupancy: [
+            env.queues[0].mean_occupancy(),
+            env.queues[1].mean_occupancy(),
+        ],
+        cross_violations: cores.iter().map(|c| c.cross_violations).sum(),
+    };
+    let result = RunResult {
+        cycles: now,
+        committed: env.committed,
+        cores,
+        branches: (env.branches, env.mispredicts),
+        mem: mem.stats(),
+    };
+    let recorders = if recording {
+        Some([
+            core0
+                .take_recorder()
+                .expect("recorder was attached to core 0"),
+            core1
+                .take_recorder()
+                .expect("recorder was attached to core 1"),
+        ])
+    } else {
+        None
+    };
+    (result, stats, recorders)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fgstp_isa::{assemble, trace_program, Trace};
+
+    fn trace(src: &str) -> Trace {
+        let p = assemble(src).unwrap();
+        trace_program(&p, 200_000).unwrap()
+    }
+
+    /// Two independent chains — the best case for partitioning.
+    fn two_chain_trace() -> Trace {
+        let mut src = String::from("li x1, 1\nli x2, 1\nli x9, 150\n");
+        src.push_str(
+            r#"
+            loop:
+                add  x1, x1, x1
+                xor  x3, x1, x9
+                add  x2, x2, x2
+                xor  x4, x2, x9
+                addi x9, x9, -1
+                bne  x9, x0, loop
+                halt
+            "#,
+        );
+        trace(&src)
+    }
+
+    #[test]
+    fn all_instructions_commit_exactly_once() {
+        let t = two_chain_trace();
+        let (r, _) = run_fgstp(t.insts(), &FgstpConfig::small(), &HierarchyConfig::small(2));
+        assert_eq!(r.committed, t.len() as u64);
+    }
+
+    #[test]
+    fn work_is_distributed_across_both_cores() {
+        let t = two_chain_trace();
+        let (r, s) = run_fgstp(t.insts(), &FgstpConfig::small(), &HierarchyConfig::small(2));
+        assert!(r.cores[0].committed > 0 && r.cores[1].committed > 0);
+        let balance = s.partition.balance();
+        assert!((0.25..=0.75).contains(&balance), "balance {balance}");
+    }
+
+    #[test]
+    fn fgstp_beats_one_small_core_on_partition_friendly_code() {
+        let t = two_chain_trace();
+        let single =
+            fgstp_ooo::run_single(t.insts(), &CoreConfig::small(), &HierarchyConfig::small(1));
+        let (fg, _) = run_fgstp(t.insts(), &FgstpConfig::small(), &HierarchyConfig::small(2));
+        assert!(
+            fg.cycles < single.cycles,
+            "Fg-STP {} should beat single core {}",
+            fg.cycles,
+            single.cycles
+        );
+    }
+
+    #[test]
+    fn communication_latency_hurts() {
+        let t = two_chain_trace();
+        let mut fast = FgstpConfig::small();
+        fast.comm.latency = 1;
+        let mut slow = FgstpConfig::small();
+        slow.comm.latency = 24;
+        let (f, _) = run_fgstp(t.insts(), &fast, &HierarchyConfig::small(2));
+        let (s, _) = run_fgstp(t.insts(), &slow, &HierarchyConfig::small(2));
+        assert!(
+            f.cycles <= s.cycles,
+            "latency 1 ({}) vs 24 ({})",
+            f.cycles,
+            s.cycles
+        );
+    }
+
+    #[test]
+    fn cross_core_store_load_pairs_execute_correctly() {
+        // Producer/consumer through memory, forced onto opposite cores.
+        let src = r#"
+            li x1, 0x1000
+            li x9, 100
+        loop:
+            sd   x9, 0(x1)
+            ld   x5, 0(x1)
+            add  x6, x5, x5
+            addi x9, x9, -1
+            bne  x9, x0, loop
+            halt
+        "#;
+        let t = trace(src);
+        let mut cfg = FgstpConfig::small();
+        cfg.partition.policy = crate::partition::PartitionPolicy::ModN { chunk: 3 };
+        let (r, s) = run_fgstp(t.insts(), &cfg, &HierarchyConfig::small(2));
+        assert_eq!(r.committed, t.len() as u64);
+        // ModN slices the store/load pairs apart: cross memory deps exist.
+        assert!(s.partition.cross_mem_deps > 0);
+    }
+
+    #[test]
+    fn disabling_speculation_still_completes() {
+        let t = two_chain_trace();
+        let mut cfg = FgstpConfig::small();
+        cfg.dep_speculation = false;
+        let (r, _) = run_fgstp(t.insts(), &cfg, &HierarchyConfig::small(2));
+        assert_eq!(r.committed, t.len() as u64);
+    }
+
+    #[test]
+    fn queue_stats_are_reported_when_there_is_traffic() {
+        let t = two_chain_trace();
+        let mut cfg = FgstpConfig::small();
+        cfg.partition.policy = crate::partition::PartitionPolicy::ModN { chunk: 2 };
+        cfg.partition.replication = false;
+        let (_, s) = run_fgstp(t.insts(), &cfg, &HierarchyConfig::small(2));
+        assert!(
+            s.deliveries[0] + s.deliveries[1] > 0,
+            "chunked round-robin must communicate"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly two cores")]
+    fn one_core_hierarchy_is_rejected() {
+        let t = trace("li x1, 1\nhalt");
+        run_fgstp(t.insts(), &FgstpConfig::small(), &HierarchyConfig::small(1));
+    }
+
+    #[test]
+    fn empty_trace_finishes() {
+        let (r, _) = run_fgstp(&[], &FgstpConfig::small(), &HierarchyConfig::small(2));
+        assert_eq!(r.committed, 0);
+    }
+}

@@ -1,0 +1,449 @@
+//! A small two-pass text assembler for SimRISC.
+//!
+//! The workload suite is written in this assembly dialect. Supported syntax:
+//!
+//! * one instruction per line, `#` comments, `label:` definitions (alone or
+//!   before an instruction);
+//! * operand shapes follow RISC-V conventions (`ld rd, imm(rs1)`,
+//!   `sd rs2, imm(rs1)`, `beq rs1, rs2, label`, …);
+//! * immediates are decimal or `0x` hexadecimal, possibly negative; label
+//!   names may be used wherever an immediate is expected (they resolve to
+//!   instruction indices);
+//! * `.equ NAME, value` defines a numeric constant usable as an immediate;
+//! * `.data addr` positions the data cursor; `.word v, …` emits 64-bit
+//!   words, `.byte v, …` emits bytes and `.zero n` skips `n` bytes.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::inst::Inst;
+use crate::op::{InstClass, Op};
+use crate::program::Program;
+use crate::reg::Reg;
+
+/// Error produced by [`assemble`], with the 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line number of the offending source line.
+    pub line: usize,
+    /// Human-readable description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+fn err(line: usize, message: impl Into<String>) -> AsmError {
+    AsmError {
+        line,
+        message: message.into(),
+    }
+}
+
+fn mnemonic_table() -> HashMap<&'static str, Op> {
+    Op::all().map(|op| (op.mnemonic(), op)).collect()
+}
+
+struct Symbols {
+    labels: HashMap<String, u64>,
+    consts: HashMap<String, i64>,
+}
+
+impl Symbols {
+    fn resolve(&self, tok: &str, line: usize) -> Result<i64, AsmError> {
+        if let Some(v) = parse_int(tok) {
+            return Ok(v);
+        }
+        if let Some(&v) = self.labels.get(tok) {
+            return Ok(v as i64);
+        }
+        if let Some(&v) = self.consts.get(tok) {
+            return Ok(v);
+        }
+        Err(err(
+            line,
+            format!("unknown symbol or malformed immediate `{tok}`"),
+        ))
+    }
+}
+
+fn parse_int(tok: &str) -> Option<i64> {
+    let cleaned;
+    let tok = if tok.contains('_') {
+        cleaned = tok.replace('_', "");
+        cleaned.as_str()
+    } else {
+        tok
+    };
+    let (neg, t) = match tok.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, tok),
+    };
+    let v = if let Some(hex) = t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
+        i64::from_str_radix(hex, 16).ok()?
+    } else {
+        t.parse::<i64>().ok()?
+    };
+    Some(if neg { -v } else { v })
+}
+
+fn parse_reg(tok: &str, line: usize) -> Result<Reg, AsmError> {
+    tok.parse::<Reg>().map_err(|e| err(line, e.to_string()))
+}
+
+/// Splits `imm(reg)` into its parts.
+fn parse_mem_operand(tok: &str, line: usize) -> Result<(&str, &str), AsmError> {
+    let open = tok
+        .find('(')
+        .ok_or_else(|| err(line, format!("expected `imm(reg)` operand, got `{tok}`")))?;
+    let close = tok
+        .rfind(')')
+        .filter(|&c| c > open)
+        .ok_or_else(|| err(line, format!("unbalanced parentheses in `{tok}`")))?;
+    let imm = &tok[..open];
+    let reg = &tok[open + 1..close];
+    Ok((if imm.is_empty() { "0" } else { imm }, reg))
+}
+
+/// Strip comments, returning the code part of a line.
+fn code_part(line: &str) -> &str {
+    match line.find('#') {
+        Some(i) => &line[..i],
+        None => line,
+    }
+    .trim()
+}
+
+/// Assembles SimRISC source text into a [`Program`].
+///
+/// # Errors
+///
+/// Returns an [`AsmError`] carrying the 1-based line number for syntax
+/// errors, unknown mnemonics, malformed operands and undefined symbols.
+///
+/// ```
+/// use fgstp_isa::assemble;
+///
+/// let p = assemble("li x1, 3\nhalt")?;
+/// assert_eq!(p.len(), 2);
+/// # Ok::<(), fgstp_isa::AsmError>(())
+/// ```
+pub fn assemble(source: &str) -> Result<Program, AsmError> {
+    let ops = mnemonic_table();
+    let mut symbols = Symbols {
+        labels: HashMap::new(),
+        consts: HashMap::new(),
+    };
+
+    // Pass 1: label addresses and constants.
+    let mut inst_index = 0u64;
+    for (lineno, raw) in source.lines().enumerate() {
+        let line = lineno + 1;
+        let mut text = code_part(raw);
+        while let Some(colon) = text.find(':') {
+            let label = text[..colon].trim();
+            if label.is_empty() || label.contains(char::is_whitespace) {
+                return Err(err(line, format!("malformed label `{}`", &text[..colon])));
+            }
+            if symbols
+                .labels
+                .insert(label.to_owned(), inst_index)
+                .is_some()
+            {
+                return Err(err(line, format!("duplicate label `{label}`")));
+            }
+            text = text[colon + 1..].trim();
+        }
+        if text.is_empty() {
+            continue;
+        }
+        if let Some(rest) = text.strip_prefix(".equ") {
+            let (name, value) = rest
+                .split_once(',')
+                .ok_or_else(|| err(line, "expected `.equ NAME, value`"))?;
+            let value = parse_int(value.trim())
+                .ok_or_else(|| err(line, format!("malformed constant `{}`", value.trim())))?;
+            symbols.consts.insert(name.trim().to_owned(), value);
+            continue;
+        }
+        if text.starts_with('.') {
+            continue; // data directives emit no instructions
+        }
+        inst_index += 1;
+    }
+
+    // Pass 2: emit instructions and data.
+    let mut insts = Vec::with_capacity(inst_index as usize);
+    let mut program = Program::default();
+    let mut data_cursor = 0u64;
+
+    for (lineno, raw) in source.lines().enumerate() {
+        let line = lineno + 1;
+        let mut text = code_part(raw);
+        while let Some(colon) = text.find(':') {
+            text = text[colon + 1..].trim();
+        }
+        if text.is_empty() {
+            continue;
+        }
+        if text.starts_with(".equ") {
+            continue;
+        }
+        if let Some(rest) = text.strip_prefix(".data") {
+            data_cursor = symbols.resolve(rest.trim(), line)? as u64;
+            continue;
+        }
+        if let Some(rest) = text.strip_prefix(".word") {
+            let mut bytes = Vec::new();
+            for tok in rest.split(',') {
+                let v = symbols.resolve(tok.trim(), line)?;
+                bytes.extend_from_slice(&(v as u64).to_le_bytes());
+            }
+            let len = bytes.len() as u64;
+            program.data.push(crate::program::DataInit {
+                addr: data_cursor,
+                bytes,
+            });
+            data_cursor += len;
+            continue;
+        }
+        if let Some(rest) = text.strip_prefix(".byte") {
+            let mut bytes = Vec::new();
+            for tok in rest.split(',') {
+                bytes.push(symbols.resolve(tok.trim(), line)? as u8);
+            }
+            let len = bytes.len() as u64;
+            program.data.push(crate::program::DataInit {
+                addr: data_cursor,
+                bytes,
+            });
+            data_cursor += len;
+            continue;
+        }
+        if let Some(rest) = text.strip_prefix(".zero") {
+            data_cursor += symbols.resolve(rest.trim(), line)? as u64;
+            continue;
+        }
+        if text.starts_with('.') {
+            return Err(err(line, format!("unknown directive `{text}`")));
+        }
+
+        let (mnemonic, operands) = match text.split_once(char::is_whitespace) {
+            Some((m, rest)) => (m, rest.trim()),
+            None => (text, ""),
+        };
+        let op = *ops
+            .get(mnemonic)
+            .ok_or_else(|| err(line, format!("unknown mnemonic `{mnemonic}`")))?;
+        let toks: Vec<&str> = operands
+            .split(',')
+            .map(str::trim)
+            .filter(|t| !t.is_empty())
+            .collect();
+        let want = |n: usize| -> Result<(), AsmError> {
+            if toks.len() == n {
+                Ok(())
+            } else {
+                Err(err(
+                    line,
+                    format!("`{mnemonic}` expects {n} operands, got {}", toks.len()),
+                ))
+            }
+        };
+
+        let inst = match op.class() {
+            InstClass::Load => {
+                want(2)?;
+                let rd = parse_reg(toks[0], line)?;
+                let (imm, rs1) = parse_mem_operand(toks[1], line)?;
+                Inst::rri(op, rd, parse_reg(rs1, line)?, symbols.resolve(imm, line)?)
+            }
+            InstClass::Store => {
+                want(2)?;
+                let rs2 = parse_reg(toks[0], line)?;
+                let (imm, rs1) = parse_mem_operand(toks[1], line)?;
+                Inst::store(op, rs2, parse_reg(rs1, line)?, symbols.resolve(imm, line)?)
+            }
+            InstClass::Branch => {
+                want(3)?;
+                Inst::branch(
+                    op,
+                    parse_reg(toks[0], line)?,
+                    parse_reg(toks[1], line)?,
+                    symbols.resolve(toks[2], line)?,
+                )
+            }
+            InstClass::Jump if op == Op::Jal => {
+                want(2)?;
+                Inst::jal(parse_reg(toks[0], line)?, symbols.resolve(toks[1], line)?)
+            }
+            InstClass::Jump => {
+                want(3)?;
+                Inst::jalr(
+                    parse_reg(toks[0], line)?,
+                    parse_reg(toks[1], line)?,
+                    symbols.resolve(toks[2], line)?,
+                )
+            }
+            InstClass::Nop => {
+                want(0)?;
+                if op == Op::Halt {
+                    Inst::halt()
+                } else {
+                    Inst::nop()
+                }
+            }
+            _ if op == Op::Li => {
+                want(2)?;
+                Inst::ri(
+                    op,
+                    parse_reg(toks[0], line)?,
+                    symbols.resolve(toks[1], line)?,
+                )
+            }
+            _ if op.reads_rs2() => {
+                want(3)?;
+                Inst::rrr(
+                    op,
+                    parse_reg(toks[0], line)?,
+                    parse_reg(toks[1], line)?,
+                    parse_reg(toks[2], line)?,
+                )
+            }
+            _ if matches!(op, Op::FSqrt | Op::FCvtFI | Op::FCvtIF) => {
+                want(2)?;
+                Inst::rri(op, parse_reg(toks[0], line)?, parse_reg(toks[1], line)?, 0)
+            }
+            _ => {
+                want(3)?;
+                Inst::rri(
+                    op,
+                    parse_reg(toks[0], line)?,
+                    parse_reg(toks[1], line)?,
+                    symbols.resolve(toks[2], line)?,
+                )
+            }
+        };
+        insts.push(inst);
+    }
+
+    program.insts = insts;
+    Ok(program)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assembles_every_operand_shape() {
+        let p = assemble(
+            r#"
+            start:
+                li    x1, 0x10
+                addi  x2, x1, -3
+                add   x3, x1, x2
+                ld    x4, 8(x1)
+                sd    x4, 0(x2)
+                beq   x1, x2, start
+                jal   ra, start
+                jalr  x0, ra, 0
+                fsqrt f1, f2
+                fadd  f3, f1, f2
+                nop
+                halt
+            "#,
+        )
+        .unwrap();
+        assert_eq!(p.len(), 12);
+        assert_eq!(p.insts[0], Inst::ri(Op::Li, Reg::int(1), 16));
+        assert_eq!(p.insts[1].imm, -3);
+        assert_eq!(p.insts[5].imm, 0); // label `start` = index 0
+    }
+
+    #[test]
+    fn labels_resolve_forward_and_backward() {
+        let p = assemble(
+            r#"
+                jal x0, end
+            mid:
+                nop
+                jal x0, mid
+            end:
+                halt
+            "#,
+        )
+        .unwrap();
+        assert_eq!(p.insts[0].imm, 3);
+        assert_eq!(p.insts[2].imm, 1);
+    }
+
+    #[test]
+    fn equ_constants_and_data_directives() {
+        let p = assemble(
+            r#"
+                .equ BASE, 0x1000
+                .data BASE
+                .word 1, 2, 3
+                .byte 0xff
+                .zero 7
+                .word 9
+                li x1, BASE
+                halt
+            "#,
+        )
+        .unwrap();
+        assert_eq!(p.insts[0].imm, 0x1000);
+        assert_eq!(p.data.len(), 3);
+        assert_eq!(p.data[0].addr, 0x1000);
+        assert_eq!(p.data[0].bytes.len(), 24);
+        assert_eq!(p.data[1].addr, 0x1018);
+        assert_eq!(p.data[1].bytes, vec![0xff]);
+        assert_eq!(p.data[2].addr, 0x1018 + 1 + 7);
+    }
+
+    #[test]
+    fn label_on_same_line_as_instruction() {
+        let p = assemble("top: addi x1, x1, 1\njal x0, top").unwrap();
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.insts[1].imm, 0);
+    }
+
+    #[test]
+    fn mem_operand_with_implicit_zero_offset() {
+        let p = assemble("ld x1, (x2)\nhalt").unwrap();
+        assert_eq!(p.insts[0].imm, 0);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = assemble("nop\nbogus x1, x2\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("bogus"));
+
+        let e = assemble("addi x1, x2\n").unwrap_err();
+        assert!(e.message.contains("3 operands"));
+
+        let e = assemble("beq x1, x2, nowhere\n").unwrap_err();
+        assert!(e.message.contains("nowhere"));
+
+        let e = assemble("ld x1, 8[x2]\n").unwrap_err();
+        assert!(e.message.contains("imm(reg)"));
+
+        let e = assemble("dup:\ndup:\n").unwrap_err();
+        assert!(e.message.contains("duplicate"));
+    }
+
+    #[test]
+    fn hex_and_negative_immediates() {
+        assert_eq!(parse_int("0x10"), Some(16));
+        assert_eq!(parse_int("-0x10"), Some(-16));
+        assert_eq!(parse_int("-7"), Some(-7));
+        assert_eq!(parse_int("zzz"), None);
+    }
+}

@@ -1,0 +1,226 @@
+//! Decoded instruction representation.
+
+use std::fmt;
+
+use crate::op::{InstClass, Op};
+use crate::reg::Reg;
+
+/// A decoded SimRISC instruction.
+///
+/// Fields that an opcode does not use are ignored by the interpreter but
+/// kept in the struct so the representation stays a plain, copyable record.
+/// Use the constructors ([`Inst::rrr`], [`Inst::rri`], …) rather than struct
+/// literals; they assert the operand shape matches the opcode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Inst {
+    /// The opcode.
+    pub op: Op,
+    /// Destination register (meaningful iff `op.writes_rd()`).
+    pub rd: Reg,
+    /// First source register (meaningful iff `op.reads_rs1()`).
+    pub rs1: Reg,
+    /// Second source register (meaningful iff `op.reads_rs2()`).
+    pub rs2: Reg,
+    /// Immediate: memory displacement, ALU immediate, or absolute branch /
+    /// jump target (an instruction index).
+    pub imm: i64,
+}
+
+impl Inst {
+    /// Register-register-register form (`add rd, rs1, rs2`).
+    pub fn rrr(op: Op, rd: Reg, rs1: Reg, rs2: Reg) -> Inst {
+        debug_assert!(op.writes_rd() && op.reads_rs1() && op.reads_rs2(), "{op}");
+        Inst {
+            op,
+            rd,
+            rs1,
+            rs2,
+            imm: 0,
+        }
+    }
+
+    /// Register-register-immediate form (`addi rd, rs1, imm`; loads).
+    pub fn rri(op: Op, rd: Reg, rs1: Reg, imm: i64) -> Inst {
+        debug_assert!(op.writes_rd() && op.reads_rs1() && !op.reads_rs2(), "{op}");
+        Inst {
+            op,
+            rd,
+            rs1,
+            rs2: Reg::ZERO,
+            imm,
+        }
+    }
+
+    /// Load-immediate form (`li rd, imm`).
+    pub fn ri(op: Op, rd: Reg, imm: i64) -> Inst {
+        debug_assert!(op.writes_rd() && !op.reads_rs1(), "{op}");
+        Inst {
+            op,
+            rd,
+            rs1: Reg::ZERO,
+            rs2: Reg::ZERO,
+            imm,
+        }
+    }
+
+    /// Store form (`sd rs2, imm(rs1)`).
+    pub fn store(op: Op, rs2: Reg, rs1: Reg, imm: i64) -> Inst {
+        debug_assert!(op.class() == InstClass::Store, "{op}");
+        Inst {
+            op,
+            rd: Reg::ZERO,
+            rs1,
+            rs2,
+            imm,
+        }
+    }
+
+    /// Branch form (`beq rs1, rs2, target`); `target` is an instruction index.
+    pub fn branch(op: Op, rs1: Reg, rs2: Reg, target: i64) -> Inst {
+        debug_assert!(op.class() == InstClass::Branch, "{op}");
+        Inst {
+            op,
+            rd: Reg::ZERO,
+            rs1,
+            rs2,
+            imm: target,
+        }
+    }
+
+    /// `jal rd, target`.
+    pub fn jal(rd: Reg, target: i64) -> Inst {
+        Inst {
+            op: Op::Jal,
+            rd,
+            rs1: Reg::ZERO,
+            rs2: Reg::ZERO,
+            imm: target,
+        }
+    }
+
+    /// `jalr rd, rs1, imm`.
+    pub fn jalr(rd: Reg, rs1: Reg, imm: i64) -> Inst {
+        Inst {
+            op: Op::Jalr,
+            rd,
+            rs1,
+            rs2: Reg::ZERO,
+            imm,
+        }
+    }
+
+    /// `nop`.
+    pub fn nop() -> Inst {
+        Inst {
+            op: Op::Nop,
+            rd: Reg::ZERO,
+            rs1: Reg::ZERO,
+            rs2: Reg::ZERO,
+            imm: 0,
+        }
+    }
+
+    /// `halt`.
+    pub fn halt() -> Inst {
+        Inst {
+            op: Op::Halt,
+            rd: Reg::ZERO,
+            rs1: Reg::ZERO,
+            rs2: Reg::ZERO,
+            imm: 0,
+        }
+    }
+
+    /// The behaviour class of the instruction.
+    pub fn class(&self) -> InstClass {
+        self.op.class()
+    }
+
+    /// Destination register, if the instruction writes one (never `x0`).
+    pub fn dest(&self) -> Option<Reg> {
+        (self.op.writes_rd() && !self.rd.is_zero()).then_some(self.rd)
+    }
+
+    /// Source registers actually read by the instruction (zero register
+    /// excluded: it never creates a dependence).
+    pub fn sources(&self) -> impl Iterator<Item = Reg> + '_ {
+        let s1 = (self.op.reads_rs1() && !self.rs1.is_zero()).then_some(self.rs1);
+        let s2 = (self.op.reads_rs2() && !self.rs2.is_zero()).then_some(self.rs2);
+        s1.into_iter().chain(s2)
+    }
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use InstClass::*;
+        let m = self.op.mnemonic();
+        match self.op.class() {
+            Load => write!(f, "{m} {}, {}({})", self.rd, self.imm, self.rs1),
+            Store => write!(f, "{m} {}, {}({})", self.rs2, self.imm, self.rs1),
+            Branch => write!(f, "{m} {}, {}, {}", self.rs1, self.rs2, self.imm),
+            Jump if self.op == Op::Jal => write!(f, "jal {}, {}", self.rd, self.imm),
+            Jump => write!(f, "jalr {}, {}, {}", self.rd, self.rs1, self.imm),
+            Nop => f.write_str(m),
+            _ if self.op == Op::Li => write!(f, "li {}, {}", self.rd, self.imm),
+            _ if self.op.reads_rs2() => {
+                write!(f, "{m} {}, {}, {}", self.rd, self.rs1, self.rs2)
+            }
+            _ if self.op.reads_rs1() => {
+                if matches!(self.op, Op::FSqrt | Op::FCvtFI | Op::FCvtIF) {
+                    write!(f, "{m} {}, {}", self.rd, self.rs1)
+                } else {
+                    write!(f, "{m} {}, {}, {}", self.rd, self.rs1, self.imm)
+                }
+            }
+            _ => write!(f, "{m} {}, {}", self.rd, self.imm),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dest_excludes_zero_register() {
+        let i = Inst::rri(Op::Addi, Reg::ZERO, Reg::int(1), 4);
+        assert_eq!(i.dest(), None);
+        let i = Inst::rri(Op::Addi, Reg::int(3), Reg::int(1), 4);
+        assert_eq!(i.dest(), Some(Reg::int(3)));
+    }
+
+    #[test]
+    fn sources_exclude_zero_register() {
+        let i = Inst::rrr(Op::Add, Reg::int(1), Reg::ZERO, Reg::int(2));
+        let srcs: Vec<_> = i.sources().collect();
+        assert_eq!(srcs, vec![Reg::int(2)]);
+    }
+
+    #[test]
+    fn store_has_no_dest_but_two_sources() {
+        let s = Inst::store(Op::Sd, Reg::int(5), Reg::int(6), 8);
+        assert_eq!(s.dest(), None);
+        assert_eq!(s.sources().count(), 2);
+    }
+
+    #[test]
+    fn display_formats_common_shapes() {
+        assert_eq!(
+            Inst::rrr(Op::Add, Reg::int(1), Reg::int(2), Reg::int(3)).to_string(),
+            "add x1, x2, x3"
+        );
+        assert_eq!(
+            Inst::rri(Op::Ld, Reg::int(1), Reg::int(2), 16).to_string(),
+            "ld x1, 16(x2)"
+        );
+        assert_eq!(
+            Inst::store(Op::Sw, Reg::int(1), Reg::int(2), -4).to_string(),
+            "sw x1, -4(x2)"
+        );
+        assert_eq!(
+            Inst::branch(Op::Bne, Reg::int(1), Reg::ZERO, 7).to_string(),
+            "bne x1, x0, 7"
+        );
+        assert_eq!(Inst::ri(Op::Li, Reg::int(9), 42).to_string(), "li x9, 42");
+    }
+}

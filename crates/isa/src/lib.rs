@@ -1,0 +1,60 @@
+//! # fgstp-isa
+//!
+//! The instruction-set substrate for the Fg-STP reproduction.
+//!
+//! The original paper evaluates on x86 binaries through a proprietary
+//! trace-driven simulator. This crate supplies the equivalent substrate as a
+//! clean 64-bit RISC-style ISA ("SimRISC") together with:
+//!
+//! * a decoded instruction representation ([`Inst`], [`Op`]),
+//! * a program container with an initialized data segment ([`Program`]),
+//! * a small text assembler ([`asm::assemble`]) used by the workload suite,
+//! * a functional interpreter ([`Machine`]) that defines the architectural
+//!   semantics, and
+//! * dynamic-trace generation ([`trace::trace_program`]) producing the
+//!   committed-path instruction stream ([`DynInst`]) that drives every
+//!   timing model in the workspace.
+//!
+//! Program counters are *instruction indices*, not byte addresses: the
+//! timing models only need instruction identity and control-flow structure,
+//! and index-based PCs keep every table exact.
+//!
+//! ## Example
+//!
+//! ```
+//! use fgstp_isa::{asm, Machine};
+//!
+//! let program = asm::assemble(
+//!     r#"
+//!         addi x1, x0, 10      # n = 10
+//!         addi x2, x0, 0       # sum = 0
+//!     loop:
+//!         add  x2, x2, x1
+//!         addi x1, x1, -1
+//!         bne  x1, x0, loop
+//!         halt
+//!     "#,
+//! )?;
+//! let mut m = Machine::new(&program);
+//! m.run(1_000)?;
+//! assert_eq!(m.regs()[1], 0);
+//! assert_eq!(m.regs()[2], 55);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod asm;
+pub mod inst;
+pub mod machine;
+pub mod op;
+pub mod program;
+pub mod reg;
+pub mod semantics;
+pub mod trace;
+
+pub use asm::{assemble, AsmError};
+pub use inst::Inst;
+pub use machine::{ExecError, Machine, StepOutcome};
+pub use op::{InstClass, Op};
+pub use program::{DataInit, Program};
+pub use reg::Reg;
+pub use trace::{trace_program, DynInst, Trace, TraceError};

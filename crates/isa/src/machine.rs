@@ -1,0 +1,528 @@
+//! Functional interpreter: the architectural reference semantics.
+//!
+//! Every timing model in the workspace is trace-driven from this
+//! interpreter, and the Fg-STP partitioned functional executor is checked
+//! against it, so this module is the single source of truth for what a
+//! SimRISC program *means*.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::inst::Inst;
+use crate::op::Op;
+use crate::program::Program;
+use crate::reg::NUM_REGS;
+
+const PAGE_SHIFT: u64 = 12;
+const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
+
+/// Sparse, paged, byte-addressable little-endian memory.
+///
+/// Reads of never-written locations return zero, matching a zero-initialized
+/// address space.
+#[derive(Debug, Clone, Default)]
+pub struct Memory {
+    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+}
+
+impl Memory {
+    /// Creates an empty (all-zero) memory.
+    pub fn new() -> Memory {
+        Memory::default()
+    }
+
+    /// Reads one byte.
+    pub fn read_u8(&self, addr: u64) -> u8 {
+        match self.pages.get(&(addr >> PAGE_SHIFT)) {
+            Some(page) => page[(addr as usize) & (PAGE_SIZE - 1)],
+            None => 0,
+        }
+    }
+
+    /// Writes one byte.
+    pub fn write_u8(&mut self, addr: u64, value: u8) {
+        let page = self
+            .pages
+            .entry(addr >> PAGE_SHIFT)
+            .or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
+        page[(addr as usize) & (PAGE_SIZE - 1)] = value;
+    }
+
+    /// Reads `width` bytes (1, 2, 4 or 8) little-endian, zero-extended.
+    pub fn read(&self, addr: u64, width: u8) -> u64 {
+        let mut v = 0u64;
+        for i in 0..u64::from(width) {
+            v |= u64::from(self.read_u8(addr.wrapping_add(i))) << (8 * i);
+        }
+        v
+    }
+
+    /// Writes the low `width` bytes of `value` little-endian.
+    pub fn write(&mut self, addr: u64, width: u8, value: u64) {
+        for i in 0..u64::from(width) {
+            self.write_u8(addr.wrapping_add(i), (value >> (8 * i)) as u8);
+        }
+    }
+
+    /// Number of distinct pages touched by writes.
+    pub fn pages_touched(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+/// Error raised by the functional interpreter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// The program counter left the instruction array.
+    PcOutOfRange {
+        /// The offending program counter.
+        pc: u64,
+        /// Number of instructions in the program.
+        len: usize,
+    },
+    /// `run` hit its step limit before the program halted.
+    StepLimit {
+        /// The limit that was exceeded.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::PcOutOfRange { pc, len } => {
+                write!(
+                    f,
+                    "program counter {pc} outside program of {len} instructions"
+                )
+            }
+            ExecError::StepLimit { limit } => {
+                write!(f, "program did not halt within {limit} steps")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Per-instruction execution record, consumed by trace generation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExecInfo {
+    /// Program counter of the executed instruction.
+    pub pc: u64,
+    /// The executed instruction.
+    pub inst: Inst,
+    /// Program counter of the next instruction.
+    pub next_pc: u64,
+    /// Effective address, for loads and stores.
+    pub addr: Option<u64>,
+    /// Value written to the destination register, if any.
+    pub rd_value: Option<u64>,
+    /// Value stored to memory, for stores.
+    pub store_value: Option<u64>,
+    /// Branch outcome, for conditional branches.
+    pub taken: Option<bool>,
+}
+
+/// Outcome of a single interpreter step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StepOutcome {
+    /// One instruction executed.
+    Executed(ExecInfo),
+    /// A `halt` instruction was reached (or the machine was already halted).
+    Halted,
+}
+
+/// The functional SimRISC machine: registers, pc and memory.
+#[derive(Debug, Clone)]
+pub struct Machine<'p> {
+    program: &'p Program,
+    regs: [u64; NUM_REGS],
+    pc: u64,
+    mem: Memory,
+    halted: bool,
+    executed: u64,
+}
+
+impl<'p> Machine<'p> {
+    /// Creates a machine with the program's data segment loaded and the pc
+    /// at the entry point.
+    pub fn new(program: &'p Program) -> Machine<'p> {
+        let mut mem = Memory::new();
+        for init in &program.data {
+            for (i, b) in init.bytes.iter().enumerate() {
+                mem.write_u8(init.addr + i as u64, *b);
+            }
+        }
+        Machine {
+            program,
+            regs: [0; NUM_REGS],
+            pc: program.entry,
+            mem,
+            halted: false,
+            executed: 0,
+        }
+    }
+
+    /// The architectural register file (index with [`crate::Reg::index`]).
+    pub fn regs(&self) -> &[u64; NUM_REGS] {
+        &self.regs
+    }
+
+    /// Current program counter.
+    pub fn pc(&self) -> u64 {
+        self.pc
+    }
+
+    /// Whether a `halt` has been executed.
+    pub fn is_halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Number of instructions executed so far.
+    pub fn executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Read-only view of memory.
+    pub fn mem(&self) -> &Memory {
+        &self.mem
+    }
+
+    /// Sets a register (used by tests and workload setup). Writes to `x0`
+    /// are ignored, as in hardware.
+    pub fn set_reg(&mut self, index: usize, value: u64) {
+        if index != 0 {
+            self.regs[index] = value;
+        }
+    }
+
+    fn write_rd(&mut self, inst: &Inst, value: u64) -> Option<u64> {
+        if inst.op.writes_rd() {
+            if !inst.rd.is_zero() {
+                self.regs[inst.rd.index()] = value;
+            }
+            Some(value)
+        } else {
+            None
+        }
+    }
+
+    /// Executes one instruction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::PcOutOfRange`] if the pc points outside the
+    /// program (e.g. a wild `jalr`).
+    pub fn step(&mut self) -> Result<StepOutcome, ExecError> {
+        if self.halted {
+            return Ok(StepOutcome::Halted);
+        }
+        let len = self.program.insts.len();
+        let inst = *self
+            .program
+            .insts
+            .get(self.pc as usize)
+            .ok_or(ExecError::PcOutOfRange { pc: self.pc, len })?;
+        let pc = self.pc;
+        let rs1 = self.regs[inst.rs1.index()];
+        let rs2 = self.regs[inst.rs2.index()];
+        let imm = inst.imm;
+
+        let mut next_pc = pc + 1;
+        let mut addr = None;
+        let mut store_value = None;
+        let mut taken = None;
+        let mut rd_value = None;
+
+        use Op::*;
+        match inst.op {
+            Lb | Lbu | Lh | Lhu | Lw | Lwu | Ld | Fld => {
+                let a = rs1.wrapping_add(imm as u64);
+                addr = Some(a);
+                let width = inst.op.mem_width().expect("load has width");
+                let raw = self.mem.read(a, width);
+                rd_value = self.write_rd(&inst, crate::semantics::load_extend(inst.op, raw));
+            }
+            Sb | Sh | Sw | Sd | Fsd => {
+                let a = rs1.wrapping_add(imm as u64);
+                addr = Some(a);
+                let width = inst.op.mem_width().expect("store has width");
+                self.mem.write(a, width, rs2);
+                store_value = Some(rs2);
+            }
+            Beq | Bne | Blt | Bge | Bltu | Bgeu => {
+                let t =
+                    crate::semantics::branch_taken(inst.op, rs1, rs2).expect("conditional branch");
+                taken = Some(t);
+                if t {
+                    next_pc = imm as u64;
+                }
+            }
+            Jal => {
+                rd_value = self.write_rd(&inst, pc + 1);
+                next_pc = imm as u64;
+            }
+            Jalr => {
+                rd_value = self.write_rd(&inst, pc + 1);
+                next_pc = rs1.wrapping_add(imm as u64);
+            }
+            Nop => {}
+            _ if inst.op != Op::Halt => {
+                let v = crate::semantics::eval_compute(inst.op, rs1, rs2, imm)
+                    .expect("remaining opcodes are pure compute");
+                rd_value = self.write_rd(&inst, v);
+            }
+            _ => {
+                self.halted = true;
+                self.executed += 1;
+                return Ok(StepOutcome::Executed(ExecInfo {
+                    pc,
+                    inst,
+                    next_pc: pc,
+                    addr: None,
+                    rd_value: None,
+                    store_value: None,
+                    taken: None,
+                }));
+            }
+        }
+
+        self.pc = next_pc;
+        self.executed += 1;
+        Ok(StepOutcome::Executed(ExecInfo {
+            pc,
+            inst,
+            next_pc,
+            addr,
+            rd_value,
+            store_value,
+            taken,
+        }))
+    }
+
+    /// Runs until `halt` or until `limit` instructions have executed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::StepLimit`] if the limit is reached first, or
+    /// [`ExecError::PcOutOfRange`] on a wild jump.
+    pub fn run(&mut self, limit: u64) -> Result<u64, ExecError> {
+        let start = self.executed;
+        while !self.halted {
+            if self.executed - start >= limit {
+                return Err(ExecError::StepLimit { limit });
+            }
+            self.step()?;
+        }
+        Ok(self.executed - start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+    use crate::reg::Reg;
+
+    fn run_asm(src: &str) -> Machine<'_> {
+        // Leak is fine in tests: keeps the borrow simple.
+        let program = Box::leak(Box::new(assemble(src).expect("assembles")));
+        let mut m = Machine::new(program);
+        m.run(100_000).expect("halts");
+        m
+    }
+
+    #[test]
+    fn memory_defaults_to_zero_and_round_trips() {
+        let mut mem = Memory::new();
+        assert_eq!(mem.read(0xdead_beef, 8), 0);
+        mem.write(0x1000, 8, 0x1122_3344_5566_7788);
+        assert_eq!(mem.read(0x1000, 8), 0x1122_3344_5566_7788);
+        assert_eq!(mem.read(0x1004, 4), 0x1122_3344);
+        assert_eq!(mem.read_u8(0x1007), 0x11);
+    }
+
+    #[test]
+    fn memory_handles_page_crossing_access() {
+        let mut mem = Memory::new();
+        let addr = (1 << 12) - 3; // crosses the first page boundary
+        mem.write(addr, 8, 0xa1b2_c3d4_e5f6_0718);
+        assert_eq!(mem.read(addr, 8), 0xa1b2_c3d4_e5f6_0718);
+        assert_eq!(mem.pages_touched(), 2);
+    }
+
+    #[test]
+    fn arithmetic_and_loop() {
+        let m = run_asm(
+            r#"
+                li   x1, 7
+                li   x2, 6
+                mul  x3, x1, x2
+                halt
+            "#,
+        );
+        assert_eq!(m.regs()[3], 42);
+    }
+
+    #[test]
+    fn signed_ops_wrap_and_compare() {
+        let m = run_asm(
+            r#"
+                li   x1, -5
+                li   x2, 3
+                div  x3, x1, x2
+                rem  x4, x1, x2
+                slt  x5, x1, x2
+                sltu x6, x1, x2
+                sra  x7, x1, x2
+                halt
+            "#,
+        );
+        assert_eq!(m.regs()[3] as i64, -1);
+        assert_eq!(m.regs()[4] as i64, -2);
+        assert_eq!(m.regs()[5], 1);
+        assert_eq!(m.regs()[6], 0); // -5 as unsigned is huge
+        assert_eq!(m.regs()[7] as i64, -1);
+    }
+
+    #[test]
+    fn division_by_zero_follows_riscv_semantics() {
+        let m = run_asm(
+            r#"
+                li  x1, 13
+                li  x2, 0
+                div x3, x1, x2
+                rem x4, x1, x2
+                halt
+            "#,
+        );
+        assert_eq!(m.regs()[3], u64::MAX);
+        assert_eq!(m.regs()[4], 13);
+    }
+
+    #[test]
+    fn loads_sign_and_zero_extend() {
+        let m = run_asm(
+            r#"
+                li  x1, 0x1000
+                li  x2, -1
+                sb  x2, 0(x1)
+                lb  x3, 0(x1)
+                lbu x4, 0(x1)
+                halt
+            "#,
+        );
+        assert_eq!(m.regs()[3] as i64, -1);
+        assert_eq!(m.regs()[4], 0xff);
+    }
+
+    #[test]
+    fn store_load_round_trip_all_widths() {
+        let m = run_asm(
+            r#"
+                li  x1, 0x2000
+                li  x2, 0x7ee4_d00d
+                sw  x2, 0(x1)
+                lw  x3, 0(x1)
+                sd  x2, 8(x1)
+                ld  x4, 8(x1)
+                sh  x2, 16(x1)
+                lhu x5, 16(x1)
+                halt
+            "#,
+        );
+        assert_eq!(m.regs()[3], 0x7ee4_d00d);
+        assert_eq!(m.regs()[4], 0x7ee4_d00d);
+        assert_eq!(m.regs()[5], 0xd00d);
+    }
+
+    #[test]
+    fn fp_arithmetic() {
+        let m = run_asm(
+            r#"
+                li        x1, 9
+                fcvt.d.l  f1, x1
+                fsqrt     f2, f1
+                fcvt.l.d  x2, f2
+                li        x3, 2
+                fcvt.d.l  f3, x3
+                fdiv      f4, f1, f3
+                fcvt.l.d  x4, f4
+                halt
+            "#,
+        );
+        assert_eq!(m.regs()[2], 3);
+        assert_eq!(m.regs()[4], 4); // 9.0 / 2.0 = 4.5, truncates
+    }
+
+    #[test]
+    fn jal_and_jalr_link_and_jump() {
+        let m = run_asm(
+            r#"
+                jal  ra, target
+                li   x5, 111    # skipped by the jal
+            target:
+                li   x6, 222
+                jalr x7, ra, 3  # ra=1, so jump to index 4 (the halt)
+                halt
+            "#,
+        );
+        assert_eq!(m.regs()[1], 1); // jal linked the return address
+        assert_eq!(m.regs()[5], 0); // fall-through instruction skipped
+        assert_eq!(m.regs()[6], 222);
+        assert_eq!(m.regs()[7], 4); // jalr linked too
+    }
+
+    #[test]
+    fn writes_to_x0_are_discarded() {
+        let m = run_asm(
+            r#"
+                li  x0, 77
+                add x0, x0, x0
+                li  x1, 5
+                add x1, x1, x0
+                halt
+            "#,
+        );
+        assert_eq!(m.regs()[0], 0);
+        assert_eq!(m.regs()[1], 5);
+    }
+
+    #[test]
+    fn run_reports_step_limit() {
+        let program = assemble("loop: jal x0, loop").unwrap();
+        let mut m = Machine::new(&program);
+        assert_eq!(m.run(100), Err(ExecError::StepLimit { limit: 100 }));
+    }
+
+    #[test]
+    fn wild_jump_reports_pc_out_of_range() {
+        let program = assemble("jal x0, 999").unwrap();
+        let mut m = Machine::new(&program);
+        m.step().unwrap();
+        assert!(matches!(
+            m.step(),
+            Err(ExecError::PcOutOfRange { pc: 999, .. })
+        ));
+    }
+
+    #[test]
+    fn halted_machine_stays_halted() {
+        let program = assemble("halt").unwrap();
+        let mut m = Machine::new(&program);
+        assert!(matches!(m.step().unwrap(), StepOutcome::Executed(_)));
+        assert!(matches!(m.step().unwrap(), StepOutcome::Halted));
+        assert!(m.is_halted());
+    }
+
+    #[test]
+    fn set_reg_ignores_x0() {
+        let program = assemble("halt").unwrap();
+        let mut m = Machine::new(&program);
+        m.set_reg(Reg::ZERO.index(), 9);
+        m.set_reg(3, 9);
+        assert_eq!(m.regs()[0], 0);
+        assert_eq!(m.regs()[3], 9);
+    }
+}

@@ -1,0 +1,373 @@
+//! Opcodes and their static properties.
+
+use std::fmt;
+
+/// A SimRISC opcode.
+///
+/// The set is deliberately small but covers every behaviour class the
+/// timing models distinguish: single-cycle integer ALU, long-latency
+/// integer multiply/divide, pipelined FP add/multiply, long-latency FP
+/// divide/sqrt, loads and stores of several widths, conditional branches
+/// and unconditional jumps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // variant meanings follow RISC-V mnemonics
+pub enum Op {
+    // Integer register-register.
+    Add,
+    Sub,
+    And,
+    Or,
+    Xor,
+    Sll,
+    Srl,
+    Sra,
+    Slt,
+    Sltu,
+    Mul,
+    Div,
+    Rem,
+    // Integer register-immediate.
+    Addi,
+    Andi,
+    Ori,
+    Xori,
+    Slli,
+    Srli,
+    Srai,
+    Slti,
+    /// `rd = imm` (load immediate; covers `lui`-style constant generation).
+    Li,
+    // Floating point (operands are f64 bit patterns in the unified regs).
+    FAdd,
+    FSub,
+    FMul,
+    FDiv,
+    FSqrt,
+    FMin,
+    FMax,
+    /// Convert integer (rs1, two's complement) to f64 bits in rd.
+    FCvtIF,
+    /// Convert f64 bits (rs1) to integer in rd (truncating).
+    FCvtFI,
+    /// Integer 1 if f64(rs1) < f64(rs2) else 0.
+    FLt,
+    /// Integer 1 if f64(rs1) == f64(rs2) else 0.
+    FEq,
+    // Loads: address = rs1 + imm. Widths 1/2/4/8, sign- or zero-extended.
+    Lb,
+    Lbu,
+    Lh,
+    Lhu,
+    Lw,
+    Lwu,
+    Ld,
+    /// FP load (8 bytes into an fp register).
+    Fld,
+    // Stores: mem[rs1 + imm] = rs2 (low `width` bytes).
+    Sb,
+    Sh,
+    Sw,
+    Sd,
+    /// FP store (8 bytes from an fp register).
+    Fsd,
+    // Control flow. Branch/jump immediates are absolute instruction indices.
+    Beq,
+    Bne,
+    Blt,
+    Bge,
+    Bltu,
+    Bgeu,
+    /// `rd = pc + 1; pc = imm`.
+    Jal,
+    /// `rd = pc + 1; pc = rs1 + imm` (indirect jump).
+    Jalr,
+    Nop,
+    /// Stops execution; the interpreter reports a clean halt.
+    Halt,
+}
+
+/// Behaviour class of an instruction, as distinguished by the timing models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InstClass {
+    /// Single-cycle integer ALU operation.
+    IntAlu,
+    /// Integer multiply (pipelined, multi-cycle).
+    IntMul,
+    /// Integer divide / remainder (unpipelined, long latency).
+    IntDiv,
+    /// FP add/sub/compare/convert/min/max (pipelined).
+    FpAdd,
+    /// FP multiply (pipelined).
+    FpMul,
+    /// FP divide / square root (unpipelined, long latency).
+    FpDiv,
+    /// Memory load.
+    Load,
+    /// Memory store.
+    Store,
+    /// Conditional branch.
+    Branch,
+    /// Unconditional direct or indirect jump.
+    Jump,
+    /// No-operation (also `halt`).
+    Nop,
+}
+
+impl InstClass {
+    /// All classes, for building per-class tables.
+    pub const ALL: [InstClass; 11] = [
+        InstClass::IntAlu,
+        InstClass::IntMul,
+        InstClass::IntDiv,
+        InstClass::FpAdd,
+        InstClass::FpMul,
+        InstClass::FpDiv,
+        InstClass::Load,
+        InstClass::Store,
+        InstClass::Branch,
+        InstClass::Jump,
+        InstClass::Nop,
+    ];
+
+    /// Whether instructions of this class access data memory.
+    pub fn is_mem(self) -> bool {
+        matches!(self, InstClass::Load | InstClass::Store)
+    }
+
+    /// Whether instructions of this class change control flow.
+    pub fn is_control(self) -> bool {
+        matches!(self, InstClass::Branch | InstClass::Jump)
+    }
+}
+
+impl fmt::Display for InstClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            InstClass::IntAlu => "int-alu",
+            InstClass::IntMul => "int-mul",
+            InstClass::IntDiv => "int-div",
+            InstClass::FpAdd => "fp-add",
+            InstClass::FpMul => "fp-mul",
+            InstClass::FpDiv => "fp-div",
+            InstClass::Load => "load",
+            InstClass::Store => "store",
+            InstClass::Branch => "branch",
+            InstClass::Jump => "jump",
+            InstClass::Nop => "nop",
+        };
+        f.write_str(s)
+    }
+}
+
+impl Op {
+    /// The behaviour class of this opcode.
+    pub fn class(self) -> InstClass {
+        use Op::*;
+        match self {
+            Add | Sub | And | Or | Xor | Sll | Srl | Sra | Slt | Sltu | Addi | Andi | Ori
+            | Xori | Slli | Srli | Srai | Slti | Li => InstClass::IntAlu,
+            Mul => InstClass::IntMul,
+            Div | Rem => InstClass::IntDiv,
+            FAdd | FSub | FMin | FMax | FCvtIF | FCvtFI | FLt | FEq => InstClass::FpAdd,
+            FMul => InstClass::FpMul,
+            FDiv | FSqrt => InstClass::FpDiv,
+            Lb | Lbu | Lh | Lhu | Lw | Lwu | Ld | Fld => InstClass::Load,
+            Sb | Sh | Sw | Sd | Fsd => InstClass::Store,
+            Beq | Bne | Blt | Bge | Bltu | Bgeu => InstClass::Branch,
+            Jal | Jalr => InstClass::Jump,
+            Nop | Halt => InstClass::Nop,
+        }
+    }
+
+    /// Width in bytes of the memory access, if this is a load or store.
+    pub fn mem_width(self) -> Option<u8> {
+        use Op::*;
+        match self {
+            Lb | Lbu | Sb => Some(1),
+            Lh | Lhu | Sh => Some(2),
+            Lw | Lwu | Sw => Some(4),
+            Ld | Fld | Sd | Fsd => Some(8),
+            _ => None,
+        }
+    }
+
+    /// Whether the opcode writes a destination register.
+    pub fn writes_rd(self) -> bool {
+        use Op::*;
+        !matches!(
+            self,
+            Sb | Sh | Sw | Sd | Fsd | Beq | Bne | Blt | Bge | Bltu | Bgeu | Nop | Halt
+        )
+    }
+
+    /// Whether the opcode reads `rs1`.
+    pub fn reads_rs1(self) -> bool {
+        use Op::*;
+        !matches!(self, Li | Jal | Nop | Halt)
+    }
+
+    /// Whether the opcode reads `rs2`.
+    pub fn reads_rs2(self) -> bool {
+        use Op::*;
+        matches!(
+            self,
+            Add | Sub
+                | And
+                | Or
+                | Xor
+                | Sll
+                | Srl
+                | Sra
+                | Slt
+                | Sltu
+                | Mul
+                | Div
+                | Rem
+                | FAdd
+                | FSub
+                | FMul
+                | FDiv
+                | FMin
+                | FMax
+                | FLt
+                | FEq
+                | Sb
+                | Sh
+                | Sw
+                | Sd
+                | Fsd
+                | Beq
+                | Bne
+                | Blt
+                | Bge
+                | Bltu
+                | Bgeu
+        )
+    }
+
+    /// The assembler mnemonic for this opcode.
+    pub fn mnemonic(self) -> &'static str {
+        use Op::*;
+        match self {
+            Add => "add",
+            Sub => "sub",
+            And => "and",
+            Or => "or",
+            Xor => "xor",
+            Sll => "sll",
+            Srl => "srl",
+            Sra => "sra",
+            Slt => "slt",
+            Sltu => "sltu",
+            Mul => "mul",
+            Div => "div",
+            Rem => "rem",
+            Addi => "addi",
+            Andi => "andi",
+            Ori => "ori",
+            Xori => "xori",
+            Slli => "slli",
+            Srli => "srli",
+            Srai => "srai",
+            Slti => "slti",
+            Li => "li",
+            FAdd => "fadd",
+            FSub => "fsub",
+            FMul => "fmul",
+            FDiv => "fdiv",
+            FSqrt => "fsqrt",
+            FMin => "fmin",
+            FMax => "fmax",
+            FCvtIF => "fcvt.d.l",
+            FCvtFI => "fcvt.l.d",
+            FLt => "flt",
+            FEq => "feq",
+            Lb => "lb",
+            Lbu => "lbu",
+            Lh => "lh",
+            Lhu => "lhu",
+            Lw => "lw",
+            Lwu => "lwu",
+            Ld => "ld",
+            Fld => "fld",
+            Sb => "sb",
+            Sh => "sh",
+            Sw => "sw",
+            Sd => "sd",
+            Fsd => "fsd",
+            Beq => "beq",
+            Bne => "bne",
+            Blt => "blt",
+            Bge => "bge",
+            Bltu => "bltu",
+            Bgeu => "bgeu",
+            Jal => "jal",
+            Jalr => "jalr",
+            Nop => "nop",
+            Halt => "halt",
+        }
+    }
+
+    /// All opcodes, for exhaustive tests and the assembler's mnemonic table.
+    pub fn all() -> impl Iterator<Item = Op> {
+        use Op::*;
+        [
+            Add, Sub, And, Or, Xor, Sll, Srl, Sra, Slt, Sltu, Mul, Div, Rem, Addi, Andi, Ori, Xori,
+            Slli, Srli, Srai, Slti, Li, FAdd, FSub, FMul, FDiv, FSqrt, FMin, FMax, FCvtIF, FCvtFI,
+            FLt, FEq, Lb, Lbu, Lh, Lhu, Lw, Lwu, Ld, Fld, Sb, Sh, Sw, Sd, Fsd, Beq, Bne, Blt, Bge,
+            Bltu, Bgeu, Jal, Jalr, Nop, Halt,
+        ]
+        .into_iter()
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mnemonics_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for op in Op::all() {
+            assert!(seen.insert(op.mnemonic()), "duplicate mnemonic {op}");
+        }
+    }
+
+    #[test]
+    fn mem_width_only_for_mem_ops() {
+        for op in Op::all() {
+            assert_eq!(op.mem_width().is_some(), op.class().is_mem(), "{op}");
+        }
+    }
+
+    #[test]
+    fn stores_and_branches_do_not_write_rd() {
+        assert!(!Op::Sd.writes_rd());
+        assert!(!Op::Beq.writes_rd());
+        assert!(Op::Jal.writes_rd());
+        assert!(Op::Ld.writes_rd());
+    }
+
+    #[test]
+    fn class_mem_and_control_are_disjoint() {
+        for class in InstClass::ALL {
+            assert!(!(class.is_mem() && class.is_control()));
+        }
+    }
+
+    #[test]
+    fn rs2_readers_are_register_register_shapes() {
+        assert!(Op::Add.reads_rs2());
+        assert!(Op::Beq.reads_rs2());
+        assert!(Op::Sd.reads_rs2());
+        assert!(!Op::Addi.reads_rs2());
+        assert!(!Op::Ld.reads_rs2());
+        assert!(!Op::Jalr.reads_rs2());
+    }
+}

@@ -1,0 +1,94 @@
+//! Program container: code plus an initialized data segment.
+
+use std::fmt;
+
+use crate::inst::Inst;
+
+/// One contiguous run of initialized bytes in the data segment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DataInit {
+    /// Starting byte address.
+    pub addr: u64,
+    /// Initial contents.
+    pub bytes: Vec<u8>,
+}
+
+/// A complete SimRISC program: instruction list, entry point and data
+/// segment initialization.
+///
+/// Instruction addresses are indices into [`Program::insts`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Program {
+    /// The instructions, addressed by index.
+    pub insts: Vec<Inst>,
+    /// Index of the first instruction to execute.
+    pub entry: u64,
+    /// Initialized data regions, loaded into memory before execution.
+    pub data: Vec<DataInit>,
+}
+
+impl Program {
+    /// Creates a program from instructions with entry at index 0 and no
+    /// initialized data.
+    pub fn new(insts: Vec<Inst>) -> Program {
+        Program {
+            insts,
+            entry: 0,
+            data: Vec::new(),
+        }
+    }
+
+    /// Number of static instructions.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Whether the program has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// Appends an initialized data region; returns `self` for chaining.
+    pub fn with_data(mut self, addr: u64, bytes: Vec<u8>) -> Program {
+        self.data.push(DataInit { addr, bytes });
+        self
+    }
+
+    /// Appends a region of little-endian 64-bit words starting at `addr`.
+    pub fn with_words(self, addr: u64, words: &[u64]) -> Program {
+        let bytes = words.iter().flat_map(|w| w.to_le_bytes()).collect();
+        self.with_data(addr, bytes)
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, inst) in self.insts.iter().enumerate() {
+            writeln!(f, "{i:6}: {inst}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::Op;
+    use crate::reg::Reg;
+
+    #[test]
+    fn with_words_lays_out_little_endian() {
+        let p = Program::new(vec![Inst::halt()]).with_words(0x100, &[0x0102_0304_0506_0708]);
+        assert_eq!(p.data.len(), 1);
+        assert_eq!(p.data[0].addr, 0x100);
+        assert_eq!(p.data[0].bytes, vec![8, 7, 6, 5, 4, 3, 2, 1]);
+    }
+
+    #[test]
+    fn display_lists_instructions_with_indices() {
+        let p = Program::new(vec![Inst::ri(Op::Li, Reg::int(1), 5), Inst::halt()]);
+        let s = p.to_string();
+        assert!(s.contains("0: li x1, 5"), "{s}");
+        assert!(s.contains("1: halt"), "{s}");
+    }
+}

@@ -1,0 +1,173 @@
+//! Architectural register identifiers.
+//!
+//! SimRISC has a unified architectural register space of 64 registers:
+//! indices `0..=31` are the integer registers `x0..x31` (with `x0` hardwired
+//! to zero) and indices `32..=63` are the floating-point registers
+//! `f0..f31`. A unified index space keeps renaming, dependence analysis and
+//! partitioning uniform across register classes, which is all the timing
+//! models care about.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Number of architectural registers (integer + floating point).
+pub const NUM_REGS: usize = 64;
+
+/// Index of the first floating-point register in the unified space.
+pub const FP_BASE: u8 = 32;
+
+/// An architectural register identifier in the unified 64-entry space.
+///
+/// ```
+/// use fgstp_isa::Reg;
+///
+/// let sp: Reg = "sp".parse()?;
+/// assert_eq!(sp, Reg::int(2));
+/// assert_eq!(Reg::fp(3).to_string(), "f3");
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// The integer zero register `x0`, which always reads as zero.
+    pub const ZERO: Reg = Reg(0);
+
+    /// Creates an integer register `x{idx}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= 32`.
+    pub fn int(idx: u8) -> Reg {
+        assert!(idx < FP_BASE, "integer register index {idx} out of range");
+        Reg(idx)
+    }
+
+    /// Creates a floating-point register `f{idx}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= 32`.
+    pub fn fp(idx: u8) -> Reg {
+        assert!(idx < 32, "fp register index {idx} out of range");
+        Reg(FP_BASE + idx)
+    }
+
+    /// Creates a register from a raw unified-space index.
+    ///
+    /// Returns `None` if `idx >= 64`.
+    pub fn from_index(idx: u8) -> Option<Reg> {
+        (usize::from(idx) < NUM_REGS).then_some(Reg(idx))
+    }
+
+    /// The raw unified-space index (`0..64`).
+    pub fn index(self) -> usize {
+        usize::from(self.0)
+    }
+
+    /// Whether this is the hardwired-zero register `x0`.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Whether this is a floating-point register.
+    pub fn is_fp(self) -> bool {
+        self.0 >= FP_BASE
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_fp() {
+            write!(f, "f{}", self.0 - FP_BASE)
+        } else {
+            write!(f, "x{}", self.0)
+        }
+    }
+}
+
+/// Error produced when parsing a register name fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseRegError {
+    name: String,
+}
+
+impl fmt::Display for ParseRegError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid register name `{}`", self.name)
+    }
+}
+
+impl std::error::Error for ParseRegError {}
+
+impl FromStr for Reg {
+    type Err = ParseRegError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || ParseRegError { name: s.to_owned() };
+        match s {
+            "zero" => return Ok(Reg::ZERO),
+            "ra" => return Ok(Reg(1)),
+            "sp" => return Ok(Reg(2)),
+            _ => {}
+        }
+        let (class, idx) = s.split_at(1.min(s.len()));
+        let idx: u8 = idx.parse().map_err(|_| err())?;
+        if idx >= 32 {
+            return Err(err());
+        }
+        match class {
+            "x" => Ok(Reg(idx)),
+            "f" => Ok(Reg(FP_BASE + idx)),
+            _ => Err(err()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_and_fp_indices_do_not_overlap() {
+        assert_eq!(Reg::int(31).index(), 31);
+        assert_eq!(Reg::fp(0).index(), 32);
+        assert_eq!(Reg::fp(31).index(), 63);
+    }
+
+    #[test]
+    fn zero_register_is_x0() {
+        assert!(Reg::ZERO.is_zero());
+        assert!(!Reg::int(1).is_zero());
+        assert!(!Reg::fp(0).is_zero());
+    }
+
+    #[test]
+    fn display_round_trips_through_parse() {
+        for i in 0..NUM_REGS as u8 {
+            let r = Reg::from_index(i).unwrap();
+            let parsed: Reg = r.to_string().parse().unwrap();
+            assert_eq!(parsed, r);
+        }
+    }
+
+    #[test]
+    fn aliases_parse() {
+        assert_eq!("zero".parse::<Reg>().unwrap(), Reg::ZERO);
+        assert_eq!("ra".parse::<Reg>().unwrap(), Reg::int(1));
+        assert_eq!("sp".parse::<Reg>().unwrap(), Reg::int(2));
+    }
+
+    #[test]
+    fn bad_names_are_rejected() {
+        for bad in ["x32", "f32", "y1", "", "x", "f-1", "x100"] {
+            assert!(bad.parse::<Reg>().is_err(), "{bad} should not parse");
+        }
+    }
+
+    #[test]
+    fn from_index_bounds() {
+        assert!(Reg::from_index(63).is_some());
+        assert!(Reg::from_index(64).is_none());
+    }
+}

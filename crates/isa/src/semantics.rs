@@ -1,0 +1,145 @@
+//! Pure architectural semantics helpers.
+//!
+//! These functions define SimRISC computation independent of any machine
+//! state, so both the reference interpreter ([`crate::Machine`]) and the
+//! Fg-STP partitioned functional executor evaluate instructions through
+//! the *same* code — a disagreement between the two can then only come
+//! from mis-wired dependences, never from divergent semantics.
+
+use crate::op::Op;
+
+/// Evaluates a pure compute instruction (integer/FP ALU, including `li`).
+///
+/// Returns `None` for opcodes whose result depends on memory, the pc or
+/// control flow (loads, stores, branches, jumps, `nop`, `halt`).
+pub fn eval_compute(op: Op, rs1: u64, rs2: u64, imm: i64) -> Option<u64> {
+    let f1 = f64::from_bits(rs1);
+    let f2 = f64::from_bits(rs2);
+    use Op::*;
+    Some(match op {
+        Add => rs1.wrapping_add(rs2),
+        Sub => rs1.wrapping_sub(rs2),
+        And => rs1 & rs2,
+        Or => rs1 | rs2,
+        Xor => rs1 ^ rs2,
+        Sll => rs1.wrapping_shl(rs2 as u32 & 63),
+        Srl => rs1.wrapping_shr(rs2 as u32 & 63),
+        Sra => ((rs1 as i64).wrapping_shr(rs2 as u32 & 63)) as u64,
+        Slt => u64::from((rs1 as i64) < (rs2 as i64)),
+        Sltu => u64::from(rs1 < rs2),
+        Mul => rs1.wrapping_mul(rs2),
+        Div => {
+            if rs2 == 0 {
+                u64::MAX
+            } else {
+                (rs1 as i64).wrapping_div(rs2 as i64) as u64
+            }
+        }
+        Rem => {
+            if rs2 == 0 {
+                rs1
+            } else {
+                (rs1 as i64).wrapping_rem(rs2 as i64) as u64
+            }
+        }
+        Addi => rs1.wrapping_add(imm as u64),
+        Andi => rs1 & imm as u64,
+        Ori => rs1 | imm as u64,
+        Xori => rs1 ^ imm as u64,
+        Slli => rs1.wrapping_shl(imm as u32 & 63),
+        Srli => rs1.wrapping_shr(imm as u32 & 63),
+        Srai => ((rs1 as i64).wrapping_shr(imm as u32 & 63)) as u64,
+        Slti => u64::from((rs1 as i64) < imm),
+        Li => imm as u64,
+        FAdd => (f1 + f2).to_bits(),
+        FSub => (f1 - f2).to_bits(),
+        FMul => (f1 * f2).to_bits(),
+        FDiv => (f1 / f2).to_bits(),
+        FSqrt => f1.sqrt().to_bits(),
+        FMin => f1.min(f2).to_bits(),
+        FMax => f1.max(f2).to_bits(),
+        FCvtIF => ((rs1 as i64) as f64).to_bits(),
+        FCvtFI => (f1 as i64) as u64,
+        FLt => u64::from(f1 < f2),
+        FEq => u64::from(f1 == f2),
+        _ => return None,
+    })
+}
+
+/// Evaluates a conditional branch; `None` for non-branch opcodes.
+pub fn branch_taken(op: Op, rs1: u64, rs2: u64) -> Option<bool> {
+    use Op::*;
+    Some(match op {
+        Beq => rs1 == rs2,
+        Bne => rs1 != rs2,
+        Blt => (rs1 as i64) < (rs2 as i64),
+        Bge => (rs1 as i64) >= (rs2 as i64),
+        Bltu => rs1 < rs2,
+        Bgeu => rs1 >= rs2,
+        _ => return None,
+    })
+}
+
+/// Applies a load's sign/zero extension to the raw little-endian bytes.
+pub fn load_extend(op: Op, raw: u64) -> u64 {
+    use Op::*;
+    match op {
+        Lb => (raw as u8) as i8 as i64 as u64,
+        Lh => (raw as u16) as i16 as i64 as u64,
+        Lw => (raw as u32) as i32 as i64 as u64,
+        _ => raw,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compute_covers_every_alu_op() {
+        use crate::op::InstClass;
+        for op in Op::all() {
+            let is_compute = matches!(
+                op.class(),
+                InstClass::IntAlu
+                    | InstClass::IntMul
+                    | InstClass::IntDiv
+                    | InstClass::FpAdd
+                    | InstClass::FpMul
+                    | InstClass::FpDiv
+            );
+            assert_eq!(eval_compute(op, 6, 3, 2).is_some(), is_compute, "{op}");
+        }
+    }
+
+    #[test]
+    fn branch_taken_covers_exactly_branches() {
+        use crate::op::InstClass;
+        for op in Op::all() {
+            assert_eq!(
+                branch_taken(op, 1, 2).is_some(),
+                op.class() == InstClass::Branch,
+                "{op}"
+            );
+        }
+    }
+
+    #[test]
+    fn extensions_match_widths() {
+        assert_eq!(load_extend(Op::Lb, 0xff), u64::MAX);
+        assert_eq!(load_extend(Op::Lbu, 0xff), 0xff);
+        assert_eq!(load_extend(Op::Lw, 0x8000_0000), 0xffff_ffff_8000_0000);
+        assert_eq!(load_extend(Op::Lwu, 0x8000_0000), 0x8000_0000);
+        assert_eq!(load_extend(Op::Ld, u64::MAX), u64::MAX);
+    }
+
+    #[test]
+    fn division_semantics_match_riscv() {
+        assert_eq!(eval_compute(Op::Div, 7, 0, 0), Some(u64::MAX));
+        assert_eq!(eval_compute(Op::Rem, 7, 0, 0), Some(7));
+        assert_eq!(
+            eval_compute(Op::Div, (-7i64) as u64, 2, 0),
+            Some((-3i64) as u64)
+        );
+    }
+}

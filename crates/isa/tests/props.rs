@@ -1,0 +1,90 @@
+//! Property tests for the ISA crate: display/assemble round-trips and
+//! interpreter invariants.
+
+use proptest::prelude::*;
+
+use fgstp_isa::{assemble, trace_program, Inst, Machine, Op, Program, Reg};
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    (0u8..32).prop_map(Reg::int)
+}
+
+fn arb_freg() -> impl Strategy<Value = Reg> {
+    (0u8..32).prop_map(Reg::fp)
+}
+
+/// Any instruction whose `Display` output is valid assembler syntax.
+fn arb_inst() -> impl Strategy<Value = Inst> {
+    prop_oneof![
+        (arb_reg(), arb_reg(), arb_reg()).prop_map(|(d, a, b)| Inst::rrr(Op::Add, d, a, b)),
+        (arb_reg(), arb_reg(), arb_reg()).prop_map(|(d, a, b)| Inst::rrr(Op::Mul, d, a, b)),
+        (arb_reg(), arb_reg(), arb_reg()).prop_map(|(d, a, b)| Inst::rrr(Op::Sltu, d, a, b)),
+        (arb_freg(), arb_freg(), arb_freg()).prop_map(|(d, a, b)| Inst::rrr(Op::FAdd, d, a, b)),
+        (arb_freg(), arb_freg()).prop_map(|(d, a)| Inst::rri(Op::FSqrt, d, a, 0)),
+        (arb_reg(), arb_reg(), any::<i32>()).prop_map(|(d, a, i)| Inst::rri(
+            Op::Addi,
+            d,
+            a,
+            i.into()
+        )),
+        (arb_reg(), any::<i32>()).prop_map(|(d, i)| Inst::ri(Op::Li, d, i.into())),
+        (arb_reg(), arb_reg(), -4096i64..4096).prop_map(|(d, a, i)| Inst::rri(Op::Ld, d, a, i)),
+        (arb_reg(), arb_reg(), -4096i64..4096).prop_map(|(s, a, i)| Inst::store(Op::Sw, s, a, i)),
+        (arb_reg(), arb_reg(), 0i64..1000).prop_map(|(a, b, t)| Inst::branch(Op::Beq, a, b, t)),
+        (arb_reg(), 0i64..1000).prop_map(|(d, t)| Inst::jal(d, t)),
+        (arb_reg(), arb_reg(), -16i64..16).prop_map(|(d, a, i)| Inst::jalr(d, a, i)),
+        Just(Inst::nop()),
+    ]
+}
+
+proptest! {
+    /// `Display` output re-assembles to the identical instruction.
+    #[test]
+    fn display_assemble_round_trip(inst in arb_inst()) {
+        let text = inst.to_string();
+        let program = assemble(&text)
+            .unwrap_or_else(|e| panic!("`{text}` does not re-assemble: {e}"));
+        prop_assert_eq!(program.insts.len(), 1);
+        prop_assert_eq!(program.insts[0], inst, "{}", text);
+    }
+
+    /// The interpreter never writes x0 and the step count matches the
+    /// trace length plus the halt.
+    #[test]
+    fn x0_stays_zero_and_counts_match(body in proptest::collection::vec(arb_inst(), 1..40)) {
+        // Make the program safe to run: no control flow from the random
+        // body (branches could loop), so filter them out.
+        let mut insts: Vec<Inst> = body
+            .into_iter()
+            .filter(|i| !i.class().is_control())
+            .collect();
+        insts.push(Inst::halt());
+        let program = Program::new(insts.clone());
+        let trace = trace_program(&program, 10_000).expect("straight line terminates");
+        prop_assert_eq!(trace.len(), insts.len() - 1);
+        let mut m = Machine::new(&program);
+        m.run(10_000).expect("halts");
+        prop_assert_eq!(m.regs()[0], 0);
+        prop_assert_eq!(m.executed(), insts.len() as u64);
+    }
+
+    /// Memory reads reproduce the most recent write per byte.
+    #[test]
+    fn memory_read_your_writes(
+        writes in proptest::collection::vec((0u64..0x4000, 0u8..4, any::<u64>()), 1..50),
+        probe in 0u64..0x4000,
+    ) {
+        use fgstp_isa::machine::Memory;
+        let mut mem = Memory::new();
+        let mut model = std::collections::HashMap::new();
+        for (addr, wsel, value) in &writes {
+            let width = [1u8, 2, 4, 8][*wsel as usize];
+            mem.write(*addr, width, *value);
+            for b in 0..u64::from(width) {
+                model.insert(addr + b, (*value >> (8 * b)) as u8);
+            }
+        }
+        let expected = *model.get(&probe).unwrap_or(&0);
+        prop_assert_eq!(mem.read_u8(probe), expected);
+    }
+}

@@ -1,0 +1,146 @@
+//! Miss-status holding registers: bound on outstanding misses.
+//!
+//! Each cache level owns an [`MshrFile`]. A miss to a line already in
+//! flight *merges* (the requester simply waits for the existing fill); a
+//! miss when all entries are busy must wait for the earliest entry to
+//! retire before its own miss can even start. This is how limited memory-
+//! level parallelism is modeled throughout the workspace.
+
+/// A file of miss-status holding registers for one cache.
+#[derive(Debug, Clone)]
+pub struct MshrFile {
+    capacity: usize,
+    /// (line address, cycle at which the fill completes)
+    entries: Vec<(u64, u64)>,
+    /// Cumulative cycles requests spent waiting for a free entry.
+    stall_cycles: u64,
+    /// Number of merged (secondary) misses.
+    merges: u64,
+}
+
+impl MshrFile {
+    /// Creates a file with `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> MshrFile {
+        assert!(capacity > 0, "an MSHR file needs at least one entry");
+        MshrFile {
+            capacity,
+            entries: Vec::new(),
+            stall_cycles: 0,
+            merges: 0,
+        }
+    }
+
+    /// Number of entries still in flight at `now`.
+    pub fn occupancy(&self, now: u64) -> usize {
+        self.entries.iter().filter(|&&(_, done)| done > now).count()
+    }
+
+    /// Total cycles requests spent stalled on a full file.
+    pub fn stall_cycles(&self) -> u64 {
+        self.stall_cycles
+    }
+
+    /// Number of secondary misses merged into an in-flight entry.
+    pub fn merges(&self) -> u64 {
+        self.merges
+    }
+
+    fn retire_done(&mut self, now: u64) {
+        self.entries.retain(|&(_, done)| done > now);
+    }
+
+    /// Completion cycle of an in-flight fill of `line_addr`, if one is
+    /// still outstanding at `now`. An access that hits in the cache while
+    /// its line is still being filled must wait for the fill, not the hit
+    /// latency.
+    pub fn pending(&self, line_addr: u64, now: u64) -> Option<u64> {
+        self.entries
+            .iter()
+            .find(|&&(l, done)| l == line_addr && done > now)
+            .map(|&(_, done)| done)
+    }
+
+    /// Requests a fill of `line_addr` issued at `now` that takes
+    /// `fill_latency` cycles once started. Returns the cycle at which the
+    /// data is available, accounting for merging and for waiting on a free
+    /// entry.
+    pub fn request(&mut self, line_addr: u64, now: u64, fill_latency: u64) -> u64 {
+        self.retire_done(now);
+        if let Some(&(_, done)) = self.entries.iter().find(|&&(l, _)| l == line_addr) {
+            self.merges += 1;
+            return done;
+        }
+        let start = if self.entries.len() < self.capacity {
+            now
+        } else {
+            // Wait for the earliest in-flight fill to retire.
+            let earliest = self
+                .entries
+                .iter()
+                .map(|&(_, done)| done)
+                .min()
+                .expect("file is full, so non-empty");
+            self.entries.retain(|&(_, done)| done > earliest);
+            self.stall_cycles += earliest - now;
+            earliest
+        };
+        let done = start + fill_latency;
+        self.entries.push((line_addr, done));
+        done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn independent_misses_overlap() {
+        let mut m = MshrFile::new(4);
+        assert_eq!(m.request(0x000, 0, 100), 100);
+        assert_eq!(m.request(0x040, 0, 100), 100);
+        assert_eq!(m.occupancy(50), 2);
+        assert_eq!(m.occupancy(100), 0);
+    }
+
+    #[test]
+    fn same_line_merges() {
+        let mut m = MshrFile::new(4);
+        assert_eq!(m.request(0x40, 0, 100), 100);
+        assert_eq!(
+            m.request(0x40, 10, 100),
+            100,
+            "secondary miss waits for first"
+        );
+        assert_eq!(m.merges(), 1);
+    }
+
+    #[test]
+    fn full_file_serializes_new_misses() {
+        let mut m = MshrFile::new(2);
+        m.request(0x000, 0, 100);
+        m.request(0x040, 0, 100);
+        // Third distinct miss at cycle 10 must wait until cycle 100.
+        assert_eq!(m.request(0x080, 10, 100), 200);
+        assert_eq!(m.stall_cycles(), 90);
+    }
+
+    #[test]
+    fn retired_entries_free_slots() {
+        let mut m = MshrFile::new(1);
+        m.request(0x000, 0, 10);
+        // At cycle 20 the entry has retired: no stall.
+        assert_eq!(m.request(0x040, 20, 10), 30);
+        assert_eq!(m.stall_cycles(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_capacity_panics() {
+        MshrFile::new(0);
+    }
+}

@@ -1,0 +1,403 @@
+//! Execution environment: everything a core shares with the outside world.
+//!
+//! The core pipeline ([`crate::Core`]) is machine-agnostic: branch
+//! prediction, fetch gating, global commit order, cross-core operand
+//! delivery and cross-core memory ordering all live behind the [`ExecEnv`]
+//! trait. The single-core implementation ([`SingleEnv`]) is provided here;
+//! the Fg-STP dual-core environment lives in the `fgstp` crate.
+
+use fgstp_bpred::{Btb, DirectionPredictor, ReturnStack};
+use fgstp_isa::{InstClass, Op};
+
+use crate::config::CoreConfig;
+use crate::stream::ExecInst;
+
+/// Outcome of predicting one control-flow instruction at fetch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Prediction {
+    /// The frontend would have steered fetch down the wrong path.
+    pub mispredicted: bool,
+    /// Direction was right but the target had to wait for decode (BTB
+    /// miss on a taken branch or an unpredicted jump target).
+    pub btb_miss: bool,
+}
+
+/// Cross-core (or cross-policy) constraint on issuing a load.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadGate {
+    /// No constraint: the load may issue and access the cache normally.
+    Free,
+    /// The load may not issue before the given cycle (conservative
+    /// ordering); retry when the cycle is reached.
+    WaitUntil(u64),
+    /// The constraint is not resolvable yet; retry next cycle.
+    Retry,
+    /// The load speculated past a conflicting store and must replay: its
+    /// data becomes available at `data_at` (penalties included).
+    Replay {
+        /// Cycle at which the replayed load's data is available.
+        data_at: u64,
+    },
+}
+
+/// The world outside one core: prediction, fetch gating, commit order and
+/// cross-core interactions.
+pub trait ExecEnv {
+    /// Predicts the control-flow instruction `x` fetched by `core`,
+    /// training the predictor structures.
+    fn predict(&mut self, core: usize, x: &ExecInst) -> Prediction;
+
+    /// Whether `core` may not yet fetch the instruction with global
+    /// sequence `gseq` at cycle `now` (an older mispredicted branch is
+    /// still unresolved or its redirect penalty has not elapsed).
+    fn fetch_blocked(&mut self, core: usize, gseq: u64, now: u64) -> bool;
+
+    /// Reports `core`'s next unfetched global sequence number (or `None`
+    /// when its stream is exhausted). Environments that couple the cores'
+    /// frontends (the Fg-STP lookahead buffer) use this to bound fetch
+    /// skew; the default implementation ignores it.
+    fn note_fetch_cursor(&mut self, core: usize, next_gseq: Option<u64>) {
+        let _ = (core, next_gseq);
+    }
+
+    /// Records that a mispredicted control instruction was fetched; all
+    /// fetch beyond `gseq` blocks until it resolves.
+    fn block_fetch_after(&mut self, core: usize, gseq: u64);
+
+    /// Records that the mispredicted instruction `gseq` resolved; fetch
+    /// beyond it resumes at `resume` (resolution plus redirect penalty).
+    fn resolve_fetch_block(&mut self, core: usize, gseq: u64, resume: u64);
+
+    /// Records completion of `x` on `core` at `cycle` (delivers sends,
+    /// updates the global completion board).
+    fn on_complete(&mut self, core: usize, x: &ExecInst, cycle: u64);
+
+    /// Cycle at which the value produced by `producer` (on the other core)
+    /// is available to consumers on `core`, or `None` if not yet known.
+    fn cross_operand_ready(&mut self, core: usize, producer: u64) -> Option<u64>;
+
+    /// Cross-core memory-ordering constraint for load `x` on `core`, whose
+    /// operands have been ready since `ready_since`.
+    fn cross_load_gate(
+        &mut self,
+        core: usize,
+        x: &ExecInst,
+        ready_since: u64,
+        now: u64,
+    ) -> LoadGate;
+
+    /// Whether `x` may commit now (global program order across cores).
+    fn can_commit(&self, x: &ExecInst) -> bool;
+
+    /// Records the commit of `x` by `core` at `cycle`.
+    fn on_commit(&mut self, core: usize, x: &ExecInst, cycle: u64);
+}
+
+/// Branch-prediction state bundle used by environments.
+pub struct PredictorState {
+    dir: Box<dyn DirectionPredictor>,
+    btb: Btb,
+    ras: ReturnStack,
+    /// Conditional-branch predictions made.
+    pub branches: u64,
+    /// Conditional-branch mispredictions.
+    pub mispredicts: u64,
+}
+
+impl std::fmt::Debug for PredictorState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PredictorState")
+            .field("branches", &self.branches)
+            .field("mispredicts", &self.mispredicts)
+            .finish_non_exhaustive()
+    }
+}
+
+impl PredictorState {
+    /// Builds the predictor bundle described by `cfg`.
+    pub fn new(cfg: &CoreConfig) -> PredictorState {
+        PredictorState {
+            dir: cfg.predictor.build(),
+            btb: Btb::new(cfg.btb_bits),
+            ras: ReturnStack::new(cfg.ras_depth),
+            branches: 0,
+            mispredicts: 0,
+        }
+    }
+
+    /// Predicts and trains on the control instruction `x`.
+    pub fn predict(&mut self, x: &ExecInst) -> Prediction {
+        let pc = x.d.pc;
+        let actual_target = x.d.next_pc;
+        match x.class() {
+            InstClass::Branch => {
+                let taken = x.d.taken.expect("branch has outcome");
+                self.branches += 1;
+                let predicted = self.dir.predict(pc);
+                self.dir.update(pc, taken);
+                let mut btb_miss = false;
+                if predicted && taken {
+                    btb_miss = self.btb.lookup(pc) != Some(actual_target);
+                }
+                if taken {
+                    self.btb.update(pc, actual_target);
+                }
+                let mispredicted = predicted != taken;
+                if mispredicted {
+                    self.mispredicts += 1;
+                }
+                Prediction {
+                    mispredicted,
+                    btb_miss: !mispredicted && btb_miss,
+                }
+            }
+            InstClass::Jump => {
+                let op = x.d.inst.op;
+                let rd_is_link = x.d.inst.rd.index() == 1; // ra
+                let is_return =
+                    op == Op::Jalr && x.d.inst.rs1.index() == 1 && x.d.inst.rd.is_zero();
+                let predicted_target = if is_return {
+                    self.ras.pop()
+                } else if op == Op::Jalr {
+                    self.btb.lookup(pc)
+                } else {
+                    // Direct jump: target known from the BTB, or at decode.
+                    self.btb.lookup(pc)
+                };
+                if rd_is_link {
+                    self.ras.push(pc + 1);
+                }
+                self.btb.update(pc, actual_target);
+                match (op, predicted_target) {
+                    // An indirect jump to the wrong predicted target is a
+                    // full misprediction.
+                    (Op::Jalr, Some(t)) if t != actual_target => Prediction {
+                        mispredicted: true,
+                        btb_miss: false,
+                    },
+                    (Op::Jalr, None) => Prediction {
+                        mispredicted: true,
+                        btb_miss: false,
+                    },
+                    // A direct jump is never direction-mispredicted; an
+                    // unknown target just costs a decode bubble.
+                    (_, Some(t)) if t == actual_target => Prediction {
+                        mispredicted: false,
+                        btb_miss: false,
+                    },
+                    _ => Prediction {
+                        mispredicted: false,
+                        btb_miss: true,
+                    },
+                }
+            }
+            _ => Prediction {
+                mispredicted: false,
+                btb_miss: false,
+            },
+        }
+    }
+}
+
+/// Fetch gate shared by environments: pending mispredicted control
+/// instructions, each blocking fetch of anything younger.
+#[derive(Debug, Default)]
+pub struct FetchGate {
+    /// (gseq of the mispredicted instruction, cycle fetch may resume;
+    /// `u64::MAX` until resolved).
+    pending: Vec<(u64, u64)>,
+}
+
+impl FetchGate {
+    /// Whether fetching `gseq` is blocked at `now`.
+    pub fn blocked(&mut self, gseq: u64, now: u64) -> bool {
+        self.pending.retain(|&(_, resume)| resume > now);
+        self.pending.iter().any(|&(b, _)| b < gseq)
+    }
+
+    /// Blocks fetch beyond `gseq`.
+    pub fn block_after(&mut self, gseq: u64) {
+        self.pending.push((gseq, u64::MAX));
+    }
+
+    /// Resolves the block at `gseq`; fetch resumes at `resume`.
+    pub fn resolve(&mut self, gseq: u64, resume: u64) {
+        for p in &mut self.pending {
+            if p.0 == gseq {
+                p.1 = resume;
+            }
+        }
+    }
+}
+
+/// Environment for a conventional single core (also used for the fused
+/// Core Fusion core, which is a single wide clustered core).
+#[derive(Debug)]
+pub struct SingleEnv {
+    pred: PredictorState,
+    gate: FetchGate,
+    next_commit: u64,
+    committed: u64,
+}
+
+impl SingleEnv {
+    /// Creates the environment for one core described by `cfg`.
+    pub fn new(cfg: &CoreConfig) -> SingleEnv {
+        SingleEnv {
+            pred: PredictorState::new(cfg),
+            gate: FetchGate::default(),
+            next_commit: 0,
+            committed: 0,
+        }
+    }
+
+    /// Conditional branches predicted and mispredicted.
+    pub fn branch_stats(&self) -> (u64, u64) {
+        (self.pred.branches, self.pred.mispredicts)
+    }
+
+    /// Instructions committed.
+    pub fn committed(&self) -> u64 {
+        self.committed
+    }
+}
+
+impl ExecEnv for SingleEnv {
+    fn predict(&mut self, _core: usize, x: &ExecInst) -> Prediction {
+        self.pred.predict(x)
+    }
+
+    fn fetch_blocked(&mut self, _core: usize, gseq: u64, now: u64) -> bool {
+        self.gate.blocked(gseq, now)
+    }
+
+    fn block_fetch_after(&mut self, _core: usize, gseq: u64) {
+        self.gate.block_after(gseq);
+    }
+
+    fn resolve_fetch_block(&mut self, _core: usize, gseq: u64, resume: u64) {
+        self.gate.resolve(gseq, resume);
+    }
+
+    fn on_complete(&mut self, _core: usize, _x: &ExecInst, _cycle: u64) {}
+
+    fn cross_operand_ready(&mut self, _core: usize, producer: u64) -> Option<u64> {
+        unreachable!("single-core streams have no cross-core dependences (producer {producer})")
+    }
+
+    fn cross_load_gate(
+        &mut self,
+        _core: usize,
+        _x: &ExecInst,
+        _ready_since: u64,
+        _now: u64,
+    ) -> LoadGate {
+        LoadGate::Free
+    }
+
+    fn can_commit(&self, x: &ExecInst) -> bool {
+        x.gseq == self.next_commit
+    }
+
+    fn on_commit(&mut self, _core: usize, x: &ExecInst, _cycle: u64) {
+        debug_assert_eq!(x.gseq, self.next_commit);
+        self.next_commit += 1;
+        self.committed += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fgstp_isa::{assemble, trace_program};
+
+    use crate::stream::build_exec_stream;
+
+    fn exec_insts(src: &str) -> Vec<ExecInst> {
+        let p = assemble(src).unwrap();
+        let t = trace_program(&p, 10_000).unwrap();
+        build_exec_stream(t.insts())
+    }
+
+    #[test]
+    fn fetch_gate_blocks_only_younger() {
+        let mut g = FetchGate::default();
+        g.block_after(10);
+        assert!(!g.blocked(10, 0));
+        assert!(g.blocked(11, 0));
+        g.resolve(10, 100);
+        assert!(g.blocked(11, 99));
+        assert!(!g.blocked(11, 100));
+    }
+
+    #[test]
+    fn fetch_gate_tracks_multiple_blocks() {
+        let mut g = FetchGate::default();
+        g.block_after(5);
+        g.block_after(9);
+        g.resolve(9, 50);
+        assert!(g.blocked(7, 60), "older block at 5 still pending");
+        g.resolve(5, 80);
+        assert!(!g.blocked(7, 80));
+    }
+
+    #[test]
+    fn predictor_counts_branch_outcomes() {
+        let xs = exec_insts(
+            r#"
+                li x1, 5
+            loop:
+                addi x1, x1, -1
+                bne  x1, x0, loop
+                halt
+            "#,
+        );
+        let cfg = CoreConfig::small();
+        let mut env = SingleEnv::new(&cfg);
+        for x in &xs {
+            if x.class().is_control() {
+                env.predict(0, x);
+            }
+        }
+        let (branches, mispredicts) = env.branch_stats();
+        assert_eq!(branches, 5);
+        assert!(mispredicts <= branches);
+        assert!(
+            mispredicts >= 1,
+            "the final not-taken is mispredicted at least"
+        );
+    }
+
+    #[test]
+    fn return_stack_predicts_matched_call_return() {
+        let xs = exec_insts(
+            r#"
+                jal  ra, func       # 0: call
+                halt
+            func:
+                jalr x0, ra, 0      # return to 1
+            "#,
+        );
+        let cfg = CoreConfig::small();
+        let mut env = SingleEnv::new(&cfg);
+        // Call: direct jump, cold BTB -> decode bubble only.
+        let p0 = env.predict(0, &xs[0]);
+        assert!(!p0.mispredicted);
+        assert!(p0.btb_miss);
+        // Return: the RAS has the link address -> predicted correctly.
+        let p1 = env.predict(0, &xs[1]);
+        assert!(!p1.mispredicted, "return should be predicted by the RAS");
+    }
+
+    #[test]
+    fn commit_is_strictly_in_order() {
+        let xs = exec_insts("li x1, 1\nli x2, 2\nhalt");
+        let cfg = CoreConfig::small();
+        let mut env = SingleEnv::new(&cfg);
+        assert!(env.can_commit(&xs[0]));
+        assert!(!env.can_commit(&xs[1]));
+        env.on_commit(0, &xs[0], 1);
+        assert!(env.can_commit(&xs[1]));
+        assert_eq!(env.committed(), 1);
+    }
+}

@@ -1,0 +1,226 @@
+//! Functional-unit pools with per-cluster structural hazards.
+
+use fgstp_isa::InstClass;
+
+use crate::config::{ClusterConfig, FuLatencies};
+
+#[derive(Debug, Clone, Default)]
+struct PerCycleUse {
+    int_alu: usize,
+    int_mul: usize,
+    fp_add: usize,
+    fp_mul: usize,
+    mem_ports: usize,
+    branch: usize,
+}
+
+#[derive(Debug, Clone)]
+struct ClusterFu {
+    cfg: ClusterConfig,
+    cycle: u64,
+    used: PerCycleUse,
+    int_div_busy: Vec<u64>,
+    fp_div_busy: Vec<u64>,
+}
+
+impl ClusterFu {
+    fn roll(&mut self, now: u64) {
+        if self.cycle != now {
+            self.cycle = now;
+            self.used = PerCycleUse::default();
+        }
+    }
+}
+
+/// Tracks functional-unit availability for every cluster of a core.
+///
+/// Pipelined classes (ALU, multiplies, FP add, memory ports) are limited to
+/// their unit count per cycle; unpipelined dividers hold their unit busy
+/// for the whole operation.
+#[derive(Debug, Clone)]
+pub struct FuPool {
+    clusters: Vec<ClusterFu>,
+}
+
+impl FuPool {
+    /// Builds a pool for the given clusters.
+    pub fn new(clusters: &[ClusterConfig]) -> FuPool {
+        FuPool {
+            clusters: clusters
+                .iter()
+                .map(|&cfg| ClusterFu {
+                    cfg,
+                    cycle: u64::MAX,
+                    used: PerCycleUse::default(),
+                    int_div_busy: vec![0; cfg.fu.int_div],
+                    fp_div_busy: vec![0; cfg.fu.fp_div],
+                })
+                .collect(),
+        }
+    }
+
+    /// Attempts to claim a unit of `class` in `cluster` at cycle `now` for
+    /// an operation of the given latencies. Returns `false` (claiming
+    /// nothing) if no unit is free.
+    pub fn try_issue(
+        &mut self,
+        cluster: usize,
+        class: InstClass,
+        now: u64,
+        lat: &FuLatencies,
+    ) -> bool {
+        let c = &mut self.clusters[cluster];
+        c.roll(now);
+        match class {
+            InstClass::IntAlu | InstClass::Nop => {
+                if c.used.int_alu + c.used.branch < c.cfg.fu.int_alu {
+                    c.used.int_alu += 1;
+                    true
+                } else {
+                    false
+                }
+            }
+            InstClass::IntMul => {
+                if c.used.int_mul < c.cfg.fu.int_mul {
+                    c.used.int_mul += 1;
+                    true
+                } else {
+                    false
+                }
+            }
+            InstClass::FpAdd => {
+                if c.used.fp_add < c.cfg.fu.fp_add {
+                    c.used.fp_add += 1;
+                    true
+                } else {
+                    false
+                }
+            }
+            InstClass::FpMul => {
+                if c.used.fp_mul < c.cfg.fu.fp_mul {
+                    c.used.fp_mul += 1;
+                    true
+                } else {
+                    false
+                }
+            }
+            InstClass::Load | InstClass::Store => {
+                if c.used.mem_ports < c.cfg.fu.mem_ports {
+                    c.used.mem_ports += 1;
+                    true
+                } else {
+                    false
+                }
+            }
+            InstClass::Branch | InstClass::Jump => {
+                // Branches resolve on an ALU; share the ALU ports.
+                if c.used.branch + c.used.int_alu < c.cfg.fu.int_alu {
+                    c.used.branch += 1;
+                    true
+                } else {
+                    false
+                }
+            }
+            InstClass::IntDiv => Self::claim_unpipelined(&mut c.int_div_busy, now, lat.int_div),
+            InstClass::FpDiv => Self::claim_unpipelined(&mut c.fp_div_busy, now, lat.fp_div),
+        }
+    }
+
+    fn claim_unpipelined(busy: &mut [u64], now: u64, latency: u64) -> bool {
+        for b in busy.iter_mut() {
+            if *b <= now {
+                *b = now + latency;
+                return true;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{CoreConfig, FuCounts};
+
+    fn pool() -> (FuPool, FuLatencies) {
+        let cfg = CoreConfig::small();
+        (FuPool::new(&cfg.clusters), cfg.lat)
+    }
+
+    #[test]
+    fn pipelined_units_are_per_cycle_limits() {
+        let (mut p, lat) = pool();
+        assert!(p.try_issue(0, InstClass::IntAlu, 5, &lat));
+        assert!(p.try_issue(0, InstClass::IntAlu, 5, &lat));
+        assert!(!p.try_issue(0, InstClass::IntAlu, 5, &lat), "only two ALUs");
+        // A new cycle frees the ports.
+        assert!(p.try_issue(0, InstClass::IntAlu, 6, &lat));
+    }
+
+    #[test]
+    fn divider_is_unpipelined() {
+        let (mut p, lat) = pool();
+        assert!(p.try_issue(0, InstClass::IntDiv, 0, &lat));
+        assert!(!p.try_issue(0, InstClass::IntDiv, 1, &lat), "divider busy");
+        assert!(!p.try_issue(0, InstClass::IntDiv, lat.int_div - 1, &lat));
+        assert!(p.try_issue(0, InstClass::IntDiv, lat.int_div, &lat));
+    }
+
+    #[test]
+    fn multiplier_is_pipelined() {
+        let (mut p, lat) = pool();
+        assert!(p.try_issue(0, InstClass::IntMul, 0, &lat));
+        assert!(
+            p.try_issue(0, InstClass::IntMul, 1, &lat),
+            "pipelined: next cycle ok"
+        );
+    }
+
+    #[test]
+    fn branches_share_alu_ports() {
+        let (mut p, lat) = pool();
+        assert!(p.try_issue(0, InstClass::Branch, 3, &lat));
+        assert!(p.try_issue(0, InstClass::IntAlu, 3, &lat));
+        assert!(
+            !p.try_issue(0, InstClass::IntAlu, 3, &lat),
+            "branch took one ALU"
+        );
+    }
+
+    #[test]
+    fn clusters_are_independent() {
+        let clusters = vec![
+            ClusterConfig {
+                issue_width: 1,
+                fu: FuCounts {
+                    int_alu: 1,
+                    int_mul: 0,
+                    int_div: 0,
+                    fp_add: 0,
+                    fp_mul: 0,
+                    fp_div: 0,
+                    mem_ports: 0
+                },
+            };
+            2
+        ];
+        let mut p = FuPool::new(&clusters);
+        let lat = FuLatencies::default();
+        assert!(p.try_issue(0, InstClass::IntAlu, 0, &lat));
+        assert!(!p.try_issue(0, InstClass::IntAlu, 0, &lat));
+        assert!(
+            p.try_issue(1, InstClass::IntAlu, 0, &lat),
+            "other cluster free"
+        );
+    }
+
+    #[test]
+    fn mem_ports_gate_loads_and_stores_together() {
+        let (mut p, lat) = pool();
+        assert!(p.try_issue(0, InstClass::Load, 9, &lat));
+        assert!(
+            !p.try_issue(0, InstClass::Store, 9, &lat),
+            "one mem port on small"
+        );
+    }
+}

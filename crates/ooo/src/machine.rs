@@ -1,0 +1,273 @@
+//! Single-core machine driver (also runs the fused Core Fusion core).
+
+use fgstp_isa::DynInst;
+use fgstp_mem::{Hierarchy, HierarchyConfig, HierarchyStats};
+
+use crate::config::CoreConfig;
+use crate::core::{Core, CoreStats};
+use crate::env::SingleEnv;
+use crate::stream::build_exec_stream;
+
+/// Result of running a trace through a machine model.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Total cycles from first fetch to last commit.
+    pub cycles: u64,
+    /// Architectural instructions committed.
+    pub committed: u64,
+    /// Per-core pipeline statistics.
+    pub cores: Vec<CoreStats>,
+    /// (branches, mispredicts) across the machine.
+    pub branches: (u64, u64),
+    /// Memory-hierarchy statistics.
+    pub mem: HierarchyStats,
+}
+
+impl RunResult {
+    /// Committed instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.committed as f64 / self.cycles as f64
+        }
+    }
+
+    /// Speedup of this run over a baseline executing the same trace.
+    pub fn speedup_over(&self, baseline: &RunResult) -> f64 {
+        debug_assert_eq!(self.committed, baseline.committed, "same trace expected");
+        baseline.cycles as f64 / self.cycles.max(1) as f64
+    }
+}
+
+/// Upper bound on cycles per instruction before declaring a deadlock.
+const DEADLOCK_CPI: u64 = 2_000;
+
+/// Runs `trace` through a single core described by `cfg` (a conventional
+/// core, or a fused Core Fusion core when `cfg` has two clusters).
+///
+/// # Panics
+///
+/// Panics if the pipeline deadlocks (a model bug, not an input condition).
+pub fn run_single(trace: &[DynInst], cfg: &CoreConfig, hcfg: &HierarchyConfig) -> RunResult {
+    run_single_recorded(trace, cfg, hcfg, None).0
+}
+
+/// Like [`run_single`], but optionally records per-instruction pipeline
+/// events (see [`crate::PipeRecorder`]) and returns the recorder.
+///
+/// # Panics
+///
+/// Panics if the pipeline deadlocks (a model bug, not an input condition).
+pub fn run_single_recorded(
+    trace: &[DynInst],
+    cfg: &CoreConfig,
+    hcfg: &HierarchyConfig,
+    recorder: Option<crate::pipeview::PipeRecorder>,
+) -> (RunResult, Option<crate::pipeview::PipeRecorder>) {
+    let stream = build_exec_stream(trace);
+    let total = stream.len() as u64;
+    let mut core = Core::new(0, cfg.clone(), stream);
+    if let Some(r) = recorder {
+        core.set_recorder(r);
+    }
+    let mut env = SingleEnv::new(cfg);
+    let mut mem = Hierarchy::new(hcfg);
+    let cap = total * DEADLOCK_CPI + 100_000;
+    let mut now = 0u64;
+    while !core.done() {
+        core.cycle(now, &mut env, &mut mem);
+        now += 1;
+        assert!(
+            now < cap,
+            "single-core pipeline deadlocked at cycle {now}: {}",
+            core.pipeline_snapshot()
+        );
+    }
+    let result = RunResult {
+        cycles: now,
+        committed: env.committed(),
+        cores: vec![*core.stats()],
+        branches: env.branch_stats(),
+        mem: mem.stats(),
+    };
+    (result, core.take_recorder())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fgstp_isa::{assemble, trace_program};
+
+    fn trace(src: &str) -> fgstp_isa::Trace {
+        let p = assemble(src).unwrap();
+        trace_program(&p, 200_000).unwrap()
+    }
+
+    /// A small loop kernel with a mix of ALU, memory and branches.
+    fn kernel() -> fgstp_isa::Trace {
+        trace(
+            r#"
+                li x1, 0x1000    # base
+                li x2, 1600      # n * 8 bytes
+                li x3, 0         # i
+                li x4, 0         # sum
+            loop:
+                sll  x5, x3, x6
+                add  x5, x1, x3
+                sd   x3, 0(x5)
+                ld   x6, 0(x5)
+                add  x4, x4, x6
+                addi x3, x3, 8
+                slt  x7, x3, x2
+                bne  x7, x0, loop
+                halt
+            "#,
+        )
+    }
+
+    #[test]
+    fn ipc_is_positive_and_bounded() {
+        let t = kernel();
+        let r = run_single(t.insts(), &CoreConfig::small(), &HierarchyConfig::small(1));
+        assert_eq!(r.committed, t.len() as u64);
+        assert!(r.ipc() > 0.1, "ipc {}", r.ipc());
+        assert!(
+            r.ipc() <= 2.0,
+            "small core cannot exceed its width, ipc {}",
+            r.ipc()
+        );
+    }
+
+    #[test]
+    fn medium_core_beats_small_core() {
+        let t = kernel();
+        let small = run_single(t.insts(), &CoreConfig::small(), &HierarchyConfig::small(1));
+        let medium = run_single(
+            t.insts(),
+            &CoreConfig::medium(),
+            &HierarchyConfig::medium(1),
+        );
+        assert!(
+            medium.cycles <= small.cycles,
+            "medium ({}) should not be slower than small ({})",
+            medium.cycles,
+            small.cycles
+        );
+    }
+
+    #[test]
+    fn fused_core_beats_single_small_core_on_ilp() {
+        // Independent operations in each iteration: lots of ILP.
+        let t = trace(
+            r#"
+                li x2, 300
+            loop:
+                addi x3, x3, 1
+                addi x4, x4, 2
+                addi x5, x5, 3
+                addi x6, x6, 4
+                addi x7, x7, 5
+                addi x8, x8, 6
+                addi x2, x2, -1
+                bne  x2, x0, loop
+                halt
+            "#,
+        );
+        let small = run_single(t.insts(), &CoreConfig::small(), &HierarchyConfig::small(1));
+        let fused = run_single(
+            t.insts(),
+            &CoreConfig::fused(&CoreConfig::small()),
+            &HierarchyConfig::small(1),
+        );
+        assert!(
+            fused.cycles < small.cycles,
+            "fusion should win on ILP: fused {} vs small {}",
+            fused.cycles,
+            small.cycles
+        );
+    }
+
+    #[test]
+    fn branch_stats_are_reported() {
+        let t = kernel();
+        let r = run_single(t.insts(), &CoreConfig::small(), &HierarchyConfig::small(1));
+        let (branches, mispredicts) = r.branches;
+        assert_eq!(branches, 200);
+        assert!(mispredicts < branches / 2, "loop branch is predictable");
+    }
+
+    #[test]
+    fn mem_stats_are_reported() {
+        let t = kernel();
+        let r = run_single(t.insts(), &CoreConfig::small(), &HierarchyConfig::small(1));
+        // Loads in this kernel forward from the same-iteration store, so
+        // only the 200 committed stores reach the L1D.
+        assert!(
+            r.mem.l1d[0].accesses >= 200,
+            "got {}",
+            r.mem.l1d[0].accesses
+        );
+        assert!(
+            r.cores[0].store_forwards >= 190,
+            "got {}",
+            r.cores[0].store_forwards
+        );
+    }
+
+    #[test]
+    fn speedup_over_is_a_ratio_of_cycles() {
+        let t = kernel();
+        let a = run_single(t.insts(), &CoreConfig::small(), &HierarchyConfig::small(1));
+        let b = run_single(
+            t.insts(),
+            &CoreConfig::medium(),
+            &HierarchyConfig::medium(1),
+        );
+        let s = b.speedup_over(&a);
+        assert!((s - a.cycles as f64 / b.cycles as f64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_trace_finishes_immediately() {
+        let r = run_single(&[], &CoreConfig::small(), &HierarchyConfig::small(1));
+        assert_eq!(r.committed, 0);
+        assert_eq!(r.cycles, 0);
+    }
+
+    #[test]
+    fn recorded_run_captures_every_stage_in_order() {
+        let t = kernel();
+        let (r, rec) = run_single_recorded(
+            t.insts(),
+            &CoreConfig::small(),
+            &HierarchyConfig::small(1),
+            Some(crate::pipeview::PipeRecorder::new()),
+        );
+        let rec = rec.expect("recorder returned");
+        assert_eq!(rec.len() as u64, r.committed, "every instruction recorded");
+        for (gseq, _, ev) in rec.iter() {
+            assert!(ev.is_ordered(), "stages out of order for {gseq}: {ev:?}");
+            for stage in crate::pipeview::Stage::ALL {
+                assert!(ev.at(stage).is_some(), "{gseq} missing {stage:?}");
+            }
+            // Commit never exceeds the run length.
+            assert!(ev.commit.unwrap() <= r.cycles);
+        }
+        // The rendered view of the first instructions is non-trivial.
+        let view = rec.render(0, 8);
+        assert!(view.lines().count() >= 9, "{view}");
+    }
+
+    #[test]
+    fn unrecorded_run_returns_no_recorder() {
+        let t = kernel();
+        let (_, rec) = run_single_recorded(
+            t.insts(),
+            &CoreConfig::small(),
+            &HierarchyConfig::small(1),
+            None,
+        );
+        assert!(rec.is_none());
+    }
+}

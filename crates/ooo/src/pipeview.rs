@@ -1,0 +1,277 @@
+//! Per-instruction pipeline event recording and a text "pipeview".
+//!
+//! When a [`PipeRecorder`] is attached to a run, every instruction's
+//! fetch / dispatch / issue / complete / commit cycles are captured. The
+//! recorder renders a gem5-O3-style timeline for inspection, and exposes
+//! the raw events for programmatic assertions (several integration tests
+//! pin stage-ordering invariants through it).
+
+use std::collections::HashMap;
+
+use fgstp_isa::Inst;
+
+/// The pipeline stages recorded per instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// Instruction entered the pipeline from the fetch stream.
+    Fetch,
+    /// Instruction was renamed and entered the ROB/IQ.
+    Dispatch,
+    /// Instruction was selected and began execution.
+    Issue,
+    /// Result became available.
+    Complete,
+    /// Instruction retired.
+    Commit,
+}
+
+impl Stage {
+    /// All stages in pipeline order.
+    pub const ALL: [Stage; 5] = [
+        Stage::Fetch,
+        Stage::Dispatch,
+        Stage::Issue,
+        Stage::Complete,
+        Stage::Commit,
+    ];
+
+    /// Single-character marker used by the timeline renderer.
+    pub fn marker(self) -> char {
+        match self {
+            Stage::Fetch => 'f',
+            Stage::Dispatch => 'd',
+            Stage::Issue => 'i',
+            Stage::Complete => 'c',
+            Stage::Commit => 'r',
+        }
+    }
+}
+
+/// Recorded events for one dynamic instruction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InstEvents {
+    /// Cycle per stage (`None` if not recorded).
+    pub fetch: Option<u64>,
+    /// See [`InstEvents::fetch`].
+    pub dispatch: Option<u64>,
+    /// See [`InstEvents::fetch`].
+    pub issue: Option<u64>,
+    /// See [`InstEvents::fetch`].
+    pub complete: Option<u64>,
+    /// See [`InstEvents::fetch`].
+    pub commit: Option<u64>,
+}
+
+impl InstEvents {
+    /// Cycle of `stage`, if recorded.
+    pub fn at(&self, stage: Stage) -> Option<u64> {
+        match stage {
+            Stage::Fetch => self.fetch,
+            Stage::Dispatch => self.dispatch,
+            Stage::Issue => self.issue,
+            Stage::Complete => self.complete,
+            Stage::Commit => self.commit,
+        }
+    }
+
+    fn set(&mut self, stage: Stage, cycle: u64) {
+        let slot = match stage {
+            Stage::Fetch => &mut self.fetch,
+            Stage::Dispatch => &mut self.dispatch,
+            Stage::Issue => &mut self.issue,
+            Stage::Complete => &mut self.complete,
+            Stage::Commit => &mut self.commit,
+        };
+        *slot = Some(cycle);
+    }
+
+    /// Whether the recorded cycles are monotonically non-decreasing in
+    /// pipeline order (ignoring unrecorded stages).
+    pub fn is_ordered(&self) -> bool {
+        let mut last = 0u64;
+        for stage in Stage::ALL {
+            if let Some(c) = self.at(stage) {
+                if c < last {
+                    return false;
+                }
+                last = c;
+            }
+        }
+        true
+    }
+}
+
+/// Records pipeline events for the instructions of one run.
+///
+/// Attach with [`crate::Core::set_recorder`]; retrieve with
+/// [`crate::Core::take_recorder`].
+#[derive(Debug, Default)]
+pub struct PipeRecorder {
+    events: HashMap<u64, (Inst, InstEvents)>,
+    /// Record only instructions with `gseq < limit` (0 = record all).
+    limit: u64,
+}
+
+impl PipeRecorder {
+    /// Records every instruction.
+    pub fn new() -> PipeRecorder {
+        PipeRecorder::default()
+    }
+
+    /// Records only the first `limit` instructions (by global sequence),
+    /// bounding memory for long runs.
+    pub fn with_limit(limit: u64) -> PipeRecorder {
+        PipeRecorder {
+            events: HashMap::new(),
+            limit,
+        }
+    }
+
+    /// Records `stage` of instruction `gseq` at `cycle`.
+    pub fn record(&mut self, gseq: u64, inst: Inst, stage: Stage, cycle: u64) {
+        if self.limit != 0 && gseq >= self.limit {
+            return;
+        }
+        self.events
+            .entry(gseq)
+            .or_insert((inst, InstEvents::default()))
+            .1
+            .set(stage, cycle);
+    }
+
+    /// Events of instruction `gseq`, if recorded.
+    pub fn events(&self, gseq: u64) -> Option<&InstEvents> {
+        self.events.get(&gseq).map(|(_, e)| e)
+    }
+
+    /// Number of instructions with any recorded event.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Iterates `(gseq, inst, events)` in program order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &Inst, &InstEvents)> {
+        let mut keys: Vec<u64> = self.events.keys().copied().collect();
+        keys.sort_unstable();
+        keys.into_iter().map(move |k| {
+            let (inst, ev) = &self.events[&k];
+            (k, inst, ev)
+        })
+    }
+
+    /// Renders a text timeline of instructions `from..to` (gem5-O3
+    /// pipeview style): one row per instruction, one column per cycle,
+    /// markers `f d i c r` for the stages.
+    pub fn render(&self, from: u64, to: u64) -> String {
+        let rows: Vec<(u64, &Inst, &InstEvents)> = self
+            .iter()
+            .filter(|(g, _, _)| (from..to).contains(g))
+            .collect();
+        let Some(min_cycle) = rows
+            .iter()
+            .flat_map(|(_, _, e)| Stage::ALL.iter().filter_map(|&s| e.at(s)))
+            .min()
+        else {
+            return String::from("(no events recorded in range)\n");
+        };
+        let max_cycle = rows
+            .iter()
+            .flat_map(|(_, _, e)| Stage::ALL.iter().filter_map(|&s| e.at(s)))
+            .max()
+            .expect("min implies max");
+        let span = (max_cycle - min_cycle + 1) as usize;
+        let mut out = String::new();
+        out.push_str(&format!("cycles {min_cycle}..={max_cycle}\n"));
+        for (gseq, inst, ev) in rows {
+            let mut lane = vec!['.'; span];
+            for stage in Stage::ALL {
+                if let Some(c) = ev.at(stage) {
+                    let idx = (c - min_cycle) as usize;
+                    lane[idx] = if lane[idx] == '.' {
+                        stage.marker()
+                    } else {
+                        '*' // multiple stages in one cycle
+                    };
+                }
+            }
+            let lane: String = lane.into_iter().collect();
+            out.push_str(&format!("[{gseq:>6}] {lane}  {inst}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fgstp_isa::{Op, Reg};
+
+    fn inst() -> Inst {
+        Inst::rri(Op::Addi, Reg::int(1), Reg::int(1), 1)
+    }
+
+    #[test]
+    fn events_record_and_order() {
+        let mut r = PipeRecorder::new();
+        r.record(0, inst(), Stage::Fetch, 1);
+        r.record(0, inst(), Stage::Dispatch, 4);
+        r.record(0, inst(), Stage::Issue, 5);
+        r.record(0, inst(), Stage::Complete, 6);
+        r.record(0, inst(), Stage::Commit, 7);
+        let e = r.events(0).unwrap();
+        assert!(e.is_ordered());
+        assert_eq!(e.at(Stage::Issue), Some(5));
+    }
+
+    #[test]
+    fn out_of_order_cycles_are_detected() {
+        let mut e = InstEvents::default();
+        e.set(Stage::Fetch, 10);
+        e.set(Stage::Commit, 5);
+        assert!(!e.is_ordered());
+    }
+
+    #[test]
+    fn limit_bounds_recording() {
+        let mut r = PipeRecorder::with_limit(2);
+        for g in 0..10 {
+            r.record(g, inst(), Stage::Fetch, g);
+        }
+        assert_eq!(r.len(), 2);
+        assert!(r.events(5).is_none());
+    }
+
+    #[test]
+    fn render_shows_markers_in_columns() {
+        let mut r = PipeRecorder::new();
+        r.record(0, inst(), Stage::Fetch, 0);
+        r.record(0, inst(), Stage::Commit, 4);
+        r.record(1, inst(), Stage::Fetch, 1);
+        let view = r.render(0, 2);
+        let lines: Vec<&str> = view.lines().collect();
+        assert!(lines[0].contains("0..=4"));
+        assert!(lines[1].contains("f...r"), "{view}");
+        assert!(lines[2].contains(".f..."), "{view}");
+    }
+
+    #[test]
+    fn render_of_empty_range_is_graceful() {
+        let r = PipeRecorder::new();
+        assert!(r.render(0, 10).contains("no events"));
+    }
+
+    #[test]
+    fn iter_is_in_program_order() {
+        let mut r = PipeRecorder::new();
+        for g in [5u64, 1, 3] {
+            r.record(g, inst(), Stage::Fetch, g);
+        }
+        let order: Vec<u64> = r.iter().map(|(g, _, _)| g).collect();
+        assert_eq!(order, vec![1, 3, 5]);
+    }
+}

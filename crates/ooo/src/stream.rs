@@ -1,0 +1,269 @@
+//! Execution stream: dynamic instructions annotated with their exact
+//! register and memory dependences.
+//!
+//! Trace-driven timing models know the committed path up front, so true
+//! dependences can be computed exactly once and reused by every machine.
+//! The Fg-STP partitioner later rewrites the `core`/`cross` annotations.
+
+use std::collections::HashMap;
+
+use fgstp_isa::{DynInst, InstClass};
+
+/// A register dependence on an older dynamic instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SrcDep {
+    /// Global sequence number of the producing instruction.
+    pub producer: u64,
+    /// Whether the producer executes on the other core (set by the
+    /// partitioner; always `false` in single-core streams).
+    pub cross: bool,
+}
+
+/// A memory dependence of a load on the youngest older store that wrote
+/// any byte the load reads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemDep {
+    /// Global sequence number of the conflicting store.
+    pub store: u64,
+    /// Whether the store's bytes fully cover the load (store-to-load
+    /// forwarding is possible).
+    pub forwardable: bool,
+    /// Whether the store executes on the other core (set by the
+    /// partitioner).
+    pub cross: bool,
+}
+
+/// One dynamic instruction, annotated for the timing models.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExecInst {
+    /// The committed dynamic instruction.
+    pub d: DynInst,
+    /// Global sequence number (equals `d.seq`).
+    pub gseq: u64,
+    /// Register dependences (up to two sources).
+    pub deps: [Option<SrcDep>; 2],
+    /// Memory dependence, for loads that conflict with an older store.
+    pub mem_dep: Option<MemDep>,
+    /// Core this instruction is assigned to (0 in single-core machines).
+    pub core: usize,
+    /// Whether this is the replicated shadow copy of an instruction
+    /// assigned to the other core (Fg-STP replication).
+    pub replica: bool,
+    /// Whether the produced value must be sent to the other core.
+    pub sends: bool,
+}
+
+impl ExecInst {
+    /// Behaviour class of the instruction.
+    pub fn class(&self) -> InstClass {
+        self.d.class()
+    }
+
+    /// Whether the instruction is a load.
+    pub fn is_load(&self) -> bool {
+        self.class() == InstClass::Load
+    }
+
+    /// Whether the instruction is a store.
+    pub fn is_store(&self) -> bool {
+        self.class() == InstClass::Store
+    }
+
+    /// Start address and width of the memory access, if any.
+    pub fn mem_range(&self) -> Option<(u64, u8)> {
+        let addr = self.d.addr?;
+        let width = self.d.inst.op.mem_width()?;
+        Some((addr, width))
+    }
+}
+
+/// Annotates a committed-path trace with exact register and memory
+/// dependences, producing the stream every timing model consumes.
+///
+/// Register dependences resolve to the youngest older writer of each source
+/// register. Memory dependences resolve to the youngest older store that
+/// wrote any byte the load reads, with an exact-coverage flag for
+/// store-to-load forwarding.
+pub fn build_exec_stream(trace: &[DynInst]) -> Vec<ExecInst> {
+    let mut last_writer: [Option<u64>; 64] = [None; 64];
+    let mut last_store_per_byte: HashMap<u64, u64> = HashMap::new();
+    let mut store_ranges: HashMap<u64, (u64, u8)> = HashMap::new();
+    let mut out = Vec::with_capacity(trace.len());
+
+    for (idx, d) in trace.iter().enumerate() {
+        // Sequence numbers are positions within *this* stream, so the
+        // machines can also run slices of a trace (sampling controllers,
+        // interval simulation).
+        let gseq = idx as u64;
+        let mut deps = [None, None];
+        for (i, src) in d.inst.sources().enumerate() {
+            deps[i] = last_writer[src.index()].map(|producer| SrcDep {
+                producer,
+                cross: false,
+            });
+        }
+
+        let mut mem_dep = None;
+        if d.class() == InstClass::Load {
+            if let (Some(addr), Some(width)) = (d.addr, d.inst.op.mem_width()) {
+                let mut youngest: Option<u64> = None;
+                for b in 0..u64::from(width) {
+                    if let Some(&s) = last_store_per_byte.get(&addr.wrapping_add(b)) {
+                        youngest = Some(youngest.map_or(s, |y: u64| y.max(s)));
+                    }
+                }
+                if let Some(store) = youngest {
+                    let (saddr, swidth) = store_ranges[&store];
+                    let forwardable =
+                        saddr <= addr && saddr + u64::from(swidth) >= addr + u64::from(width);
+                    mem_dep = Some(MemDep {
+                        store,
+                        forwardable,
+                        cross: false,
+                    });
+                }
+            }
+        }
+
+        out.push(ExecInst {
+            d: *d,
+            gseq,
+            deps,
+            mem_dep,
+            core: 0,
+            replica: false,
+            sends: false,
+        });
+
+        if let Some(rd) = d.inst.dest() {
+            last_writer[rd.index()] = Some(gseq);
+        }
+        if d.class() == InstClass::Store {
+            if let (Some(addr), Some(width)) = (d.addr, d.inst.op.mem_width()) {
+                for b in 0..u64::from(width) {
+                    last_store_per_byte.insert(addr.wrapping_add(b), gseq);
+                }
+                store_ranges.insert(gseq, (addr, width));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fgstp_isa::{assemble, trace_program};
+
+    fn stream(src: &str) -> Vec<ExecInst> {
+        let p = assemble(src).unwrap();
+        let t = trace_program(&p, 10_000).unwrap();
+        build_exec_stream(t.insts())
+    }
+
+    #[test]
+    fn register_deps_point_to_youngest_writer() {
+        let s = stream(
+            r#"
+                li  x1, 1       # 0
+                li  x1, 2       # 1
+                add x2, x1, x1  # 2: both deps on seq 1
+                halt
+            "#,
+        );
+        assert_eq!(
+            s[2].deps[0],
+            Some(SrcDep {
+                producer: 1,
+                cross: false
+            })
+        );
+        assert_eq!(
+            s[2].deps[1],
+            Some(SrcDep {
+                producer: 1,
+                cross: false
+            })
+        );
+    }
+
+    #[test]
+    fn zero_register_never_creates_deps() {
+        let s = stream("li x1, 3\nadd x2, x0, x0\nhalt");
+        assert_eq!(s[1].deps, [None, None]);
+    }
+
+    #[test]
+    fn unwritten_registers_have_no_dep() {
+        let s = stream("add x2, x5, x6\nhalt");
+        assert_eq!(s[0].deps, [None, None]);
+    }
+
+    #[test]
+    fn load_depends_on_exact_covering_store() {
+        let s = stream(
+            r#"
+                li x1, 0x100    # 0
+                li x2, 7        # 1
+                sd x2, 0(x1)    # 2
+                ld x3, 0(x1)    # 3
+                halt
+            "#,
+        );
+        let md = s[3].mem_dep.unwrap();
+        assert_eq!(md.store, 2);
+        assert!(md.forwardable);
+    }
+
+    #[test]
+    fn partial_overlap_is_not_forwardable() {
+        let s = stream(
+            r#"
+                li x1, 0x100
+                li x2, 7
+                sb x2, 0(x1)    # 2: writes one byte
+                ld x3, 0(x1)    # 3: reads eight bytes
+                halt
+            "#,
+        );
+        let md = s[3].mem_dep.unwrap();
+        assert_eq!(md.store, 2);
+        assert!(!md.forwardable, "store covers only part of the load");
+    }
+
+    #[test]
+    fn disjoint_store_creates_no_mem_dep() {
+        let s = stream(
+            r#"
+                li x1, 0x100
+                li x2, 7
+                sd x2, 64(x1)
+                ld x3, 0(x1)
+                halt
+            "#,
+        );
+        assert!(s[3].mem_dep.is_none());
+    }
+
+    #[test]
+    fn youngest_of_multiple_stores_wins() {
+        let s = stream(
+            r#"
+                li x1, 0x100
+                li x2, 1
+                sd x2, 0(x1)    # 2
+                sd x2, 0(x1)    # 3
+                ld x3, 0(x1)    # 4
+                halt
+            "#,
+        );
+        assert_eq!(s[4].mem_dep.unwrap().store, 3);
+    }
+
+    #[test]
+    fn mem_range_reports_addr_and_width() {
+        let s = stream("li x1, 0x40\nlw x2, 4(x1)\nhalt");
+        assert_eq!(s[1].mem_range(), Some((0x44, 4)));
+        assert_eq!(s[0].mem_range(), None);
+    }
+}

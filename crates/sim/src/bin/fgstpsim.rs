@@ -1,0 +1,19 @@
+//! `fgstpsim` — command-line driver for the Fg-STP reproduction.
+//!
+//! ```sh
+//! fgstpsim list
+//! fgstpsim run mcf_pointer fgstp-small test
+//! fgstpsim compare hmmer_dp
+//! fgstpsim pipeview perl_hash 0..24
+//! ```
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match fgstp_sim::cli::dispatch(&args) {
+        Ok(out) => print!("{out}"),
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    }
+}

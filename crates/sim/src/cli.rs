@@ -1,0 +1,302 @@
+//! Command-line driver logic (the `fgstpsim` binary is a thin wrapper).
+//!
+//! Subcommands:
+//!
+//! * `list` — the workload suite;
+//! * `run <workload> [machine] [scale]` — one run with full statistics;
+//! * `compare <workload> [scale]` — all six machines side by side;
+//! * `pipeview <workload> [first..last]` — render the pipeline timeline of
+//!   a range of instructions on the small core.
+//!
+//! All functions return the output as a `String` so the logic is testable
+//! without capturing stdout.
+
+use std::fmt::Write as _;
+
+use fgstp_ooo::{run_single_recorded, PipeRecorder};
+use fgstp_workloads::{by_name, suite, Scale};
+
+use crate::presets::MachineKind;
+use crate::report::Table;
+use crate::runner::{run_on, trace_workload};
+
+/// Error for unknown CLI inputs, carrying a usage hint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn parse_scale(s: Option<&str>) -> Result<Scale, CliError> {
+    match s {
+        None | Some("test") => Ok(Scale::Test),
+        Some("small") => Ok(Scale::Small),
+        Some("reference") => Ok(Scale::Reference),
+        Some(other) => Err(CliError(format!(
+            "unknown scale `{other}` (test|small|reference)"
+        ))),
+    }
+}
+
+fn parse_machine(s: Option<&str>) -> Result<MachineKind, CliError> {
+    let Some(s) = s else {
+        return Ok(MachineKind::FgstpSmall);
+    };
+    MachineKind::ALL
+        .into_iter()
+        .find(|k| k.label() == s)
+        .ok_or_else(|| {
+            let labels: Vec<&str> = MachineKind::ALL.iter().map(|k| k.label()).collect();
+            CliError(format!(
+                "unknown machine `{s}` (one of: {})",
+                labels.join(", ")
+            ))
+        })
+}
+
+fn find_workload(name: &str, scale: Scale) -> Result<fgstp_workloads::Workload, CliError> {
+    by_name(name, scale).ok_or_else(|| {
+        let names: Vec<&str> = suite(Scale::Test).iter().map(|w| w.name).collect();
+        CliError(format!(
+            "unknown workload `{name}` (one of: {})",
+            names.join(", ")
+        ))
+    })
+}
+
+/// `list`: one line per workload.
+pub fn list() -> String {
+    let mut t = Table::new(["name", "models", "class", "description"]);
+    for w in suite(Scale::Test) {
+        t.row([w.name, w.models, &w.suite.to_string(), w.description]);
+    }
+    t.to_string()
+}
+
+/// `run <workload> [machine] [scale]`. A scale word in the machine
+/// position is accepted too (`run hmmer_dp test`), since users naturally
+/// drop the machine.
+pub fn run(workload: &str, machine: Option<&str>, scale: Option<&str>) -> Result<String, CliError> {
+    let (machine, scale) = match (machine, scale) {
+        (Some(m), None) if parse_machine(Some(m)).is_err() && parse_scale(Some(m)).is_ok() => {
+            (None, Some(m))
+        }
+        other => other,
+    };
+    let scale = parse_scale(scale)?;
+    let kind = parse_machine(machine)?;
+    let w = find_workload(workload, scale)?;
+    let trace = trace_workload(&w, scale);
+    let r = run_on(kind, trace.insts());
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "workload:  {} ({} dynamic instructions)",
+        w.name,
+        trace.len()
+    );
+    let _ = writeln!(out, "machine:   {kind}");
+    let _ = writeln!(out, "cycles:    {}", r.result.cycles);
+    let _ = writeln!(out, "ipc:       {:.3}", r.ipc());
+    let (branches, mispredicts) = r.result.branches;
+    let _ = writeln!(out, "branches:  {branches} ({mispredicts} mispredicted)");
+    for (i, c) in r.result.cores.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "core {i}:    fetched {} issued {} committed {} (+{} replicas), {} fwd, {} viol",
+            c.fetched,
+            c.issued,
+            c.committed,
+            c.replica_committed,
+            c.store_forwards,
+            c.load_violations + c.cross_violations,
+        );
+    }
+    for (i, l1d) in r.result.mem.l1d.iter().enumerate() {
+        let _ = writeln!(out, "l1d {i}:     {l1d}");
+    }
+    let _ = writeln!(out, "l2:        {}", r.result.mem.l2);
+    if let Some(s) = &r.fgstp {
+        let _ = writeln!(
+            out,
+            "partition: {}/{} insts, {} replicated, {} comms ({:.2}/100 insts)",
+            s.partition.insts[0],
+            s.partition.insts[1],
+            s.partition.replicated,
+            s.partition.cross_reg_deps,
+            100.0 * s.partition.comms_per_inst(),
+        );
+    }
+    Ok(out)
+}
+
+/// `compare <workload> [scale]`: all machines side by side.
+pub fn compare(workload: &str, scale: Option<&str>) -> Result<String, CliError> {
+    let scale = parse_scale(scale)?;
+    let w = find_workload(workload, scale)?;
+    let trace = trace_workload(&w, scale);
+    let base = run_on(MachineKind::SingleSmall, trace.insts());
+    let mut t = Table::new(["machine", "cycles", "ipc", "vs single-small"]);
+    for kind in MachineKind::ALL {
+        let r = run_on(kind, trace.insts());
+        t.row([
+            kind.label().to_owned(),
+            r.result.cycles.to_string(),
+            format!("{:.3}", r.ipc()),
+            format!("{:.3}x", r.result.speedup_over(&base.result)),
+        ]);
+    }
+    Ok(format!("{} ({} instructions)\n{t}", w.name, trace.len()))
+}
+
+/// `pipeview <workload> [first..last]`: timeline on the small core.
+pub fn pipeview(workload: &str, range: Option<&str>) -> Result<String, CliError> {
+    let (from, to) = parse_range(range)?;
+    let w = find_workload(workload, Scale::Test)?;
+    let trace = trace_workload(&w, Scale::Test);
+    let (_, rec) = run_single_recorded(
+        trace.insts(),
+        &fgstp_ooo::CoreConfig::small(),
+        &fgstp_mem::HierarchyConfig::small(1),
+        Some(PipeRecorder::with_limit(to)),
+    );
+    Ok(rec.expect("recorder attached").render(from, to))
+}
+
+/// `pipeview2 <workload> [first..last]`: side-by-side two-core timeline of
+/// the Fg-STP machine, showing the partitioned execution (replica rows
+/// appear on both cores).
+pub fn pipeview2(workload: &str, range: Option<&str>) -> Result<String, CliError> {
+    let (from, to) = parse_range(range)?;
+    let w = find_workload(workload, Scale::Test)?;
+    let trace = trace_workload(&w, Scale::Test);
+    let (_, stats, recs) = fgstp::run_fgstp_recorded(
+        trace.insts(),
+        &fgstp::FgstpConfig::small(),
+        &fgstp_mem::HierarchyConfig::small(2),
+        Some([PipeRecorder::with_limit(to), PipeRecorder::with_limit(to)]),
+    );
+    let [r0, r1] = recs.expect("recorders attached");
+    Ok(format!(
+        "partition: {}/{} instructions, {} replicated, {} communications\n\n--- core 0 ---\n{}\n--- core 1 ---\n{}",
+        stats.partition.insts[0],
+        stats.partition.insts[1],
+        stats.partition.replicated,
+        stats.partition.cross_reg_deps,
+        r0.render(from, to),
+        r1.render(from, to),
+    ))
+}
+
+fn parse_range(range: Option<&str>) -> Result<(u64, u64), CliError> {
+    match range {
+        None => Ok((0, 32)),
+        Some(r) => {
+            let (a, b) = r
+                .split_once("..")
+                .ok_or_else(|| CliError(format!("malformed range `{r}` (want first..last)")))?;
+            let a = a
+                .parse()
+                .map_err(|_| CliError(format!("bad range start `{a}`")))?;
+            let b = b
+                .parse()
+                .map_err(|_| CliError(format!("bad range end `{b}`")))?;
+            if a >= b {
+                return Err(CliError(format!("empty range `{r}`")));
+            }
+            Ok((a, b))
+        }
+    }
+}
+
+/// Dispatches a full argument vector (excluding argv\[0\]).
+pub fn dispatch(args: &[String]) -> Result<String, CliError> {
+    let strs: Vec<&str> = args.iter().map(String::as_str).collect();
+    match strs.as_slice() {
+        ["list"] => Ok(list()),
+        ["run", w, rest @ ..] => run(w, rest.first().copied(), rest.get(1).copied()),
+        ["compare", w, rest @ ..] => compare(w, rest.first().copied()),
+        ["pipeview", w, rest @ ..] => pipeview(w, rest.first().copied()),
+        ["pipeview2", w, rest @ ..] => pipeview2(w, rest.first().copied()),
+        _ => Err(CliError(
+            "usage: fgstpsim <list | run <workload> [machine] [scale] | compare <workload> [scale] | pipeview <workload> [first..last] | pipeview2 <workload> [first..last]>"
+                .to_owned(),
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn list_names_every_workload() {
+        let out = list();
+        for w in suite(Scale::Test) {
+            assert!(out.contains(w.name), "{}", w.name);
+        }
+    }
+
+    #[test]
+    fn run_prints_core_stats() {
+        let out = run("perl_hash", Some("fgstp-small"), Some("test")).unwrap();
+        assert!(out.contains("core 0:"));
+        assert!(out.contains("core 1:"));
+        assert!(out.contains("partition:"));
+    }
+
+    #[test]
+    fn run_rejects_unknown_inputs() {
+        assert!(run("nope", None, None).is_err());
+        assert!(run("perl_hash", Some("nope"), None).is_err());
+        assert!(run("perl_hash", None, Some("nope")).is_err());
+    }
+
+    #[test]
+    fn run_accepts_scale_in_the_machine_position() {
+        // `fgstpsim run <workload> test` — users naturally drop the machine.
+        let out = run("perl_hash", Some("test"), None).unwrap();
+        assert!(out.contains("fgstp-small"), "default machine used: {out}");
+    }
+
+    #[test]
+    fn compare_lists_all_machines() {
+        let out = compare("hmmer_dp", Some("test")).unwrap();
+        for k in MachineKind::ALL {
+            assert!(out.contains(k.label()), "{}", k.label());
+        }
+    }
+
+    #[test]
+    fn pipeview_renders_a_timeline() {
+        let out = pipeview("perl_hash", Some("0..8")).unwrap();
+        assert!(out.contains("cycles"));
+        assert!(out.lines().count() >= 9, "{out}");
+    }
+
+    #[test]
+    fn pipeview_rejects_bad_ranges() {
+        assert!(pipeview("perl_hash", Some("8..8")).is_err());
+        assert!(pipeview("perl_hash", Some("abc")).is_err());
+    }
+
+    #[test]
+    fn dispatch_routes_subcommands() {
+        assert!(dispatch(&["list".into()]).is_ok());
+        assert!(dispatch(&["bogus".into()]).is_err());
+        assert!(dispatch(&[]).is_err());
+    }
+
+    #[test]
+    fn pipeview2_shows_both_cores_and_the_partition() {
+        let out = pipeview2("hmmer_dp", Some("0..24")).unwrap();
+        assert!(out.contains("--- core 0 ---"));
+        assert!(out.contains("--- core 1 ---"));
+        assert!(out.contains("partition:"));
+    }
+}

@@ -1,0 +1,246 @@
+//! Activity-based energy accounting.
+//!
+//! The paper's opening motivation is power and complexity; this module
+//! provides the corresponding accounting for the three machine models. It
+//! is an *activity* model in the McPAT spirit: every pipeline and memory
+//! event costs a fixed per-event energy, plus per-core static power per
+//! cycle. The per-event weights ([`EnergyModel`]) are relative units
+//! chosen to reflect typical published ratios (a DRAM access ~two orders
+//! of magnitude above an ALU operation, rename ~twice a regfile read, …) —
+//! they are documented modeling constants, not calibrated silicon numbers,
+//! and every experiment reports *relative* energy only.
+//!
+//! What differentiates the machines:
+//!
+//! * **Core Fusion** pays the collective fetch and remote rename energy on
+//!   *every* instruction and keeps two cores' structures active;
+//! * **Fg-STP** pays queue transfers per communication, duplicated
+//!   fetch/decode energy per replica, and two active cores;
+//! * the **single core** leaves the partner core idle (static power only).
+
+use fgstp_ooo::RunResult;
+
+use crate::presets::MachineKind;
+use crate::runner::MachineRun;
+
+/// Per-event energy weights (relative units).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyModel {
+    /// Fetching one instruction (I-cache read amortized + buffers).
+    pub fetch: f64,
+    /// Decoding and renaming one instruction.
+    pub rename: f64,
+    /// Extra per-instruction cost of fused collective fetch/remote rename.
+    pub fusion_frontend_extra: f64,
+    /// Issue-queue wakeup/select per issued instruction.
+    pub issue: f64,
+    /// Executing one instruction (FU average).
+    pub execute: f64,
+    /// Register-file traffic per instruction (reads + write).
+    pub regfile: f64,
+    /// Committing one instruction.
+    pub commit: f64,
+    /// One L1 (I or D) access.
+    pub l1_access: f64,
+    /// One L2 access.
+    pub l2_access: f64,
+    /// One DRAM access.
+    pub dram_access: f64,
+    /// One branch-predictor access.
+    pub bpred: f64,
+    /// Transferring one value through an inter-core queue.
+    pub queue_transfer: f64,
+    /// Static energy per *active* core per cycle.
+    pub static_active: f64,
+    /// Static energy per *idle* (power-gated) core per cycle.
+    pub static_idle: f64,
+}
+
+impl Default for EnergyModel {
+    fn default() -> EnergyModel {
+        EnergyModel {
+            fetch: 1.0,
+            rename: 1.2,
+            fusion_frontend_extra: 1.5,
+            issue: 1.5,
+            execute: 2.0,
+            regfile: 1.0,
+            commit: 0.5,
+            l1_access: 2.0,
+            l2_access: 12.0,
+            dram_access: 160.0,
+            bpred: 0.4,
+            queue_transfer: 2.5,
+            static_active: 3.0,
+            static_idle: 0.3,
+        }
+    }
+}
+
+/// Energy breakdown of one run (relative units).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EnergyBreakdown {
+    /// Frontend: fetch + rename (+ fusion extras) + branch prediction.
+    pub frontend: f64,
+    /// Backend: issue + execute + regfile + commit.
+    pub backend: f64,
+    /// Memory hierarchy: L1 + L2 + DRAM.
+    pub memory: f64,
+    /// Inter-core communication queues.
+    pub communication: f64,
+    /// Static (leakage/clock) energy of active and idle cores.
+    pub static_energy: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy.
+    pub fn total(&self) -> f64 {
+        self.frontend + self.backend + self.memory + self.communication + self.static_energy
+    }
+
+    /// Energy per committed instruction.
+    pub fn per_instruction(&self, committed: u64) -> f64 {
+        if committed == 0 {
+            0.0
+        } else {
+            self.total() / committed as f64
+        }
+    }
+}
+
+fn dynamic_core_energy(m: &EnergyModel, result: &RunResult, fused_frontend: bool) -> (f64, f64) {
+    let mut frontend = 0.0;
+    let mut backend = 0.0;
+    for c in &result.cores {
+        let fetched = c.fetched as f64;
+        let issued = c.issued as f64;
+        let committed = (c.committed + c.replica_committed) as f64;
+        frontend += fetched * (m.fetch + m.rename);
+        if fused_frontend {
+            frontend += fetched * m.fusion_frontend_extra;
+        }
+        backend += issued * (m.issue + m.execute + m.regfile) + committed * m.commit;
+    }
+    let (branches, _) = result.branches;
+    frontend += branches as f64 * m.bpred;
+    (frontend, backend)
+}
+
+fn memory_energy(m: &EnergyModel, result: &RunResult) -> f64 {
+    let mem = &result.mem;
+    let l1: u64 = mem
+        .l1i
+        .iter()
+        .chain(mem.l1d.iter())
+        .map(|c| c.accesses + c.prefetch_fills)
+        .sum();
+    let l2 = mem.l2.accesses + mem.l2.prefetch_fills;
+    let dram = mem.l2.misses;
+    l1 as f64 * m.l1_access + l2 as f64 * m.l2_access + dram as f64 * m.dram_access
+}
+
+/// Computes the energy breakdown of one machine run on a 2-core CMP
+/// (the unused partner core of a single-core run idles, power-gated).
+pub fn energy_of(m: &EnergyModel, run: &MachineRun) -> EnergyBreakdown {
+    let result = &run.result;
+    let fused = matches!(run.kind, MachineKind::FusedSmall | MachineKind::FusedMedium);
+    let (frontend, backend) = dynamic_core_energy(m, result, fused);
+    let memory = memory_energy(m, result);
+    let communication = run
+        .fgstp
+        .as_ref()
+        .map(|s| (s.deliveries[0] + s.deliveries[1]) as f64 * m.queue_transfer)
+        .unwrap_or(0.0);
+    // Active cores: both for fused and Fg-STP, one for the baselines; the
+    // second core of the CMP idles power-gated in single-core runs.
+    let active_cores = if run.fgstp.is_some() || fused {
+        2.0
+    } else {
+        1.0
+    };
+    let idle_cores = 2.0 - active_cores;
+    let static_energy =
+        result.cycles as f64 * (active_cores * m.static_active + idle_cores * m.static_idle);
+    EnergyBreakdown {
+        frontend,
+        backend,
+        memory,
+        communication,
+        static_energy,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{run_on, trace_workload};
+    use fgstp_workloads::{by_name, Scale};
+
+    fn runs(name: &str) -> (MachineRun, MachineRun, MachineRun) {
+        let w = by_name(name, Scale::Test).unwrap();
+        let t = trace_workload(&w, Scale::Test);
+        (
+            run_on(MachineKind::SingleSmall, t.insts()),
+            run_on(MachineKind::FusedSmall, t.insts()),
+            run_on(MachineKind::FgstpSmall, t.insts()),
+        )
+    }
+
+    #[test]
+    fn totals_are_positive_and_sum_components() {
+        let (single, fused, fg) = runs("hmmer_dp");
+        let m = EnergyModel::default();
+        for run in [&single, &fused, &fg] {
+            let e = energy_of(&m, run);
+            assert!(e.total() > 0.0);
+            let sum = e.frontend + e.backend + e.memory + e.communication + e.static_energy;
+            assert!((e.total() - sum).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn coupled_machines_spend_more_energy_than_one_core() {
+        let (single, fused, fg) = runs("hmmer_dp");
+        let m = EnergyModel::default();
+        let e_single = energy_of(&m, &single).total();
+        assert!(
+            energy_of(&m, &fused).total() > e_single,
+            "fusion is not free"
+        );
+        assert!(
+            energy_of(&m, &fg).total() > e_single,
+            "coupling is not free"
+        );
+    }
+
+    #[test]
+    fn only_fgstp_spends_communication_energy() {
+        let (single, fused, fg) = runs("perl_hash");
+        let m = EnergyModel::default();
+        assert_eq!(energy_of(&m, &single).communication, 0.0);
+        assert_eq!(energy_of(&m, &fused).communication, 0.0);
+        assert!(energy_of(&m, &fg).communication > 0.0);
+    }
+
+    #[test]
+    fn fusion_pays_frontend_extra_per_instruction() {
+        let (single, fused, _) = runs("hmmer_dp");
+        let m = EnergyModel::default();
+        let f_single = energy_of(&m, &single).frontend / single.result.committed as f64;
+        let f_fused = energy_of(&m, &fused).frontend / fused.result.committed as f64;
+        assert!(
+            f_fused > f_single * 1.3,
+            "fused frontend EPI {f_fused} should clearly exceed single {f_single}"
+        );
+    }
+
+    #[test]
+    fn epi_is_total_over_committed() {
+        let (single, _, _) = runs("hmmer_dp");
+        let m = EnergyModel::default();
+        let e = energy_of(&m, &single);
+        let epi = e.per_instruction(single.result.committed);
+        assert!((epi * single.result.committed as f64 - e.total()).abs() < 1e-6);
+        assert_eq!(EnergyBreakdown::default().per_instruction(0), 0.0);
+    }
+}

@@ -1,0 +1,30 @@
+//! # fgstp-sim
+//!
+//! Simulation driver for the Fg-STP reproduction: the paper's machine
+//! presets ([`MachineKind`]), a run driver that takes a workload through
+//! any machine model ([`run_on`], [`run_suite`]), and plain-text/CSV table
+//! rendering for the experiment harness ([`report::Table`]).
+//!
+//! ```no_run
+//! use fgstp_sim::{run_suite, MachineKind, Scale};
+//!
+//! let results = run_suite(
+//!     Scale::Test,
+//!     &[MachineKind::SingleSmall, MachineKind::FgstpSmall],
+//! );
+//! for bench in &results {
+//!     println!("{}: {} runs", bench.name, bench.runs.len());
+//! }
+//! ```
+
+pub mod cli;
+pub mod energy;
+pub mod presets;
+pub mod profile;
+pub mod report;
+pub mod runner;
+
+pub use fgstp_workloads::{Scale, SuiteClass, Workload};
+pub use presets::MachineKind;
+pub use report::Table;
+pub use runner::{geomean, run_on, run_suite, BenchResult, MachineRun};

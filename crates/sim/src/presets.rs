@@ -1,0 +1,164 @@
+//! The paper's machine presets.
+//!
+//! The evaluation compares, on the same 2-core silicon budget:
+//!
+//! * one **baseline core** running the thread alone (small or medium),
+//! * **Core Fusion** of the two cores (fused wide core with front-end
+//!   overheads), and
+//! * **Fg-STP** (both cores collaborating at instruction granularity).
+
+use fgstp::FgstpConfig;
+use fgstp_mem::HierarchyConfig;
+use fgstp_ooo::CoreConfig;
+
+/// A machine model the experiments can run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MachineKind {
+    /// One small core (baseline of the small CMP).
+    SingleSmall,
+    /// One medium core (baseline of the medium CMP).
+    SingleMedium,
+    /// Core Fusion of two small cores.
+    FusedSmall,
+    /// Core Fusion of two medium cores.
+    FusedMedium,
+    /// Fg-STP on two small cores.
+    FgstpSmall,
+    /// Fg-STP on two medium cores.
+    FgstpMedium,
+}
+
+impl MachineKind {
+    /// All presets, small CMP first.
+    pub const ALL: [MachineKind; 6] = [
+        MachineKind::SingleSmall,
+        MachineKind::FusedSmall,
+        MachineKind::FgstpSmall,
+        MachineKind::SingleMedium,
+        MachineKind::FusedMedium,
+        MachineKind::FgstpMedium,
+    ];
+
+    /// The three machines of the small 2-core CMP comparison (E1).
+    pub const SMALL_CMP: [MachineKind; 3] = [
+        MachineKind::SingleSmall,
+        MachineKind::FusedSmall,
+        MachineKind::FgstpSmall,
+    ];
+
+    /// The three machines of the medium 2-core CMP comparison (E2).
+    pub const MEDIUM_CMP: [MachineKind; 3] = [
+        MachineKind::SingleMedium,
+        MachineKind::FusedMedium,
+        MachineKind::FgstpMedium,
+    ];
+
+    /// Short display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            MachineKind::SingleSmall => "single-small",
+            MachineKind::SingleMedium => "single-medium",
+            MachineKind::FusedSmall => "fused-small",
+            MachineKind::FusedMedium => "fused-medium",
+            MachineKind::FgstpSmall => "fgstp-small",
+            MachineKind::FgstpMedium => "fgstp-medium",
+        }
+    }
+
+    /// Whether this machine is the Fg-STP dual-core configuration.
+    pub fn is_fgstp(self) -> bool {
+        matches!(self, MachineKind::FgstpSmall | MachineKind::FgstpMedium)
+    }
+
+    /// Whether the preset is built from the small base core.
+    pub fn is_small_base(self) -> bool {
+        matches!(
+            self,
+            MachineKind::SingleSmall | MachineKind::FusedSmall | MachineKind::FgstpSmall
+        )
+    }
+
+    /// Core configuration for the non-Fg-STP presets.
+    ///
+    /// # Panics
+    ///
+    /// Panics for Fg-STP presets — use [`MachineKind::fgstp_config`].
+    pub fn core_config(self) -> CoreConfig {
+        match self {
+            MachineKind::SingleSmall => CoreConfig::small(),
+            MachineKind::SingleMedium => CoreConfig::medium(),
+            MachineKind::FusedSmall => CoreConfig::fused(&CoreConfig::small()),
+            MachineKind::FusedMedium => CoreConfig::fused(&CoreConfig::medium()),
+            _ => panic!("{} is driven by an FgstpConfig", self.label()),
+        }
+    }
+
+    /// Fg-STP configuration for the Fg-STP presets.
+    ///
+    /// # Panics
+    ///
+    /// Panics for non-Fg-STP presets — use [`MachineKind::core_config`].
+    pub fn fgstp_config(self) -> FgstpConfig {
+        match self {
+            MachineKind::FgstpSmall => FgstpConfig::small(),
+            MachineKind::FgstpMedium => FgstpConfig::medium(),
+            _ => panic!("{} is driven by a CoreConfig", self.label()),
+        }
+    }
+
+    /// Memory-hierarchy configuration for this preset.
+    ///
+    /// The single-core baselines still get the 2-core CMP's shared L2 (one
+    /// core idles); per-core L1s are private in every preset.
+    pub fn hierarchy_config(self) -> HierarchyConfig {
+        let cores = if self.is_fgstp() { 2 } else { 1 };
+        if self.is_small_base() {
+            HierarchyConfig::small(cores)
+        } else {
+            HierarchyConfig::medium(cores)
+        }
+    }
+}
+
+impl std::fmt::Display for MachineKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_unique() {
+        let labels: std::collections::HashSet<_> =
+            MachineKind::ALL.iter().map(|k| k.label()).collect();
+        assert_eq!(labels.len(), MachineKind::ALL.len());
+    }
+
+    #[test]
+    fn configs_build_for_every_kind() {
+        for k in MachineKind::ALL {
+            let _ = k.hierarchy_config();
+            if k.is_fgstp() {
+                let cfg = k.fgstp_config();
+                cfg.core.validate();
+            } else {
+                k.core_config().validate();
+            }
+        }
+    }
+
+    #[test]
+    fn fgstp_presets_use_two_cores() {
+        assert_eq!(MachineKind::FgstpSmall.hierarchy_config().cores, 2);
+        assert_eq!(MachineKind::SingleSmall.hierarchy_config().cores, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "FgstpConfig")]
+    fn core_config_rejects_fgstp_kinds() {
+        MachineKind::FgstpSmall.core_config();
+    }
+}

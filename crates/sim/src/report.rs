@@ -1,0 +1,157 @@
+//! Plain-text and CSV table rendering for the experiment harness.
+
+use std::fmt;
+
+/// A simple column-aligned table.
+///
+/// The first column is left-aligned (names), remaining columns are
+/// right-aligned (numbers), matching the layout of the paper's tables.
+///
+/// ```
+/// use fgstp_sim::Table;
+///
+/// let mut t = Table::new(["bench", "ipc"]);
+/// t.row(["mcf", "0.41"]);
+/// assert!(t.to_string().contains("mcf"));
+/// assert_eq!(t.to_csv(), "bench,ipc\nmcf,0.41\n");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<I, S>(headers: I) -> Table
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width does not match the header width.
+    pub fn row<I, S>(&mut self, cells: I) -> &mut Table
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row width must match header width"
+        );
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders as comma-separated values (header row first).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.headers.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let write_row = |f: &mut fmt::Formatter<'_>, row: &[String]| -> fmt::Result {
+            for (i, cell) in row.iter().enumerate() {
+                if i == 0 {
+                    write!(f, "{:<width$}", cell, width = widths[0])?;
+                } else {
+                    write!(f, "  {:>width$}", cell, width = widths[i])?;
+                }
+            }
+            writeln!(f)
+        };
+        write_row(f, &self.headers)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1));
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a float with `prec` decimal places (the house style for tables).
+pub fn num(x: f64, prec: usize) -> String {
+    format!("{x:.prec$}")
+}
+
+/// Formats a ratio as a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_round_trips_cells() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["x", "1"]).row(["y", "2"]);
+        assert_eq!(t.to_csv(), "a,b\nx,1\ny,2\n");
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn display_aligns_columns() {
+        let mut t = Table::new(["bench", "cycles"]);
+        t.row(["a_very_long_name", "10"]);
+        t.row(["x", "123456"]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert_eq!(lines[1].chars().collect::<Vec<_>>()[0], '-');
+        // Numbers right-align: the short number ends at the same column.
+        assert!(lines[2].ends_with("10"));
+        assert!(lines[3].ends_with("123456"));
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        Table::new(["a", "b"]).row(["only one"]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(num(1.23456, 2), "1.23");
+        assert_eq!(pct(0.1234), "12.3%");
+    }
+}

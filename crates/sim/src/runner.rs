@@ -1,0 +1,149 @@
+//! Run driver: workloads × machine models.
+
+use fgstp::{run_fgstp, FgstpStats};
+use fgstp_isa::DynInst;
+use fgstp_ooo::{run_single, RunResult};
+use fgstp_workloads::{suite, Scale, Workload};
+
+use crate::presets::MachineKind;
+
+/// Outcome of one (workload, machine) run.
+#[derive(Debug, Clone)]
+pub struct MachineRun {
+    /// Machine model that ran.
+    pub kind: MachineKind,
+    /// Timing result.
+    pub result: RunResult,
+    /// Fg-STP-specific statistics, when `kind` is an Fg-STP preset.
+    pub fgstp: Option<FgstpStats>,
+}
+
+impl MachineRun {
+    /// Committed instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        self.result.ipc()
+    }
+}
+
+/// Results of one workload across the requested machines.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Workload name.
+    pub name: &'static str,
+    /// Dynamic instructions executed.
+    pub committed: u64,
+    /// One entry per requested machine, in request order.
+    pub runs: Vec<MachineRun>,
+}
+
+impl BenchResult {
+    /// Speedup of machine `of` over machine `over` on this workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either machine was not part of the run set.
+    pub fn speedup(&self, of: MachineKind, over: MachineKind) -> f64 {
+        let find = |k: MachineKind| {
+            self.runs
+                .iter()
+                .find(|r| r.kind == k)
+                .unwrap_or_else(|| panic!("machine {k} not in result set"))
+        };
+        find(of).result.speedup_over(&find(over).result)
+    }
+}
+
+/// Runs one trace through one machine preset.
+pub fn run_on(kind: MachineKind, trace: &[DynInst]) -> MachineRun {
+    let hcfg = kind.hierarchy_config();
+    if kind.is_fgstp() {
+        let (result, stats) = run_fgstp(trace, &kind.fgstp_config(), &hcfg);
+        MachineRun {
+            kind,
+            result,
+            fgstp: Some(stats),
+        }
+    } else {
+        let result = run_single(trace, &kind.core_config(), &hcfg);
+        MachineRun {
+            kind,
+            result,
+            fgstp: None,
+        }
+    }
+}
+
+/// Traces one workload (panicking on a kernel fault, which would be a
+/// suite bug) and returns its committed path.
+pub fn trace_workload(w: &Workload, scale: Scale) -> fgstp_isa::Trace {
+    fgstp_isa::trace_program(&w.program, scale.trace_budget())
+        .unwrap_or_else(|e| panic!("workload {} failed to trace: {e}", w.name))
+}
+
+/// Runs the whole suite at `scale` on each machine in `kinds`.
+pub fn run_suite(scale: Scale, kinds: &[MachineKind]) -> Vec<BenchResult> {
+    suite(scale)
+        .iter()
+        .map(|w| {
+            let trace = trace_workload(w, scale);
+            let runs = kinds.iter().map(|&k| run_on(k, trace.insts())).collect();
+            BenchResult {
+                name: w.name,
+                committed: trace.len() as u64,
+                runs,
+            }
+        })
+        .collect()
+}
+
+/// Geometric mean of a slice of positive values (0 for an empty slice).
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = xs.iter().map(|x| x.ln()).sum();
+    (log_sum / xs.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fgstp_workloads::by_name;
+
+    #[test]
+    fn geomean_of_known_values() {
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 0.0);
+        assert!((geomean(&[3.0]) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn one_workload_runs_on_all_machines() {
+        let w = by_name("perl_hash", Scale::Test).unwrap();
+        let t = trace_workload(&w, Scale::Test);
+        for k in MachineKind::ALL {
+            let r = run_on(k, t.insts());
+            assert_eq!(r.result.committed, t.len() as u64, "{k}");
+            assert!(r.ipc() > 0.0, "{k}");
+            assert_eq!(r.fgstp.is_some(), k.is_fgstp(), "{k}");
+        }
+    }
+
+    #[test]
+    fn speedup_lookup_matches_cycle_ratio() {
+        let w = by_name("hmmer_dp", Scale::Test).unwrap();
+        let t = trace_workload(&w, Scale::Test);
+        let runs: Vec<_> = MachineKind::SMALL_CMP
+            .iter()
+            .map(|&k| run_on(k, t.insts()))
+            .collect();
+        let b = BenchResult {
+            name: w.name,
+            committed: t.len() as u64,
+            runs,
+        };
+        let s = b.speedup(MachineKind::FgstpSmall, MachineKind::SingleSmall);
+        let expected = b.runs[0].result.cycles as f64 / b.runs[2].result.cycles as f64;
+        assert!((s - expected).abs() < 1e-12);
+    }
+}

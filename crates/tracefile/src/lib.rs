@@ -1,0 +1,361 @@
+//! # fgstp-tracefile
+//!
+//! Compact binary serialization for committed-path traces.
+//!
+//! Reference-scale traces run to hundreds of thousands of dynamic
+//! instructions per workload; re-tracing every kernel for every experiment
+//! sweep repeats identical functional work. This crate persists a
+//! [`fgstp_isa::DynInst`] stream to a compact binary format (LEB128
+//! varints, presence flags for optional fields) and restores it exactly.
+//!
+//! Format (version 1):
+//!
+//! ```text
+//! "FGTR" magic | u32 version | varint count | count x record
+//! record: opcode u8 | rd u8 | rs1 u8 | rs2 u8 | zigzag-varint imm
+//!         | flags u8 (addr?, taken?, taken-value, rd_value?, store_value?)
+//!         | varint pc | varint next_pc | optional fields in order
+//! ```
+//!
+//! ```
+//! use fgstp_isa::{assemble, trace_program};
+//! use fgstp_tracefile::{read_trace, write_trace};
+//!
+//! let p = assemble("li x1, 7\nadd x2, x1, x1\nhalt")?;
+//! let t = trace_program(&p, 100)?;
+//! let bytes = write_trace(t.insts());
+//! assert_eq!(read_trace(&bytes)?, t.insts());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use std::fmt;
+use std::fs;
+use std::path::Path;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use fgstp_isa::{DynInst, Inst, Op, Reg};
+
+mod varint;
+
+pub use varint::{read_varint, write_varint, zigzag_decode, zigzag_encode};
+
+const MAGIC: &[u8; 4] = b"FGTR";
+const VERSION: u32 = 1;
+
+/// Error decoding a trace file.
+#[derive(Debug)]
+pub enum TraceFileError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The magic bytes did not match.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u32),
+    /// An opcode byte outside the ISA.
+    BadOpcode(u8),
+    /// A register index outside the architectural space.
+    BadRegister(u8),
+    /// The buffer ended mid-record.
+    Truncated,
+}
+
+impl fmt::Display for TraceFileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceFileError::Io(e) => write!(f, "i/o error: {e}"),
+            TraceFileError::BadMagic => f.write_str("not a trace file (bad magic)"),
+            TraceFileError::BadVersion(v) => write!(f, "unsupported trace version {v}"),
+            TraceFileError::BadOpcode(b) => write!(f, "invalid opcode byte {b}"),
+            TraceFileError::BadRegister(b) => write!(f, "invalid register index {b}"),
+            TraceFileError::Truncated => f.write_str("trace file truncated"),
+        }
+    }
+}
+
+impl std::error::Error for TraceFileError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceFileError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for TraceFileError {
+    fn from(e: std::io::Error) -> Self {
+        TraceFileError::Io(e)
+    }
+}
+
+/// Stable opcode numbering: position in [`Op::all`].
+fn op_code(op: Op) -> u8 {
+    Op::all().position(|o| o == op).expect("op in table") as u8
+}
+
+fn op_from_code(code: u8) -> Option<Op> {
+    Op::all().nth(usize::from(code))
+}
+
+const FLAG_ADDR: u8 = 1 << 0;
+const FLAG_TAKEN_PRESENT: u8 = 1 << 1;
+const FLAG_TAKEN_VALUE: u8 = 1 << 2;
+const FLAG_RD_VALUE: u8 = 1 << 3;
+const FLAG_STORE_VALUE: u8 = 1 << 4;
+
+/// Serializes a trace to its binary representation.
+pub fn write_trace(insts: &[DynInst]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(16 + insts.len() * 12);
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(VERSION);
+    write_varint(&mut buf, insts.len() as u64);
+    for d in insts {
+        buf.put_u8(op_code(d.inst.op));
+        buf.put_u8(d.inst.rd.index() as u8);
+        buf.put_u8(d.inst.rs1.index() as u8);
+        buf.put_u8(d.inst.rs2.index() as u8);
+        write_varint(&mut buf, zigzag_encode(d.inst.imm));
+        let mut flags = 0u8;
+        if d.addr.is_some() {
+            flags |= FLAG_ADDR;
+        }
+        if let Some(t) = d.taken {
+            flags |= FLAG_TAKEN_PRESENT;
+            if t {
+                flags |= FLAG_TAKEN_VALUE;
+            }
+        }
+        if d.rd_value.is_some() {
+            flags |= FLAG_RD_VALUE;
+        }
+        if d.store_value.is_some() {
+            flags |= FLAG_STORE_VALUE;
+        }
+        buf.put_u8(flags);
+        write_varint(&mut buf, d.pc);
+        write_varint(&mut buf, d.next_pc);
+        if let Some(a) = d.addr {
+            write_varint(&mut buf, a);
+        }
+        if let Some(v) = d.rd_value {
+            write_varint(&mut buf, v);
+        }
+        if let Some(v) = d.store_value {
+            write_varint(&mut buf, v);
+        }
+    }
+    buf.freeze()
+}
+
+fn read_reg(buf: &mut impl Buf) -> Result<Reg, TraceFileError> {
+    if !buf.has_remaining() {
+        return Err(TraceFileError::Truncated);
+    }
+    let b = buf.get_u8();
+    Reg::from_index(b).ok_or(TraceFileError::BadRegister(b))
+}
+
+/// Deserializes a trace from its binary representation.
+///
+/// # Errors
+///
+/// Returns a [`TraceFileError`] describing the first malformation found.
+pub fn read_trace(mut data: &[u8]) -> Result<Vec<DynInst>, TraceFileError> {
+    let buf = &mut data;
+    if buf.remaining() < 8 {
+        return Err(TraceFileError::Truncated);
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(TraceFileError::BadMagic);
+    }
+    let version = buf.get_u32_le();
+    if version != VERSION {
+        return Err(TraceFileError::BadVersion(version));
+    }
+    let count = read_varint(buf).ok_or(TraceFileError::Truncated)?;
+    let mut out = Vec::with_capacity(count as usize);
+    for seq in 0..count {
+        if buf.remaining() < 4 {
+            return Err(TraceFileError::Truncated);
+        }
+        let opcode = buf.get_u8();
+        let op = op_from_code(opcode).ok_or(TraceFileError::BadOpcode(opcode))?;
+        let rd = read_reg(buf)?;
+        let rs1 = read_reg(buf)?;
+        let rs2 = read_reg(buf)?;
+        let imm = zigzag_decode(read_varint(buf).ok_or(TraceFileError::Truncated)?);
+        if !buf.has_remaining() {
+            return Err(TraceFileError::Truncated);
+        }
+        let flags = buf.get_u8();
+        let pc = read_varint(buf).ok_or(TraceFileError::Truncated)?;
+        let next_pc = read_varint(buf).ok_or(TraceFileError::Truncated)?;
+        let addr = if flags & FLAG_ADDR != 0 {
+            Some(read_varint(buf).ok_or(TraceFileError::Truncated)?)
+        } else {
+            None
+        };
+        let rd_value = if flags & FLAG_RD_VALUE != 0 {
+            Some(read_varint(buf).ok_or(TraceFileError::Truncated)?)
+        } else {
+            None
+        };
+        let store_value = if flags & FLAG_STORE_VALUE != 0 {
+            Some(read_varint(buf).ok_or(TraceFileError::Truncated)?)
+        } else {
+            None
+        };
+        let taken = if flags & FLAG_TAKEN_PRESENT != 0 {
+            Some(flags & FLAG_TAKEN_VALUE != 0)
+        } else {
+            None
+        };
+        out.push(DynInst {
+            seq,
+            pc,
+            inst: Inst {
+                op,
+                rd,
+                rs1,
+                rs2,
+                imm,
+            },
+            next_pc,
+            addr,
+            taken,
+            rd_value,
+            store_value,
+        });
+    }
+    Ok(out)
+}
+
+/// Writes a trace to `path`.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn save(path: impl AsRef<Path>, insts: &[DynInst]) -> Result<(), TraceFileError> {
+    fs::write(path, write_trace(insts))?;
+    Ok(())
+}
+
+/// Loads a trace from `path`.
+///
+/// # Errors
+///
+/// Propagates filesystem errors and format malformations.
+pub fn load(path: impl AsRef<Path>) -> Result<Vec<DynInst>, TraceFileError> {
+    let data = fs::read(path)?;
+    read_trace(&data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fgstp_isa::{assemble, trace_program};
+
+    fn sample() -> Vec<DynInst> {
+        let p = assemble(
+            r#"
+                li x1, 0x1000
+                li x2, -5
+            loop:
+                sd  x2, 0(x1)
+                ld  x3, 0(x1)
+                addi x2, x2, 1
+                bne x2, x0, loop
+                halt
+            "#,
+        )
+        .unwrap();
+        trace_program(&p, 100_000).unwrap().insts().to_vec()
+    }
+
+    #[test]
+    fn round_trip_preserves_every_field() {
+        let t = sample();
+        let bytes = write_trace(&t);
+        let back = read_trace(&bytes).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        let bytes = write_trace(&[]);
+        assert!(read_trace(&bytes).unwrap().is_empty());
+    }
+
+    #[test]
+    fn format_is_compact() {
+        let t = sample();
+        let bytes = write_trace(&t);
+        // In-memory DynInst is ~100 bytes; on disk we want well under 20.
+        let per_inst = bytes.len() as f64 / t.len() as f64;
+        assert!(per_inst < 20.0, "{per_inst} bytes/instruction");
+    }
+
+    #[test]
+    fn corrupted_inputs_are_rejected_not_panicked() {
+        let t = sample();
+        let good = write_trace(&t);
+        assert!(matches!(
+            read_trace(&good[..2]),
+            Err(TraceFileError::Truncated)
+        ));
+        let mut bad_magic = good.to_vec();
+        bad_magic[0] = b'X';
+        assert!(matches!(
+            read_trace(&bad_magic),
+            Err(TraceFileError::BadMagic)
+        ));
+        let mut bad_version = good.to_vec();
+        bad_version[4] = 99;
+        assert!(matches!(
+            read_trace(&bad_version),
+            Err(TraceFileError::BadVersion(99))
+        ));
+        for cut in [9, 15, good.len() / 2, good.len() - 1] {
+            assert!(read_trace(&good[..cut]).is_err(), "cut at {cut} must fail");
+        }
+    }
+
+    #[test]
+    fn bad_opcode_and_register_are_rejected() {
+        let t = sample();
+        let good = write_trace(&t);
+        let body_start = 4 + 4 + 1; // magic + version + 1-byte count varint
+        let mut bad_op = good.to_vec();
+        bad_op[body_start] = 255;
+        assert!(matches!(
+            read_trace(&bad_op),
+            Err(TraceFileError::BadOpcode(255))
+        ));
+        let mut bad_reg = good.to_vec();
+        bad_reg[body_start + 1] = 200;
+        assert!(matches!(
+            read_trace(&bad_reg),
+            Err(TraceFileError::BadRegister(200))
+        ));
+    }
+
+    #[test]
+    fn save_and_load_round_trip_through_disk() {
+        let t = sample();
+        let dir = std::env::temp_dir().join("fgstp-tracefile-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sample.fgtr");
+        save(&path, &t).unwrap();
+        assert_eq!(load(&path).unwrap(), t);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn opcode_table_is_stable_and_total() {
+        for op in Op::all() {
+            assert_eq!(op_from_code(op_code(op)), Some(op));
+        }
+        assert!(op_from_code(200).is_none());
+    }
+}

@@ -1,0 +1,87 @@
+//! LEB128 varints and zigzag encoding for signed values.
+
+use bytes::{Buf, BufMut};
+
+/// Writes `value` as an LEB128 varint (1–10 bytes).
+pub fn write_varint(buf: &mut impl BufMut, mut value: u64) {
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        if value == 0 {
+            buf.put_u8(byte);
+            return;
+        }
+        buf.put_u8(byte | 0x80);
+    }
+}
+
+/// Reads an LEB128 varint; `None` on truncation or overlong encoding.
+pub fn read_varint(buf: &mut impl Buf) -> Option<u64> {
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    loop {
+        if !buf.has_remaining() || shift >= 64 {
+            return None;
+        }
+        let byte = buf.get_u8();
+        value |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Some(value);
+        }
+        shift += 7;
+    }
+}
+
+/// Maps a signed value onto an unsigned one with small magnitudes staying
+/// small (…,-2,-1,0,1,2,… → 3,1,0,2,4,…).
+pub fn zigzag_encode(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag_encode`].
+pub fn zigzag_decode(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::BytesMut;
+
+    #[test]
+    fn varint_round_trips_edge_values() {
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            let mut buf = BytesMut::new();
+            write_varint(&mut buf, v);
+            let mut slice = &buf[..];
+            assert_eq!(read_varint(&mut slice), Some(v));
+            assert!(slice.is_empty(), "no trailing bytes for {v}");
+        }
+    }
+
+    #[test]
+    fn small_values_are_one_byte() {
+        let mut buf = BytesMut::new();
+        write_varint(&mut buf, 127);
+        assert_eq!(buf.len(), 1);
+        write_varint(&mut buf, 128);
+        assert_eq!(buf.len(), 3, "128 takes two bytes");
+    }
+
+    #[test]
+    fn truncated_varint_is_none() {
+        let data = [0x80u8, 0x80];
+        let mut slice = &data[..];
+        assert_eq!(read_varint(&mut slice), None);
+    }
+
+    #[test]
+    fn zigzag_round_trips() {
+        for v in [0i64, 1, -1, 2, -2, i64::MAX, i64::MIN, 12345, -99999] {
+            assert_eq!(zigzag_decode(zigzag_encode(v)), v);
+        }
+        assert_eq!(zigzag_encode(0), 0);
+        assert_eq!(zigzag_encode(-1), 1);
+        assert_eq!(zigzag_encode(1), 2);
+    }
+}

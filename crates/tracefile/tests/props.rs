@@ -1,0 +1,92 @@
+//! Property tests: trace serialization round-trips arbitrary dynamic
+//! instructions and real workload traces.
+
+use proptest::prelude::*;
+
+use fgstp_isa::{trace_program, DynInst, Inst, Op, Reg};
+use fgstp_tracefile::{read_trace, write_trace, zigzag_decode, zigzag_encode};
+use fgstp_workloads::{by_name, Scale};
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    let ops: Vec<Op> = Op::all().collect();
+    proptest::sample::select(ops)
+}
+
+fn arb_dyninst(seq: u64) -> impl Strategy<Value = DynInst> {
+    (
+        arb_op(),
+        (0u8..64, 0u8..64, 0u8..64),
+        any::<i64>(),
+        any::<u64>(),
+        any::<u64>(),
+        proptest::option::of(any::<u64>()),
+        proptest::option::of(any::<bool>()),
+        proptest::option::of(any::<u64>()),
+        proptest::option::of(any::<u64>()),
+    )
+        .prop_map(
+            move |(op, (rd, rs1, rs2), imm, pc, next_pc, addr, taken, rd_value, store_value)| {
+                DynInst {
+                    seq,
+                    pc,
+                    inst: Inst {
+                        op,
+                        rd: Reg::from_index(rd).unwrap(),
+                        rs1: Reg::from_index(rs1).unwrap(),
+                        rs2: Reg::from_index(rs2).unwrap(),
+                        imm,
+                    },
+                    next_pc,
+                    addr,
+                    taken,
+                    rd_value,
+                    store_value,
+                }
+            },
+        )
+}
+
+proptest! {
+    /// Any instruction stream round-trips exactly (sequence numbers are
+    /// re-derived from position, matching the writer's contract).
+    #[test]
+    fn arbitrary_streams_round_trip(protos in proptest::collection::vec(arb_dyninst(0), 0..60)) {
+        let insts: Vec<DynInst> =
+            protos.into_iter().enumerate().map(|(i, mut d)| { d.seq = i as u64; d }).collect();
+        let bytes = write_trace(&insts);
+        let back = read_trace(&bytes).expect("round trip decodes");
+        prop_assert_eq!(back, insts);
+    }
+
+    /// Random corruptions never panic; they decode to an error or to some
+    /// well-formed (possibly different) trace.
+    #[test]
+    fn corruption_never_panics(
+        protos in proptest::collection::vec(arb_dyninst(0), 1..20),
+        flip in any::<(usize, u8)>(),
+    ) {
+        let insts: Vec<DynInst> =
+            protos.into_iter().enumerate().map(|(i, mut d)| { d.seq = i as u64; d }).collect();
+        let mut bytes = write_trace(&insts).to_vec();
+        let idx = flip.0 % bytes.len();
+        bytes[idx] ^= flip.1 | 1;
+        let _ = read_trace(&bytes); // must not panic
+    }
+
+    /// Zigzag is a bijection on random values.
+    #[test]
+    fn zigzag_bijection(v in any::<i64>()) {
+        prop_assert_eq!(zigzag_decode(zigzag_encode(v)), v);
+    }
+}
+
+#[test]
+fn workload_trace_round_trips_and_is_compact() {
+    let w = by_name("gcc_expr", Scale::Test).unwrap();
+    let t = trace_program(&w.program, 2_000_000).unwrap();
+    let bytes = write_trace(t.insts());
+    let back = read_trace(&bytes).unwrap();
+    assert_eq!(back, t.insts());
+    let per_inst = bytes.len() as f64 / t.len() as f64;
+    assert!(per_inst < 16.0, "{per_inst} bytes per instruction");
+}

@@ -1,0 +1,234 @@
+//! Additional kernels extending suite coverage: discrete-event heap
+//! maintenance, sparse FP linear algebra, branchy FP geometry, and a
+//! blocked multi-coefficient stencil.
+
+use fgstp_isa::Program;
+
+use super::{epilogue, must_assemble};
+use crate::gen::Xorshift;
+
+/// 471.omnetpp: discrete-event simulation — binary-heap sift-down with
+/// data-dependent branching at every level.
+pub(crate) fn omnetpp_queue(f: usize) -> Program {
+    let n = 250 * f;
+    let src = format!(
+        r#"
+            .equ HEAP, 0x2000
+            li x1, HEAP
+            li x2, {n}
+            li x3, 0           # event count
+            li x4, 977         # lcg state
+            li x6, 0           # checksum
+        event:
+            li   x12, 2531
+            mul  x4, x4, x12
+            addi x4, x4, 11
+            andi x5, x4, 0x3FFFFFFF   # new root key
+            li   x7, 0         # i = 0 (root)
+        sift:
+            slli x8, x7, 1
+            addi x8, x8, 1     # l = 2i + 1
+            slti x9, x8, 255
+            beq  x9, x0, done  # past the leaves
+            slli x10, x8, 3
+            add  x10, x1, x10
+            ld   x11, 0(x10)   # heap[l]
+            ld   x13, 8(x10)   # heap[l+1]
+            blt  x11, x13, leftsmaller
+            addi x8, x8, 1     # pick right child
+            add  x11, x13, x0
+        leftsmaller:
+            blt  x11, x5, swap
+            jal  x0, done      # heap property holds
+        swap:
+            slli x14, x7, 3
+            add  x14, x1, x14
+            sd   x11, 0(x14)   # move child up
+            add  x7, x8, x0    # descend
+            jal  x0, sift
+        done:
+            slli x14, x7, 3
+            add  x14, x1, x14
+            sd   x5, 0(x14)    # place the new key
+            add  x6, x6, x5
+            addi x3, x3, 1
+            bne  x3, x2, event
+        {epi}
+        "#,
+        epi = epilogue("x6"),
+    );
+    let mut g = Xorshift::new(0x47e1);
+    let heap: Vec<u64> = (0..256).map(|_| g.next_u64() & 0x3FFF_FFFF).collect();
+    must_assemble("omnetpp_queue", &src).with_words(0x2000, &heap)
+}
+
+/// 450.soplex: sparse matrix–vector product — integer index loads feeding
+/// indirect FP loads, the signature access pattern of sparse LP solvers.
+pub(crate) fn soplex_sparse(f: usize) -> Program {
+    const NNZ: usize = 512;
+    let n = 4 * f; // passes over the nonzeros
+    let src = format!(
+        r#"
+            li x2, {n}
+            li x3, 0            # pass
+            li x13, 1
+            fcvt.d.l f13, x13
+            fsub f20, f13, f13  # accumulator = 0
+        pass:
+            li x4, 0            # k
+            li x5, {NNZ}
+            li x7, 0x2000       # column indices
+            li x8, 0x4000       # values
+            li x9, 0x8000       # x vector
+        nnz:
+            ld   x10, 0(x7)     # col = idx[k]
+            slli x10, x10, 3
+            add  x10, x9, x10
+            fld  f1, 0(x10)     # x[col] (indirect)
+            fld  f2, 0(x8)      # a[k]
+            fmul f3, f1, f2
+            fadd f20, f20, f3
+            addi x7, x7, 8
+            addi x8, x8, 8
+            addi x4, x4, 1
+            bne  x4, x5, nnz
+            addi x3, x3, 1
+            bne  x3, x2, pass
+            li   x8, 1000000
+            fcvt.d.l f19, x8
+            fmul f20, f20, f19
+            fcvt.l.d x6, f20
+        {epi}
+        "#,
+        epi = epilogue("x6"),
+    );
+    let mut g = Xorshift::new(0x50f1);
+    let idx: Vec<u64> = (0..NNZ as u64).map(|_| g.below(256)).collect();
+    let vals: Vec<u64> = (0..NNZ).map(|_| super::fp_bits(&mut g)).collect();
+    let x: Vec<u64> = (0..256).map(|_| super::fp_bits(&mut g)).collect();
+    must_assemble("soplex_sparse", &src)
+        .with_words(0x2000, &idx)
+        .with_words(0x4000, &vals)
+        .with_words(0x8000, &x)
+}
+
+/// 453.povray: ray–sphere intersection tests — FP arithmetic with a
+/// data-dependent branch per ray and an expensive hit path (sqrt, divide).
+pub(crate) fn povray_trace(f: usize) -> Program {
+    let n = 600 * f;
+    let src = format!(
+        r#"
+            li x2, {n}
+            li x3, 0
+            li x10, 0x2000      # per-ray coefficients (a, b, c triples)
+            li x13, 1
+            fcvt.d.l f13, x13   # 1.0
+            li x14, 4
+            fcvt.d.l f14, x14   # 4.0
+            fsub f20, f13, f13  # hit accumulator
+        ray:
+            andi x4, x3, 127
+            li   x5, 24
+            mul  x5, x4, x5
+            add  x6, x10, x5
+            fld  f1, 0(x6)      # a
+            fld  f2, 8(x6)      # b
+            fld  f3, 16(x6)     # c
+            fmul f4, f2, f2     # b^2
+            fmul f5, f1, f3
+            fmul f5, f5, f14    # 4ac
+            fsub f6, f4, f5     # discriminant
+            fsub f7, f13, f13   # 0.0
+            flt  x7, f7, f6     # disc > 0 ?
+            beq  x7, x0, miss
+            fsqrt f8, f6
+            fsub f9, f8, f2
+            fadd f11, f1, f1
+            fdiv f12, f9, f11   # nearest root
+            fadd f20, f20, f12
+        miss:
+            addi x3, x3, 1
+            bne  x3, x2, ray
+            li   x8, 100000
+            fcvt.d.l f19, x8
+            fmul f20, f20, f19
+            fcvt.l.d x6, f20
+            addi x6, x6, 1
+        {epi}
+        "#,
+        epi = epilogue("x6"),
+    );
+    let mut g = Xorshift::new(0x907a);
+    // Coefficients spread around the hit/miss boundary so the branch is
+    // genuinely data-dependent (~50% hit rate).
+    let mut words = Vec::with_capacity(128 * 3);
+    for _ in 0..128 {
+        let a = f64::from_bits(super::fp_bits(&mut g));
+        let b = 1.0 + f64::from_bits(super::fp_bits(&mut g));
+        let c = f64::from_bits(super::fp_bits(&mut g));
+        words.push(a.to_bits());
+        words.push(b.to_bits());
+        words.push(c.to_bits());
+    }
+    must_assemble("povray_trace", &src).with_words(0x2000, &words)
+}
+
+/// 410.bwaves: blocked multi-coefficient stencil — dense FP with more
+/// flops per point than `lbm_stencil` and a two-level loop nest.
+pub(crate) fn bwaves_block(f: usize) -> Program {
+    let blocks = 2 * f;
+    const WIDTH: usize = 64; // points per block row
+    let src = format!(
+        r#"
+            .equ GRID, 0x40000
+            .equ OUT,  0x50000
+            li x2, {blocks}
+            li x3, 0            # block
+            li x13, 3
+            fcvt.d.l f10, x13   # k1 = 3.0
+            li x13, 5
+            fcvt.d.l f11, x13   # k2 = 5.0
+            li x13, 7
+            fcvt.d.l f12, x13   # k3 = 7.0
+            li x13, 1
+            fcvt.d.l f13, x13
+            fsub f20, f13, f13  # checksum
+        block:
+            li x4, 0            # row in block
+            li x5, 8
+        row:
+            li x6, 0            # col
+            li x7, {WIDTH}
+            li x8, GRID
+            li x9, OUT
+        col:
+            fld  f1, 0(x8)
+            fld  f2, 8(x8)
+            fld  f3, 512(x8)    # next row ({WIDTH} * 8 bytes)
+            fmul f4, f1, f10
+            fmul f5, f2, f11
+            fmul f6, f3, f12
+            fadd f4, f4, f5
+            fadd f4, f4, f6
+            fsd  f4, 0(x9)
+            fadd f20, f20, f4
+            addi x8, x8, 8
+            addi x9, x9, 8
+            addi x6, x6, 1
+            bne  x6, x7, col
+            addi x4, x4, 1
+            bne  x4, x5, row
+            addi x3, x3, 1
+            bne  x3, x2, block
+            li   x8, 100
+            fcvt.d.l f19, x8
+            fmul f20, f20, f19
+            fcvt.l.d x6, f20
+        {epi}
+        "#,
+        epi = epilogue("x6"),
+    );
+    let mut g = Xorshift::new(0xb3a7);
+    let grid: Vec<u64> = (0..(WIDTH * 10)).map(|_| super::fp_bits(&mut g)).collect();
+    must_assemble("bwaves_block", &src).with_words(0x4_0000, &grid)
+}

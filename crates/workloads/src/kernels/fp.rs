@@ -1,0 +1,181 @@
+//! Floating-point kernels (SPECfp-2006 behaviour classes).
+
+use fgstp_isa::Program;
+
+use super::{epilogue, must_assemble};
+use crate::gen::Xorshift;
+
+/// 433.milc: repeated 3x3 matrix · vector products — dense FP multiply/add
+/// chains held in registers.
+pub(crate) fn milc_su3(f: usize) -> Program {
+    let n = 900 * f;
+    let src = format!(
+        r#"
+            li  x2, {n}
+            li  x3, 0
+            li  x7, 0x2000
+            fld f1, 0(x7)
+            fld f2, 8(x7)
+            fld f3, 16(x7)
+            fld f4, 24(x7)
+            fld f5, 32(x7)
+            fld f6, 40(x7)
+            fld f7, 48(x7)
+            fld f8, 56(x7)
+            fld f9, 64(x7)
+            fld f10, 72(x7)    # vector v0..v2
+            fld f11, 80(x7)
+            fld f12, 88(x7)
+            fld f13, 96(x7)    # rescale factor
+            fld f20, 104(x7)   # zero accumulator seed
+        loop:
+            fmul f14, f1, f10
+            fmul f15, f2, f11
+            fmul f16, f3, f12
+            fadd f14, f14, f15
+            fadd f14, f14, f16  # r0
+            fmul f15, f4, f10
+            fmul f16, f5, f11
+            fmul f17, f6, f12
+            fadd f15, f15, f16
+            fadd f15, f15, f17  # r1
+            fmul f16, f7, f10
+            fmul f17, f8, f11
+            fmul f18, f9, f12
+            fadd f16, f16, f17
+            fadd f16, f16, f18  # r2
+            fadd f20, f20, f14  # running checksum
+            fmul f10, f14, f13
+            fmul f11, f15, f13
+            fmul f12, f16, f13
+            addi x3, x3, 1
+            bne  x3, x2, loop
+            li   x8, 1000000
+            fcvt.d.l f19, x8
+            fmul f20, f20, f19
+            fcvt.l.d x6, f20
+            addi x6, x6, 1
+        {epi}
+        "#,
+        epi = epilogue("x6"),
+    );
+    let mut g = Xorshift::new(0x3713);
+    let mut words: Vec<u64> = (0..12).map(|_| super::fp_bits(&mut g)).collect();
+    words.push(0.52_f64.to_bits()); // rescale keeps the iteration bounded
+    words.push(0.0_f64.to_bits());
+    must_assemble("milc_su3", &src).with_words(0x2000, &words)
+}
+
+/// 444.namd: pairwise force computation — FP chains ending in a divide,
+/// the classic inverse-square kernel.
+pub(crate) fn namd_force(f: usize) -> Program {
+    let n = 700 * f;
+    let src = format!(
+        r#"
+            li x2, {n}
+            li x3, 0           # i
+            li x10, 0x3000     # x coords
+            li x11, 0x4000     # y coords
+            li x12, 0x5000     # z coords
+            li x13, 1
+            fcvt.d.l f13, x13  # 1.0
+            fsub f20, f13, f13 # 0.0 accumulator
+        loop:
+            andi x4, x3, 127
+            slli x4, x4, 3
+            li   x14, 7
+            mul  x5, x3, x14
+            addi x5, x5, 3
+            andi x5, x5, 127
+            slli x5, x5, 3
+            add  x6, x10, x4
+            fld  f1, 0(x6)     # x[i]
+            add  x7, x10, x5
+            fld  f2, 0(x7)     # x[j]
+            add  x6, x11, x4
+            fld  f3, 0(x6)     # y[i]
+            add  x7, x11, x5
+            fld  f4, 0(x7)     # y[j]
+            add  x6, x12, x4
+            fld  f5, 0(x6)     # z[i]
+            add  x7, x12, x5
+            fld  f6, 0(x7)     # z[j]
+            fsub f7, f1, f2
+            fsub f8, f3, f4
+            fsub f9, f5, f6
+            fmul f7, f7, f7
+            fmul f8, f8, f8
+            fmul f9, f9, f9
+            fadd f7, f7, f8
+            fadd f7, f7, f9
+            fadd f7, f7, f13   # r^2 + 1 (softening)
+            fdiv f10, f13, f7  # 1 / (r^2 + 1)
+            fadd f20, f20, f10
+            addi x3, x3, 1
+            bne  x3, x2, loop
+            li   x8, 1000000
+            fcvt.d.l f19, x8
+            fmul f20, f20, f19
+            fcvt.l.d x6, f20
+        {epi}
+        "#,
+        epi = epilogue("x6"),
+    );
+    let mut g = Xorshift::new(0xa4d2);
+    let coords = |g: &mut Xorshift| -> Vec<u64> { (0..128).map(|_| super::fp_bits(g)).collect() };
+    let (x, y, z) = (coords(&mut g), coords(&mut g), coords(&mut g));
+    must_assemble("namd_force", &src)
+        .with_words(0x3000, &x)
+        .with_words(0x4000, &y)
+        .with_words(0x5000, &z)
+}
+
+/// 470.lbm: streaming FP stencil over a grid larger than the L1.
+pub(crate) fn lbm_stencil(f: usize) -> Program {
+    let passes = (f / 2).max(1);
+    const CELLS: usize = 2048;
+    let inner = CELLS - 4;
+    let src = format!(
+        r#"
+            li x2, {passes}
+            li x3, 0            # pass
+            li x4, {inner}
+            li x13, 1
+            fcvt.d.l f13, x13
+            li x14, 4
+            fcvt.d.l f14, x14
+            fdiv f5, f13, f14   # 0.25
+            fsub f6, f13, f13   # 0.0 accumulator
+        outer:
+            li x5, 0            # cell
+            li x7, 0x40000      # input row
+            li x9, 0x50000      # output row
+        inner:
+            fld  f1, 0(x7)
+            fld  f2, 8(x7)
+            fld  f3, 16(x7)
+            fld  f4, 24(x7)
+            fadd f1, f1, f2
+            fadd f3, f3, f4
+            fadd f1, f1, f3
+            fmul f1, f1, f5
+            fsd  f1, 0(x9)
+            fadd f6, f6, f1
+            addi x7, x7, 8
+            addi x9, x9, 8
+            addi x5, x5, 1
+            bne  x5, x4, inner
+            addi x3, x3, 1
+            bne  x3, x2, outer
+            li   x8, 1000
+            fcvt.d.l f19, x8
+            fmul f6, f6, f19
+            fcvt.l.d x6, f6
+        {epi}
+        "#,
+        epi = epilogue("x6"),
+    );
+    let mut g = Xorshift::new(0x1b3a);
+    let grid: Vec<u64> = (0..CELLS).map(|_| super::fp_bits(&mut g)).collect();
+    must_assemble("lbm_stencil", &src).with_words(0x4_0000, &grid)
+}

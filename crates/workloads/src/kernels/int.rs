@@ -1,0 +1,477 @@
+//! Integer kernels (SPECint-2006 behaviour classes).
+
+use fgstp_isa::Program;
+
+use super::{epilogue, must_assemble};
+use crate::gen::Xorshift;
+
+/// 400.perlbench: string hashing with data-dependent branches.
+pub(crate) fn perl_hash(f: usize) -> Program {
+    let n = 3000 * f;
+    let src = format!(
+        r#"
+            li x1, 0x2000      # buffer
+            li x2, 0           # i
+            li x3, 0x1234      # h
+            li x4, {n}         # n
+        loop:
+            andi x5, x2, 255
+            add  x6, x1, x5
+            lbu  x7, 0(x6)
+            li   x8, 31
+            mul  x3, x3, x8
+            add  x3, x3, x7
+            andi x9, x7, 1
+            beq  x9, x0, even
+            li   x10, 0x5bd1
+            xor  x3, x3, x10
+        even:
+            andi x11, x3, 7
+            slti x12, x11, 3
+            beq  x12, x0, skip
+            addi x3, x3, 13
+        skip:
+            addi x2, x2, 1
+            bne  x2, x4, loop
+        {epi}
+        "#,
+        epi = epilogue("x3"),
+    );
+    let mut g = Xorshift::new(0x9e37);
+    must_assemble("perl_hash", &src).with_data(0x2000, g.bytes(256))
+}
+
+/// 401.bzip2: run-length encoding over byte data with natural runs.
+pub(crate) fn bzip_rle(f: usize) -> Program {
+    let n = 2200 * f;
+    let src = format!(
+        r#"
+            li x1, 0x3000      # buffer
+            li x2, {n}
+            li x3, 0           # i
+            li x4, 0           # prev
+            li x5, 0           # run length
+            li x6, 0           # output checksum
+        loop:
+            andi x7, x3, 2047
+            add  x8, x1, x7
+            lbu  x9, 0(x8)
+            bne  x9, x4, newrun
+            addi x5, x5, 1
+            jal  x0, cont
+        newrun:
+            mul  x10, x5, x4
+            add  x6, x6, x10
+            li   x5, 1
+            add  x4, x9, x0
+        cont:
+            addi x3, x3, 1
+            bne  x3, x2, loop
+            addi x6, x6, 1
+        {epi}
+        "#,
+        epi = epilogue("x6"),
+    );
+    // Byte data with runs of 1..8 repeats, like post-BWT text.
+    let mut g = Xorshift::new(0xb21f);
+    let mut bytes = Vec::with_capacity(2048);
+    while bytes.len() < 2048 {
+        let b = g.next_u64() as u8;
+        let run = 1 + g.below(8) as usize;
+        for _ in 0..run.min(2048 - bytes.len()) {
+            bytes.push(b);
+        }
+    }
+    must_assemble("bzip_rle", &src).with_data(0x3000, bytes)
+}
+
+/// 403.gcc: irregular dispatch over tagged expression nodes.
+pub(crate) fn gcc_expr(f: usize) -> Program {
+    let n = 2500 * f;
+    let src = format!(
+        r#"
+            li x1, 0x4000      # node array
+            li x2, {n}
+            li x3, 0           # i
+            li x6, 1           # accumulator
+        loop:
+            andi x7, x3, 511
+            slli x8, x7, 3
+            add  x8, x1, x8
+            ld   x9, 0(x8)
+            andi x10, x9, 3
+            beq  x10, x0, op0
+            li   x11, 1
+            beq  x10, x11, op1
+            li   x11, 2
+            beq  x10, x11, op2
+            xor  x6, x6, x9    # op3
+            jal  x0, cont
+        op0:
+            add  x6, x6, x9
+            jal  x0, cont
+        op1:
+            sub  x6, x6, x9
+            jal  x0, cont
+        op2:
+            srli x12, x9, 7
+            add  x6, x6, x12
+        cont:
+            addi x3, x3, 1
+            bne  x3, x2, loop
+        {epi}
+        "#,
+        epi = epilogue("x6"),
+    );
+    let mut g = Xorshift::new(0x6cc0);
+    let words: Vec<u64> = (0..512).map(|_| g.next_u64() >> 1).collect();
+    must_assemble("gcc_expr", &src).with_words(0x4000, &words)
+}
+
+/// 429.mcf: pointer chasing over a shuffled linked list bigger than L1.
+pub(crate) fn mcf_pointer(f: usize) -> Program {
+    const NODES: usize = 4096;
+    const BASE: u64 = 0x4_0000;
+    let steps = 1200 * f;
+    let mut g = Xorshift::new(0x3cf1);
+    let perm = g.permutation(NODES);
+    // Node j occupies 16 bytes at BASE + j*16: [next_ptr, value].
+    let mut words = vec![0u64; NODES * 2];
+    for i in 0..NODES {
+        let here = perm[i];
+        let next = perm[(i + 1) % NODES];
+        words[here * 2] = BASE + (next as u64) * 16;
+        words[here * 2 + 1] = g.next_u64() >> 8;
+    }
+    let entry = BASE + (perm[0] as u64) * 16;
+    let src = format!(
+        r#"
+            li x1, {entry}
+            li x2, {steps}
+            li x3, 0
+        loop:
+            ld   x4, 8(x1)     # node value
+            add  x3, x3, x4
+            ld   x1, 0(x1)     # follow next pointer
+            addi x2, x2, -1
+            bne  x2, x0, loop
+        {epi}
+        "#,
+        epi = epilogue("x3"),
+    );
+    must_assemble("mcf_pointer", &src).with_words(BASE, &words)
+}
+
+/// 445.gobmk: board scanning with unpredictable branches.
+pub(crate) fn gobmk_board(f: usize) -> Program {
+    let n = 1800 * f;
+    let src = format!(
+        r#"
+            li x1, 0x2000      # board (64x64 bytes)
+            li x2, {n}
+            li x3, 0           # i
+            li x4, 1           # position
+            li x6, 0           # score
+        loop:
+            li   x12, 31
+            mul  x4, x4, x12
+            addi x4, x4, 17
+            andi x4, x4, 4095
+            add  x8, x1, x4
+            lbu  x9, 0(x8)
+            andi x10, x9, 1
+            beq  x10, x0, skip1
+            addi x11, x4, 1
+            andi x11, x11, 4095
+            add  x13, x1, x11
+            lbu  x14, 0(x13)
+            add  x6, x6, x14
+        skip1:
+            slti x15, x9, 2
+            beq  x15, x0, skip2
+            addi x6, x6, 3
+        skip2:
+            addi x3, x3, 1
+            bne  x3, x2, loop
+        {epi}
+        "#,
+        epi = epilogue("x6"),
+    );
+    let mut g = Xorshift::new(0x60b8);
+    let board: Vec<u8> = (0..4096).map(|_| (g.below(4)) as u8).collect();
+    must_assemble("gobmk_board", &src).with_data(0x2000, board)
+}
+
+/// 456.hmmer: dynamic-programming inner loop — straight-line, high ILP,
+/// branchless max.
+pub(crate) fn hmmer_dp(f: usize) -> Program {
+    let passes = 2 * f;
+    let src = format!(
+        r#"
+            li x2, {passes}
+            li x3, 0            # pass
+            li x4, 256          # cells
+            li x6, 0            # checksum
+            li x20, 3           # w1
+            li x21, 7           # w2
+        outer:
+            li x5, 0            # cell
+            li x7, 0x2000       # a
+            li x8, 0x3000       # b
+            li x22, 0x5000      # c
+        inner:
+            ld   x9, 0(x7)
+            ld   x10, 0(x8)
+            add  x11, x9, x20
+            add  x12, x10, x21
+            slt  x13, x11, x12
+            xor  x14, x11, x12
+            mul  x15, x14, x13
+            xor  x16, x11, x15  # branchless max(x11, x12)
+            sd   x16, 0(x22)
+            add  x6, x6, x16
+            addi x7, x7, 8
+            addi x8, x8, 8
+            addi x22, x22, 8
+            addi x5, x5, 1
+            bne  x5, x4, inner
+            addi x3, x3, 1
+            bne  x3, x2, outer
+        {epi}
+        "#,
+        epi = epilogue("x6"),
+    );
+    let mut g = Xorshift::new(0x4a3e);
+    let a: Vec<u64> = (0..256).map(|_| g.next_u64() >> 40).collect();
+    let b: Vec<u64> = (0..256).map(|_| g.next_u64() >> 40).collect();
+    must_assemble("hmmer_dp", &src)
+        .with_words(0x2000, &a)
+        .with_words(0x3000, &b)
+}
+
+/// 458.sjeng: branchy position evaluation over a table.
+pub(crate) fn sjeng_eval(f: usize) -> Program {
+    let n = 2200 * f;
+    let src = format!(
+        r#"
+            li x1, 0x2000      # position table (1024 words)
+            li x2, {n}
+            li x3, 0           # i
+            li x4, 7           # lcg state
+            li x6, 0           # eval
+        loop:
+            li   x12, 1103
+            mul  x4, x4, x12
+            addi x4, x4, 12345
+            andi x7, x4, 1023
+            slli x8, x7, 3
+            add  x8, x1, x8
+            ld   x9, 0(x8)
+            andi x10, x9, 15
+            slti x11, x10, 8
+            beq  x11, x0, high
+            andi x13, x9, 3
+            beq  x13, x0, quiet
+            add  x6, x6, x10
+            jal  x0, cont
+        quiet:
+            sub  x6, x6, x10
+            jal  x0, cont
+        high:
+            srli x14, x9, 32
+            andi x14, x14, 255
+            add  x6, x6, x14
+        cont:
+            addi x3, x3, 1
+            bne  x3, x2, loop
+        {epi}
+        "#,
+        epi = epilogue("x6"),
+    );
+    let mut g = Xorshift::new(0x57e9);
+    let words: Vec<u64> = (0..1024).map(|_| g.next_u64() >> 1).collect();
+    must_assemble("sjeng_eval", &src).with_words(0x2000, &words)
+}
+
+/// 462.libquantum: streaming gate application — long unit-stride loops,
+/// high memory-level parallelism, four independent lanes.
+pub(crate) fn libq_stream(f: usize) -> Program {
+    let passes = f;
+    let src = format!(
+        r#"
+            .equ BASE, 0x200000
+            li x2, {passes}
+            li x3, 0            # pass
+            li x20, 0x55AA      # gate mask
+            li x5, 1            # accumulators
+            li x6, 2
+            li x11, 3
+            li x12, 4
+        outer:
+            li x7, BASE
+            li x8, 0x208000     # BASE + 4096*8
+        inner:
+            ld   x9, 0(x7)
+            xor  x9, x9, x20
+            sd   x9, 0(x7)
+            add  x5, x5, x9
+            ld   x10, 8(x7)
+            xor  x10, x10, x20
+            sd   x10, 8(x7)
+            add  x6, x6, x10
+            ld   x13, 16(x7)
+            xor  x13, x13, x20
+            sd   x13, 16(x7)
+            add  x11, x11, x13
+            ld   x14, 24(x7)
+            xor  x14, x14, x20
+            sd   x14, 24(x7)
+            add  x12, x12, x14
+            addi x7, x7, 32
+            bne  x7, x8, inner
+            addi x3, x3, 1
+            bne  x3, x2, outer
+            add  x5, x5, x6
+            add  x5, x5, x11
+            add  x5, x5, x12
+        {epi}
+        "#,
+        epi = epilogue("x5"),
+    );
+    must_assemble("libq_stream", &src)
+}
+
+/// 464.h264ref: sum of absolute differences over pixel blocks.
+pub(crate) fn h264_sad(f: usize) -> Program {
+    let passes = 6 * f;
+    let src = format!(
+        r#"
+            li x2, {passes}
+            li x3, 0            # pass
+            li x6, 0            # sad accumulator
+        outer:
+            li x7, 0x2000       # block A
+            li x8, 0x2200       # block B
+            li x5, 0            # i
+            li x4, 64           # 64 iterations x 4 pixels
+        inner:
+            lbu  x9, 0(x7)
+            lbu  x10, 0(x8)
+            sub  x11, x9, x10
+            srai x12, x11, 63
+            xor  x13, x11, x12
+            sub  x13, x13, x12  # |a - b|
+            add  x6, x6, x13
+            lbu  x14, 1(x7)
+            lbu  x15, 1(x8)
+            sub  x16, x14, x15
+            srai x17, x16, 63
+            xor  x18, x16, x17
+            sub  x18, x18, x17
+            add  x6, x6, x18
+            lbu  x19, 2(x7)
+            lbu  x20, 2(x8)
+            sub  x21, x19, x20
+            srai x22, x21, 63
+            xor  x23, x21, x22
+            sub  x23, x23, x22
+            add  x6, x6, x23
+            lbu  x24, 3(x7)
+            lbu  x25, 3(x8)
+            sub  x26, x24, x25
+            srai x27, x26, 63
+            xor  x28, x26, x27
+            sub  x28, x28, x27
+            add  x6, x6, x28
+            addi x7, x7, 4
+            addi x8, x8, 4
+            addi x5, x5, 1
+            bne  x5, x4, inner
+            addi x3, x3, 1
+            bne  x3, x2, outer
+        {epi}
+        "#,
+        epi = epilogue("x6"),
+    );
+    let mut g = Xorshift::new(0x8264);
+    let a = g.bytes(256);
+    let b = g.bytes(256);
+    must_assemble("h264_sad", &src)
+        .with_data(0x2000, a)
+        .with_data(0x2200, b)
+}
+
+/// 473.astar: cost-driven grid walk with data-dependent control.
+pub(crate) fn astar_grid(f: usize) -> Program {
+    let n = 2000 * f;
+    let src = format!(
+        r#"
+            li x1, 0x2000      # grid (64x64 byte costs)
+            li x2, {n}
+            li x3, 0           # step
+            li x4, 0           # position
+            li x6, 0           # path cost
+        loop:
+            addi x11, x4, 1
+            andi x11, x11, 4095
+            add  x12, x1, x11
+            lbu  x13, 0(x12)   # cost right
+            addi x14, x4, 64
+            andi x14, x14, 4095
+            add  x15, x1, x14
+            lbu  x16, 0(x15)   # cost down
+            blt  x13, x16, right
+            add  x4, x14, x0
+            add  x6, x6, x16
+            jal  x0, cont
+        right:
+            add  x4, x11, x0
+            add  x6, x6, x13
+        cont:
+            addi x3, x3, 1
+            bne  x3, x2, loop
+        {epi}
+        "#,
+        epi = epilogue("x6"),
+    );
+    let mut g = Xorshift::new(0xa5f3);
+    let grid: Vec<u8> = (0..4096).map(|_| (1 + g.below(250)) as u8).collect();
+    must_assemble("astar_grid", &src).with_data(0x2000, grid)
+}
+
+/// 483.xalancbmk: repeated binary-tree descent with compares.
+pub(crate) fn xalanc_tree(f: usize) -> Program {
+    let n = 150 * f;
+    let src = format!(
+        r#"
+            li x1, 0x2000      # implicit tree (2048 words)
+            li x2, {n}
+            li x3, 0           # descent count
+            li x5, 99          # target lcg state
+            li x6, 0           # checksum
+        outer:
+            li   x20, 0x5851
+            mul  x5, x5, x20
+            addi x5, x5, 12345
+            andi x5, x5, 0x7FFFFFFF
+            li   x7, 1         # node index
+        descend:
+            slli x8, x7, 3
+            add  x9, x1, x8
+            ld   x10, 0(x9)
+            slt  x11, x5, x10
+            add  x7, x7, x7
+            add  x7, x7, x11
+            add  x6, x6, x10
+            slti x12, x7, 1024
+            bne  x12, x0, descend
+            addi x3, x3, 1
+            bne  x3, x2, outer
+        {epi}
+        "#,
+        epi = epilogue("x6"),
+    );
+    let mut g = Xorshift::new(0xca1a);
+    let words: Vec<u64> = (0..2048).map(|_| g.next_u64() & 0x7FFF_FFFF).collect();
+    must_assemble("xalanc_tree", &src).with_words(0x2000, &words)
+}

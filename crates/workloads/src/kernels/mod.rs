@@ -1,0 +1,268 @@
+//! The eighteen synthetic kernels, one per SPEC CPU2006 behaviour class.
+
+mod extra;
+mod fp;
+mod int;
+
+use fgstp_isa::Program;
+
+use crate::{Scale, SuiteClass, Workload};
+
+/// Assembles a kernel, panicking with the kernel name on error (kernel
+/// sources are static and covered by tests, so a failure is a build bug).
+pub(crate) fn must_assemble(name: &str, src: &str) -> Program {
+    fgstp_isa::assemble(src).unwrap_or_else(|e| panic!("kernel {name} does not assemble: {e}"))
+}
+
+/// A pseudo-random f64 in [0.25, 1.0), as its bit pattern — shared by the
+/// FP kernels' data generators.
+pub(crate) fn fp_bits(g: &mut crate::gen::Xorshift) -> u64 {
+    let unit = (g.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+    (0.25 + 0.75 * unit).to_bits()
+}
+
+/// The standard epilogue: store the checksum register and halt.
+pub(crate) fn epilogue(checksum_reg: &str) -> String {
+    format!(
+        "li x31, {}\nsd {checksum_reg}, 0(x31)\nhalt\n",
+        crate::CHECKSUM_ADDR
+    )
+}
+
+/// Builds the full suite at `scale`.
+pub fn all(scale: Scale) -> Vec<Workload> {
+    let f = scale.factor();
+    vec![
+        Workload {
+            name: "perl_hash",
+            models: "400.perlbench",
+            suite: SuiteClass::Int,
+            description: "string hashing with data-dependent branches",
+            program: int::perl_hash(f),
+        },
+        Workload {
+            name: "bzip_rle",
+            models: "401.bzip2",
+            suite: SuiteClass::Int,
+            description: "run-length encoding over byte data",
+            program: int::bzip_rle(f),
+        },
+        Workload {
+            name: "gcc_expr",
+            models: "403.gcc",
+            suite: SuiteClass::Int,
+            description: "irregular expression-node dispatch",
+            program: int::gcc_expr(f),
+        },
+        Workload {
+            name: "mcf_pointer",
+            models: "429.mcf",
+            suite: SuiteClass::Int,
+            description: "pointer chasing over a shuffled linked list",
+            program: int::mcf_pointer(f),
+        },
+        Workload {
+            name: "gobmk_board",
+            models: "445.gobmk",
+            suite: SuiteClass::Int,
+            description: "board scanning with unpredictable branches",
+            program: int::gobmk_board(f),
+        },
+        Workload {
+            name: "hmmer_dp",
+            models: "456.hmmer",
+            suite: SuiteClass::Int,
+            description: "dynamic-programming inner loop, high ILP",
+            program: int::hmmer_dp(f),
+        },
+        Workload {
+            name: "sjeng_eval",
+            models: "458.sjeng",
+            suite: SuiteClass::Int,
+            description: "branchy position evaluation",
+            program: int::sjeng_eval(f),
+        },
+        Workload {
+            name: "libq_stream",
+            models: "462.libquantum",
+            suite: SuiteClass::Int,
+            description: "streaming gate application over a large array",
+            program: int::libq_stream(f),
+        },
+        Workload {
+            name: "h264_sad",
+            models: "464.h264ref",
+            suite: SuiteClass::Int,
+            description: "sum of absolute differences over blocks",
+            program: int::h264_sad(f),
+        },
+        Workload {
+            name: "astar_grid",
+            models: "473.astar",
+            suite: SuiteClass::Int,
+            description: "cost-driven grid walk, data-dependent control",
+            program: int::astar_grid(f),
+        },
+        Workload {
+            name: "xalanc_tree",
+            models: "483.xalancbmk",
+            suite: SuiteClass::Int,
+            description: "repeated tree descent with compares",
+            program: int::xalanc_tree(f),
+        },
+        Workload {
+            name: "milc_su3",
+            models: "433.milc",
+            suite: SuiteClass::Fp,
+            description: "3x3 complex-free matrix products",
+            program: fp::milc_su3(f),
+        },
+        Workload {
+            name: "namd_force",
+            models: "444.namd",
+            suite: SuiteClass::Fp,
+            description: "pairwise force computation with divides",
+            program: fp::namd_force(f),
+        },
+        Workload {
+            name: "lbm_stencil",
+            models: "470.lbm",
+            suite: SuiteClass::Fp,
+            description: "streaming FP stencil over a large grid",
+            program: fp::lbm_stencil(f),
+        },
+        Workload {
+            name: "omnetpp_queue",
+            models: "471.omnetpp",
+            suite: SuiteClass::Int,
+            description: "event-heap sift with data-dependent branching",
+            program: extra::omnetpp_queue(f),
+        },
+        Workload {
+            name: "soplex_sparse",
+            models: "450.soplex",
+            suite: SuiteClass::Fp,
+            description: "sparse matrix-vector product with indirect FP loads",
+            program: extra::soplex_sparse(f),
+        },
+        Workload {
+            name: "povray_trace",
+            models: "453.povray",
+            suite: SuiteClass::Fp,
+            description: "ray-sphere tests: branchy FP with sqrt/divide hit path",
+            program: extra::povray_trace(f),
+        },
+        Workload {
+            name: "bwaves_block",
+            models: "410.bwaves",
+            suite: SuiteClass::Fp,
+            description: "blocked multi-coefficient stencil",
+            program: extra::bwaves_block(f),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CHECKSUM_ADDR;
+    use fgstp_isa::{trace_program, InstClass, Machine};
+
+    fn checksum(w: &Workload) -> u64 {
+        let mut m = Machine::new(&w.program);
+        m.run(64_000_000)
+            .unwrap_or_else(|e| panic!("{} faulted: {e}", w.name));
+        m.mem().read(CHECKSUM_ADDR, 8)
+    }
+
+    #[test]
+    fn every_kernel_halts_with_nonzero_checksum() {
+        for w in all(Scale::Test) {
+            let c = checksum(&w);
+            assert_ne!(c, 0, "{} produced a zero checksum", w.name);
+        }
+    }
+
+    #[test]
+    fn checksums_are_deterministic() {
+        for w in all(Scale::Test) {
+            assert_eq!(checksum(&w), checksum(&w), "{}", w.name);
+        }
+    }
+
+    #[test]
+    fn checksums_are_scale_sensitive_but_stable_per_scale() {
+        let a = all(Scale::Test);
+        let b = all(Scale::Test);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.program, y.program, "{} rebuilds identically", x.name);
+        }
+    }
+
+    #[test]
+    fn dynamic_sizes_are_in_band() {
+        for w in all(Scale::Test) {
+            let t = trace_program(&w.program, Scale::Test.trace_budget())
+                .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            let n = t.len();
+            assert!(
+                (2_000..200_000).contains(&n),
+                "{} has {} dynamic instructions at test scale",
+                w.name,
+                n
+            );
+        }
+    }
+
+    #[test]
+    fn mcf_is_load_heavy_and_hmmer_is_not_branch_heavy() {
+        let s = all(Scale::Test);
+        let trace_of = |name: &str| {
+            let w = s.iter().find(|w| w.name == name).unwrap();
+            trace_program(&w.program, Scale::Test.trace_budget()).unwrap()
+        };
+        let mcf = trace_of("mcf_pointer");
+        assert!(
+            mcf.class_fraction(InstClass::Load) > 0.3,
+            "mcf chases pointers"
+        );
+        let hmmer = trace_of("hmmer_dp");
+        assert!(
+            hmmer.class_fraction(InstClass::Branch) < 0.15,
+            "hmmer is straight-line ILP"
+        );
+    }
+
+    #[test]
+    fn fp_kernels_execute_fp_work() {
+        for name in ["milc_su3", "namd_force", "lbm_stencil"] {
+            let w = crate::by_name(name, Scale::Test).unwrap();
+            let t = trace_program(&w.program, Scale::Test.trace_budget()).unwrap();
+            let fp = t.class_fraction(InstClass::FpAdd)
+                + t.class_fraction(InstClass::FpMul)
+                + t.class_fraction(InstClass::FpDiv);
+            assert!(fp > 0.2, "{name} fp fraction {fp}");
+        }
+    }
+
+    #[test]
+    fn branchy_kernels_have_branches() {
+        for name in ["gobmk_board", "sjeng_eval", "gcc_expr"] {
+            let w = crate::by_name(name, Scale::Test).unwrap();
+            let t = trace_program(&w.program, Scale::Test.trace_budget()).unwrap();
+            assert!(
+                t.class_fraction(InstClass::Branch) > 0.1,
+                "{name} branch fraction too low"
+            );
+        }
+    }
+
+    #[test]
+    fn scaling_up_scales_dynamic_length() {
+        let small = crate::by_name("libq_stream", Scale::Test).unwrap();
+        let big = crate::by_name("libq_stream", Scale::Small).unwrap();
+        let ts = trace_program(&small.program, Scale::Small.trace_budget()).unwrap();
+        let tb = trace_program(&big.program, Scale::Small.trace_budget()).unwrap();
+        assert!(tb.len() > 3 * ts.len());
+    }
+}

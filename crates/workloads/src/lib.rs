@@ -1,0 +1,158 @@
+//! # fgstp-workloads
+//!
+//! The benchmark suite for the Fg-STP reproduction.
+//!
+//! The paper evaluates on SPEC CPU2006, which we cannot redistribute or
+//! execute inside a from-scratch ISA. Instead this crate provides eighteen
+//! *self-checking synthetic kernels*, one per SPEC-2006-like behaviour
+//! class — pointer chasing (`mcf`), streaming (`libquantum`, `lbm`),
+//! high-ILP loop nests (`hmmer`, `h264`), unpredictable branches
+//! (`gobmk`, `sjeng`), FP dense compute (`milc`, `namd`), and so on. What
+//! Fg-STP exploits (or suffers from) is the *structure* of the dynamic
+//! instruction stream — dependence-chain depth, branch predictability,
+//! memory-level parallelism — and each kernel reproduces its class's
+//! structure. See `DESIGN.md` for the substitution rationale.
+//!
+//! Every kernel writes a checksum to [`CHECKSUM_ADDR`] before halting, so
+//! functional correctness of any machine model can be asserted against the
+//! reference interpreter.
+//!
+//! ```
+//! use fgstp_workloads::{suite, Scale};
+//!
+//! let workloads = suite(Scale::Test);
+//! assert_eq!(workloads.len(), 18);
+//! let mcf = workloads.iter().find(|w| w.name == "mcf_pointer").unwrap();
+//! let checksum = mcf.run_reference()?;
+//! assert_ne!(checksum, 0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod gen;
+pub mod kernels;
+
+use fgstp_isa::{ExecError, Machine, Program};
+
+/// Address at which every kernel stores its 64-bit checksum.
+pub const CHECKSUM_ADDR: u64 = 0x10_0000;
+
+/// Benchmark suite class, mirroring SPECint/SPECfp.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SuiteClass {
+    /// Integer workload.
+    Int,
+    /// Floating-point workload.
+    Fp,
+}
+
+impl std::fmt::Display for SuiteClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            SuiteClass::Int => "int",
+            SuiteClass::Fp => "fp",
+        })
+    }
+}
+
+/// Input scale, controlling dynamic instruction counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scale {
+    /// A few thousand dynamic instructions — unit/integration tests.
+    Test,
+    /// Tens of thousands — experiment runs.
+    Small,
+    /// Low hundreds of thousands — the recorded evaluation numbers.
+    Reference,
+}
+
+impl Scale {
+    /// Nominal iteration multiplier for this scale.
+    pub fn factor(self) -> usize {
+        match self {
+            Scale::Test => 1,
+            Scale::Small => 8,
+            Scale::Reference => 32,
+        }
+    }
+
+    /// A generous dynamic-instruction budget for tracing at this scale.
+    pub fn trace_budget(self) -> u64 {
+        match self {
+            Scale::Test => 2_000_000,
+            Scale::Small => 8_000_000,
+            Scale::Reference => 32_000_000,
+        }
+    }
+}
+
+/// One benchmark: a program plus its identity.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Short kernel name (e.g. `"mcf_pointer"`).
+    pub name: &'static str,
+    /// The SPEC CPU2006 benchmark whose behaviour class it models.
+    pub models: &'static str,
+    /// Suite class.
+    pub suite: SuiteClass,
+    /// One-line behaviour description.
+    pub description: &'static str,
+    /// The assembled program.
+    pub program: Program,
+}
+
+impl Workload {
+    /// Runs the kernel on the reference interpreter and returns its
+    /// checksum.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`ExecError`] if the program faults or exceeds the
+    /// reference step budget (which would be a kernel bug).
+    pub fn run_reference(&self) -> Result<u64, ExecError> {
+        let mut m = Machine::new(&self.program);
+        m.run(64_000_000)?;
+        Ok(m.mem().read(CHECKSUM_ADDR, 8))
+    }
+}
+
+/// Builds the full 18-kernel suite at the given scale.
+pub fn suite(scale: Scale) -> Vec<Workload> {
+    kernels::all(scale)
+}
+
+/// Looks up one kernel of the suite by name.
+pub fn by_name(name: &str, scale: Scale) -> Option<Workload> {
+    suite(scale).into_iter().find(|w| w.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_eighteen_named_kernels() {
+        let s = suite(Scale::Test);
+        assert_eq!(s.len(), 18);
+        let names: std::collections::HashSet<_> = s.iter().map(|w| w.name).collect();
+        assert_eq!(names.len(), 18, "names are unique");
+    }
+
+    #[test]
+    fn by_name_finds_kernels() {
+        assert!(by_name("mcf_pointer", Scale::Test).is_some());
+        assert!(by_name("nonexistent", Scale::Test).is_none());
+    }
+
+    #[test]
+    fn scales_are_ordered() {
+        assert!(Scale::Test.factor() < Scale::Small.factor());
+        assert!(Scale::Small.factor() < Scale::Reference.factor());
+    }
+
+    #[test]
+    fn suite_spans_both_classes() {
+        let s = suite(Scale::Test);
+        assert!(s.iter().any(|w| w.suite == SuiteClass::Int));
+        assert!(s.iter().any(|w| w.suite == SuiteClass::Fp));
+    }
+}

@@ -1,0 +1,45 @@
+//! Golden checksums: every kernel's reference result at test scale is
+//! pinned, so any change to kernel code, data generation or interpreter
+//! semantics is caught immediately. Regenerate by running
+//! `Workload::run_reference` for each suite member if a change is
+//! intentional.
+
+use fgstp_workloads::{suite, Scale};
+
+const GOLDEN: [(&str, u64); 18] = [
+    ("perl_hash", 0x7e4759e5a89f03b3),
+    ("bzip_rle", 0x4311c),
+    ("gcc_expr", 0x948ec4f70d2ef269),
+    ("mcf_pointer", 0x47a8bdb68799de0e),
+    ("gobmk_board", 0x109e),
+    ("hmmer_dp", 0x157ad59d0),
+    ("sjeng_eval", 0x27ed7),
+    ("libq_stream", 0x55aa00a),
+    ("h264_sad", 0x214c8),
+    ("astar_grid", 0x2da8e),
+    ("xalanc_tree", 0x1929350ce3f),
+    ("milc_su3", 0x38d4e0),
+    ("namd_force", 0x211f60d6),
+    ("lbm_stencil", 0x1343df),
+    ("omnetpp_queue", 0x1f84c24dd7),
+    ("soplex_sparse", 0x309586ec),
+    ("povray_trace", 0xfffffffffea31f5e),
+    ("bwaves_block", 0xe13c1),
+];
+
+#[test]
+fn reference_checksums_are_pinned() {
+    let workloads = suite(Scale::Test);
+    assert_eq!(workloads.len(), GOLDEN.len());
+    for (name, expected) in GOLDEN {
+        let w = workloads
+            .iter()
+            .find(|w| w.name == name)
+            .unwrap_or_else(|| panic!("golden table references unknown workload {name}"));
+        let got = w.run_reference().unwrap();
+        assert_eq!(
+            got, expected,
+            "{name}: checksum {got:#x} != golden {expected:#x} — kernel or interpreter changed"
+        );
+    }
+}

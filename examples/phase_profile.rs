@@ -1,0 +1,43 @@
+//! Phase profile: visualize per-interval IPC of every workload as a
+//! sparkline, and flag the strongest phase behaviour — the codes where a
+//! reconfiguration controller (`fgstp::adaptive`) has something to react
+//! to.
+//!
+//! ```sh
+//! cargo run --release --example phase_profile [interval]
+//! ```
+
+use fg_stp_repro::prelude::*;
+use fg_stp_repro::sim::profile::profile_single;
+use fg_stp_repro::sim::runner::trace_workload;
+
+fn main() {
+    let interval: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2000);
+    println!("per-interval IPC on one small core ({interval} instructions per sample)\n");
+    let mut strongest: Option<(&'static str, f64)> = None;
+    for w in suite(Scale::Test) {
+        let trace = trace_workload(&w, Scale::Test);
+        let p = profile_single(
+            trace.insts(),
+            &CoreConfig::small(),
+            &HierarchyConfig::small(1),
+            interval,
+        );
+        println!(
+            "{:14} mean {:.2}  contrast {:>5.1}x  {}",
+            w.name,
+            p.mean_ipc(),
+            p.phase_contrast(),
+            p.sparkline()
+        );
+        if strongest.is_none_or(|(_, c)| p.phase_contrast() > c) {
+            strongest = Some((w.name, p.phase_contrast()));
+        }
+    }
+    if let Some((name, contrast)) = strongest {
+        println!("\nstrongest phase behaviour: {name} ({contrast:.1}x fastest/slowest interval)");
+    }
+}

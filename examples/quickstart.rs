@@ -1,0 +1,45 @@
+//! Quickstart: run one workload on all three machines of the small 2-core
+//! CMP and print the headline comparison.
+//!
+//! ```sh
+//! cargo run --release --example quickstart [workload]
+//! ```
+
+use fg_stp_repro::prelude::*;
+use fg_stp_repro::sim::runner::trace_workload;
+use fg_stp_repro::workloads;
+
+fn main() {
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "hmmer_dp".to_owned());
+    let Some(w) = workloads::by_name(&name, Scale::Test) else {
+        eprintln!("unknown workload `{name}`; available:");
+        for w in suite(Scale::Test) {
+            eprintln!("  {:12} (models {}: {})", w.name, w.models, w.description);
+        }
+        std::process::exit(1);
+    };
+    println!(
+        "workload: {} (models {}: {})",
+        w.name, w.models, w.description
+    );
+    let checksum = w.run_reference().expect("workload runs");
+    println!("reference checksum: {checksum:#x}");
+
+    let trace = trace_workload(&w, Scale::Test);
+    println!("dynamic instructions: {}\n", trace.len());
+
+    let mut table = Table::new(["machine", "cycles", "ipc", "speedup vs single"]);
+    let baseline = run_on(MachineKind::SingleSmall, trace.insts());
+    for kind in MachineKind::SMALL_CMP {
+        let run = run_on(kind, trace.insts());
+        table.row([
+            kind.label().to_owned(),
+            run.result.cycles.to_string(),
+            format!("{:.3}", run.ipc()),
+            format!("{:.3}x", run.result.speedup_over(&baseline.result)),
+        ]);
+    }
+    println!("{table}");
+}

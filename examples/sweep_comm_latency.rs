@@ -1,0 +1,33 @@
+//! Sweep the inter-core communication latency and watch Fg-STP's speedup
+//! degrade — the sensitivity study that motivates dedicated register
+//! queues between adjacent cores.
+//!
+//! ```sh
+//! cargo run --release --example sweep_comm_latency
+//! ```
+
+use fg_stp_repro::core::{run_fgstp, FgstpConfig};
+use fg_stp_repro::prelude::*;
+use fg_stp_repro::sim::runner::trace_workload;
+
+fn main() {
+    let scale = Scale::Test;
+    let workloads = suite(scale);
+    let mut table = Table::new(["comm latency", "geomean speedup vs 1 small core"]);
+    for latency in [1u64, 2, 4, 8, 12, 16] {
+        let mut speedups = Vec::new();
+        for w in &workloads {
+            let trace = trace_workload(w, scale);
+            let single = run_on(MachineKind::SingleSmall, trace.insts());
+            let mut cfg = FgstpConfig::small();
+            cfg.comm.latency = latency;
+            let (r, _) = run_fgstp(trace.insts(), &cfg, &HierarchyConfig::small(2));
+            speedups.push(r.speedup_over(&single.result));
+        }
+        table.row([
+            format!("{latency} cycles"),
+            format!("{:.3}x", geomean(&speedups)),
+        ]);
+    }
+    println!("{table}");
+}

@@ -1,0 +1,60 @@
+//! # fg-stp-repro
+//!
+//! Umbrella crate for the reproduction of **Fg-STP: Fine-Grain Single
+//! Thread Partitioning on Multicores** (Ranjan, Latorre, Marcuello,
+//! González — HPCA 2011).
+//!
+//! Fg-STP is a hardware-only scheme that reconfigures two conventional
+//! out-of-order cores of a CMP to collaborate on fetching and executing a
+//! *single* thread: the dynamic instruction stream is partitioned at
+//! instruction granularity over a large lookahead window, cheap producers
+//! are replicated instead of communicated, register values cross the cores
+//! through dedicated queues, and loads speculate past remote stores.
+//!
+//! This crate re-exports the whole workspace behind one façade:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`isa`] | `fgstp-isa` | SimRISC ISA, assembler, functional interpreter, traces |
+//! | [`workloads`] | `fgstp-workloads` | 18 self-checking SPEC-2006-class kernels |
+//! | [`mem`] | `fgstp-mem` | caches, MSHRs, prefetcher, two-level hierarchy |
+//! | [`bpred`] | `fgstp-bpred` | direction predictors, BTB, return stack |
+//! | [`ooo`] | `fgstp-ooo` | the cycle-level out-of-order core model |
+//! | [`core`] | `fgstp` | the paper's contribution: partitioner, queues, dual-core machine |
+//! | [`sim`] | `fgstp-sim` | machine presets, suite runner, report tables |
+//! | [`tracefile`] | `fgstp-tracefile` | compact binary trace serialization |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use fg_stp_repro::prelude::*;
+//!
+//! // Trace a workload and run it on two machines of the small CMP.
+//! let w = fg_stp_repro::workloads::by_name("hmmer_dp", Scale::Test).unwrap();
+//! let trace = fg_stp_repro::sim::runner::trace_workload(&w, Scale::Test);
+//! let single = run_on(MachineKind::SingleSmall, trace.insts());
+//! let fgstp = run_on(MachineKind::FgstpSmall, trace.insts());
+//! assert_eq!(single.result.committed, fgstp.result.committed);
+//! ```
+//!
+//! See `examples/` for runnable scenarios and `crates/bench/src/bin/` for
+//! the per-figure experiment harness.
+
+pub use fgstp as core;
+pub use fgstp_bpred as bpred;
+pub use fgstp_isa as isa;
+pub use fgstp_mem as mem;
+pub use fgstp_ooo as ooo;
+pub use fgstp_sim as sim;
+pub use fgstp_tracefile as tracefile;
+pub use fgstp_workloads as workloads;
+
+/// The most commonly used items, for examples and quick scripts.
+pub mod prelude {
+    pub use fgstp::{run_fgstp, FgstpConfig, PartitionConfig, PartitionPolicy};
+    pub use fgstp_isa::{assemble, trace_program, Machine, Program};
+    pub use fgstp_mem::HierarchyConfig;
+    pub use fgstp_ooo::{run_single, CoreConfig};
+    pub use fgstp_sim::{geomean, run_on, run_suite, MachineKind, Scale, Table};
+    pub use fgstp_workloads::{suite, SuiteClass, Workload};
+}

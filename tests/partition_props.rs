@@ -1,0 +1,140 @@
+//! Property tests: partitioning preserves sequential semantics on *random*
+//! programs, and the timing machines commit exactly what the functional
+//! machine executed.
+//!
+//! This is the strongest form of the paper's correctness claim the
+//! workspace can check: for any program and any partitioning policy, the
+//! two-core execution with explicit communication computes the same values
+//! as the sequential reference.
+
+use proptest::prelude::*;
+
+use fg_stp_repro::core::{check_partition, partition_stream, PartitionConfig, PartitionPolicy};
+use fg_stp_repro::isa::{trace_program, Inst, Op, Program, Reg};
+use fg_stp_repro::ooo::build_exec_stream;
+use fg_stp_repro::prelude::*;
+
+/// One random body instruction, over registers x1..x12 and a 2 KiB data
+/// region addressed through x15.
+fn arb_inst() -> impl Strategy<Value = Inst> {
+    let reg = || (1u8..=12).prop_map(Reg::int);
+    let mem_off = (0i64..240).prop_map(|o| o * 8);
+    prop_oneof![
+        (reg(), reg(), reg()).prop_map(|(d, a, b)| Inst::rrr(Op::Add, d, a, b)),
+        (reg(), reg(), reg()).prop_map(|(d, a, b)| Inst::rrr(Op::Sub, d, a, b)),
+        (reg(), reg(), reg()).prop_map(|(d, a, b)| Inst::rrr(Op::Xor, d, a, b)),
+        (reg(), reg(), reg()).prop_map(|(d, a, b)| Inst::rrr(Op::Mul, d, a, b)),
+        (reg(), reg(), reg()).prop_map(|(d, a, b)| Inst::rrr(Op::Slt, d, a, b)),
+        (reg(), reg(), -64i64..64).prop_map(|(d, a, i)| Inst::rri(Op::Addi, d, a, i)),
+        (reg(), -1000i64..1000).prop_map(|(d, i)| Inst::ri(Op::Li, d, i)),
+        (reg(), mem_off.clone()).prop_map(|(d, o)| Inst::rri(Op::Ld, d, Reg::int(15), o)),
+        (reg(), mem_off.clone()).prop_map(|(d, o)| Inst::rri(Op::Lw, d, Reg::int(15), o)),
+        (reg(), mem_off.clone()).prop_map(|(s, o)| Inst::store(Op::Sd, s, Reg::int(15), o)),
+        (reg(), mem_off).prop_map(|(s, o)| Inst::store(Op::Sb, s, Reg::int(15), o)),
+    ]
+}
+
+/// A random program: register setup, a counted loop around a random body,
+/// then halt. Always terminates.
+fn arb_program() -> impl Strategy<Value = Program> {
+    (
+        proptest::collection::vec(arb_inst(), 5..60),
+        1u8..4,
+        proptest::collection::vec(any::<i64>(), 12),
+    )
+        .prop_map(|(body, loop_count, seeds)| {
+            let mut insts = Vec::new();
+            insts.push(Inst::ri(Op::Li, Reg::int(15), 0x1000));
+            for (i, s) in seeds.iter().enumerate() {
+                insts.push(Inst::ri(Op::Li, Reg::int(1 + i as u8), s % 10_000));
+            }
+            insts.push(Inst::ri(Op::Li, Reg::int(14), i64::from(loop_count)));
+            let loop_start = insts.len() as i64;
+            insts.extend(body);
+            insts.push(Inst::rri(Op::Addi, Reg::int(14), Reg::int(14), -1));
+            insts.push(Inst::branch(Op::Bne, Reg::int(14), Reg::ZERO, loop_start));
+            insts.push(Inst::halt());
+            Program::new(insts)
+        })
+}
+
+fn arb_policy() -> impl Strategy<Value = PartitionPolicy> {
+    prop_oneof![
+        (1usize..10).prop_map(|chunk| PartitionPolicy::ModN { chunk }),
+        Just(PartitionPolicy::GreedyDep),
+        (8usize..64, 0usize..3).prop_map(|(window, refine_passes)| {
+            PartitionPolicy::SliceLookahead {
+                window,
+                refine_passes,
+            }
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any partition of any program preserves sequential semantics.
+    #[test]
+    fn partition_preserves_semantics(
+        program in arb_program(),
+        policy in arb_policy(),
+        replication in any::<bool>(),
+    ) {
+        let trace = trace_program(&program, 100_000).expect("program terminates");
+        let stream = build_exec_stream(trace.insts());
+        let cfg = PartitionConfig { policy, replication, balance_slack: 0.2 };
+        let part = partition_stream(&stream, &cfg);
+        check_partition(&part, &[]).expect("partition preserves semantics");
+        // Structural invariants of the partition itself.
+        let total: u64 = part.stats.insts.iter().sum();
+        prop_assert_eq!(total, stream.len() as u64);
+        let materialized: usize = part.streams.iter().map(Vec::len).sum();
+        prop_assert_eq!(materialized as u64, total + part.stats.replicated);
+    }
+
+    /// Per-core streams stay in global program order, and cross flags are
+    /// consistent with the assignment.
+    #[test]
+    fn partition_streams_are_ordered_and_consistent(
+        program in arb_program(),
+        policy in arb_policy(),
+    ) {
+        let trace = trace_program(&program, 100_000).expect("terminates");
+        let stream = build_exec_stream(trace.insts());
+        let cfg = PartitionConfig { policy, replication: true, balance_slack: 0.2 };
+        let part = partition_stream(&stream, &cfg);
+        for (core, st) in part.streams.iter().enumerate() {
+            for w in st.windows(2) {
+                prop_assert!(w[0].gseq <= w[1].gseq);
+            }
+            for x in st {
+                for dep in x.deps.iter().flatten() {
+                    let p = dep.producer as usize;
+                    let local = part.assign[p] as usize == core || part.replicated[p];
+                    prop_assert_eq!(dep.cross, !local);
+                }
+            }
+        }
+    }
+
+    /// Every machine model commits exactly the committed-path trace.
+    #[test]
+    fn machines_commit_the_whole_trace(program in arb_program()) {
+        let trace = trace_program(&program, 100_000).expect("terminates");
+        for kind in [MachineKind::SingleSmall, MachineKind::FusedSmall, MachineKind::FgstpSmall] {
+            let r = run_on(kind, trace.insts());
+            prop_assert_eq!(r.result.committed, trace.len() as u64);
+            prop_assert!(r.result.cycles > 0 || trace.is_empty());
+        }
+    }
+
+    /// The geometric mean lies between min and max.
+    #[test]
+    fn geomean_is_bounded(xs in proptest::collection::vec(0.01f64..100.0, 1..20)) {
+        let g = geomean(&xs);
+        let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().copied().fold(0.0f64, f64::max);
+        prop_assert!(g >= min * 0.999 && g <= max * 1.001, "g={g} min={min} max={max}");
+    }
+}

@@ -1,0 +1,92 @@
+//! Integration: functional correctness of the whole stack.
+//!
+//! Every workload must (a) self-check on the reference interpreter,
+//! (b) commit exactly its trace on every machine model, and (c) pass the
+//! partitioned functional execution check — the end-to-end version of the
+//! paper's claim that partitioning preserves sequential semantics.
+
+use fg_stp_repro::core::{check_partition, partition_stream, PartitionConfig, PartitionPolicy};
+use fg_stp_repro::ooo::build_exec_stream;
+use fg_stp_repro::prelude::*;
+use fg_stp_repro::sim::runner::trace_workload;
+
+#[test]
+fn every_workload_self_checks() {
+    for w in suite(Scale::Test) {
+        let checksum = w
+            .run_reference()
+            .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        assert_ne!(checksum, 0, "{}", w.name);
+    }
+}
+
+#[test]
+fn every_workload_partition_preserves_semantics() {
+    for w in suite(Scale::Test) {
+        let t = trace_workload(&w, Scale::Test);
+        let stream = build_exec_stream(t.insts());
+        let data: Vec<(u64, Vec<u8>)> = w
+            .program
+            .data
+            .iter()
+            .map(|d| (d.addr, d.bytes.clone()))
+            .collect();
+        for policy in [
+            PartitionPolicy::fgstp_default(),
+            PartitionPolicy::GreedyDep,
+            PartitionPolicy::ModN { chunk: 5 },
+        ] {
+            let part = partition_stream(
+                &stream,
+                &PartitionConfig {
+                    policy,
+                    ..PartitionConfig::default()
+                },
+            );
+            check_partition(&part, &data)
+                .unwrap_or_else(|e| panic!("{} with {policy:?}: {e}", w.name));
+        }
+    }
+}
+
+#[test]
+fn machines_commit_exactly_the_trace() {
+    // Timing models on a representative cross-section (debug builds are
+    // slow; the full suite runs in the release-mode experiment harness).
+    for name in ["mcf_pointer", "hmmer_dp", "gobmk_board", "lbm_stencil"] {
+        let w = fg_stp_repro::workloads::by_name(name, Scale::Test).unwrap();
+        let t = trace_workload(&w, Scale::Test);
+        for kind in MachineKind::ALL {
+            let r = run_on(kind, t.insts());
+            assert_eq!(r.result.committed, t.len() as u64, "{name} on {kind}");
+        }
+    }
+}
+
+#[test]
+fn fgstp_branch_prediction_matches_single_core() {
+    // The shared frontend orchestrator predicts in program order, so the
+    // dual-core machine must see exactly the single-core mispredict count.
+    for name in ["bzip_rle", "gobmk_board", "sjeng_eval"] {
+        let w = fg_stp_repro::workloads::by_name(name, Scale::Test).unwrap();
+        let t = trace_workload(&w, Scale::Test);
+        let single = run_on(MachineKind::SingleSmall, t.insts());
+        let fgstp = run_on(MachineKind::FgstpSmall, t.insts());
+        assert_eq!(single.result.branches, fgstp.result.branches, "{name}");
+    }
+}
+
+#[test]
+fn serial_pointer_chase_is_not_slowed_down() {
+    // Fg-STP on an unpartitionable serial workload must track the single
+    // core closely (the partitioner keeps the chain on one core).
+    let w = fg_stp_repro::workloads::by_name("mcf_pointer", Scale::Test).unwrap();
+    let t = trace_workload(&w, Scale::Test);
+    let single = run_on(MachineKind::SingleSmall, t.insts());
+    let fgstp = run_on(MachineKind::FgstpSmall, t.insts());
+    let ratio = fgstp.result.cycles as f64 / single.result.cycles as f64;
+    assert!(
+        ratio < 1.1,
+        "fgstp should not lose more than 10% on mcf, ratio {ratio:.3}"
+    );
+}
