@@ -1,10 +1,16 @@
-//! Criterion micro-benchmarks of the simulator's hot paths.
+//! Wall-clock micro-benchmarks of the simulator's hot paths.
 //!
 //! These measure *simulator* throughput (host-side performance), not the
 //! modeled machines — the modeled results live in the `exp_*` binaries.
+//!
+//! The harness is dependency-free (`harness = false`): each benchmark is
+//! warmed up, then timed over enough iterations to fill a minimum
+//! measurement window, and the per-iteration mean, min and throughput are
+//! printed. Run with `cargo bench`; pass a substring to filter benchmarks
+//! (`cargo bench -- partition`).
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use std::hint::black_box;
+use std::time::{Duration, Instant};
 
 use fgstp::{partition_stream, run_fgstp, FgstpConfig, PartitionConfig};
 use fgstp_bpred::{DirectionPredictor, Tournament};
@@ -14,104 +20,135 @@ use fgstp_ooo::{build_exec_stream, run_single, CoreConfig};
 use fgstp_sim::{runner::trace_workload, Scale};
 use fgstp_workloads::by_name;
 
-fn bench_trace(c: &mut Criterion) {
-    let w = by_name("hmmer_dp", Scale::Test).unwrap();
-    let mut g = c.benchmark_group("functional");
-    g.bench_function("trace_hmmer", |b| {
-        b.iter(|| fgstp_isa::trace_program(black_box(&w.program), 10_000_000).unwrap())
-    });
-    g.finish();
+/// Minimum total measured time per benchmark.
+const WINDOW: Duration = Duration::from_millis(300);
+const WARMUP_ITERS: u32 = 3;
+
+struct Harness {
+    filter: Option<String>,
 }
 
-fn bench_stream_and_partition(c: &mut Criterion) {
+impl Harness {
+    fn from_args() -> Harness {
+        // `cargo bench -- <filter>`; ignore harness flags like --bench.
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'))
+            .map(|s| s.to_lowercase());
+        println!(
+            "{:<32} {:>12} {:>12} {:>14}",
+            "benchmark", "mean", "min", "throughput"
+        );
+        Harness { filter }
+    }
+
+    /// Times `f`, reporting per-iteration stats. `elements` is the work
+    /// per iteration for the throughput column (0 = not reported).
+    fn bench<T>(&self, name: &str, elements: u64, mut f: impl FnMut() -> T) {
+        if let Some(filt) = &self.filter {
+            if !name.to_lowercase().contains(filt) {
+                return;
+            }
+        }
+        for _ in 0..WARMUP_ITERS {
+            black_box(f());
+        }
+        let mut iters = 0u32;
+        let mut min = Duration::MAX;
+        let start = Instant::now();
+        while start.elapsed() < WINDOW {
+            let t0 = Instant::now();
+            black_box(f());
+            min = min.min(t0.elapsed());
+            iters += 1;
+        }
+        let mean = start.elapsed() / iters;
+        let throughput = if elements > 0 {
+            let per_sec = elements as f64 / mean.as_secs_f64();
+            format!("{:.1} Melem/s", per_sec / 1e6)
+        } else {
+            String::from("-")
+        };
+        println!(
+            "{name:<32} {:>12} {:>12} {throughput:>14}",
+            fmt(mean),
+            fmt(min)
+        );
+    }
+}
+
+fn fmt(d: Duration) -> String {
+    let ns = d.as_nanos();
+    match ns {
+        0..=9_999 => format!("{ns} ns"),
+        10_000..=9_999_999 => format!("{:.1} us", ns as f64 / 1e3),
+        _ => format!("{:.2} ms", ns as f64 / 1e6),
+    }
+}
+
+fn main() {
+    let h = Harness::from_args();
+
+    // Functional tracing throughput.
+    let w = by_name("hmmer_dp", Scale::Test).unwrap();
+    let hmmer_len = trace_workload(&w, Scale::Test).len() as u64;
+    h.bench("functional/trace_hmmer", hmmer_len, || {
+        fgstp_isa::trace_program(black_box(&w.program), 10_000_000).unwrap()
+    });
+
+    // Stream building and partitioning.
     let w = by_name("gcc_expr", Scale::Test).unwrap();
     let t: Trace = trace_workload(&w, Scale::Test);
-    let mut g = c.benchmark_group("partition");
-    g.throughput(Throughput::Elements(t.len() as u64));
-    g.bench_function("build_exec_stream", |b| {
-        b.iter(|| build_exec_stream(black_box(t.insts())))
+    h.bench("partition/build_exec_stream", t.len() as u64, || {
+        build_exec_stream(black_box(t.insts()))
     });
     let stream = build_exec_stream(t.insts());
-    g.bench_function("slice_lookahead", |b| {
-        b.iter(|| partition_stream(black_box(&stream), &PartitionConfig::default()))
+    h.bench("partition/slice_lookahead", t.len() as u64, || {
+        partition_stream(black_box(&stream), &PartitionConfig::default())
     });
-    g.finish();
-}
 
-fn bench_machines(c: &mut Criterion) {
+    // Timing models.
     let w = by_name("sjeng_eval", Scale::Test).unwrap();
     let t = trace_workload(&w, Scale::Test);
-    let mut g = c.benchmark_group("timing");
-    g.throughput(Throughput::Elements(t.len() as u64));
-    g.sample_size(10);
-    g.bench_function("single_small", |b| {
-        b.iter(|| {
-            run_single(
-                black_box(t.insts()),
-                &CoreConfig::small(),
-                &HierarchyConfig::small(1),
-            )
-        })
-    });
-    g.bench_function("fused_small", |b| {
-        b.iter(|| {
-            run_single(
-                black_box(t.insts()),
-                &CoreConfig::fused(&CoreConfig::small()),
-                &HierarchyConfig::small(1),
-            )
-        })
-    });
-    g.bench_function("fgstp_small", |b| {
-        b.iter(|| {
-            run_fgstp(
-                black_box(t.insts()),
-                &FgstpConfig::small(),
-                &HierarchyConfig::small(2),
-            )
-        })
-    });
-    g.finish();
-}
-
-fn bench_substrates(c: &mut Criterion) {
-    let mut g = c.benchmark_group("substrates");
-    g.bench_function("cache_hit_loop", |b| {
-        b.iter_batched(
-            || Hierarchy::new(&HierarchyConfig::small(1)),
-            |mut h| {
-                let mut acc = 0u64;
-                for i in 0..1000u64 {
-                    acc += h.access_data(0, (i % 64) * 8, false, i);
-                }
-                acc
-            },
-            BatchSize::SmallInput,
+    h.bench("timing/single_small", t.len() as u64, || {
+        run_single(
+            black_box(t.insts()),
+            &CoreConfig::small(),
+            &HierarchyConfig::small(1),
         )
     });
-    g.bench_function("tournament_predict", |b| {
-        b.iter_batched(
-            || Tournament::new(12),
-            |mut p| {
-                let mut correct = 0u64;
-                for i in 0..1000u64 {
-                    let taken = i % 3 != 0;
-                    correct += u64::from(p.predict(i % 37) == taken);
-                    p.update(i % 37, taken);
-                }
-                correct
-            },
-            BatchSize::SmallInput,
+    h.bench("timing/fused_small", t.len() as u64, || {
+        run_single(
+            black_box(t.insts()),
+            &CoreConfig::fused(&CoreConfig::small()),
+            &HierarchyConfig::small(1),
         )
     });
-    g.finish();
-}
+    h.bench("timing/fgstp_small", t.len() as u64, || {
+        run_fgstp(
+            black_box(t.insts()),
+            &FgstpConfig::small(),
+            &HierarchyConfig::small(2),
+        )
+    });
 
-criterion_group!(
-    benches,
-    bench_trace,
-    bench_stream_and_partition,
-    bench_machines,
-    bench_substrates
-);
-criterion_main!(benches);
+    // Substrate micro-benchmarks.
+    h.bench("substrates/cache_hit_loop", 1000, || {
+        let mut hier = Hierarchy::new(&HierarchyConfig::small(1));
+        let mut acc = 0u64;
+        for i in 0..1000u64 {
+            acc += hier.access_data(0, (i % 64) * 8, false, i);
+        }
+        acc
+    });
+    h.bench("substrates/tournament_predict", 1000, || {
+        let mut p = Tournament::new(12);
+        let mut correct = 0u64;
+        for i in 0..1000u64 {
+            let taken = i % 3 != 0;
+            correct += u64::from(p.predict(i % 37) == taken);
+            p.update(i % 37, taken);
+        }
+        correct
+    });
+}

@@ -10,8 +10,7 @@ use fgstp::{run_fgstp, run_oracle, run_sampling, FgstpConfig, SamplingConfig};
 use fgstp_bench::{print_experiment, ExpArgs};
 use fgstp_mem::HierarchyConfig;
 use fgstp_ooo::run_single;
-use fgstp_sim::{geomean, runner::trace_workload, Table};
-use fgstp_workloads::suite;
+use fgstp_sim::{geomean, Table};
 
 fn main() {
     let args = ExpArgs::parse();
@@ -19,6 +18,21 @@ fn main() {
     let hcfg = HierarchyConfig::small(2);
     let single_h = HierarchyConfig::small(1);
     let sampling = SamplingConfig::default();
+
+    let points = args.session().map_suite(|w, t| {
+        let single = run_single(t.insts(), &cfg.core, &single_h);
+        let (fg, _) = run_fgstp(t.insts(), &cfg, &hcfg);
+        let oracle = run_oracle(t.insts(), &cfg, &hcfg);
+        let sampled = run_sampling(t.insts(), &cfg, &hcfg, &sampling);
+        let base = single.cycles as f64;
+        (
+            w.name,
+            base / fg.cycles as f64,
+            base / sampled.cycles as f64,
+            base / oracle.cycles as f64,
+            sampled.mode.to_string(),
+        )
+    });
 
     let mut table = Table::new([
         "benchmark",
@@ -30,25 +44,16 @@ fn main() {
     let mut fg_all = Vec::new();
     let mut sampled_all = Vec::new();
     let mut oracle_all = Vec::new();
-    for w in suite(args.scale) {
-        let t = trace_workload(&w, args.scale);
-        let single = run_single(t.insts(), &cfg.core, &single_h);
-        let (fg, _) = run_fgstp(t.insts(), &cfg, &hcfg);
-        let oracle = run_oracle(t.insts(), &cfg, &hcfg);
-        let sampled = run_sampling(t.insts(), &cfg, &hcfg, &sampling);
-        let base = single.cycles as f64;
-        let s_fg = base / fg.cycles as f64;
-        let s_sam = base / sampled.cycles as f64;
-        let s_or = base / oracle.cycles as f64;
+    for (name, s_fg, s_sam, s_or, mode) in points {
         fg_all.push(s_fg);
         sampled_all.push(s_sam);
         oracle_all.push(s_or);
         table.row([
-            w.name.to_owned(),
+            name.to_owned(),
             format!("{s_fg:.3}"),
             format!("{s_sam:.3}"),
             format!("{s_or:.3}"),
-            sampled.mode.to_string(),
+            mode,
         ]);
     }
     table.row([

@@ -7,25 +7,13 @@
 
 use fgstp_bench::{print_experiment, ExpArgs};
 use fgstp_sim::energy::{energy_of, EnergyModel};
-use fgstp_sim::{geomean, run_on, runner::trace_workload, MachineKind, Table};
-use fgstp_workloads::suite;
+use fgstp_sim::{geomean, run_on, MachineKind, Table};
 
 fn main() {
     let args = ExpArgs::parse();
     let m = EnergyModel::default();
-    let mut table = Table::new([
-        "benchmark",
-        "fused EPI",
-        "fgstp EPI",
-        "fused ED",
-        "fgstp ED",
-    ]);
-    let mut epi_fused = Vec::new();
-    let mut epi_fg = Vec::new();
-    let mut ed_fused = Vec::new();
-    let mut ed_fg = Vec::new();
-    for w in suite(args.scale) {
-        let t = trace_workload(&w, args.scale);
+
+    let points = args.session().map_suite(|w, t| {
         let single = run_on(MachineKind::SingleSmall, t.insts());
         let fused = run_on(MachineKind::FusedSmall, t.insts());
         let fg = run_on(MachineKind::FgstpSmall, t.insts());
@@ -39,14 +27,27 @@ fn main() {
                 epi_abs * run.result.cycles as f64 / base_ed,
             )
         };
-        let (ef, edf) = rel(&fused);
-        let (eg, edg) = rel(&fg);
+        (w.name, rel(&fused), rel(&fg))
+    });
+
+    let mut table = Table::new([
+        "benchmark",
+        "fused EPI",
+        "fgstp EPI",
+        "fused ED",
+        "fgstp ED",
+    ]);
+    let mut epi_fused = Vec::new();
+    let mut epi_fg = Vec::new();
+    let mut ed_fused = Vec::new();
+    let mut ed_fg = Vec::new();
+    for (name, (ef, edf), (eg, edg)) in points {
         epi_fused.push(ef);
         epi_fg.push(eg);
         ed_fused.push(edf);
         ed_fg.push(edg);
         table.row([
-            w.name.to_owned(),
+            name.to_owned(),
             format!("{ef:.2}"),
             format!("{eg:.2}"),
             format!("{edf:.2}"),

@@ -8,20 +8,16 @@
 use fgstp::{run_fgstp, FgstpConfig};
 use fgstp_bench::{print_experiment, ExpArgs};
 use fgstp_mem::HierarchyConfig;
-use fgstp_sim::{geomean, run_on, runner::trace_workload, MachineKind, Table};
-use fgstp_workloads::suite;
+use fgstp_sim::{geomean, run_on, MachineKind, Table};
 
 fn main() {
     let args = ExpArgs::parse();
-    let workloads = suite(args.scale);
-    let traces: Vec<_> = workloads
-        .iter()
-        .map(|w| trace_workload(w, args.scale))
-        .collect();
-    let singles: Vec<_> = traces
-        .iter()
-        .map(|t| run_on(MachineKind::SingleSmall, t.insts()))
-        .collect();
+    let session = args.session();
+    let traced = session.suite_traces();
+    let singles = session.par_map(&traced, |(_, t)| {
+        run_on(MachineKind::SingleSmall, t.insts())
+    });
+    let jobs: Vec<_> = traced.iter().zip(&singles).collect();
 
     let mut table = Table::new([
         "comm latency (cycles)",
@@ -29,15 +25,16 @@ fn main() {
         "geomean comms/100 insts",
     ]);
     for latency in [1u64, 2, 4, 6, 8, 12, 16] {
-        let mut speedups = Vec::new();
-        let mut comm_rates = Vec::new();
-        for (t, single) in traces.iter().zip(&singles) {
+        let points = session.par_map(&jobs, |((_, t), single)| {
             let mut cfg = FgstpConfig::small();
             cfg.comm.latency = latency;
             let (r, s) = run_fgstp(t.insts(), &cfg, &HierarchyConfig::small(2));
-            speedups.push(r.speedup_over(&single.result));
-            comm_rates.push((s.partition.comms_per_inst() * 100.0).max(1e-9));
-        }
+            (
+                r.speedup_over(&single.result),
+                (s.partition.comms_per_inst() * 100.0).max(1e-9),
+            )
+        });
+        let (speedups, comm_rates): (Vec<f64>, Vec<f64>) = points.into_iter().unzip();
         table.row([
             latency.to_string(),
             format!("{:.3}", geomean(&speedups)),

@@ -9,20 +9,16 @@
 use fgstp::{run_fgstp, FgstpConfig};
 use fgstp_bench::{print_experiment, ExpArgs};
 use fgstp_mem::HierarchyConfig;
-use fgstp_sim::{geomean, run_on, runner::trace_workload, MachineKind, Table};
-use fgstp_workloads::suite;
+use fgstp_sim::{geomean, run_on, MachineKind, Table};
 
 fn main() {
     let args = ExpArgs::parse();
-    let workloads = suite(args.scale);
-    let traces: Vec<_> = workloads
-        .iter()
-        .map(|w| trace_workload(w, args.scale))
-        .collect();
-    let singles: Vec<_> = traces
-        .iter()
-        .map(|t| run_on(MachineKind::SingleSmall, t.insts()))
-        .collect();
+    let session = args.session();
+    let traced = session.suite_traces();
+    let singles = session.par_map(&traced, |(_, t)| {
+        run_on(MachineKind::SingleSmall, t.insts())
+    });
+    let jobs: Vec<_> = traced.iter().zip(&singles).collect();
 
     let variants: [(&str, bool, bool); 4] = [
         ("full fg-stp", true, true),
@@ -37,18 +33,20 @@ fn main() {
         "violations (sum)",
     ]);
     for (label, dep_spec, replication) in variants {
-        let mut speedups = Vec::new();
-        let mut comm_rates = Vec::new();
-        let mut violations = 0u64;
-        for (t, single) in traces.iter().zip(&singles) {
+        let points = session.par_map(&jobs, |((_, t), single)| {
             let mut cfg = FgstpConfig::small();
             cfg.dep_speculation = dep_spec;
             cfg.partition.replication = replication;
             let (r, s) = run_fgstp(t.insts(), &cfg, &HierarchyConfig::small(2));
-            speedups.push(r.speedup_over(&single.result));
-            comm_rates.push((s.partition.comms_per_inst() * 100.0).max(1e-9));
-            violations += s.cross_violations;
-        }
+            (
+                r.speedup_over(&single.result),
+                (s.partition.comms_per_inst() * 100.0).max(1e-9),
+                s.cross_violations,
+            )
+        });
+        let speedups: Vec<f64> = points.iter().map(|p| p.0).collect();
+        let comm_rates: Vec<f64> = points.iter().map(|p| p.1).collect();
+        let violations: u64 = points.iter().map(|p| p.2).sum();
         table.row([
             label.to_owned(),
             format!("{:.3}", geomean(&speedups)),

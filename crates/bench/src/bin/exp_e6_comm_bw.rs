@@ -7,20 +7,16 @@
 use fgstp::{run_fgstp, FgstpConfig};
 use fgstp_bench::{print_experiment, ExpArgs};
 use fgstp_mem::HierarchyConfig;
-use fgstp_sim::{geomean, run_on, runner::trace_workload, MachineKind, Table};
-use fgstp_workloads::suite;
+use fgstp_sim::{geomean, run_on, MachineKind, Table};
 
 fn main() {
     let args = ExpArgs::parse();
-    let workloads = suite(args.scale);
-    let traces: Vec<_> = workloads
-        .iter()
-        .map(|w| trace_workload(w, args.scale))
-        .collect();
-    let singles: Vec<_> = traces
-        .iter()
-        .map(|t| run_on(MachineKind::SingleSmall, t.insts()))
-        .collect();
+    let session = args.session();
+    let traced = session.suite_traces();
+    let singles = session.par_map(&traced, |(_, t)| {
+        run_on(MachineKind::SingleSmall, t.insts())
+    });
+    let jobs: Vec<_> = traced.iter().zip(&singles).collect();
 
     let mut table = Table::new([
         "bandwidth (values/cycle)",
@@ -29,17 +25,19 @@ fn main() {
         "backpressure cycles (sum)",
     ]);
     for bandwidth in [1u32, 2, 4] {
-        let mut speedups = Vec::new();
-        let mut occupancy = Vec::new();
-        let mut backpressure = 0u64;
-        for (t, single) in traces.iter().zip(&singles) {
+        let points = session.par_map(&jobs, |((_, t), single)| {
             let mut cfg = FgstpConfig::small();
             cfg.comm.bandwidth = bandwidth;
             let (r, s) = run_fgstp(t.insts(), &cfg, &HierarchyConfig::small(2));
-            speedups.push(r.speedup_over(&single.result));
-            occupancy.push(s.mean_occupancy[0].max(s.mean_occupancy[1]).max(1e-9));
-            backpressure += s.backpressure[0] + s.backpressure[1];
-        }
+            (
+                r.speedup_over(&single.result),
+                s.mean_occupancy[0].max(s.mean_occupancy[1]).max(1e-9),
+                s.backpressure[0] + s.backpressure[1],
+            )
+        });
+        let speedups: Vec<f64> = points.iter().map(|p| p.0).collect();
+        let occupancy: Vec<f64> = points.iter().map(|p| p.1).collect();
+        let backpressure: u64 = points.iter().map(|p| p.2).sum();
         table.row([
             bandwidth.to_string(),
             format!("{:.3}", geomean(&speedups)),

@@ -8,11 +8,22 @@
 use fgstp::{run_fgstp, FgstpConfig};
 use fgstp_bench::{print_experiment, ExpArgs};
 use fgstp_mem::HierarchyConfig;
-use fgstp_sim::{runner::trace_workload, Table};
-use fgstp_workloads::suite;
+use fgstp_sim::Table;
 
 fn main() {
     let args = ExpArgs::parse();
+    let rows = args.session().map_suite(|w, t| {
+        let (_, s) = run_fgstp(t.insts(), &FgstpConfig::small(), &HierarchyConfig::small(2));
+        let total = (s.partition.insts[0] + s.partition.insts[1]) as f64;
+        [
+            w.name.to_owned(),
+            format!("{:.1}", 100.0 * s.partition.insts[0] as f64 / total),
+            format!("{:.1}", 100.0 * s.partition.insts[1] as f64 / total),
+            format!("{:.1}", 100.0 * s.partition.replicated as f64 / total),
+            format!("{:.2}", 100.0 * s.partition.comms_per_inst()),
+            s.partition.cross_mem_deps.to_string(),
+        ]
+    });
     let mut table = Table::new([
         "benchmark",
         "core0 %",
@@ -21,18 +32,8 @@ fn main() {
         "comms/100 insts",
         "cross mem deps",
     ]);
-    for w in suite(args.scale) {
-        let t = trace_workload(&w, args.scale);
-        let (_, s) = run_fgstp(t.insts(), &FgstpConfig::small(), &HierarchyConfig::small(2));
-        let total = (s.partition.insts[0] + s.partition.insts[1]) as f64;
-        table.row([
-            w.name.to_owned(),
-            format!("{:.1}", 100.0 * s.partition.insts[0] as f64 / total),
-            format!("{:.1}", 100.0 * s.partition.insts[1] as f64 / total),
-            format!("{:.1}", 100.0 * s.partition.replicated as f64 / total),
-            format!("{:.2}", 100.0 * s.partition.comms_per_inst()),
-            s.partition.cross_mem_deps.to_string(),
-        ]);
+    for row in rows {
+        table.row(row);
     }
     print_experiment(
         "E7",

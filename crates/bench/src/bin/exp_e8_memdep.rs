@@ -8,22 +8,13 @@
 use fgstp::{run_fgstp, FgstpConfig};
 use fgstp_bench::{print_experiment, ExpArgs};
 use fgstp_mem::HierarchyConfig;
-use fgstp_sim::{runner::trace_workload, Table};
-use fgstp_workloads::suite;
+use fgstp_sim::Table;
 
 fn main() {
     let args = ExpArgs::parse();
-    let mut table = Table::new([
-        "benchmark",
-        "cross mem deps",
-        "violations",
-        "viol/1k loads",
-        "spec cycles",
-        "no-spec cycles",
-        "spec gain",
-    ]);
-    for w in suite(args.scale) {
-        let t = trace_workload(&w, args.scale);
+    let session = args.session();
+
+    let rows = session.map_suite(|w, t| {
         let loads = t
             .insts()
             .iter()
@@ -34,7 +25,7 @@ fn main() {
         let mut cons_cfg = FgstpConfig::small();
         cons_cfg.dep_speculation = false;
         let (cons, _) = run_fgstp(t.insts(), &cons_cfg, &HierarchyConfig::small(2));
-        table.row([
+        [
             w.name.to_owned(),
             s_spec.partition.cross_mem_deps.to_string(),
             s_spec.cross_violations.to_string(),
@@ -48,7 +39,19 @@ fn main() {
                 "{:+.1}%",
                 (cons.cycles as f64 / spec.cycles as f64 - 1.0) * 100.0
             ),
-        ]);
+        ]
+    });
+    let mut table = Table::new([
+        "benchmark",
+        "cross mem deps",
+        "violations",
+        "viol/1k loads",
+        "spec cycles",
+        "no-spec cycles",
+        "spec gain",
+    ]);
+    for row in rows {
+        table.row(row);
     }
     print_experiment(
         "E8a",
@@ -60,22 +63,13 @@ fn main() {
     // The Fg-STP partitioner deliberately co-locates store→load pairs, so
     // violations are rare by construction. Force a naive round-robin
     // partition to exercise (and price) the speculation machinery.
-    let mut forced = Table::new([
-        "benchmark",
-        "cross mem deps",
-        "violations",
-        "spec cycles",
-        "no-spec cycles",
-        "spec gain",
-    ]);
-    for w in suite(args.scale) {
-        let t = trace_workload(&w, args.scale);
+    let rows = session.map_suite(|w, t| {
         let mut cfg = FgstpConfig::small();
         cfg.partition.policy = fgstp::PartitionPolicy::ModN { chunk: 4 };
         let (spec, s_spec) = run_fgstp(t.insts(), &cfg, &HierarchyConfig::small(2));
         cfg.dep_speculation = false;
         let (cons, _) = run_fgstp(t.insts(), &cfg, &HierarchyConfig::small(2));
-        forced.row([
+        [
             w.name.to_owned(),
             s_spec.partition.cross_mem_deps.to_string(),
             s_spec.cross_violations.to_string(),
@@ -85,7 +79,18 @@ fn main() {
                 "{:+.1}%",
                 (cons.cycles as f64 / spec.cycles as f64 - 1.0) * 100.0
             ),
-        ]);
+        ]
+    });
+    let mut forced = Table::new([
+        "benchmark",
+        "cross mem deps",
+        "violations",
+        "spec cycles",
+        "no-spec cycles",
+        "spec gain",
+    ]);
+    for row in rows {
+        forced.row(row);
     }
     print_experiment(
         "E8b",

@@ -4,14 +4,15 @@
 //! `src/bin/` regenerates one table or figure of the paper's evaluation —
 //! see the per-experiment index in `DESIGN.md` and the recorded
 //! paper-vs-measured comparison in `EXPERIMENTS.md`. The `benches/`
-//! directory holds Criterion micro-benchmarks of the simulator's hot
-//! paths.
+//! directory holds a dependency-free wall-clock benchmark of the
+//! simulator's hot paths.
 //!
 //! Every binary accepts an optional scale argument (`test`, `small`,
-//! `reference`; default `small`) controlling the dynamic instruction
-//! counts, and `--csv` to emit machine-readable output.
+//! `reference`; default `small`), `--csv` to emit machine-readable
+//! output, `--threads=N` to size the session's worker pool, and
+//! `--no-cache` to disable the on-disk trace cache.
 
-use fgstp_sim::{Scale, Table};
+use fgstp_sim::{Scale, Session, Table};
 
 /// Command-line options shared by all experiment binaries.
 #[derive(Debug, Clone, Copy)]
@@ -20,14 +21,21 @@ pub struct ExpArgs {
     pub scale: Scale,
     /// Emit CSV instead of an aligned table.
     pub csv: bool,
+    /// Worker-pool size override (`None` = all available cores).
+    pub threads: Option<usize>,
+    /// Disable the on-disk trace cache.
+    pub no_cache: bool,
 }
 
 impl ExpArgs {
-    /// Parses `std::env::args()`: an optional scale word and `--csv`.
+    /// Parses `std::env::args()`: an optional scale word, `--csv`,
+    /// `--threads=N` and `--no-cache`.
     pub fn parse() -> ExpArgs {
         let mut args = ExpArgs {
             scale: Scale::Small,
             csv: false,
+            threads: None,
+            no_cache: false,
         };
         for a in std::env::args().skip(1) {
             match a.as_str() {
@@ -35,13 +43,36 @@ impl ExpArgs {
                 "small" => args.scale = Scale::Small,
                 "reference" => args.scale = Scale::Reference,
                 "--csv" => args.csv = true,
+                "--no-cache" => args.no_cache = true,
                 other => {
-                    eprintln!("usage: exp_* [test|small|reference] [--csv] (got `{other}`)");
+                    if let Some(n) = other
+                        .strip_prefix("--threads=")
+                        .and_then(|n| n.parse::<usize>().ok())
+                    {
+                        args.threads = Some(n);
+                        continue;
+                    }
+                    eprintln!(
+                        "usage: exp_* [test|small|reference] [--csv] [--threads=N] [--no-cache] (got `{other}`)"
+                    );
                     std::process::exit(2);
                 }
             }
         }
         args
+    }
+
+    /// A [`Session`] configured from these arguments (scale, threads and
+    /// caching; set machines per experiment).
+    pub fn session(&self) -> Session {
+        let mut s = Session::new().scale(self.scale);
+        if let Some(n) = self.threads {
+            s = s.threads(n);
+        }
+        if self.no_cache {
+            s = s.no_cache();
+        }
+        s
     }
 }
 
@@ -66,37 +97,15 @@ pub fn run_speedup_experiment(
     args: &ExpArgs,
     kinds: [fgstp_sim::MachineKind; 3],
 ) {
-    use fgstp_sim::{geomean, run_suite};
-    let [single, fused_kind, fgstp_kind] = kinds;
-    let results = run_suite(args.scale, &kinds);
-    let mut table = Table::new(["benchmark", "insts", "fused", "fgstp", "fgstp/fused"]);
-    let mut fused = Vec::new();
-    let mut fgstp = Vec::new();
-    for b in &results {
-        let s_fused = b.speedup(fused_kind, single);
-        let s_fgstp = b.speedup(fgstp_kind, single);
-        fused.push(s_fused);
-        fgstp.push(s_fgstp);
-        table.row([
-            b.name.to_owned(),
-            b.committed.to_string(),
-            format!("{s_fused:.3}"),
-            format!("{s_fgstp:.3}"),
-            format!("{:.3}", s_fgstp / s_fused),
-        ]);
+    let results = args.session().machines(kinds).run_suite();
+    let summary = fgstp_sim::speedup_table(&results, kinds);
+    print_experiment(id, caption, args, &summary.table);
+    for name in &summary.skipped {
+        eprintln!("warning: {name} skipped (machine missing from result set)");
     }
-    let (gf, gs) = (geomean(&fused), geomean(&fgstp));
-    table.row([
-        "GEOMEAN".to_owned(),
-        String::new(),
-        format!("{gf:.3}"),
-        format!("{gs:.3}"),
-        format!("{:.3}", gs / gf),
-    ]);
-    print_experiment(id, caption, args, &table);
     println!(
         "Fg-STP over Core Fusion (geomean): {:+.1}%",
-        (gs / gf - 1.0) * 100.0
+        (summary.fgstp_over_fused() - 1.0) * 100.0
     );
 }
 
@@ -109,23 +118,29 @@ mod tests {
         let mut t = Table::new(["a"]);
         t.row(["1"]);
         // Smoke test: must not panic in either mode.
-        print_experiment(
-            "T0",
-            "smoke",
-            &ExpArgs {
-                scale: Scale::Test,
-                csv: false,
-            },
-            &t,
-        );
-        print_experiment(
-            "T0",
-            "smoke",
-            &ExpArgs {
-                scale: Scale::Test,
-                csv: true,
-            },
-            &t,
-        );
+        let mut args = ExpArgs {
+            scale: Scale::Test,
+            csv: false,
+            threads: None,
+            no_cache: false,
+        };
+        print_experiment("T0", "smoke", &args, &t);
+        args.csv = true;
+        print_experiment("T0", "smoke", &args, &t);
+    }
+
+    #[test]
+    fn session_reflects_the_arguments() {
+        let args = ExpArgs {
+            scale: Scale::Test,
+            csv: false,
+            threads: Some(2),
+            no_cache: true,
+        };
+        let s = args.session();
+        // A no-cache session never touches disk, so stats stay at zero.
+        let w = &fgstp_workloads::suite(Scale::Test)[0];
+        let _ = s.trace(w);
+        assert_eq!(s.cache_stats().hits + s.cache_stats().misses, 0);
     }
 }

@@ -1,95 +1,128 @@
 //! Property tests for the Fg-STP crate's communication queue and
 //! dependence-graph substrates.
-
-use proptest::prelude::*;
+//!
+//! Cases come from the workspace's deterministic [`Xorshift`] generator;
+//! every assertion names its case seed so failures replay exactly.
 
 use fgstp::{CommConfig, CommQueue, DepGraph, PartitionPolicy};
 use fgstp_isa::{assemble, trace_program};
 use fgstp_ooo::build_exec_stream;
+use fgstp_workloads::gen::Xorshift;
 
-proptest! {
-    /// Queue deliveries respect latency, are monotone for chronological
-    /// sends, and back-pressure never reorders.
-    #[test]
-    fn commq_deliveries_are_monotone(
-        latency in 1u64..16,
-        bandwidth in 1u32..4,
-        capacity in 1usize..32,
-        gaps in proptest::collection::vec(0u64..6, 1..100),
-    ) {
-        let mut q = CommQueue::new(CommConfig { latency, bandwidth, capacity });
+/// Queue deliveries respect latency, are monotone for chronological
+/// sends, and back-pressure never reorders.
+#[test]
+fn commq_deliveries_are_monotone() {
+    for case in 0..256u64 {
+        let mut g = Xorshift::new(0x31_0001 + case);
+        let latency = g.range_u64(1, 16);
+        let bandwidth = g.range_u64(1, 4) as u32;
+        let capacity = g.range_usize(1, 32);
+        let mut q = CommQueue::new(CommConfig {
+            latency,
+            bandwidth,
+            capacity,
+        });
         let mut now = 0u64;
         let mut last_delivery = 0u64;
-        let total = gaps.len() as u64;
-        for gap in gaps {
-            now += gap;
+        let total = g.range_usize(1, 100) as u64;
+        for _ in 0..total {
+            now += g.below(6);
             let d = q.send(now);
-            prop_assert!(d >= now + latency, "delivery {d} violates latency");
-            prop_assert!(d >= last_delivery, "deliveries must be monotone");
+            assert!(
+                d >= now + latency,
+                "case {case}: delivery {d} violates latency"
+            );
+            assert!(
+                d >= last_delivery,
+                "case {case}: deliveries must be monotone"
+            );
             last_delivery = d;
         }
-        prop_assert_eq!(q.sends(), total);
+        assert_eq!(q.sends(), total, "case {case}");
     }
+}
 
-    /// With ample bandwidth and capacity there is never back-pressure.
-    #[test]
-    fn commq_uncontended_is_pure_latency(
-        latency in 1u64..16,
-        times in proptest::collection::vec(1u64..10, 1..50),
-    ) {
-        let mut q = CommQueue::new(CommConfig { latency, bandwidth: 64, capacity: 4096 });
+/// With ample bandwidth and capacity there is never back-pressure.
+#[test]
+fn commq_uncontended_is_pure_latency() {
+    for case in 0..256u64 {
+        let mut g = Xorshift::new(0x32_0001 + case);
+        let latency = g.range_u64(1, 16);
+        let mut q = CommQueue::new(CommConfig {
+            latency,
+            bandwidth: 64,
+            capacity: 4096,
+        });
         let mut now = 0u64;
-        for gap in times {
-            now += gap;
-            prop_assert_eq!(q.send(now), now + latency);
+        for _ in 0..g.range_usize(1, 50) {
+            now += g.range_u64(1, 10);
+            assert_eq!(q.send(now), now + latency, "case {case}");
         }
-        prop_assert_eq!(q.backpressure_cycles(), 0);
+        assert_eq!(q.backpressure_cycles(), 0, "case {case}");
     }
+}
 
-    /// Dependence-graph structural invariants on straight-line programs:
-    /// edges point forward, depths are consistent, the critical path is a
-    /// real chain.
-    #[test]
-    fn depgraph_invariants(ops in proptest::collection::vec(0u8..5, 2..60)) {
+/// Dependence-graph structural invariants on straight-line programs:
+/// edges point forward, depths are consistent, the critical path is a
+/// real chain.
+#[test]
+fn depgraph_invariants() {
+    for case in 0..100u64 {
+        let mut g = Xorshift::new(0x33_0001 + case);
         // Build a random ALU program over 4 registers.
         let mut src = String::from("li x1, 1\nli x2, 2\nli x3, 3\nli x4, 4\n");
-        for (i, op) in ops.iter().enumerate() {
+        for i in 0..g.range_usize(2, 60) {
             let d = 1 + (i % 4);
             let a = 1 + ((i * 7 + 1) % 4);
             let b = 1 + ((i * 5 + 2) % 4);
-            let m = match op { 0 => "add", 1 => "xor", 2 => "mul", 3 => "sub", _ => "and" };
+            let m = ["add", "xor", "mul", "sub", "and"][g.below(5) as usize];
             src.push_str(&format!("{m} x{d}, x{a}, x{b}\n"));
         }
         src.push_str("halt\n");
         let p = assemble(&src).unwrap();
         let t = trace_program(&p, 10_000).unwrap();
         let s = build_exec_stream(t.insts());
-        let g = DepGraph::build(&s);
-        for i in 0..g.len() {
-            for &p in g.preds(i) {
-                prop_assert!(p < i, "edges point forward");
-                prop_assert!(g.succs(p).contains(&i), "succ lists mirror preds");
+        let graph = DepGraph::build(&s);
+        for i in 0..graph.len() {
+            for &pr in graph.preds(i) {
+                assert!(pr < i, "case {case}: edges point forward");
+                assert!(
+                    graph.succs(pr).contains(&i),
+                    "case {case}: succ lists mirror preds"
+                );
             }
         }
-        let from = g.depth_from_sources();
-        for i in 0..g.len() {
-            for &p in g.preds(i) {
-                prop_assert!(from[i] >= from[p] + g.weight(i), "depths accumulate");
+        let from = graph.depth_from_sources();
+        for i in 0..graph.len() {
+            for &pr in graph.preds(i) {
+                assert!(
+                    from[i] >= from[pr] + graph.weight(i),
+                    "case {case}: depths accumulate"
+                );
             }
         }
-        let cp = g.critical_path();
-        prop_assert!(!cp.is_empty());
+        let cp = graph.critical_path();
+        assert!(!cp.is_empty(), "case {case}");
         for w in cp.windows(2) {
-            prop_assert!(g.preds(w[1]).contains(&w[0]), "critical path is a chain");
+            assert!(
+                graph.preds(w[1]).contains(&w[0]),
+                "case {case}: critical path is a chain"
+            );
         }
         // The cut of the everything-on-one-core assignment is zero.
-        prop_assert_eq!(g.cut_size(&vec![0u8; g.len()]), 0);
+        assert_eq!(graph.cut_size(&vec![0u8; graph.len()]), 0, "case {case}");
     }
+}
 
-    /// Partition balance: on a stream of many independent chains, the
-    /// lookahead partitioner keeps both cores busy.
-    #[test]
-    fn lookahead_balances_independent_chains(chains in 2usize..6, links in 4usize..20) {
+/// Partition balance: on a stream of many independent chains, the
+/// lookahead partitioner keeps both cores busy.
+#[test]
+fn lookahead_balances_independent_chains() {
+    for case in 0..64u64 {
+        let mut g = Xorshift::new(0x34_0001 + case);
+        let chains = g.range_usize(2, 6);
+        let links = g.range_usize(4, 20);
         let mut src = String::new();
         for c in 0..chains {
             src.push_str(&format!("li x{}, {}\n", c + 1, c + 1));
@@ -106,15 +139,18 @@ proptest! {
         let part = fgstp::partition_stream(
             &s,
             &fgstp::PartitionConfig {
-                policy: PartitionPolicy::SliceLookahead { window: 256, refine_passes: 2 },
+                policy: PartitionPolicy::SliceLookahead {
+                    window: 256,
+                    refine_passes: 2,
+                },
                 replication: false,
                 balance_slack: 0.2,
             },
         );
         let balance = part.stats.balance();
-        prop_assert!(
+        assert!(
             (0.2..=0.8).contains(&balance),
-            "independent chains should spread: balance {balance}, {:?}",
+            "case {case}: independent chains should spread: balance {balance}, {:?}",
             part.stats
         );
     }

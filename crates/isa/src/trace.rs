@@ -109,6 +109,13 @@ pub struct Trace {
 }
 
 impl Trace {
+    /// Wraps an already-materialized instruction stream (e.g. one decoded
+    /// from a trace file) as a trace. The caller vouches that `insts` is a
+    /// committed path in commit order with dense `seq` numbers.
+    pub fn from_insts(insts: Vec<DynInst>) -> Trace {
+        Trace { insts }
+    }
+
     /// The dynamic instructions, in commit order.
     pub fn insts(&self) -> &[DynInst] {
         &self.insts

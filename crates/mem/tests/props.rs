@@ -1,9 +1,13 @@
 //! Property tests for the memory hierarchy: accounting identities, LRU
 //! behaviour, MSHR timing and hierarchy latency bounds.
-
-use proptest::prelude::*;
+//!
+//! Cases come from the workspace's deterministic [`Xorshift`] generator;
+//! every assertion names its case seed so failures replay exactly.
 
 use fgstp_mem::{Cache, CacheConfig, Hierarchy, HierarchyConfig, MshrFile};
+use fgstp_workloads::gen::Xorshift;
+
+const CASES: u64 = 200;
 
 fn small_cache() -> Cache {
     Cache::new(CacheConfig {
@@ -15,25 +19,35 @@ fn small_cache() -> Cache {
     })
 }
 
-proptest! {
-    /// hits + misses == accesses, and a just-accessed line is present.
-    #[test]
-    fn cache_accounting_identity(accesses in proptest::collection::vec((0u64..0x8000, any::<bool>()), 1..200)) {
+/// hits + misses == accesses, and a just-accessed line is present.
+#[test]
+fn cache_accounting_identity() {
+    for case in 0..CASES {
+        let mut g = Xorshift::new(0x11_0001 + case);
+        let accesses: Vec<(u64, bool)> = (0..g.range_usize(1, 200))
+            .map(|_| (g.below(0x8000), g.flip()))
+            .collect();
         let mut c = small_cache();
         for (addr, is_write) in &accesses {
             c.access(*addr, *is_write);
-            prop_assert!(c.probe(*addr), "line must be present after access");
+            assert!(c.probe(*addr), "case {case}: line present after access");
         }
         let s = c.stats();
-        prop_assert_eq!(s.hits + s.misses, s.accesses);
-        prop_assert_eq!(s.accesses, accesses.len() as u64);
-        prop_assert!(s.miss_rate() <= 1.0);
+        assert_eq!(s.hits + s.misses, s.accesses, "case {case}");
+        assert_eq!(s.accesses, accesses.len() as u64, "case {case}");
+        assert!(s.miss_rate() <= 1.0, "case {case}");
     }
+}
 
-    /// Repeating the same access stream twice at least doesn't *lower*
-    /// the hit count of the second pass below the first (warm cache).
-    #[test]
-    fn warm_cache_never_hits_less(addrs in proptest::collection::vec(0u64..0x2000, 1..100)) {
+/// Repeating the same access stream twice at least doesn't *lower* the
+/// hit count of the second pass below the first (warm cache).
+#[test]
+fn warm_cache_never_hits_less() {
+    for case in 0..CASES {
+        let mut g = Xorshift::new(0x12_0001 + case);
+        let addrs: Vec<u64> = (0..g.range_usize(1, 100))
+            .map(|_| g.below(0x2000))
+            .collect();
         let mut c1 = small_cache();
         for a in &addrs {
             c1.access(*a, false);
@@ -43,42 +57,52 @@ proptest! {
             c1.access(*a, false);
         }
         let warm_hits = c1.stats().hits - cold_hits;
-        prop_assert!(warm_hits >= cold_hits);
+        assert!(warm_hits >= cold_hits, "case {case}");
     }
+}
 
-    /// MSHR: delivery time is at least request time plus fill latency and
-    /// merges return the original completion.
-    #[test]
-    fn mshr_timing_bounds(reqs in proptest::collection::vec((0u64..16, 1u64..50), 1..60)) {
+/// MSHR: delivery time is at least request time plus fill latency and
+/// merges return the original completion.
+#[test]
+fn mshr_timing_bounds() {
+    for case in 0..CASES {
+        let mut g = Xorshift::new(0x13_0001 + case);
         let mut m = MshrFile::new(4);
         let mut now = 0u64;
         let mut inflight: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
-        for (line_sel, gap) in reqs {
-            now += gap;
-            let line = line_sel * 64;
+        for _ in 0..g.range_usize(1, 60) {
+            let line = g.below(16) * 64;
+            now += g.range_u64(1, 50);
             let done = m.request(line, now, 100);
-            prop_assert!(done >= now + 100 || inflight.get(&line).is_some_and(|&d| d == done),
-                "done {done} now {now}");
-            prop_assert!(done >= now);
+            assert!(
+                done >= now + 100 || inflight.get(&line).is_some_and(|&d| d == done),
+                "case {case}: done {done} now {now}"
+            );
+            assert!(done >= now, "case {case}");
             inflight.retain(|_, d| *d > now);
             inflight.insert(line, done);
         }
     }
+}
 
-    /// Hierarchy latencies are bounded by the full DRAM path and below by
-    /// the L1 hit latency.
-    #[test]
-    fn hierarchy_latency_bounds(accesses in proptest::collection::vec((0u64..0x10_0000, any::<bool>()), 1..100)) {
+/// Hierarchy latencies are bounded by the full DRAM path and below by the
+/// L1 hit latency.
+#[test]
+fn hierarchy_latency_bounds() {
+    for case in 0..CASES {
+        let mut g = Xorshift::new(0x14_0001 + case);
         let cfg = HierarchyConfig::small(1);
         let mut h = Hierarchy::new(&cfg);
         let worst = cfg.l1d.latency + cfg.l2.latency + cfg.dram_latency;
         let mut now = 0u64;
-        for (addr, is_write) in accesses {
+        for _ in 0..g.range_usize(1, 100) {
+            let addr = g.below(0x10_0000);
+            let is_write = g.flip();
             let lat = h.access_data(0, addr, is_write, now);
-            prop_assert!(lat >= cfg.l1d.latency, "lat {lat}");
+            assert!(lat >= cfg.l1d.latency, "case {case}: lat {lat}");
             // With at most one outstanding request at a time, MSHR stalls
             // cannot inflate past the worst-case path.
-            prop_assert!(lat <= worst, "lat {lat} > worst {worst}");
+            assert!(lat <= worst, "case {case}: lat {lat} > worst {worst}");
             now += lat + 1;
         }
     }

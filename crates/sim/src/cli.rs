@@ -18,7 +18,8 @@ use fgstp_workloads::{by_name, suite, Scale};
 
 use crate::presets::MachineKind;
 use crate::report::Table;
-use crate::runner::{run_on, trace_workload};
+use crate::runner::run_on;
+use crate::session::Session;
 
 /// Error for unknown CLI inputs, carrying a usage hint.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -91,7 +92,7 @@ pub fn run(workload: &str, machine: Option<&str>, scale: Option<&str>) -> Result
     let scale = parse_scale(scale)?;
     let kind = parse_machine(machine)?;
     let w = find_workload(workload, scale)?;
-    let trace = trace_workload(&w, scale);
+    let trace = Session::new().scale(scale).trace(&w);
     let r = run_on(kind, trace.insts());
     let mut out = String::new();
     let _ = writeln!(
@@ -135,30 +136,37 @@ pub fn run(workload: &str, machine: Option<&str>, scale: Option<&str>) -> Result
     Ok(out)
 }
 
-/// `compare <workload> [scale]`: all machines side by side.
+/// `compare <workload> [scale]`: all machines side by side (run in
+/// parallel by the session's worker pool).
 pub fn compare(workload: &str, scale: Option<&str>) -> Result<String, CliError> {
     let scale = parse_scale(scale)?;
     let w = find_workload(workload, scale)?;
-    let trace = trace_workload(&w, scale);
-    let base = run_on(MachineKind::SingleSmall, trace.insts());
+    let session = Session::new().scale(scale).machines(MachineKind::ALL);
+    let bench = session.run_workload(&w);
+    let base = &bench
+        .run_of(MachineKind::SingleSmall)
+        .expect("ALL includes single-small")
+        .result;
     let mut t = Table::new(["machine", "cycles", "ipc", "vs single-small"]);
-    for kind in MachineKind::ALL {
-        let r = run_on(kind, trace.insts());
+    for r in &bench.runs {
         t.row([
-            kind.label().to_owned(),
+            r.kind.label().to_owned(),
             r.result.cycles.to_string(),
             format!("{:.3}", r.ipc()),
-            format!("{:.3}x", r.result.speedup_over(&base.result)),
+            format!("{:.3}x", r.result.speedup_over(base)),
         ]);
     }
-    Ok(format!("{} ({} instructions)\n{t}", w.name, trace.len()))
+    Ok(format!(
+        "{} ({} instructions)\n{t}",
+        w.name, bench.committed
+    ))
 }
 
 /// `pipeview <workload> [first..last]`: timeline on the small core.
 pub fn pipeview(workload: &str, range: Option<&str>) -> Result<String, CliError> {
     let (from, to) = parse_range(range)?;
     let w = find_workload(workload, Scale::Test)?;
-    let trace = trace_workload(&w, Scale::Test);
+    let trace = Session::new().scale(Scale::Test).trace(&w);
     let (_, rec) = run_single_recorded(
         trace.insts(),
         &fgstp_ooo::CoreConfig::small(),
@@ -174,7 +182,7 @@ pub fn pipeview(workload: &str, range: Option<&str>) -> Result<String, CliError>
 pub fn pipeview2(workload: &str, range: Option<&str>) -> Result<String, CliError> {
     let (from, to) = parse_range(range)?;
     let w = find_workload(workload, Scale::Test)?;
-    let trace = trace_workload(&w, Scale::Test);
+    let trace = Session::new().scale(Scale::Test).trace(&w);
     let (_, stats, recs) = fgstp::run_fgstp_recorded(
         trace.insts(),
         &fgstp::FgstpConfig::small(),

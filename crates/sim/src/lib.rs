@@ -1,21 +1,42 @@
 //! # fgstp-sim
 //!
-//! Simulation driver for the Fg-STP reproduction: the paper's machine
-//! presets ([`MachineKind`]), a run driver that takes a workload through
-//! any machine model ([`run_on`], [`run_suite`]), and plain-text/CSV table
-//! rendering for the experiment harness ([`report::Table`]).
+//! Simulation driver for the Fg-STP reproduction. The primary entry point
+//! is the [`Session`] builder: it owns workload tracing, an on-disk trace
+//! cache, and a fixed-size worker pool that runs the (workload, machine)
+//! job matrix in parallel while keeping results in deterministic request
+//! order.
 //!
 //! ```no_run
-//! use fgstp_sim::{run_suite, MachineKind, Scale};
+//! use fgstp_sim::{MachineKind, Scale, Session};
 //!
-//! let results = run_suite(
-//!     Scale::Test,
-//!     &[MachineKind::SingleSmall, MachineKind::FgstpSmall],
-//! );
-//! for bench in &results {
+//! let session = Session::new()
+//!     .scale(Scale::Test)
+//!     .machines([MachineKind::SingleSmall, MachineKind::FgstpSmall])
+//!     .threads(4);
+//! for bench in session.run_suite() {
 //!     println!("{}: {} runs", bench.name, bench.runs.len());
 //! }
+//! let stats = session.cache_stats();
+//! println!("trace cache: {} hits / {} misses", stats.hits, stats.misses);
 //! ```
+//!
+//! Finer-grained plans restrict the matrix before executing:
+//!
+//! ```no_run
+//! use fgstp_sim::{MachineKind, Session};
+//!
+//! let results = Session::new()
+//!     .machines(MachineKind::SMALL_CMP)
+//!     .plan()
+//!     .workload_names(&["gcc_expr", "mcf_pointer"])
+//!     .execute();
+//! # let _ = results;
+//! ```
+//!
+//! The per-trace primitives ([`run_on`], [`runner::trace_workload`]) and
+//! the historical [`run_suite`] free function remain available; the latter
+//! is a thin shim over a default `Session`. Table rendering for the
+//! experiment harness lives in [`report`].
 
 pub mod cli;
 pub mod energy;
@@ -23,8 +44,10 @@ pub mod presets;
 pub mod profile;
 pub mod report;
 pub mod runner;
+pub mod session;
 
 pub use fgstp_workloads::{Scale, SuiteClass, Workload};
 pub use presets::MachineKind;
-pub use report::Table;
+pub use report::{speedup_table, SpeedupSummary, Table};
 pub use runner::{geomean, run_on, run_suite, BenchResult, MachineRun};
+pub use session::{CacheStats, RunPlan, Session};

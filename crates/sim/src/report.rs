@@ -2,6 +2,9 @@
 
 use std::fmt;
 
+use crate::presets::MachineKind;
+use crate::runner::{geomean, BenchResult};
+
 /// A simple column-aligned table.
 ///
 /// The first column is left-aligned (names), remaining columns are
@@ -106,6 +109,75 @@ impl fmt::Display for Table {
     }
 }
 
+/// The headline speedup comparison rendered as a table: per-benchmark
+/// speedups of the fused and Fg-STP machines over the single core, a
+/// geomean row, and the Fg-STP-over-fusion ratio.
+#[derive(Debug, Clone)]
+pub struct SpeedupSummary {
+    /// The rendered table (benchmark, insts, fused, fgstp, fgstp/fused).
+    pub table: Table,
+    /// Geomean speedup of the fused machine over the single core.
+    pub fused_geomean: f64,
+    /// Geomean speedup of the Fg-STP machine over the single core.
+    pub fgstp_geomean: f64,
+    /// Benchmarks skipped because a requested machine was missing from
+    /// their result set.
+    pub skipped: Vec<&'static str>,
+}
+
+impl SpeedupSummary {
+    /// Fg-STP speedup over Core Fusion, as a geomean ratio.
+    pub fn fgstp_over_fused(&self) -> f64 {
+        self.fgstp_geomean / self.fused_geomean
+    }
+}
+
+/// Builds the E1/E2-style speedup table from suite results.
+///
+/// `kinds` is the `[single, fused, fgstp]` triple the results were run
+/// on. Benchmarks whose result set is missing one of the three machines
+/// are skipped (and recorded in [`SpeedupSummary::skipped`]) instead of
+/// panicking, so partial machine sets degrade gracefully.
+pub fn speedup_table(results: &[BenchResult], kinds: [MachineKind; 3]) -> SpeedupSummary {
+    let [single, fused_kind, fgstp_kind] = kinds;
+    let mut table = Table::new(["benchmark", "insts", "fused", "fgstp", "fgstp/fused"]);
+    let mut fused = Vec::new();
+    let mut fgstp = Vec::new();
+    let mut skipped = Vec::new();
+    for b in results {
+        let (Some(s_fused), Some(s_fgstp)) = (
+            b.try_speedup(fused_kind, single),
+            b.try_speedup(fgstp_kind, single),
+        ) else {
+            skipped.push(b.name);
+            continue;
+        };
+        fused.push(s_fused);
+        fgstp.push(s_fgstp);
+        table.row([
+            b.name.to_owned(),
+            b.committed.to_string(),
+            format!("{s_fused:.3}"),
+            format!("{s_fgstp:.3}"),
+            format!("{:.3}", s_fgstp / s_fused),
+        ]);
+    }
+    let (gf, gs) = (geomean(&fused), geomean(&fgstp));
+    table.row([
+        "GEOMEAN".to_owned(),
+        String::new(),
+        format!("{gf:.3}"),
+        format!("{gs:.3}"),
+        format!("{:.3}", gs / gf),
+    ]);
+    SpeedupSummary {
+        table,
+        fused_geomean: gf,
+        fgstp_geomean: gs,
+        skipped,
+    }
+}
+
 /// Formats a float with `prec` decimal places (the house style for tables).
 pub fn num(x: f64, prec: usize) -> String {
     format!("{x:.prec$}")
@@ -153,5 +225,37 @@ mod tests {
     fn formatting_helpers() {
         assert_eq!(num(1.23456, 2), "1.23");
         assert_eq!(pct(0.1234), "12.3%");
+    }
+
+    #[test]
+    fn speedup_table_skips_partial_results_instead_of_panicking() {
+        use crate::runner::{run_on, trace_workload};
+        use fgstp_workloads::{by_name, Scale};
+
+        let full = by_name("gcc_expr", Scale::Test).unwrap();
+        let full_trace = trace_workload(&full, Scale::Test);
+        let partial = by_name("mcf_pointer", Scale::Test).unwrap();
+        let partial_trace = trace_workload(&partial, Scale::Test);
+        let results = vec![
+            BenchResult {
+                name: full.name,
+                committed: full_trace.len() as u64,
+                runs: MachineKind::SMALL_CMP
+                    .iter()
+                    .map(|&k| run_on(k, full_trace.insts()))
+                    .collect(),
+            },
+            BenchResult {
+                name: partial.name,
+                committed: partial_trace.len() as u64,
+                runs: vec![run_on(MachineKind::SingleSmall, partial_trace.insts())],
+            },
+        ];
+        let summary = speedup_table(&results, MachineKind::SMALL_CMP);
+        assert_eq!(summary.skipped, vec!["mcf_pointer"]);
+        // One data row plus the geomean row.
+        assert_eq!(summary.table.len(), 2);
+        assert!(summary.fused_geomean > 0.0);
+        assert!(summary.fgstp_over_fused() > 0.0);
     }
 }

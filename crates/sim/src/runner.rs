@@ -1,11 +1,19 @@
-//! Run driver: workloads × machine models.
+//! Low-level run primitives: one trace through one machine model.
+//!
+//! The primary driver API is [`crate::Session`] — it owns tracing, the
+//! on-disk trace cache and the worker pool. This module keeps the
+//! per-trace primitives the session is built from ([`run_on`],
+//! [`trace_workload`]) plus the result types, and retains the historical
+//! free functions ([`run_suite`]) as thin compatibility shims over a
+//! default session.
 
 use fgstp::{run_fgstp, FgstpStats};
 use fgstp_isa::DynInst;
 use fgstp_ooo::{run_single, RunResult};
-use fgstp_workloads::{suite, Scale, Workload};
+use fgstp_workloads::{Scale, Workload};
 
 use crate::presets::MachineKind;
+use crate::session::Session;
 
 /// Outcome of one (workload, machine) run.
 #[derive(Debug, Clone)]
@@ -37,19 +45,32 @@ pub struct BenchResult {
 }
 
 impl BenchResult {
+    /// The run of machine `kind`, if it was part of the run set.
+    pub fn run_of(&self, kind: MachineKind) -> Option<&MachineRun> {
+        self.runs.iter().find(|r| r.kind == kind)
+    }
+
+    /// Speedup of machine `of` over machine `over` on this workload, or
+    /// `None` if either machine was not part of the run set.
+    pub fn try_speedup(&self, of: MachineKind, over: MachineKind) -> Option<f64> {
+        Some(
+            self.run_of(of)?
+                .result
+                .speedup_over(&self.run_of(over)?.result),
+        )
+    }
+
     /// Speedup of machine `of` over machine `over` on this workload.
     ///
     /// # Panics
     ///
-    /// Panics if either machine was not part of the run set.
+    /// Panics if either machine was not part of the run set — use
+    /// [`BenchResult::try_speedup`] when the machine set is not static.
     pub fn speedup(&self, of: MachineKind, over: MachineKind) -> f64 {
-        let find = |k: MachineKind| {
-            self.runs
-                .iter()
-                .find(|r| r.kind == k)
-                .unwrap_or_else(|| panic!("machine {k} not in result set"))
-        };
-        find(of).result.speedup_over(&find(over).result)
+        self.try_speedup(of, over).unwrap_or_else(|| {
+            let missing = if self.run_of(of).is_none() { of } else { over };
+            panic!("machine {missing} not in result set for {}", self.name)
+        })
     }
 }
 
@@ -75,25 +96,24 @@ pub fn run_on(kind: MachineKind, trace: &[DynInst]) -> MachineRun {
 
 /// Traces one workload (panicking on a kernel fault, which would be a
 /// suite bug) and returns its committed path.
+///
+/// This always re-traces; [`Session::trace`] consults the on-disk cache
+/// first.
 pub fn trace_workload(w: &Workload, scale: Scale) -> fgstp_isa::Trace {
     fgstp_isa::trace_program(&w.program, scale.trace_budget())
         .unwrap_or_else(|e| panic!("workload {} failed to trace: {e}", w.name))
 }
 
 /// Runs the whole suite at `scale` on each machine in `kinds`.
+///
+/// Compatibility shim: delegates to a default [`Session`] (all cores,
+/// trace cache on). Prefer building a `Session` directly for explicit
+/// control of threads and caching.
 pub fn run_suite(scale: Scale, kinds: &[MachineKind]) -> Vec<BenchResult> {
-    suite(scale)
-        .iter()
-        .map(|w| {
-            let trace = trace_workload(w, scale);
-            let runs = kinds.iter().map(|&k| run_on(k, trace.insts())).collect();
-            BenchResult {
-                name: w.name,
-                committed: trace.len() as u64,
-                runs,
-            }
-        })
-        .collect()
+    Session::new()
+        .scale(scale)
+        .machines(kinds.iter().copied())
+        .run_suite()
 }
 
 /// Geometric mean of a slice of positive values (0 for an empty slice).
@@ -145,5 +165,39 @@ mod tests {
         let s = b.speedup(MachineKind::FgstpSmall, MachineKind::SingleSmall);
         let expected = b.runs[0].result.cycles as f64 / b.runs[2].result.cycles as f64;
         assert!((s - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn try_speedup_is_none_on_partial_machine_sets() {
+        let w = by_name("hmmer_dp", Scale::Test).unwrap();
+        let t = trace_workload(&w, Scale::Test);
+        let b = BenchResult {
+            name: w.name,
+            committed: t.len() as u64,
+            runs: vec![run_on(MachineKind::SingleSmall, t.insts())],
+        };
+        assert!(b
+            .try_speedup(MachineKind::FgstpSmall, MachineKind::SingleSmall)
+            .is_none());
+        assert!(b
+            .try_speedup(MachineKind::SingleSmall, MachineKind::FgstpSmall)
+            .is_none());
+        assert_eq!(
+            b.try_speedup(MachineKind::SingleSmall, MachineKind::SingleSmall),
+            Some(1.0)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "fgstp-small not in result set")]
+    fn speedup_panics_with_the_missing_machine_name() {
+        let w = by_name("hmmer_dp", Scale::Test).unwrap();
+        let t = trace_workload(&w, Scale::Test);
+        let b = BenchResult {
+            name: w.name,
+            committed: t.len() as u64,
+            runs: vec![run_on(MachineKind::SingleSmall, t.insts())],
+        };
+        b.speedup(MachineKind::FgstpSmall, MachineKind::SingleSmall);
     }
 }

@@ -1,12 +1,15 @@
 //! # fgstp-tracefile
 //!
-//! Compact binary serialization for committed-path traces.
+//! Compact binary serialization for committed-path traces, plus the
+//! on-disk trace cache used by the `fgstp-sim` session driver.
 //!
 //! Reference-scale traces run to hundreds of thousands of dynamic
 //! instructions per workload; re-tracing every kernel for every experiment
 //! sweep repeats identical functional work. This crate persists a
 //! [`fgstp_isa::DynInst`] stream to a compact binary format (LEB128
 //! varints, presence flags for optional fields) and restores it exactly.
+//! Everything is plain `Vec<u8>`/`&[u8]` — the crate has no external
+//! dependencies, so the workspace builds with no network access.
 //!
 //! Format (version 1):
 //!
@@ -16,6 +19,10 @@
 //!         | flags u8 (addr?, taken?, taken-value, rd_value?, store_value?)
 //!         | varint pc | varint next_pc | optional fields in order
 //! ```
+//!
+//! [`TraceCache`] wraps this format with a checksum footer and a
+//! name-keyed directory layout; see the [`cache`] module docs for the
+//! location, key and invalidation rules.
 //!
 //! ```
 //! use fgstp_isa::{assemble, trace_program};
@@ -32,15 +39,18 @@ use std::fmt;
 use std::fs;
 use std::path::Path;
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 use fgstp_isa::{DynInst, Inst, Op, Reg};
 
+pub mod cache;
 mod varint;
 
+pub use cache::TraceCache;
 pub use varint::{read_varint, write_varint, zigzag_decode, zigzag_encode};
 
 const MAGIC: &[u8; 4] = b"FGTR";
-const VERSION: u32 = 1;
+
+/// On-disk trace format version; bumping it invalidates every cache file.
+pub const VERSION: u32 = 1;
 
 /// Error decoding a trace file.
 #[derive(Debug)]
@@ -57,6 +67,8 @@ pub enum TraceFileError {
     BadRegister(u8),
     /// The buffer ended mid-record.
     Truncated,
+    /// The checksum footer did not match the payload (cache files only).
+    BadChecksum,
 }
 
 impl fmt::Display for TraceFileError {
@@ -68,6 +80,7 @@ impl fmt::Display for TraceFileError {
             TraceFileError::BadOpcode(b) => write!(f, "invalid opcode byte {b}"),
             TraceFileError::BadRegister(b) => write!(f, "invalid register index {b}"),
             TraceFileError::Truncated => f.write_str("trace file truncated"),
+            TraceFileError::BadChecksum => f.write_str("trace file checksum mismatch"),
         }
     }
 }
@@ -103,16 +116,16 @@ const FLAG_RD_VALUE: u8 = 1 << 3;
 const FLAG_STORE_VALUE: u8 = 1 << 4;
 
 /// Serializes a trace to its binary representation.
-pub fn write_trace(insts: &[DynInst]) -> Bytes {
-    let mut buf = BytesMut::with_capacity(16 + insts.len() * 12);
-    buf.put_slice(MAGIC);
-    buf.put_u32_le(VERSION);
+pub fn write_trace(insts: &[DynInst]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(16 + insts.len() * 12);
+    buf.extend_from_slice(MAGIC);
+    buf.extend_from_slice(&VERSION.to_le_bytes());
     write_varint(&mut buf, insts.len() as u64);
     for d in insts {
-        buf.put_u8(op_code(d.inst.op));
-        buf.put_u8(d.inst.rd.index() as u8);
-        buf.put_u8(d.inst.rs1.index() as u8);
-        buf.put_u8(d.inst.rs2.index() as u8);
+        buf.push(op_code(d.inst.op));
+        buf.push(d.inst.rd.index() as u8);
+        buf.push(d.inst.rs1.index() as u8);
+        buf.push(d.inst.rs2.index() as u8);
         write_varint(&mut buf, zigzag_encode(d.inst.imm));
         let mut flags = 0u8;
         if d.addr.is_some() {
@@ -130,7 +143,7 @@ pub fn write_trace(insts: &[DynInst]) -> Bytes {
         if d.store_value.is_some() {
             flags |= FLAG_STORE_VALUE;
         }
-        buf.put_u8(flags);
+        buf.push(flags);
         write_varint(&mut buf, d.pc);
         write_varint(&mut buf, d.next_pc);
         if let Some(a) = d.addr {
@@ -143,14 +156,17 @@ pub fn write_trace(insts: &[DynInst]) -> Bytes {
             write_varint(&mut buf, v);
         }
     }
-    buf.freeze()
+    buf
 }
 
-fn read_reg(buf: &mut impl Buf) -> Result<Reg, TraceFileError> {
-    if !buf.has_remaining() {
-        return Err(TraceFileError::Truncated);
-    }
-    let b = buf.get_u8();
+fn take_u8(buf: &mut &[u8]) -> Result<u8, TraceFileError> {
+    let (&b, rest) = buf.split_first().ok_or(TraceFileError::Truncated)?;
+    *buf = rest;
+    Ok(b)
+}
+
+fn read_reg(buf: &mut &[u8]) -> Result<Reg, TraceFileError> {
+    let b = take_u8(buf)?;
     Reg::from_index(b).ok_or(TraceFileError::BadRegister(b))
 }
 
@@ -159,36 +175,36 @@ fn read_reg(buf: &mut impl Buf) -> Result<Reg, TraceFileError> {
 /// # Errors
 ///
 /// Returns a [`TraceFileError`] describing the first malformation found.
-pub fn read_trace(mut data: &[u8]) -> Result<Vec<DynInst>, TraceFileError> {
-    let buf = &mut data;
-    if buf.remaining() < 8 {
+pub fn read_trace(data: &[u8]) -> Result<Vec<DynInst>, TraceFileError> {
+    let buf = &mut &data[..];
+    if buf.len() < 8 {
         return Err(TraceFileError::Truncated);
     }
-    let mut magic = [0u8; 4];
-    buf.copy_to_slice(&mut magic);
-    if &magic != MAGIC {
+    let (magic, rest) = buf.split_at(4);
+    if magic != MAGIC {
         return Err(TraceFileError::BadMagic);
     }
-    let version = buf.get_u32_le();
+    let (ver, rest) = rest.split_at(4);
+    *buf = rest;
+    let version = u32::from_le_bytes(ver.try_into().expect("4 bytes"));
     if version != VERSION {
         return Err(TraceFileError::BadVersion(version));
     }
     let count = read_varint(buf).ok_or(TraceFileError::Truncated)?;
+    // A record is at least 8 bytes; reject counts the buffer cannot hold
+    // before reserving memory for them.
+    if count > (buf.len() / 8) as u64 {
+        return Err(TraceFileError::Truncated);
+    }
     let mut out = Vec::with_capacity(count as usize);
     for seq in 0..count {
-        if buf.remaining() < 4 {
-            return Err(TraceFileError::Truncated);
-        }
-        let opcode = buf.get_u8();
+        let opcode = take_u8(buf)?;
         let op = op_from_code(opcode).ok_or(TraceFileError::BadOpcode(opcode))?;
         let rd = read_reg(buf)?;
         let rs1 = read_reg(buf)?;
         let rs2 = read_reg(buf)?;
         let imm = zigzag_decode(read_varint(buf).ok_or(TraceFileError::Truncated)?);
-        if !buf.has_remaining() {
-            return Err(TraceFileError::Truncated);
-        }
-        let flags = buf.get_u8();
+        let flags = take_u8(buf)?;
         let pc = read_varint(buf).ok_or(TraceFileError::Truncated)?;
         let next_pc = read_varint(buf).ok_or(TraceFileError::Truncated)?;
         let addr = if flags & FLAG_ADDR != 0 {
@@ -304,13 +320,13 @@ mod tests {
             read_trace(&good[..2]),
             Err(TraceFileError::Truncated)
         ));
-        let mut bad_magic = good.to_vec();
+        let mut bad_magic = good.clone();
         bad_magic[0] = b'X';
         assert!(matches!(
             read_trace(&bad_magic),
             Err(TraceFileError::BadMagic)
         ));
-        let mut bad_version = good.to_vec();
+        let mut bad_version = good.clone();
         bad_version[4] = 99;
         assert!(matches!(
             read_trace(&bad_version),
@@ -326,18 +342,27 @@ mod tests {
         let t = sample();
         let good = write_trace(&t);
         let body_start = 4 + 4 + 1; // magic + version + 1-byte count varint
-        let mut bad_op = good.to_vec();
+        let mut bad_op = good.clone();
         bad_op[body_start] = 255;
         assert!(matches!(
             read_trace(&bad_op),
             Err(TraceFileError::BadOpcode(255))
         ));
-        let mut bad_reg = good.to_vec();
+        let mut bad_reg = good.clone();
         bad_reg[body_start + 1] = 200;
         assert!(matches!(
             read_trace(&bad_reg),
             Err(TraceFileError::BadRegister(200))
         ));
+    }
+
+    #[test]
+    fn huge_count_does_not_reserve_memory() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&VERSION.to_le_bytes());
+        write_varint(&mut bytes, u64::MAX);
+        assert!(matches!(read_trace(&bytes), Err(TraceFileError::Truncated)));
     }
 
     #[test]

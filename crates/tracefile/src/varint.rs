@@ -1,29 +1,33 @@
 //! LEB128 varints and zigzag encoding for signed values.
-
-use bytes::{Buf, BufMut};
+//!
+//! Writers append to a plain `Vec<u8>`; readers consume from a `&[u8]`
+//! cursor that advances past what they decode. No external buffer crate
+//! is involved, so the workspace builds with no network access.
 
 /// Writes `value` as an LEB128 varint (1–10 bytes).
-pub fn write_varint(buf: &mut impl BufMut, mut value: u64) {
+pub fn write_varint(buf: &mut Vec<u8>, mut value: u64) {
     loop {
         let byte = (value & 0x7f) as u8;
         value >>= 7;
         if value == 0 {
-            buf.put_u8(byte);
+            buf.push(byte);
             return;
         }
-        buf.put_u8(byte | 0x80);
+        buf.push(byte | 0x80);
     }
 }
 
-/// Reads an LEB128 varint; `None` on truncation or overlong encoding.
-pub fn read_varint(buf: &mut impl Buf) -> Option<u64> {
+/// Reads an LEB128 varint from the front of `*buf`, advancing the cursor;
+/// `None` on truncation or overlong encoding.
+pub fn read_varint(buf: &mut &[u8]) -> Option<u64> {
     let mut value = 0u64;
     let mut shift = 0u32;
     loop {
-        if !buf.has_remaining() || shift >= 64 {
+        if shift >= 64 {
             return None;
         }
-        let byte = buf.get_u8();
+        let (&byte, rest) = buf.split_first()?;
+        *buf = rest;
         value |= u64::from(byte & 0x7f) << shift;
         if byte & 0x80 == 0 {
             return Some(value);
@@ -46,12 +50,11 @@ pub fn zigzag_decode(v: u64) -> i64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bytes::BytesMut;
 
     #[test]
     fn varint_round_trips_edge_values() {
         for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
-            let mut buf = BytesMut::new();
+            let mut buf = Vec::new();
             write_varint(&mut buf, v);
             let mut slice = &buf[..];
             assert_eq!(read_varint(&mut slice), Some(v));
@@ -61,7 +64,7 @@ mod tests {
 
     #[test]
     fn small_values_are_one_byte() {
-        let mut buf = BytesMut::new();
+        let mut buf = Vec::new();
         write_varint(&mut buf, 127);
         assert_eq!(buf.len(), 1);
         write_varint(&mut buf, 128);
@@ -73,6 +76,17 @@ mod tests {
         let data = [0x80u8, 0x80];
         let mut slice = &data[..];
         assert_eq!(read_varint(&mut slice), None);
+    }
+
+    #[test]
+    fn reader_advances_past_what_it_decodes() {
+        let mut buf = Vec::new();
+        write_varint(&mut buf, 300);
+        write_varint(&mut buf, 7);
+        let mut slice = &buf[..];
+        assert_eq!(read_varint(&mut slice), Some(300));
+        assert_eq!(read_varint(&mut slice), Some(7));
+        assert!(slice.is_empty());
     }
 
     #[test]

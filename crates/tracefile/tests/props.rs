@@ -1,82 +1,76 @@
 //! Property tests: trace serialization round-trips arbitrary dynamic
-//! instructions and real workload traces.
-
-use proptest::prelude::*;
+//! instructions and real workload traces, and corruption never panics.
+//!
+//! Cases come from the workspace's deterministic [`Xorshift`] generator;
+//! every assertion names its case seed so failures replay exactly.
 
 use fgstp_isa::{trace_program, DynInst, Inst, Op, Reg};
 use fgstp_tracefile::{read_trace, write_trace, zigzag_decode, zigzag_encode};
+use fgstp_workloads::gen::Xorshift;
 use fgstp_workloads::{by_name, Scale};
 
-fn arb_op() -> impl Strategy<Value = Op> {
+const CASES: u64 = 256;
+
+fn arb_dyninst(g: &mut Xorshift, seq: u64) -> DynInst {
     let ops: Vec<Op> = Op::all().collect();
-    proptest::sample::select(ops)
+    let opt = |g: &mut Xorshift| g.flip().then(|| g.next_u64());
+    DynInst {
+        seq,
+        pc: g.next_u64(),
+        inst: Inst {
+            op: *g.pick(&ops),
+            rd: Reg::from_index(g.range_u64(0, 64) as u8).unwrap(),
+            rs1: Reg::from_index(g.range_u64(0, 64) as u8).unwrap(),
+            rs2: Reg::from_index(g.range_u64(0, 64) as u8).unwrap(),
+            imm: g.next_u64() as i64,
+        },
+        next_pc: g.next_u64(),
+        addr: opt(g),
+        taken: g.flip().then(|| g.flip()),
+        rd_value: opt(g),
+        store_value: opt(g),
+    }
 }
 
-fn arb_dyninst(seq: u64) -> impl Strategy<Value = DynInst> {
-    (
-        arb_op(),
-        (0u8..64, 0u8..64, 0u8..64),
-        any::<i64>(),
-        any::<u64>(),
-        any::<u64>(),
-        proptest::option::of(any::<u64>()),
-        proptest::option::of(any::<bool>()),
-        proptest::option::of(any::<u64>()),
-        proptest::option::of(any::<u64>()),
-    )
-        .prop_map(
-            move |(op, (rd, rs1, rs2), imm, pc, next_pc, addr, taken, rd_value, store_value)| {
-                DynInst {
-                    seq,
-                    pc,
-                    inst: Inst {
-                        op,
-                        rd: Reg::from_index(rd).unwrap(),
-                        rs1: Reg::from_index(rs1).unwrap(),
-                        rs2: Reg::from_index(rs2).unwrap(),
-                        imm,
-                    },
-                    next_pc,
-                    addr,
-                    taken,
-                    rd_value,
-                    store_value,
-                }
-            },
-        )
+fn arb_stream(g: &mut Xorshift, lo: usize, hi: usize) -> Vec<DynInst> {
+    (0..g.range_usize(lo, hi))
+        .map(|i| arb_dyninst(g, i as u64))
+        .collect()
 }
 
-proptest! {
-    /// Any instruction stream round-trips exactly (sequence numbers are
-    /// re-derived from position, matching the writer's contract).
-    #[test]
-    fn arbitrary_streams_round_trip(protos in proptest::collection::vec(arb_dyninst(0), 0..60)) {
-        let insts: Vec<DynInst> =
-            protos.into_iter().enumerate().map(|(i, mut d)| { d.seq = i as u64; d }).collect();
+/// Any instruction stream round-trips exactly.
+#[test]
+fn arbitrary_streams_round_trip() {
+    for case in 0..CASES {
+        let mut g = Xorshift::new(0x21_0001 + case);
+        let insts = arb_stream(&mut g, 0, 60);
         let bytes = write_trace(&insts);
         let back = read_trace(&bytes).expect("round trip decodes");
-        prop_assert_eq!(back, insts);
+        assert_eq!(back, insts, "case {case}");
     }
+}
 
-    /// Random corruptions never panic; they decode to an error or to some
-    /// well-formed (possibly different) trace.
-    #[test]
-    fn corruption_never_panics(
-        protos in proptest::collection::vec(arb_dyninst(0), 1..20),
-        flip in any::<(usize, u8)>(),
-    ) {
-        let insts: Vec<DynInst> =
-            protos.into_iter().enumerate().map(|(i, mut d)| { d.seq = i as u64; d }).collect();
-        let mut bytes = write_trace(&insts).to_vec();
-        let idx = flip.0 % bytes.len();
-        bytes[idx] ^= flip.1 | 1;
+/// Random corruptions never panic; they decode to an error or to some
+/// well-formed (possibly different) trace.
+#[test]
+fn corruption_never_panics() {
+    for case in 0..CASES {
+        let mut g = Xorshift::new(0x22_0001 + case);
+        let insts = arb_stream(&mut g, 1, 20);
+        let mut bytes = write_trace(&insts);
+        let idx = g.range_usize(0, bytes.len());
+        bytes[idx] ^= (g.next_u64() as u8) | 1;
         let _ = read_trace(&bytes); // must not panic
     }
+}
 
-    /// Zigzag is a bijection on random values.
-    #[test]
-    fn zigzag_bijection(v in any::<i64>()) {
-        prop_assert_eq!(zigzag_decode(zigzag_encode(v)), v);
+/// Zigzag is a bijection on random values.
+#[test]
+fn zigzag_bijection() {
+    let mut g = Xorshift::new(0x23_0001);
+    for case in 0..CASES {
+        let v = g.next_u64() as i64;
+        assert_eq!(zigzag_decode(zigzag_encode(v)), v, "case {case}: {v}");
     }
 }
 

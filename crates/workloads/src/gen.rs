@@ -51,6 +51,34 @@ impl Xorshift {
         }
         p
     }
+
+    /// A fair coin flip.
+    pub fn flip(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    /// Uniform value in the half-open range `lo..hi` (`lo < hi`).
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        lo + self.below(hi - lo)
+    }
+
+    /// Uniform signed value in the half-open range `lo..hi` (`lo < hi`).
+    pub fn range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        lo.wrapping_add(self.below(hi.wrapping_sub(lo) as u64) as i64)
+    }
+
+    /// Uniform value in the half-open range `lo..hi` (`lo < hi`).
+    pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        self.range_u64(lo as u64, hi as u64) as usize
+    }
+
+    /// A uniformly chosen element of a nonempty slice.
+    pub fn pick<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
+        assert!(!xs.is_empty(), "pick from an empty slice");
+        &xs[self.below(xs.len() as u64) as usize]
+    }
 }
 
 #[cfg(test)]
@@ -77,7 +105,7 @@ mod tests {
     fn permutation_is_a_bijection() {
         let mut g = Xorshift::new(7);
         let p = g.permutation(100);
-        let mut seen = vec![false; 100];
+        let mut seen = [false; 100];
         for &v in &p {
             assert!(!seen[v]);
             seen[v] = true;
@@ -97,5 +125,34 @@ mod tests {
     #[should_panic(expected = "nonzero")]
     fn zero_seed_panics() {
         Xorshift::new(0);
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut g = Xorshift::new(11);
+        for _ in 0..1000 {
+            assert!((3..17).contains(&g.range_u64(3, 17)));
+            assert!((-5..9).contains(&g.range_i64(-5, 9)));
+            assert!((2..4).contains(&g.range_usize(2, 4)));
+        }
+        assert!((i64::MIN..i64::MAX).contains(&g.range_i64(i64::MIN, i64::MAX)));
+    }
+
+    #[test]
+    fn pick_covers_the_slice() {
+        let mut g = Xorshift::new(13);
+        let xs = [1, 2, 3];
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            seen[*g.pick(&xs) as usize - 1] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn flip_lands_on_both_sides() {
+        let mut g = Xorshift::new(17);
+        let heads = (0..100).filter(|_| g.flip()).count();
+        assert!(heads > 20 && heads < 80, "{heads}");
     }
 }

@@ -10,6 +10,7 @@
 //! ```
 
 use fg_stp_repro::prelude::*;
+use fg_stp_repro::workloads::SuiteClass;
 
 const KERNEL: &str = r#"
     .equ N, 400
@@ -41,45 +42,42 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         machine.mem().read(0x10_0000, 8)
     );
 
-    // 2. Trace the committed path and time it on three machines.
-    let trace = trace_program(&program, 1_000_000)?;
-    println!("dynamic instructions: {}\n", trace.len());
-
-    let single = run_single(
-        trace.insts(),
-        &CoreConfig::small(),
-        &HierarchyConfig::small(1),
-    );
-    let fused = run_single(
-        trace.insts(),
-        &CoreConfig::fused(&CoreConfig::small()),
-        &HierarchyConfig::small(1),
-    );
-    let (fg, stats) = run_fgstp(
-        trace.insts(),
-        &FgstpConfig::small(),
-        &HierarchyConfig::small(2),
-    );
+    // 2. Wrap it as a workload and run it through a session on the three
+    //    small-CMP machines. A custom kernel isn't in the suite, so skip
+    //    the cache — the key space belongs to the named workloads.
+    let w = Workload {
+        name: "custom_kernel",
+        models: "-",
+        suite: SuiteClass::Int,
+        description: "two interleaved reductions",
+        program,
+    };
+    let session = Session::new()
+        .scale(Scale::Test)
+        .machines(MachineKind::SMALL_CMP)
+        .no_cache();
+    let bench = session.run_workload(&w);
+    println!("dynamic instructions: {}\n", bench.committed);
 
     let mut table = Table::new(["machine", "cycles", "speedup"]);
-    for (name, cycles) in [
-        ("single-small", single.cycles),
-        ("fused-small", fused.cycles),
-        ("fgstp-small", fg.cycles),
-    ] {
+    for run in &bench.runs {
         table.row([
-            name.to_owned(),
-            cycles.to_string(),
-            format!("{:.3}x", single.cycles as f64 / cycles as f64),
+            run.kind.label().to_owned(),
+            run.result.cycles.to_string(),
+            format!("{:.3}x", bench.speedup(run.kind, MachineKind::SingleSmall)),
         ]);
     }
     println!("{table}");
+    let fg = bench
+        .run_of(MachineKind::FgstpSmall)
+        .and_then(|r| r.fgstp.as_ref())
+        .expect("fgstp machine ran");
     println!(
         "partition: {}/{} instructions, {} replicated, {} communications",
-        stats.partition.insts[0],
-        stats.partition.insts[1],
-        stats.partition.replicated,
-        stats.partition.cross_reg_deps,
+        fg.partition.insts[0],
+        fg.partition.insts[1],
+        fg.partition.replicated,
+        fg.partition.cross_reg_deps,
     );
     Ok(())
 }

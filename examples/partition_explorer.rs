@@ -11,7 +11,6 @@ use fg_stp_repro::core::{
 };
 use fg_stp_repro::ooo::build_exec_stream;
 use fg_stp_repro::prelude::*;
-use fg_stp_repro::sim::runner::trace_workload;
 use fg_stp_repro::workloads;
 
 fn main() {
@@ -19,7 +18,8 @@ fn main() {
         .nth(1)
         .unwrap_or_else(|| "hmmer_dp".to_owned());
     let w = workloads::by_name(&name, Scale::Test).expect("known workload");
-    let trace = trace_workload(&w, Scale::Test);
+    let session = Session::new().scale(Scale::Test);
+    let trace = session.trace(&w);
     let stream = build_exec_stream(trace.insts());
     println!(
         "workload: {} — {} dynamic instructions\n",
@@ -40,6 +40,29 @@ fn main() {
         ("lookahead-256 (Fg-STP)", PartitionPolicy::fgstp_default()),
     ];
 
+    // Each policy's partition + timing run is independent: fan them out
+    // over the session's worker pool.
+    let rows = session.par_map(&policies, |&(label, policy)| {
+        let pcfg = PartitionConfig {
+            policy,
+            ..PartitionConfig::default()
+        };
+        let part = partition_stream(&stream, &pcfg);
+        let mut cfg = FgstpConfig::small();
+        cfg.partition = pcfg;
+        let (result, _) = run_fgstp(trace.insts(), &cfg, &HierarchyConfig::small(2));
+        [
+            label.to_owned(),
+            part.stats.insts[0].to_string(),
+            part.stats.insts[1].to_string(),
+            part.stats.replicated.to_string(),
+            part.stats.cross_reg_deps.to_string(),
+            format!("{:.3}", part.stats.comms_per_inst()),
+            result.cycles.to_string(),
+            format!("{:.3}", result.ipc()),
+        ]
+    });
+
     let mut table = Table::new([
         "policy",
         "core0",
@@ -50,25 +73,8 @@ fn main() {
         "cycles",
         "ipc",
     ]);
-    for (label, policy) in policies {
-        let pcfg = PartitionConfig {
-            policy,
-            ..PartitionConfig::default()
-        };
-        let part = partition_stream(&stream, &pcfg);
-        let mut cfg = FgstpConfig::small();
-        cfg.partition = pcfg;
-        let (result, _) = run_fgstp(trace.insts(), &cfg, &HierarchyConfig::small(2));
-        table.row([
-            label.to_owned(),
-            part.stats.insts[0].to_string(),
-            part.stats.insts[1].to_string(),
-            part.stats.replicated.to_string(),
-            part.stats.cross_reg_deps.to_string(),
-            format!("{:.3}", part.stats.comms_per_inst()),
-            result.cycles.to_string(),
-            format!("{:.3}", result.ipc()),
-        ]);
+    for row in rows {
+        table.row(row);
     }
     println!("{table}");
     println!("(comms = register values that must cross the cores; replication removes them)");

@@ -9,7 +9,6 @@
 
 use fg_stp_repro::prelude::*;
 use fg_stp_repro::sim::profile::profile_single;
-use fg_stp_repro::sim::runner::trace_workload;
 
 fn main() {
     let interval: usize = std::env::args()
@@ -17,24 +16,28 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(2000);
     println!("per-interval IPC on one small core ({interval} instructions per sample)\n");
-    let mut strongest: Option<(&'static str, f64)> = None;
-    for w in suite(Scale::Test) {
-        let trace = trace_workload(&w, Scale::Test);
+    // Profile the whole suite in parallel; results come back in suite
+    // order so the listing is stable.
+    let profiles = Session::new().scale(Scale::Test).map_suite(|w, trace| {
         let p = profile_single(
             trace.insts(),
             &CoreConfig::small(),
             &HierarchyConfig::small(1),
             interval,
         );
+        (w.name, p)
+    });
+    let mut strongest: Option<(&'static str, f64)> = None;
+    for (name, p) in profiles {
         println!(
             "{:14} mean {:.2}  contrast {:>5.1}x  {}",
-            w.name,
+            name,
             p.mean_ipc(),
             p.phase_contrast(),
             p.sparkline()
         );
         if strongest.is_none_or(|(_, c)| p.phase_contrast() > c) {
-            strongest = Some((w.name, p.phase_contrast()));
+            strongest = Some((name, p.phase_contrast()));
         }
     }
     if let Some((name, contrast)) = strongest {

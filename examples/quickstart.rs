@@ -1,12 +1,13 @@
 //! Quickstart: run one workload on all three machines of the small 2-core
-//! CMP and print the headline comparison.
+//! CMP and print the headline comparison. The [`Session`] traces the
+//! workload once (through the on-disk trace cache) and runs the machines
+//! in parallel.
 //!
 //! ```sh
 //! cargo run --release --example quickstart [workload]
 //! ```
 
 use fg_stp_repro::prelude::*;
-use fg_stp_repro::sim::runner::trace_workload;
 use fg_stp_repro::workloads;
 
 fn main() {
@@ -27,19 +28,30 @@ fn main() {
     let checksum = w.run_reference().expect("workload runs");
     println!("reference checksum: {checksum:#x}");
 
-    let trace = trace_workload(&w, Scale::Test);
-    println!("dynamic instructions: {}\n", trace.len());
+    let session = Session::new()
+        .scale(Scale::Test)
+        .machines(MachineKind::SMALL_CMP);
+    let bench = session.run_workload(&w);
+    println!("dynamic instructions: {}\n", bench.committed);
 
     let mut table = Table::new(["machine", "cycles", "ipc", "speedup vs single"]);
-    let baseline = run_on(MachineKind::SingleSmall, trace.insts());
-    for kind in MachineKind::SMALL_CMP {
-        let run = run_on(kind, trace.insts());
+    for run in &bench.runs {
         table.row([
-            kind.label().to_owned(),
+            run.kind.label().to_owned(),
             run.result.cycles.to_string(),
             format!("{:.3}", run.ipc()),
-            format!("{:.3}x", run.result.speedup_over(&baseline.result)),
+            format!(
+                "{:.3}x",
+                bench
+                    .try_speedup(run.kind, MachineKind::SingleSmall)
+                    .expect("single is in the machine set")
+            ),
         ]);
     }
     println!("{table}");
+    let stats = session.cache_stats();
+    println!(
+        "(trace cache: {} hits, {} misses)",
+        stats.hits, stats.misses
+    );
 }

@@ -8,22 +8,24 @@
 
 use fg_stp_repro::core::{run_fgstp, FgstpConfig};
 use fg_stp_repro::prelude::*;
-use fg_stp_repro::sim::runner::trace_workload;
 
 fn main() {
-    let scale = Scale::Test;
-    let workloads = suite(scale);
+    let session = Session::new().scale(Scale::Test);
+    // Trace the suite once (cache-aware) and reuse across the sweep.
+    let traced = session.suite_traces();
+    let singles = session.par_map(&traced, |(_, t)| {
+        run_on(MachineKind::SingleSmall, t.insts())
+    });
+    let jobs: Vec<_> = traced.iter().zip(&singles).collect();
+
     let mut table = Table::new(["comm latency", "geomean speedup vs 1 small core"]);
     for latency in [1u64, 2, 4, 8, 12, 16] {
-        let mut speedups = Vec::new();
-        for w in &workloads {
-            let trace = trace_workload(w, scale);
-            let single = run_on(MachineKind::SingleSmall, trace.insts());
+        let speedups = session.par_map(&jobs, |((_, t), single)| {
             let mut cfg = FgstpConfig::small();
             cfg.comm.latency = latency;
-            let (r, _) = run_fgstp(trace.insts(), &cfg, &HierarchyConfig::small(2));
-            speedups.push(r.speedup_over(&single.result));
-        }
+            let (r, _) = run_fgstp(t.insts(), &cfg, &HierarchyConfig::small(2));
+            r.speedup_over(&single.result)
+        });
         table.row([
             format!("{latency} cycles"),
             format!("{:.3}x", geomean(&speedups)),

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Full offline verification: format, lint, build, test.
+# Everything runs against the local toolchain — no network required.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "== cargo clippy (warnings are errors)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== tier-1: cargo build --release && cargo test -q"
+cargo build --release
+cargo test -q
+
+echo "== verify OK"

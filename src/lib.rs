@@ -29,12 +29,15 @@
 //! ```
 //! use fg_stp_repro::prelude::*;
 //!
-//! // Trace a workload and run it on two machines of the small CMP.
+//! // Run one workload on two machines of the small CMP. The session
+//! // traces it once (consulting the on-disk trace cache) and fans the
+//! // runs out over a worker pool.
 //! let w = fg_stp_repro::workloads::by_name("hmmer_dp", Scale::Test).unwrap();
-//! let trace = fg_stp_repro::sim::runner::trace_workload(&w, Scale::Test);
-//! let single = run_on(MachineKind::SingleSmall, trace.insts());
-//! let fgstp = run_on(MachineKind::FgstpSmall, trace.insts());
-//! assert_eq!(single.result.committed, fgstp.result.committed);
+//! let bench = Session::new()
+//!     .scale(Scale::Test)
+//!     .machines([MachineKind::SingleSmall, MachineKind::FgstpSmall])
+//!     .run_workload(&w);
+//! assert!(bench.speedup(MachineKind::FgstpSmall, MachineKind::SingleSmall) > 0.0);
 //! ```
 //!
 //! See `examples/` for runnable scenarios and `crates/bench/src/bin/` for
@@ -55,6 +58,8 @@ pub mod prelude {
     pub use fgstp_isa::{assemble, trace_program, Machine, Program};
     pub use fgstp_mem::HierarchyConfig;
     pub use fgstp_ooo::{run_single, CoreConfig};
-    pub use fgstp_sim::{geomean, run_on, run_suite, MachineKind, Scale, Table};
+    pub use fgstp_sim::{
+        geomean, run_on, run_suite, CacheStats, MachineKind, RunPlan, Scale, Session, Table,
+    };
     pub use fgstp_workloads::{suite, SuiteClass, Workload};
 }

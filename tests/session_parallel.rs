@@ -1,0 +1,118 @@
+//! The parallel session runner is an optimization, not a model change:
+//! every statistic it produces must be bit-identical to a single-threaded
+//! run, for any pool size, and the trace cache must be invisible except
+//! for speed.
+
+use std::time::Instant;
+
+use fg_stp_repro::prelude::*;
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("fgstp-itest-{tag}-{}", std::process::id()))
+}
+
+/// Renders every statistic of every run; two equal strings mean the
+/// results are bit-identical (Debug prints exact integers and the full
+/// float bits of ratios are derived from them).
+fn fingerprint(results: &[fg_stp_repro::sim::BenchResult]) -> String {
+    format!("{results:#?}")
+}
+
+#[test]
+fn parallel_runs_are_bit_identical_to_serial() {
+    let machines = [
+        MachineKind::SingleSmall,
+        MachineKind::FusedSmall,
+        MachineKind::FgstpSmall,
+    ];
+    let serial = Session::new()
+        .scale(Scale::Test)
+        .machines(machines)
+        .threads(1)
+        .no_cache()
+        .run_suite();
+    let parallel = Session::new()
+        .scale(Scale::Test)
+        .machines(machines)
+        .threads(4)
+        .no_cache()
+        .run_suite();
+    assert_eq!(serial.len(), 18, "full suite");
+    assert_eq!(
+        fingerprint(&serial),
+        fingerprint(&parallel),
+        "threads(4) must be bit-identical to threads(1)"
+    );
+}
+
+#[test]
+fn cached_traces_are_bit_identical_and_warm_runs_hit() {
+    let dir = temp_dir("parallel-cache");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let cold_session = Session::new()
+        .scale(Scale::Test)
+        .machines([MachineKind::FgstpSmall])
+        .cache_dir(&dir);
+    let t0 = Instant::now();
+    let cold = cold_session.run_suite();
+    let cold_time = t0.elapsed();
+    let stats = cold_session.cache_stats();
+    assert_eq!(stats.misses, 18, "every workload is a cold miss");
+    assert_eq!(stats.hits, 0);
+
+    let warm_session = Session::new()
+        .scale(Scale::Test)
+        .machines([MachineKind::FgstpSmall])
+        .cache_dir(&dir);
+    let t0 = Instant::now();
+    let warm = warm_session.run_suite();
+    let warm_time = t0.elapsed();
+    let stats = warm_session.cache_stats();
+    assert_eq!(stats.hits, 18, "every workload is a warm hit");
+    assert_eq!(stats.misses, 0);
+
+    assert_eq!(
+        fingerprint(&cold),
+        fingerprint(&warm),
+        "cached traces must not change any statistic"
+    );
+    // Decoding a trace file is much cheaper than functional simulation;
+    // the tracing portion dominates the cold run at Test scale.
+    assert!(
+        warm_time < cold_time,
+        "warm cache should be faster: cold {cold_time:?}, warm {warm_time:?}"
+    );
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn plan_narrowing_matches_the_full_suite_rows() {
+    let session = Session::new()
+        .scale(Scale::Test)
+        .machines([MachineKind::SingleSmall, MachineKind::FgstpSmall])
+        .no_cache();
+    let full = session.run_suite();
+    let narrowed = session
+        .plan()
+        .workload_names(&["hmmer_dp", "mcf_pointer"])
+        .execute();
+    assert_eq!(narrowed.len(), 2);
+    for b in &narrowed {
+        let row = full.iter().find(|f| f.name == b.name).unwrap();
+        assert_eq!(
+            fingerprint(std::slice::from_ref(b)),
+            fingerprint(std::slice::from_ref(row))
+        );
+    }
+    // Suite order is preserved regardless of the name order given.
+    let reordered = session
+        .plan()
+        .workload_names(&["mcf_pointer", "hmmer_dp"])
+        .execute();
+    assert_eq!(
+        narrowed.iter().map(|b| b.name).collect::<Vec<_>>(),
+        reordered.iter().map(|b| b.name).collect::<Vec<_>>(),
+    );
+}

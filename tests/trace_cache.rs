@@ -1,0 +1,87 @@
+//! End-to-end trace-cache behaviour through the public `Session` API:
+//! cold miss → file written → warm hit → corrupt file falls back to
+//! re-tracing (and heals the cache).
+
+use fg_stp_repro::prelude::*;
+use fg_stp_repro::workloads::by_name;
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("fgstp-itest-{tag}-{}", std::process::id()))
+}
+
+#[test]
+fn cache_round_trip_and_corruption_fallback() {
+    let dir = temp_dir("roundtrip");
+    let _ = std::fs::remove_dir_all(&dir);
+    let w = by_name("gcc_expr", Scale::Test).unwrap();
+
+    // Cold: miss, trace, store.
+    let session = Session::new().scale(Scale::Test).cache_dir(&dir);
+    let cold = session.trace(&w);
+    assert_eq!(session.cache_stats(), CacheStats { hits: 0, misses: 1 });
+    let files: Vec<_> = std::fs::read_dir(&dir)
+        .expect("cache dir was created")
+        .map(|e| e.unwrap().path())
+        .collect();
+    assert_eq!(files.len(), 1, "one cache file per (workload, scale)");
+    let cache_file = &files[0];
+    let name = cache_file.file_name().unwrap().to_str().unwrap();
+    assert!(
+        name.starts_with("gcc_expr-test-v") && name.ends_with(".fgtr"),
+        "key is workload + scale + format version: {name}"
+    );
+
+    // Warm: hit, identical trace.
+    let warm = session.trace(&w);
+    assert_eq!(session.cache_stats(), CacheStats { hits: 1, misses: 1 });
+    assert_eq!(cold, warm, "decoded trace is bit-identical");
+
+    // Corrupt the stored payload: the next read must detect it (checksum),
+    // fall back to re-tracing, and still return the right trace.
+    let mut bytes = std::fs::read(cache_file).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xff;
+    std::fs::write(cache_file, &bytes).unwrap();
+    let healed = session.trace(&w);
+    assert_eq!(
+        session.cache_stats(),
+        CacheStats { hits: 1, misses: 2 },
+        "corrupt file reads as a miss"
+    );
+    assert_eq!(cold, healed);
+
+    // The fallback re-stored a good file: hits resume.
+    let again = session.trace(&w);
+    assert_eq!(session.cache_stats(), CacheStats { hits: 2, misses: 2 });
+    assert_eq!(cold, again);
+
+    // Truncation (a partial write that lost the footer) is also a miss.
+    let good = std::fs::read(cache_file).unwrap();
+    std::fs::write(cache_file, &good[..4]).unwrap();
+    let recovered = session.trace(&w);
+    assert_eq!(session.cache_stats(), CacheStats { hits: 2, misses: 3 });
+    assert_eq!(cold, recovered);
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn sessions_sharing_a_directory_share_the_cache() {
+    let dir = temp_dir("shared");
+    let _ = std::fs::remove_dir_all(&dir);
+    let w = by_name("perl_hash", Scale::Test).unwrap();
+
+    let writer = Session::new().scale(Scale::Test).cache_dir(&dir);
+    writer.trace(&w);
+    assert_eq!(writer.cache_stats().misses, 1);
+
+    let reader = Session::new().scale(Scale::Test).cache_dir(&dir);
+    reader.trace(&w);
+    assert_eq!(
+        reader.cache_stats(),
+        CacheStats { hits: 1, misses: 0 },
+        "a fresh session reuses traces stored by an earlier one"
+    );
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
