@@ -12,12 +12,13 @@
 use std::hint::black_box;
 use std::time::{Duration, Instant};
 
-use fgstp::{partition_stream, run_fgstp, FgstpConfig, PartitionConfig};
+use fgstp::{partition_stream, run_fgstp, run_fgstp_with_sink, FgstpConfig, PartitionConfig};
 use fgstp_bpred::{DirectionPredictor, Tournament};
 use fgstp_isa::Trace;
 use fgstp_mem::{Hierarchy, HierarchyConfig};
-use fgstp_ooo::{build_exec_stream, run_single, CoreConfig};
+use fgstp_ooo::{build_exec_stream, run_single, run_single_with_sink, CoreConfig};
 use fgstp_sim::{runner::trace_workload, Scale};
+use fgstp_telemetry::CpiSink;
 use fgstp_workloads::by_name;
 
 /// Minimum total measured time per benchmark.
@@ -129,6 +130,28 @@ fn main() {
             black_box(t.insts()),
             &FgstpConfig::small(),
             &HierarchyConfig::small(2),
+        )
+    });
+
+    // Telemetry-on variants: compare against the plain timing benches to
+    // see the cost of cycle accounting (the disabled-sink builds above
+    // must not regress — the sink is compiled out via a const generic).
+    h.bench("timing/single_small_cpi", t.len() as u64, || {
+        let mut sink = CpiSink::new(1);
+        run_single_with_sink(
+            black_box(t.insts()),
+            &CoreConfig::small(),
+            &HierarchyConfig::small(1),
+            &mut sink,
+        )
+    });
+    h.bench("timing/fgstp_small_cpi", t.len() as u64, || {
+        let mut sink = CpiSink::new(2);
+        run_fgstp_with_sink(
+            black_box(t.insts()),
+            &FgstpConfig::small(),
+            &HierarchyConfig::small(2),
+            &mut sink,
         )
     });
 

@@ -103,6 +103,9 @@ pub fn run_speedup_experiment(
     for name in &summary.skipped {
         eprintln!("warning: {name} skipped (machine missing from result set)");
     }
+    for (name, why) in &summary.failed {
+        eprintln!("warning: {name} produced no runs: {why}");
+    }
     println!(
         "Fg-STP over Core Fusion (geomean): {:+.1}%",
         (summary.fgstp_over_fused() - 1.0) * 100.0

@@ -53,7 +53,7 @@ pub use adaptive::{run_oracle, run_sampling, AdaptiveResult, Mode, SamplingConfi
 pub use commq::{CommConfig, CommQueue};
 pub use depgraph::DepGraph;
 pub use exec::{check_partition, CheckError};
-pub use machine::{run_fgstp, run_fgstp_recorded, FgstpConfig, FgstpStats};
+pub use machine::{run_fgstp, run_fgstp_recorded, run_fgstp_with_sink, FgstpConfig, FgstpStats};
 pub use partition::{
     partition_stream, PartitionConfig, PartitionPolicy, PartitionStats, PartitionedStream,
 };

@@ -19,9 +19,10 @@ use std::collections::HashMap;
 use fgstp_isa::DynInst;
 use fgstp_mem::{Hierarchy, HierarchyConfig};
 use fgstp_ooo::{
-    build_exec_stream, Core, CoreConfig, ExecEnv, ExecInst, FetchGate, LoadGate, Prediction,
-    PredictorState, RunResult,
+    build_exec_stream, classify_single, stat_delta, CommitStall, Core, CoreConfig, CoreStats,
+    ExecEnv, ExecInst, FetchGate, LoadGate, Prediction, PredictorState, RunResult, StatDelta,
 };
+use fgstp_telemetry::{CycleOutcome, CycleSink, NullSink, StallCategory};
 
 use crate::commq::{CommConfig, CommQueue};
 use crate::partition::{partition_stream, PartitionConfig, PartitionStats, PartitionedStream};
@@ -159,6 +160,45 @@ impl FgstpEnv {
     fn completed(&self, gseq: u64) -> Option<u64> {
         let c = self.board[gseq as usize];
         (c != u64::MAX).then_some(c)
+    }
+
+    /// Whether `core`'s fetch is currently bound by the lookahead-buffer
+    /// skew limit (it ran a full partition window ahead of its partner) —
+    /// the telemetry disambiguator between a branch-redirect fetch gate
+    /// and partitioner backpressure.
+    fn skew_blocked(&self, core: usize) -> bool {
+        let me = self.next_fetch[core];
+        let other = self.next_fetch[1 - core];
+        me != u64::MAX && other != u64::MAX && me > other + self.fetch_skew
+    }
+}
+
+/// Charges one non-commit cycle of an Fg-STP core to a [`StallCategory`]:
+/// the cross-core refinements first, then the single-core decision tree.
+fn classify_fgstp(
+    done: bool,
+    skew_blocked: bool,
+    stall: CommitStall,
+    d: &StatDelta,
+) -> StallCategory {
+    if done {
+        // Drained while the partner still runs: global-commit slack.
+        return StallCategory::CommitSync;
+    }
+    if d.replica_committed > 0 {
+        // The commit slot went to replicated shadow copies.
+        return StallCategory::Replication;
+    }
+    match stall {
+        CommitStall::Idle if d.fetch_blocked > 0 && skew_blocked => StallCategory::CommBackpressure,
+        CommitStall::Executing {
+            replica: true,
+            is_load: false,
+            cross_replay: false,
+            ..
+        } => StallCategory::Replication,
+        CommitStall::Completing { replica: true } => StallCategory::Replication,
+        other => classify_single(other, d),
     }
 }
 
@@ -300,6 +340,38 @@ pub fn run_fgstp_recorded(
     hcfg: &HierarchyConfig,
     recorders: Option<[fgstp_ooo::PipeRecorder; 2]>,
 ) -> (RunResult, FgstpStats, Option<[fgstp_ooo::PipeRecorder; 2]>) {
+    run_fgstp_impl(trace, cfg, hcfg, recorders, &mut NullSink)
+}
+
+/// Like [`run_fgstp`], but charges every core-cycle into `sink` (cores 0
+/// and 1; one outcome per core per machine cycle).
+///
+/// Timing is bit-identical to [`run_fgstp`]: the accounting probes reuse
+/// the environment's idempotent queries and never mutate pipeline,
+/// predictor, queue or cache state.
+///
+/// # Panics
+///
+/// Panics if `hcfg` does not describe exactly two cores, or if the machine
+/// deadlocks (a model bug).
+pub fn run_fgstp_with_sink<S: CycleSink>(
+    trace: &[DynInst],
+    cfg: &FgstpConfig,
+    hcfg: &HierarchyConfig,
+    sink: &mut S,
+) -> (RunResult, FgstpStats) {
+    let (result, stats, _) = run_fgstp_impl(trace, cfg, hcfg, None, sink);
+    (result, stats)
+}
+
+#[allow(clippy::type_complexity)]
+fn run_fgstp_impl<S: CycleSink>(
+    trace: &[DynInst],
+    cfg: &FgstpConfig,
+    hcfg: &HierarchyConfig,
+    recorders: Option<[fgstp_ooo::PipeRecorder; 2]>,
+    sink: &mut S,
+) -> (RunResult, FgstpStats, Option<[fgstp_ooo::PipeRecorder; 2]>) {
     assert_eq!(hcfg.cores, 2, "Fg-STP reconfigures exactly two cores");
     let stream = build_exec_stream(trace);
     let part = partition_stream(&stream, &cfg.partition);
@@ -317,8 +389,25 @@ pub fn run_fgstp_recorded(
     let mut now = 0u64;
     let debug = std::env::var_os("FGSTP_TRACE").is_some();
     while !(core0.done() && core1.done()) {
+        let before = if S::ENABLED {
+            [*core0.stats(), *core1.stats()]
+        } else {
+            [CoreStats::default(); 2]
+        };
         core0.cycle(now, &mut env, &mut mem);
         core1.cycle(now, &mut env, &mut mem);
+        if S::ENABLED {
+            for (i, core) in [&core0, &core1].into_iter().enumerate() {
+                let d = stat_delta(&before[i], core.stats());
+                let outcome = if d.committed > 0 {
+                    CycleOutcome::Commit(d.committed as u32)
+                } else {
+                    let stall = core.commit_stall(&mut env, now);
+                    CycleOutcome::Stall(classify_fgstp(core.done(), env.skew_blocked(i), stall, &d))
+                };
+                sink.record(i, now, outcome);
+            }
+        }
         now += 1;
         if debug && now.is_multiple_of(2000) {
             eprintln!(
@@ -484,6 +573,100 @@ mod tests {
         assert!(
             s.deliveries[0] + s.deliveries[1] > 0,
             "chunked round-robin must communicate"
+        );
+    }
+
+    #[test]
+    fn sink_accounts_both_cores_without_changing_timing() {
+        let t = two_chain_trace();
+        let (plain, _) = run_fgstp(t.insts(), &FgstpConfig::small(), &HierarchyConfig::small(2));
+        let mut sink = fgstp_telemetry::CpiSink::new(2);
+        let (r, _) = run_fgstp_with_sink(
+            t.insts(),
+            &FgstpConfig::small(),
+            &HierarchyConfig::small(2),
+            &mut sink,
+        );
+        assert_eq!(r.cycles, plain.cycles, "telemetry must not change timing");
+        assert_eq!(r.committed, plain.committed);
+        // Each core's stack covers every machine cycle: the merged total is
+        // 2 × machine cycles (aggregate core-cycles).
+        for (i, stack) in sink.stacks().iter().enumerate() {
+            stack
+                .check_against(r.cycles)
+                .unwrap_or_else(|e| panic!("core {i}: {e}"));
+        }
+        let merged = sink.merged();
+        merged.check_against(2 * r.cycles).unwrap();
+        assert_eq!(merged.committed, r.committed);
+    }
+
+    #[test]
+    fn fgstp_classifier_covers_every_refinement() {
+        let d = StatDelta::default();
+        // A drained core is global-commit slack no matter what the probe says.
+        assert_eq!(
+            classify_fgstp(true, false, CommitStall::Idle, &d),
+            StallCategory::CommitSync
+        );
+        // A commit slot spent on replicated shadow copies is replication cost.
+        let replicas = StatDelta {
+            replica_committed: 2,
+            ..d
+        };
+        assert_eq!(
+            classify_fgstp(false, false, CommitStall::Idle, &replicas),
+            StallCategory::Replication
+        );
+        // Empty ROB because the lookahead gate holds fetch back for the
+        // partner core: back-pressure, not a frontend problem.
+        let gated = StatDelta {
+            fetch_blocked: 3,
+            ..d
+        };
+        assert_eq!(
+            classify_fgstp(false, true, CommitStall::Idle, &gated),
+            StallCategory::CommBackpressure
+        );
+        // ...but the same empty ROB without skew gating falls through to
+        // the single-core classifier (fetch gated by a branch redirect).
+        assert_eq!(
+            classify_fgstp(false, false, CommitStall::Idle, &gated),
+            StallCategory::BranchRedirect
+        );
+        // Executing / completing replicas charge to replication, while a
+        // replaying load keeps its memory-dependence attribution.
+        assert_eq!(
+            classify_fgstp(
+                false,
+                false,
+                CommitStall::Executing {
+                    is_load: false,
+                    mem_level: None,
+                    cross_replay: false,
+                    replica: true,
+                },
+                &d
+            ),
+            StallCategory::Replication
+        );
+        assert_eq!(
+            classify_fgstp(false, false, CommitStall::Completing { replica: true }, &d),
+            StallCategory::Replication
+        );
+        assert_eq!(
+            classify_fgstp(
+                false,
+                false,
+                CommitStall::Executing {
+                    is_load: true,
+                    mem_level: None,
+                    cross_replay: true,
+                    replica: true,
+                },
+                &d
+            ),
+            StallCategory::MemDepReplay
         );
     }
 

@@ -13,7 +13,8 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
 
 use fgstp_isa::InstClass;
-use fgstp_mem::Hierarchy;
+use fgstp_mem::{Hierarchy, HierarchyConfig};
+use fgstp_telemetry::MemLevel;
 
 use crate::config::{CoreConfig, MemDepPolicy};
 use crate::env::{ExecEnv, LoadGate};
@@ -69,6 +70,12 @@ struct Slot {
     /// First cycle all register operands were ready (set lazily; used to
     /// decide whether a speculative load actually violated).
     ready_since: Option<u64>,
+    /// For loads that accessed the hierarchy: the level that serviced
+    /// them, classified from the observed latency (telemetry).
+    mem_level: Option<MemLevel>,
+    /// Whether the instruction replayed after a cross-core
+    /// memory-dependence squash (telemetry).
+    cross_replay: bool,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -78,6 +85,72 @@ struct SqEntry {
     addr_ready: Option<u64>,
     /// Cycle the store data is available (equals `addr_ready` here).
     complete: Option<u64>,
+}
+
+/// State of the window head (or the empty window) on a cycle that
+/// committed nothing — the raw material for CPI-stack attribution.
+///
+/// Produced by [`Core::commit_stall`]; the machine drivers map it to a
+/// [`fgstp_telemetry::StallCategory`] with machine-specific refinements
+/// (a single core has no cross-core categories; the Fg-STP driver
+/// distinguishes gate blocks from lookahead backpressure).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommitStall {
+    /// The window is empty: the frontend is refilling it. The stats
+    /// deltas (`fetch_blocked_cycles`, `icache_stall_cycles`) tell why.
+    Idle,
+    /// The head has not issued: a register operand is not known ready.
+    /// `cross` is set when a cross-core operand is among the missing.
+    WaitingOperands {
+        /// A cross-core operand has not been delivered yet.
+        cross: bool,
+    },
+    /// The head's operands are ready but it has not issued: a structural
+    /// or memory-ordering gate.
+    WaitingIssue {
+        /// A functional unit of its class is free this cycle (so the
+        /// stall is an ordering gate or issue-bandwidth artifact, not FU
+        /// contention).
+        fu_free: bool,
+        /// The head is a load.
+        is_load: bool,
+        /// The head is a load with a cross-core memory dependence.
+        cross_memdep: bool,
+    },
+    /// The head is executing.
+    Executing {
+        /// The head is a load.
+        is_load: bool,
+        /// For loads that accessed the hierarchy: the level that
+        /// serviced them.
+        mem_level: Option<MemLevel>,
+        /// The head replayed after a cross-core memdep squash.
+        cross_replay: bool,
+        /// The head is a replicated shadow copy.
+        replica: bool,
+    },
+    /// The head completed this very cycle (writeback; commit next cycle).
+    Completing {
+        /// The head is a replicated shadow copy.
+        replica: bool,
+    },
+    /// The head completed earlier but the environment refused commit
+    /// (global cross-core commit order).
+    CommitBlocked {
+        /// The head is a replicated shadow copy.
+        replica: bool,
+    },
+}
+
+/// Classifies a load's observed latency by the level that serviced it.
+fn classify_mem_level(mlat: u64, cfg: &HierarchyConfig) -> MemLevel {
+    if mlat <= cfg.l1d.latency {
+        MemLevel::L1
+    } else if mlat <= cfg.l1d.latency + cfg.l2.latency {
+        MemLevel::L2
+    } else {
+        MemLevel::Dram
+    }
 }
 
 /// One out-of-order core executing its assigned instruction stream.
@@ -197,6 +270,64 @@ impl Core {
             self.sq_used,
             head
         )
+    }
+
+    /// Why the window head (or the empty window) is not committing at
+    /// `now` — the telemetry probe behind CPI-stack attribution.
+    ///
+    /// Read-only with respect to simulation state: it reuses the same
+    /// idempotent environment queries the issue stage uses
+    /// ([`ExecEnv::cross_operand_ready`]) and the claim-free
+    /// [`FuPool::would_issue`] probe, so calling it never perturbs timing.
+    /// Only meaningful on cycles where nothing committed; the driver
+    /// decides that from the stats delta.
+    pub fn commit_stall(&self, env: &mut dyn ExecEnv, now: u64) -> CommitStall {
+        let Some(&gseq) = self.rob.front() else {
+            return CommitStall::Idle;
+        };
+        let slot = &self.slots[&gseq];
+        let x = slot.x;
+        match slot.state {
+            SlotState::InQueue => {
+                let mut pending = false;
+                let mut cross_pending = false;
+                for dep in x.deps.iter().flatten() {
+                    let ready = if dep.cross {
+                        env.cross_operand_ready(self.id, dep.producer)
+                    } else {
+                        self.local_ready(dep.producer, slot.cluster)
+                    };
+                    if ready.is_none_or(|t| t > now) {
+                        pending = true;
+                        cross_pending |= dep.cross;
+                    }
+                }
+                if pending {
+                    CommitStall::WaitingOperands {
+                        cross: cross_pending,
+                    }
+                } else {
+                    CommitStall::WaitingIssue {
+                        fu_free: self.fus.would_issue(slot.cluster, x.class(), now),
+                        is_load: x.is_load(),
+                        cross_memdep: x.mem_dep.is_some_and(|m| m.cross),
+                    }
+                }
+            }
+            SlotState::Issued { .. } => CommitStall::Executing {
+                is_load: x.is_load(),
+                mem_level: slot.mem_level,
+                cross_replay: slot.cross_replay,
+                replica: x.replica,
+            },
+            SlotState::Done { at } => {
+                if at >= now {
+                    CommitStall::Completing { replica: x.replica }
+                } else {
+                    CommitStall::CommitBlocked { replica: x.replica }
+                }
+            }
+        }
     }
 
     /// Advances the pipeline by one cycle.
@@ -446,6 +577,8 @@ impl Core {
             }
 
             let lat = &self.cfg.lat;
+            let mut issue_mem_level = None;
+            let mut issue_cross_replay = false;
             let done = match class {
                 InstClass::IntAlu | InstClass::Nop => now + lat.int_alu,
                 InstClass::IntMul => now + lat.int_mul,
@@ -465,6 +598,7 @@ impl Core {
                 InstClass::Load => {
                     if let Some(data_at) = cross_data {
                         self.stats.cross_violations += 1;
+                        issue_cross_replay = true;
                         data_at.max(now + lat.agen)
                     } else if let Some(data_at) = data_override {
                         if local_violation {
@@ -491,6 +625,7 @@ impl Core {
                         let (addr, _) = x.mem_range().expect("load has address");
                         let access_at = now + lat.agen;
                         let mlat = mem.access_load_with_pc(self.id, x.d.pc, addr, access_at);
+                        issue_mem_level = Some(classify_mem_level(mlat, mem.config()));
                         access_at + mlat + penalty
                     }
                 }
@@ -498,6 +633,8 @@ impl Core {
 
             let slot = self.slots.get_mut(&gseq).expect("slot exists");
             slot.state = SlotState::Issued { done };
+            slot.mem_level = issue_mem_level;
+            slot.cross_replay = issue_cross_replay;
             self.completions.push(Reverse((done, gseq)));
             self.record(gseq, x.d.inst, crate::pipeview::Stage::Issue, now);
             issued.push(gseq);
@@ -597,6 +734,8 @@ impl Core {
                     state: SlotState::InQueue,
                     dispatched_at: now,
                     ready_since: None,
+                    mem_level: None,
+                    cross_replay: false,
                 },
             );
             self.rob.push_back(x.gseq);

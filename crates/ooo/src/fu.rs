@@ -126,6 +126,27 @@ impl FuPool {
         }
     }
 
+    /// Whether a unit of `class` in `cluster` would be free at `now`,
+    /// claiming nothing — the telemetry probe behind FU-contention
+    /// attribution. Mirrors [`FuPool::try_issue`] exactly, including the
+    /// per-cycle counter roll (a stale cycle means nothing issued yet).
+    pub fn would_issue(&self, cluster: usize, class: InstClass, now: u64) -> bool {
+        let c = &self.clusters[cluster];
+        let fresh = PerCycleUse::default();
+        let used = if c.cycle == now { &c.used } else { &fresh };
+        match class {
+            InstClass::IntAlu | InstClass::Nop | InstClass::Branch | InstClass::Jump => {
+                used.int_alu + used.branch < c.cfg.fu.int_alu
+            }
+            InstClass::IntMul => used.int_mul < c.cfg.fu.int_mul,
+            InstClass::FpAdd => used.fp_add < c.cfg.fu.fp_add,
+            InstClass::FpMul => used.fp_mul < c.cfg.fu.fp_mul,
+            InstClass::Load | InstClass::Store => used.mem_ports < c.cfg.fu.mem_ports,
+            InstClass::IntDiv => c.int_div_busy.iter().any(|&b| b <= now),
+            InstClass::FpDiv => c.fp_div_busy.iter().any(|&b| b <= now),
+        }
+    }
+
     fn claim_unpipelined(busy: &mut [u64], now: u64, latency: u64) -> bool {
         for b in busy.iter_mut() {
             if *b <= now {

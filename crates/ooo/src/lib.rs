@@ -30,6 +30,7 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+pub mod accounting;
 pub mod config;
 pub mod core;
 pub mod env;
@@ -38,10 +39,11 @@ pub mod machine;
 pub mod pipeview;
 pub mod stream;
 
+pub use accounting::{classify_single, stat_delta, StatDelta};
 pub use config::{ClusterConfig, CoreConfig, FuCounts, FuLatencies, MemDepPolicy};
-pub use core::{Core, CoreStats};
+pub use core::{CommitStall, Core, CoreStats};
 pub use env::{ExecEnv, FetchGate, LoadGate, Prediction, PredictorState, SingleEnv};
 pub use fu::FuPool;
-pub use machine::{run_single, run_single_recorded, RunResult};
+pub use machine::{run_single, run_single_recorded, run_single_with_sink, RunResult};
 pub use pipeview::{InstEvents, PipeRecorder, Stage};
 pub use stream::{build_exec_stream, ExecInst, MemDep, SrcDep};

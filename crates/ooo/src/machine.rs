@@ -2,7 +2,9 @@
 
 use fgstp_isa::DynInst;
 use fgstp_mem::{Hierarchy, HierarchyConfig, HierarchyStats};
+use fgstp_telemetry::{CycleOutcome, CycleSink, NullSink};
 
+use crate::accounting::{classify_single, stat_delta};
 use crate::config::CoreConfig;
 use crate::core::{Core, CoreStats};
 use crate::env::SingleEnv;
@@ -65,6 +67,35 @@ pub fn run_single_recorded(
     hcfg: &HierarchyConfig,
     recorder: Option<crate::pipeview::PipeRecorder>,
 ) -> (RunResult, Option<crate::pipeview::PipeRecorder>) {
+    run_single_impl(trace, cfg, hcfg, recorder, &mut NullSink)
+}
+
+/// Like [`run_single`], but charges every cycle into `sink` (commits, or
+/// one [`fgstp_telemetry::StallCategory`] per non-commit cycle).
+///
+/// The sink observes core 0 only; timing is bit-identical to
+/// [`run_single`] because the accounting probes never mutate pipeline,
+/// predictor or cache state.
+///
+/// # Panics
+///
+/// Panics if the pipeline deadlocks (a model bug, not an input condition).
+pub fn run_single_with_sink<S: CycleSink>(
+    trace: &[DynInst],
+    cfg: &CoreConfig,
+    hcfg: &HierarchyConfig,
+    sink: &mut S,
+) -> RunResult {
+    run_single_impl(trace, cfg, hcfg, None, sink).0
+}
+
+fn run_single_impl<S: CycleSink>(
+    trace: &[DynInst],
+    cfg: &CoreConfig,
+    hcfg: &HierarchyConfig,
+    recorder: Option<crate::pipeview::PipeRecorder>,
+    sink: &mut S,
+) -> (RunResult, Option<crate::pipeview::PipeRecorder>) {
     let stream = build_exec_stream(trace);
     let total = stream.len() as u64;
     let mut core = Core::new(0, cfg.clone(), stream);
@@ -76,7 +107,22 @@ pub fn run_single_recorded(
     let cap = total * DEADLOCK_CPI + 100_000;
     let mut now = 0u64;
     while !core.done() {
+        let before = if S::ENABLED {
+            *core.stats()
+        } else {
+            CoreStats::default()
+        };
         core.cycle(now, &mut env, &mut mem);
+        if S::ENABLED {
+            let d = stat_delta(&before, core.stats());
+            let outcome = if d.committed > 0 {
+                CycleOutcome::Commit(d.committed as u32)
+            } else {
+                let stall = core.commit_stall(&mut env, now);
+                CycleOutcome::Stall(classify_single(stall, &d))
+            };
+            sink.record(0, now, outcome);
+        }
         now += 1;
         assert!(
             now < cap,
@@ -257,6 +303,29 @@ mod tests {
         // The rendered view of the first instructions is non-trivial.
         let view = rec.render(0, 8);
         assert!(view.lines().count() >= 9, "{view}");
+    }
+
+    #[test]
+    fn sink_accounts_every_cycle_without_changing_timing() {
+        let t = kernel();
+        let plain = run_single(t.insts(), &CoreConfig::small(), &HierarchyConfig::small(1));
+        let mut sink = fgstp_telemetry::CpiSink::new(1);
+        let r = run_single_with_sink(
+            t.insts(),
+            &CoreConfig::small(),
+            &HierarchyConfig::small(1),
+            &mut sink,
+        );
+        assert_eq!(r.cycles, plain.cycles, "telemetry must not change timing");
+        assert_eq!(r.committed, plain.committed);
+        let stack = sink.merged();
+        stack.check_against(r.cycles).unwrap();
+        assert_eq!(stack.committed, r.committed);
+        assert!(stack.base_cycles > 0, "some cycles commit");
+        assert!(
+            stack.total_cycles() > stack.base_cycles,
+            "a real kernel stalls somewhere"
+        );
     }
 
     #[test]

@@ -3,22 +3,27 @@
 //! Subcommands:
 //!
 //! * `list` — the workload suite;
-//! * `run <workload> [machine] [scale]` — one run with full statistics;
+//! * `run <workload> [machine] [scale] [--cpi-stack] [--chrome-trace <path>]`
+//!   — one run with full statistics; `--cpi-stack` appends the cycle
+//!   accounting breakdown and `--chrome-trace` writes a Chrome
+//!   `trace_event` JSON timeline loadable in Perfetto / `chrome://tracing`;
 //! * `compare <workload> [scale]` — all six machines side by side;
 //! * `pipeview <workload> [first..last]` — render the pipeline timeline of
 //!   a range of instructions on the small core.
 //!
 //! All functions return the output as a `String` so the logic is testable
-//! without capturing stdout.
+//! without capturing stdout (the only side effect is the `--chrome-trace`
+//! output file).
 
 use std::fmt::Write as _;
 
 use fgstp_ooo::{run_single_recorded, PipeRecorder};
+use fgstp_telemetry::{write_chrome_trace, StallCategory};
 use fgstp_workloads::{by_name, suite, Scale};
 
 use crate::presets::MachineKind;
 use crate::report::Table;
-use crate::runner::run_on;
+use crate::runner::{run_on, run_on_instrumented};
 use crate::session::Session;
 
 /// Error for unknown CLI inputs, carrying a usage hint.
@@ -83,6 +88,19 @@ pub fn list() -> String {
 /// position is accepted too (`run hmmer_dp test`), since users naturally
 /// drop the machine.
 pub fn run(workload: &str, machine: Option<&str>, scale: Option<&str>) -> Result<String, CliError> {
+    run_instrumented(workload, machine, scale, false, None)
+}
+
+/// `run` with the observability flags: `cpi_stack` appends the CPI-stack
+/// breakdown, `chrome_trace` writes the per-core stall timeline as Chrome
+/// `trace_event` JSON to the given path.
+pub fn run_instrumented(
+    workload: &str,
+    machine: Option<&str>,
+    scale: Option<&str>,
+    cpi_stack: bool,
+    chrome_trace: Option<&str>,
+) -> Result<String, CliError> {
     let (machine, scale) = match (machine, scale) {
         (Some(m), None) if parse_machine(Some(m)).is_err() && parse_scale(Some(m)).is_ok() => {
             (None, Some(m))
@@ -93,7 +111,12 @@ pub fn run(workload: &str, machine: Option<&str>, scale: Option<&str>) -> Result
     let kind = parse_machine(machine)?;
     let w = find_workload(workload, scale)?;
     let trace = Session::new().scale(scale).trace(&w);
-    let r = run_on(kind, trace.insts());
+    let instrumented = cpi_stack || chrome_trace.is_some();
+    let (r, episodes) = if instrumented {
+        run_on_instrumented(kind, trace.insts(), chrome_trace.is_some())
+    } else {
+        (run_on(kind, trace.insts()), Vec::new())
+    };
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -131,6 +154,46 @@ pub fn run(workload: &str, machine: Option<&str>, scale: Option<&str>) -> Result
             s.partition.replicated,
             s.partition.cross_reg_deps,
             100.0 * s.partition.comms_per_inst(),
+        );
+    }
+    if cpi_stack {
+        let stack = r.cpi.as_ref().expect("instrumented run has a stack");
+        let _ = writeln!(out, "\ncpi stack (aggregate core-cycles/inst):");
+        let mut t = Table::new(["component", "cpi", "share"]);
+        let total = stack.total_cycles().max(1);
+        t.row([
+            "base (committing)".to_owned(),
+            format!(
+                "{:.3}",
+                stack.base_cycles as f64 / stack.committed.max(1) as f64
+            ),
+            format!("{:.1}%", 100.0 * stack.base_cycles as f64 / total as f64),
+        ]);
+        for c in StallCategory::ALL {
+            if stack.stall(c) == 0 {
+                continue;
+            }
+            t.row([
+                format!("{} ({})", c.label(), c.describe()),
+                format!("{:.3}", stack.category_cpi(c)),
+                format!("{:.1}%", 100.0 * stack.fraction(c)),
+            ]);
+        }
+        t.row([
+            "TOTAL".to_owned(),
+            format!("{:.3}", stack.cpi()),
+            "100.0%".to_owned(),
+        ]);
+        let _ = write!(out, "{t}");
+    }
+    if let Some(path) = chrome_trace {
+        let json = write_chrome_trace(kind.label(), &episodes);
+        std::fs::write(path, &json)
+            .map_err(|e| CliError(format!("cannot write chrome trace to {path}: {e}")))?;
+        let _ = writeln!(
+            out,
+            "\nchrome trace: {path} ({} events, load in Perfetto or chrome://tracing)",
+            episodes.len()
         );
     }
     Ok(out)
@@ -227,12 +290,35 @@ pub fn dispatch(args: &[String]) -> Result<String, CliError> {
     let strs: Vec<&str> = args.iter().map(String::as_str).collect();
     match strs.as_slice() {
         ["list"] => Ok(list()),
-        ["run", w, rest @ ..] => run(w, rest.first().copied(), rest.get(1).copied()),
+        ["run", w, rest @ ..] => {
+            let mut cpi_stack = false;
+            let mut chrome_trace: Option<&str> = None;
+            let mut positional: Vec<&str> = Vec::new();
+            let mut it = rest.iter();
+            while let Some(&a) = it.next() {
+                match a {
+                    "--cpi-stack" => cpi_stack = true,
+                    "--chrome-trace" => {
+                        chrome_trace = Some(it.next().copied().ok_or_else(|| {
+                            CliError("--chrome-trace needs an output path".to_owned())
+                        })?);
+                    }
+                    _ => positional.push(a),
+                }
+            }
+            run_instrumented(
+                w,
+                positional.first().copied(),
+                positional.get(1).copied(),
+                cpi_stack,
+                chrome_trace,
+            )
+        }
         ["compare", w, rest @ ..] => compare(w, rest.first().copied()),
         ["pipeview", w, rest @ ..] => pipeview(w, rest.first().copied()),
         ["pipeview2", w, rest @ ..] => pipeview2(w, rest.first().copied()),
         _ => Err(CliError(
-            "usage: fgstpsim <list | run <workload> [machine] [scale] | compare <workload> [scale] | pipeview <workload> [first..last] | pipeview2 <workload> [first..last]>"
+            "usage: fgstpsim <list | run <workload> [machine] [scale] [--cpi-stack] [--chrome-trace <path>] | compare <workload> [scale] | pipeview <workload> [first..last] | pipeview2 <workload> [first..last]>"
                 .to_owned(),
         )),
     }
@@ -298,6 +384,45 @@ mod tests {
         assert!(dispatch(&["list".into()]).is_ok());
         assert!(dispatch(&["bogus".into()]).is_err());
         assert!(dispatch(&[]).is_err());
+    }
+
+    #[test]
+    fn run_cpi_stack_flag_appends_the_breakdown() {
+        let out = dispatch(&[
+            "run".into(),
+            "perl_hash".into(),
+            "fgstp-small".into(),
+            "test".into(),
+            "--cpi-stack".into(),
+        ])
+        .unwrap();
+        assert!(out.contains("cpi stack"), "{out}");
+        assert!(out.contains("base (committing)"), "{out}");
+        assert!(out.contains("TOTAL"), "{out}");
+    }
+
+    #[test]
+    fn run_chrome_trace_flag_writes_a_json_file() {
+        let path =
+            std::env::temp_dir().join(format!("fgstp-cli-chrome-{}.json", std::process::id()));
+        let out = dispatch(&[
+            "run".into(),
+            "perl_hash".into(),
+            "--chrome-trace".into(),
+            path.to_str().unwrap().into(),
+        ])
+        .unwrap();
+        assert!(out.contains("chrome trace:"), "{out}");
+        let json = std::fs::read_to_string(&path).unwrap();
+        assert!(json.starts_with("{\"traceEvents\":["), "{json}");
+        assert!(json.contains("\"ph\":\"X\""), "{json}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn chrome_trace_flag_requires_a_path() {
+        let e = dispatch(&["run".into(), "perl_hash".into(), "--chrome-trace".into()]);
+        assert!(e.is_err());
     }
 
     #[test]

@@ -46,8 +46,9 @@ pub mod report;
 pub mod runner;
 pub mod session;
 
+pub use fgstp_telemetry::{write_chrome_trace, CpiStack, Episode, StallCategory};
 pub use fgstp_workloads::{Scale, SuiteClass, Workload};
 pub use presets::MachineKind;
-pub use report::{speedup_table, SpeedupSummary, Table};
-pub use runner::{geomean, run_on, run_suite, BenchResult, MachineRun};
+pub use report::{cpi_stack_table, speedup_table, SpeedupSummary, Table};
+pub use runner::{geomean, run_on, run_on_instrumented, run_suite, BenchResult, MachineRun};
 pub use session::{CacheStats, RunPlan, Session};

@@ -78,32 +78,49 @@ impl MachineKind {
         )
     }
 
+    /// Core configuration for the non-Fg-STP presets, or `None` for the
+    /// Fg-STP presets (which are driven by an [`FgstpConfig`]).
+    pub fn try_core_config(self) -> Option<CoreConfig> {
+        match self {
+            MachineKind::SingleSmall => Some(CoreConfig::small()),
+            MachineKind::SingleMedium => Some(CoreConfig::medium()),
+            MachineKind::FusedSmall => Some(CoreConfig::fused(&CoreConfig::small())),
+            MachineKind::FusedMedium => Some(CoreConfig::fused(&CoreConfig::medium())),
+            MachineKind::FgstpSmall | MachineKind::FgstpMedium => None,
+        }
+    }
+
+    /// Fg-STP configuration for the Fg-STP presets, or `None` for the
+    /// presets driven by a plain [`CoreConfig`].
+    pub fn try_fgstp_config(self) -> Option<FgstpConfig> {
+        match self {
+            MachineKind::FgstpSmall => Some(FgstpConfig::small()),
+            MachineKind::FgstpMedium => Some(FgstpConfig::medium()),
+            _ => None,
+        }
+    }
+
     /// Core configuration for the non-Fg-STP presets.
     ///
     /// # Panics
     ///
-    /// Panics for Fg-STP presets — use [`MachineKind::fgstp_config`].
+    /// Panics for Fg-STP presets — use [`MachineKind::try_core_config`] (or
+    /// [`MachineKind::fgstp_config`]) when the kind is not statically known.
     pub fn core_config(self) -> CoreConfig {
-        match self {
-            MachineKind::SingleSmall => CoreConfig::small(),
-            MachineKind::SingleMedium => CoreConfig::medium(),
-            MachineKind::FusedSmall => CoreConfig::fused(&CoreConfig::small()),
-            MachineKind::FusedMedium => CoreConfig::fused(&CoreConfig::medium()),
-            _ => panic!("{} is driven by an FgstpConfig", self.label()),
-        }
+        self.try_core_config()
+            .unwrap_or_else(|| panic!("{} is driven by an FgstpConfig", self.label()))
     }
 
     /// Fg-STP configuration for the Fg-STP presets.
     ///
     /// # Panics
     ///
-    /// Panics for non-Fg-STP presets — use [`MachineKind::core_config`].
+    /// Panics for non-Fg-STP presets — use [`MachineKind::try_fgstp_config`]
+    /// (or [`MachineKind::core_config`]) when the kind is not statically
+    /// known.
     pub fn fgstp_config(self) -> FgstpConfig {
-        match self {
-            MachineKind::FgstpSmall => FgstpConfig::small(),
-            MachineKind::FgstpMedium => FgstpConfig::medium(),
-            _ => panic!("{} is driven by a CoreConfig", self.label()),
-        }
+        self.try_fgstp_config()
+            .unwrap_or_else(|| panic!("{} is driven by a CoreConfig", self.label()))
     }
 
     /// Memory-hierarchy configuration for this preset.
@@ -160,5 +177,13 @@ mod tests {
     #[should_panic(expected = "FgstpConfig")]
     fn core_config_rejects_fgstp_kinds() {
         MachineKind::FgstpSmall.core_config();
+    }
+
+    #[test]
+    fn try_accessors_partition_the_kinds() {
+        for k in MachineKind::ALL {
+            assert_eq!(k.try_core_config().is_some(), !k.is_fgstp(), "{k}");
+            assert_eq!(k.try_fgstp_config().is_some(), k.is_fgstp(), "{k}");
+        }
     }
 }

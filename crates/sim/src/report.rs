@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use fgstp_telemetry::StallCategory;
+
 use crate::presets::MachineKind;
 use crate::runner::{geomean, BenchResult};
 
@@ -123,6 +125,9 @@ pub struct SpeedupSummary {
     /// Benchmarks skipped because a requested machine was missing from
     /// their result set.
     pub skipped: Vec<&'static str>,
+    /// Benchmarks that produced no runs at all (their trace failed), with
+    /// the reported reason.
+    pub failed: Vec<(&'static str, String)>,
 }
 
 impl SpeedupSummary {
@@ -144,7 +149,12 @@ pub fn speedup_table(results: &[BenchResult], kinds: [MachineKind; 3]) -> Speedu
     let mut fused = Vec::new();
     let mut fgstp = Vec::new();
     let mut skipped = Vec::new();
+    let mut failed = Vec::new();
     for b in results {
+        if let Some(e) = &b.error {
+            failed.push((b.name, e.clone()));
+            continue;
+        }
         let (Some(s_fused), Some(s_fgstp)) = (
             b.try_speedup(fused_kind, single),
             b.try_speedup(fgstp_kind, single),
@@ -175,7 +185,40 @@ pub fn speedup_table(results: &[BenchResult], kinds: [MachineKind; 3]) -> Speedu
         fused_geomean: gf,
         fgstp_geomean: gs,
         skipped,
+        failed,
     }
+}
+
+/// Builds a per-benchmark CPI-stack table for machine `kind` from
+/// telemetry-enabled suite results (see [`crate::Session::telemetry`]).
+///
+/// Columns: benchmark, total CPI, the committing base component, then one
+/// column per [`StallCategory`] — all in aggregate core-cycles per
+/// committed instruction, so `base + Σ categories = cpi` on every row
+/// (for the 2-core Fg-STP machine the aggregate counts both cores'
+/// cycles). Results without an instrumented run of `kind` are omitted.
+pub fn cpi_stack_table(results: &[BenchResult], kind: MachineKind) -> Table {
+    let mut headers = vec!["benchmark", "cpi", "base"];
+    headers.extend(StallCategory::ALL.iter().map(|c| c.label()));
+    let mut table = Table::new(headers);
+    for b in results {
+        let Some(stack) = b.run_of(kind).and_then(|r| r.cpi.as_ref()) else {
+            continue;
+        };
+        let base = if stack.committed == 0 {
+            0.0
+        } else {
+            stack.base_cycles as f64 / stack.committed as f64
+        };
+        let mut row = vec![b.name.to_owned(), num(stack.cpi(), 3), num(base, 3)];
+        row.extend(
+            StallCategory::ALL
+                .iter()
+                .map(|&c| num(stack.category_cpi(c), 3)),
+        );
+        table.row(row);
+    }
+    table
 }
 
 /// Formats a float with `prec` decimal places (the house style for tables).
@@ -244,11 +287,13 @@ mod tests {
                     .iter()
                     .map(|&k| run_on(k, full_trace.insts()))
                     .collect(),
+                error: None,
             },
             BenchResult {
                 name: partial.name,
                 committed: partial_trace.len() as u64,
                 runs: vec![run_on(MachineKind::SingleSmall, partial_trace.insts())],
+                error: None,
             },
         ];
         let summary = speedup_table(&results, MachineKind::SMALL_CMP);
@@ -257,5 +302,53 @@ mod tests {
         assert_eq!(summary.table.len(), 2);
         assert!(summary.fused_geomean > 0.0);
         assert!(summary.fgstp_over_fused() > 0.0);
+        assert!(summary.failed.is_empty());
+    }
+
+    #[test]
+    fn speedup_table_reports_failed_workloads() {
+        let results = vec![BenchResult {
+            name: "broken",
+            committed: 0,
+            runs: Vec::new(),
+            error: Some("workload broken failed to trace: budget".to_owned()),
+        }];
+        let summary = speedup_table(&results, MachineKind::SMALL_CMP);
+        assert_eq!(summary.failed.len(), 1);
+        assert_eq!(summary.failed[0].0, "broken");
+        assert!(summary.failed[0].1.contains("budget"));
+        assert!(summary.skipped.is_empty(), "failed is not skipped");
+        assert_eq!(summary.table.len(), 1, "only the geomean row");
+    }
+
+    #[test]
+    fn cpi_stack_table_rows_reconcile_with_cpi() {
+        use crate::runner::{run_on_instrumented, trace_workload};
+        use fgstp_workloads::{by_name, Scale};
+
+        let w = by_name("gcc_expr", Scale::Test).unwrap();
+        let t = trace_workload(&w, Scale::Test);
+        let results = vec![BenchResult {
+            name: w.name,
+            committed: t.len() as u64,
+            runs: vec![run_on_instrumented(MachineKind::FgstpSmall, t.insts(), false).0],
+            error: None,
+        }];
+        let table = cpi_stack_table(&results, MachineKind::FgstpSmall);
+        assert_eq!(table.len(), 1);
+        let csv = table.to_csv();
+        let mut lines = csv.lines();
+        let header: Vec<&str> = lines.next().unwrap().split(',').collect();
+        assert_eq!(header.len(), 2 + 1 + StallCategory::COUNT);
+        let cells: Vec<&str> = lines.next().unwrap().split(',').collect();
+        let cpi: f64 = cells[1].parse().unwrap();
+        let component_sum: f64 = cells[2..].iter().map(|c| c.parse::<f64>().unwrap()).sum();
+        // base + every category ≈ cpi (up to the 3-decimal rendering).
+        assert!(
+            (cpi - component_sum).abs() < 0.01 * header.len() as f64,
+            "cpi {cpi} vs sum {component_sum}"
+        );
+        // Uninstrumented results produce no rows.
+        assert!(cpi_stack_table(&results, MachineKind::SingleSmall).is_empty());
     }
 }

@@ -7,9 +7,10 @@
 //! free functions ([`run_suite`]) as thin compatibility shims over a
 //! default session.
 
-use fgstp::{run_fgstp, FgstpStats};
+use fgstp::{run_fgstp, run_fgstp_with_sink, FgstpStats};
 use fgstp_isa::DynInst;
-use fgstp_ooo::{run_single, RunResult};
+use fgstp_ooo::{run_single, run_single_with_sink, RunResult};
+use fgstp_telemetry::{CpiSink, CpiStack, Episode};
 use fgstp_workloads::{Scale, Workload};
 
 use crate::presets::MachineKind;
@@ -24,6 +25,10 @@ pub struct MachineRun {
     pub result: RunResult,
     /// Fg-STP-specific statistics, when `kind` is an Fg-STP preset.
     pub fgstp: Option<FgstpStats>,
+    /// Aggregate CPI stack (all cores merged), when the run was
+    /// instrumented (see [`run_on_instrumented`] and
+    /// [`Session::telemetry`]).
+    pub cpi: Option<CpiStack>,
 }
 
 impl MachineRun {
@@ -40,8 +45,12 @@ pub struct BenchResult {
     pub name: &'static str,
     /// Dynamic instructions executed.
     pub committed: u64,
-    /// One entry per requested machine, in request order.
+    /// One entry per requested machine, in request order. Empty when the
+    /// workload failed to trace (see [`BenchResult::error`]).
     pub runs: Vec<MachineRun>,
+    /// Why the workload produced no runs (e.g. its trace exceeded the
+    /// budget), or `None` on success.
+    pub error: Option<String>,
 }
 
 impl BenchResult {
@@ -77,12 +86,13 @@ impl BenchResult {
 /// Runs one trace through one machine preset.
 pub fn run_on(kind: MachineKind, trace: &[DynInst]) -> MachineRun {
     let hcfg = kind.hierarchy_config();
-    if kind.is_fgstp() {
-        let (result, stats) = run_fgstp(trace, &kind.fgstp_config(), &hcfg);
+    if let Some(cfg) = kind.try_fgstp_config() {
+        let (result, stats) = run_fgstp(trace, &cfg, &hcfg);
         MachineRun {
             kind,
             result,
             fgstp: Some(stats),
+            cpi: None,
         }
     } else {
         let result = run_single(trace, &kind.core_config(), &hcfg);
@@ -90,18 +100,71 @@ pub fn run_on(kind: MachineKind, trace: &[DynInst]) -> MachineRun {
             kind,
             result,
             fgstp: None,
+            cpi: None,
         }
     }
+}
+
+/// Runs one trace through one machine preset with cycle accounting: the
+/// returned [`MachineRun`] carries the merged CPI stack, and when
+/// `episodes` is set the per-core stall timeline comes back alongside it
+/// (for [`fgstp_telemetry::write_chrome_trace`] export).
+///
+/// Timing is bit-identical to [`run_on`]; only the observability differs.
+pub fn run_on_instrumented(
+    kind: MachineKind,
+    trace: &[DynInst],
+    episodes: bool,
+) -> (MachineRun, Vec<Episode>) {
+    let hcfg = kind.hierarchy_config();
+    let cores = if kind.is_fgstp() { 2 } else { 1 };
+    let mut sink = if episodes {
+        CpiSink::with_episodes(cores)
+    } else {
+        CpiSink::new(cores)
+    };
+    let run = if let Some(cfg) = kind.try_fgstp_config() {
+        let (result, stats) = run_fgstp_with_sink(trace, &cfg, &hcfg, &mut sink);
+        MachineRun {
+            kind,
+            result,
+            fgstp: Some(stats),
+            cpi: None,
+        }
+    } else {
+        let result = run_single_with_sink(trace, &kind.core_config(), &hcfg, &mut sink);
+        MachineRun {
+            kind,
+            result,
+            fgstp: None,
+            cpi: None,
+        }
+    };
+    let timeline = sink.finish_episodes(run.result.cycles);
+    (
+        MachineRun {
+            cpi: Some(sink.merged()),
+            ..run
+        },
+        timeline,
+    )
 }
 
 /// Traces one workload (panicking on a kernel fault, which would be a
 /// suite bug) and returns its committed path.
 ///
 /// This always re-traces; [`Session::trace`] consults the on-disk cache
-/// first.
+/// first. Use [`try_trace_workload`] to handle failures gracefully.
 pub fn trace_workload(w: &Workload, scale: Scale) -> fgstp_isa::Trace {
+    try_trace_workload(w, scale).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Traces one workload, reporting a tracing failure (budget exhaustion, a
+/// kernel fault) as an error instead of panicking — a single bad workload
+/// must not take down a whole suite run.
+pub fn try_trace_workload(w: &Workload, scale: Scale) -> Result<fgstp_isa::Trace, String> {
     fgstp_isa::trace_program(&w.program, scale.trace_budget())
-        .unwrap_or_else(|e| panic!("workload {} failed to trace: {e}", w.name))
+        .map_err(|e| format!("workload {} failed to trace: {e}", w.name))
 }
 
 /// Runs the whole suite at `scale` on each machine in `kinds`.
@@ -161,6 +224,7 @@ mod tests {
             name: w.name,
             committed: t.len() as u64,
             runs,
+            error: None,
         };
         let s = b.speedup(MachineKind::FgstpSmall, MachineKind::SingleSmall);
         let expected = b.runs[0].result.cycles as f64 / b.runs[2].result.cycles as f64;
@@ -175,6 +239,7 @@ mod tests {
             name: w.name,
             committed: t.len() as u64,
             runs: vec![run_on(MachineKind::SingleSmall, t.insts())],
+            error: None,
         };
         assert!(b
             .try_speedup(MachineKind::FgstpSmall, MachineKind::SingleSmall)
@@ -197,7 +262,33 @@ mod tests {
             name: w.name,
             committed: t.len() as u64,
             runs: vec![run_on(MachineKind::SingleSmall, t.insts())],
+            error: None,
         };
         b.speedup(MachineKind::FgstpSmall, MachineKind::SingleSmall);
+    }
+
+    #[test]
+    fn instrumented_run_matches_plain_timing_and_reconciles() {
+        let w = by_name("hmmer_dp", Scale::Test).unwrap();
+        let t = trace_workload(&w, Scale::Test);
+        for k in [MachineKind::SingleSmall, MachineKind::FgstpSmall] {
+            let plain = run_on(k, t.insts());
+            let (inst, episodes) = run_on_instrumented(k, t.insts(), true);
+            assert_eq!(inst.result.cycles, plain.result.cycles, "{k}");
+            assert_eq!(inst.result.committed, plain.result.committed, "{k}");
+            let stack = inst.cpi.as_ref().expect("instrumented run has a stack");
+            let cores = if k.is_fgstp() { 2 } else { 1 };
+            stack.check_against(cores * inst.result.cycles).unwrap();
+            // The episode timeline tiles the same core-cycles.
+            let episode_cycles: u64 = episodes.iter().map(Episode::cycles).sum();
+            assert_eq!(episode_cycles, cores * inst.result.cycles, "{k}");
+        }
+    }
+
+    #[test]
+    fn uninstrumented_run_has_no_stack() {
+        let w = by_name("perl_hash", Scale::Test).unwrap();
+        let t = trace_workload(&w, Scale::Test);
+        assert!(run_on(MachineKind::SingleSmall, t.insts()).cpi.is_none());
     }
 }

@@ -1,0 +1,252 @@
+//! Chrome `trace_event` JSON export.
+//!
+//! Renders an episode timeline (see [`crate::Episode`]) in the Trace
+//! Event Format understood by Perfetto and `chrome://tracing`: one
+//! complete-duration event (`"ph":"X"`) per episode, one process per
+//! machine, one thread per core. Cycles map 1:1 to the format's
+//! microsecond timestamps, so one timeline unit is one cycle.
+//!
+//! The writer emits the object form (`{"traceEvents": [...]}`), which
+//! both viewers accept, and escapes every string it embeds.
+
+use crate::sink::Episode;
+
+/// Escapes `s` as the body of a JSON string literal.
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders `episodes` as a Chrome trace for the machine named `machine`
+/// (the process name in the viewer). Returns the complete JSON document.
+pub fn write_chrome_trace(machine: &str, episodes: &[Episode]) -> String {
+    let mut out = String::from("{\"traceEvents\":[");
+    let mut first = true;
+    let mut push = |out: &mut String, ev: String| {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push('\n');
+        out.push_str(&ev);
+    };
+
+    // Metadata: process and thread names.
+    push(
+        &mut out,
+        format!(
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,\
+             \"args\":{{\"name\":\"{}\"}}}}",
+            escape_json(machine)
+        ),
+    );
+    let mut cores: Vec<usize> = episodes.iter().map(|e| e.core).collect();
+    cores.sort_unstable();
+    cores.dedup();
+    for core in &cores {
+        push(
+            &mut out,
+            format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{core},\
+                 \"args\":{{\"name\":\"core {core}\"}}}}"
+            ),
+        );
+    }
+
+    for e in episodes {
+        // Zero-length events confuse the viewers; every episode spans at
+        // least one cycle by construction.
+        push(
+            &mut out,
+            format!(
+                "{{\"name\":\"{}\",\"cat\":\"cpi\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+                 \"pid\":0,\"tid\":{},\"args\":{{\"cycles\":{}}}}}",
+                escape_json(e.name()),
+                e.start,
+                e.cycles(),
+                e.core,
+                e.cycles()
+            ),
+        );
+    }
+    out.push_str("\n],\"displayTimeUnit\":\"ns\"}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpi::StallCategory;
+
+    /// A minimal recursive-descent JSON syntax checker: enough to assert
+    /// the exporter emits well-formed JSON (what Perfetto's loader
+    /// requires before interpreting the events).
+    fn validate_json(s: &str) -> Result<(), String> {
+        let b = s.as_bytes();
+        let mut i = 0usize;
+        fn skip_ws(b: &[u8], i: &mut usize) {
+            while *i < b.len() && matches!(b[*i], b' ' | b'\t' | b'\n' | b'\r') {
+                *i += 1;
+            }
+        }
+        fn value(b: &[u8], i: &mut usize) -> Result<(), String> {
+            skip_ws(b, i);
+            match b.get(*i) {
+                Some(b'{') => {
+                    *i += 1;
+                    skip_ws(b, i);
+                    if b.get(*i) == Some(&b'}') {
+                        *i += 1;
+                        return Ok(());
+                    }
+                    loop {
+                        skip_ws(b, i);
+                        string(b, i)?;
+                        skip_ws(b, i);
+                        if b.get(*i) != Some(&b':') {
+                            return Err(format!("expected ':' at {i}"));
+                        }
+                        *i += 1;
+                        value(b, i)?;
+                        skip_ws(b, i);
+                        match b.get(*i) {
+                            Some(b',') => *i += 1,
+                            Some(b'}') => {
+                                *i += 1;
+                                return Ok(());
+                            }
+                            _ => return Err(format!("expected ',' or '}}' at {i}")),
+                        }
+                    }
+                }
+                Some(b'[') => {
+                    *i += 1;
+                    skip_ws(b, i);
+                    if b.get(*i) == Some(&b']') {
+                        *i += 1;
+                        return Ok(());
+                    }
+                    loop {
+                        value(b, i)?;
+                        skip_ws(b, i);
+                        match b.get(*i) {
+                            Some(b',') => *i += 1,
+                            Some(b']') => {
+                                *i += 1;
+                                return Ok(());
+                            }
+                            _ => return Err(format!("expected ',' or ']' at {i}")),
+                        }
+                    }
+                }
+                Some(b'"') => string(b, i),
+                Some(c) if c.is_ascii_digit() || *c == b'-' => {
+                    while *i < b.len()
+                        && (b[*i].is_ascii_digit() || matches!(b[*i], b'-' | b'+' | b'.' | b'e'))
+                    {
+                        *i += 1;
+                    }
+                    Ok(())
+                }
+                Some(b't') | Some(b'f') | Some(b'n') => {
+                    while *i < b.len() && b[*i].is_ascii_alphabetic() {
+                        *i += 1;
+                    }
+                    Ok(())
+                }
+                other => Err(format!("unexpected {other:?} at {i}")),
+            }
+        }
+        fn string(b: &[u8], i: &mut usize) -> Result<(), String> {
+            if b.get(*i) != Some(&b'"') {
+                return Err(format!("expected string at {i}"));
+            }
+            *i += 1;
+            while let Some(&c) = b.get(*i) {
+                match c {
+                    b'\\' => *i += 2,
+                    b'"' => {
+                        *i += 1;
+                        return Ok(());
+                    }
+                    _ => *i += 1,
+                }
+            }
+            Err("unterminated string".into())
+        }
+        value(b, &mut i)?;
+        skip_ws(b, &mut i);
+        if i != b.len() {
+            return Err(format!("trailing garbage at {i}"));
+        }
+        Ok(())
+    }
+
+    fn sample_episodes() -> Vec<Episode> {
+        vec![
+            Episode {
+                core: 0,
+                category: None,
+                start: 0,
+                end: 5,
+            },
+            Episode {
+                core: 0,
+                category: Some(StallCategory::MemDram),
+                start: 5,
+                end: 140,
+            },
+            Episode {
+                core: 1,
+                category: Some(StallCategory::CommWait),
+                start: 2,
+                end: 9,
+            },
+        ]
+    }
+
+    #[test]
+    fn trace_is_valid_json_with_duration_events() {
+        let json = write_chrome_trace("fgstp-small", &sample_episodes());
+        validate_json(&json).expect("exporter must emit valid JSON");
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"name\":\"dram\""));
+        assert!(json.contains("\"dur\":135"));
+        assert!(json.contains("\"tid\":1"));
+        assert!(json.contains("\"name\":\"fgstp-small\""));
+        assert!(json.contains("\"name\":\"core 0\""));
+    }
+
+    #[test]
+    fn empty_timeline_is_still_valid() {
+        let json = write_chrome_trace("m", &[]);
+        validate_json(&json).expect("valid JSON");
+        assert!(json.contains("process_name"));
+    }
+
+    #[test]
+    fn names_are_escaped() {
+        let json = write_chrome_trace("evil\"name\\with\ncontrol", &[]);
+        validate_json(&json).expect("escaping keeps the JSON valid");
+        assert!(json.contains("evil\\\"name\\\\with\\ncontrol"));
+    }
+
+    #[test]
+    fn validator_rejects_garbage() {
+        assert!(validate_json("{\"a\":}").is_err());
+        assert!(validate_json("{} trailing").is_err());
+        assert!(validate_json("{\"a\":[1,2,{\"b\":\"c\"}]}").is_ok());
+    }
+}

@@ -1,0 +1,318 @@
+//! Stall categories and CPI stacks.
+//!
+//! The accounting is commit-centric: a cycle where a core commits at
+//! least one architectural instruction is a **base** cycle; every other
+//! cycle is charged to exactly one [`StallCategory`] describing what the
+//! oldest instruction (or the empty window) was waiting for. Base plus
+//! stalls therefore always equals total core cycles — the invariant
+//! [`CpiStack::check`] verifies.
+
+/// Memory-hierarchy level that serviced a load, classified from its
+/// observed latency at issue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemLevel {
+    /// Serviced at L1 hit latency.
+    L1,
+    /// Serviced by the shared L2.
+    L2,
+    /// Serviced by DRAM.
+    Dram,
+}
+
+/// Why a core failed to commit on one cycle.
+///
+/// The first eight categories apply to every machine; the last five are
+/// Fg-STP-specific overheads (a single core never charges them).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(usize)]
+pub enum StallCategory {
+    /// Frontend fill: the window is empty and fetch is refilling it
+    /// (pipeline depth, fetch-buffer limits, I-cache stalls).
+    Frontend,
+    /// Fetch blocked behind an unresolved mispredicted branch, or paying
+    /// its redirect penalty.
+    BranchRedirect,
+    /// Dispatch backpressure: ROB, issue queue or load/store queue full
+    /// while the head waits.
+    StructFull,
+    /// The head waits on a local register dependence chain (or its own
+    /// execution latency on a non-memory unit).
+    DepChain,
+    /// The head is ready but cannot issue: functional units or issue
+    /// width are exhausted.
+    FuContention,
+    /// The head is a load in flight, serviced at L1 latency.
+    MemL1,
+    /// The head is a load in flight, serviced by the L2.
+    MemL2,
+    /// The head is a load in flight, serviced by DRAM.
+    MemDram,
+    /// Fg-STP: the head waits on a register value crossing the
+    /// communication queue from the other core.
+    CommWait,
+    /// Fg-STP: fetch is held by lookahead-buffer backpressure — this core
+    /// ran a full partition window ahead of its partner.
+    CommBackpressure,
+    /// Fg-STP: the cycle went to a replicated shadow copy (replica at the
+    /// window head, or a cycle that committed only replicas).
+    Replication,
+    /// Fg-STP: cross-core memory-dependence wait, squash or replay.
+    MemDepReplay,
+    /// Fg-STP: the head has completed but global (cross-core) commit
+    /// order holds retirement — or this core drained its partition and
+    /// idles while the partner finishes.
+    CommitSync,
+}
+
+impl StallCategory {
+    /// Number of categories.
+    pub const COUNT: usize = 13;
+
+    /// Every category, in display order.
+    pub const ALL: [StallCategory; StallCategory::COUNT] = [
+        StallCategory::Frontend,
+        StallCategory::BranchRedirect,
+        StallCategory::StructFull,
+        StallCategory::DepChain,
+        StallCategory::FuContention,
+        StallCategory::MemL1,
+        StallCategory::MemL2,
+        StallCategory::MemDram,
+        StallCategory::CommWait,
+        StallCategory::CommBackpressure,
+        StallCategory::Replication,
+        StallCategory::MemDepReplay,
+        StallCategory::CommitSync,
+    ];
+
+    /// Short column label (table headers, trace-event names).
+    pub fn label(self) -> &'static str {
+        match self {
+            StallCategory::Frontend => "front",
+            StallCategory::BranchRedirect => "bredir",
+            StallCategory::StructFull => "struct",
+            StallCategory::DepChain => "dep",
+            StallCategory::FuContention => "fu",
+            StallCategory::MemL1 => "l1",
+            StallCategory::MemL2 => "l2",
+            StallCategory::MemDram => "dram",
+            StallCategory::CommWait => "commw",
+            StallCategory::CommBackpressure => "commbp",
+            StallCategory::Replication => "repl",
+            StallCategory::MemDepReplay => "memdep",
+            StallCategory::CommitSync => "sync",
+        }
+    }
+
+    /// One-line human description.
+    pub fn describe(self) -> &'static str {
+        match self {
+            StallCategory::Frontend => "frontend fill / icache",
+            StallCategory::BranchRedirect => "branch mispredict redirect",
+            StallCategory::StructFull => "ROB/IQ/LSQ full",
+            StallCategory::DepChain => "dependence chain / exec latency",
+            StallCategory::FuContention => "FU or issue-width contention",
+            StallCategory::MemL1 => "load serviced by L1",
+            StallCategory::MemL2 => "load serviced by L2",
+            StallCategory::MemDram => "load serviced by DRAM",
+            StallCategory::CommWait => "cross-core value in comm queue",
+            StallCategory::CommBackpressure => "lookahead-buffer backpressure",
+            StallCategory::Replication => "replicated shadow copies",
+            StallCategory::MemDepReplay => "cross-core memdep wait/replay",
+            StallCategory::CommitSync => "global commit synchronization",
+        }
+    }
+
+    fn index(self) -> usize {
+        self as usize
+    }
+}
+
+impl std::fmt::Display for StallCategory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A CPI stack: base (committing) cycles plus per-category stall cycles.
+///
+/// For a single-core machine the stack covers exactly the run's cycles;
+/// merging the per-core stacks of a dual-core machine yields *aggregate
+/// core-cycles* (two per machine cycle), so the stack total of an Fg-STP
+/// run is `2 × cycles`. [`CpiStack::check`] validates the internal
+/// invariant; drivers additionally assert the total against the measured
+/// run length.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CpiStack {
+    /// Architectural instructions committed.
+    pub committed: u64,
+    /// Cycles with at least one architectural commit.
+    pub base_cycles: u64,
+    /// Stall cycles per category, indexed by [`StallCategory`].
+    pub stalls: [u64; StallCategory::COUNT],
+}
+
+impl CpiStack {
+    /// An empty stack.
+    pub fn new() -> CpiStack {
+        CpiStack::default()
+    }
+
+    /// Charges one base cycle committing `n` instructions.
+    pub fn record_commit(&mut self, n: u32) {
+        self.base_cycles += 1;
+        self.committed += u64::from(n);
+    }
+
+    /// Charges one stall cycle to `cat`.
+    pub fn record_stall(&mut self, cat: StallCategory) {
+        self.stalls[cat.index()] += 1;
+    }
+
+    /// Stall cycles charged to `cat`.
+    pub fn stall(&self, cat: StallCategory) -> u64 {
+        self.stalls[cat.index()]
+    }
+
+    /// Total accounted cycles: base plus every stall category.
+    pub fn total_cycles(&self) -> u64 {
+        self.base_cycles + self.stalls.iter().sum::<u64>()
+    }
+
+    /// Aggregate core-cycles per committed instruction (equals machine
+    /// CPI on single-core machines; `cores ×` CPI on multicore stacks).
+    pub fn cpi(&self) -> f64 {
+        if self.committed == 0 {
+            0.0
+        } else {
+            self.total_cycles() as f64 / self.committed as f64
+        }
+    }
+
+    /// Cycles-per-instruction contribution of one category.
+    pub fn category_cpi(&self, cat: StallCategory) -> f64 {
+        if self.committed == 0 {
+            0.0
+        } else {
+            self.stall(cat) as f64 / self.committed as f64
+        }
+    }
+
+    /// Fraction of all accounted cycles charged to `cat` (0 when empty).
+    pub fn fraction(&self, cat: StallCategory) -> f64 {
+        let total = self.total_cycles();
+        if total == 0 {
+            0.0
+        } else {
+            self.stall(cat) as f64 / total as f64
+        }
+    }
+
+    /// Sums another stack into this one (per-core → machine aggregation).
+    pub fn merge(&mut self, other: &CpiStack) {
+        self.committed += other.committed;
+        self.base_cycles += other.base_cycles;
+        for (a, b) in self.stalls.iter_mut().zip(&other.stalls) {
+            *a += b;
+        }
+    }
+
+    /// Verifies the stack invariant against an externally measured cycle
+    /// count: base plus stalls must equal `expected_total` exactly, and a
+    /// non-empty stack must have committed instructions.
+    pub fn check_against(&self, expected_total: u64) -> Result<(), String> {
+        let total = self.total_cycles();
+        if total != expected_total {
+            return Err(format!(
+                "CPI stack accounts for {total} cycles but the run measured {expected_total}"
+            ));
+        }
+        self.check()
+    }
+
+    /// Verifies the internal invariant: a stack with accounted cycles but
+    /// zero commits (or vice versa) is corrupt.
+    pub fn check(&self) -> Result<(), String> {
+        if self.total_cycles() > 0 && self.committed == 0 {
+            return Err(format!(
+                "CPI stack has {} cycles but no committed instructions",
+                self.total_cycles()
+            ));
+        }
+        if self.committed > 0 && self.base_cycles == 0 {
+            return Err(format!(
+                "CPI stack committed {} instructions in zero base cycles",
+                self.committed
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_match_all_order() {
+        for (i, cat) in StallCategory::ALL.iter().enumerate() {
+            assert_eq!(cat.index(), i);
+        }
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let labels: std::collections::HashSet<_> =
+            StallCategory::ALL.iter().map(|c| c.label()).collect();
+        assert_eq!(labels.len(), StallCategory::COUNT);
+    }
+
+    #[test]
+    fn stack_accumulates_and_sums() {
+        let mut s = CpiStack::new();
+        s.record_commit(2);
+        s.record_commit(1);
+        s.record_stall(StallCategory::MemDram);
+        s.record_stall(StallCategory::MemDram);
+        s.record_stall(StallCategory::DepChain);
+        assert_eq!(s.committed, 3);
+        assert_eq!(s.base_cycles, 2);
+        assert_eq!(s.stall(StallCategory::MemDram), 2);
+        assert_eq!(s.total_cycles(), 5);
+        assert!((s.cpi() - 5.0 / 3.0).abs() < 1e-12);
+        assert!((s.category_cpi(StallCategory::MemDram) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((s.fraction(StallCategory::DepChain) - 0.2).abs() < 1e-12);
+        assert!(s.check_against(5).is_ok());
+        assert!(s.check_against(6).is_err());
+    }
+
+    #[test]
+    fn merge_is_componentwise() {
+        let mut a = CpiStack::new();
+        a.record_commit(1);
+        a.record_stall(StallCategory::CommWait);
+        let mut b = CpiStack::new();
+        b.record_commit(2);
+        b.record_stall(StallCategory::CommWait);
+        b.record_stall(StallCategory::Frontend);
+        a.merge(&b);
+        assert_eq!(a.committed, 3);
+        assert_eq!(a.base_cycles, 2);
+        assert_eq!(a.stall(StallCategory::CommWait), 2);
+        assert_eq!(a.total_cycles(), 5);
+    }
+
+    #[test]
+    fn corrupt_stacks_fail_check() {
+        let mut s = CpiStack::new();
+        s.record_stall(StallCategory::Frontend);
+        assert!(s.check().is_err(), "cycles without commits");
+        let s = CpiStack {
+            committed: 5,
+            base_cycles: 0,
+            stalls: [0; StallCategory::COUNT],
+        };
+        assert!(s.check().is_err(), "commits without base cycles");
+        assert!(CpiStack::new().check().is_ok(), "empty stack is fine");
+    }
+}

@@ -1,0 +1,315 @@
+//! A small dependency-free metrics registry.
+//!
+//! Three metric shapes cover the simulator's needs: monotonic
+//! **counters** (events), **gauges** (last-written values, e.g. a mean
+//! occupancy), and log2-bucketed **histograms** (latency and episode-
+//! length distributions). Metrics are keyed by name and render to an
+//! aligned table or CSV.
+
+use std::collections::BTreeMap;
+
+/// A log2-bucketed histogram of `u64` samples.
+///
+/// Bucket `i` counts samples in `[2^(i-1), 2^i)` (bucket 0 counts zeros),
+/// so the full `u64` range needs 65 buckets and recording is two
+/// instructions — fit for per-cycle telemetry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; 65],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: [0; 65],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    fn bucket_of(v: u64) -> usize {
+        (u64::BITS - v.leading_zeros()) as usize
+    }
+
+    /// Records one sample.
+    pub fn observe(&mut self, v: u64) {
+        self.buckets[Self::bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum += v;
+        self.max = self.max.max(v);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean sample (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Count in the bucket containing `v`.
+    pub fn bucket_count(&self, v: u64) -> u64 {
+        self.buckets[Self::bucket_of(v)]
+    }
+
+    /// Compact rendering of the non-empty buckets:
+    /// `"[0]:3 [1]:5 [2-3]:9 ..."`.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if !out.is_empty() {
+                out.push(' ');
+            }
+            let range = match i {
+                0 => "[0]".to_owned(),
+                1 => "[1]".to_owned(),
+                _ => format!("[{}-{}]", 1u64 << (i - 1), (1u64 << i) - 1),
+            };
+            out.push_str(&format!("{range}:{n}"));
+        }
+        if out.is_empty() {
+            out.push_str("(empty)");
+        }
+        out
+    }
+}
+
+/// One registered metric.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Metric {
+    /// Monotonic event count.
+    Counter(u64),
+    /// Last-written value.
+    Gauge(f64),
+    /// Log2-bucketed sample distribution (boxed: 65 buckets dwarf the
+    /// scalar shapes).
+    Histogram(Box<Histogram>),
+}
+
+/// A name-keyed collection of metrics with table/CSV rendering.
+///
+/// ```
+/// use fgstp_telemetry::Registry;
+///
+/// let mut r = Registry::new();
+/// r.inc("cycles", 100);
+/// r.set_gauge("occupancy", 3.5);
+/// r.observe("episode-cycles", 7);
+/// assert_eq!(r.counter("cycles"), 100);
+/// assert!(r.to_csv().contains("cycles,counter,100"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    metrics: BTreeMap<String, Metric>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Adds `n` to the counter `name` (creating it at zero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is registered as a different metric shape.
+    pub fn inc(&mut self, name: &str, n: u64) {
+        match self
+            .metrics
+            .entry(name.to_owned())
+            .or_insert(Metric::Counter(0))
+        {
+            Metric::Counter(c) => *c += n,
+            other => panic!("metric `{name}` is not a counter: {other:?}"),
+        }
+    }
+
+    /// Sets the gauge `name` to `v` (creating it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is registered as a different metric shape.
+    pub fn set_gauge(&mut self, name: &str, v: f64) {
+        match self
+            .metrics
+            .entry(name.to_owned())
+            .or_insert(Metric::Gauge(0.0))
+        {
+            Metric::Gauge(g) => *g = v,
+            other => panic!("metric `{name}` is not a gauge: {other:?}"),
+        }
+    }
+
+    /// Records one sample into the histogram `name` (creating it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is registered as a different metric shape.
+    pub fn observe(&mut self, name: &str, v: u64) {
+        match self
+            .metrics
+            .entry(name.to_owned())
+            .or_insert_with(|| Metric::Histogram(Box::default()))
+        {
+            Metric::Histogram(h) => h.observe(v),
+            other => panic!("metric `{name}` is not a histogram: {other:?}"),
+        }
+    }
+
+    /// Value of the counter `name` (0 if absent or a different shape).
+    pub fn counter(&self, name: &str) -> u64 {
+        match self.metrics.get(name) {
+            Some(Metric::Counter(c)) => *c,
+            _ => 0,
+        }
+    }
+
+    /// The metric registered under `name`.
+    pub fn get(&self, name: &str) -> Option<&Metric> {
+        self.metrics.get(name)
+    }
+
+    /// Iterates metrics in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Metric)> {
+        self.metrics.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.metrics.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.metrics.is_empty()
+    }
+
+    /// Renders `name,kind,value` CSV rows (histograms report their mean;
+    /// the full buckets are in [`Registry::render`]).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("metric,kind,value\n");
+        for (name, m) in self.iter() {
+            let (kind, value) = match m {
+                Metric::Counter(c) => ("counter", c.to_string()),
+                Metric::Gauge(g) => ("gauge", format!("{g}")),
+                Metric::Histogram(h) => ("histogram", format!("{}", h.mean())),
+            };
+            out.push_str(&format!("{name},{kind},{value}\n"));
+        }
+        out
+    }
+
+    /// Renders an aligned name/value listing, histograms with buckets.
+    pub fn render(&self) -> String {
+        let width = self.metrics.keys().map(String::len).max().unwrap_or(0);
+        let mut out = String::new();
+        for (name, m) in self.iter() {
+            let value = match m {
+                Metric::Counter(c) => c.to_string(),
+                Metric::Gauge(g) => format!("{g:.3}"),
+                Metric::Histogram(h) => format!(
+                    "n={} mean={:.1} max={} {}",
+                    h.count(),
+                    h.mean(),
+                    h.max(),
+                    h.render()
+                ),
+            };
+            out.push_str(&format!("{name:<width$}  {value}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_powers_of_two() {
+        let mut h = Histogram::new();
+        h.observe(0);
+        h.observe(1);
+        h.observe(2);
+        h.observe(3);
+        h.observe(1024);
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 1030);
+        assert_eq!(h.max(), 1024);
+        assert_eq!(h.bucket_count(0), 1);
+        assert_eq!(h.bucket_count(2), 2, "2 and 3 share a bucket");
+        assert_eq!(h.bucket_count(1024), 1);
+        assert_eq!(h.bucket_count(1025), 1, "same bucket as 1024");
+        let r = h.render();
+        assert!(r.contains("[0]:1"), "{r}");
+        assert!(r.contains("[2-3]:2"), "{r}");
+        assert!(r.contains("[1024-2047]:1"), "{r}");
+    }
+
+    #[test]
+    fn histogram_handles_extremes() {
+        let mut h = Histogram::new();
+        h.observe(u64::MAX);
+        assert_eq!(h.max(), u64::MAX);
+        assert_eq!(h.bucket_count(u64::MAX), 1);
+        assert_eq!(Histogram::new().render(), "(empty)");
+    }
+
+    #[test]
+    fn registry_round_trips_all_shapes() {
+        let mut r = Registry::new();
+        r.inc("a", 2);
+        r.inc("a", 3);
+        r.set_gauge("b", 1.5);
+        r.set_gauge("b", 2.5);
+        r.observe("c", 10);
+        assert_eq!(r.counter("a"), 5);
+        assert_eq!(r.counter("missing"), 0);
+        assert!(matches!(r.get("b"), Some(Metric::Gauge(g)) if *g == 2.5));
+        assert_eq!(r.len(), 3);
+        let csv = r.to_csv();
+        assert!(csv.contains("a,counter,5"));
+        assert!(csv.contains("b,gauge,2.5"));
+        let rendered = r.render();
+        assert!(rendered.contains("n=1"), "{rendered}");
+    }
+
+    #[test]
+    #[should_panic(expected = "not a counter")]
+    fn shape_conflicts_are_rejected() {
+        let mut r = Registry::new();
+        r.set_gauge("x", 1.0);
+        r.inc("x", 1);
+    }
+}

@@ -22,6 +22,7 @@
 //! | [`ooo`] | `fgstp-ooo` | the cycle-level out-of-order core model |
 //! | [`core`] | `fgstp` | the paper's contribution: partitioner, queues, dual-core machine |
 //! | [`sim`] | `fgstp-sim` | machine presets, suite runner, report tables |
+//! | [`telemetry`] | `fgstp-telemetry` | cycle accounting, CPI stacks, Chrome-trace export |
 //! | [`tracefile`] | `fgstp-tracefile` | compact binary trace serialization |
 //!
 //! ## Quickstart
@@ -49,6 +50,7 @@ pub use fgstp_isa as isa;
 pub use fgstp_mem as mem;
 pub use fgstp_ooo as ooo;
 pub use fgstp_sim as sim;
+pub use fgstp_telemetry as telemetry;
 pub use fgstp_tracefile as tracefile;
 pub use fgstp_workloads as workloads;
 
@@ -59,7 +61,9 @@ pub mod prelude {
     pub use fgstp_mem::HierarchyConfig;
     pub use fgstp_ooo::{run_single, CoreConfig};
     pub use fgstp_sim::{
-        geomean, run_on, run_suite, CacheStats, MachineKind, RunPlan, Scale, Session, Table,
+        geomean, run_on, run_on_instrumented, run_suite, CacheStats, MachineKind, RunPlan, Scale,
+        Session, Table,
     };
+    pub use fgstp_telemetry::{write_chrome_trace, CpiSink, CpiStack, StallCategory};
     pub use fgstp_workloads::{suite, SuiteClass, Workload};
 }
