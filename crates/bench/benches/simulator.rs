@@ -105,7 +105,7 @@ fn main() {
     });
     let stream = build_exec_stream(t.insts());
     h.bench("partition/slice_lookahead", t.len() as u64, || {
-        partition_stream(black_box(&stream), &PartitionConfig::default())
+        partition_stream(black_box(&stream), &PartitionConfig::default(), 2)
     });
 
     // Timing models.

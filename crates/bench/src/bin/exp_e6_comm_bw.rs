@@ -29,10 +29,15 @@ fn main() {
             let mut cfg = FgstpConfig::small();
             cfg.comm.bandwidth = bandwidth;
             let (r, s) = run_fgstp(t.insts(), &cfg, &HierarchyConfig::small(2));
+            let occupancy = s
+                .comm
+                .iter()
+                .map(|c| c.mean_occupancy())
+                .fold(1e-9, f64::max);
             (
                 r.speedup_over(&single.result),
-                s.mean_occupancy[0].max(s.mean_occupancy[1]).max(1e-9),
-                s.backpressure[0] + s.backpressure[1],
+                occupancy,
+                s.comm_total().backpressure_cycles,
             )
         });
         let speedups: Vec<f64> = points.iter().map(|p| p.0).collect();

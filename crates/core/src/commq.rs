@@ -1,10 +1,15 @@
 //! Inter-core register communication queues.
 //!
 //! Fg-STP cores exchange register values through dedicated point-to-point
-//! queues. Each direction has a fixed transfer latency, a per-cycle
+//! queues. Each directed edge has a fixed transfer latency, a per-cycle
 //! bandwidth, and a finite capacity: when the queue is full, a new send
 //! must wait for the oldest in-flight value to drain (producer-side
 //! back-pressure).
+//!
+//! A [`CommFabric`] bundles the N·(N−1) directed-edge queues of an N-core
+//! machine and aggregates their [`CommStats`]. On the paper's 2-core CMP
+//! the fabric degenerates to the two point-to-point queues of the original
+//! design.
 
 /// Configuration of one communication direction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -24,6 +29,40 @@ impl Default for CommConfig {
             bandwidth: 2,
             capacity: 16,
         }
+    }
+}
+
+/// Counter snapshot of one queue (or an aggregate of several queues).
+///
+/// Queues expose their counters through this struct so consumers never
+/// hand-assemble tuples of `sends()`/`backpressure_cycles()` calls, and so
+/// per-edge numbers can be merged into per-core or machine totals.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CommStats {
+    /// Values sent.
+    pub sends: u64,
+    /// Total cycles sends were delayed by bandwidth or capacity limits.
+    pub backpressure_cycles: u64,
+    /// Sum of queue occupancy sampled at each send (mean occupancy is
+    /// `occupancy_sum / sends`; kept as a sum so aggregates stay exact).
+    pub occupancy_sum: u64,
+}
+
+impl CommStats {
+    /// Mean queue occupancy observed at send time (0 with no sends).
+    pub fn mean_occupancy(&self) -> f64 {
+        if self.sends == 0 {
+            0.0
+        } else {
+            self.occupancy_sum as f64 / self.sends as f64
+        }
+    }
+
+    /// Accumulates `other` into `self` (aggregating several edges).
+    pub fn merge(&mut self, other: &CommStats) {
+        self.sends += other.sends;
+        self.backpressure_cycles += other.backpressure_cycles;
+        self.occupancy_sum += other.occupancy_sum;
     }
 }
 
@@ -113,11 +152,89 @@ impl CommQueue {
 
     /// Mean queue occupancy observed at send time.
     pub fn mean_occupancy(&self) -> f64 {
-        if self.sends == 0 {
-            0.0
-        } else {
-            self.occupancy_sum as f64 / self.sends as f64
+        self.stats().mean_occupancy()
+    }
+
+    /// Counter snapshot of this queue.
+    pub fn stats(&self) -> CommStats {
+        CommStats {
+            sends: self.sends,
+            backpressure_cycles: self.backpressure_cycles,
+            occupancy_sum: self.occupancy_sum,
         }
+    }
+}
+
+/// The full inter-core communication fabric of an N-core machine: one
+/// [`CommQueue`] per directed core pair (N·(N−1) queues), all built from
+/// the same [`CommConfig`].
+///
+/// With one core the fabric has no queues and every send panics; with two
+/// cores it is exactly the paper's pair of point-to-point queues.
+#[derive(Debug, Clone)]
+pub struct CommFabric {
+    cores: usize,
+    /// Dense `from * cores + to` index; the diagonal is `None`.
+    queues: Vec<Option<CommQueue>>,
+}
+
+impl CommFabric {
+    /// Builds the fabric for `cores` cores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is zero or `cfg` is invalid (see
+    /// [`CommQueue::new`]).
+    pub fn new(cores: usize, cfg: CommConfig) -> CommFabric {
+        assert!(cores >= 1, "a fabric needs at least one core");
+        let queues = (0..cores * cores)
+            .map(|i| (i / cores != i % cores).then(|| CommQueue::new(cfg)))
+            .collect();
+        CommFabric { cores, queues }
+    }
+
+    /// Number of cores the fabric connects.
+    pub fn cores(&self) -> usize {
+        self.cores
+    }
+
+    /// Sends a value produced at `ready` from core `from` to core `to`;
+    /// returns the cycle it becomes available at the consumer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from == to` or either index is out of range.
+    pub fn send(&mut self, from: usize, to: usize, ready: u64) -> u64 {
+        assert!(from < self.cores && to < self.cores, "core out of range");
+        self.queues[from * self.cores + to]
+            .as_mut()
+            .expect("a core does not send to itself")
+            .send(ready)
+    }
+
+    /// The queue of one directed edge, or `None` for the diagonal.
+    pub fn edge(&self, from: usize, to: usize) -> Option<&CommQueue> {
+        self.queues[from * self.cores + to].as_ref()
+    }
+
+    /// Aggregate statistics of every edge delivering *into* core `to`.
+    pub fn inbound_stats(&self, to: usize) -> CommStats {
+        let mut s = CommStats::default();
+        for from in 0..self.cores {
+            if let Some(q) = self.edge(from, to) {
+                s.merge(&q.stats());
+            }
+        }
+        s
+    }
+
+    /// Aggregate statistics of the whole fabric.
+    pub fn total_stats(&self) -> CommStats {
+        let mut s = CommStats::default();
+        for q in self.queues.iter().flatten() {
+            s.merge(&q.stats());
+        }
+        s
     }
 }
 
@@ -185,5 +302,88 @@ mod tests {
     #[should_panic(expected = "bandwidth")]
     fn zero_bandwidth_panics() {
         q(1, 0, 1);
+    }
+
+    #[test]
+    fn stats_snapshot_matches_accessors() {
+        let mut q = q(4, 2, 16);
+        for t in 0..5u64 {
+            q.send(t);
+        }
+        let s = q.stats();
+        assert_eq!(s.sends, q.sends());
+        assert_eq!(s.backpressure_cycles, q.backpressure_cycles());
+        assert!((s.mean_occupancy() - q.mean_occupancy()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fabric_has_one_queue_per_directed_edge() {
+        let f = CommFabric::new(3, CommConfig::default());
+        let mut edges = 0;
+        for from in 0..3 {
+            for to in 0..3 {
+                if from == to {
+                    assert!(f.edge(from, to).is_none());
+                } else {
+                    assert!(f.edge(from, to).is_some());
+                    edges += 1;
+                }
+            }
+        }
+        assert_eq!(edges, 3 * 2, "N(N-1) directed edges");
+        assert_eq!(f.cores(), 3);
+    }
+
+    #[test]
+    fn fabric_edges_are_independent() {
+        let mut f = CommFabric::new(
+            3,
+            CommConfig {
+                latency: 4,
+                bandwidth: 1,
+                capacity: 16,
+            },
+        );
+        // Saturate edge 0->1; edge 2->1 must be unaffected.
+        assert_eq!(f.send(0, 1, 10), 14);
+        assert_eq!(f.send(0, 1, 10), 15, "second send waits for bandwidth");
+        assert_eq!(f.send(2, 1, 10), 14, "different edge, fresh bandwidth");
+        let inbound = f.inbound_stats(1);
+        assert_eq!(inbound.sends, 3);
+        assert_eq!(inbound.backpressure_cycles, 1);
+        assert_eq!(f.inbound_stats(0).sends, 0);
+        assert_eq!(f.total_stats().sends, 3);
+    }
+
+    #[test]
+    fn stats_merge_is_exact() {
+        let a = CommStats {
+            sends: 4,
+            backpressure_cycles: 2,
+            occupancy_sum: 8,
+        };
+        let mut b = CommStats {
+            sends: 2,
+            backpressure_cycles: 1,
+            occupancy_sum: 1,
+        };
+        b.merge(&a);
+        assert_eq!(b.sends, 6);
+        assert_eq!(b.backpressure_cycles, 3);
+        assert!((b.mean_occupancy() - 1.5).abs() < 1e-12);
+        assert_eq!(CommStats::default().mean_occupancy(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not send to itself")]
+    fn fabric_rejects_self_sends() {
+        CommFabric::new(2, CommConfig::default()).send(1, 1, 0);
+    }
+
+    #[test]
+    fn single_core_fabric_has_no_queues() {
+        let f = CommFabric::new(1, CommConfig::default());
+        assert!(f.edge(0, 0).is_none());
+        assert_eq!(f.total_stats(), CommStats::default());
     }
 }

@@ -2,12 +2,13 @@
 //! sequential architectural semantics.
 //!
 //! Fg-STP's correctness claim is that distributing one thread's
-//! instructions over two cores — with register values moving only through
+//! instructions over N cores — with register values moving only through
 //! the communication queues or via replication — computes exactly what the
 //! original sequential execution computes. This module *executes* a
 //! partitioned stream that way: each core has its own register file, cross
 //! dependences may only read values that were explicitly sent, and every
-//! produced value is compared against the reference trace.
+//! produced value is compared against the reference trace. The check works
+//! for any core count the partitioner supports.
 //!
 //! Any mis-wired dependence annotation (a cross dependence marked local, a
 //! missing send, a replica whose operands are not actually available)
@@ -71,8 +72,8 @@ impl fmt::Display for CheckError {
 
 impl std::error::Error for CheckError {}
 
-/// Byte-granular memory shared by the two functional cores (stores apply
-/// in global program order, exactly like the machine's in-order commit).
+/// Byte-granular memory shared by the functional cores (stores apply in
+/// global program order, exactly like the machine's in-order commit).
 #[derive(Debug, Default)]
 struct ByteMem {
     bytes: HashMap<u64, u8>,
@@ -122,14 +123,17 @@ pub fn check_partition(
             mem.bytes.insert(addr + i as u64, *b);
         }
     }
-    let mut cores = [FuncCore { regs: [0; 64] }, FuncCore { regs: [0; 64] }];
+    let mut cores: Vec<FuncCore> = (0..part.num_cores())
+        .map(|_| FuncCore { regs: [0; 64] })
+        .collect();
     // Values sent across cores, keyed by producer gseq.
     let mut channel: HashMap<u64, u64> = HashMap::new();
 
-    // Merge the two per-core streams back into global order; replicas
-    // execute at the same point as their primary.
+    // Merge the per-core streams back into global order; replicas execute
+    // at the same point as their primary (primary first, then replicas in
+    // core order).
     let mut merged: Vec<&ExecInst> = part.streams.iter().flatten().collect();
-    merged.sort_by_key(|x| (x.gseq, x.replica));
+    merged.sort_by_key(|x| (x.gseq, x.replica, x.core));
 
     for x in merged {
         let core = x.core;
@@ -274,11 +278,11 @@ mod tests {
     use fgstp_isa::{assemble, trace_program, Program};
     use fgstp_ooo::build_exec_stream;
 
-    fn check_src(src: &str, cfg: &PartitionConfig) -> Result<(), CheckError> {
+    fn check_src(src: &str, cfg: &PartitionConfig, num_cores: usize) -> Result<(), CheckError> {
         let p: Program = assemble(src).unwrap();
         let t = trace_program(&p, 100_000).unwrap();
         let s = build_exec_stream(t.insts());
-        let part = partition_stream(&s, cfg);
+        let part = partition_stream(&s, cfg, num_cores);
         let data: Vec<(u64, Vec<u8>)> = p.data.iter().map(|d| (d.addr, d.bytes.clone())).collect();
         check_partition(&part, &data)
     }
@@ -304,11 +308,11 @@ mod tests {
 
     #[test]
     fn default_policy_preserves_semantics() {
-        check_src(MIXED, &PartitionConfig::default()).unwrap();
+        check_src(MIXED, &PartitionConfig::default(), 2).unwrap();
     }
 
     #[test]
-    fn every_policy_preserves_semantics() {
+    fn every_policy_preserves_semantics_for_any_core_count() {
         for policy in [
             PartitionPolicy::ModN { chunk: 1 },
             PartitionPolicy::ModN { chunk: 7 },
@@ -319,12 +323,16 @@ mod tests {
             },
         ] {
             for replication in [false, true] {
-                let cfg = PartitionConfig {
-                    policy,
-                    replication,
-                    balance_slack: 0.2,
-                };
-                check_src(MIXED, &cfg).unwrap_or_else(|e| panic!("{policy:?}/{replication}: {e}"));
+                for num_cores in [1usize, 2, 3, 4] {
+                    let cfg = PartitionConfig {
+                        policy,
+                        replication,
+                        balance_slack: 0.2,
+                    };
+                    check_src(MIXED, &cfg, num_cores).unwrap_or_else(|e| {
+                        panic!("{policy:?}/{replication}/{num_cores} cores: {e}")
+                    });
+                }
             }
         }
     }
@@ -341,7 +349,7 @@ mod tests {
             replication: false,
             balance_slack: 0.2,
         };
-        let mut part = partition_stream(&s, &cfg);
+        let mut part = partition_stream(&s, &cfg, 2);
         let mut corrupted = false;
         'outer: for stream in part.streams.iter_mut() {
             for x in stream.iter_mut() {
@@ -372,6 +380,7 @@ mod tests {
                 halt
             "#,
             &PartitionConfig::default(),
+            2,
         )
         .unwrap();
     }
@@ -391,6 +400,7 @@ mod tests {
                 replication: false,
                 balance_slack: 0.2,
             },
+            3,
         )
         .unwrap();
     }

@@ -16,11 +16,13 @@
 //! * [`partition`] — instruction-granularity partitioning policies,
 //!   including the slice-lookahead policy with boundary refinement and the
 //!   replication pass;
-//! * [`commq`] — inter-core register communication queues (latency,
-//!   bandwidth, capacity, back-pressure);
-//! * [`machine`] — the dual-core timing machine: shared frontend
-//!   orchestration, cross-core memory-dependence speculation and global
-//!   in-order commit ([`run_fgstp`]);
+//! * [`commq`] — inter-core register communication queues and the
+//!   per-directed-edge fabric (latency, bandwidth, capacity,
+//!   back-pressure);
+//! * [`machine`] — the N-core timing machine (the paper's machine is the
+//!   2-core instance): shared frontend orchestration, cross-core
+//!   memory-dependence speculation and global in-order commit
+//!   ([`run_fgstp`]);
 //! * [`exec`] — a functional partitioned executor that *proves* a
 //!   partition preserves sequential semantics ([`check_partition`]).
 //!
@@ -38,7 +40,7 @@
 //! let t = trace_program(&p, 100)?;
 //! let (result, stats) = run_fgstp(t.insts(), &FgstpConfig::small(), &HierarchyConfig::small(2));
 //! assert_eq!(result.committed, 2);
-//! assert_eq!(stats.partition.insts[0] + stats.partition.insts[1], 2);
+//! assert_eq!(stats.partition.total_insts(), 2);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
@@ -50,7 +52,7 @@ pub mod machine;
 pub mod partition;
 
 pub use adaptive::{run_oracle, run_sampling, AdaptiveResult, Mode, SamplingConfig};
-pub use commq::{CommConfig, CommQueue};
+pub use commq::{CommConfig, CommFabric, CommQueue, CommStats};
 pub use depgraph::DepGraph;
 pub use exec::{check_partition, CheckError};
 pub use machine::{run_fgstp, run_fgstp_recorded, run_fgstp_with_sink, FgstpConfig, FgstpStats};

@@ -1,18 +1,23 @@
-//! The Fg-STP dual-core timing machine.
+//! The Fg-STP N-core timing machine.
 //!
-//! Two conventional out-of-order cores (the `fgstp-ooo` pipeline) execute
-//! the two partitioned halves of a single thread. This module provides the
-//! shared environment that couples them:
+//! A set of conventional out-of-order cores (the `fgstp-ooo` pipeline)
+//! executes the partitioned slices of a single thread. This module
+//! provides the shared environment that couples them:
 //!
 //! * a **shared frontend orchestrator** — one branch predictor, a global
 //!   fetch gate for mispredictions, and a lookahead-buffer skew bound (a
-//!   core may run at most one partition window ahead of its partner);
-//! * the **register communication queues** ([`crate::CommQueue`]) that
-//!   deliver cross-core values with latency, bandwidth and capacity;
+//!   core may run at most one partition window ahead of the slowest
+//!   partner);
+//! * the **register communication fabric** ([`crate::CommFabric`]): one
+//!   queue per directed core pair, delivering cross-core values with
+//!   latency, bandwidth and capacity;
 //! * **cross-core memory-dependence speculation**: loads issue past remote
 //!   stores and replay on a conflict, or (speculation disabled) wait for
 //!   the youngest older remote store;
-//! * **global in-order commit** across both cores.
+//! * **global in-order commit** across all cores.
+//!
+//! The paper's machine is the 2-core instance (`num_cores = 2`, the
+//! default); every mechanism generalizes unchanged to N cores.
 
 use std::collections::HashMap;
 
@@ -24,18 +29,21 @@ use fgstp_ooo::{
 };
 use fgstp_telemetry::{CycleOutcome, CycleSink, NullSink, StallCategory};
 
-use crate::commq::{CommConfig, CommQueue};
+use crate::commq::{CommConfig, CommFabric, CommStats};
 use crate::partition::{partition_stream, PartitionConfig, PartitionStats, PartitionedStream};
 
 /// Configuration of the full Fg-STP machine.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FgstpConfig {
-    /// Per-core configuration (both cores are identical).
+    /// Number of cores the thread is partitioned across (the paper's
+    /// machine uses 2).
+    pub num_cores: usize,
+    /// Per-core configuration (all cores are identical).
     pub core: CoreConfig,
-    /// Register communication queues (both directions).
+    /// Register communication queues (every directed core pair).
     pub comm: CommConfig,
     /// Cycles after a remote store completes until its value is visible to
-    /// the other core's loads.
+    /// another core's loads.
     pub store_vis_latency: u64,
     /// Replay penalty for a cross-core memory-dependence violation.
     pub cross_violation_penalty: u64,
@@ -49,6 +57,7 @@ impl FgstpConfig {
     /// Fg-STP on two small cores (the paper's small 2-core CMP).
     pub fn small() -> FgstpConfig {
         FgstpConfig {
+            num_cores: 2,
             core: CoreConfig::small(),
             comm: CommConfig::default(),
             store_vis_latency: 6,
@@ -66,6 +75,12 @@ impl FgstpConfig {
         }
     }
 
+    /// The same machine partitioned across `n` cores.
+    pub fn with_cores(mut self, n: usize) -> FgstpConfig {
+        self.num_cores = n;
+        self
+    }
+
     /// Fetch-skew bound implied by the partition lookahead window.
     pub fn fetch_skew(&self) -> u64 {
         match self.partition.policy {
@@ -80,17 +95,24 @@ impl FgstpConfig {
 pub struct FgstpStats {
     /// Partitioning summary.
     pub partition: PartitionStats,
-    /// Values delivered to each core (index = receiving core).
-    pub deliveries: [u64; 2],
-    /// Cycles sends waited on queue bandwidth/capacity, per direction.
-    pub backpressure: [u64; 2],
-    /// Mean queue occupancy per direction (index = receiving core).
-    pub mean_occupancy: [f64; 2],
+    /// Aggregate inbound communication statistics per receiving core.
+    pub comm: Vec<CommStats>,
     /// Cross-core memory-dependence violations replayed.
     pub cross_violations: u64,
 }
 
-/// The dual-core execution environment implementing [`ExecEnv`].
+impl FgstpStats {
+    /// Machine-wide communication totals (all directed edges merged).
+    pub fn comm_total(&self) -> CommStats {
+        let mut total = CommStats::default();
+        for c in &self.comm {
+            total.merge(c);
+        }
+        total
+    }
+}
+
+/// The shared execution environment implementing [`ExecEnv`] for N cores.
 #[derive(Debug)]
 struct FgstpEnv {
     /// Predictions made by the shared frontend orchestrator, which sees
@@ -104,19 +126,21 @@ struct FgstpEnv {
     /// Completion cycle per global sequence number (primary copies only).
     board: Vec<u64>,
     /// Smallest gseq whose instruction has not completed yet. An
-    /// instruction may retire once every older instruction (on either
-    /// core) has completed — distributed commit with exchanged completion
+    /// instruction may retire once every older instruction (on any core)
+    /// has completed — distributed commit with exchanged completion
     /// pointers, rather than a serialized global commit port.
     completed_frontier: u64,
     /// Delivered cross-core values per receiving core.
-    deliveries: [HashMap<u64, u64>; 2],
-    /// Queues indexed by receiving core.
-    queues: [CommQueue; 2],
+    deliveries: Vec<HashMap<u64, u64>>,
+    /// One queue per directed core pair.
+    fabric: CommFabric,
+    /// Per-producer bitmask of destination cores (from the partitioner).
+    send_targets: Vec<u64>,
     committed: u64,
     /// Load gseq → youngest older remote store gseq.
     barriers: HashMap<u64, u64>,
     /// Next unfetched gseq per core (`u64::MAX` when exhausted).
-    next_fetch: [u64; 2],
+    next_fetch: Vec<u64>,
     fetch_skew: u64,
     store_vis_latency: u64,
     cross_violation_penalty: u64,
@@ -138,6 +162,7 @@ impl FgstpEnv {
                 predictions.insert(x.gseq, pred.predict(x));
             }
         }
+        let n = part.num_cores();
         FgstpEnv {
             predictions,
             branches: pred.branches,
@@ -145,11 +170,12 @@ impl FgstpEnv {
             gate: FetchGate::default(),
             board: vec![u64::MAX; stream.len()],
             completed_frontier: 0,
-            deliveries: [HashMap::new(), HashMap::new()],
-            queues: [CommQueue::new(cfg.comm), CommQueue::new(cfg.comm)],
+            deliveries: vec![HashMap::new(); n],
+            fabric: CommFabric::new(n, cfg.comm),
+            send_targets: part.send_targets.clone(),
             committed: 0,
             barriers: part.load_barriers.clone(),
-            next_fetch: [0, 0],
+            next_fetch: vec![0; n],
             fetch_skew: cfg.fetch_skew(),
             store_vis_latency: cfg.store_vis_latency,
             cross_violation_penalty: cfg.cross_violation_penalty,
@@ -162,14 +188,26 @@ impl FgstpEnv {
         (c != u64::MAX).then_some(c)
     }
 
+    /// Fetch cursor of the slowest *other* core still fetching.
+    fn slowest_partner(&self, core: usize) -> Option<u64> {
+        self.next_fetch
+            .iter()
+            .enumerate()
+            .filter(|&(k, &f)| k != core && f != u64::MAX)
+            .map(|(_, &f)| f)
+            .min()
+    }
+
     /// Whether `core`'s fetch is currently bound by the lookahead-buffer
-    /// skew limit (it ran a full partition window ahead of its partner) —
-    /// the telemetry disambiguator between a branch-redirect fetch gate
-    /// and partitioner backpressure.
+    /// skew limit (it ran a full partition window ahead of the slowest
+    /// partner) — the telemetry disambiguator between a branch-redirect
+    /// fetch gate and partitioner backpressure.
     fn skew_blocked(&self, core: usize) -> bool {
         let me = self.next_fetch[core];
-        let other = self.next_fetch[1 - core];
-        me != u64::MAX && other != u64::MAX && me > other + self.fetch_skew
+        me != u64::MAX
+            && self
+                .slowest_partner(core)
+                .is_some_and(|other| me > other + self.fetch_skew)
     }
 }
 
@@ -182,7 +220,7 @@ fn classify_fgstp(
     d: &StatDelta,
 ) -> StallCategory {
     if done {
-        // Drained while the partner still runs: global-commit slack.
+        // Drained while a partner still runs: global-commit slack.
         return StallCategory::CommitSync;
     }
     if d.replica_committed > 0 {
@@ -215,9 +253,9 @@ impl ExecEnv for FgstpEnv {
             return true;
         }
         // Lookahead-buffer bound: the partitioner distributes at most
-        // `fetch_skew` instructions ahead of the slower core.
-        let other = self.next_fetch[1 - core];
-        other != u64::MAX && gseq > other + self.fetch_skew
+        // `fetch_skew` instructions ahead of the slowest core.
+        self.slowest_partner(core)
+            .is_some_and(|other| gseq > other + self.fetch_skew)
     }
 
     fn note_fetch_cursor(&mut self, core: usize, next_gseq: Option<u64>) {
@@ -243,9 +281,14 @@ impl ExecEnv for FgstpEnv {
             self.completed_frontier += 1;
         }
         if x.sends {
-            let to = 1 - core;
-            let delivery = self.queues[to].send(cycle);
-            self.deliveries[to].insert(x.gseq, delivery);
+            // One queue send per destination core that consumes the value.
+            let mut mask = self.send_targets[x.gseq as usize];
+            while mask != 0 {
+                let to = mask.trailing_zeros() as usize;
+                mask &= mask - 1;
+                let delivery = self.fabric.send(core, to, cycle);
+                self.deliveries[to].insert(x.gseq, delivery);
+            }
         }
     }
 
@@ -292,10 +335,10 @@ impl ExecEnv for FgstpEnv {
     }
 
     fn can_commit(&self, x: &ExecInst) -> bool {
-        // Distributed commit: retire once every older instruction (on
-        // either core) has completed. Per-core ROBs stay in order, so each
-        // core retires its own instructions in order; the frontier
-        // guarantees global precise-state recoverability.
+        // Distributed commit: retire once every older instruction (on any
+        // core) has completed. Per-core ROBs stay in order, so each core
+        // retires its own instructions in order; the frontier guarantees
+        // global precise-state recoverability.
         x.gseq < self.completed_frontier
     }
 
@@ -314,8 +357,8 @@ const DEADLOCK_CPI: u64 = 2_000;
 ///
 /// # Panics
 ///
-/// Panics if `hcfg` does not describe exactly two cores, or if the machine
-/// deadlocks (a model bug).
+/// Panics if `hcfg` does not describe `cfg.num_cores` cores, or if the
+/// machine deadlocks (a model bug).
 pub fn run_fgstp(
     trace: &[DynInst],
     cfg: &FgstpConfig,
@@ -326,25 +369,25 @@ pub fn run_fgstp(
 }
 
 /// Like [`run_fgstp`], but optionally records per-instruction pipeline
-/// events on both cores (pass one recorder per core) and returns them —
-/// the two-core pipeview used by the `fgstpsim pipeview2` command.
+/// events on every core (pass one recorder per core) and returns them —
+/// the multi-core pipeview used by the `fgstpsim pipeview2` command.
 ///
 /// # Panics
 ///
-/// Panics if `hcfg` does not describe exactly two cores, or if the machine
-/// deadlocks (a model bug).
+/// Panics if `hcfg` does not describe `cfg.num_cores` cores, if the number
+/// of recorders does not match, or if the machine deadlocks (a model bug).
 #[allow(clippy::type_complexity)]
 pub fn run_fgstp_recorded(
     trace: &[DynInst],
     cfg: &FgstpConfig,
     hcfg: &HierarchyConfig,
-    recorders: Option<[fgstp_ooo::PipeRecorder; 2]>,
-) -> (RunResult, FgstpStats, Option<[fgstp_ooo::PipeRecorder; 2]>) {
+    recorders: Option<Vec<fgstp_ooo::PipeRecorder>>,
+) -> (RunResult, FgstpStats, Option<Vec<fgstp_ooo::PipeRecorder>>) {
     run_fgstp_impl(trace, cfg, hcfg, recorders, &mut NullSink)
 }
 
-/// Like [`run_fgstp`], but charges every core-cycle into `sink` (cores 0
-/// and 1; one outcome per core per machine cycle).
+/// Like [`run_fgstp`], but charges every core-cycle into `sink` (cores
+/// `0..num_cores`; one outcome per core per machine cycle).
 ///
 /// Timing is bit-identical to [`run_fgstp`]: the accounting probes reuse
 /// the environment's idempotent queries and never mutate pipeline,
@@ -352,8 +395,8 @@ pub fn run_fgstp_recorded(
 ///
 /// # Panics
 ///
-/// Panics if `hcfg` does not describe exactly two cores, or if the machine
-/// deadlocks (a model bug).
+/// Panics if `hcfg` does not describe `cfg.num_cores` cores, or if the
+/// machine deadlocks (a model bug).
 pub fn run_fgstp_with_sink<S: CycleSink>(
     trace: &[DynInst],
     cfg: &FgstpConfig,
@@ -369,35 +412,47 @@ fn run_fgstp_impl<S: CycleSink>(
     trace: &[DynInst],
     cfg: &FgstpConfig,
     hcfg: &HierarchyConfig,
-    recorders: Option<[fgstp_ooo::PipeRecorder; 2]>,
+    recorders: Option<Vec<fgstp_ooo::PipeRecorder>>,
     sink: &mut S,
-) -> (RunResult, FgstpStats, Option<[fgstp_ooo::PipeRecorder; 2]>) {
-    assert_eq!(hcfg.cores, 2, "Fg-STP reconfigures exactly two cores");
+) -> (RunResult, FgstpStats, Option<Vec<fgstp_ooo::PipeRecorder>>) {
+    let n = cfg.num_cores;
+    assert!(n >= 1, "Fg-STP needs at least one core");
+    assert_eq!(
+        hcfg.cores, n,
+        "hierarchy core count must match FgstpConfig::num_cores"
+    );
     let stream = build_exec_stream(trace);
-    let part = partition_stream(&stream, &cfg.partition);
+    let part = partition_stream(&stream, &cfg.partition, n);
     let mut env = FgstpEnv::new(cfg, &stream, &part);
-    let [s0, s1] = part.streams.clone();
-    let mut core0 = Core::new(0, cfg.core.clone(), s0);
-    let mut core1 = Core::new(1, cfg.core.clone(), s1);
+    let mut cores: Vec<Core> = part
+        .streams
+        .iter()
+        .enumerate()
+        .map(|(i, s)| Core::new(i, cfg.core.clone(), s.clone()))
+        .collect();
     let recording = recorders.is_some();
-    if let Some([r0, r1]) = recorders {
-        core0.set_recorder(r0);
-        core1.set_recorder(r1);
+    if let Some(recs) = recorders {
+        assert_eq!(recs.len(), n, "one pipeline recorder per core");
+        for (core, r) in cores.iter_mut().zip(recs) {
+            core.set_recorder(r);
+        }
     }
     let mut mem = Hierarchy::new(hcfg);
     let cap = (stream.len() as u64) * DEADLOCK_CPI + 100_000;
     let mut now = 0u64;
     let debug = std::env::var_os("FGSTP_TRACE").is_some();
-    while !(core0.done() && core1.done()) {
-        let before = if S::ENABLED {
-            [*core0.stats(), *core1.stats()]
-        } else {
-            [CoreStats::default(); 2]
-        };
-        core0.cycle(now, &mut env, &mut mem);
-        core1.cycle(now, &mut env, &mut mem);
+    let mut before = vec![CoreStats::default(); n];
+    while !cores.iter().all(Core::done) {
         if S::ENABLED {
-            for (i, core) in [&core0, &core1].into_iter().enumerate() {
+            for (b, core) in before.iter_mut().zip(&cores) {
+                *b = *core.stats();
+            }
+        }
+        for core in &mut cores {
+            core.cycle(now, &mut env, &mut mem);
+        }
+        if S::ENABLED {
+            for (i, core) in cores.iter().enumerate() {
                 let d = stat_delta(&before[i], core.stats());
                 let outcome = if d.committed > 0 {
                     CycleOutcome::Commit(d.committed as u32)
@@ -410,46 +465,44 @@ fn run_fgstp_impl<S: CycleSink>(
         }
         now += 1;
         if debug && now.is_multiple_of(2000) {
+            let snaps: Vec<String> = cores
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("c{i} {}", c.pipeline_snapshot()))
+                .collect();
             eprintln!(
-                "[{}] commit={} c0 {} | c1 {}",
+                "[{}] commit={} {}",
                 now,
                 env.completed_frontier,
-                core0.pipeline_snapshot(),
-                core1.pipeline_snapshot()
+                snaps.join(" | ")
             );
         }
         assert!(now < cap, "Fg-STP machine deadlocked at cycle {now}");
     }
-    let cores = vec![*core0.stats(), *core1.stats()];
+    let core_stats: Vec<CoreStats> = cores.iter().map(|c| *c.stats()).collect();
     let stats = FgstpStats {
         partition: part.stats,
-        deliveries: [env.queues[0].sends(), env.queues[1].sends()],
-        backpressure: [
-            env.queues[0].backpressure_cycles(),
-            env.queues[1].backpressure_cycles(),
-        ],
-        mean_occupancy: [
-            env.queues[0].mean_occupancy(),
-            env.queues[1].mean_occupancy(),
-        ],
-        cross_violations: cores.iter().map(|c| c.cross_violations).sum(),
+        comm: (0..n).map(|to| env.fabric.inbound_stats(to)).collect(),
+        cross_violations: core_stats.iter().map(|c| c.cross_violations).sum(),
     };
     let result = RunResult {
         cycles: now,
         committed: env.committed,
-        cores,
+        cores: core_stats,
         branches: (env.branches, env.mispredicts),
         mem: mem.stats(),
     };
     let recorders = if recording {
-        Some([
-            core0
-                .take_recorder()
-                .expect("recorder was attached to core 0"),
-            core1
-                .take_recorder()
-                .expect("recorder was attached to core 1"),
-        ])
+        Some(
+            cores
+                .iter_mut()
+                .enumerate()
+                .map(|(i, c)| {
+                    c.take_recorder()
+                        .unwrap_or_else(|| panic!("recorder was attached to core {i}"))
+                })
+                .collect(),
+        )
     } else {
         None
     };
@@ -571,9 +624,23 @@ mod tests {
         cfg.partition.replication = false;
         let (_, s) = run_fgstp(t.insts(), &cfg, &HierarchyConfig::small(2));
         assert!(
-            s.deliveries[0] + s.deliveries[1] > 0,
+            s.comm_total().sends > 0,
             "chunked round-robin must communicate"
         );
+        assert_eq!(s.comm.len(), 2, "one inbound summary per core");
+    }
+
+    #[test]
+    fn four_core_machine_commits_the_whole_trace() {
+        let t = two_chain_trace();
+        for n in [3usize, 4] {
+            let cfg = FgstpConfig::small().with_cores(n);
+            let (r, s) = run_fgstp(t.insts(), &cfg, &HierarchyConfig::small(n));
+            assert_eq!(r.committed, t.len() as u64, "num_cores = {n}");
+            assert_eq!(r.cores.len(), n);
+            assert_eq!(s.comm.len(), n);
+            assert_eq!(s.partition.insts.len(), n);
+        }
     }
 
     #[test]
@@ -598,6 +665,19 @@ mod tests {
         }
         let merged = sink.merged();
         merged.check_against(2 * r.cycles).unwrap();
+        assert_eq!(merged.committed, r.committed);
+    }
+
+    #[test]
+    fn sink_accounts_four_cores_without_changing_timing() {
+        let t = two_chain_trace();
+        let cfg = FgstpConfig::small().with_cores(4);
+        let (plain, _) = run_fgstp(t.insts(), &cfg, &HierarchyConfig::small(4));
+        let mut sink = fgstp_telemetry::CpiSink::new(4);
+        let (r, _) = run_fgstp_with_sink(t.insts(), &cfg, &HierarchyConfig::small(4), &mut sink);
+        assert_eq!(r.cycles, plain.cycles, "telemetry must not change timing");
+        let merged = sink.merged();
+        merged.check_against(4 * r.cycles).unwrap();
         assert_eq!(merged.committed, r.committed);
     }
 
@@ -671,8 +751,8 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "exactly two cores")]
-    fn one_core_hierarchy_is_rejected() {
+    #[should_panic(expected = "must match")]
+    fn mismatched_hierarchy_is_rejected() {
         let t = trace("li x1, 1\nhalt");
         run_fgstp(t.insts(), &FgstpConfig::small(), &HierarchyConfig::small(1));
     }

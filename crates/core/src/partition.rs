@@ -1,9 +1,9 @@
-//! Instruction-granularity partitioning of a single thread across two
+//! Instruction-granularity partitioning of a single thread across N
 //! cores — the heart of Fg-STP.
 //!
-//! The partitioner consumes the annotated execution stream and produces two
-//! per-core streams plus the communication/replication annotations the
-//! timing machine needs. Three policies are provided:
+//! The partitioner consumes the annotated execution stream and produces
+//! one per-core stream per target core plus the communication/replication
+//! annotations the timing machine needs. Three policies are provided:
 //!
 //! * [`PartitionPolicy::ModN`] — a naive round-robin chunk baseline;
 //! * [`PartitionPolicy::GreedyDep`] — classic online dependence-based
@@ -11,15 +11,22 @@
 //!   operands, with a load-balance guard), the policy family of clustered
 //!   and DMT-style designs;
 //! * [`PartitionPolicy::SliceLookahead`] — the Fg-STP policy: over a large
-//!   lookahead window, seed the cores with the window's critical chain,
-//!   grow both partitions by dependence affinity, then run boundary
-//!   refinement passes that migrate instructions when doing so removes
-//!   more communication than it adds, subject to a balance constraint.
+//!   lookahead window, seed the cores with the window's longest disjoint
+//!   dependence chains, grow all partitions by dependence affinity, then
+//!   run boundary refinement passes that migrate instructions when doing
+//!   so removes more communication than it adds, subject to a balance
+//!   constraint.
 //!
 //! Replication (when enabled) runs after assignment: a cheap single-cycle
-//! producer whose value is consumed on the other core is cloned there
+//! producer whose value is consumed on another core is cloned there
 //! instead of communicated, whenever its own operands are already
 //! available on that core.
+//!
+//! The paper evaluates the 2-core instance; every algorithm here is the
+//! N-way generalization that is *bit-identical* to the original 2-way
+//! formulation when `num_cores == 2` (arg-min/arg-max selections break
+//! ties toward the lowest core index, exactly like the old
+//! `usize::from(load[1] < load[0])` and `votes[1] > votes[0]` forms).
 
 use std::collections::HashMap;
 
@@ -27,6 +34,9 @@ use fgstp_isa::InstClass;
 use fgstp_ooo::ExecInst;
 
 use crate::depgraph::DepGraph;
+
+/// Upper bound on partition cores (replica/send sets are `u64` bitmasks).
+pub const MAX_PARTITION_CORES: usize = 64;
 
 /// Partitioning policy selector.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -80,11 +90,11 @@ impl Default for PartitionConfig {
 }
 
 /// Summary statistics of one partitioning.
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct PartitionStats {
     /// Primary instructions assigned to each core.
-    pub insts: [u64; 2],
-    /// Instructions replicated onto the other core.
+    pub insts: Vec<u64>,
+    /// Replica copies created (one per `(instruction, extra core)` pair).
     pub replicated: u64,
     /// Register dependences that cross the cores (communications).
     pub cross_reg_deps: u64,
@@ -93,19 +103,24 @@ pub struct PartitionStats {
 }
 
 impl PartitionStats {
+    /// Total primary instructions across all cores.
+    pub fn total_insts(&self) -> u64 {
+        self.insts.iter().sum()
+    }
+
     /// Fraction of instructions assigned to core 0.
     pub fn balance(&self) -> f64 {
-        let total = (self.insts[0] + self.insts[1]) as f64;
+        let total = self.total_insts() as f64;
         if total == 0.0 {
             0.5
         } else {
-            self.insts[0] as f64 / total
+            self.insts.first().copied().unwrap_or(0) as f64 / total
         }
     }
 
     /// Communications per committed instruction.
     pub fn comms_per_inst(&self) -> f64 {
-        let total = (self.insts[0] + self.insts[1]) as f64;
+        let total = self.total_insts() as f64;
         if total == 0.0 {
             0.0
         } else {
@@ -114,16 +129,22 @@ impl PartitionStats {
     }
 }
 
-/// A partitioned execution stream, ready for the dual-core machine.
+/// A partitioned execution stream, ready for the N-core machine.
 #[derive(Debug, Clone, Default)]
 pub struct PartitionedStream {
     /// Per-core instruction streams (replicas included, in global order).
-    pub streams: [Vec<ExecInst>; 2],
+    pub streams: Vec<Vec<ExecInst>>,
     /// Core assignment per global sequence number.
     pub assign: Vec<u8>,
-    /// Whether each instruction has a replica on the other core.
+    /// Whether each instruction has at least one replica on another core.
     pub replicated: Vec<bool>,
-    /// For every load, the youngest older store assigned to the *other*
+    /// Bitmask of cores holding a replica of each instruction (the home
+    /// core's bit is never set).
+    pub replica_on: Vec<u64>,
+    /// Bitmask of cores each producer's value must be sent to (consumers
+    /// on cores where the value is neither computed nor replicated).
+    pub send_targets: Vec<u64>,
+    /// For every load, the youngest older store assigned to *another*
     /// core (the cross-core ordering barrier used when dependence
     /// speculation is disabled).
     pub load_barriers: HashMap<u64, u64>,
@@ -131,34 +152,72 @@ pub struct PartitionedStream {
     pub stats: PartitionStats,
 }
 
-/// Partitions `stream` across two cores according to `cfg`.
-pub fn partition_stream(stream: &[ExecInst], cfg: &PartitionConfig) -> PartitionedStream {
+impl PartitionedStream {
+    /// Number of cores this stream was partitioned for.
+    pub fn num_cores(&self) -> usize {
+        self.streams.len()
+    }
+}
+
+/// Partitions `stream` across `num_cores` cores according to `cfg`.
+///
+/// # Panics
+///
+/// Panics if `num_cores` is zero or exceeds [`MAX_PARTITION_CORES`].
+pub fn partition_stream(
+    stream: &[ExecInst],
+    cfg: &PartitionConfig,
+    num_cores: usize,
+) -> PartitionedStream {
+    assert!(
+        (1..=MAX_PARTITION_CORES).contains(&num_cores),
+        "num_cores must be in 1..={MAX_PARTITION_CORES}, got {num_cores}"
+    );
     let assign = match cfg.policy {
-        PartitionPolicy::ModN { chunk } => assign_modn(stream, chunk.max(1)),
-        PartitionPolicy::GreedyDep => assign_greedy(stream),
+        PartitionPolicy::ModN { chunk } => assign_modn(stream, chunk.max(1), num_cores),
+        PartitionPolicy::GreedyDep => assign_greedy(stream, num_cores),
         PartitionPolicy::SliceLookahead {
             window,
             refine_passes,
-        } => assign_lookahead(stream, window.max(8), refine_passes, cfg.balance_slack),
+        } => assign_lookahead(
+            stream,
+            window.max(8),
+            refine_passes,
+            cfg.balance_slack,
+            num_cores,
+        ),
     };
-    let replicated = if cfg.replication {
+    let replica_on = if cfg.replication && num_cores > 1 {
         plan_replication(stream, &assign)
     } else {
-        vec![false; stream.len()]
+        vec![0; stream.len()]
     };
-    materialize(stream, assign, replicated)
+    materialize(stream, assign, replica_on, num_cores)
 }
 
-fn assign_modn(stream: &[ExecInst], chunk: usize) -> Vec<u8> {
-    (0..stream.len()).map(|i| ((i / chunk) % 2) as u8).collect()
+/// Index of the minimum element, ties broken toward the lowest index.
+fn argmin<T: PartialOrd + Copy>(xs: &[T]) -> usize {
+    let mut best = 0;
+    for (i, &x) in xs.iter().enumerate().skip(1) {
+        if x < xs[best] {
+            best = i;
+        }
+    }
+    best
 }
 
-fn assign_greedy(stream: &[ExecInst]) -> Vec<u8> {
+fn assign_modn(stream: &[ExecInst], chunk: usize, num_cores: usize) -> Vec<u8> {
+    (0..stream.len())
+        .map(|i| ((i / chunk) % num_cores) as u8)
+        .collect()
+}
+
+fn assign_greedy(stream: &[ExecInst], num_cores: usize) -> Vec<u8> {
     let mut assign = vec![0u8; stream.len()];
-    let mut counts = [0i64; 2];
+    let mut counts = vec![0i64; num_cores];
     const MAX_IMBALANCE: i64 = 24;
     for (i, x) in stream.iter().enumerate() {
-        let mut votes = [0i64; 2];
+        let mut votes = vec![0i64; num_cores];
         for dep in x.deps.iter().flatten() {
             let p = dep.producer as usize;
             if p < i {
@@ -171,10 +230,17 @@ fn assign_greedy(stream: &[ExecInst]) -> Vec<u8> {
                 votes[assign[p] as usize] += 1;
             }
         }
-        let preferred = if votes[1] > votes[0] { 1usize } else { 0 };
-        let other = 1 - preferred;
-        let c = if counts[preferred] - counts[other] > MAX_IMBALANCE {
-            other
+        // Steer to the most-voted core (ties toward the lowest index);
+        // bail out to the least-loaded core when the balance guard trips.
+        let mut preferred = 0;
+        for (c, &v) in votes.iter().enumerate().skip(1) {
+            if v > votes[preferred] {
+                preferred = c;
+            }
+        }
+        let least = argmin(&counts);
+        let c = if counts[preferred] - counts[least] > MAX_IMBALANCE {
+            least
         } else {
             preferred
         };
@@ -187,7 +253,7 @@ fn assign_greedy(stream: &[ExecInst]) -> Vec<u8> {
 /// Computes the transitive *replicable closure*: an instruction is
 /// replicable when it is a single-cycle integer ALU operation whose
 /// operands are themselves replicable (or constants). These are the cheap
-/// address/induction chains Fg-STP clones onto both cores instead of
+/// address/induction chains Fg-STP clones onto other cores instead of
 /// communicating, so the partitioner treats their values as available
 /// everywhere.
 fn replicable_closure(stream: &[ExecInst]) -> Vec<bool> {
@@ -210,6 +276,7 @@ fn assign_lookahead(
     window: usize,
     refine_passes: usize,
     balance_slack: f64,
+    num_cores: usize,
 ) -> Vec<u8> {
     let replicable = replicable_closure(stream);
     let mut assign = vec![0u8; stream.len()];
@@ -226,6 +293,7 @@ fn assign_lookahead(
             &replicable,
             refine_passes,
             balance_slack,
+            num_cores,
         );
         assign[base..end].copy_from_slice(&local);
         base = end;
@@ -233,14 +301,15 @@ fn assign_lookahead(
     assign
 }
 
-/// Assigns one window: chain-following placement seeded by the two longest
+/// Assigns one window: chain-following placement seeded by the N longest
 /// disjoint dependence chains, plus boundary refinement.
 ///
 /// Placement follows the *critical producer*: an instruction goes to the
 /// core that produces its latest-arriving non-replicable operand, so
 /// serial chains never absorb queue latency. Instructions whose operands
-/// are all replicable (or absent) start new chains on the less-loaded
+/// are all replicable (or absent) start new chains on the least-loaded
 /// core — this is where the load balance between the cores comes from.
+#[allow(clippy::too_many_arguments)]
 fn assign_window(
     win: &[ExecInst],
     g: &DepGraph,
@@ -249,26 +318,30 @@ fn assign_window(
     replicable: &[bool],
     refine_passes: usize,
     balance_slack: f64,
+    num_cores: usize,
 ) -> Vec<u8> {
     let n = win.len();
     let mut assign = vec![u8::MAX; n];
-    let mut load = [0u64; 2];
+    let mut load = vec![0u64; num_cores];
     let depth = g.depth_from_sources();
     // A producer whose value is free everywhere does not constrain
     // placement.
     let effective = |p_global: usize| !replicable[p_global];
 
-    // Seed the two longest disjoint chains, one per core.
-    let chain0 = g.critical_path();
+    // Seed each core with the longest dependence chain disjoint from the
+    // chains already placed (core 0 gets the window's critical path).
     let mut excluded = vec![false; n];
-    for &i in &chain0 {
-        assign[i] = 0;
-        load[0] += g.weight(i);
-        excluded[i] = true;
-    }
-    for &i in &g.longest_chain(&excluded) {
-        assign[i] = 1;
-        load[1] += g.weight(i);
+    for (core, core_load) in load.iter_mut().enumerate() {
+        let chain = if core == 0 {
+            g.critical_path()
+        } else {
+            g.longest_chain(&excluded)
+        };
+        for &i in &chain {
+            assign[i] = core as u8;
+            *core_load += g.weight(i);
+            excluded[i] = true;
+        }
     }
 
     // Chain-following growth, in program order (every in-window producer
@@ -282,7 +355,7 @@ fn assign_window(
     //    created later only where actually needed;
     // 3. a non-replicable node fed only by replicable chains (a load off
     //    an induction variable, the head of a fresh computation) is a
-    //    *balance point*: it starts on the less-loaded core. This is
+    //    *balance point*: it starts on the least-loaded core. This is
     //    where Fg-STP's parallelism comes from.
     for i in 0..n {
         if assign[i] != u8::MAX {
@@ -316,66 +389,62 @@ fn assign_window(
             c
         } else if replicable[base + i] {
             // Keep replicable chains cohesive wherever their own chain
-            // lives; fall back to the less-loaded core for chain heads.
+            // lives; fall back to the least-loaded core for chain heads.
             deepest(false)
                 .map(|(_, c)| c)
                 .or_else(|| external(false))
-                .unwrap_or(usize::from(load[1] < load[0]))
+                .unwrap_or_else(|| argmin(&load))
         } else {
             // A fresh computation rooted only in replicable values: start
-            // it on the less-loaded core.
-            usize::from(load[1] < load[0])
+            // it on the least-loaded core.
+            argmin(&load)
         };
         assign[i] = c as u8;
         load[c] += g.weight(i);
     }
 
-    // Boundary refinement: migrate nodes whose effective cross edges
-    // outnumber their effective local edges, within the balance slack.
+    // Boundary refinement: migrate a node to the core holding more of its
+    // effective edges than its current core does (the move converts that
+    // core's edges to local and the current local edges to cross; edges to
+    // third cores stay cross either way), within the balance slack.
     let total: u64 = (0..n).map(|i| g.weight(i)).sum();
     let slack = ((total as f64 * balance_slack) as u64).max(2 * g.weight(0).max(1));
     for _ in 0..refine_passes {
         let mut changed = false;
         for i in 0..n {
             let here = assign[i] as usize;
-            let there = 1 - here;
-            let mut local_edges = 0i64;
-            let mut cross_edges = 0i64;
+            // Effective-edge affinity per core.
+            let mut edges = vec![0i64; num_cores];
             for &p in g.preds(i) {
-                if !effective(base + p) {
-                    continue;
-                }
-                if assign[p] as usize == here {
-                    local_edges += 1;
-                } else {
-                    cross_edges += 1;
+                if effective(base + p) {
+                    edges[assign[p] as usize] += 1;
                 }
             }
-            for &s in g.succs(i) {
-                if !effective(base + i) {
-                    continue;
-                }
-                if assign[s] as usize == here {
-                    local_edges += 1;
-                } else {
-                    cross_edges += 1;
+            if effective(base + i) {
+                for &s in g.succs(i) {
+                    edges[assign[s] as usize] += 1;
                 }
             }
             for dep in win[i].deps.iter().flatten() {
                 let p = dep.producer as usize;
                 if p < base && effective(p) {
-                    if prior[p] as usize == here {
-                        local_edges += 1;
-                    } else {
-                        cross_edges += 1;
-                    }
+                    edges[prior[p] as usize] += 1;
                 }
             }
-            let gain = cross_edges - local_edges;
             let w = g.weight(i);
-            let balanced_after =
-                load[there] + w <= load[here].saturating_sub(w).max(load[there]) + slack;
-            if gain > 0 && balanced_after {
+            let mut best: Option<(i64, usize)> = None;
+            for (there, &e) in edges.iter().enumerate() {
+                if there == here {
+                    continue;
+                }
+                let gain = e - edges[here];
+                let balanced_after =
+                    load[there] + w <= load[here].saturating_sub(w).max(load[there]) + slack;
+                if gain > 0 && balanced_after && best.is_none_or(|(bg, _)| gain > bg) {
+                    best = Some((gain, there));
+                }
+            }
+            if let Some((_, there)) = best {
                 assign[i] = there as u8;
                 load[here] -= w;
                 load[there] += w;
@@ -391,53 +460,60 @@ fn assign_window(
 
 /// Decides which instructions to replicate: replicable producers (cheap
 /// integer chains — see [`replicable_closure`]) whose value is needed on
-/// the other core, either by a remote consumer directly or transitively by
-/// a replica of one of their consumers.
+/// another core, either by a remote consumer directly or transitively by
+/// a replica of one of their consumers. Returns, per instruction, the
+/// bitmask of cores a replica is placed on.
 ///
 /// The pass runs in reverse program order so a whole address/induction
 /// chain replicates together: when a consumer's replica needs its
 /// producer remotely, the producer (if replicable) replicates too.
-fn plan_replication(stream: &[ExecInst], assign: &[u8]) -> Vec<bool> {
+fn plan_replication(stream: &[ExecInst], assign: &[u8]) -> Vec<u64> {
     let replicable = replicable_closure(stream);
-    let mut replicated = vec![false; stream.len()];
-    // needed_on[p][c]: p's value must be locally available on core c.
-    let mut needed_on = vec![[false; 2]; stream.len()];
+    let mut replica_on = vec![0u64; stream.len()];
+    // needed_on[p]: bitmask of cores where p's value must be locally
+    // available.
+    let mut needed_on = vec![0u64; stream.len()];
     for (i, x) in stream.iter().enumerate().rev() {
-        let home = assign[i] as usize;
-        let away = 1 - home;
-        if needed_on[i][away] && replicable[i] {
-            replicated[i] = true;
+        let home = 1u64 << assign[i];
+        if replicable[i] {
+            replica_on[i] = needed_on[i] & !home;
         }
-        // The primary copy executes on `home`; a replica also executes on
-        // `away`. Each copy needs the operands on its own core.
+        // The primary copy executes on the home core; replicas also
+        // execute on every core in `replica_on`. Each copy needs the
+        // operands on its own core.
         for dep in x.deps.iter().flatten() {
-            let p = dep.producer as usize;
-            needed_on[p][home] = true;
-            if replicated[i] {
-                needed_on[p][away] = true;
-            }
+            needed_on[dep.producer as usize] |= home | replica_on[i];
         }
     }
-    replicated
+    replica_on
 }
 
-/// Builds the two per-core streams with final cross/sends annotations.
-fn materialize(stream: &[ExecInst], assign: Vec<u8>, replicated: Vec<bool>) -> PartitionedStream {
+/// Builds the per-core streams with final cross/sends annotations.
+fn materialize(
+    stream: &[ExecInst],
+    assign: Vec<u8>,
+    replica_on: Vec<u64>,
+    num_cores: usize,
+) -> PartitionedStream {
     let mut out = PartitionedStream {
-        streams: [Vec::new(), Vec::new()],
+        streams: vec![Vec::new(); num_cores],
         load_barriers: HashMap::new(),
-        stats: PartitionStats::default(),
+        stats: PartitionStats {
+            insts: vec![0; num_cores],
+            ..PartitionStats::default()
+        },
         ..Default::default()
     };
-    // `sends[p]`: producer p's value is consumed remotely without a replica.
-    let mut sends = vec![false; stream.len()];
-    let available_on = |p: usize, core: u8| assign[p] == core || replicated[p];
+    // `send_to[p]`: cores where p's value is consumed without being
+    // computed or replicated there.
+    let mut send_to = vec![0u64; stream.len()];
+    let available_on = |p: usize, core: u8| assign[p] == core || replica_on[p] & (1 << core) != 0;
     for (i, x) in stream.iter().enumerate() {
         let c = assign[i];
         for dep in x.deps.iter().flatten() {
             let p = dep.producer as usize;
             if !available_on(p, c) {
-                sends[p] = true;
+                send_to[p] |= 1 << c;
                 out.stats.cross_reg_deps += 1;
             }
         }
@@ -447,7 +523,7 @@ fn materialize(stream: &[ExecInst], assign: Vec<u8>, replicated: Vec<bool>) -> P
             }
         }
     }
-    let mut last_store: [Option<u64>; 2] = [None, None];
+    let mut last_store: Vec<Option<u64>> = vec![None; num_cores];
     for (i, x) in stream.iter().enumerate() {
         let c = assign[i];
         let fix = |x: &ExecInst, core: u8| -> ExecInst {
@@ -462,11 +538,13 @@ fn materialize(stream: &[ExecInst], assign: Vec<u8>, replicated: Vec<bool>) -> P
             y
         };
         let mut primary = fix(x, c);
-        primary.sends = sends[i];
+        primary.sends = send_to[i] != 0;
         out.streams[c as usize].push(primary);
         out.stats.insts[c as usize] += 1;
-        if replicated[i] {
-            let other = 1 - c;
+        let mut mask = replica_on[i];
+        while mask != 0 {
+            let other = mask.trailing_zeros() as u8;
+            mask &= mask - 1;
             let mut replica = fix(x, other);
             replica.replica = true;
             replica.sends = false;
@@ -474,8 +552,15 @@ fn materialize(stream: &[ExecInst], assign: Vec<u8>, replicated: Vec<bool>) -> P
             out.stats.replicated += 1;
         }
         if x.is_load() {
-            if let Some(barrier) = last_store[1 - c as usize] {
-                out.load_barriers.insert(x.gseq, barrier);
+            // Youngest older store on any *other* core.
+            let barrier = last_store
+                .iter()
+                .enumerate()
+                .filter(|&(k, _)| k != c as usize)
+                .filter_map(|(_, &s)| s)
+                .max();
+            if let Some(b) = barrier {
+                out.load_barriers.insert(x.gseq, b);
             }
         }
         if x.is_store() {
@@ -483,7 +568,9 @@ fn materialize(stream: &[ExecInst], assign: Vec<u8>, replicated: Vec<bool>) -> P
         }
     }
     out.assign = assign;
-    out.replicated = replicated;
+    out.replicated = replica_on.iter().map(|&m| m != 0).collect();
+    out.replica_on = replica_on;
+    out.send_targets = send_to;
     out
 }
 
@@ -499,14 +586,23 @@ mod tests {
         build_exec_stream(t.insts())
     }
 
-    /// Two completely independent chains interleaved.
-    fn two_chains() -> Vec<ExecInst> {
-        let mut src = String::from("li x1, 1\nli x2, 1\n");
+    /// `chains` completely independent chains interleaved.
+    fn n_chains(chains: usize) -> Vec<ExecInst> {
+        let mut src = String::new();
+        for c in 0..chains {
+            src.push_str(&format!("li x{}, 1\n", c + 1));
+        }
         for _ in 0..50 {
-            src.push_str("add x1, x1, x1\nadd x2, x2, x2\n");
+            for c in 0..chains {
+                src.push_str(&format!("add x{r}, x{r}, x{r}\n", r = c + 1));
+            }
         }
         src.push_str("halt\n");
         stream(&src)
+    }
+
+    fn two_chains() -> Vec<ExecInst> {
+        n_chains(2)
     }
 
     #[test]
@@ -519,8 +615,25 @@ mod tests {
                 replication: false,
                 balance_slack: 0.15,
             },
+            2,
         );
         assert_eq!(&p.assign[0..8], &[0, 0, 0, 0, 1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn modn_cycles_through_all_cores() {
+        let s = two_chains();
+        let p = partition_stream(
+            &s,
+            &PartitionConfig {
+                policy: PartitionPolicy::ModN { chunk: 2 },
+                replication: false,
+                balance_slack: 0.15,
+            },
+            3,
+        );
+        assert_eq!(&p.assign[0..8], &[0, 0, 1, 1, 2, 2, 0, 0]);
+        assert_eq!(p.num_cores(), 3);
     }
 
     #[test]
@@ -533,6 +646,7 @@ mod tests {
                 replication: false,
                 balance_slack: 0.15,
             },
+            2,
         );
         // The two chains should mostly land on different cores, producing
         // very few cross deps.
@@ -555,6 +669,7 @@ mod tests {
                 replication: false,
                 balance_slack: 0.15,
             },
+            2,
         );
         let smart = partition_stream(
             &s,
@@ -563,12 +678,37 @@ mod tests {
                 replication: false,
                 balance_slack: 0.15,
             },
+            2,
         );
         assert!(
             smart.stats.cross_reg_deps < naive.stats.cross_reg_deps,
             "lookahead {} should cut less than modn {}",
             smart.stats.cross_reg_deps,
             naive.stats.cross_reg_deps
+        );
+    }
+
+    #[test]
+    fn four_chains_spread_over_four_cores() {
+        let s = n_chains(4);
+        let p = partition_stream(
+            &s,
+            &PartitionConfig {
+                policy: PartitionPolicy::fgstp_default(),
+                replication: false,
+                balance_slack: 0.2,
+            },
+            4,
+        );
+        // Four independent chains: every core gets real work and the cut
+        // stays tiny.
+        for (c, &n) in p.stats.insts.iter().enumerate() {
+            assert!(n > 0, "core {c} got no instructions: {:?}", p.stats.insts);
+        }
+        assert!(
+            p.stats.comms_per_inst() < 0.1,
+            "independent chains need almost no communication, got {}",
+            p.stats.comms_per_inst()
         );
     }
 
@@ -587,6 +727,7 @@ mod tests {
                 replication: false,
                 ..PartitionConfig::default()
             },
+            2,
         );
         let with = partition_stream(
             &s,
@@ -594,6 +735,7 @@ mod tests {
                 replication: true,
                 ..PartitionConfig::default()
             },
+            2,
         );
         assert!(with.stats.replicated > 0, "the shared li should replicate");
         assert!(
@@ -607,7 +749,7 @@ mod tests {
     #[test]
     fn replicas_appear_in_both_streams_in_order() {
         let s = two_chains();
-        let p = partition_stream(&s, &PartitionConfig::default());
+        let p = partition_stream(&s, &PartitionConfig::default(), 2);
         let total: usize = p.streams.iter().map(Vec::len).sum();
         assert_eq!(total as u64, s.len() as u64 + p.stats.replicated);
         for st in &p.streams {
@@ -623,13 +765,16 @@ mod tests {
     #[test]
     fn cross_flags_match_assignment() {
         let s = two_chains();
-        let p = partition_stream(&s, &PartitionConfig::default());
-        for (core, st) in p.streams.iter().enumerate() {
-            for x in st {
-                for dep in x.deps.iter().flatten() {
-                    let prod = dep.producer as usize;
-                    let local = p.assign[prod] as usize == core || p.replicated[prod];
-                    assert_eq!(dep.cross, !local, "inst {} dep {}", x.gseq, dep.producer);
+        for n in [2usize, 3] {
+            let p = partition_stream(&s, &PartitionConfig::default(), n);
+            for (core, st) in p.streams.iter().enumerate() {
+                for x in st {
+                    for dep in x.deps.iter().flatten() {
+                        let prod = dep.producer as usize;
+                        let local = p.assign[prod] as usize == core
+                            || p.replica_on[prod] & (1 << core) != 0;
+                        assert_eq!(dep.cross, !local, "inst {} dep {}", x.gseq, dep.producer);
+                    }
                 }
             }
         }
@@ -654,6 +799,7 @@ mod tests {
                 replication: false,
                 balance_slack: 0.15,
             },
+            2,
         );
         // chunk 3: seqs 0,1,2 on core 0; 3,4,5 on core 1.
         // Load 4 (core 1) has older store 2 on core 0 -> barrier.
@@ -667,9 +813,9 @@ mod tests {
     #[test]
     fn sends_marked_only_for_remote_consumers() {
         let s = two_chains();
-        let p = partition_stream(&s, &PartitionConfig::default());
+        let p = partition_stream(&s, &PartitionConfig::default(), 2);
         // Count sends in streams and verify every cross dep has a sending
-        // producer.
+        // producer targeting the consumer's core.
         let mut senders = std::collections::HashSet::new();
         for st in &p.streams {
             for x in st {
@@ -678,13 +824,19 @@ mod tests {
                 }
             }
         }
-        for st in &p.streams {
+        for (core, st) in p.streams.iter().enumerate() {
             for x in st {
                 for dep in x.deps.iter().flatten() {
                     if dep.cross {
                         assert!(
                             senders.contains(&dep.producer),
                             "cross dep on {} lacks a sender",
+                            dep.producer
+                        );
+                        assert_ne!(
+                            p.send_targets[dep.producer as usize] & (1 << core),
+                            0,
+                            "producer {} does not target core {core}",
                             dep.producer
                         );
                     }
@@ -694,9 +846,29 @@ mod tests {
     }
 
     #[test]
+    fn single_core_partition_is_trivial() {
+        let s = two_chains();
+        let p = partition_stream(&s, &PartitionConfig::default(), 1);
+        assert_eq!(p.num_cores(), 1);
+        assert_eq!(p.streams[0].len(), s.len());
+        assert!(p.assign.iter().all(|&c| c == 0));
+        assert_eq!(p.stats.cross_reg_deps, 0);
+        assert_eq!(p.stats.replicated, 0);
+        assert!(p.load_barriers.is_empty());
+        assert!(p.send_targets.iter().all(|&m| m == 0));
+    }
+
+    #[test]
     fn empty_stream_partitions_to_empty() {
-        let p = partition_stream(&[], &PartitionConfig::default());
-        assert!(p.streams[0].is_empty() && p.streams[1].is_empty());
-        assert_eq!(p.stats, PartitionStats::default());
+        let p = partition_stream(&[], &PartitionConfig::default(), 2);
+        assert!(p.streams.iter().all(Vec::is_empty));
+        assert_eq!(p.stats.total_insts(), 0);
+        assert_eq!(p.stats.cross_reg_deps, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "num_cores")]
+    fn zero_cores_is_rejected() {
+        partition_stream(&[], &PartitionConfig::default(), 0);
     }
 }

@@ -146,6 +146,7 @@ fn lookahead_balances_independent_chains() {
                 replication: false,
                 balance_slack: 0.2,
             },
+            2,
         );
         let balance = part.stats.balance();
         assert!(

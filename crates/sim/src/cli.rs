@@ -3,11 +3,12 @@
 //! Subcommands:
 //!
 //! * `list` — the workload suite;
-//! * `run <workload> [machine] [scale] [--cpi-stack] [--chrome-trace <path>]`
-//!   — one run with full statistics; `--cpi-stack` appends the cycle
+//! * `run <workload> [machine] [scale] [--cores N] [--cpi-stack]
+//!   [--chrome-trace <path>]` — one run with full statistics; `--cores`
+//!   overrides the Fg-STP core count, `--cpi-stack` appends the cycle
 //!   accounting breakdown and `--chrome-trace` writes a Chrome
 //!   `trace_event` JSON timeline loadable in Perfetto / `chrome://tracing`;
-//! * `compare <workload> [scale]` — all six machines side by side;
+//! * `compare <workload> [scale]` — the paper's six machines side by side;
 //! * `pipeview <workload> [first..last]` — render the pipeline timeline of
 //!   a range of instructions on the small core.
 //!
@@ -23,7 +24,7 @@ use fgstp_workloads::{by_name, suite, Scale};
 
 use crate::presets::MachineKind;
 use crate::report::Table;
-use crate::runner::{run_on, run_on_instrumented};
+use crate::runner::{run_on_instrumented_with_cores, run_on_with_cores};
 use crate::session::Session;
 
 /// Error for unknown CLI inputs, carrying a usage hint.
@@ -53,11 +54,14 @@ fn parse_machine(s: Option<&str>) -> Result<MachineKind, CliError> {
     let Some(s) = s else {
         return Ok(MachineKind::FgstpSmall);
     };
-    MachineKind::ALL
+    MachineKind::WITH_SCALING
         .into_iter()
         .find(|k| k.label() == s)
         .ok_or_else(|| {
-            let labels: Vec<&str> = MachineKind::ALL.iter().map(|k| k.label()).collect();
+            let labels: Vec<&str> = MachineKind::WITH_SCALING
+                .iter()
+                .map(|k| k.label())
+                .collect();
             CliError(format!(
                 "unknown machine `{s}` (one of: {})",
                 labels.join(", ")
@@ -88,16 +92,18 @@ pub fn list() -> String {
 /// position is accepted too (`run hmmer_dp test`), since users naturally
 /// drop the machine.
 pub fn run(workload: &str, machine: Option<&str>, scale: Option<&str>) -> Result<String, CliError> {
-    run_instrumented(workload, machine, scale, false, None)
+    run_instrumented(workload, machine, scale, None, false, None)
 }
 
-/// `run` with the observability flags: `cpi_stack` appends the CPI-stack
-/// breakdown, `chrome_trace` writes the per-core stall timeline as Chrome
+/// `run` with the overrides and observability flags: `cores` overrides the
+/// Fg-STP core count, `cpi_stack` appends the CPI-stack breakdown,
+/// `chrome_trace` writes the per-core stall timeline as Chrome
 /// `trace_event` JSON to the given path.
 pub fn run_instrumented(
     workload: &str,
     machine: Option<&str>,
     scale: Option<&str>,
+    cores: Option<usize>,
     cpi_stack: bool,
     chrome_trace: Option<&str>,
 ) -> Result<String, CliError> {
@@ -109,13 +115,21 @@ pub fn run_instrumented(
     };
     let scale = parse_scale(scale)?;
     let kind = parse_machine(machine)?;
+    if cores.is_some() && !kind.is_fgstp() {
+        return Err(CliError(format!(
+            "--cores only applies to Fg-STP machines, not {kind}"
+        )));
+    }
+    if cores == Some(0) {
+        return Err(CliError("--cores needs at least one core".to_owned()));
+    }
     let w = find_workload(workload, scale)?;
     let trace = Session::new().scale(scale).trace(&w);
     let instrumented = cpi_stack || chrome_trace.is_some();
     let (r, episodes) = if instrumented {
-        run_on_instrumented(kind, trace.insts(), chrome_trace.is_some())
+        run_on_instrumented_with_cores(kind, trace.insts(), chrome_trace.is_some(), cores)
     } else {
-        (run_on(kind, trace.insts()), Vec::new())
+        (run_on_with_cores(kind, trace.insts(), cores), Vec::new())
     };
     let mut out = String::new();
     let _ = writeln!(
@@ -146,11 +160,11 @@ pub fn run_instrumented(
     }
     let _ = writeln!(out, "l2:        {}", r.result.mem.l2);
     if let Some(s) = &r.fgstp {
+        let per_core: Vec<String> = s.partition.insts.iter().map(u64::to_string).collect();
         let _ = writeln!(
             out,
-            "partition: {}/{} insts, {} replicated, {} comms ({:.2}/100 insts)",
-            s.partition.insts[0],
-            s.partition.insts[1],
+            "partition: {} insts, {} replicated, {} comms ({:.2}/100 insts)",
+            per_core.join("/"),
             s.partition.replicated,
             s.partition.cross_reg_deps,
             100.0 * s.partition.comms_per_inst(),
@@ -239,29 +253,34 @@ pub fn pipeview(workload: &str, range: Option<&str>) -> Result<String, CliError>
     Ok(rec.expect("recorder attached").render(from, to))
 }
 
-/// `pipeview2 <workload> [first..last]`: side-by-side two-core timeline of
+/// `pipeview2 <workload> [first..last]`: side-by-side per-core timeline of
 /// the Fg-STP machine, showing the partitioned execution (replica rows
-/// appear on both cores).
+/// appear on every core holding a copy).
 pub fn pipeview2(workload: &str, range: Option<&str>) -> Result<String, CliError> {
     let (from, to) = parse_range(range)?;
     let w = find_workload(workload, Scale::Test)?;
     let trace = Session::new().scale(Scale::Test).trace(&w);
+    let cfg = fgstp::FgstpConfig::small();
+    let recorders = (0..cfg.num_cores)
+        .map(|_| PipeRecorder::with_limit(to))
+        .collect();
     let (_, stats, recs) = fgstp::run_fgstp_recorded(
         trace.insts(),
-        &fgstp::FgstpConfig::small(),
-        &fgstp_mem::HierarchyConfig::small(2),
-        Some([PipeRecorder::with_limit(to), PipeRecorder::with_limit(to)]),
+        &cfg,
+        &fgstp_mem::HierarchyConfig::small(cfg.num_cores),
+        Some(recorders),
     );
-    let [r0, r1] = recs.expect("recorders attached");
-    Ok(format!(
-        "partition: {}/{} instructions, {} replicated, {} communications\n\n--- core 0 ---\n{}\n--- core 1 ---\n{}",
-        stats.partition.insts[0],
-        stats.partition.insts[1],
+    let per_core: Vec<String> = stats.partition.insts.iter().map(u64::to_string).collect();
+    let mut out = format!(
+        "partition: {} instructions, {} replicated, {} communications\n",
+        per_core.join("/"),
         stats.partition.replicated,
         stats.partition.cross_reg_deps,
-        r0.render(from, to),
-        r1.render(from, to),
-    ))
+    );
+    for (i, rec) in recs.expect("recorders attached").iter().enumerate() {
+        let _ = write!(out, "\n--- core {i} ---\n{}", rec.render(from, to));
+    }
+    Ok(out)
 }
 
 fn parse_range(range: Option<&str>) -> Result<(u64, u64), CliError> {
@@ -293,6 +312,7 @@ pub fn dispatch(args: &[String]) -> Result<String, CliError> {
         ["run", w, rest @ ..] => {
             let mut cpi_stack = false;
             let mut chrome_trace: Option<&str> = None;
+            let mut cores: Option<usize> = None;
             let mut positional: Vec<&str> = Vec::new();
             let mut it = rest.iter();
             while let Some(&a) = it.next() {
@@ -303,6 +323,16 @@ pub fn dispatch(args: &[String]) -> Result<String, CliError> {
                             CliError("--chrome-trace needs an output path".to_owned())
                         })?);
                     }
+                    "--cores" => {
+                        let n = it
+                            .next()
+                            .copied()
+                            .ok_or_else(|| CliError("--cores needs a count".to_owned()))?;
+                        cores = Some(
+                            n.parse()
+                                .map_err(|_| CliError(format!("bad core count `{n}`")))?,
+                        );
+                    }
                     _ => positional.push(a),
                 }
             }
@@ -310,6 +340,7 @@ pub fn dispatch(args: &[String]) -> Result<String, CliError> {
                 w,
                 positional.first().copied(),
                 positional.get(1).copied(),
+                cores,
                 cpi_stack,
                 chrome_trace,
             )
@@ -318,7 +349,7 @@ pub fn dispatch(args: &[String]) -> Result<String, CliError> {
         ["pipeview", w, rest @ ..] => pipeview(w, rest.first().copied()),
         ["pipeview2", w, rest @ ..] => pipeview2(w, rest.first().copied()),
         _ => Err(CliError(
-            "usage: fgstpsim <list | run <workload> [machine] [scale] [--cpi-stack] [--chrome-trace <path>] | compare <workload> [scale] | pipeview <workload> [first..last] | pipeview2 <workload> [first..last]>"
+            "usage: fgstpsim <list | run <workload> [machine] [scale] [--cores N] [--cpi-stack] [--chrome-trace <path>] | compare <workload> [scale] | pipeview <workload> [first..last] | pipeview2 <workload> [first..last]>"
                 .to_owned(),
         )),
     }
@@ -431,5 +462,44 @@ mod tests {
         assert!(out.contains("--- core 0 ---"));
         assert!(out.contains("--- core 1 ---"));
         assert!(out.contains("partition:"));
+    }
+
+    #[test]
+    fn cores_flag_overrides_the_fgstp_core_count() {
+        let out = dispatch(&[
+            "run".into(),
+            "hmmer_dp".into(),
+            "fgstp-small".into(),
+            "test".into(),
+            "--cores".into(),
+            "3".into(),
+        ])
+        .unwrap();
+        assert!(out.contains("core 2:"), "{out}");
+        assert!(!out.contains("core 3:"), "{out}");
+    }
+
+    #[test]
+    fn cores_flag_rejects_bad_inputs() {
+        assert!(
+            run_instrumented("hmmer_dp", Some("single-small"), None, Some(2), false, None).is_err()
+        );
+        assert!(run_instrumented("hmmer_dp", None, None, Some(0), false, None).is_err());
+        let e = dispatch(&["run".into(), "hmmer_dp".into(), "--cores".into()]);
+        assert!(e.is_err());
+        let e = dispatch(&[
+            "run".into(),
+            "hmmer_dp".into(),
+            "--cores".into(),
+            "many".into(),
+        ]);
+        assert!(e.is_err());
+    }
+
+    #[test]
+    fn scaling_presets_are_reachable_by_label() {
+        let out = run("hmmer_dp", Some("fgstp-small-4"), Some("test")).unwrap();
+        assert!(out.contains("core 3:"), "{out}");
+        assert!(out.contains("fgstp-small-4"), "{out}");
     }
 }

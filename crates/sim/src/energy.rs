@@ -139,8 +139,8 @@ fn memory_energy(m: &EnergyModel, result: &RunResult) -> f64 {
     l1 as f64 * m.l1_access + l2 as f64 * m.l2_access + dram as f64 * m.dram_access
 }
 
-/// Computes the energy breakdown of one machine run on a 2-core CMP
-/// (the unused partner core of a single-core run idles, power-gated).
+/// Computes the energy breakdown of one machine run on the CMP (unused
+/// partner cores of a single-core run idle, power-gated).
 pub fn energy_of(m: &EnergyModel, run: &MachineRun) -> EnergyBreakdown {
     let result = &run.result;
     let fused = matches!(run.kind, MachineKind::FusedSmall | MachineKind::FusedMedium);
@@ -149,16 +149,19 @@ pub fn energy_of(m: &EnergyModel, run: &MachineRun) -> EnergyBreakdown {
     let communication = run
         .fgstp
         .as_ref()
-        .map(|s| (s.deliveries[0] + s.deliveries[1]) as f64 * m.queue_transfer)
+        .map(|s| s.comm_total().sends as f64 * m.queue_transfer)
         .unwrap_or(0.0);
-    // Active cores: both for fused and Fg-STP, one for the baselines; the
-    // second core of the CMP idles power-gated in single-core runs.
-    let active_cores = if run.fgstp.is_some() || fused {
+    // Active cores: two for fused (two merged cores), every partitioned
+    // core for Fg-STP, one for the baselines; unused CMP cores idle
+    // power-gated.
+    let active_cores = if fused {
         2.0
+    } else if run.fgstp.is_some() {
+        result.cores.len() as f64
     } else {
         1.0
     };
-    let idle_cores = 2.0 - active_cores;
+    let idle_cores = (2.0 - active_cores).max(0.0);
     let static_energy =
         result.cycles as f64 * (active_cores * m.static_active + idle_cores * m.static_idle);
     EnergyBreakdown {

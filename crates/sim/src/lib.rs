@@ -50,5 +50,8 @@ pub use fgstp_telemetry::{write_chrome_trace, CpiStack, Episode, StallCategory};
 pub use fgstp_workloads::{Scale, SuiteClass, Workload};
 pub use presets::MachineKind;
 pub use report::{cpi_stack_table, speedup_table, SpeedupSummary, Table};
-pub use runner::{geomean, run_on, run_on_instrumented, run_suite, BenchResult, MachineRun};
+pub use runner::{
+    geomean, run_on, run_on_instrumented, run_on_instrumented_with_cores, run_on_with_cores,
+    run_suite, BenchResult, MachineRun,
+};
 pub use session::{CacheStats, RunPlan, Session};

@@ -26,10 +26,15 @@ pub enum MachineKind {
     FgstpSmall,
     /// Fg-STP on two medium cores.
     FgstpMedium,
+    /// Fg-STP on four small cores (scaling study, E13).
+    FgstpSmall4,
+    /// Fg-STP on four medium cores (scaling study, E13).
+    FgstpMedium4,
 }
 
 impl MachineKind {
-    /// All presets, small CMP first.
+    /// The paper's presets, small CMP first (the scaling extensions are in
+    /// [`MachineKind::WITH_SCALING`]).
     pub const ALL: [MachineKind; 6] = [
         MachineKind::SingleSmall,
         MachineKind::FusedSmall,
@@ -37,6 +42,18 @@ impl MachineKind {
         MachineKind::SingleMedium,
         MachineKind::FusedMedium,
         MachineKind::FgstpMedium,
+    ];
+
+    /// Every preset, including the 4-core scaling extensions.
+    pub const WITH_SCALING: [MachineKind; 8] = [
+        MachineKind::SingleSmall,
+        MachineKind::FusedSmall,
+        MachineKind::FgstpSmall,
+        MachineKind::FgstpSmall4,
+        MachineKind::SingleMedium,
+        MachineKind::FusedMedium,
+        MachineKind::FgstpMedium,
+        MachineKind::FgstpMedium4,
     ];
 
     /// The three machines of the small 2-core CMP comparison (E1).
@@ -62,19 +79,30 @@ impl MachineKind {
             MachineKind::FusedMedium => "fused-medium",
             MachineKind::FgstpSmall => "fgstp-small",
             MachineKind::FgstpMedium => "fgstp-medium",
+            MachineKind::FgstpSmall4 => "fgstp-small-4",
+            MachineKind::FgstpMedium4 => "fgstp-medium-4",
         }
     }
 
-    /// Whether this machine is the Fg-STP dual-core configuration.
+    /// Whether this machine is an Fg-STP configuration.
     pub fn is_fgstp(self) -> bool {
-        matches!(self, MachineKind::FgstpSmall | MachineKind::FgstpMedium)
+        matches!(
+            self,
+            MachineKind::FgstpSmall
+                | MachineKind::FgstpMedium
+                | MachineKind::FgstpSmall4
+                | MachineKind::FgstpMedium4
+        )
     }
 
     /// Whether the preset is built from the small base core.
     pub fn is_small_base(self) -> bool {
         matches!(
             self,
-            MachineKind::SingleSmall | MachineKind::FusedSmall | MachineKind::FgstpSmall
+            MachineKind::SingleSmall
+                | MachineKind::FusedSmall
+                | MachineKind::FgstpSmall
+                | MachineKind::FgstpSmall4
         )
     }
 
@@ -86,7 +114,10 @@ impl MachineKind {
             MachineKind::SingleMedium => Some(CoreConfig::medium()),
             MachineKind::FusedSmall => Some(CoreConfig::fused(&CoreConfig::small())),
             MachineKind::FusedMedium => Some(CoreConfig::fused(&CoreConfig::medium())),
-            MachineKind::FgstpSmall | MachineKind::FgstpMedium => None,
+            MachineKind::FgstpSmall
+            | MachineKind::FgstpMedium
+            | MachineKind::FgstpSmall4
+            | MachineKind::FgstpMedium4 => None,
         }
     }
 
@@ -96,8 +127,16 @@ impl MachineKind {
         match self {
             MachineKind::FgstpSmall => Some(FgstpConfig::small()),
             MachineKind::FgstpMedium => Some(FgstpConfig::medium()),
+            MachineKind::FgstpSmall4 => Some(FgstpConfig::small().with_cores(4)),
+            MachineKind::FgstpMedium4 => Some(FgstpConfig::medium().with_cores(4)),
             _ => None,
         }
+    }
+
+    /// Number of cores the preset's timing machine drives (1 for the
+    /// single-core and fused presets, `num_cores` for Fg-STP).
+    pub fn cores(self) -> usize {
+        self.try_fgstp_config().map(|c| c.num_cores).unwrap_or(1)
     }
 
     /// Core configuration for the non-Fg-STP presets.
@@ -125,10 +164,15 @@ impl MachineKind {
 
     /// Memory-hierarchy configuration for this preset.
     ///
-    /// The single-core baselines still get the 2-core CMP's shared L2 (one
-    /// core idles); per-core L1s are private in every preset.
+    /// The single-core baselines still get the CMP's shared L2 (partner
+    /// cores idle); per-core L1s are private in every preset.
     pub fn hierarchy_config(self) -> HierarchyConfig {
-        let cores = if self.is_fgstp() { 2 } else { 1 };
+        self.hierarchy_for(self.cores())
+    }
+
+    /// The preset's memory hierarchy resized to `cores` cores (used by the
+    /// `--cores` override and the E13 scaling sweep).
+    pub fn hierarchy_for(self, cores: usize) -> HierarchyConfig {
         if self.is_small_base() {
             HierarchyConfig::small(cores)
         } else {
@@ -149,14 +193,23 @@ mod tests {
 
     #[test]
     fn labels_are_unique() {
-        let labels: std::collections::HashSet<_> =
-            MachineKind::ALL.iter().map(|k| k.label()).collect();
-        assert_eq!(labels.len(), MachineKind::ALL.len());
+        let labels: std::collections::HashSet<_> = MachineKind::WITH_SCALING
+            .iter()
+            .map(|k| k.label())
+            .collect();
+        assert_eq!(labels.len(), MachineKind::WITH_SCALING.len());
+    }
+
+    #[test]
+    fn scaling_set_contains_the_paper_set() {
+        for k in MachineKind::ALL {
+            assert!(MachineKind::WITH_SCALING.contains(&k), "{k}");
+        }
     }
 
     #[test]
     fn configs_build_for_every_kind() {
-        for k in MachineKind::ALL {
+        for k in MachineKind::WITH_SCALING {
             let _ = k.hierarchy_config();
             if k.is_fgstp() {
                 let cfg = k.fgstp_config();
@@ -168,9 +221,13 @@ mod tests {
     }
 
     #[test]
-    fn fgstp_presets_use_two_cores() {
+    fn hierarchy_core_counts_match_the_machine() {
         assert_eq!(MachineKind::FgstpSmall.hierarchy_config().cores, 2);
+        assert_eq!(MachineKind::FgstpSmall4.hierarchy_config().cores, 4);
+        assert_eq!(MachineKind::FgstpMedium4.cores(), 4);
         assert_eq!(MachineKind::SingleSmall.hierarchy_config().cores, 1);
+        assert_eq!(MachineKind::FusedSmall.cores(), 1, "fused is one wide core");
+        assert_eq!(MachineKind::FgstpSmall.hierarchy_for(3).cores, 3);
     }
 
     #[test]
@@ -181,7 +238,7 @@ mod tests {
 
     #[test]
     fn try_accessors_partition_the_kinds() {
-        for k in MachineKind::ALL {
+        for k in MachineKind::WITH_SCALING {
             assert_eq!(k.try_core_config().is_some(), !k.is_fgstp(), "{k}");
             assert_eq!(k.try_fgstp_config().is_some(), k.is_fgstp(), "{k}");
         }

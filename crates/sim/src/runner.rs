@@ -85,8 +85,22 @@ impl BenchResult {
 
 /// Runs one trace through one machine preset.
 pub fn run_on(kind: MachineKind, trace: &[DynInst]) -> MachineRun {
-    let hcfg = kind.hierarchy_config();
-    if let Some(cfg) = kind.try_fgstp_config() {
+    run_on_with_cores(kind, trace, None)
+}
+
+/// Like [`run_on`], but overrides the Fg-STP core count when `cores` is
+/// set (the CLI `--cores` flag and the E13 scaling sweep).
+///
+/// # Panics
+///
+/// Panics if `cores` is set for a non-Fg-STP preset (those machines have a
+/// fixed shape).
+pub fn run_on_with_cores(kind: MachineKind, trace: &[DynInst], cores: Option<usize>) -> MachineRun {
+    if let Some(mut cfg) = kind.try_fgstp_config() {
+        if let Some(n) = cores {
+            cfg = cfg.with_cores(n);
+        }
+        let hcfg = kind.hierarchy_for(cfg.num_cores);
         let (result, stats) = run_fgstp(trace, &cfg, &hcfg);
         MachineRun {
             kind,
@@ -95,7 +109,11 @@ pub fn run_on(kind: MachineKind, trace: &[DynInst]) -> MachineRun {
             cpi: None,
         }
     } else {
-        let result = run_single(trace, &kind.core_config(), &hcfg);
+        assert!(
+            cores.is_none(),
+            "--cores only applies to Fg-STP machines, not {kind}"
+        );
+        let result = run_single(trace, &kind.core_config(), &kind.hierarchy_config());
         MachineRun {
             kind,
             result,
@@ -116,30 +134,63 @@ pub fn run_on_instrumented(
     trace: &[DynInst],
     episodes: bool,
 ) -> (MachineRun, Vec<Episode>) {
-    let hcfg = kind.hierarchy_config();
-    let cores = if kind.is_fgstp() { 2 } else { 1 };
-    let mut sink = if episodes {
-        CpiSink::with_episodes(cores)
-    } else {
-        CpiSink::new(cores)
-    };
-    let run = if let Some(cfg) = kind.try_fgstp_config() {
+    run_on_instrumented_with_cores(kind, trace, episodes, None)
+}
+
+/// Like [`run_on_instrumented`], with the Fg-STP core-count override of
+/// [`run_on_with_cores`].
+///
+/// # Panics
+///
+/// Panics if `cores` is set for a non-Fg-STP preset.
+pub fn run_on_instrumented_with_cores(
+    kind: MachineKind,
+    trace: &[DynInst],
+    episodes: bool,
+    cores: Option<usize>,
+) -> (MachineRun, Vec<Episode>) {
+    let run;
+    let mut sink;
+    if let Some(mut cfg) = kind.try_fgstp_config() {
+        if let Some(n) = cores {
+            cfg = cfg.with_cores(n);
+        }
+        let hcfg = kind.hierarchy_for(cfg.num_cores);
+        sink = if episodes {
+            CpiSink::with_episodes(cfg.num_cores)
+        } else {
+            CpiSink::new(cfg.num_cores)
+        };
         let (result, stats) = run_fgstp_with_sink(trace, &cfg, &hcfg, &mut sink);
-        MachineRun {
+        run = MachineRun {
             kind,
             result,
             fgstp: Some(stats),
             cpi: None,
-        }
+        };
     } else {
-        let result = run_single_with_sink(trace, &kind.core_config(), &hcfg, &mut sink);
-        MachineRun {
+        assert!(
+            cores.is_none(),
+            "--cores only applies to Fg-STP machines, not {kind}"
+        );
+        sink = if episodes {
+            CpiSink::with_episodes(1)
+        } else {
+            CpiSink::new(1)
+        };
+        let result = run_single_with_sink(
+            trace,
+            &kind.core_config(),
+            &kind.hierarchy_config(),
+            &mut sink,
+        );
+        run = MachineRun {
             kind,
             result,
             fgstp: None,
             cpi: None,
-        }
-    };
+        };
+    }
     let timeline = sink.finish_episodes(run.result.cycles);
     (
         MachineRun {
@@ -271,13 +322,17 @@ mod tests {
     fn instrumented_run_matches_plain_timing_and_reconciles() {
         let w = by_name("hmmer_dp", Scale::Test).unwrap();
         let t = trace_workload(&w, Scale::Test);
-        for k in [MachineKind::SingleSmall, MachineKind::FgstpSmall] {
+        for k in [
+            MachineKind::SingleSmall,
+            MachineKind::FgstpSmall,
+            MachineKind::FgstpSmall4,
+        ] {
             let plain = run_on(k, t.insts());
             let (inst, episodes) = run_on_instrumented(k, t.insts(), true);
             assert_eq!(inst.result.cycles, plain.result.cycles, "{k}");
             assert_eq!(inst.result.committed, plain.result.committed, "{k}");
             let stack = inst.cpi.as_ref().expect("instrumented run has a stack");
-            let cores = if k.is_fgstp() { 2 } else { 1 };
+            let cores = k.cores() as u64;
             stack.check_against(cores * inst.result.cycles).unwrap();
             // The episode timeline tiles the same core-cycles.
             let episode_cycles: u64 = episodes.iter().map(Episode::cycles).sum();
@@ -290,5 +345,25 @@ mod tests {
         let w = by_name("perl_hash", Scale::Test).unwrap();
         let t = trace_workload(&w, Scale::Test);
         assert!(run_on(MachineKind::SingleSmall, t.insts()).cpi.is_none());
+    }
+
+    #[test]
+    fn cores_override_changes_the_machine_shape() {
+        let w = by_name("hmmer_dp", Scale::Test).unwrap();
+        let t = trace_workload(&w, Scale::Test);
+        let r = run_on_with_cores(MachineKind::FgstpSmall, t.insts(), Some(3));
+        assert_eq!(r.result.cores.len(), 3);
+        assert_eq!(r.result.committed, t.len() as u64);
+        // The default path matches the preset's own core count.
+        let d = run_on(MachineKind::FgstpSmall4, t.insts());
+        assert_eq!(d.result.cores.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "--cores only applies to Fg-STP machines")]
+    fn cores_override_rejects_non_fgstp_machines() {
+        let w = by_name("hmmer_dp", Scale::Test).unwrap();
+        let t = trace_workload(&w, Scale::Test);
+        run_on_with_cores(MachineKind::SingleSmall, t.insts(), Some(2));
     }
 }

@@ -47,7 +47,7 @@ fn main() {
             policy,
             ..PartitionConfig::default()
         };
-        let part = partition_stream(&stream, &pcfg);
+        let part = partition_stream(&stream, &pcfg, 2);
         let mut cfg = FgstpConfig::small();
         cfg.partition = pcfg;
         let (result, _) = run_fgstp(trace.insts(), &cfg, &HierarchyConfig::small(2));

@@ -21,8 +21,8 @@ fn traces_are_identical_across_runs() {
 fn partitions_are_identical_across_runs() {
     let t = trace_workload(&by_name("hmmer_dp", Scale::Test).unwrap(), Scale::Test);
     let s = build_exec_stream(t.insts());
-    let p1 = partition_stream(&s, &PartitionConfig::default());
-    let p2 = partition_stream(&s, &PartitionConfig::default());
+    let p1 = partition_stream(&s, &PartitionConfig::default(), 2);
+    let p2 = partition_stream(&s, &PartitionConfig::default(), 2);
     assert_eq!(p1.assign, p2.assign);
     assert_eq!(p1.replicated, p2.replicated);
     assert_eq!(p1.stats, p2.stats);
@@ -40,6 +40,6 @@ fn timing_results_are_identical_across_runs() {
     let (a, sa) = run_fgstp(t.insts(), &FgstpConfig::small(), &HierarchyConfig::small(2));
     let (b, sb) = run_fgstp(t.insts(), &FgstpConfig::small(), &HierarchyConfig::small(2));
     assert_eq!(a.cycles, b.cycles);
-    assert_eq!(sa.deliveries, sb.deliveries);
+    assert_eq!(sa.comm, sb.comm);
     assert_eq!(sa.partition, sb.partition);
 }

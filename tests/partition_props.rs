@@ -3,9 +3,9 @@
 //! machine executed.
 //!
 //! This is the strongest form of the paper's correctness claim the
-//! workspace can check: for any program and any partitioning policy, the
-//! two-core execution with explicit communication computes the same values
-//! as the sequential reference.
+//! workspace can check: for any program, any partitioning policy and any
+//! core count, the partitioned execution with explicit communication
+//! computes the same values as the sequential reference.
 //!
 //! Cases come from the workspace's deterministic
 //! [`Xorshift`](fg_stp_repro::workloads::gen::Xorshift) generator; every
@@ -91,7 +91,7 @@ fn partition_preserves_semantics() {
             replication,
             balance_slack: 0.2,
         };
-        let part = partition_stream(&stream, &cfg);
+        let part = partition_stream(&stream, &cfg, 2);
         check_partition(&part, &[]).expect("partition preserves semantics");
         // Structural invariants of the partition itself.
         let total: u64 = part.stats.insts.iter().sum();
@@ -120,7 +120,8 @@ fn partition_streams_are_ordered_and_consistent() {
             replication: true,
             balance_slack: 0.2,
         };
-        let part = partition_stream(&stream, &cfg);
+        let num_cores = 2 + (case as usize % 3);
+        let part = partition_stream(&stream, &cfg, num_cores);
         for (core, st) in part.streams.iter().enumerate() {
             for w in st.windows(2) {
                 assert!(w[0].gseq <= w[1].gseq, "case {case}");
@@ -128,10 +129,39 @@ fn partition_streams_are_ordered_and_consistent() {
             for x in st {
                 for dep in x.deps.iter().flatten() {
                     let p = dep.producer as usize;
-                    let local = part.assign[p] as usize == core || part.replicated[p];
+                    let local =
+                        part.assign[p] as usize == core || part.replica_on[p] & (1 << core) != 0;
                     assert_eq!(dep.cross, !local, "case {case}");
                 }
             }
+        }
+    }
+}
+
+/// The N-way functional executor produces architectural state identical to
+/// the sequential interpreter, for N ∈ {2, 3, 4}. (`check_partition`
+/// verifies every produced register value, store value, branch outcome and
+/// memory address against the sequential reference trace.)
+#[test]
+fn nway_partition_matches_sequential_interpreter() {
+    for case in 0..CASES {
+        let mut g = Xorshift::new(0x45_0001 + case);
+        let program = arb_program(&mut g);
+        let policy = arb_policy(&mut g);
+        let replication = g.flip();
+        let trace = trace_program(&program, 100_000).expect("terminates");
+        let stream = build_exec_stream(trace.insts());
+        let cfg = PartitionConfig {
+            policy,
+            replication,
+            balance_slack: 0.2,
+        };
+        for num_cores in [2usize, 3, 4] {
+            let part = partition_stream(&stream, &cfg, num_cores);
+            check_partition(&part, &[])
+                .unwrap_or_else(|e| panic!("case {case} on {num_cores} cores: {e}"));
+            let total: u64 = part.stats.insts.iter().sum();
+            assert_eq!(total, stream.len() as u64, "case {case}/{num_cores}");
         }
     }
 }

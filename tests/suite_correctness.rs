@@ -36,15 +36,19 @@ fn every_workload_partition_preserves_semantics() {
             PartitionPolicy::GreedyDep,
             PartitionPolicy::ModN { chunk: 5 },
         ] {
-            let part = partition_stream(
-                &stream,
-                &PartitionConfig {
-                    policy,
-                    ..PartitionConfig::default()
-                },
-            );
-            check_partition(&part, &data)
-                .unwrap_or_else(|e| panic!("{} with {policy:?}: {e}", w.name));
+            for num_cores in [2usize, 4] {
+                let part = partition_stream(
+                    &stream,
+                    &PartitionConfig {
+                        policy,
+                        ..PartitionConfig::default()
+                    },
+                    num_cores,
+                );
+                check_partition(&part, &data).unwrap_or_else(|e| {
+                    panic!("{} with {policy:?} on {num_cores} cores: {e}", w.name)
+                });
+            }
         }
     }
 }
