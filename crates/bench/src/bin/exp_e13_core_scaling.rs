@@ -13,9 +13,9 @@
 //! cut-minimization — see DESIGN.md, "N-core generalization").
 
 use fgstp::{run_fgstp_with_sink, FgstpConfig};
-use fgstp_bench::{print_experiment, ExpArgs};
+use fgstp_bench::{print_experiment, ExpArgs, SuiteBaseline};
 use fgstp_mem::HierarchyConfig;
-use fgstp_sim::{geomean, run_on, CpiStack, MachineKind, StallCategory, Table};
+use fgstp_sim::{geomean, CpiStack, StallCategory, Table};
 use fgstp_telemetry::CpiSink;
 
 const CORE_COUNTS: [usize; 5] = [1, 2, 3, 4, 8];
@@ -23,11 +23,8 @@ const CORE_COUNTS: [usize; 5] = [1, 2, 3, 4, 8];
 fn main() {
     let args = ExpArgs::parse();
     let session = args.session();
-    let traced = session.suite_traces();
-    let singles = session.par_map(&traced, |(_, t)| {
-        run_on(MachineKind::SingleSmall, t.insts())
-    });
-    let jobs: Vec<_> = traced.iter().zip(&singles).collect();
+    let base = SuiteBaseline::new(&session);
+    let jobs = base.jobs();
 
     let mut speedup = Table::new([
         "workload".to_string(),

@@ -5,18 +5,15 @@
 //! back-pressure — the data that sizes the paper's queues.
 
 use fgstp::{run_fgstp, FgstpConfig};
-use fgstp_bench::{print_experiment, ExpArgs};
+use fgstp_bench::{print_experiment, ExpArgs, SuiteBaseline};
 use fgstp_mem::HierarchyConfig;
-use fgstp_sim::{geomean, run_on, MachineKind, Table};
+use fgstp_sim::{geomean, Table};
 
 fn main() {
     let args = ExpArgs::parse();
     let session = args.session();
-    let traced = session.suite_traces();
-    let singles = session.par_map(&traced, |(_, t)| {
-        run_on(MachineKind::SingleSmall, t.insts())
-    });
-    let jobs: Vec<_> = traced.iter().zip(&singles).collect();
+    let base = SuiteBaseline::new(&session);
+    let jobs = base.jobs();
 
     let mut table = Table::new([
         "bandwidth (values/cycle)",

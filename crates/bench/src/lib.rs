@@ -9,10 +9,13 @@
 //!
 //! Every binary accepts an optional scale argument (`test`, `small`,
 //! `reference`; default `small`), `--csv` to emit machine-readable
-//! output, `--threads=N` to size the session's worker pool, and
-//! `--no-cache` to disable the on-disk trace cache.
+//! output, `--threads=N` to size the session's worker pool, `--no-cache`
+//! to disable the on-disk trace cache, and `--sample` (with optional
+//! `--sample-interval=N` / `--sample-warmup=N` / `--sample-detail=N`) to
+//! switch the session to SMARTS-style sampled simulation.
 
-use fgstp_sim::{Scale, Session, Table};
+use fgstp_isa::Trace;
+use fgstp_sim::{run_on, MachineKind, MachineRun, SampleConfig, Scale, Session, Table, Workload};
 
 /// Command-line options shared by all experiment binaries.
 #[derive(Debug, Clone, Copy)]
@@ -25,17 +28,20 @@ pub struct ExpArgs {
     pub threads: Option<usize>,
     /// Disable the on-disk trace cache.
     pub no_cache: bool,
+    /// Sampled-simulation regime (`--sample*` flags), off by default.
+    pub sample: Option<SampleConfig>,
 }
 
 impl ExpArgs {
     /// Parses `std::env::args()`: an optional scale word, `--csv`,
-    /// `--threads=N` and `--no-cache`.
+    /// `--threads=N`, `--no-cache`, and the `--sample*` flags.
     pub fn parse() -> ExpArgs {
         let mut args = ExpArgs {
             scale: Scale::Small,
             csv: false,
             threads: None,
             no_cache: false,
+            sample: None,
         };
         for a in std::env::args().skip(1) {
             match a.as_str() {
@@ -44,6 +50,9 @@ impl ExpArgs {
                 "reference" => args.scale = Scale::Reference,
                 "--csv" => args.csv = true,
                 "--no-cache" => args.no_cache = true,
+                "--sample" => {
+                    args.sample.get_or_insert_with(SampleConfig::default);
+                }
                 other => {
                     if let Some(n) = other
                         .strip_prefix("--threads=")
@@ -52,18 +61,39 @@ impl ExpArgs {
                         args.threads = Some(n);
                         continue;
                     }
+                    let sample_field = other.split_once('=').and_then(|(flag, value)| {
+                        let n = value.parse::<u64>().ok()?;
+                        match flag {
+                            "--sample-interval" | "--sample-warmup" | "--sample-detail" => {
+                                Some((flag, n))
+                            }
+                            _ => None,
+                        }
+                    });
+                    if let Some((flag, n)) = sample_field {
+                        let s = args.sample.get_or_insert_with(SampleConfig::default);
+                        match flag {
+                            "--sample-interval" => s.interval = n,
+                            "--sample-warmup" => s.warmup = n,
+                            _ => s.detail = n,
+                        }
+                        continue;
+                    }
                     eprintln!(
-                        "usage: exp_* [test|small|reference] [--csv] [--threads=N] [--no-cache] (got `{other}`)"
+                        "usage: exp_* [test|small|reference] [--csv] [--threads=N] [--no-cache] [--sample] [--sample-interval=N] [--sample-warmup=N] [--sample-detail=N] (got `{other}`)"
                     );
                     std::process::exit(2);
                 }
             }
         }
+        if let Some(s) = &args.sample {
+            s.validate();
+        }
         args
     }
 
-    /// A [`Session`] configured from these arguments (scale, threads and
-    /// caching; set machines per experiment).
+    /// A [`Session`] configured from these arguments (scale, threads,
+    /// caching and sampling; set machines per experiment).
     pub fn session(&self) -> Session {
         let mut s = Session::new().scale(self.scale);
         if let Some(n) = self.threads {
@@ -72,7 +102,39 @@ impl ExpArgs {
         if self.no_cache {
             s = s.no_cache();
         }
+        if let Some(scfg) = self.sample {
+            s = s.sample(scfg);
+        }
         s
+    }
+}
+
+/// The suite traced at the session's scale plus the single-small-core
+/// baseline run on every workload — the shared setup of the sweep
+/// experiments (E3–E6, E9, E13): each sweep point compares against the
+/// baseline of the same workload.
+#[derive(Debug, Clone)]
+pub struct SuiteBaseline {
+    /// The suite, traced in suite order.
+    pub traced: Vec<(Workload, Trace)>,
+    /// The [`MachineKind::SingleSmall`] run of each workload, same order.
+    pub singles: Vec<MachineRun>,
+}
+
+impl SuiteBaseline {
+    /// Traces the session's suite and runs the single-small baseline on
+    /// every workload, both on the session's worker pool.
+    pub fn new(session: &Session) -> SuiteBaseline {
+        let traced = session.suite_traces();
+        let singles = session.par_map(&traced, |(_, t)| {
+            run_on(MachineKind::SingleSmall, t.insts())
+        });
+        SuiteBaseline { traced, singles }
+    }
+
+    /// (workload+trace, baseline-run) pairs, ready for `par_map` sweeps.
+    pub fn jobs(&self) -> Vec<(&(Workload, Trace), &MachineRun)> {
+        self.traced.iter().zip(&self.singles).collect()
     }
 }
 
@@ -126,10 +188,49 @@ mod tests {
             csv: false,
             threads: None,
             no_cache: false,
+            sample: None,
         };
         print_experiment("T0", "smoke", &args, &t);
         args.csv = true;
         print_experiment("T0", "smoke", &args, &t);
+    }
+
+    #[test]
+    fn suite_baseline_pairs_every_workload_with_its_single_run() {
+        let args = ExpArgs {
+            scale: Scale::Test,
+            csv: false,
+            threads: Some(2),
+            no_cache: true,
+            sample: None,
+        };
+        let base = SuiteBaseline::new(&args.session());
+        assert_eq!(base.traced.len(), base.singles.len());
+        for ((w, t), single) in base.jobs() {
+            assert_eq!(single.kind, MachineKind::SingleSmall, "{}", w.name);
+            assert_eq!(single.result.committed, t.len() as u64, "{}", w.name);
+        }
+    }
+
+    #[test]
+    fn sampled_session_produces_sampled_runs() {
+        let args = ExpArgs {
+            scale: Scale::Test,
+            csv: false,
+            threads: Some(2),
+            no_cache: true,
+            sample: Some(SampleConfig {
+                interval: 2_000,
+                warmup: 300,
+                detail: 150,
+            }),
+        };
+        let w = fgstp_workloads::by_name("hmmer_dp", Scale::Test).unwrap();
+        let b = args
+            .session()
+            .machines([MachineKind::SingleSmall])
+            .run_workload(&w);
+        assert!(b.runs[0].sampled.is_some());
     }
 
     #[test]
@@ -139,6 +240,7 @@ mod tests {
             csv: false,
             threads: Some(2),
             no_cache: true,
+            sample: None,
         };
         let s = args.session();
         // A no-cache session never touches disk, so stats stay at zero.

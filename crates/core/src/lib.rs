@@ -55,7 +55,10 @@ pub use adaptive::{run_oracle, run_sampling, AdaptiveResult, Mode, SamplingConfi
 pub use commq::{CommConfig, CommFabric, CommQueue, CommStats};
 pub use depgraph::DepGraph;
 pub use exec::{check_partition, CheckError};
-pub use machine::{run_fgstp, run_fgstp_recorded, run_fgstp_with_sink, FgstpConfig, FgstpStats};
+pub use machine::{
+    run_fgstp, run_fgstp_recorded, run_fgstp_warm, run_fgstp_warm_with_sink, run_fgstp_with_sink,
+    FgstpConfig, FgstpStats,
+};
 pub use partition::{
     partition_stream, PartitionConfig, PartitionPolicy, PartitionStats, PartitionedStream,
 };

@@ -26,6 +26,7 @@ use fgstp_mem::{Hierarchy, HierarchyConfig};
 use fgstp_ooo::{
     build_exec_stream, classify_single, stat_delta, CommitStall, Core, CoreConfig, CoreStats,
     ExecEnv, ExecInst, FetchGate, LoadGate, Prediction, PredictorState, RunResult, StatDelta,
+    WarmRun, WarmState,
 };
 use fgstp_telemetry::{CycleOutcome, CycleSink, NullSink, StallCategory};
 
@@ -152,10 +153,13 @@ impl FgstpEnv {
         cfg: &FgstpConfig,
         stream: &[fgstp_ooo::ExecInst],
         part: &PartitionedStream,
+        pred: &mut PredictorState,
     ) -> FgstpEnv {
         // Prepass: the shared orchestrator predicts every control
-        // instruction in program order.
-        let mut pred = PredictorState::new(&cfg.core);
+        // instruction in program order. The predictor bundle is external so
+        // a sampled run can carry its training across windows; the reported
+        // counters are the deltas of this window.
+        let branches_before = (pred.branches, pred.mispredicts);
         let mut predictions = HashMap::new();
         for x in stream {
             if x.class().is_control() {
@@ -165,8 +169,8 @@ impl FgstpEnv {
         let n = part.num_cores();
         FgstpEnv {
             predictions,
-            branches: pred.branches,
-            mispredicts: pred.mispredicts,
+            branches: pred.branches - branches_before.0,
+            mispredicts: pred.mispredicts - branches_before.1,
             gate: FetchGate::default(),
             board: vec![u64::MAX; stream.len()],
             completed_frontier: 0,
@@ -415,15 +419,92 @@ fn run_fgstp_impl<S: CycleSink>(
     recorders: Option<Vec<fgstp_ooo::PipeRecorder>>,
     sink: &mut S,
 ) -> (RunResult, FgstpStats, Option<Vec<fgstp_ooo::PipeRecorder>>) {
+    let mut pred = PredictorState::new(&cfg.core);
+    let mut mem = Hierarchy::new(hcfg);
+    let (result, stats, _, recorders) =
+        run_fgstp_loop(trace, cfg, &mut mem, &mut pred, recorders, sink, 0);
+    (result, stats, recorders)
+}
+
+/// Runs one detailed Fg-STP window entered mid-trace with warmed
+/// long-lived state (the sampled-simulation path); the N-core counterpart
+/// of [`fgstp_ooo::run_single_warm`].
+///
+/// # Panics
+///
+/// Panics if `warm`'s hierarchy does not describe `cfg.num_cores` cores,
+/// or if the machine deadlocks (a model bug).
+pub fn run_fgstp_warm(
+    trace: &[DynInst],
+    cfg: &FgstpConfig,
+    warm: &mut WarmState,
+    measure_from: u64,
+) -> (WarmRun, FgstpStats) {
+    run_fgstp_warm_with_sink(trace, cfg, warm, measure_from, &mut NullSink)
+}
+
+/// Like [`run_fgstp_warm`], but charges every core-cycle (warmup included)
+/// into `sink`.
+///
+/// # Panics
+///
+/// Panics if `warm`'s hierarchy does not describe `cfg.num_cores` cores,
+/// or if the machine deadlocks (a model bug).
+pub fn run_fgstp_warm_with_sink<S: CycleSink>(
+    trace: &[DynInst],
+    cfg: &FgstpConfig,
+    warm: &mut WarmState,
+    measure_from: u64,
+    sink: &mut S,
+) -> (WarmRun, FgstpStats) {
+    let (result, stats, warmup_cycles, _) = run_fgstp_loop(
+        trace,
+        cfg,
+        &mut warm.mem,
+        &mut warm.pred,
+        None,
+        sink,
+        measure_from,
+    );
+    warm.apply_writebacks(trace);
+    (
+        WarmRun {
+            result,
+            warmup_cycles,
+        },
+        stats,
+    )
+}
+
+/// The shared machine loop: drives the N cores over `trace` against an
+/// external hierarchy and predictor bundle, returning the result, the
+/// Fg-STP statistics, the cycle at which the `measure_from`-th primary
+/// commit landed, and any pipeline recorders.
+#[allow(clippy::type_complexity)]
+fn run_fgstp_loop<S: CycleSink>(
+    trace: &[DynInst],
+    cfg: &FgstpConfig,
+    mem: &mut Hierarchy,
+    pred: &mut PredictorState,
+    recorders: Option<Vec<fgstp_ooo::PipeRecorder>>,
+    sink: &mut S,
+    measure_from: u64,
+) -> (
+    RunResult,
+    FgstpStats,
+    u64,
+    Option<Vec<fgstp_ooo::PipeRecorder>>,
+) {
     let n = cfg.num_cores;
     assert!(n >= 1, "Fg-STP needs at least one core");
     assert_eq!(
-        hcfg.cores, n,
+        mem.config().cores,
+        n,
         "hierarchy core count must match FgstpConfig::num_cores"
     );
     let stream = build_exec_stream(trace);
     let part = partition_stream(&stream, &cfg.partition, n);
-    let mut env = FgstpEnv::new(cfg, &stream, &part);
+    let mut env = FgstpEnv::new(cfg, &stream, &part, pred);
     let mut cores: Vec<Core> = part
         .streams
         .iter()
@@ -437,9 +518,9 @@ fn run_fgstp_impl<S: CycleSink>(
             core.set_recorder(r);
         }
     }
-    let mut mem = Hierarchy::new(hcfg);
     let cap = (stream.len() as u64) * DEADLOCK_CPI + 100_000;
     let mut now = 0u64;
+    let mut warmup_cycles = if measure_from == 0 { 0 } else { u64::MAX };
     let debug = std::env::var_os("FGSTP_TRACE").is_some();
     let mut before = vec![CoreStats::default(); n];
     while !cores.iter().all(Core::done) {
@@ -449,7 +530,7 @@ fn run_fgstp_impl<S: CycleSink>(
             }
         }
         for core in &mut cores {
-            core.cycle(now, &mut env, &mut mem);
+            core.cycle(now, &mut env, mem);
         }
         if S::ENABLED {
             for (i, core) in cores.iter().enumerate() {
@@ -464,6 +545,9 @@ fn run_fgstp_impl<S: CycleSink>(
             }
         }
         now += 1;
+        if warmup_cycles == u64::MAX && env.committed >= measure_from {
+            warmup_cycles = now;
+        }
         if debug && now.is_multiple_of(2000) {
             let snaps: Vec<String> = cores
                 .iter()
@@ -478,6 +562,9 @@ fn run_fgstp_impl<S: CycleSink>(
             );
         }
         assert!(now < cap, "Fg-STP machine deadlocked at cycle {now}");
+    }
+    if warmup_cycles == u64::MAX {
+        warmup_cycles = now;
     }
     let core_stats: Vec<CoreStats> = cores.iter().map(|c| *c.stats()).collect();
     let stats = FgstpStats {
@@ -506,7 +593,7 @@ fn run_fgstp_impl<S: CycleSink>(
     } else {
         None
     };
-    (result, stats, recorders)
+    (result, stats, warmup_cycles, recorders)
 }
 
 #[cfg(test)]

@@ -236,6 +236,39 @@ impl Hierarchy {
         }
     }
 
+    /// Functional-warming data reference (the sampling fast-forward mode).
+    ///
+    /// Installs the line in **every** core's L1D — the warming stream is
+    /// not partitioned, steering is decided only inside a detailed window,
+    /// so any core may own the line when one opens — and, when an L1
+    /// missed, once in the shared L2, so the L2 observes the L1 *miss*
+    /// stream exactly as on the timing path. Tags, LRU state and hit/miss
+    /// counters update; MSHRs, prefetchers and latencies are untouched.
+    pub fn warm_data(&mut self, addr: u64, is_write: bool) {
+        let mut missed = false;
+        for l1 in &mut self.l1d {
+            missed |= !l1.access(addr, is_write).hit;
+        }
+        if missed {
+            let line = self.l2.line_addr(addr);
+            self.l2.access(line, false);
+        }
+    }
+
+    /// Functional-warming instruction reference for the instruction at
+    /// index `pc`; the I-side counterpart of [`Hierarchy::warm_data`].
+    pub fn warm_inst(&mut self, pc: u64) {
+        let addr = Self::inst_addr(pc);
+        let mut missed = false;
+        for l1 in &mut self.l1i {
+            missed |= !l1.access(addr, false).hit;
+        }
+        if missed {
+            let line = self.l2.line_addr(addr);
+            self.l2.access(line, false);
+        }
+    }
+
     /// Invalidates the line containing `addr` in every L1D except
     /// `writer_core` (write-invalidate between collaborating cores).
     pub fn invalidate_others(&mut self, writer_core: usize, addr: u64) {
@@ -380,6 +413,29 @@ mod tests {
         assert_eq!(s.l1d[0].accesses, 1);
         assert_eq!(s.l1d[1].accesses, 1);
         assert_eq!(s.l2.accesses, 2);
+    }
+
+    #[test]
+    fn warming_makes_later_timed_accesses_hit() {
+        let mut h = h(2);
+        let cfg = *h.config();
+        h.warm_data(0x9000, false);
+        h.warm_inst(0x40);
+        // Both cores hit their L1s after warming, no MSHR involvement.
+        for core in 0..2 {
+            assert_eq!(h.access_data(core, 0x9000, false, 0), cfg.l1d.latency);
+            assert_eq!(h.access_inst(core, 0x40, 0), cfg.l1i.latency);
+        }
+    }
+
+    #[test]
+    fn warming_sends_only_the_miss_stream_to_l2() {
+        let mut h = h(1);
+        h.warm_data(0x6000, false);
+        h.warm_data(0x6008, false); // same line: L1 hit, no L2 traffic
+        let s = h.stats();
+        assert_eq!(s.l1d[0].accesses, 2);
+        assert_eq!(s.l2.accesses, 1);
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! the Fg-STP dual-core environment lives in the `fgstp` crate.
 
 use fgstp_bpred::{Btb, DirectionPredictor, ReturnStack};
-use fgstp_isa::{InstClass, Op};
+use fgstp_isa::{DynInst, InstClass, Op};
 
 use crate::config::CoreConfig;
 use crate::stream::ExecInst;
@@ -127,11 +127,17 @@ impl PredictorState {
 
     /// Predicts and trains on the control instruction `x`.
     pub fn predict(&mut self, x: &ExecInst) -> Prediction {
-        let pc = x.d.pc;
-        let actual_target = x.d.next_pc;
-        match x.class() {
+        self.predict_dyn(&x.d)
+    }
+
+    /// Predicts and trains on the dynamic control instruction `d` directly
+    /// (the functional-warming path has no [`ExecInst`] wrapper).
+    pub fn predict_dyn(&mut self, d: &DynInst) -> Prediction {
+        let pc = d.pc;
+        let actual_target = d.next_pc;
+        match d.class() {
             InstClass::Branch => {
-                let taken = x.d.taken.expect("branch has outcome");
+                let taken = d.taken.expect("branch has outcome");
                 self.branches += 1;
                 let predicted = self.dir.predict(pc);
                 self.dir.update(pc, taken);
@@ -152,10 +158,9 @@ impl PredictorState {
                 }
             }
             InstClass::Jump => {
-                let op = x.d.inst.op;
-                let rd_is_link = x.d.inst.rd.index() == 1; // ra
-                let is_return =
-                    op == Op::Jalr && x.d.inst.rs1.index() == 1 && x.d.inst.rd.is_zero();
+                let op = d.inst.op;
+                let rd_is_link = d.inst.rd.index() == 1; // ra
+                let is_return = op == Op::Jalr && d.inst.rs1.index() == 1 && d.inst.rd.is_zero();
                 let predicted_target = if is_return {
                     self.ras.pop()
                 } else if op == Op::Jalr {
@@ -249,6 +254,25 @@ impl SingleEnv {
             next_commit: 0,
             committed: 0,
         }
+    }
+
+    /// Creates the environment around an existing (already-trained)
+    /// predictor bundle — the sampled-simulation warm-entry path. Commit
+    /// order and commit counters start fresh; the predictor's cumulative
+    /// `branches`/`mispredicts` counters keep counting.
+    pub fn with_predictor(pred: PredictorState) -> SingleEnv {
+        SingleEnv {
+            pred,
+            gate: FetchGate::default(),
+            next_commit: 0,
+            committed: 0,
+        }
+    }
+
+    /// Consumes the environment, handing the predictor bundle back to the
+    /// warm-state owner.
+    pub fn into_predictor(self) -> PredictorState {
+        self.pred
     }
 
     /// Conditional branches predicted and mispredicted.

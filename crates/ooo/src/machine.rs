@@ -7,8 +7,9 @@ use fgstp_telemetry::{CycleOutcome, CycleSink, NullSink};
 use crate::accounting::{classify_single, stat_delta};
 use crate::config::CoreConfig;
 use crate::core::{Core, CoreStats};
-use crate::env::SingleEnv;
+use crate::env::{PredictorState, SingleEnv};
 use crate::stream::build_exec_stream;
+use crate::warm::WarmState;
 
 /// Result of running a trace through a machine model.
 #[derive(Debug, Clone)]
@@ -39,6 +40,25 @@ impl RunResult {
     pub fn speedup_over(&self, baseline: &RunResult) -> f64 {
         debug_assert_eq!(self.committed, baseline.committed, "same trace expected");
         baseline.cycles as f64 / self.cycles.max(1) as f64
+    }
+}
+
+/// Result of a warm-entry (sampled) run: the usual [`RunResult`] over the
+/// whole window plus the cycle at which the measured region began.
+#[derive(Debug, Clone)]
+pub struct WarmRun {
+    /// Timing result over the *entire* detailed window (warmup included).
+    pub result: RunResult,
+    /// Cycles spent before the `measure_from`-th commit landed (the
+    /// detailed-warmup prefix whose cycles the sampler discards); 0 when
+    /// `measure_from` is 0.
+    pub warmup_cycles: u64,
+}
+
+impl WarmRun {
+    /// Cycles of the measured region (total minus discarded warmup).
+    pub fn measured_cycles(&self) -> u64 {
+        self.result.cycles - self.warmup_cycles
     }
 }
 
@@ -96,48 +116,129 @@ fn run_single_impl<S: CycleSink>(
     recorder: Option<crate::pipeview::PipeRecorder>,
     sink: &mut S,
 ) -> (RunResult, Option<crate::pipeview::PipeRecorder>) {
+    let mut env = SingleEnv::new(cfg);
+    let mut mem = Hierarchy::new(hcfg);
+    let (result, _, rec) = run_single_loop(trace, cfg, &mut env, &mut mem, recorder, sink, 0);
+    (result, rec)
+}
+
+/// Runs one detailed window entered mid-trace with warmed long-lived state
+/// (the sampled-simulation path).
+///
+/// The window executes on `warm.mem` and `warm.pred`; short-lived pipeline
+/// state starts cold and ramps up during the first `measure_from` commits,
+/// whose cycles are reported separately as [`WarmRun::warmup_cycles`]. The
+/// reported `branches` and `mem` statistics are cumulative over the whole
+/// sampled run so far (they live in `warm`), not per-window.
+///
+/// # Panics
+///
+/// Panics if the pipeline deadlocks (a model bug, not an input condition).
+pub fn run_single_warm(
+    trace: &[DynInst],
+    cfg: &CoreConfig,
+    warm: &mut WarmState,
+    measure_from: u64,
+) -> WarmRun {
+    run_single_warm_with_sink(trace, cfg, warm, measure_from, &mut NullSink)
+}
+
+/// Like [`run_single_warm`], but charges every cycle (warmup included)
+/// into `sink`.
+///
+/// # Panics
+///
+/// Panics if the pipeline deadlocks (a model bug, not an input condition).
+pub fn run_single_warm_with_sink<S: CycleSink>(
+    trace: &[DynInst],
+    cfg: &CoreConfig,
+    warm: &mut WarmState,
+    measure_from: u64,
+    sink: &mut S,
+) -> WarmRun {
+    let pred = std::mem::replace(&mut warm.pred, PredictorState::new(cfg));
+    let mut env = SingleEnv::with_predictor(pred);
+    let (result, warmup_cycles, _) = run_single_loop(
+        trace,
+        cfg,
+        &mut env,
+        &mut warm.mem,
+        None,
+        sink,
+        measure_from,
+    );
+    warm.pred = env.into_predictor();
+    warm.apply_writebacks(trace);
+    WarmRun {
+        result,
+        warmup_cycles,
+    }
+}
+
+/// The shared cycle loop: drives one core over `trace` against an external
+/// environment and hierarchy, returning the result, the cycle at which the
+/// `measure_from`-th commit landed, and any pipeline recorder.
+fn run_single_loop<S: CycleSink>(
+    trace: &[DynInst],
+    cfg: &CoreConfig,
+    env: &mut SingleEnv,
+    mem: &mut Hierarchy,
+    recorder: Option<crate::pipeview::PipeRecorder>,
+    sink: &mut S,
+    measure_from: u64,
+) -> (RunResult, u64, Option<crate::pipeview::PipeRecorder>) {
     let stream = build_exec_stream(trace);
     let total = stream.len() as u64;
+    let branches_before = env.branch_stats();
     let mut core = Core::new(0, cfg.clone(), stream);
     if let Some(r) = recorder {
         core.set_recorder(r);
     }
-    let mut env = SingleEnv::new(cfg);
-    let mut mem = Hierarchy::new(hcfg);
     let cap = total * DEADLOCK_CPI + 100_000;
     let mut now = 0u64;
+    let mut warmup_cycles = if measure_from == 0 { 0 } else { u64::MAX };
     while !core.done() {
         let before = if S::ENABLED {
             *core.stats()
         } else {
             CoreStats::default()
         };
-        core.cycle(now, &mut env, &mut mem);
+        core.cycle(now, env, mem);
         if S::ENABLED {
             let d = stat_delta(&before, core.stats());
             let outcome = if d.committed > 0 {
                 CycleOutcome::Commit(d.committed as u32)
             } else {
-                let stall = core.commit_stall(&mut env, now);
+                let stall = core.commit_stall(env, now);
                 CycleOutcome::Stall(classify_single(stall, &d))
             };
             sink.record(0, now, outcome);
         }
         now += 1;
+        if warmup_cycles == u64::MAX && env.committed() >= measure_from {
+            warmup_cycles = now;
+        }
         assert!(
             now < cap,
             "single-core pipeline deadlocked at cycle {now}: {}",
             core.pipeline_snapshot()
         );
     }
+    if warmup_cycles == u64::MAX {
+        warmup_cycles = now;
+    }
+    let branches_after = env.branch_stats();
     let result = RunResult {
         cycles: now,
         committed: env.committed(),
         cores: vec![*core.stats()],
-        branches: env.branch_stats(),
+        branches: (
+            branches_after.0 - branches_before.0,
+            branches_after.1 - branches_before.1,
+        ),
         mem: mem.stats(),
     };
-    (result, core.take_recorder())
+    (result, warmup_cycles, core.take_recorder())
 }
 
 #[cfg(test)]

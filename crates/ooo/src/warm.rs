@@ -1,0 +1,148 @@
+//! Functional-warming state for sampled simulation.
+//!
+//! SMARTS-style sampling alternates long *functional-warming* stretches —
+//! instructions retire through the committed-path trace while only the
+//! long-lived microarchitectural state (caches and branch predictors)
+//! updates — with short *detailed* windows run on the full timing machine.
+//! [`WarmState`] is the handoff between the two: the warming loop feeds it
+//! one [`DynInst`] at a time, and the machine drivers
+//! ([`crate::run_single_warm`], `fgstp::run_fgstp_warm`) enter mid-trace
+//! with its caches, predictor and architectural-register snapshot.
+
+use fgstp_isa::reg::NUM_REGS;
+use fgstp_isa::{DynInst, InstClass};
+use fgstp_mem::{Hierarchy, HierarchyConfig};
+
+use crate::config::CoreConfig;
+use crate::env::PredictorState;
+
+/// Long-lived microarchitectural and architectural state carried across
+/// sampling phases: the memory hierarchy, the branch-predictor bundle and
+/// the architectural register file.
+///
+/// Short-lived structures (ROB, issue queues, LSQ, MSHRs, communication
+/// queues) are *not* part of the snapshot — detailed windows recreate them
+/// cold and absorb the ramp-up in their discarded warmup prefix.
+#[derive(Debug)]
+pub struct WarmState {
+    /// The cache hierarchy, shared by warming and detailed phases.
+    pub mem: Hierarchy,
+    /// The branch-predictor bundle (direction predictor, BTB, RAS) with
+    /// cumulative `branches`/`mispredicts` counters over all phases.
+    pub pred: PredictorState,
+    /// Architectural register file after every instruction retired so far.
+    pub regs: [u64; NUM_REGS],
+}
+
+impl WarmState {
+    /// Creates cold warm-state for a machine built from `cfg` cores over
+    /// the hierarchy described by `hcfg`.
+    pub fn new(cfg: &CoreConfig, hcfg: &HierarchyConfig) -> WarmState {
+        WarmState {
+            mem: Hierarchy::new(hcfg),
+            pred: PredictorState::new(cfg),
+            regs: [0; NUM_REGS],
+        }
+    }
+
+    /// Functionally retires one committed instruction: trains the branch
+    /// predictor on control flow, touches the I-cache line and any data
+    /// access, and applies the register writeback. No timing state moves.
+    pub fn retire(&mut self, d: &DynInst) {
+        self.mem.warm_inst(d.pc);
+        if d.class().is_control() {
+            self.pred.predict_dyn(d);
+        }
+        if let Some(addr) = d.addr {
+            self.mem.warm_data(addr, d.class() == InstClass::Store);
+        }
+        self.apply_writeback(d);
+    }
+
+    /// Functionally retires a whole stretch of the trace.
+    pub fn warm(&mut self, insts: &[DynInst]) {
+        for d in insts {
+            self.retire(d);
+        }
+    }
+
+    /// Applies the register writebacks of `insts` without touching caches
+    /// or predictors — used after a *detailed* window (which already
+    /// simulated its memory and control traffic) to keep the architectural
+    /// snapshot current.
+    pub fn apply_writebacks(&mut self, insts: &[DynInst]) {
+        for d in insts {
+            self.apply_writeback(d);
+        }
+    }
+
+    fn apply_writeback(&mut self, d: &DynInst) {
+        if let (Some(rd), Some(v)) = (d.inst.dest(), d.rd_value) {
+            self.regs[rd.index()] = v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fgstp_isa::{assemble, trace_program, Machine};
+
+    #[test]
+    fn warming_tracks_the_interpreter_register_file() {
+        let src = r#"
+            li x1, 7
+            li x2, 0
+        loop:
+            add  x2, x2, x1
+            addi x1, x1, -1
+            bne  x1, x0, loop
+            halt
+        "#;
+        let p = assemble(src).unwrap();
+        let t = trace_program(&p, 10_000).unwrap();
+        let mut m = Machine::new(&p);
+        m.run(10_000).unwrap();
+        let mut w = WarmState::new(&CoreConfig::small(), &fgstp_mem::HierarchyConfig::small(1));
+        w.warm(t.insts());
+        assert_eq!(&w.regs[..], m.regs(), "warmed regs match the interpreter");
+    }
+
+    #[test]
+    fn warming_trains_predictor_and_caches() {
+        let src = r#"
+            li x1, 0x2000
+            li x9, 50
+        loop:
+            sd   x9, 0(x1)
+            ld   x5, 0(x1)
+            addi x9, x9, -1
+            bne  x9, x0, loop
+            halt
+        "#;
+        let p = assemble(src).unwrap();
+        let t = trace_program(&p, 10_000).unwrap();
+        let mut w = WarmState::new(&CoreConfig::small(), &fgstp_mem::HierarchyConfig::small(2));
+        w.warm(t.insts());
+        assert_eq!(w.pred.branches, 50);
+        assert!(w.pred.mispredicts < 10, "loop branch is predictable");
+        let stats = w.mem.stats();
+        // Both cores' L1s were warmed with the same stream.
+        assert!(stats.l1d[0].accesses > 0);
+        assert_eq!(stats.l1d[0].accesses, stats.l1d[1].accesses);
+        assert!(w.mem.l1d_has(0, 0x2000) && w.mem.l1d_has(1, 0x2000));
+    }
+
+    #[test]
+    fn writeback_only_path_leaves_caches_untouched() {
+        let src = "li x1, 3\nli x2, 4\nhalt";
+        let p = assemble(src).unwrap();
+        let t = trace_program(&p, 100).unwrap();
+        let mut w = WarmState::new(&CoreConfig::small(), &fgstp_mem::HierarchyConfig::small(1));
+        w.apply_writebacks(t.insts());
+        assert_eq!(w.regs[1], 3);
+        assert_eq!(w.regs[2], 4);
+        assert_eq!(w.mem.stats().l1i[0].accesses, 0);
+        assert_eq!(w.pred.branches, 0);
+    }
+}

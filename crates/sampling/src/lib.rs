@@ -1,0 +1,549 @@
+//! # fgstp-sampling
+//!
+//! SMARTS-style systematic interval sampling over instruction traces
+//! (Wunderlich et al., ISCA 2003 — the standard methodology for the
+//! trace-driven simulator class the paper uses).
+//!
+//! A sampled run walks the committed-path trace in fixed-size intervals of
+//! [`SampleConfig::interval`] instructions. Most of each interval is spent
+//! in **functional warming**: instructions retire through the
+//! [`fgstp_ooo::WarmState`] fast path, updating only the long-lived
+//! microarchitectural state (cache hierarchy, branch predictors) and the
+//! architectural registers — no ROB, issue or commit-queue timing. The
+//! last `warmup + detail` instructions of the interval run on the full
+//! timing machine (single-core or N-core Fg-STP): the first
+//! [`SampleConfig::warmup`] commits absorb the cold-pipeline ramp and their
+//! cycles are discarded; the remaining [`SampleConfig::detail`]
+//! instructions are the **measurement** window.
+//!
+//! Per-interval CPIs aggregate into a point estimate with a 95% confidence
+//! interval ([`Estimate`], CLT over interval means) from which total-run
+//! cycles and machine speedups are projected. The whole path is
+//! deterministic: systematic (not random) interval placement, no RNG, no
+//! wall-clock.
+//!
+//! ```
+//! use fgstp_isa::trace_program;
+//! use fgstp_ooo::CoreConfig;
+//! use fgstp_mem::HierarchyConfig;
+//! use fgstp_sampling::{sample_single, SampleConfig};
+//! use fgstp_workloads::{by_name, Scale};
+//!
+//! let w = by_name("hmmer_dp", Scale::Test).unwrap();
+//! let trace = trace_program(&w.program, Scale::Test.trace_budget()).unwrap();
+//! let scfg = SampleConfig { interval: 2_000, warmup: 300, detail: 150 };
+//! let run = sample_single(
+//!     trace.insts(),
+//!     &CoreConfig::small(),
+//!     &HierarchyConfig::small(1),
+//!     &scfg,
+//! );
+//! assert!(run.detail_reduction() > 2.0);
+//! assert!(run.est_cycles() > 0.0);
+//! ```
+
+pub mod stats;
+
+use fgstp::{run_fgstp_warm, run_fgstp_warm_with_sink, FgstpConfig};
+use fgstp_isa::DynInst;
+use fgstp_mem::{HierarchyConfig, HierarchyStats};
+use fgstp_ooo::{run_single_warm, run_single_warm_with_sink, CoreConfig, WarmRun, WarmState};
+use fgstp_telemetry::{CpiSink, CpiStack};
+
+pub use stats::{geomean_estimate, Estimate, Z95};
+
+/// Sampling-regime parameters, in instructions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SampleConfig {
+    /// Systematic sampling period: one measurement per `interval`
+    /// instructions of the trace.
+    pub interval: u64,
+    /// Detailed-warmup commits at the head of each timed window whose
+    /// cycles are discarded (absorbs the cold ROB/issue/commq ramp).
+    pub warmup: u64,
+    /// Measured instructions per interval.
+    pub detail: u64,
+}
+
+impl Default for SampleConfig {
+    /// 10k-instruction intervals with a 600-instruction detailed warmup
+    /// and a 300-instruction measurement — a ≈11× detail reduction.
+    fn default() -> SampleConfig {
+        SampleConfig {
+            interval: 10_000,
+            warmup: 600,
+            detail: 300,
+        }
+    }
+}
+
+impl SampleConfig {
+    /// Checks the regime is well-formed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `detail` is 0 or `warmup + detail` exceeds `interval`.
+    pub fn validate(&self) {
+        assert!(self.detail >= 1, "sampling needs a measurement window");
+        assert!(
+            self.warmup + self.detail <= self.interval,
+            "warmup ({}) + detail ({}) must fit in one interval ({})",
+            self.warmup,
+            self.detail,
+            self.interval
+        );
+    }
+
+    /// Instructions per interval that run on the detailed machine.
+    pub fn unit(&self) -> u64 {
+        self.warmup + self.detail
+    }
+
+    /// Fraction of the trace simulated in detail (warmup included).
+    pub fn detail_fraction(&self) -> f64 {
+        self.unit() as f64 / self.interval as f64
+    }
+}
+
+/// One measured interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IntervalMeasure {
+    /// Trace index of the first measured instruction.
+    pub start: u64,
+    /// Measured instructions.
+    pub insts: u64,
+    /// Cycles the measured instructions took (detailed warmup excluded).
+    pub cycles: u64,
+}
+
+impl IntervalMeasure {
+    /// Cycles per instruction of this interval.
+    pub fn cpi(&self) -> f64 {
+        self.cycles as f64 / self.insts.max(1) as f64
+    }
+}
+
+/// Result of a sampled run on one machine.
+#[derive(Debug, Clone)]
+pub struct SampledRun {
+    /// The sampling regime that produced this run.
+    pub config: SampleConfig,
+    /// Trace length (all of it retired, functionally or in detail).
+    pub total_insts: u64,
+    /// Instructions inside measurement windows.
+    pub measured_insts: u64,
+    /// Instructions simulated on the detailed machine (warmup + measured).
+    pub detailed_insts: u64,
+    /// Instructions retired through functional warming only.
+    pub functional_insts: u64,
+    /// Per-interval measurements, in trace order.
+    pub intervals: Vec<IntervalMeasure>,
+    /// CPI point estimate over the interval means.
+    pub cpi: Estimate,
+    /// Aggregate core-cycles spent in detailed windows (machine cycles ×
+    /// cores, warmup included) — the total a telemetry CPI stack must
+    /// reconcile against.
+    pub detail_core_cycles: u64,
+    /// (branches, mispredicts) over the whole trace: every control
+    /// instruction is predicted exactly once, by warming or by a window.
+    pub branches: (u64, u64),
+    /// Cache-hierarchy statistics over the whole trace (warming and
+    /// detailed traffic combined).
+    pub mem: HierarchyStats,
+    /// Merged CPI stack over all detailed windows, when instrumented.
+    pub cpi_stack: Option<CpiStack>,
+}
+
+impl SampledRun {
+    /// Projected cycles for the full trace: `mean CPI × total
+    /// instructions`.
+    pub fn est_cycles(&self) -> f64 {
+        self.cpi.mean * self.total_insts as f64
+    }
+
+    /// 95% CI half-width of the projected cycles.
+    pub fn est_cycles_ci95_half(&self) -> f64 {
+        self.cpi.ci95_half * self.total_insts as f64
+    }
+
+    /// Reduction factor in detail-simulated instructions versus a
+    /// full-detail run (≥ 1).
+    pub fn detail_reduction(&self) -> f64 {
+        if self.detailed_insts == 0 {
+            1.0
+        } else {
+            self.total_insts as f64 / self.detailed_insts as f64
+        }
+    }
+
+    /// Point estimate of this machine's speedup over `baseline` (ratio of
+    /// projected cycles).
+    pub fn est_speedup_over(&self, baseline: &SampledRun) -> f64 {
+        baseline.est_cycles() / self.est_cycles().max(f64::MIN_POSITIVE)
+    }
+
+    /// Paired per-interval speedup estimate over `baseline` with a 95% CI:
+    /// both runs must have sampled the same trace with the same regime, so
+    /// interval k of one pairs with interval k of the other.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the interval schedules do not match.
+    pub fn speedup_over(&self, baseline: &SampledRun) -> Estimate {
+        assert_eq!(self.total_insts, baseline.total_insts, "same trace");
+        assert_eq!(
+            self.intervals.len(),
+            baseline.intervals.len(),
+            "same sampling schedule"
+        );
+        let ratios: Vec<f64> = baseline
+            .intervals
+            .iter()
+            .zip(&self.intervals)
+            .map(|(b, s)| {
+                assert_eq!(b.start, s.start, "same sampling schedule");
+                b.cycles as f64 / s.cycles.max(1) as f64
+            })
+            .collect();
+        Estimate::from_samples(&ratios)
+    }
+}
+
+/// Accumulator threaded through the interval walk.
+struct Drive {
+    intervals: Vec<IntervalMeasure>,
+    measured_insts: u64,
+    detailed_insts: u64,
+    functional_insts: u64,
+    detail_core_cycles: u64,
+}
+
+/// Walks the trace interval by interval: functional warming up to the
+/// window, then one detailed window per interval. A final partial interval
+/// too short for a full window is warmed only — unless nothing has been
+/// measured yet (trace shorter than one window), in which case the whole
+/// remainder runs in detail so every sampled run has at least one interval.
+fn drive<F>(
+    trace: &[DynInst],
+    scfg: &SampleConfig,
+    warm: &mut WarmState,
+    cores: u64,
+    mut run_window: F,
+) -> Drive
+where
+    F: FnMut(&[DynInst], &mut WarmState, u64) -> WarmRun,
+{
+    scfg.validate();
+    let n = trace.len() as u64;
+    let unit = scfg.unit();
+    let mut d = Drive {
+        intervals: Vec::new(),
+        measured_insts: 0,
+        detailed_insts: 0,
+        functional_insts: 0,
+        detail_core_cycles: 0,
+    };
+    let mut pos = 0u64;
+    while pos < n {
+        let end = (pos + scfg.interval).min(n);
+        let len = end - pos;
+        if len >= unit {
+            let wstart = end - unit;
+            warm.warm(&trace[pos as usize..wstart as usize]);
+            d.functional_insts += wstart - pos;
+            let wr = run_window(&trace[wstart as usize..end as usize], warm, scfg.warmup);
+            d.intervals.push(IntervalMeasure {
+                start: wstart + scfg.warmup,
+                insts: scfg.detail,
+                cycles: wr.measured_cycles(),
+            });
+            d.measured_insts += scfg.detail;
+            d.detailed_insts += unit;
+            d.detail_core_cycles += wr.result.cycles * cores;
+        } else if d.intervals.is_empty() {
+            let wr = run_window(&trace[pos as usize..end as usize], warm, 0);
+            d.intervals.push(IntervalMeasure {
+                start: pos,
+                insts: len,
+                cycles: wr.result.cycles,
+            });
+            d.measured_insts += len;
+            d.detailed_insts += len;
+            d.detail_core_cycles += wr.result.cycles * cores;
+        } else {
+            warm.warm(&trace[pos as usize..end as usize]);
+            d.functional_insts += len;
+        }
+        pos = end;
+    }
+    d
+}
+
+fn finish(
+    scfg: &SampleConfig,
+    trace: &[DynInst],
+    d: Drive,
+    warm: WarmState,
+    cpi_stack: Option<CpiStack>,
+) -> SampledRun {
+    let cpis: Vec<f64> = d.intervals.iter().map(IntervalMeasure::cpi).collect();
+    SampledRun {
+        config: *scfg,
+        total_insts: trace.len() as u64,
+        measured_insts: d.measured_insts,
+        detailed_insts: d.detailed_insts,
+        functional_insts: d.functional_insts,
+        intervals: d.intervals,
+        cpi: Estimate::from_samples(&cpis),
+        detail_core_cycles: d.detail_core_cycles,
+        branches: (warm.pred.branches, warm.pred.mispredicts),
+        mem: warm.mem.stats(),
+        cpi_stack,
+    }
+}
+
+/// Sampled run on a single core (or a fused Core Fusion core).
+pub fn sample_single(
+    trace: &[DynInst],
+    cfg: &CoreConfig,
+    hcfg: &HierarchyConfig,
+    scfg: &SampleConfig,
+) -> SampledRun {
+    let mut warm = WarmState::new(cfg, hcfg);
+    let d = drive(trace, scfg, &mut warm, 1, |w, warm, mf| {
+        run_single_warm(w, cfg, warm, mf)
+    });
+    finish(scfg, trace, d, warm, None)
+}
+
+/// Like [`sample_single`], but additionally aggregates a CPI stack over
+/// every detailed window (warmup cycles included); reconcile it with
+/// [`SampledRun::detail_core_cycles`].
+pub fn sample_single_instrumented(
+    trace: &[DynInst],
+    cfg: &CoreConfig,
+    hcfg: &HierarchyConfig,
+    scfg: &SampleConfig,
+) -> SampledRun {
+    let mut warm = WarmState::new(cfg, hcfg);
+    let mut sink = CpiSink::new(1);
+    let d = drive(trace, scfg, &mut warm, 1, |w, warm, mf| {
+        run_single_warm_with_sink(w, cfg, warm, mf, &mut sink)
+    });
+    finish(scfg, trace, d, warm, Some(sink.merged()))
+}
+
+/// Sampled run on the N-core Fg-STP machine.
+///
+/// # Panics
+///
+/// Panics if `hcfg` does not describe `cfg.num_cores` cores.
+pub fn sample_fgstp(
+    trace: &[DynInst],
+    cfg: &FgstpConfig,
+    hcfg: &HierarchyConfig,
+    scfg: &SampleConfig,
+) -> SampledRun {
+    let mut warm = WarmState::new(&cfg.core, hcfg);
+    let d = drive(
+        trace,
+        scfg,
+        &mut warm,
+        cfg.num_cores as u64,
+        |w, warm, mf| run_fgstp_warm(w, cfg, warm, mf).0,
+    );
+    finish(scfg, trace, d, warm, None)
+}
+
+/// Like [`sample_fgstp`], but additionally aggregates a CPI stack (all
+/// cores merged) over every detailed window.
+///
+/// # Panics
+///
+/// Panics if `hcfg` does not describe `cfg.num_cores` cores.
+pub fn sample_fgstp_instrumented(
+    trace: &[DynInst],
+    cfg: &FgstpConfig,
+    hcfg: &HierarchyConfig,
+    scfg: &SampleConfig,
+) -> SampledRun {
+    let mut warm = WarmState::new(&cfg.core, hcfg);
+    let mut sink = CpiSink::new(cfg.num_cores);
+    let d = drive(
+        trace,
+        scfg,
+        &mut warm,
+        cfg.num_cores as u64,
+        |w, warm, mf| run_fgstp_warm_with_sink(w, cfg, warm, mf, &mut sink).0,
+    );
+    finish(scfg, trace, d, warm, Some(sink.merged()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fgstp_isa::{assemble, trace_program, Trace};
+    use fgstp_ooo::run_single;
+
+    fn loop_trace(iters: u64) -> Trace {
+        let src = format!(
+            r#"
+                li x1, 0x8000
+                li x9, {iters}
+            loop:
+                ld   x4, 0(x1)
+                add  x3, x3, x4
+                sd   x3, 8(x1)
+                addi x1, x1, 16
+                addi x9, x9, -1
+                bne  x9, x0, loop
+                halt
+            "#
+        );
+        let p = assemble(&src).unwrap();
+        trace_program(&p, 1_000_000).unwrap()
+    }
+
+    fn scfg() -> SampleConfig {
+        SampleConfig {
+            interval: 1_000,
+            warmup: 200,
+            detail: 100,
+        }
+    }
+
+    #[test]
+    fn every_instruction_is_accounted_exactly_once() {
+        let t = loop_trace(2_000);
+        let r = sample_single(
+            t.insts(),
+            &CoreConfig::small(),
+            &HierarchyConfig::small(1),
+            &scfg(),
+        );
+        assert_eq!(r.total_insts, t.len() as u64);
+        assert_eq!(r.functional_insts + r.detailed_insts, r.total_insts);
+        assert_eq!(r.intervals.len(), (t.len() as u64 / 1_000) as usize);
+        assert!(r.detail_reduction() > 2.0);
+    }
+
+    #[test]
+    fn sampled_estimate_tracks_the_full_run_on_a_steady_loop() {
+        let t = loop_trace(2_000);
+        let full = run_single(t.insts(), &CoreConfig::small(), &HierarchyConfig::small(1));
+        let r = sample_single(
+            t.insts(),
+            &CoreConfig::small(),
+            &HierarchyConfig::small(1),
+            &scfg(),
+        );
+        let err = (r.est_cycles() - full.cycles as f64).abs() / full.cycles as f64;
+        assert!(err < 0.05, "estimate off by {:.2}% ", err * 100.0);
+        assert!(r.cpi.cov < 0.5, "steady loop, cov {}", r.cpi.cov);
+    }
+
+    #[test]
+    fn short_trace_degenerates_to_full_detail() {
+        let t = loop_trace(10);
+        let full = run_single(t.insts(), &CoreConfig::small(), &HierarchyConfig::small(1));
+        let r = sample_single(
+            t.insts(),
+            &CoreConfig::small(),
+            &HierarchyConfig::small(1),
+            &SampleConfig::default(),
+        );
+        assert_eq!(r.intervals.len(), 1);
+        assert_eq!(r.detailed_insts, r.total_insts);
+        assert_eq!(r.est_cycles(), full.cycles as f64);
+        assert_eq!(r.cpi.ci95_half, 0.0, "single interval: degenerate CI");
+    }
+
+    #[test]
+    fn branch_totals_cover_the_whole_trace() {
+        let t = loop_trace(2_000);
+        let full = run_single(t.insts(), &CoreConfig::small(), &HierarchyConfig::small(1));
+        let r = sample_single(
+            t.insts(),
+            &CoreConfig::small(),
+            &HierarchyConfig::small(1),
+            &scfg(),
+        );
+        assert_eq!(r.branches.0, full.branches.0, "every branch predicted once");
+    }
+
+    #[test]
+    fn instrumented_stack_reconciles_with_detailed_cycles() {
+        let t = loop_trace(2_000);
+        let r = sample_single_instrumented(
+            t.insts(),
+            &CoreConfig::small(),
+            &HierarchyConfig::small(1),
+            &scfg(),
+        );
+        let stack = r.cpi_stack.as_ref().expect("instrumented");
+        stack.check_against(r.detail_core_cycles).unwrap();
+        assert_eq!(stack.committed, r.detailed_insts);
+    }
+
+    #[test]
+    fn fgstp_sampling_completes_and_reconciles() {
+        let t = loop_trace(2_000);
+        let cfg = FgstpConfig::small();
+        let r = sample_fgstp_instrumented(t.insts(), &cfg, &HierarchyConfig::small(2), &scfg());
+        assert_eq!(r.total_insts, t.len() as u64);
+        assert!(r.est_cycles() > 0.0);
+        let stack = r.cpi_stack.as_ref().expect("instrumented");
+        stack.check_against(r.detail_core_cycles).unwrap();
+    }
+
+    #[test]
+    fn paired_speedup_uses_matching_schedules() {
+        let t = loop_trace(2_000);
+        let single = sample_single(
+            t.insts(),
+            &CoreConfig::small(),
+            &HierarchyConfig::small(1),
+            &scfg(),
+        );
+        let fg = sample_fgstp(
+            t.insts(),
+            &FgstpConfig::small(),
+            &HierarchyConfig::small(2),
+            &scfg(),
+        );
+        let paired = fg.speedup_over(&single);
+        let point = fg.est_speedup_over(&single);
+        assert!(paired.mean > 0.0);
+        assert!(point > 0.0);
+        assert!(
+            (paired.mean - point).abs() / point < 0.25,
+            "paired {} vs point {}",
+            paired.mean,
+            point
+        );
+    }
+
+    #[test]
+    fn empty_trace_is_a_zero_run() {
+        let r = sample_single(
+            &[],
+            &CoreConfig::small(),
+            &HierarchyConfig::small(1),
+            &SampleConfig::default(),
+        );
+        assert_eq!(r.total_insts, 0);
+        assert!(r.intervals.is_empty());
+        assert_eq!(r.est_cycles(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must fit")]
+    fn oversized_window_is_rejected() {
+        SampleConfig {
+            interval: 100,
+            warmup: 80,
+            detail: 40,
+        }
+        .validate();
+    }
+}

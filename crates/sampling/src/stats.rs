@@ -1,0 +1,224 @@
+//! Interval statistics: CLT point estimates with 95% confidence intervals.
+//!
+//! Everything here is deterministic — plain arithmetic over the interval
+//! measurements, no RNG and no wall-clock. The confidence interval is the
+//! classic large-sample (CLT) interval over per-interval means; with the
+//! systematic interval counts the sampler produces (dozens to thousands of
+//! intervals) the normal approximation is the standard choice (SMARTS,
+//! Wunderlich et al., ISCA 2003).
+
+/// Two-sided 95% normal quantile (z such that P(|Z| <= z) = 0.95).
+pub const Z95: f64 = 1.959963984540054;
+
+/// A point estimate over interval samples with dispersion measures.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Estimate {
+    /// Number of samples the estimate aggregates.
+    pub n: usize,
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (n − 1 denominator); 0 for n < 2.
+    pub std_dev: f64,
+    /// Half-width of the 95% confidence interval (z · s/√n); 0 for n < 2,
+    /// where no dispersion information exists (degenerate interval).
+    pub ci95_half: f64,
+    /// Coefficient of variation (s / |mean|); 0 when the mean is 0.
+    pub cov: f64,
+}
+
+impl Estimate {
+    /// A zero estimate (no samples).
+    pub fn empty() -> Estimate {
+        Estimate {
+            n: 0,
+            mean: 0.0,
+            std_dev: 0.0,
+            ci95_half: 0.0,
+            cov: 0.0,
+        }
+    }
+
+    /// Aggregates `xs` into mean, standard deviation, 95% CI half-width
+    /// and coefficient of variation.
+    pub fn from_samples(xs: &[f64]) -> Estimate {
+        let n = xs.len();
+        if n == 0 {
+            return Estimate::empty();
+        }
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        if n == 1 {
+            // A single interval carries no dispersion information: the
+            // estimate degenerates to the sample itself with a zero-width
+            // (uninformative) interval.
+            return Estimate {
+                n,
+                mean,
+                std_dev: 0.0,
+                ci95_half: 0.0,
+                cov: 0.0,
+            };
+        }
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1) as f64;
+        let std_dev = var.sqrt();
+        let sem = std_dev / (n as f64).sqrt();
+        Estimate {
+            n,
+            mean,
+            std_dev,
+            ci95_half: Z95 * sem,
+            cov: if mean != 0.0 {
+                std_dev / mean.abs()
+            } else {
+                0.0
+            },
+        }
+    }
+
+    /// Whether the 95% confidence interval contains `x`.
+    pub fn covers(&self, x: f64) -> bool {
+        (x - self.mean).abs() <= self.ci95_half
+    }
+
+    /// CI half-width relative to the mean (0 when the mean is 0).
+    pub fn rel_ci95(&self) -> f64 {
+        if self.mean != 0.0 {
+            self.ci95_half / self.mean.abs()
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Geometric mean over per-workload estimates with first-order (delta
+/// method) CI propagation.
+///
+/// In log space the geomean is an average of independent `ln mean_w` terms,
+/// each with standard error `sem_w / mean_w`; the propagated half-width is
+/// mapped back symmetrically (`g · z · σ_ln`), the usual small-σ
+/// approximation. Workload means must be positive.
+///
+/// # Panics
+///
+/// Panics if `parts` is empty or any part has a non-positive mean.
+pub fn geomean_estimate(parts: &[Estimate]) -> Estimate {
+    assert!(!parts.is_empty(), "geomean of an empty set");
+    let w = parts.len() as f64;
+    let mut ln_sum = 0.0;
+    let mut var_ln = 0.0;
+    for p in parts {
+        assert!(p.mean > 0.0, "geomean needs positive means, got {}", p.mean);
+        ln_sum += p.mean.ln();
+        let sem = p.ci95_half / Z95; // standard error of the workload mean
+        let sem_ln = sem / p.mean;
+        var_ln += sem_ln * sem_ln;
+    }
+    let mean = (ln_sum / w).exp();
+    let sigma_ln = var_ln.sqrt() / w;
+    let ci95_half = mean * Z95 * sigma_ln;
+    let n = parts.len();
+    let sem = ci95_half / Z95;
+    let std_dev = sem * (n as f64).sqrt();
+    Estimate {
+        n,
+        mean,
+        std_dev,
+        ci95_half,
+        cov: if mean != 0.0 { std_dev / mean } else { 0.0 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_distribution_has_textbook_moments() {
+        // 1..=100: mean 50.5, sample variance n(n+1)/12 with n=100 -> 841.66…
+        let xs: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let e = Estimate::from_samples(&xs);
+        assert_eq!(e.n, 100);
+        assert!((e.mean - 50.5).abs() < 1e-12);
+        let expected_sd = (100.0 * 101.0 / 12.0f64).sqrt();
+        assert!((e.std_dev - expected_sd).abs() < 1e-9, "{}", e.std_dev);
+        let expected_half = Z95 * expected_sd / 10.0;
+        assert!((e.ci95_half - expected_half).abs() < 1e-9);
+        assert!((e.cov - expected_sd / 50.5).abs() < 1e-12);
+        assert!(e.covers(50.5));
+        assert!(e.covers(50.5 + e.ci95_half));
+        assert!(!e.covers(50.5 + e.ci95_half * 1.001));
+    }
+
+    #[test]
+    fn zero_variance_collapses_the_interval() {
+        let xs = [3.25; 40];
+        let e = Estimate::from_samples(&xs);
+        assert_eq!(e.mean, 3.25);
+        assert_eq!(e.std_dev, 0.0);
+        assert_eq!(e.ci95_half, 0.0);
+        assert_eq!(e.cov, 0.0);
+        assert!(e.covers(3.25));
+        assert!(!e.covers(3.2500001));
+    }
+
+    #[test]
+    fn single_sample_is_degenerate_but_defined() {
+        let e = Estimate::from_samples(&[7.0]);
+        assert_eq!(e.n, 1);
+        assert_eq!(e.mean, 7.0);
+        assert_eq!(e.ci95_half, 0.0);
+        assert_eq!(e.cov, 0.0);
+    }
+
+    #[test]
+    fn empty_sample_set_is_all_zeros() {
+        let e = Estimate::from_samples(&[]);
+        assert_eq!(e.n, 0);
+        assert_eq!(e.mean, 0.0);
+        assert_eq!(e, Estimate::empty());
+    }
+
+    #[test]
+    fn rel_ci_is_half_width_over_mean() {
+        let xs = [9.0, 11.0, 10.0, 10.0];
+        let e = Estimate::from_samples(&xs);
+        assert!((e.rel_ci95() - e.ci95_half / 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geomean_of_exact_estimates_is_the_plain_geomean() {
+        let parts: Vec<Estimate> = [2.0, 8.0]
+            .iter()
+            .map(|&m| Estimate {
+                n: 10,
+                mean: m,
+                std_dev: 0.0,
+                ci95_half: 0.0,
+                cov: 0.0,
+            })
+            .collect();
+        let g = geomean_estimate(&parts);
+        assert!((g.mean - 4.0).abs() < 1e-12);
+        assert_eq!(g.ci95_half, 0.0);
+    }
+
+    #[test]
+    fn geomean_ci_shrinks_with_more_workloads() {
+        let part = |m: f64| Estimate {
+            n: 20,
+            mean: m,
+            std_dev: 0.5,
+            ci95_half: Z95 * 0.5 / 20.0f64.sqrt(),
+            cov: 0.5 / m,
+        };
+        let few = geomean_estimate(&[part(2.0), part(2.0)]);
+        let many = geomean_estimate(&[part(2.0); 8]);
+        assert!(many.ci95_half < few.ci95_half);
+        assert!((few.mean - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive means")]
+    fn geomean_rejects_nonpositive_means() {
+        geomean_estimate(&[Estimate::empty()]);
+    }
+}

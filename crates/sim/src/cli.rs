@@ -19,12 +19,13 @@
 use std::fmt::Write as _;
 
 use fgstp_ooo::{run_single_recorded, PipeRecorder};
+use fgstp_sampling::SampleConfig;
 use fgstp_telemetry::{write_chrome_trace, StallCategory};
 use fgstp_workloads::{by_name, suite, Scale};
 
 use crate::presets::MachineKind;
 use crate::report::Table;
-use crate::runner::{run_on_instrumented_with_cores, run_on_with_cores};
+use crate::runner::{run_on_instrumented_with_cores, run_on_sampled, run_on_with_cores};
 use crate::session::Session;
 
 /// Error for unknown CLI inputs, carrying a usage hint.
@@ -92,13 +93,15 @@ pub fn list() -> String {
 /// position is accepted too (`run hmmer_dp test`), since users naturally
 /// drop the machine.
 pub fn run(workload: &str, machine: Option<&str>, scale: Option<&str>) -> Result<String, CliError> {
-    run_instrumented(workload, machine, scale, None, false, None)
+    run_instrumented(workload, machine, scale, None, false, None, None)
 }
 
 /// `run` with the overrides and observability flags: `cores` overrides the
 /// Fg-STP core count, `cpi_stack` appends the CPI-stack breakdown,
 /// `chrome_trace` writes the per-core stall timeline as Chrome
-/// `trace_event` JSON to the given path.
+/// `trace_event` JSON to the given path, and `sample` switches to
+/// SMARTS-style sampled simulation (projected totals plus the interval
+/// summary; incompatible with `--cores` and `--chrome-trace`).
 pub fn run_instrumented(
     workload: &str,
     machine: Option<&str>,
@@ -106,6 +109,7 @@ pub fn run_instrumented(
     cores: Option<usize>,
     cpi_stack: bool,
     chrome_trace: Option<&str>,
+    sample: Option<SampleConfig>,
 ) -> Result<String, CliError> {
     let (machine, scale) = match (machine, scale) {
         (Some(m), None) if parse_machine(Some(m)).is_err() && parse_scale(Some(m)).is_ok() => {
@@ -123,10 +127,38 @@ pub fn run_instrumented(
     if cores == Some(0) {
         return Err(CliError("--cores needs at least one core".to_owned()));
     }
+    if let Some(s) = &sample {
+        if cores.is_some() {
+            return Err(CliError(
+                "--cores cannot be combined with --sample".to_owned(),
+            ));
+        }
+        if chrome_trace.is_some() {
+            return Err(CliError(
+                "--chrome-trace is not available under --sample (no episode timeline)".to_owned(),
+            ));
+        }
+        if s.detail == 0 {
+            return Err(CliError(
+                "--sample-detail needs at least one instruction".to_owned(),
+            ));
+        }
+        if s.warmup + s.detail > s.interval {
+            return Err(CliError(format!(
+                "sample warmup ({}) + detail ({}) must fit in the interval ({})",
+                s.warmup, s.detail, s.interval
+            )));
+        }
+    }
     let w = find_workload(workload, scale)?;
     let trace = Session::new().scale(scale).trace(&w);
     let instrumented = cpi_stack || chrome_trace.is_some();
-    let (r, episodes) = if instrumented {
+    let (r, episodes) = if let Some(scfg) = &sample {
+        (
+            run_on_sampled(kind, trace.insts(), scfg, cpi_stack),
+            Vec::new(),
+        )
+    } else if instrumented {
         run_on_instrumented_with_cores(kind, trace.insts(), chrome_trace.is_some(), cores)
     } else {
         (run_on_with_cores(kind, trace.insts(), cores), Vec::new())
@@ -143,6 +175,31 @@ pub fn run_instrumented(
     let _ = writeln!(out, "ipc:       {:.3}", r.ipc());
     let (branches, mispredicts) = r.result.branches;
     let _ = writeln!(out, "branches:  {branches} ({mispredicts} mispredicted)");
+    if let Some(s) = &r.sampled {
+        let _ = writeln!(
+            out,
+            "sampling:  interval {} / warmup {} / detail {} ({} intervals)",
+            s.config.interval,
+            s.config.warmup,
+            s.config.detail,
+            s.intervals.len()
+        );
+        let _ = writeln!(
+            out,
+            "estimate:  {:.0} ± {:.0} cycles (95% CI), cpi {:.3} (cov {:.3})",
+            s.est_cycles(),
+            s.est_cycles_ci95_half(),
+            s.cpi.mean,
+            s.cpi.cov
+        );
+        let _ = writeln!(
+            out,
+            "detail:    {} of {} insts in detail ({:.1}x reduction)",
+            s.detailed_insts,
+            s.total_insts,
+            s.detail_reduction()
+        );
+    }
     for (i, c) in r.result.cores.iter().enumerate() {
         let _ = writeln!(
             out,
@@ -283,6 +340,16 @@ pub fn pipeview2(workload: &str, range: Option<&str>) -> Result<String, CliError
     Ok(out)
 }
 
+/// Pulls the value of a `--sample-*` count flag off the argument stream.
+fn parse_count_flag(it: &mut std::slice::Iter<'_, &str>, flag: &str) -> Result<u64, CliError> {
+    let v = it
+        .next()
+        .copied()
+        .ok_or_else(|| CliError(format!("{flag} needs an instruction count")))?;
+    v.parse()
+        .map_err(|_| CliError(format!("bad {flag} value `{v}`")))
+}
+
 fn parse_range(range: Option<&str>) -> Result<(u64, u64), CliError> {
     match range {
         None => Ok((0, 32)),
@@ -313,6 +380,8 @@ pub fn dispatch(args: &[String]) -> Result<String, CliError> {
             let mut cpi_stack = false;
             let mut chrome_trace: Option<&str> = None;
             let mut cores: Option<usize> = None;
+            let mut sample = false;
+            let mut scfg = SampleConfig::default();
             let mut positional: Vec<&str> = Vec::new();
             let mut it = rest.iter();
             while let Some(&a) = it.next() {
@@ -333,6 +402,19 @@ pub fn dispatch(args: &[String]) -> Result<String, CliError> {
                                 .map_err(|_| CliError(format!("bad core count `{n}`")))?,
                         );
                     }
+                    "--sample" => sample = true,
+                    "--sample-interval" => {
+                        scfg.interval = parse_count_flag(&mut it, a)?;
+                        sample = true;
+                    }
+                    "--sample-warmup" => {
+                        scfg.warmup = parse_count_flag(&mut it, a)?;
+                        sample = true;
+                    }
+                    "--sample-detail" => {
+                        scfg.detail = parse_count_flag(&mut it, a)?;
+                        sample = true;
+                    }
                     _ => positional.push(a),
                 }
             }
@@ -343,13 +425,14 @@ pub fn dispatch(args: &[String]) -> Result<String, CliError> {
                 cores,
                 cpi_stack,
                 chrome_trace,
+                sample.then_some(scfg),
             )
         }
         ["compare", w, rest @ ..] => compare(w, rest.first().copied()),
         ["pipeview", w, rest @ ..] => pipeview(w, rest.first().copied()),
         ["pipeview2", w, rest @ ..] => pipeview2(w, rest.first().copied()),
         _ => Err(CliError(
-            "usage: fgstpsim <list | run <workload> [machine] [scale] [--cores N] [--cpi-stack] [--chrome-trace <path>] | compare <workload> [scale] | pipeview <workload> [first..last] | pipeview2 <workload> [first..last]>"
+            "usage: fgstpsim <list | run <workload> [machine] [scale] [--cores N] [--cpi-stack] [--chrome-trace <path>] [--sample] [--sample-interval N] [--sample-warmup N] [--sample-detail N] | compare <workload> [scale] | pipeview <workload> [first..last] | pipeview2 <workload> [first..last]>"
                 .to_owned(),
         )),
     }
@@ -481,10 +564,17 @@ mod tests {
 
     #[test]
     fn cores_flag_rejects_bad_inputs() {
-        assert!(
-            run_instrumented("hmmer_dp", Some("single-small"), None, Some(2), false, None).is_err()
-        );
-        assert!(run_instrumented("hmmer_dp", None, None, Some(0), false, None).is_err());
+        assert!(run_instrumented(
+            "hmmer_dp",
+            Some("single-small"),
+            None,
+            Some(2),
+            false,
+            None,
+            None
+        )
+        .is_err());
+        assert!(run_instrumented("hmmer_dp", None, None, Some(0), false, None, None).is_err());
         let e = dispatch(&["run".into(), "hmmer_dp".into(), "--cores".into()]);
         assert!(e.is_err());
         let e = dispatch(&[
@@ -494,6 +584,91 @@ mod tests {
             "many".into(),
         ]);
         assert!(e.is_err());
+    }
+
+    #[test]
+    fn sample_flag_switches_to_projected_totals() {
+        let out = dispatch(&[
+            "run".into(),
+            "hmmer_dp".into(),
+            "fgstp-small".into(),
+            "test".into(),
+            "--sample".into(),
+            "--sample-interval".into(),
+            "2000".into(),
+            "--sample-warmup".into(),
+            "300".into(),
+            "--sample-detail".into(),
+            "150".into(),
+        ])
+        .unwrap();
+        assert!(
+            out.contains("sampling:  interval 2000 / warmup 300 / detail 150"),
+            "{out}"
+        );
+        assert!(out.contains("estimate:"), "{out}");
+        assert!(out.contains("x reduction"), "{out}");
+    }
+
+    #[test]
+    fn sample_value_flags_imply_sampling() {
+        let out = dispatch(&[
+            "run".into(),
+            "hmmer_dp".into(),
+            "--sample-interval".into(),
+            "3000".into(),
+        ])
+        .unwrap();
+        assert!(out.contains("sampling:  interval 3000"), "{out}");
+    }
+
+    #[test]
+    fn sample_flag_composes_with_cpi_stack() {
+        let out = dispatch(&[
+            "run".into(),
+            "hmmer_dp".into(),
+            "--sample".into(),
+            "--cpi-stack".into(),
+        ])
+        .unwrap();
+        assert!(out.contains("sampling:"), "{out}");
+        assert!(out.contains("cpi stack"), "{out}");
+    }
+
+    #[test]
+    fn sample_flag_rejects_bad_combinations() {
+        let chrome = dispatch(&[
+            "run".into(),
+            "hmmer_dp".into(),
+            "--sample".into(),
+            "--chrome-trace".into(),
+            "/tmp/x.json".into(),
+        ]);
+        assert!(chrome.is_err());
+        let cores = dispatch(&[
+            "run".into(),
+            "hmmer_dp".into(),
+            "--sample".into(),
+            "--cores".into(),
+            "2".into(),
+        ]);
+        assert!(cores.is_err());
+        let oversized = dispatch(&[
+            "run".into(),
+            "hmmer_dp".into(),
+            "--sample-interval".into(),
+            "100".into(),
+        ]);
+        assert!(oversized.is_err(), "default window no longer fits");
+        let missing = dispatch(&["run".into(), "hmmer_dp".into(), "--sample-detail".into()]);
+        assert!(missing.is_err());
+        let bad = dispatch(&[
+            "run".into(),
+            "hmmer_dp".into(),
+            "--sample-detail".into(),
+            "lots".into(),
+        ]);
+        assert!(bad.is_err());
     }
 
     #[test]

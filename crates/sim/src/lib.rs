@@ -46,12 +46,13 @@ pub mod report;
 pub mod runner;
 pub mod session;
 
+pub use fgstp_sampling::{geomean_estimate, Estimate, SampleConfig, SampledRun};
 pub use fgstp_telemetry::{write_chrome_trace, CpiStack, Episode, StallCategory};
 pub use fgstp_workloads::{Scale, SuiteClass, Workload};
 pub use presets::MachineKind;
 pub use report::{cpi_stack_table, speedup_table, SpeedupSummary, Table};
 pub use runner::{
-    geomean, run_on, run_on_instrumented, run_on_instrumented_with_cores, run_on_with_cores,
-    run_suite, BenchResult, MachineRun,
+    geomean, run_on, run_on_instrumented, run_on_instrumented_with_cores, run_on_sampled,
+    run_on_with_cores, run_suite, BenchResult, MachineRun,
 };
 pub use session::{CacheStats, RunPlan, Session};

@@ -10,6 +10,10 @@
 use fgstp::{run_fgstp, run_fgstp_with_sink, FgstpStats};
 use fgstp_isa::DynInst;
 use fgstp_ooo::{run_single, run_single_with_sink, RunResult};
+use fgstp_sampling::{
+    sample_fgstp, sample_fgstp_instrumented, sample_single, sample_single_instrumented,
+    SampleConfig, SampledRun,
+};
 use fgstp_telemetry::{CpiSink, CpiStack, Episode};
 use fgstp_workloads::{Scale, Workload};
 
@@ -29,6 +33,11 @@ pub struct MachineRun {
     /// instrumented (see [`run_on_instrumented`] and
     /// [`Session::telemetry`]).
     pub cpi: Option<CpiStack>,
+    /// The sampled-simulation record, when the run came from
+    /// [`run_on_sampled`] (or [`Session::sample`]): interval schedule, CPI
+    /// estimate with its 95% confidence interval, and detail-reduction
+    /// accounting. `result` then carries *projected* totals.
+    pub sampled: Option<SampledRun>,
 }
 
 impl MachineRun {
@@ -107,6 +116,7 @@ pub fn run_on_with_cores(kind: MachineKind, trace: &[DynInst], cores: Option<usi
             result,
             fgstp: Some(stats),
             cpi: None,
+            sampled: None,
         }
     } else {
         assert!(
@@ -119,7 +129,54 @@ pub fn run_on_with_cores(kind: MachineKind, trace: &[DynInst], cores: Option<usi
             result,
             fgstp: None,
             cpi: None,
+            sampled: None,
         }
+    }
+}
+
+/// Runs one trace through one machine preset under SMARTS-style systematic
+/// sampling (see [`fgstp_sampling`]): most of the trace retires through
+/// functional warming, and only periodic windows run on the detailed
+/// machine. The returned [`MachineRun::result`] carries *projected* totals
+/// — `cycles` is the rounded CPI-estimate projection, `committed` the full
+/// trace length — while [`MachineRun::sampled`] holds the interval record
+/// and confidence interval. With `telemetry` the merged CPI stack over the
+/// detailed windows lands in [`MachineRun::cpi`].
+pub fn run_on_sampled(
+    kind: MachineKind,
+    trace: &[DynInst],
+    scfg: &SampleConfig,
+    telemetry: bool,
+) -> MachineRun {
+    let sampled = if let Some(cfg) = kind.try_fgstp_config() {
+        let hcfg = kind.hierarchy_for(cfg.num_cores);
+        if telemetry {
+            sample_fgstp_instrumented(trace, &cfg, &hcfg, scfg)
+        } else {
+            sample_fgstp(trace, &cfg, &hcfg, scfg)
+        }
+    } else {
+        let ccfg = kind.core_config();
+        let hcfg = kind.hierarchy_config();
+        if telemetry {
+            sample_single_instrumented(trace, &ccfg, &hcfg, scfg)
+        } else {
+            sample_single(trace, &ccfg, &hcfg, scfg)
+        }
+    };
+    let result = RunResult {
+        cycles: sampled.est_cycles().round() as u64,
+        committed: sampled.total_insts,
+        cores: Vec::new(),
+        branches: sampled.branches,
+        mem: sampled.mem.clone(),
+    };
+    MachineRun {
+        kind,
+        result,
+        fgstp: None,
+        cpi: sampled.cpi_stack,
+        sampled: Some(sampled),
     }
 }
 
@@ -167,6 +224,7 @@ pub fn run_on_instrumented_with_cores(
             result,
             fgstp: Some(stats),
             cpi: None,
+            sampled: None,
         };
     } else {
         assert!(
@@ -189,6 +247,7 @@ pub fn run_on_instrumented_with_cores(
             result,
             fgstp: None,
             cpi: None,
+            sampled: None,
         };
     }
     let timeline = sink.finish_episodes(run.result.cycles);
@@ -357,6 +416,48 @@ mod tests {
         // The default path matches the preset's own core count.
         let d = run_on(MachineKind::FgstpSmall4, t.insts());
         assert_eq!(d.result.cores.len(), 4);
+    }
+
+    #[test]
+    fn sampled_run_projects_totals_and_keeps_the_record() {
+        let w = by_name("hmmer_dp", Scale::Test).unwrap();
+        let t = trace_workload(&w, Scale::Test);
+        let scfg = SampleConfig {
+            interval: 2_000,
+            warmup: 300,
+            detail: 150,
+        };
+        for k in [MachineKind::SingleSmall, MachineKind::FgstpSmall] {
+            let full = run_on(k, t.insts());
+            let r = run_on_sampled(k, t.insts(), &scfg, false);
+            assert_eq!(r.result.committed, t.len() as u64, "{k}");
+            let s = r.sampled.as_ref().expect("sampled record");
+            assert_eq!(r.result.cycles, s.est_cycles().round() as u64, "{k}");
+            assert!(s.detail_reduction() > 2.0, "{k}");
+            // The projection tracks the full-detail run loosely even on a
+            // short Test-scale trace (tight bounds live in the long-run
+            // acceptance tests).
+            let err =
+                (s.est_cycles() - full.result.cycles as f64).abs() / full.result.cycles as f64;
+            assert!(err < 0.5, "{k}: estimate off by {:.1}%", err * 100.0);
+            assert!(r.cpi.is_none(), "{k}: uninstrumented");
+        }
+    }
+
+    #[test]
+    fn instrumented_sampled_run_carries_a_window_stack() {
+        let w = by_name("hmmer_dp", Scale::Test).unwrap();
+        let t = trace_workload(&w, Scale::Test);
+        let scfg = SampleConfig {
+            interval: 2_000,
+            warmup: 300,
+            detail: 150,
+        };
+        let r = run_on_sampled(MachineKind::FgstpSmall, t.insts(), &scfg, true);
+        let s = r.sampled.as_ref().unwrap();
+        let stack = r.cpi.as_ref().expect("instrumented sampled run");
+        stack.check_against(s.detail_core_cycles).unwrap();
+        assert_eq!(stack.committed, s.detailed_insts);
     }
 
     #[test]

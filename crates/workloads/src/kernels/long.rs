@@ -1,0 +1,182 @@
+//! Long-run workload variants for sampled simulation.
+//!
+//! The main 18-kernel suite is sized for full-detail runs (tens of
+//! thousands of dynamic instructions at [`Scale::Test`]); sampled
+//! simulation only pays off — and can only be validated — on traces long
+//! enough to hold many sampling intervals. This module provides the
+//! *long suite*: `*_long` parameterizations of representative kernels at
+//! roughly ten times their usual dynamic length, plus [`chase_long`], a
+//! pointer chase whose 2 MiB working set overflows the small machine's
+//! 1 MiB L2 and keeps the core memory-latency-bound for the whole run.
+//!
+//! The long suite is deliberately separate from [`super::all`]: the
+//! recorded experiment figures pin the main suite's exact composition and
+//! cycle counts.
+
+use fgstp_isa::Program;
+
+use super::{epilogue, extra, fp, int, must_assemble};
+use crate::gen::Xorshift;
+use crate::{Scale, SuiteClass, Workload};
+
+/// Pointer chase over a shuffled 2 MiB linked list (131072 nodes of 16
+/// bytes) — the working set overflows the small hierarchy's 1 MiB L2, so
+/// steady state is one long-latency miss per node.
+pub(crate) fn chase_long(f: usize) -> Program {
+    const NODES: usize = 131_072; // 16 B each: 2 MiB
+    const BASE: u64 = 0x100_0000;
+    let steps = 60_000 * f;
+    let mut g = Xorshift::new(0x7a31);
+    let perm = g.permutation(NODES);
+    // Node j occupies 16 bytes at BASE + j*16: [next_ptr, value].
+    let mut words = vec![0u64; NODES * 2];
+    for i in 0..NODES {
+        let here = perm[i];
+        let next = perm[(i + 1) % NODES];
+        words[here * 2] = BASE + (next as u64) * 16;
+        words[here * 2 + 1] = g.next_u64() >> 8;
+    }
+    let entry = BASE + (perm[0] as u64) * 16;
+    let src = format!(
+        r#"
+            li x1, {entry}
+            li x2, {steps}
+            li x3, 0
+        loop:
+            ld   x4, 8(x1)     # node value
+            add  x3, x3, x4
+            ld   x1, 0(x1)     # follow next pointer
+            addi x2, x2, -1
+            bne  x2, x0, loop
+        {epi}
+        "#,
+        epi = epilogue("x3"),
+    );
+    must_assemble("chase_long", &src).with_words(BASE, &words)
+}
+
+/// Builds the long-run suite at `scale` (see the module docs above).
+pub fn long_suite(scale: Scale) -> Vec<Workload> {
+    let f = scale.factor();
+    vec![
+        Workload {
+            name: "chase_long",
+            models: "429.mcf (large)",
+            suite: SuiteClass::Int,
+            description: "pointer chasing over a 2 MiB list, L2-resident misses",
+            program: chase_long(f),
+        },
+        Workload {
+            name: "mcf_pointer_long",
+            models: "429.mcf",
+            suite: SuiteClass::Int,
+            description: "long-run pointer chasing over a shuffled linked list",
+            program: int::mcf_pointer(48 * f),
+        },
+        Workload {
+            name: "perl_hash_long",
+            models: "400.perlbench",
+            suite: SuiteClass::Int,
+            description: "long-run string hashing with data-dependent branches",
+            program: int::perl_hash(8 * f),
+        },
+        Workload {
+            name: "hmmer_dp_long",
+            models: "456.hmmer",
+            suite: SuiteClass::Int,
+            description: "long-run dynamic-programming inner loop, high ILP",
+            program: int::hmmer_dp(40 * f),
+        },
+        Workload {
+            name: "libq_stream_long",
+            models: "462.libquantum",
+            suite: SuiteClass::Int,
+            description: "long-run streaming gate application over a large array",
+            program: int::libq_stream(16 * f),
+        },
+        Workload {
+            name: "lbm_stencil_long",
+            models: "470.lbm",
+            suite: SuiteClass::Fp,
+            description: "long-run streaming FP stencil over a large grid",
+            program: fp::lbm_stencil(24 * f),
+        },
+        Workload {
+            name: "omnetpp_queue_long",
+            models: "471.omnetpp",
+            suite: SuiteClass::Int,
+            description: "long-run event-heap sift with data-dependent branching",
+            program: extra::omnetpp_queue(32 * f),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fgstp_isa::{trace_program, InstClass};
+
+    #[test]
+    fn long_kernels_halt_with_nonzero_checksums() {
+        for w in long_suite(Scale::Test) {
+            let c = w
+                .run_reference()
+                .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            assert_ne!(c, 0, "{} produced a zero checksum", w.name);
+        }
+    }
+
+    #[test]
+    fn long_kernels_are_long_but_fit_the_trace_budget() {
+        for w in long_suite(Scale::Test) {
+            let t = trace_program(&w.program, Scale::Test.trace_budget())
+                .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            let n = t.len();
+            assert!(
+                (150_000..900_000).contains(&n),
+                "{} has {} dynamic instructions at test scale",
+                w.name,
+                n
+            );
+        }
+    }
+
+    #[test]
+    fn long_names_are_unique_and_distinct_from_the_main_suite() {
+        let main: std::collections::HashSet<_> = super::super::all(Scale::Test)
+            .iter()
+            .map(|w| w.name)
+            .collect();
+        let mut seen = std::collections::HashSet::new();
+        for w in long_suite(Scale::Test) {
+            assert!(seen.insert(w.name), "{} duplicated", w.name);
+            assert!(
+                !main.contains(w.name),
+                "{} collides with the main suite",
+                w.name
+            );
+        }
+    }
+
+    #[test]
+    fn chase_long_is_memory_latency_bound() {
+        let w = long_suite(Scale::Test).remove(0);
+        assert_eq!(w.name, "chase_long");
+        let t = trace_program(&w.program, Scale::Test.trace_budget()).unwrap();
+        assert!(t.class_fraction(InstClass::Load) > 0.3, "chases pointers");
+        // The chain visits ~steps distinct nodes of a 131072-node ring:
+        // far more distinct lines than the 1 MiB L2 holds in a run this
+        // long would need, so the working set cannot be cache-resident.
+        let distinct: std::collections::HashSet<u64> = t
+            .insts()
+            .iter()
+            .filter_map(|d| d.addr)
+            .map(|a| a & !63)
+            .collect();
+        assert!(
+            distinct.len() > 20_000,
+            "only {} distinct lines touched",
+            distinct.len()
+        );
+    }
+}

@@ -3,6 +3,9 @@
 mod extra;
 mod fp;
 mod int;
+mod long;
+
+pub use long::long_suite;
 
 use fgstp_isa::Program;
 

@@ -120,9 +120,23 @@ pub fn suite(scale: Scale) -> Vec<Workload> {
     kernels::all(scale)
 }
 
-/// Looks up one kernel of the suite by name.
+/// Builds the long-run suite at the given scale: `*_long` variants of
+/// representative kernels at roughly ten times their usual dynamic length,
+/// plus the L2-overflowing `chase_long` pointer chase — the workload set
+/// sampled simulation is validated on (see `fgstp-sampling`). Kept
+/// separate from [`suite`] so the recorded full-detail figures are
+/// unaffected.
+pub fn long_suite(scale: Scale) -> Vec<Workload> {
+    kernels::long_suite(scale)
+}
+
+/// Looks up one kernel by name, searching the main suite first and then
+/// the long-run suite.
 pub fn by_name(name: &str, scale: Scale) -> Option<Workload> {
-    suite(scale).into_iter().find(|w| w.name == name)
+    suite(scale)
+        .into_iter()
+        .find(|w| w.name == name)
+        .or_else(|| long_suite(scale).into_iter().find(|w| w.name == name))
 }
 
 #[cfg(test)]
@@ -141,6 +155,19 @@ mod tests {
     fn by_name_finds_kernels() {
         assert!(by_name("mcf_pointer", Scale::Test).is_some());
         assert!(by_name("nonexistent", Scale::Test).is_none());
+    }
+
+    #[test]
+    fn by_name_reaches_the_long_suite() {
+        let w = by_name("chase_long", Scale::Test).unwrap();
+        assert_eq!(w.name, "chase_long");
+        assert!(by_name("mcf_pointer_long", Scale::Test).is_some());
+    }
+
+    #[test]
+    fn long_suite_does_not_change_the_main_suite() {
+        assert_eq!(suite(Scale::Test).len(), 18);
+        assert!(!long_suite(Scale::Test).is_empty());
     }
 
     #[test]

@@ -20,4 +20,7 @@ cargo test -q
 echo "== telemetry invariants (cycle accounting reconciles exactly)"
 cargo test -q --test telemetry
 
+echo "== sampled-simulation smoke (E14 at test scale)"
+cargo run --release -q -p fgstp-bench --bin exp_e14_sampling -- test --no-cache
+
 echo "== verify OK"

@@ -21,6 +21,7 @@
 //! | [`bpred`] | `fgstp-bpred` | direction predictors, BTB, return stack |
 //! | [`ooo`] | `fgstp-ooo` | the cycle-level out-of-order core model |
 //! | [`core`] | `fgstp` | the paper's contribution: partitioner, queues, dual-core machine |
+//! | [`sampling`] | `fgstp-sampling` | SMARTS-style sampled simulation with functional warming |
 //! | [`sim`] | `fgstp-sim` | machine presets, suite runner, report tables |
 //! | [`telemetry`] | `fgstp-telemetry` | cycle accounting, CPI stacks, Chrome-trace export |
 //! | [`tracefile`] | `fgstp-tracefile` | compact binary trace serialization |
@@ -49,6 +50,7 @@ pub use fgstp_bpred as bpred;
 pub use fgstp_isa as isa;
 pub use fgstp_mem as mem;
 pub use fgstp_ooo as ooo;
+pub use fgstp_sampling as sampling;
 pub use fgstp_sim as sim;
 pub use fgstp_telemetry as telemetry;
 pub use fgstp_tracefile as tracefile;
@@ -60,9 +62,10 @@ pub mod prelude {
     pub use fgstp_isa::{assemble, trace_program, Machine, Program};
     pub use fgstp_mem::HierarchyConfig;
     pub use fgstp_ooo::{run_single, CoreConfig};
+    pub use fgstp_sampling::{Estimate, SampleConfig, SampledRun};
     pub use fgstp_sim::{
-        geomean, run_on, run_on_instrumented, run_suite, CacheStats, MachineKind, RunPlan, Scale,
-        Session, Table,
+        geomean, run_on, run_on_instrumented, run_on_sampled, run_suite, CacheStats, MachineKind,
+        RunPlan, Scale, Session, Table,
     };
     pub use fgstp_telemetry::{write_chrome_trace, CpiSink, CpiStack, StallCategory};
     pub use fgstp_workloads::{suite, SuiteClass, Workload};

@@ -1,0 +1,125 @@
+//! Acceptance tests for SMARTS-style sampled simulation.
+//!
+//! Three properties gate the methodology (see DESIGN.md, "Sampled
+//! simulation"):
+//!
+//! 1. **Determinism** — sampled results are bit-identical for any worker
+//!    pool size, like every other session run.
+//! 2. **Accuracy** — on the long-run suite, the sampled geomean Fg-STP
+//!    speedup lands within ±2% of the full-detail geomean, and the 95%
+//!    confidence interval of the geomean estimate covers the full-detail
+//!    value.
+//! 3. **Cost** — the same regime simulates at least 10× fewer
+//!    instructions in detail than a full-detail run.
+
+use fg_stp_repro::prelude::*;
+use fg_stp_repro::sampling::geomean_estimate;
+use fg_stp_repro::sim::run_on_sampled;
+use fgstp_workloads::long_suite;
+
+/// The ≥10×-reduction regime E14 validates (at Test scale the long-run
+/// traces hold dozens of these intervals each).
+fn regime() -> SampleConfig {
+    SampleConfig {
+        interval: 10_000,
+        warmup: 600,
+        detail: 300,
+    }
+}
+
+fn fingerprint(results: &[fg_stp_repro::sim::BenchResult]) -> String {
+    format!("{results:#?}")
+}
+
+#[test]
+fn sampled_parallel_runs_are_bit_identical_to_serial() {
+    let machines = [MachineKind::SingleSmall, MachineKind::FgstpSmall];
+    let run = |threads: usize| {
+        Session::new()
+            .scale(Scale::Test)
+            .machines(machines)
+            .threads(threads)
+            .no_cache()
+            .sample(regime())
+            .plan()
+            .workloads(long_suite(Scale::Test))
+            .execute()
+    };
+    let serial = run(1);
+    let parallel = run(4);
+    assert!(!serial.is_empty());
+    assert_eq!(
+        fingerprint(&serial),
+        fingerprint(&parallel),
+        "sampled threads(4) must be bit-identical to threads(1)"
+    );
+}
+
+#[test]
+fn sampled_speedup_tracks_full_detail_within_two_percent() {
+    let session = Session::new().scale(Scale::Test).no_cache();
+    let workloads = long_suite(Scale::Test);
+    let traces = session.par_map(&workloads, |w| session.trace(w));
+
+    let scfg = regime();
+    let mut full_speedups = Vec::new();
+    let mut estimates = Vec::new();
+    let mut total_insts = 0u64;
+    let mut detailed_insts = 0u64;
+    for t in &traces {
+        let single_full = run_on(MachineKind::SingleSmall, t.insts());
+        let fgstp_full = run_on(MachineKind::FgstpSmall, t.insts());
+        full_speedups.push(single_full.result.cycles as f64 / fgstp_full.result.cycles as f64);
+
+        let single = run_on_sampled(MachineKind::SingleSmall, t.insts(), &scfg, false);
+        let fgstp = run_on_sampled(MachineKind::FgstpSmall, t.insts(), &scfg, false);
+        let s = single.sampled.as_ref().unwrap();
+        estimates.push(fgstp.sampled.as_ref().unwrap().speedup_over(s));
+        total_insts += 2 * s.total_insts;
+        detailed_insts += s.detailed_insts + fgstp.sampled.as_ref().unwrap().detailed_insts;
+    }
+
+    let full_geo = geomean(&full_speedups);
+    let est = geomean_estimate(&estimates);
+    let rel_err = (est.mean / full_geo - 1.0).abs();
+    assert!(
+        rel_err < 0.02,
+        "sampled geomean {} vs full-detail {} ({:+.2}%)",
+        est.mean,
+        full_geo,
+        100.0 * (est.mean / full_geo - 1.0)
+    );
+    assert!(
+        est.covers(full_geo),
+        "95% CI [{:.4}, {:.4}] must cover the full-detail geomean {:.4}",
+        est.mean - est.ci95_half,
+        est.mean + est.ci95_half,
+        full_geo
+    );
+    let reduction = total_insts as f64 / detailed_insts as f64;
+    assert!(
+        reduction >= 10.0,
+        "only {reduction:.1}x fewer detail-simulated instructions"
+    );
+}
+
+#[test]
+fn sampled_runs_project_consistent_totals() {
+    let w = fgstp_workloads::by_name("chase_long", Scale::Test).unwrap();
+    let t = Session::new().scale(Scale::Test).no_cache().trace(&w);
+    for kind in [MachineKind::SingleSmall, MachineKind::FgstpSmall] {
+        let r = run_on_sampled(kind, t.insts(), &regime(), true);
+        let s = r.sampled.as_ref().expect("sampled record");
+        assert_eq!(r.result.committed, t.len() as u64, "{kind}");
+        assert_eq!(r.result.cycles, s.est_cycles().round() as u64, "{kind}");
+        assert_eq!(
+            s.functional_insts + s.detailed_insts,
+            s.total_insts,
+            "{kind}: every instruction retires exactly once"
+        );
+        // The instrumented stack reconciles against the detailed windows.
+        let stack = r.cpi.as_ref().expect("instrumented");
+        stack.check_against(s.detail_core_cycles).unwrap();
+        assert_eq!(stack.committed, s.detailed_insts, "{kind}");
+    }
+}
