@@ -27,6 +27,10 @@ const WARMUP_ITERS: u32 = 3;
 
 struct Harness {
     filter: Option<String>,
+    /// Completed rows: name, mean, min, throughput. Buffered so the final
+    /// table's column widths come from the data instead of fixed pads
+    /// (long benchmark names used to shear the columns).
+    rows: Vec<[String; 4]>,
 }
 
 impl Harness {
@@ -36,21 +40,21 @@ impl Harness {
             .skip(1)
             .find(|a| !a.starts_with('-'))
             .map(|s| s.to_lowercase());
-        println!(
-            "{:<32} {:>12} {:>12} {:>14}",
-            "benchmark", "mean", "min", "throughput"
-        );
-        Harness { filter }
+        Harness {
+            filter,
+            rows: Vec::new(),
+        }
     }
 
-    /// Times `f`, reporting per-iteration stats. `elements` is the work
+    /// Times `f`, recording per-iteration stats. `elements` is the work
     /// per iteration for the throughput column (0 = not reported).
-    fn bench<T>(&self, name: &str, elements: u64, mut f: impl FnMut() -> T) {
+    fn bench<T>(&mut self, name: &str, elements: u64, mut f: impl FnMut() -> T) {
         if let Some(filt) = &self.filter {
             if !name.to_lowercase().contains(filt) {
                 return;
             }
         }
+        eprintln!("running {name} ...");
         for _ in 0..WARMUP_ITERS {
             black_box(f());
         }
@@ -70,11 +74,35 @@ impl Harness {
         } else {
             String::from("-")
         };
-        println!(
-            "{name:<32} {:>12} {:>12} {throughput:>14}",
-            fmt(mean),
-            fmt(min)
-        );
+        self.rows
+            .push([name.to_owned(), fmt(mean), fmt(min), throughput]);
+    }
+
+    /// Prints the result table, sizing every column to its widest cell.
+    fn finish(self) {
+        let header = ["benchmark", "mean", "min", "throughput"];
+        let widths: Vec<usize> = (0..header.len())
+            .map(|c| {
+                self.rows
+                    .iter()
+                    .map(|r| r[c].len())
+                    .chain([header[c].len()])
+                    .max()
+                    .unwrap()
+            })
+            .collect();
+        let print_row = |cells: [&str; 4]| {
+            // Name column left-aligned, measurements right-aligned.
+            let mut line = format!("{:<w$}", cells[0], w = widths[0]);
+            for c in 1..cells.len() {
+                line.push_str(&format!(" {:>w$}", cells[c], w = widths[c]));
+            }
+            println!("{line}");
+        };
+        print_row(header);
+        for r in &self.rows {
+            print_row([&r[0], &r[1], &r[2], &r[3]]);
+        }
     }
 }
 
@@ -88,7 +116,7 @@ fn fmt(d: Duration) -> String {
 }
 
 fn main() {
-    let h = Harness::from_args();
+    let mut h = Harness::from_args();
 
     // Functional tracing throughput.
     let w = by_name("hmmer_dp", Scale::Test).unwrap();
@@ -174,4 +202,6 @@ fn main() {
         }
         correct
     });
+
+    h.finish();
 }

@@ -1,0 +1,395 @@
+//! Wall-clock perf-regression harness for the simulator hot loop.
+//!
+//! Runs the pinned 18-kernel suite through the `single-small`,
+//! `fgstp-small` and `fgstp-medium-4` timing machines, measuring the
+//! host-side wall-clock per full-suite sweep and the resulting
+//! simulated-MIPS (committed instructions per wall-clock second). Results
+//! go to `BENCH_hotloop.json`; `scripts/perf_gate.sh` re-runs the sweep
+//! and fails when throughput drops below a tolerance band of the
+//! checked-in numbers.
+//!
+//! ```text
+//! bench_hotloop [test|small|reference] [--iters=N] [--out=PATH]
+//!               [--baseline=PATH] [--check=PATH] [--tolerance=F]
+//!               [--schema-check=PATH]
+//! ```
+//!
+//! Modes (mutually exclusive; measurement is the default):
+//!
+//! * **measure** — run the sweep and write the JSON report to `--out`
+//!   (default `BENCH_hotloop.json`). With `--baseline=PATH`, the
+//!   `machines` section of that previously written report is embedded as
+//!   this report's `baseline` — pass the *old* report here to promote its
+//!   numbers to the comparison reference while re-measuring.
+//! * **`--check=PATH`** — run the sweep and compare fresh simulated-MIPS
+//!   against the `machines` recorded in `PATH`; exits non-zero if any
+//!   machine falls below `tolerance × recorded` (default 0.5, i.e. only a
+//!   2× regression fails — wide enough to stay non-flaky across hosts).
+//! * **`--schema-check=PATH`** — validate that `PATH` is a well-formed
+//!   report (no benchmarking); used by `scripts/verify.sh`.
+//!
+//! See the README "Performance" section for the schema and the
+//! baseline-refresh workflow.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use fgstp_bench::json::Json;
+use fgstp_isa::Trace;
+use fgstp_sim::runner::{run_on, trace_workload};
+use fgstp_sim::{MachineKind, Scale};
+
+/// Report format identifier (bump on incompatible layout changes).
+const SCHEMA: &str = "fgstp-bench-hotloop/v1";
+
+/// The machines the gate pins: one conventional core and the two
+/// headline Fg-STP configurations.
+const MACHINES: [MachineKind; 3] = [
+    MachineKind::SingleSmall,
+    MachineKind::FgstpSmall,
+    MachineKind::FgstpMedium4,
+];
+
+/// Per-machine measurement over the full suite.
+struct Measurement {
+    name: &'static str,
+    /// Committed instructions per full-suite sweep.
+    insts: u64,
+    /// Median wall-clock of one sweep, in seconds.
+    median_s: f64,
+    /// Fastest sweep, in seconds.
+    min_s: f64,
+}
+
+impl Measurement {
+    fn mips_median(&self) -> f64 {
+        self.insts as f64 / self.median_s / 1e6
+    }
+
+    fn mips_best(&self) -> f64 {
+        self.insts as f64 / self.min_s / 1e6
+    }
+
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("name".to_owned(), Json::Str(self.name.to_owned())),
+            ("insts".to_owned(), Json::Num(self.insts as f64)),
+            ("median_s".to_owned(), Json::Num(round6(self.median_s))),
+            ("min_s".to_owned(), Json::Num(round6(self.min_s))),
+            (
+                "mips_median".to_owned(),
+                Json::Num(round3(self.mips_median())),
+            ),
+            ("mips_best".to_owned(), Json::Num(round3(self.mips_best()))),
+        ])
+    }
+}
+
+fn round3(x: f64) -> f64 {
+    (x * 1e3).round() / 1e3
+}
+
+fn round6(x: f64) -> f64 {
+    (x * 1e6).round() / 1e6
+}
+
+struct Args {
+    scale: Scale,
+    iters: usize,
+    out: String,
+    baseline: Option<String>,
+    check: Option<String>,
+    tolerance: f64,
+    schema_check: Option<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bench_hotloop [test|small|reference] [--iters=N] [--out=PATH] \
+         [--baseline=PATH] [--check=PATH] [--tolerance=F] [--schema-check=PATH]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        scale: Scale::Test,
+        iters: 5,
+        out: "BENCH_hotloop.json".to_owned(),
+        baseline: None,
+        check: None,
+        tolerance: 0.5,
+        schema_check: None,
+    };
+    for a in std::env::args().skip(1) {
+        match a.as_str() {
+            "test" => args.scale = Scale::Test,
+            "small" => args.scale = Scale::Small,
+            "reference" => args.scale = Scale::Reference,
+            other => {
+                let Some((flag, value)) = other.split_once('=') else {
+                    usage();
+                };
+                match flag {
+                    "--iters" => match value.parse() {
+                        Ok(n) if n >= 1 => args.iters = n,
+                        _ => usage(),
+                    },
+                    "--out" => args.out = value.to_owned(),
+                    "--baseline" => args.baseline = Some(value.to_owned()),
+                    "--check" => args.check = Some(value.to_owned()),
+                    "--tolerance" => match value.parse() {
+                        Ok(f) if (0.0..=1.0).contains(&f) => args.tolerance = f,
+                        _ => usage(),
+                    },
+                    "--schema-check" => args.schema_check = Some(value.to_owned()),
+                    _ => usage(),
+                }
+            }
+        }
+    }
+    args
+}
+
+/// Loads and validates a report; exits with a diagnostic on any problem.
+fn load_report(path: &str) -> Json {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("bench_hotloop: cannot read {path}: {e}");
+        std::process::exit(1);
+    });
+    let doc = Json::parse(&text).unwrap_or_else(|e| {
+        eprintln!("bench_hotloop: {path} is not valid JSON: {e}");
+        std::process::exit(1);
+    });
+    if let Err(e) = validate_schema(&doc) {
+        eprintln!("bench_hotloop: {path} failed schema check: {e}");
+        std::process::exit(1);
+    }
+    doc
+}
+
+/// Checks the report layout the gate depends on.
+fn validate_schema(doc: &Json) -> Result<(), String> {
+    match doc.get("schema").and_then(Json::as_str) {
+        Some(SCHEMA) => {}
+        Some(other) => return Err(format!("unknown schema `{other}` (want `{SCHEMA}`)")),
+        None => return Err("missing `schema`".to_owned()),
+    }
+    for key in ["scale", "iterations", "kernels", "machines"] {
+        if doc.get(key).is_none() {
+            return Err(format!("missing `{key}`"));
+        }
+    }
+    let machines = doc
+        .get("machines")
+        .and_then(Json::as_arr)
+        .ok_or("`machines` is not an array")?;
+    if machines.is_empty() {
+        return Err("`machines` is empty".to_owned());
+    }
+    for m in machines {
+        for key in [
+            "name",
+            "insts",
+            "median_s",
+            "min_s",
+            "mips_median",
+            "mips_best",
+        ] {
+            match key {
+                "name" => {
+                    m.get(key)
+                        .and_then(Json::as_str)
+                        .ok_or(format!("machine entry missing string `{key}`"))?;
+                }
+                _ => {
+                    let v = m
+                        .get(key)
+                        .and_then(Json::as_f64)
+                        .ok_or(format!("machine entry missing number `{key}`"))?;
+                    if !v.is_finite() || v < 0.0 {
+                        return Err(format!("machine `{key}` is not a non-negative number"));
+                    }
+                }
+            }
+        }
+    }
+    // `baseline` is optional; when present it must carry its own machines.
+    if let Some(base) = doc.get("baseline") {
+        if *base != Json::Null {
+            base.get("machines")
+                .and_then(Json::as_arr)
+                .ok_or("`baseline` has no `machines` array")?;
+        }
+    }
+    Ok(())
+}
+
+/// Times one full-suite sweep per iteration for every pinned machine.
+fn measure(scale: Scale, iters: usize) -> (Vec<Measurement>, Vec<&'static str>) {
+    let suite = fgstp_workloads::suite(scale);
+    let kernels: Vec<&'static str> = suite.iter().map(|w| w.name).collect();
+    eprintln!(
+        "bench_hotloop: tracing {} kernels at {:?} scale",
+        suite.len(),
+        scale
+    );
+    let traces: Vec<Trace> = suite.iter().map(|w| trace_workload(w, scale)).collect();
+    let insts: u64 = traces.iter().map(|t| t.len() as u64).sum();
+    let mut results = Vec::new();
+    for kind in MACHINES {
+        // One warmup sweep, then `iters` timed sweeps.
+        let sweep = || {
+            for t in &traces {
+                black_box(run_on(kind, black_box(t.insts())));
+            }
+        };
+        sweep();
+        let mut times: Vec<f64> = (0..iters)
+            .map(|_| {
+                let t0 = Instant::now();
+                sweep();
+                t0.elapsed().as_secs_f64()
+            })
+            .collect();
+        times.sort_by(|a, b| a.total_cmp(b));
+        let m = Measurement {
+            name: kind.label(),
+            insts,
+            median_s: times[times.len() / 2],
+            min_s: times[0],
+        };
+        eprintln!(
+            "bench_hotloop: {:<16} median {:>9.2} ms  min {:>9.2} ms  {:>8.2} MIPS",
+            m.name,
+            m.median_s * 1e3,
+            m.min_s * 1e3,
+            m.mips_median()
+        );
+        results.push(m);
+    }
+    (results, kernels)
+}
+
+fn scale_name(scale: Scale) -> &'static str {
+    match scale {
+        Scale::Test => "test",
+        Scale::Small => "small",
+        Scale::Reference => "reference",
+    }
+}
+
+fn scale_from_name(name: &str) -> Option<Scale> {
+    match name {
+        "test" => Some(Scale::Test),
+        "small" => Some(Scale::Small),
+        "reference" => Some(Scale::Reference),
+        _ => None,
+    }
+}
+
+fn report(
+    scale: Scale,
+    iters: usize,
+    kernels: &[&'static str],
+    machines: &[Measurement],
+    baseline: Option<Json>,
+) -> Json {
+    Json::Obj(vec![
+        ("schema".to_owned(), Json::Str(SCHEMA.to_owned())),
+        ("scale".to_owned(), Json::Str(scale_name(scale).to_owned())),
+        ("iterations".to_owned(), Json::Num(iters as f64)),
+        (
+            "kernels".to_owned(),
+            Json::Arr(kernels.iter().map(|k| Json::Str((*k).to_owned())).collect()),
+        ),
+        (
+            "machines".to_owned(),
+            Json::Arr(machines.iter().map(Measurement::to_json).collect()),
+        ),
+        ("baseline".to_owned(), baseline.unwrap_or(Json::Null)),
+    ])
+}
+
+/// Gate mode: fresh sweep vs the `machines` recorded in `path`.
+fn check(path: &str, tolerance: f64, iters: usize) {
+    let doc = load_report(path);
+    let scale = doc
+        .get("scale")
+        .and_then(Json::as_str)
+        .and_then(scale_from_name)
+        .unwrap_or(Scale::Test);
+    let (fresh, _) = measure(scale, iters);
+    let recorded = doc.get("machines").and_then(Json::as_arr).unwrap();
+    let mut failed = false;
+    println!(
+        "{:<16} {:>14} {:>12} {:>10} {:>8}",
+        "machine", "recorded MIPS", "fresh MIPS", "ratio", "gate"
+    );
+    for m in &fresh {
+        let Some(rec) = recorded
+            .iter()
+            .find(|r| r.get("name").and_then(Json::as_str) == Some(m.name))
+            .and_then(|r| r.get("mips_median"))
+            .and_then(Json::as_f64)
+        else {
+            println!("{:<16} {:>14} (not recorded — skipped)", m.name, "-");
+            continue;
+        };
+        let fresh_mips = m.mips_median();
+        let ratio = fresh_mips / rec;
+        let ok = fresh_mips >= rec * tolerance;
+        failed |= !ok;
+        println!(
+            "{:<16} {:>14.2} {:>12.2} {:>9.2}x {:>8}",
+            m.name,
+            rec,
+            fresh_mips,
+            ratio,
+            if ok { "ok" } else { "FAIL" }
+        );
+    }
+    if failed {
+        eprintln!(
+            "bench_hotloop: throughput fell below {tolerance} of the numbers in {path}; \
+             investigate, or refresh the baseline if the slowdown is intended"
+        );
+        std::process::exit(1);
+    }
+    println!("bench_hotloop: perf gate passed (tolerance {tolerance})");
+}
+
+fn main() {
+    let args = parse_args();
+    if let Some(path) = &args.schema_check {
+        load_report(path);
+        println!("bench_hotloop: {path} matches schema `{SCHEMA}`");
+        return;
+    }
+    if let Some(path) = &args.check {
+        check(path, args.tolerance, args.iters);
+        return;
+    }
+    let baseline = args.baseline.as_deref().map(|path| {
+        let doc = load_report(path);
+        // Promote the old report's current numbers to this report's
+        // baseline (its scale and machine set travel along for context).
+        Json::Obj(vec![
+            (
+                "scale".to_owned(),
+                doc.get("scale").cloned().unwrap_or(Json::Null),
+            ),
+            (
+                "machines".to_owned(),
+                doc.get("machines").cloned().unwrap_or(Json::Arr(vec![])),
+            ),
+        ])
+    });
+    let (machines, kernels) = measure(args.scale, args.iters);
+    let doc = report(args.scale, args.iters, &kernels, &machines, baseline);
+    std::fs::write(&args.out, doc.render()).unwrap_or_else(|e| {
+        eprintln!("bench_hotloop: cannot write {}: {e}", args.out);
+        std::process::exit(1);
+    });
+    println!("bench_hotloop: wrote {}", args.out);
+}

@@ -17,6 +17,8 @@
 use fgstp_isa::Trace;
 use fgstp_sim::{run_on, MachineKind, MachineRun, SampleConfig, Scale, Session, Table, Workload};
 
+pub mod json;
+
 /// Command-line options shared by all experiment binaries.
 #[derive(Debug, Clone, Copy)]
 pub struct ExpArgs {

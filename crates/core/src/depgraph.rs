@@ -14,11 +14,21 @@ use fgstp_ooo::ExecInst;
 ///
 /// Node indices are positions within the window (0-based); edges point from
 /// producer to consumer and always go forward in program order.
+///
+/// Edges are stored in compressed-sparse-row form — two flat arrays per
+/// direction instead of a `Vec` per node — because the partitioner builds
+/// one of these per lookahead window on the simulator's setup path, and
+/// the per-node allocations used to dominate partitioning time.
 #[derive(Debug, Clone)]
 pub struct DepGraph {
     len: usize,
-    preds: Vec<Vec<usize>>,
-    succs: Vec<Vec<usize>>,
+    /// `pred_flat[pred_start[i]..pred_start[i+1]]` are node i's producers,
+    /// in dependence order (register deps, then the memory dep), deduped.
+    pred_start: Vec<u32>,
+    pred_flat: Vec<u32>,
+    /// Same layout for consumers, in increasing consumer order.
+    succ_start: Vec<u32>,
+    succ_flat: Vec<u32>,
     /// Estimated execution weight per node (long-latency ops weigh more).
     weights: Vec<u64>,
 }
@@ -48,31 +58,55 @@ impl DepGraph {
             let idx = g.checked_sub(base)? as usize;
             (idx < len).then_some(idx)
         };
-        let mut preds = vec![Vec::new(); len];
-        let mut succs = vec![Vec::new(); len];
-        for (i, x) in window.iter().enumerate() {
+        // Predecessor CSR in one program-order pass: each node contributes at
+        // most 3 deduped edges (two register deps plus the memory dep), so a
+        // `contains` scan over the node's own slice is cheap.
+        let mut pred_start = Vec::with_capacity(len + 1);
+        let mut pred_flat: Vec<u32> = Vec::with_capacity(len * 2);
+        pred_start.push(0u32);
+        for x in window {
+            let begin = pred_flat.len();
             for dep in x.deps.iter().flatten() {
                 if let Some(p) = in_window(dep.producer) {
-                    if !preds[i].contains(&p) {
-                        preds[i].push(p);
-                        succs[p].push(i);
+                    if !pred_flat[begin..].contains(&(p as u32)) {
+                        pred_flat.push(p as u32);
                     }
                 }
             }
             if let Some(md) = x.mem_dep {
                 if let Some(p) = in_window(md.store) {
-                    if !preds[i].contains(&p) {
-                        preds[i].push(p);
-                        succs[p].push(i);
+                    if !pred_flat[begin..].contains(&(p as u32)) {
+                        pred_flat.push(p as u32);
                     }
                 }
+            }
+            pred_start.push(pred_flat.len() as u32);
+        }
+        // Successor CSR by counting + prefix sum, scattering consumers in
+        // ascending order so each producer's successor list stays sorted.
+        let mut succ_start = vec![0u32; len + 1];
+        for &p in &pred_flat {
+            succ_start[p as usize + 1] += 1;
+        }
+        for k in 1..=len {
+            succ_start[k] += succ_start[k - 1];
+        }
+        let mut cursor = succ_start.clone();
+        let mut succ_flat = vec![0u32; pred_flat.len()];
+        for i in 0..len {
+            for &p in &pred_flat[pred_start[i] as usize..pred_start[i + 1] as usize] {
+                let p = p as usize;
+                succ_flat[cursor[p] as usize] = i as u32;
+                cursor[p] += 1;
             }
         }
         let weights = window.iter().map(weight_of).collect();
         DepGraph {
             len,
-            preds,
-            succs,
+            pred_start,
+            pred_flat,
+            succ_start,
+            succ_flat,
             weights,
         }
     }
@@ -88,13 +122,13 @@ impl DepGraph {
     }
 
     /// In-window producers of node `i`.
-    pub fn preds(&self, i: usize) -> &[usize] {
-        &self.preds[i]
+    pub fn preds(&self, i: usize) -> &[u32] {
+        &self.pred_flat[self.pred_start[i] as usize..self.pred_start[i + 1] as usize]
     }
 
     /// In-window consumers of node `i`.
-    pub fn succs(&self, i: usize) -> &[usize] {
-        &self.succs[i]
+    pub fn succs(&self, i: usize) -> &[u32] {
+        &self.succ_flat[self.succ_start[i] as usize..self.succ_start[i + 1] as usize]
     }
 
     /// Execution weight of node `i`.
@@ -106,7 +140,12 @@ impl DepGraph {
     pub fn depth_from_sources(&self) -> Vec<u64> {
         let mut depth = vec![0u64; self.len];
         for i in 0..self.len {
-            let best = self.preds[i].iter().map(|&p| depth[p]).max().unwrap_or(0);
+            let best = self
+                .preds(i)
+                .iter()
+                .map(|&p| depth[p as usize])
+                .max()
+                .unwrap_or(0);
             depth[i] = best + self.weights[i];
         }
         depth
@@ -116,7 +155,12 @@ impl DepGraph {
     pub fn depth_to_sinks(&self) -> Vec<u64> {
         let mut depth = vec![0u64; self.len];
         for i in (0..self.len).rev() {
-            let best = self.succs[i].iter().map(|&s| depth[s]).max().unwrap_or(0);
+            let best = self
+                .succs(i)
+                .iter()
+                .map(|&s| depth[s as usize])
+                .max()
+                .unwrap_or(0);
             depth[i] = best + self.weights[i];
         }
         depth
@@ -147,10 +191,11 @@ impl DepGraph {
             if excluded[i] {
                 continue;
             }
-            let best = self.preds[i]
+            let best = self
+                .preds(i)
                 .iter()
-                .filter(|&&p| !excluded[p])
-                .map(|&p| from[p])
+                .filter(|&&p| !excluded[p as usize])
+                .map(|&p| from[p as usize])
                 .max()
                 .unwrap_or(0);
             from[i] = best + self.weights[i];
@@ -163,9 +208,11 @@ impl DepGraph {
         };
         let mut chain = vec![end];
         let mut cur = end;
-        while let Some(&p) = self.preds[cur]
+        while let Some(p) = self
+            .preds(cur)
             .iter()
-            .find(|&&p| !excluded[p] && from[p] + self.weights[cur] == from[cur])
+            .map(|&p| p as usize)
+            .find(|&p| !excluded[p] && from[p] + self.weights[cur] == from[cur])
         {
             chain.push(p);
             cur = p;
@@ -179,8 +226,8 @@ impl DepGraph {
         debug_assert_eq!(assign.len(), self.len);
         let mut cut = 0;
         for i in 0..self.len {
-            for &p in &self.preds[i] {
-                if assign[p] != assign[i] {
+            for &p in self.preds(i) {
+                if assign[p as usize] != assign[i] {
                     cut += 1;
                 }
             }

@@ -19,8 +19,6 @@
 //! The paper's machine is the 2-core instance (`num_cores = 2`, the
 //! default); every mechanism generalizes unchanged to N cores.
 
-use std::collections::HashMap;
-
 use fgstp_isa::DynInst;
 use fgstp_mem::{Hierarchy, HierarchyConfig};
 use fgstp_ooo::{
@@ -114,13 +112,19 @@ impl FgstpStats {
 }
 
 /// The shared execution environment implementing [`ExecEnv`] for N cores.
+///
+/// The environment borrows the partitioner's per-producer send masks and
+/// load barriers for the duration of a run — nothing is cloned, and the
+/// hot-path lookups (predictions, deliveries, completion board) are dense
+/// gseq-indexed vectors rather than hash maps.
 #[derive(Debug)]
-struct FgstpEnv {
+struct FgstpEnv<'a> {
     /// Predictions made by the shared frontend orchestrator, which sees
     /// the fetch stream in program order *before* distribution — so the
     /// predictor history is exactly the single-thread history (computed in
-    /// a prepass over the stream).
-    predictions: HashMap<u64, Prediction>,
+    /// a prepass over the stream). Dense per gseq; only control
+    /// instructions' entries are ever read.
+    predictions: Vec<Prediction>,
     branches: u64,
     mispredicts: u64,
     gate: FetchGate,
@@ -131,15 +135,16 @@ struct FgstpEnv {
     /// has completed — distributed commit with exchanged completion
     /// pointers, rather than a serialized global commit port.
     completed_frontier: u64,
-    /// Delivered cross-core values per receiving core.
-    deliveries: Vec<HashMap<u64, u64>>,
+    /// Delivered cross-core values per receiving core, dense per gseq
+    /// (`u64::MAX` = not delivered).
+    deliveries: Vec<Vec<u64>>,
     /// One queue per directed core pair.
     fabric: CommFabric,
     /// Per-producer bitmask of destination cores (from the partitioner).
-    send_targets: Vec<u64>,
+    send_targets: &'a [u64],
     committed: u64,
-    /// Load gseq → youngest older remote store gseq.
-    barriers: HashMap<u64, u64>,
+    /// Per-gseq youngest older remote store (`u64::MAX` = no barrier).
+    barriers: &'a [u64],
     /// Next unfetched gseq per core (`u64::MAX` when exhausted).
     next_fetch: Vec<u64>,
     fetch_skew: u64,
@@ -148,25 +153,32 @@ struct FgstpEnv {
     dep_speculation: bool,
 }
 
-impl FgstpEnv {
+impl<'a> FgstpEnv<'a> {
     fn new(
         cfg: &FgstpConfig,
         stream: &[fgstp_ooo::ExecInst],
-        part: &PartitionedStream,
+        send_targets: &'a [u64],
+        barriers: &'a [u64],
+        n: usize,
         pred: &mut PredictorState,
-    ) -> FgstpEnv {
+    ) -> FgstpEnv<'a> {
         // Prepass: the shared orchestrator predicts every control
         // instruction in program order. The predictor bundle is external so
         // a sampled run can carry its training across windows; the reported
         // counters are the deltas of this window.
         let branches_before = (pred.branches, pred.mispredicts);
-        let mut predictions = HashMap::new();
+        let mut predictions = vec![
+            Prediction {
+                mispredicted: false,
+                btb_miss: false,
+            };
+            stream.len()
+        ];
         for x in stream {
             if x.class().is_control() {
-                predictions.insert(x.gseq, pred.predict(x));
+                predictions[x.gseq as usize] = pred.predict(x);
             }
         }
-        let n = part.num_cores();
         FgstpEnv {
             predictions,
             branches: pred.branches - branches_before.0,
@@ -174,11 +186,11 @@ impl FgstpEnv {
             gate: FetchGate::default(),
             board: vec![u64::MAX; stream.len()],
             completed_frontier: 0,
-            deliveries: vec![HashMap::new(); n],
+            deliveries: vec![vec![u64::MAX; stream.len()]; n],
             fabric: CommFabric::new(n, cfg.comm),
-            send_targets: part.send_targets.clone(),
+            send_targets,
             committed: 0,
-            barriers: part.load_barriers.clone(),
+            barriers,
             next_fetch: vec![0; n],
             fetch_skew: cfg.fetch_skew(),
             store_vis_latency: cfg.store_vis_latency,
@@ -244,12 +256,10 @@ fn classify_fgstp(
     }
 }
 
-impl ExecEnv for FgstpEnv {
+impl ExecEnv for FgstpEnv<'_> {
     fn predict(&mut self, _core: usize, x: &ExecInst) -> Prediction {
-        *self
-            .predictions
-            .get(&x.gseq)
-            .expect("control instruction was pre-predicted")
+        debug_assert!(x.class().is_control(), "only control flow is predicted");
+        self.predictions[x.gseq as usize]
     }
 
     fn fetch_blocked(&mut self, core: usize, gseq: u64, now: u64) -> bool {
@@ -291,13 +301,14 @@ impl ExecEnv for FgstpEnv {
                 let to = mask.trailing_zeros() as usize;
                 mask &= mask - 1;
                 let delivery = self.fabric.send(core, to, cycle);
-                self.deliveries[to].insert(x.gseq, delivery);
+                self.deliveries[to][x.gseq as usize] = delivery;
             }
         }
     }
 
     fn cross_operand_ready(&mut self, core: usize, producer: u64) -> Option<u64> {
-        self.deliveries[core].get(&producer).copied()
+        let v = self.deliveries[core][producer as usize];
+        (v != u64::MAX).then_some(v)
     }
 
     fn cross_load_gate(
@@ -310,12 +321,13 @@ impl ExecEnv for FgstpEnv {
         if !self.dep_speculation {
             // Conservative cross-core ordering: wait for the youngest older
             // remote store to complete and become visible.
-            return match self.barriers.get(&x.gseq) {
-                None => LoadGate::Free,
-                Some(&store) => match self.completed(store) {
-                    None => LoadGate::Retry,
-                    Some(c) => LoadGate::WaitUntil(c + self.store_vis_latency),
-                },
+            let store = self.barriers[x.gseq as usize];
+            if store == u64::MAX {
+                return LoadGate::Free;
+            }
+            return match self.completed(store) {
+                None => LoadGate::Retry,
+                Some(c) => LoadGate::WaitUntil(c + self.store_vis_latency),
             };
         }
         let Some(md) = x.mem_dep.filter(|m| m.cross) else {
@@ -503,13 +515,20 @@ fn run_fgstp_loop<S: CycleSink>(
         "hierarchy core count must match FgstpConfig::num_cores"
     );
     let stream = build_exec_stream(trace);
-    let part = partition_stream(&stream, &cfg.partition, n);
-    let mut env = FgstpEnv::new(cfg, &stream, &part, pred);
-    let mut cores: Vec<Core> = part
-        .streams
+    // Destructured so the environment can borrow the send masks and load
+    // barriers while the cores borrow their streams — no per-run clones.
+    let PartitionedStream {
+        streams,
+        send_targets,
+        load_barriers,
+        stats: partition_stats,
+        ..
+    } = partition_stream(&stream, &cfg.partition, n);
+    let mut env = FgstpEnv::new(cfg, &stream, &send_targets, &load_barriers, n, pred);
+    let mut cores: Vec<Core> = streams
         .iter()
         .enumerate()
-        .map(|(i, s)| Core::new(i, cfg.core.clone(), s.clone()))
+        .map(|(i, s)| Core::new(i, &cfg.core, s))
         .collect();
     let recording = recorders.is_some();
     if let Some(recs) = recorders {
@@ -568,7 +587,7 @@ fn run_fgstp_loop<S: CycleSink>(
     }
     let core_stats: Vec<CoreStats> = cores.iter().map(|c| *c.stats()).collect();
     let stats = FgstpStats {
-        partition: part.stats,
+        partition: partition_stats,
         comm: (0..n).map(|to| env.fabric.inbound_stats(to)).collect(),
         cross_violations: core_stats.iter().map(|c| c.cross_violations).sum(),
     };

@@ -28,8 +28,6 @@
 //! ties toward the lowest core index, exactly like the old
 //! `usize::from(load[1] < load[0])` and `votes[1] > votes[0]` forms).
 
-use std::collections::HashMap;
-
 use fgstp_isa::InstClass;
 use fgstp_ooo::ExecInst;
 
@@ -144,10 +142,11 @@ pub struct PartitionedStream {
     /// Bitmask of cores each producer's value must be sent to (consumers
     /// on cores where the value is neither computed nor replicated).
     pub send_targets: Vec<u64>,
-    /// For every load, the youngest older store assigned to *another*
-    /// core (the cross-core ordering barrier used when dependence
-    /// speculation is disabled).
-    pub load_barriers: HashMap<u64, u64>,
+    /// Per-gseq cross-core ordering barrier: for every load, the youngest
+    /// older store assigned to *another* core (used when dependence
+    /// speculation is disabled). `u64::MAX` means "no barrier"; the vector
+    /// is indexed by global sequence number and covers the whole stream.
+    pub load_barriers: Vec<u64>,
     /// Summary statistics.
     pub stats: PartitionStats,
 }
@@ -215,9 +214,10 @@ fn assign_modn(stream: &[ExecInst], chunk: usize, num_cores: usize) -> Vec<u8> {
 fn assign_greedy(stream: &[ExecInst], num_cores: usize) -> Vec<u8> {
     let mut assign = vec![0u8; stream.len()];
     let mut counts = vec![0i64; num_cores];
+    let mut votes = vec![0i64; num_cores];
     const MAX_IMBALANCE: i64 = 24;
     for (i, x) in stream.iter().enumerate() {
-        let mut votes = vec![0i64; num_cores];
+        votes.fill(0);
         for dep in x.deps.iter().flatten() {
             let p = dep.producer as usize;
             if p < i {
@@ -364,6 +364,7 @@ fn assign_window(
         let deepest = |only_effective: bool| -> Option<(u64, usize)> {
             let mut best: Option<(u64, usize)> = None;
             for &p in g.preds(i) {
+                let p = p as usize;
                 if (!only_effective || effective(base + p))
                     && best.is_none_or(|(d, _)| depth[p] > d)
                 {
@@ -409,20 +410,21 @@ fn assign_window(
     // third cores stay cross either way), within the balance slack.
     let total: u64 = (0..n).map(|i| g.weight(i)).sum();
     let slack = ((total as f64 * balance_slack) as u64).max(2 * g.weight(0).max(1));
+    let mut edges = vec![0i64; num_cores];
     for _ in 0..refine_passes {
         let mut changed = false;
         for i in 0..n {
             let here = assign[i] as usize;
             // Effective-edge affinity per core.
-            let mut edges = vec![0i64; num_cores];
+            edges.fill(0);
             for &p in g.preds(i) {
-                if effective(base + p) {
-                    edges[assign[p] as usize] += 1;
+                if effective(base + p as usize) {
+                    edges[assign[p as usize] as usize] += 1;
                 }
             }
             if effective(base + i) {
                 for &s in g.succs(i) {
-                    edges[assign[s] as usize] += 1;
+                    edges[assign[s as usize] as usize] += 1;
                 }
             }
             for dep in win[i].deps.iter().flatten() {
@@ -495,9 +497,12 @@ fn materialize(
     replica_on: Vec<u64>,
     num_cores: usize,
 ) -> PartitionedStream {
+    let per_core = stream.len() / num_cores + stream.len() / 8 + 16;
     let mut out = PartitionedStream {
-        streams: vec![Vec::new(); num_cores],
-        load_barriers: HashMap::new(),
+        streams: (0..num_cores)
+            .map(|_| Vec::with_capacity(per_core))
+            .collect(),
+        load_barriers: vec![u64::MAX; stream.len()],
         stats: PartitionStats {
             insts: vec![0; num_cores],
             ..PartitionStats::default()
@@ -560,7 +565,7 @@ fn materialize(
                 .filter_map(|(_, &s)| s)
                 .max();
             if let Some(b) = barrier {
-                out.load_barriers.insert(x.gseq, b);
+                out.load_barriers[x.gseq as usize] = b;
             }
         }
         if x.is_store() {
@@ -803,10 +808,13 @@ mod tests {
         );
         // chunk 3: seqs 0,1,2 on core 0; 3,4,5 on core 1.
         // Load 4 (core 1) has older store 2 on core 0 -> barrier.
-        assert_eq!(p.load_barriers.get(&4), Some(&2));
-        for (&load, &store) in &p.load_barriers {
-            assert!(store < load);
-            assert_ne!(p.assign[store as usize], p.assign[load as usize]);
+        assert_eq!(p.load_barriers[4], 2);
+        for (load, &store) in p.load_barriers.iter().enumerate() {
+            if store == u64::MAX {
+                continue;
+            }
+            assert!(store < load as u64);
+            assert_ne!(p.assign[store as usize], p.assign[load]);
         }
     }
 
@@ -854,7 +862,7 @@ mod tests {
         assert!(p.assign.iter().all(|&c| c == 0));
         assert_eq!(p.stats.cross_reg_deps, 0);
         assert_eq!(p.stats.replicated, 0);
-        assert!(p.load_barriers.is_empty());
+        assert!(p.load_barriers.iter().all(|&b| b == u64::MAX));
         assert!(p.send_targets.iter().all(|&m| m == 0));
     }
 

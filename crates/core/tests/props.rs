@@ -86,9 +86,10 @@ fn depgraph_invariants() {
         let graph = DepGraph::build(&s);
         for i in 0..graph.len() {
             for &pr in graph.preds(i) {
+                let pr = pr as usize;
                 assert!(pr < i, "case {case}: edges point forward");
                 assert!(
-                    graph.succs(pr).contains(&i),
+                    graph.succs(pr).contains(&(i as u32)),
                     "case {case}: succ lists mirror preds"
                 );
             }
@@ -97,7 +98,7 @@ fn depgraph_invariants() {
         for i in 0..graph.len() {
             for &pr in graph.preds(i) {
                 assert!(
-                    from[i] >= from[pr] + graph.weight(i),
+                    from[i] >= from[pr as usize] + graph.weight(i),
                     "case {case}: depths accumulate"
                 );
             }
@@ -106,7 +107,7 @@ fn depgraph_invariants() {
         assert!(!cp.is_empty(), "case {case}");
         for w in cp.windows(2) {
             assert!(
-                graph.preds(w[1]).contains(&w[0]),
+                graph.preds(w[1]).contains(&(w[0] as u32)),
                 "case {case}: critical path is a chain"
             );
         }

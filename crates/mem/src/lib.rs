@@ -27,8 +27,10 @@ pub mod cache;
 pub mod hierarchy;
 pub mod mshr;
 pub mod prefetch;
+pub mod wheel;
 
 pub use cache::{AccessResult, Cache, CacheConfig, CacheStats};
 pub use hierarchy::{Hierarchy, HierarchyConfig, HierarchyStats};
 pub use mshr::MshrFile;
 pub use prefetch::StridePrefetcher;
+pub use wheel::EventWheel;

@@ -8,18 +8,46 @@
 //! through the [`ExecEnv`] trait, so the same pipeline serves the single
 //! core, the fused Core Fusion core (two clusters) and each half of the
 //! Fg-STP pair.
+//!
+//! # Hot-loop structure
+//!
+//! The per-cycle loop is the simulator's wall-clock bottleneck, so the
+//! window is laid out for it (see `DESIGN.md` § "Hot-loop structure"):
+//!
+//! * **Struct-of-arrays window** (`Slots`): every in-flight instruction
+//!   lives in a fixed slab of parallel lanes, addressed by a small slot id.
+//!   The wakeup scan touches only the narrow lanes it needs (state,
+//!   cluster, sleep/wait filters) instead of dragging whole `ExecInst`s
+//!   through the cache, and nothing is hashed — the old per-gseq hash maps
+//!   (slots, completion times, cluster homes) are dense vectors indexed by
+//!   global sequence number.
+//! * **Ready-set filtering**: an issue-queue entry whose operand-ready
+//!   cycle is already known sleeps until that cycle (`sleep_until`); an
+//!   entry blocked on a not-yet-issued local producer parks on that
+//!   producer's waiter list (`waiter_head`/`waiter_next`) and is re-examined
+//!   only when the producer issues. Both filters are provably invisible to
+//!   timing: a known ready time is final (producer completion times never
+//!   move once scheduled), and a local producer still in the queue keeps
+//!   its consumers unready until the cycle it issues. Entries blocked on
+//!   cross-core operands or memory-ordering gates are never filtered —
+//!   those can change outside the core's view and are re-polled each cycle.
+//! * **Event wheel**: completions are scheduled on an O(1)
+//!   [`fgstp_mem::EventWheel`] instead of a binary heap, drained once per
+//!   cycle in the exact `(cycle, gseq)` order the heap produced.
+//! * **Reused scratch**: per-cycle work buffers (issued-per-cluster
+//!   counts, steering votes, drained completions) are struct members
+//!   cleared in place; the cycle loop performs no heap allocation.
 
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
+use std::collections::{HashSet, VecDeque};
 
 use fgstp_isa::InstClass;
-use fgstp_mem::{Hierarchy, HierarchyConfig};
+use fgstp_mem::{EventWheel, Hierarchy, HierarchyConfig};
 use fgstp_telemetry::MemLevel;
 
 use crate::config::{CoreConfig, MemDepPolicy};
 use crate::env::{ExecEnv, LoadGate};
 use crate::fu::FuPool;
-use crate::stream::ExecInst;
+use crate::stream::{ExecInst, SrcDep};
 
 /// Counters accumulated by one core over a run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -61,21 +89,105 @@ enum SlotState {
     Done { at: u64 },
 }
 
-#[derive(Debug, Clone)]
-struct Slot {
-    x: ExecInst,
-    cluster: usize,
-    state: SlotState,
-    dispatched_at: u64,
-    /// First cycle all register operands were ready (set lazily; used to
-    /// decide whether a speculative load actually violated).
-    ready_since: Option<u64>,
+/// Sentinel slot id: "no slot".
+const NO_SLOT: u32 = u32::MAX;
+
+/// The instruction window as a struct-of-arrays slab.
+///
+/// Slot ids are recycled through `free`; the narrow per-slot lanes the
+/// wakeup scan reads every cycle are separate vectors so the scan streams
+/// through compact memory.
+#[derive(Debug)]
+struct Slots {
+    x: Vec<ExecInst>,
+    deps: Vec<[Option<SrcDep>; 2]>,
+    cluster: Vec<u8>,
+    state: Vec<SlotState>,
+    dispatched_at: Vec<u64>,
+    /// First cycle all register operands were ready (`u64::MAX` = not yet;
+    /// used to decide whether a speculative load actually violated).
+    ready_since: Vec<u64>,
+    /// The operand-ready cycle once known: the issue scan skips the entry
+    /// until then (a known ready time is final, see the module docs).
+    sleep_until: Vec<u64>,
+    /// Entry is parked on a local producer's waiter list.
+    waiting: Vec<bool>,
+    /// Head of this slot's waiter list (slots blocked on it issuing).
+    waiter_head: Vec<u32>,
+    /// Next slot in whatever waiter list this slot is parked on.
+    waiter_next: Vec<u32>,
     /// For loads that accessed the hierarchy: the level that serviced
     /// them, classified from the observed latency (telemetry).
-    mem_level: Option<MemLevel>,
+    mem_level: Vec<Option<MemLevel>>,
     /// Whether the instruction replayed after a cross-core
     /// memory-dependence squash (telemetry).
-    cross_replay: bool,
+    cross_replay: Vec<bool>,
+    free: Vec<u32>,
+}
+
+impl Slots {
+    fn with_capacity(n: usize) -> Slots {
+        Slots {
+            x: Vec::with_capacity(n),
+            deps: Vec::with_capacity(n),
+            cluster: Vec::with_capacity(n),
+            state: Vec::with_capacity(n),
+            dispatched_at: Vec::with_capacity(n),
+            ready_since: Vec::with_capacity(n),
+            sleep_until: Vec::with_capacity(n),
+            waiting: Vec::with_capacity(n),
+            waiter_head: Vec::with_capacity(n),
+            waiter_next: Vec::with_capacity(n),
+            mem_level: Vec::with_capacity(n),
+            cross_replay: Vec::with_capacity(n),
+            free: Vec::new(),
+        }
+    }
+
+    fn alloc(&mut self, x: ExecInst, cluster: u8, now: u64) -> u32 {
+        if let Some(sid) = self.free.pop() {
+            let s = sid as usize;
+            self.x[s] = x;
+            self.deps[s] = x.deps;
+            self.cluster[s] = cluster;
+            self.state[s] = SlotState::InQueue;
+            self.dispatched_at[s] = now;
+            self.ready_since[s] = u64::MAX;
+            self.sleep_until[s] = 0;
+            self.waiting[s] = false;
+            self.waiter_head[s] = NO_SLOT;
+            self.mem_level[s] = None;
+            self.cross_replay[s] = false;
+            sid
+        } else {
+            let sid = self.x.len() as u32;
+            self.x.push(x);
+            self.deps.push(x.deps);
+            self.cluster.push(cluster);
+            self.state.push(SlotState::InQueue);
+            self.dispatched_at.push(now);
+            self.ready_since.push(u64::MAX);
+            self.sleep_until.push(0);
+            self.waiting.push(false);
+            self.waiter_head.push(NO_SLOT);
+            self.waiter_next.push(NO_SLOT);
+            self.mem_level.push(None);
+            self.cross_replay.push(false);
+            sid
+        }
+    }
+}
+
+/// Outcome of the issue-stage wakeup check for one window entry.
+enum Wakeup {
+    /// All operands ready at the given cycle (final — never moves).
+    Ready(u64),
+    /// Blocked on a local producer (by slot id) that has not issued yet:
+    /// park on its waiter list until it does.
+    WaitLocal(u32),
+    /// Blocked on something the core cannot observe changing (a cross-core
+    /// operand not yet delivered): re-poll every cycle.
+    Unknown,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -154,41 +266,61 @@ fn classify_mem_level(mlat: u64, cfg: &HierarchyConfig) -> MemLevel {
 }
 
 /// One out-of-order core executing its assigned instruction stream.
+///
+/// The core borrows its configuration and stream from the machine driver
+/// for the duration of a run — nothing is cloned per run.
 #[derive(Debug)]
-pub struct Core {
+pub struct Core<'a> {
     id: usize,
-    cfg: CoreConfig,
-    stream: Vec<ExecInst>,
+    cfg: &'a CoreConfig,
+    stream: &'a [ExecInst],
     cursor: usize,
     fetch_stall_until: u64,
     /// Line whose miss the frontend just waited out (skip the re-access).
     filled_line: Option<u64>,
     pipe: VecDeque<(u64, ExecInst)>,
-    slots: HashMap<u64, Slot>,
-    rob: VecDeque<u64>,
-    iq: Vec<u64>,
+    slots: Slots,
+    /// Slot id per global sequence number ([`NO_SLOT`] when not in flight).
+    slot_of: Vec<u32>,
+    rob: VecDeque<u32>,
+    iq: Vec<u32>,
     lq_used: usize,
     sq_used: usize,
     sq: Vec<SqEntry>,
     fus: FuPool,
-    complete_time: HashMap<u64, u64>,
-    cluster_of: HashMap<u64, usize>,
-    completions: BinaryHeap<Reverse<(u64, u64)>>,
-    gating: HashSet<u64>,
+    /// Completion cycle per global sequence number (`u64::MAX` = not yet);
+    /// survives commit so later consumers resolve against it.
+    complete_time: Vec<u64>,
+    /// Cluster per global sequence number (`u8::MAX` = never dispatched).
+    cluster_of: Vec<u8>,
+    /// Whether the instruction gates fetch (mispredicted control in
+    /// flight), per global sequence number.
+    gating: Vec<bool>,
+    completions: EventWheel,
     storeset: HashSet<u64>,
+    /// Issue-queue occupancy per cluster, maintained incrementally for
+    /// load-balanced steering.
+    iq_load: Vec<usize>,
+    scratch_votes: Vec<usize>,
+    scratch_issued: Vec<usize>,
+    scratch_done: Vec<(u64, u64)>,
     stats: CoreStats,
     recorder: Option<crate::pipeview::PipeRecorder>,
 }
 
-impl Core {
+impl<'a> Core<'a> {
     /// Creates a core with identifier `id` executing `stream`.
     ///
     /// # Panics
     ///
     /// Panics if `cfg` fails [`CoreConfig::validate`].
-    pub fn new(id: usize, cfg: CoreConfig, stream: Vec<ExecInst>) -> Core {
+    pub fn new(id: usize, cfg: &'a CoreConfig, stream: &'a [ExecInst]) -> Core<'a> {
         cfg.validate();
         let fus = FuPool::new(&cfg.clusters);
+        // Streams are in program order, so the last entry bounds the dense
+        // per-gseq tables.
+        let dense = stream.last().map_or(0, |x| x.gseq as usize + 1);
+        let clusters = cfg.clusters.len();
         Core {
             id,
             cfg,
@@ -196,19 +328,24 @@ impl Core {
             cursor: 0,
             fetch_stall_until: 0,
             filled_line: None,
-            pipe: VecDeque::new(),
-            slots: HashMap::new(),
-            rob: VecDeque::new(),
-            iq: Vec::new(),
+            pipe: VecDeque::with_capacity(cfg.fetch_buffer + 8),
+            slots: Slots::with_capacity(cfg.rob_size + 4),
+            slot_of: vec![NO_SLOT; dense],
+            rob: VecDeque::with_capacity(cfg.rob_size + 1),
+            iq: Vec::with_capacity(cfg.iq_size + 1),
             lq_used: 0,
             sq_used: 0,
-            sq: Vec::new(),
+            sq: Vec::with_capacity(cfg.sq_size + 1),
             fus,
-            complete_time: HashMap::new(),
-            cluster_of: HashMap::new(),
-            completions: BinaryHeap::new(),
-            gating: HashSet::new(),
+            complete_time: vec![u64::MAX; dense],
+            cluster_of: vec![u8::MAX; dense],
+            gating: vec![false; dense],
+            completions: EventWheel::new(),
             storeset: HashSet::new(),
+            iq_load: vec![0; clusters],
+            scratch_votes: vec![0; clusters],
+            scratch_issued: vec![0; clusters],
+            scratch_done: Vec::with_capacity(cfg.issue_width + 4),
             stats: CoreStats::default(),
             recorder: None,
         }
@@ -255,9 +392,9 @@ impl Core {
 
     /// One-line snapshot of pipeline occupancy, for diagnostics.
     pub fn pipeline_snapshot(&self) -> String {
-        let head = self.rob.front().map(|g| {
-            let s = &self.slots[g];
-            format!("{}:{:?}", g, s.state)
+        let head = self.rob.front().map(|&sid| {
+            let s = sid as usize;
+            format!("{}:{:?}", self.slots.x[s].gseq, self.slots.state[s])
         });
         format!(
             "cursor={}/{} pipe={} rob={} iq={} lq={} sq={} head={:?}",
@@ -282,20 +419,20 @@ impl Core {
     /// Only meaningful on cycles where nothing committed; the driver
     /// decides that from the stats delta.
     pub fn commit_stall(&self, env: &mut dyn ExecEnv, now: u64) -> CommitStall {
-        let Some(&gseq) = self.rob.front() else {
+        let Some(&sid) = self.rob.front() else {
             return CommitStall::Idle;
         };
-        let slot = &self.slots[&gseq];
-        let x = slot.x;
-        match slot.state {
+        let s = sid as usize;
+        let x = self.slots.x[s];
+        match self.slots.state[s] {
             SlotState::InQueue => {
                 let mut pending = false;
                 let mut cross_pending = false;
-                for dep in x.deps.iter().flatten() {
+                for dep in self.slots.deps[s].iter().flatten() {
                     let ready = if dep.cross {
                         env.cross_operand_ready(self.id, dep.producer)
                     } else {
-                        self.local_ready(dep.producer, slot.cluster)
+                        self.local_ready(dep.producer, self.slots.cluster[s] as usize)
                     };
                     if ready.is_none_or(|t| t > now) {
                         pending = true;
@@ -308,7 +445,11 @@ impl Core {
                     }
                 } else {
                     CommitStall::WaitingIssue {
-                        fu_free: self.fus.would_issue(slot.cluster, x.class(), now),
+                        fu_free: self.fus.would_issue(
+                            self.slots.cluster[s] as usize,
+                            x.class(),
+                            now,
+                        ),
                         is_load: x.is_load(),
                         cross_memdep: x.mem_dep.is_some_and(|m| m.cross),
                     }
@@ -316,8 +457,8 @@ impl Core {
             }
             SlotState::Issued { .. } => CommitStall::Executing {
                 is_load: x.is_load(),
-                mem_level: slot.mem_level,
-                cross_replay: slot.cross_replay,
+                mem_level: self.slots.mem_level[s],
+                cross_replay: self.slots.cross_replay[s],
                 replica: x.replica,
             },
             SlotState::Done { at } => {
@@ -340,42 +481,46 @@ impl Core {
     }
 
     fn drain_completions(&mut self, now: u64, env: &mut dyn ExecEnv) {
-        while let Some(&Reverse((cycle, gseq))) = self.completions.peek() {
-            if cycle > now {
-                break;
-            }
-            self.completions.pop();
-            let slot = self.slots.get_mut(&gseq).expect("completing slot exists");
-            slot.state = SlotState::Done { at: cycle };
-            self.complete_time.insert(gseq, cycle);
-            if slot.x.is_store() {
+        self.scratch_done.clear();
+        let mut due = std::mem::take(&mut self.scratch_done);
+        self.completions.drain_due_into(now, &mut due);
+        for &(cycle, gseq) in &due {
+            let sid = self.slot_of[gseq as usize];
+            debug_assert_ne!(sid, NO_SLOT, "completing slot exists");
+            let s = sid as usize;
+            self.slots.state[s] = SlotState::Done { at: cycle };
+            self.complete_time[gseq as usize] = cycle;
+            let x = self.slots.x[s];
+            if x.is_store() {
                 if let Some(e) = self.sq.iter_mut().find(|e| e.gseq == gseq) {
                     e.complete = Some(cycle);
                 }
             }
-            let x = slot.x;
             if x.sends {
                 self.stats.sends += 1;
             }
             self.record(x.gseq, x.d.inst, crate::pipeview::Stage::Complete, cycle);
             env.on_complete(self.id, &x, cycle);
-            if self.gating.remove(&gseq) {
+            if self.gating[gseq as usize] {
+                self.gating[gseq as usize] = false;
                 env.resolve_fetch_block(self.id, gseq, cycle + self.cfg.mispredict_penalty);
             }
         }
+        self.scratch_done = due;
     }
 
     fn commit(&mut self, now: u64, env: &mut dyn ExecEnv, mem: &mut Hierarchy) {
         for _ in 0..self.cfg.commit_width {
-            let Some(&gseq) = self.rob.front() else { break };
-            let slot = &self.slots[&gseq];
-            let SlotState::Done { at } = slot.state else {
+            let Some(&sid) = self.rob.front() else { break };
+            let s = sid as usize;
+            let SlotState::Done { at } = self.slots.state[s] else {
                 break;
             };
-            if at >= now || !env.can_commit(&slot.x) {
+            let x = self.slots.x[s];
+            if at >= now || !env.can_commit(&x) {
                 break;
             }
-            let x = slot.x;
+            let gseq = x.gseq;
             if x.is_store() && !x.replica {
                 if let Some((addr, _)) = x.mem_range() {
                     mem.access_data(self.id, addr, true, now);
@@ -395,26 +540,38 @@ impl Core {
             } else {
                 self.stats.committed += 1;
             }
-            self.record(x.gseq, x.d.inst, crate::pipeview::Stage::Commit, now);
+            self.record(gseq, x.d.inst, crate::pipeview::Stage::Commit, now);
             env.on_commit(self.id, &x, now);
             self.rob.pop_front();
-            self.slots.remove(&gseq);
+            self.slot_of[gseq as usize] = NO_SLOT;
+            self.slots.free.push(sid);
         }
     }
 
     /// Scheduled or actual completion time of a local producer, or `None`
     /// if it has not issued yet.
     fn local_ready(&self, producer: u64, consumer_cluster: usize) -> Option<u64> {
-        let (time, cluster) = if let Some(slot) = self.slots.get(&producer) {
-            match slot.state {
+        let p = producer as usize;
+        let sid = self.slot_of[p];
+        let (time, cluster) = if sid != NO_SLOT {
+            match self.slots.state[sid as usize] {
                 SlotState::InQueue => return None,
-                SlotState::Issued { done } => (done, slot.cluster),
-                SlotState::Done { at } => (at, slot.cluster),
+                SlotState::Issued { done } => (done, self.slots.cluster[sid as usize] as usize),
+                SlotState::Done { at } => (at, self.slots.cluster[sid as usize] as usize),
             }
         } else {
+            let t = self.complete_time[p];
+            if t == u64::MAX {
+                return None;
+            }
+            let c = self.cluster_of[p];
             (
-                *self.complete_time.get(&producer)?,
-                *self.cluster_of.get(&producer).unwrap_or(&consumer_cluster),
+                t,
+                if c == u8::MAX {
+                    consumer_cluster
+                } else {
+                    c as usize
+                },
             )
         };
         let bypass = if cluster != consumer_cluster {
@@ -425,18 +582,50 @@ impl Core {
         Some(time + bypass)
     }
 
-    /// Earliest cycle the register operands of `slot` are ready, or `None`.
-    fn operands_ready(&self, slot: &Slot, env: &mut dyn ExecEnv) -> Option<u64> {
-        let mut t = slot.dispatched_at + 1;
-        for dep in slot.x.deps.iter().flatten() {
+    /// Issue-stage wakeup: the earliest cycle the register operands of
+    /// slot `s` are ready, or what the entry is blocked on.
+    fn wakeup(&self, s: usize, env: &mut dyn ExecEnv) -> Wakeup {
+        let mut t = self.slots.dispatched_at[s] + 1;
+        let consumer_cluster = self.slots.cluster[s] as usize;
+        for dep in self.slots.deps[s].iter().flatten() {
             let r = if dep.cross {
-                env.cross_operand_ready(self.id, dep.producer)?
+                match env.cross_operand_ready(self.id, dep.producer) {
+                    Some(r) => r,
+                    None => return Wakeup::Unknown,
+                }
             } else {
-                self.local_ready(dep.producer, slot.cluster)?
+                let p = dep.producer as usize;
+                let psid = self.slot_of[p];
+                if psid != NO_SLOT {
+                    let (done, cluster) = match self.slots.state[psid as usize] {
+                        SlotState::InQueue => return Wakeup::WaitLocal(psid),
+                        SlotState::Issued { done } => (done, self.slots.cluster[psid as usize]),
+                        SlotState::Done { at } => (at, self.slots.cluster[psid as usize]),
+                    };
+                    if cluster as usize != consumer_cluster {
+                        done + self.cfg.intercluster_latency
+                    } else {
+                        done
+                    }
+                } else {
+                    let done = self.complete_time[p];
+                    if done == u64::MAX {
+                        // Producer is not in this core's stream at all (a
+                        // partitioner invariant violation): keep polling,
+                        // matching the old always-rescan behaviour.
+                        return Wakeup::Unknown;
+                    }
+                    let c = self.cluster_of[p];
+                    if c != u8::MAX && c as usize != consumer_cluster {
+                        done + self.cfg.intercluster_latency
+                    } else {
+                        done
+                    }
+                }
             };
             t = t.max(r);
         }
-        Some(t)
+        Wakeup::Ready(t)
     }
 
     /// Local load/store-queue constraint for a load. Returns
@@ -444,7 +633,7 @@ impl Core {
     /// retry later.
     #[allow(clippy::type_complexity)]
     fn local_load_gate(
-        &mut self,
+        &self,
         x: &ExecInst,
         ready_since: u64,
         now: u64,
@@ -467,7 +656,10 @@ impl Core {
             .iter()
             .find(|e| e.gseq == md.store)
             .map(|e| e.complete)
-            .unwrap_or_else(|| self.complete_time.get(&md.store).copied());
+            .unwrap_or_else(|| {
+                let t = self.complete_time[md.store as usize];
+                (t != u64::MAX).then_some(t)
+            });
         let synchronize = match self.cfg.memdep {
             MemDepPolicy::Conservative => true,
             MemDepPolicy::StoreSets { .. } => self.storeset.contains(&x.d.pc),
@@ -515,31 +707,50 @@ impl Core {
 
     fn issue(&mut self, now: u64, env: &mut dyn ExecEnv, mem: &mut Hierarchy) {
         let mut issued_total = 0;
-        let mut issued_cluster = vec![0usize; self.cfg.clusters.len()];
-        let candidates: Vec<u64> = self.iq.clone();
-        let mut issued: Vec<u64> = Vec::new();
-        for gseq in candidates {
+        let mut issued_any = false;
+        self.scratch_issued.fill(0);
+        let mut i = 0;
+        while i < self.iq.len() {
             if issued_total >= self.cfg.issue_width {
                 break;
             }
-            let slot = self.slots.get(&gseq).expect("iq entry has slot");
-            let cluster = slot.cluster;
-            if issued_cluster[cluster] >= self.cfg.clusters[cluster].issue_width {
+            let sid = self.iq[i];
+            i += 1;
+            let s = sid as usize;
+            // Ready-set filters: parked on a producer, or asleep until a
+            // known ready cycle. Neither consumes issue bandwidth, claims
+            // an FU, or touches the environment — skipping is invisible.
+            if self.slots.waiting[s] || self.slots.sleep_until[s] > now {
                 continue;
             }
-            let Some(ready) = self.operands_ready(slot, env) else {
+            let cluster = self.slots.cluster[s] as usize;
+            if self.scratch_issued[cluster] >= self.cfg.clusters[cluster].issue_width {
                 continue;
+            }
+            let ready = match self.wakeup(s, env) {
+                Wakeup::Ready(t) => t,
+                Wakeup::WaitLocal(psid) => {
+                    self.slots.waiting[s] = true;
+                    self.slots.waiter_next[s] = self.slots.waiter_head[psid as usize];
+                    self.slots.waiter_head[psid as usize] = sid;
+                    continue;
+                }
+                Wakeup::Unknown => continue,
             };
             if ready > now {
+                self.slots.sleep_until[s] = ready;
                 continue;
             }
             // Record when the operands first became ready (for violation
             // detection on speculative loads).
-            let ready_since = {
-                let slot = self.slots.get_mut(&gseq).expect("slot exists");
-                *slot.ready_since.get_or_insert(now.max(ready))
+            let ready_since = if self.slots.ready_since[s] == u64::MAX {
+                let v = now.max(ready);
+                self.slots.ready_since[s] = v;
+                v
+            } else {
+                self.slots.ready_since[s]
             };
-            let x = self.slots[&gseq].x;
+            let x = self.slots.x[s];
             let class = x.class();
 
             // Memory-ordering gates for loads.
@@ -589,7 +800,7 @@ impl Core {
                 InstClass::Branch | InstClass::Jump => now + lat.branch,
                 InstClass::Store => {
                     let done = now + lat.agen;
-                    if let Some(e) = self.sq.iter_mut().find(|e| e.gseq == gseq) {
+                    if let Some(e) = self.sq.iter_mut().find(|e| e.gseq == x.gseq) {
                         e.addr_ready = Some(done);
                         e.complete = Some(done);
                     }
@@ -631,44 +842,52 @@ impl Core {
                 }
             };
 
-            let slot = self.slots.get_mut(&gseq).expect("slot exists");
-            slot.state = SlotState::Issued { done };
-            slot.mem_level = issue_mem_level;
-            slot.cross_replay = issue_cross_replay;
-            self.completions.push(Reverse((done, gseq)));
-            self.record(gseq, x.d.inst, crate::pipeview::Stage::Issue, now);
-            issued.push(gseq);
+            self.slots.state[s] = SlotState::Issued { done };
+            self.slots.mem_level[s] = issue_mem_level;
+            self.slots.cross_replay[s] = issue_cross_replay;
+            // Wake everything parked on this producer.
+            let mut w = self.slots.waiter_head[s];
+            self.slots.waiter_head[s] = NO_SLOT;
+            while w != NO_SLOT {
+                self.slots.waiting[w as usize] = false;
+                w = self.slots.waiter_next[w as usize];
+            }
+            self.completions.push(done, x.gseq);
+            self.record(x.gseq, x.d.inst, crate::pipeview::Stage::Issue, now);
+            issued_any = true;
             issued_total += 1;
-            issued_cluster[cluster] += 1;
+            self.scratch_issued[cluster] += 1;
+            self.iq_load[cluster] -= 1;
             self.stats.issued += 1;
         }
-        if !issued.is_empty() {
-            self.iq.retain(|g| !issued.contains(g));
+        if issued_any {
+            let state = &self.slots.state;
+            self.iq
+                .retain(|&sid| matches!(state[sid as usize], SlotState::InQueue));
         }
     }
 
-    fn steer(&self, x: &ExecInst) -> usize {
+    fn steer(&mut self, x: &ExecInst) -> usize {
         if self.cfg.clusters.len() == 1 {
             return 0;
         }
         // Dependence-based steering with load balancing (the policy used
         // for fused cores): prefer the cluster that produces our operands,
         // fall back to the least-loaded cluster.
-        let mut votes = vec![0usize; self.cfg.clusters.len()];
+        self.scratch_votes.fill(0);
         for dep in x.deps.iter().flatten() {
             if dep.cross {
                 continue;
             }
-            if let Some(slot) = self.slots.get(&dep.producer) {
-                votes[slot.cluster] += 1;
-            } else if let Some(&c) = self.cluster_of.get(&dep.producer) {
-                votes[c] += 1;
+            // `cluster_of` is set at dispatch and never cleared, so it
+            // covers both in-flight and committed producers.
+            let c = self.cluster_of[dep.producer as usize];
+            if c != u8::MAX {
+                self.scratch_votes[c as usize] += 1;
             }
         }
-        let mut load = vec![0usize; self.cfg.clusters.len()];
-        for &g in &self.iq {
-            load[self.slots[&g].cluster] += 1;
-        }
+        let votes = &self.scratch_votes;
+        let load = &self.iq_load;
         let best_vote = votes.iter().copied().max().unwrap_or(0);
         // Imbalance guard: if the preferred cluster is overloaded, go to
         // the least-loaded one instead.
@@ -725,21 +944,12 @@ impl Core {
                 }
                 _ => {}
             }
-            self.cluster_of.insert(x.gseq, cluster);
-            self.slots.insert(
-                x.gseq,
-                Slot {
-                    x,
-                    cluster,
-                    state: SlotState::InQueue,
-                    dispatched_at: now,
-                    ready_since: None,
-                    mem_level: None,
-                    cross_replay: false,
-                },
-            );
-            self.rob.push_back(x.gseq);
-            self.iq.push(x.gseq);
+            self.cluster_of[x.gseq as usize] = cluster as u8;
+            let sid = self.slots.alloc(x, cluster as u8, now);
+            self.slot_of[x.gseq as usize] = sid;
+            self.rob.push_back(sid);
+            self.iq.push(sid);
+            self.iq_load[cluster] += 1;
             self.record(x.gseq, x.d.inst, crate::pipeview::Stage::Dispatch, now);
         }
     }
@@ -803,7 +1013,7 @@ impl Core {
             if x.class().is_control() {
                 let p = env.predict(self.id, &x);
                 if p.mispredicted {
-                    self.gating.insert(x.gseq);
+                    self.gating[x.gseq as usize] = true;
                     env.block_fetch_after(self.id, x.gseq);
                     break;
                 }
@@ -833,7 +1043,7 @@ mod tests {
         let t = trace_program(&p, 100_000).unwrap();
         let stream = build_exec_stream(t.insts());
         let total = stream.len() as u64;
-        let mut core = Core::new(0, cfg.clone(), stream);
+        let mut core = Core::new(0, &cfg, &stream);
         let mut env = SingleEnv::new(&cfg);
         let mut mem = fgstp_mem::Hierarchy::new(&HierarchyConfig::small(1));
         let mut now = 0u64;

@@ -190,7 +190,7 @@ fn run_single_loop<S: CycleSink>(
     let stream = build_exec_stream(trace);
     let total = stream.len() as u64;
     let branches_before = env.branch_stats();
-    let mut core = Core::new(0, cfg.clone(), stream);
+    let mut core = Core::new(0, cfg, &stream);
     if let Some(r) = recorder {
         core.set_recorder(r);
     }

@@ -671,6 +671,116 @@ mod tests {
         assert!(bad.is_err());
     }
 
+    /// Validation matrix: every combination of `--sample` with the flags
+    /// it excludes is rejected, in either flag order, and the error names
+    /// the offending flag. A combination that merely *implies* sampling
+    /// (`--sample-interval`) conflicts exactly like the explicit flag.
+    #[test]
+    fn sample_exclusion_matrix() {
+        let sample_forms: [&[&str]; 2] = [&["--sample"], &["--sample-interval", "2000"]];
+        let excluded: [(&[&str], &str); 2] = [
+            (&["--cores", "2"], "--cores"),
+            (
+                &["--chrome-trace", "/tmp/fgstp-matrix.json"],
+                "--chrome-trace",
+            ),
+        ];
+        for sample in sample_forms {
+            for (conflict, flag) in excluded {
+                for order in 0..2 {
+                    let mut args = vec!["run".to_owned(), "hmmer_dp".to_owned()];
+                    let (first, second) = if order == 0 {
+                        (sample, conflict)
+                    } else {
+                        (conflict, sample)
+                    };
+                    args.extend(first.iter().map(|s| s.to_string()));
+                    args.extend(second.iter().map(|s| s.to_string()));
+                    let e = dispatch(&args).expect_err(&format!("{args:?} must be rejected"));
+                    assert!(
+                        e.0.contains(flag),
+                        "error for {args:?} names {flag}: {}",
+                        e.0
+                    );
+                }
+            }
+        }
+        // Both conflicts at once still fail (whichever is reported first).
+        let e = dispatch(&[
+            "run".into(),
+            "hmmer_dp".into(),
+            "--sample".into(),
+            "--cores".into(),
+            "2".into(),
+            "--chrome-trace".into(),
+            "/tmp/fgstp-matrix.json".into(),
+        ]);
+        assert!(e.is_err());
+    }
+
+    /// `--sample-*` parsing edges: exact-fit windows are accepted, the
+    /// first over-budget instruction is rejected, zero detail is rejected,
+    /// and every value flag needs a numeric argument.
+    #[test]
+    fn sample_value_parsing_edges() {
+        let run_with = |interval: &str, warmup: &str, detail: &str| {
+            dispatch(&[
+                "run".into(),
+                "hmmer_dp".into(),
+                "--sample-interval".into(),
+                interval.into(),
+                "--sample-warmup".into(),
+                warmup.into(),
+                "--sample-detail".into(),
+                detail.into(),
+            ])
+        };
+        // warmup + detail == interval is the largest window that fits.
+        assert!(run_with("1000", "500", "500").is_ok());
+        // One instruction over the interval fails with the budget message.
+        let e = run_with("1000", "500", "501").unwrap_err();
+        assert!(e.0.contains("must fit in the interval"), "{}", e.0);
+        // Zero-instruction detail windows measure nothing.
+        let e = run_with("1000", "100", "0").unwrap_err();
+        assert!(e.0.contains("--sample-detail"), "{}", e.0);
+        // Each value flag demands an argument...
+        for flag in ["--sample-interval", "--sample-warmup", "--sample-detail"] {
+            let e = dispatch(&["run".into(), "hmmer_dp".into(), flag.into()]).unwrap_err();
+            assert!(e.0.contains(flag), "{}", e.0);
+            // ...and a numeric one: negatives and words don't parse as u64.
+            for bad in ["many", "-5", "1e6"] {
+                let e = dispatch(&["run".into(), "hmmer_dp".into(), flag.into(), bad.into()])
+                    .unwrap_err();
+                assert!(e.0.contains(flag) && e.0.contains(bad), "{}", e.0);
+            }
+        }
+    }
+
+    /// `--cores` validation composes with machine selection: valid on any
+    /// Fg-STP preset, rejected on every non-Fg-STP preset and for zero.
+    #[test]
+    fn cores_machine_matrix() {
+        for kind in MachineKind::ALL {
+            let r = run_instrumented(
+                "hmmer_dp",
+                Some(kind.label()),
+                Some("test"),
+                Some(2),
+                false,
+                None,
+                None,
+            );
+            if kind.is_fgstp() {
+                assert!(r.is_ok(), "{}: {r:?}", kind.label());
+            } else {
+                let e = r.expect_err(kind.label());
+                assert!(e.0.contains("--cores"), "{}", e.0);
+            }
+        }
+        let e = run_instrumented("hmmer_dp", None, None, Some(0), false, None, None).unwrap_err();
+        assert!(e.0.contains("at least one core"), "{}", e.0);
+    }
+
     #[test]
     fn scaling_presets_are_reachable_by_label() {
         let out = run("hmmer_dp", Some("fgstp-small-4"), Some("test")).unwrap();

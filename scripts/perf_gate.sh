@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Wall-clock perf-regression gate for the simulator hot loop.
+#
+# Re-runs the pinned 18-kernel sweep with `bench_hotloop` and fails when
+# any machine's fresh simulated-MIPS drops below
+# `tolerance × recorded` from the checked-in BENCH_hotloop.json.
+#
+# The default tolerance is deliberately wide (0.5 — only a 2x regression
+# fails) so the gate stays non-flaky on loaded or slow CI hosts while
+# still catching real hot-loop regressions. Override with
+# PERF_GATE_TOLERANCE, and the iteration count with PERF_GATE_ITERS.
+#
+# NOTE: a plain `cargo build --release` at the workspace root does NOT
+# rebuild the bench crate (it is a workspace member, not a root
+# dependency) — the `-p fgstp-bench` below is required.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+TOLERANCE="${PERF_GATE_TOLERANCE:-0.5}"
+ITERS="${PERF_GATE_ITERS:-3}"
+REPORT="${1:-BENCH_hotloop.json}"
+
+echo "== perf gate: building bench_hotloop (release)"
+cargo build --release -q -p fgstp-bench --bin bench_hotloop
+
+echo "== perf gate: schema check on ${REPORT}"
+./target/release/bench_hotloop --schema-check="${REPORT}"
+
+echo "== perf gate: re-measuring (iters=${ITERS}, tolerance=${TOLERANCE})"
+./target/release/bench_hotloop --check="${REPORT}" \
+    --iters="${ITERS}" --tolerance="${TOLERANCE}"
+
+echo "== perf gate OK"

@@ -23,4 +23,12 @@ cargo test -q --test telemetry
 echo "== sampled-simulation smoke (E14 at test scale)"
 cargo run --release -q -p fgstp-bench --bin exp_e14_sampling -- test --no-cache
 
+echo "== hot-loop bench smoke + report schema checks"
+# A root `cargo build --release` does not rebuild the bench crate; the
+# explicit -p is load-bearing.
+cargo build --release -q -p fgstp-bench --bin bench_hotloop
+./target/release/bench_hotloop test --iters=1 --out=target/bench_hotloop_smoke.json
+./target/release/bench_hotloop --schema-check=target/bench_hotloop_smoke.json
+./target/release/bench_hotloop --schema-check=BENCH_hotloop.json
+
 echo "== verify OK"
