@@ -34,10 +34,10 @@
 use std::hint::black_box;
 use std::time::Instant;
 
-use fgstp_bench::json::Json;
 use fgstp_isa::Trace;
 use fgstp_sim::runner::{run_on, trace_workload};
 use fgstp_sim::{MachineKind, Scale};
+use fgstp_telemetry::json::Json;
 
 /// Report format identifier (bump on incompatible layout changes).
 const SCHEMA: &str = "fgstp-bench-hotloop/v1";

@@ -5,6 +5,10 @@
 //! always-Fg-STP, an implementable sampling controller (one interval per
 //! mode, then commit, with reconfiguration penalties), and the oracle
 //! upper bound — per benchmark and in geomean.
+//!
+//! Accepts the shared [`fgstp_sim::ExperimentSpec`] flag vocabulary
+//! (scale word, `--workloads=a,b`, `--threads=N`, `--no-cache`,
+//! `--sample*`) plus `--csv`; see `fgstp_bench::ExpArgs`.
 
 use fgstp::{run_fgstp, run_oracle, run_sampling, FgstpConfig, SamplingConfig};
 use fgstp_bench::{print_experiment, ExpArgs};

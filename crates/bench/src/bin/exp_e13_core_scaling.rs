@@ -11,6 +11,10 @@
 //! The paper evaluates N = 2 only; everything at N > 2 is this
 //! reproduction's extrapolation (greedy min-load steering and N-way
 //! cut-minimization — see DESIGN.md, "N-core generalization").
+//!
+//! Accepts the shared [`fgstp_sim::ExperimentSpec`] flag vocabulary
+//! (scale word, `--workloads=a,b`, `--threads=N`, `--no-cache`,
+//! `--sample*`) plus `--csv`; see `fgstp_bench::ExpArgs`.
 
 use fgstp::{run_fgstp_with_sink, FgstpConfig};
 use fgstp_bench::{print_experiment, ExpArgs, SuiteBaseline};

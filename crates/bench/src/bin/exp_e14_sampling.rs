@@ -13,6 +13,10 @@
 //! lengths a real SPEC run would produce, and this experiment validates
 //! the substitution: the sampled geomean should sit within a couple of
 //! percent of full detail at a ≥10× detail reduction.
+//!
+//! Accepts the shared [`fgstp_sim::ExperimentSpec`] flag vocabulary
+//! (scale word, `--workloads=a,b`, `--threads=N`, `--no-cache`,
+//! `--sample*`) plus `--csv`; see `fgstp_bench::ExpArgs`.
 
 use fgstp_bench::{print_experiment, ExpArgs};
 use fgstp_sim::{
@@ -42,7 +46,7 @@ const REGIMES: [SampleConfig; 3] = [
 fn main() {
     let args = ExpArgs::parse();
     let session = args.session();
-    let workloads = long_suite(args.scale);
+    let workloads = long_suite(args.scale());
     let traces = session.par_map(&workloads, |w| session.trace(w));
     let traced: Vec<_> = workloads.into_iter().zip(traces).collect();
 

@@ -3,6 +3,10 @@
 //! Core Fusion and Fg-STP vs one small core, for every workload plus the
 //! geomean. The paper's headline: Fg-STP beats Core Fusion by ~7% on
 //! average on the small configuration.
+//!
+//! Accepts the shared [`fgstp_sim::ExperimentSpec`] flag vocabulary
+//! (scale word, `--workloads=a,b`, `--threads=N`, `--no-cache`,
+//! `--sample*`) plus `--csv`; see `fgstp_bench::ExpArgs`.
 
 use fgstp_bench::{run_speedup_experiment, ExpArgs};
 use fgstp_sim::MachineKind;

@@ -4,6 +4,10 @@
 //! Fg-STP beats Core Fusion by ~18% on average on the medium
 //! configuration — a larger margin than on the small one, because fusing
 //! two already-capable cores buys less while its front-end overheads stay.
+//!
+//! Accepts the shared [`fgstp_sim::ExperimentSpec`] flag vocabulary
+//! (scale word, `--workloads=a,b`, `--threads=N`, `--no-cache`,
+//! `--sample*`) plus `--csv`; see `fgstp_bench::ExpArgs`.
 
 use fgstp_bench::{run_speedup_experiment, ExpArgs};
 use fgstp_sim::MachineKind;

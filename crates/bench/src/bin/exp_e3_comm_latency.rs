@@ -4,6 +4,10 @@
 //! geomean Fg-STP speedup over one small core. The curve motivates the
 //! paper's dedicated queues between adjacent cores: speedup degrades
 //! gracefully but monotonically with latency.
+//!
+//! Accepts the shared [`fgstp_sim::ExperimentSpec`] flag vocabulary
+//! (scale word, `--workloads=a,b`, `--threads=N`, `--no-cache`,
+//! `--sample*`) plus `--csv`; see `fgstp_bench::ExpArgs`.
 
 use fgstp::{run_fgstp, FgstpConfig};
 use fgstp_bench::{print_experiment, ExpArgs, SuiteBaseline};

@@ -5,6 +5,10 @@
 //! that Fg-STP "differs from previous proposals on the extensive use of
 //! dependence speculation, replication and communication" predicts that
 //! removing either mechanism costs performance.
+//!
+//! Accepts the shared [`fgstp_sim::ExperimentSpec`] flag vocabulary
+//! (scale word, `--workloads=a,b`, `--threads=N`, `--no-cache`,
+//! `--sample*`) plus `--csv`; see `fgstp_bench::ExpArgs`.
 
 use fgstp::{run_fgstp, FgstpConfig};
 use fgstp_bench::{print_experiment, ExpArgs, SuiteBaseline};

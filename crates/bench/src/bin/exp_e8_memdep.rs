@@ -4,6 +4,10 @@
 //! the speculative machine suffers, and the cycles it gains over the
 //! conservative machine that orders every load behind the youngest older
 //! remote store.
+//!
+//! Accepts the shared [`fgstp_sim::ExperimentSpec`] flag vocabulary
+//! (scale word, `--workloads=a,b`, `--threads=N`, `--no-cache`,
+//! `--sample*`) plus `--csv`; see `fgstp_bench::ExpArgs`.
 
 use fgstp::{run_fgstp, FgstpConfig};
 use fgstp_bench::{print_experiment, ExpArgs};

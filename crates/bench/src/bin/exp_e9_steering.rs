@@ -4,6 +4,10 @@
 //! baseline and classic online greedy dependence steering, at the same
 //! machine configuration. This isolates how much of the win comes from
 //! *how* the stream is partitioned.
+//!
+//! Accepts the shared [`fgstp_sim::ExperimentSpec`] flag vocabulary
+//! (scale word, `--workloads=a,b`, `--threads=N`, `--no-cache`,
+//! `--sample*`) plus `--csv`; see `fgstp_bench::ExpArgs`.
 
 use fgstp::{run_fgstp, FgstpConfig, PartitionPolicy};
 use fgstp_bench::{print_experiment, ExpArgs, SuiteBaseline};

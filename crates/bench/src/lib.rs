@@ -7,107 +7,75 @@
 //! directory holds a dependency-free wall-clock benchmark of the
 //! simulator's hot paths.
 //!
-//! Every binary accepts an optional scale argument (`test`, `small`,
-//! `reference`; default `small`), `--csv` to emit machine-readable
-//! output, `--threads=N` to size the session's worker pool, `--no-cache`
-//! to disable the on-disk trace cache, and `--sample` (with optional
-//! `--sample-interval=N` / `--sample-warmup=N` / `--sample-detail=N`) to
-//! switch the session to SMARTS-style sampled simulation.
+//! Every binary accepts the shared [`fgstp_sim::ExperimentSpec`] flag
+//! vocabulary (an optional scale word, `--workloads=a,b` to narrow the
+//! suite, `--threads=N` to size the session's worker pool, `--no-cache`
+//! to disable the on-disk trace cache, and `--sample` with optional
+//! `--sample-interval=N` / `--sample-warmup=N` / `--sample-detail=N` for
+//! SMARTS-style sampled simulation) plus `--csv` for machine-readable
+//! output. The same spec drives the `fgstpd` batch daemon and the
+//! `fgstp` client — see `crates/service`.
 
 use fgstp_isa::Trace;
-use fgstp_sim::{run_on, MachineKind, MachineRun, SampleConfig, Scale, Session, Table, Workload};
+use fgstp_sim::{run_on, ExperimentSpec, MachineKind, MachineRun, Scale, Session, Table, Workload};
 
-pub mod json;
+pub use fgstp_telemetry::json;
 
-/// Command-line options shared by all experiment binaries.
-#[derive(Debug, Clone, Copy)]
+/// Command-line options shared by all experiment binaries: a full
+/// [`ExperimentSpec`] (every binary understands the shared spec
+/// vocabulary — scale words, `--workloads=`, `--threads=N`, `--no-cache`,
+/// the `--sample*` flags, …) plus the harness-local `--csv` toggle.
+#[derive(Debug, Clone)]
 pub struct ExpArgs {
-    /// Workload scale.
-    pub scale: Scale,
+    /// The experiment specification built from the shared flags.
+    pub spec: ExperimentSpec,
     /// Emit CSV instead of an aligned table.
     pub csv: bool,
-    /// Worker-pool size override (`None` = all available cores).
-    pub threads: Option<usize>,
-    /// Disable the on-disk trace cache.
-    pub no_cache: bool,
-    /// Sampled-simulation regime (`--sample*` flags), off by default.
-    pub sample: Option<SampleConfig>,
 }
 
 impl ExpArgs {
-    /// Parses `std::env::args()`: an optional scale word, `--csv`,
-    /// `--threads=N`, `--no-cache`, and the `--sample*` flags.
+    /// Parses `std::env::args()` through the shared
+    /// [`ExperimentSpec::apply_arg`] vocabulary plus `--csv`, exiting
+    /// with the structured error and a usage line on bad input.
     pub fn parse() -> ExpArgs {
-        let mut args = ExpArgs {
-            scale: Scale::Small,
-            csv: false,
-            threads: None,
-            no_cache: false,
-            sample: None,
-        };
-        for a in std::env::args().skip(1) {
-            match a.as_str() {
-                "test" => args.scale = Scale::Test,
-                "small" => args.scale = Scale::Small,
-                "reference" => args.scale = Scale::Reference,
-                "--csv" => args.csv = true,
-                "--no-cache" => args.no_cache = true,
-                "--sample" => {
-                    args.sample.get_or_insert_with(SampleConfig::default);
-                }
-                other => {
-                    if let Some(n) = other
-                        .strip_prefix("--threads=")
-                        .and_then(|n| n.parse::<usize>().ok())
-                    {
-                        args.threads = Some(n);
-                        continue;
-                    }
-                    let sample_field = other.split_once('=').and_then(|(flag, value)| {
-                        let n = value.parse::<u64>().ok()?;
-                        match flag {
-                            "--sample-interval" | "--sample-warmup" | "--sample-detail" => {
-                                Some((flag, n))
-                            }
-                            _ => None,
-                        }
-                    });
-                    if let Some((flag, n)) = sample_field {
-                        let s = args.sample.get_or_insert_with(SampleConfig::default);
-                        match flag {
-                            "--sample-interval" => s.interval = n,
-                            "--sample-warmup" => s.warmup = n,
-                            _ => s.detail = n,
-                        }
-                        continue;
-                    }
-                    eprintln!(
-                        "usage: exp_* [test|small|reference] [--csv] [--threads=N] [--no-cache] [--sample] [--sample-interval=N] [--sample-warmup=N] [--sample-detail=N] (got `{other}`)"
-                    );
-                    std::process::exit(2);
-                }
-            }
-        }
-        if let Some(s) = &args.sample {
-            s.validate();
-        }
-        args
+        Self::try_from_args(std::env::args().skip(1)).unwrap_or_else(|e| {
+            eprintln!("{e}");
+            eprintln!("usage: exp_* [--csv] {}", fgstp_sim::spec::SPEC_USAGE);
+            std::process::exit(2);
+        })
     }
 
-    /// A [`Session`] configured from these arguments (scale, threads,
-    /// caching and sampling; set machines per experiment).
+    /// Builds the options from an explicit argument stream; errors carry
+    /// the offending flag and a [`fgstp_sim::SpecErrorKind`].
+    pub fn try_from_args(
+        args: impl IntoIterator<Item = String>,
+    ) -> Result<ExpArgs, fgstp_sim::SpecError> {
+        let mut spec = ExperimentSpec::default();
+        let mut csv = false;
+        for a in args {
+            if a == "--csv" {
+                csv = true;
+            } else if !spec.apply_arg(&a)? {
+                return Err(fgstp_sim::SpecError::new(
+                    fgstp_sim::SpecErrorKind::UnknownFlag,
+                    format!("unknown flag `{a}`"),
+                ));
+            }
+        }
+        spec.validate()?;
+        Ok(ExpArgs { spec, csv })
+    }
+
+    /// Workload scale (shorthand for `self.spec.scale`).
+    pub fn scale(&self) -> Scale {
+        self.spec.scale
+    }
+
+    /// A [`Session`] configured from the spec (scale, workload filter,
+    /// threads, caching and sampling; experiments override machines per
+    /// figure).
     pub fn session(&self) -> Session {
-        let mut s = Session::new().scale(self.scale);
-        if let Some(n) = self.threads {
-            s = s.threads(n);
-        }
-        if self.no_cache {
-            s = s.no_cache();
-        }
-        if let Some(scfg) = self.sample {
-            s = s.sample(scfg);
-        }
-        s
+        self.spec.session()
     }
 }
 
@@ -143,7 +111,7 @@ impl SuiteBaseline {
 /// Prints a rendered experiment table with a title banner, matching the
 /// format recorded in `EXPERIMENTS.md`.
 pub fn print_experiment(id: &str, caption: &str, args: &ExpArgs, table: &Table) {
-    println!("==== {id}: {caption} (scale: {:?}) ====", args.scale);
+    println!("==== {id}: {caption} (scale: {:?}) ====", args.scale());
     if args.csv {
         print!("{}", table.to_csv());
     } else {
@@ -180,32 +148,37 @@ pub fn run_speedup_experiment(
 mod tests {
     use super::*;
 
+    fn args_of(flags: &[&str]) -> ExpArgs {
+        ExpArgs::try_from_args(flags.iter().map(|s| s.to_string())).unwrap()
+    }
+
     #[test]
     fn print_experiment_renders_both_formats() {
         let mut t = Table::new(["a"]);
         t.row(["1"]);
         // Smoke test: must not panic in either mode.
-        let mut args = ExpArgs {
-            scale: Scale::Test,
-            csv: false,
-            threads: None,
-            no_cache: false,
-            sample: None,
-        };
+        let mut args = args_of(&["test"]);
         print_experiment("T0", "smoke", &args, &t);
         args.csv = true;
         print_experiment("T0", "smoke", &args, &t);
     }
 
     #[test]
+    fn csv_flag_is_separated_from_the_spec() {
+        let args = args_of(&["test", "--csv", "--threads=2"]);
+        assert!(args.csv);
+        assert_eq!(args.scale(), Scale::Test);
+        assert_eq!(args.spec.threads, Some(2));
+        // Spec errors surface as structured values, not process exits.
+        let e = ExpArgs::try_from_args(["--threads=lots".to_owned()]).unwrap_err();
+        assert_eq!(e.kind, fgstp_sim::SpecErrorKind::Value);
+        let e = ExpArgs::try_from_args(["--bogus".to_owned()]).unwrap_err();
+        assert_eq!(e.kind, fgstp_sim::SpecErrorKind::UnknownFlag);
+    }
+
+    #[test]
     fn suite_baseline_pairs_every_workload_with_its_single_run() {
-        let args = ExpArgs {
-            scale: Scale::Test,
-            csv: false,
-            threads: Some(2),
-            no_cache: true,
-            sample: None,
-        };
+        let args = args_of(&["test", "--threads=2", "--no-cache"]);
         let base = SuiteBaseline::new(&args.session());
         assert_eq!(base.traced.len(), base.singles.len());
         for ((w, t), single) in base.jobs() {
@@ -215,18 +188,23 @@ mod tests {
     }
 
     #[test]
+    fn suite_baseline_respects_the_workload_filter() {
+        let args = args_of(&["test", "--no-cache", "--workloads=perl_hash,hmmer_dp"]);
+        let base = SuiteBaseline::new(&args.session());
+        let names: Vec<&str> = base.traced.iter().map(|(w, _)| w.name).collect();
+        assert_eq!(names, ["perl_hash", "hmmer_dp"]);
+    }
+
+    #[test]
     fn sampled_session_produces_sampled_runs() {
-        let args = ExpArgs {
-            scale: Scale::Test,
-            csv: false,
-            threads: Some(2),
-            no_cache: true,
-            sample: Some(SampleConfig {
-                interval: 2_000,
-                warmup: 300,
-                detail: 150,
-            }),
-        };
+        let args = args_of(&[
+            "test",
+            "--threads=2",
+            "--no-cache",
+            "--sample-interval=2000",
+            "--sample-warmup=300",
+            "--sample-detail=150",
+        ]);
         let w = fgstp_workloads::by_name("hmmer_dp", Scale::Test).unwrap();
         let b = args
             .session()
@@ -237,13 +215,7 @@ mod tests {
 
     #[test]
     fn session_reflects_the_arguments() {
-        let args = ExpArgs {
-            scale: Scale::Test,
-            csv: false,
-            threads: Some(2),
-            no_cache: true,
-            sample: None,
-        };
+        let args = args_of(&["test", "--threads=2", "--no-cache"]);
         let s = args.session();
         // A no-cache session never touches disk, so stats stay at zero.
         let w = &fgstp_workloads::suite(Scale::Test)[0];

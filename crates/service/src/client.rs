@@ -1,0 +1,218 @@
+//! A blocking client for the `fgstpd` protocol.
+//!
+//! [`Client`] wraps one connection and exposes a method per command.
+//! [`Client::results`] with `wait` consumes the daemon's streamed row
+//! events, handing each to a callback as it arrives and returning the
+//! job's terminal summary. Protocol-level refusals surface as
+//! [`ClientError::Protocol`] carrying the daemon's structured
+//! [`ProtocolError`]; transport and framing problems are the other two
+//! variants.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use fgstp_sim::ExperimentSpec;
+use fgstp_telemetry::json::Json;
+
+use crate::protocol::{wire_line, ProtocolError, Request};
+use crate::queue::JobState;
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport problem (connect, read, write, early EOF).
+    Io(std::io::Error),
+    /// The daemon refused the request with a structured error.
+    Protocol(ProtocolError),
+    /// The daemon sent a line the client cannot interpret.
+    Malformed(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io: {e}"),
+            ClientError::Protocol(e) => write!(f, "{e}"),
+            ClientError::Malformed(m) => write!(f, "malformed reply: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> ClientError {
+        ClientError::Io(e)
+    }
+}
+
+impl From<ProtocolError> for ClientError {
+    fn from(e: ProtocolError) -> ClientError {
+        ClientError::Protocol(e)
+    }
+}
+
+/// A submitted job's identity, from the `submit` reply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Submitted {
+    /// Daemon job id.
+    pub job: u64,
+    /// Whether the daemon served it from an existing job's results.
+    pub dedup: bool,
+}
+
+/// A finished (or polled) job's terminal summary, from the `end` event.
+#[derive(Debug, Clone)]
+pub struct JobOutcome {
+    /// Job id.
+    pub job: u64,
+    /// `done`, `failed` — or `pending` from a no-wait poll.
+    pub state: String,
+    /// Rows streamed in this call.
+    pub rows: usize,
+    /// The failure message of a failed job.
+    pub error: Option<String>,
+}
+
+impl JobOutcome {
+    /// Whether the job finished with every row produced.
+    pub fn is_done(&self) -> bool {
+        self.state == JobState::Done.label()
+    }
+}
+
+/// One connection to a daemon; see the [module docs](self).
+#[derive(Debug)]
+pub struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    /// Connects to a daemon.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            writer,
+            reader: BufReader::new(stream),
+        })
+    }
+
+    fn send(&mut self, req: &Request) -> Result<(), ClientError> {
+        self.writer
+            .write_all(wire_line(&req.to_json()).as_bytes())?;
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    fn read_line(&mut self) -> Result<Json, ClientError> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(ClientError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "daemon closed the connection",
+            )));
+        }
+        Json::parse(line.trim_end()).map_err(ClientError::Malformed)
+    }
+
+    /// Reads one reply, turning `{"ok": false}` into a protocol error.
+    fn read_reply(&mut self) -> Result<Json, ClientError> {
+        let v = self.read_line()?;
+        if v.get("ok") == Some(&Json::Bool(false)) {
+            let e = ProtocolError::from_reply(&v)
+                .unwrap_or_else(|| ProtocolError::new("bad-reply", "unrecognized error reply"));
+            return Err(ClientError::Protocol(e));
+        }
+        Ok(v)
+    }
+
+    /// Submits a spec; the daemon validates it again before enqueueing.
+    pub fn submit(&mut self, spec: &ExperimentSpec) -> Result<Submitted, ClientError> {
+        self.send(&Request::Submit { spec: spec.clone() })?;
+        let v = self.read_reply()?;
+        let job = v
+            .get("job")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| ClientError::Malformed("submit reply without job id".to_owned()))?;
+        Ok(Submitted {
+            job: job as u64,
+            dedup: v.get("dedup") == Some(&Json::Bool(true)),
+        })
+    }
+
+    /// Fetches job status lines (every job when `job` is `None`).
+    pub fn status(&mut self, job: Option<u64>) -> Result<Vec<Json>, ClientError> {
+        self.send(&Request::Status { job })?;
+        let v = self.read_reply()?;
+        Ok(v.get("jobs")
+            .and_then(Json::as_arr)
+            .unwrap_or_default()
+            .to_vec())
+    }
+
+    /// Reads a job's rows, calling `on_row` per row. With `wait`, blocks
+    /// (streaming) until the job is terminal; otherwise returns what
+    /// exists now with state `pending` if unfinished.
+    pub fn results(
+        &mut self,
+        job: u64,
+        wait: bool,
+        mut on_row: impl FnMut(&Json),
+    ) -> Result<JobOutcome, ClientError> {
+        self.send(&Request::Results { job, wait })?;
+        loop {
+            let v = self.read_reply()?;
+            match v.get("event").and_then(Json::as_str) {
+                Some("row") => {
+                    if let Some(row) = v.get("row") {
+                        on_row(row);
+                    }
+                }
+                Some("end") => {
+                    return Ok(JobOutcome {
+                        job,
+                        state: v
+                            .get("state")
+                            .and_then(Json::as_str)
+                            .unwrap_or("unknown")
+                            .to_owned(),
+                        rows: v.get("rows").and_then(Json::as_f64).unwrap_or(0.0) as usize,
+                        error: v.get("error").and_then(Json::as_str).map(str::to_owned),
+                    });
+                }
+                _ => {
+                    return Err(ClientError::Malformed(format!(
+                        "unexpected results event: {}",
+                        wire_line(&v).trim_end()
+                    )))
+                }
+            }
+        }
+    }
+
+    /// Convenience: submit, wait, and collect every row.
+    pub fn run_to_completion(
+        &mut self,
+        spec: &ExperimentSpec,
+    ) -> Result<(Submitted, Vec<Json>, JobOutcome), ClientError> {
+        let sub = self.submit(spec)?;
+        let mut rows = Vec::new();
+        let outcome = self.results(sub.job, true, |row| rows.push(row.clone()))?;
+        Ok((sub, rows, outcome))
+    }
+
+    /// Fetches the service counters and throughput figures.
+    pub fn stats(&mut self) -> Result<Json, ClientError> {
+        self.send(&Request::Stats)?;
+        self.read_reply()
+    }
+
+    /// Asks the daemon to stop; `drain` finishes queued jobs first.
+    pub fn shutdown(&mut self, drain: bool) -> Result<(), ClientError> {
+        self.send(&Request::Shutdown { drain })?;
+        self.read_reply().map(|_| ())
+    }
+}

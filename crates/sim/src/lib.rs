@@ -33,6 +33,24 @@
 //! # let _ = results;
 //! ```
 //!
+//! The [`ExperimentSpec`] type names a whole experiment (workloads ×
+//! machines × scale × sampling × telemetry) as one validated,
+//! JSON-serializable value, and converts to a configured session; it is
+//! the shared currency of the experiment binaries, the `fgstpsim` CLI,
+//! and the `fgstpd` batch daemon:
+//!
+//! ```no_run
+//! use fgstp_sim::ExperimentSpec;
+//!
+//! let spec = ExperimentSpec::from_args(&[
+//!     "test",
+//!     "--workloads=perl_hash,hmmer_dp",
+//!     "--machines=small-cmp",
+//! ]).unwrap();
+//! let results = spec.run().unwrap();
+//! # let _ = results;
+//! ```
+//!
 //! The per-trace primitives ([`run_on`], [`runner::trace_workload`]) and
 //! the historical [`run_suite`] free function remain available; the latter
 //! is a thin shim over a default `Session`. Table rendering for the
@@ -45,6 +63,7 @@ pub mod profile;
 pub mod report;
 pub mod runner;
 pub mod session;
+pub mod spec;
 
 pub use fgstp_sampling::{geomean_estimate, Estimate, SampleConfig, SampledRun};
 pub use fgstp_telemetry::{write_chrome_trace, CpiStack, Episode, StallCategory};
@@ -56,3 +75,4 @@ pub use runner::{
     run_on_with_cores, run_suite, BenchResult, MachineRun,
 };
 pub use session::{CacheStats, RunPlan, Session};
+pub use spec::{ExperimentSpec, SpecError, SpecErrorKind};

@@ -1,12 +1,15 @@
-//! Minimal JSON reading and writing for the perf-regression harness.
+//! Minimal JSON reading and writing.
 //!
-//! The workspace is dependency-free by design, so the `bench_hotloop`
-//! binary carries its own tiny JSON layer: a recursive-descent parser for
-//! the subset it emits (objects, arrays, strings, numbers, booleans,
-//! null) and a writer with deterministic key order. This is *not* a
-//! general-purpose JSON library — it exists to round-trip
-//! `BENCH_hotloop.json` and to let `scripts/perf_gate.sh` stay a thin
-//! wrapper with no external tooling (no python, no jq).
+//! The workspace is dependency-free by design, so it carries its own tiny
+//! JSON layer: a recursive-descent parser for the subset it emits
+//! (objects, arrays, strings, numbers, booleans, null) and a writer with
+//! deterministic key order. This is *not* a general-purpose JSON library
+//! — it exists to round-trip `BENCH_hotloop.json` for the perf gate, to
+//! serialize [`fgstp-sim`]'s `ExperimentSpec`, and to carry the
+//! newline-delimited `fgstpd` batch-simulation protocol, all without
+//! external tooling (no serde, no python, no jq).
+//!
+//! [`fgstp-sim`]: ../../fgstp_sim/index.html
 
 use std::fmt::Write as _;
 

@@ -27,7 +27,10 @@
 //! * [`cpi`] + [`sink`] — stall categories, CPI stacks, and the per-cycle
 //!   sinks that accumulate them (plus contiguous same-category episodes);
 //! * [`chrome`] — a Chrome `trace_event` JSON writer: the recorded
-//!   episodes load directly in Perfetto / `chrome://tracing`.
+//!   episodes load directly in Perfetto / `chrome://tracing`;
+//! * [`json`] — a minimal dependency-free JSON value type (parser and
+//!   deterministic writer) shared by the perf-regression harness and the
+//!   `fgstpd` batch-simulation protocol.
 //!
 //! ```
 //! use fgstp_telemetry::{CpiSink, CycleOutcome, CycleSink, StallCategory};
@@ -42,10 +45,12 @@
 
 pub mod chrome;
 pub mod cpi;
+pub mod json;
 pub mod registry;
 pub mod sink;
 
 pub use chrome::write_chrome_trace;
 pub use cpi::{CpiStack, MemLevel, StallCategory};
+pub use json::Json;
 pub use registry::{Histogram, Metric, Registry};
 pub use sink::{CpiSink, CycleOutcome, CycleSink, Episode, NullSink};

@@ -23,6 +23,32 @@ cargo test -q --test telemetry
 echo "== sampled-simulation smoke (E14 at test scale)"
 cargo run --release -q -p fgstp-bench --bin exp_e14_sampling -- test --no-cache
 
+echo "== batch-service smoke (fgstpd round trip matches recorded E1 row)"
+cargo build --release -q -p fgstp-service
+rm -f target/fgstpd_smoke_port
+./target/release/fgstpd --listen=127.0.0.1:0 --workers=2 \
+  --port-file=target/fgstpd_smoke_port &
+FGSTPD_PID=$!
+for _ in $(seq 1 100); do
+  [ -s target/fgstpd_smoke_port ] && break
+  sleep 0.1
+done
+FGSTPD_ADDR="127.0.0.1:$(cat target/fgstpd_smoke_port)"
+./target/release/fgstp submit "--addr=$FGSTPD_ADDR" small \
+  --workloads=perl_hash --machines=small-cmp --wait --csv \
+  > target/fgstpd_smoke.csv
+./target/release/fgstp shutdown "--addr=$FGSTPD_ADDR"
+wait "$FGSTPD_PID"
+# The daemon-served speedup row must reproduce the figures recorded in
+# results/experiments_small.txt (first perl_hash row = E1).
+expected=$(awk '$1 == "perl_hash" { print $1","$2","$3","$4","$5; exit }' \
+  results/experiments_small.txt)
+grep -qx "$expected" target/fgstpd_smoke.csv || {
+  echo "daemon row does not match recorded E1 figures ($expected):"
+  cat target/fgstpd_smoke.csv
+  exit 1
+}
+
 echo "== hot-loop bench smoke + report schema checks"
 # A root `cargo build --release` does not rebuild the bench crate; the
 # explicit -p is load-bearing.

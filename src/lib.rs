@@ -23,8 +23,9 @@
 //! | [`core`] | `fgstp` | the paper's contribution: partitioner, queues, dual-core machine |
 //! | [`sampling`] | `fgstp-sampling` | SMARTS-style sampled simulation with functional warming |
 //! | [`sim`] | `fgstp-sim` | machine presets, suite runner, report tables |
-//! | [`telemetry`] | `fgstp-telemetry` | cycle accounting, CPI stacks, Chrome-trace export |
+//! | [`telemetry`] | `fgstp-telemetry` | cycle accounting, CPI stacks, JSON, Chrome-trace export |
 //! | [`tracefile`] | `fgstp-tracefile` | compact binary trace serialization |
+//! | [`service`] | `fgstp-service` | `fgstpd` batch daemon, `fgstp` client, wire protocol |
 //!
 //! ## Quickstart
 //!
@@ -51,6 +52,7 @@ pub use fgstp_isa as isa;
 pub use fgstp_mem as mem;
 pub use fgstp_ooo as ooo;
 pub use fgstp_sampling as sampling;
+pub use fgstp_service as service;
 pub use fgstp_sim as sim;
 pub use fgstp_telemetry as telemetry;
 pub use fgstp_tracefile as tracefile;
@@ -64,8 +66,8 @@ pub mod prelude {
     pub use fgstp_ooo::{run_single, CoreConfig};
     pub use fgstp_sampling::{Estimate, SampleConfig, SampledRun};
     pub use fgstp_sim::{
-        geomean, run_on, run_on_instrumented, run_on_sampled, run_suite, CacheStats, MachineKind,
-        RunPlan, Scale, Session, Table,
+        geomean, run_on, run_on_instrumented, run_on_sampled, run_suite, CacheStats,
+        ExperimentSpec, MachineKind, RunPlan, Scale, Session, SpecError, SpecErrorKind, Table,
     };
     pub use fgstp_telemetry::{write_chrome_trace, CpiSink, CpiStack, StallCategory};
     pub use fgstp_workloads::{suite, SuiteClass, Workload};
