@@ -13,6 +13,12 @@
 //!
 //! Both controllers charge real cycles for everything they run, including
 //! the sampling intervals.
+//!
+//! [`run_dynamic`] extends the idea to multi-program machines: the thread
+//! holds however many cores the co-run schedule currently leaves free,
+//! reconfiguring (and paying [`DynamicConfig::reconfig_penalty`]) whenever
+//! a co-runner arrives and claims cores back or finishes and releases
+//! them.
 
 use fgstp_isa::DynInst;
 use fgstp_mem::HierarchyConfig;
@@ -129,6 +135,120 @@ pub fn run_sampling(
     }
 }
 
+/// One step of a core-availability schedule for [`run_dynamic`]: from
+/// `from_cycle` onwards the thread may hold up to `cores` cores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CorePhase {
+    /// Global cycle the phase begins.
+    pub from_cycle: u64,
+    /// Cores available to the thread during the phase (≥ 1).
+    pub cores: usize,
+}
+
+/// Parameters for the dynamic core scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DynamicConfig {
+    /// Instructions executed between availability checks; the machine only
+    /// reconfigures at quantum boundaries (draining mid-flight state is
+    /// what the penalty pays for).
+    pub quantum_insts: usize,
+    /// Cycles charged per core-count change.
+    pub reconfig_penalty: u64,
+}
+
+impl Default for DynamicConfig {
+    fn default() -> DynamicConfig {
+        DynamicConfig {
+            quantum_insts: 2_000,
+            reconfig_penalty: 200,
+        }
+    }
+}
+
+/// Outcome of a dynamic-scheduler run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DynamicResult {
+    /// Total cycles, reconfiguration penalties included.
+    pub cycles: u64,
+    /// Number of core-count changes the thread performed.
+    pub reconfigs: u64,
+    /// The (start-cycle, core-count) segments actually executed.
+    pub phases: Vec<CorePhase>,
+}
+
+/// Cores available at cycle `now` under `schedule` (1 before the first
+/// phase; phases must be sorted by `from_cycle`).
+fn available_cores(schedule: &[CorePhase], now: u64) -> usize {
+    schedule
+        .iter()
+        .take_while(|p| p.from_cycle <= now)
+        .last()
+        .map_or(1, |p| p.cores.max(1))
+}
+
+/// Runs `trace` while tracking a core-availability `schedule`: the thread
+/// claims every core the schedule currently grants it (running Fg-STP
+/// across them) and falls back to a single conventional core when
+/// co-runners have claimed the rest.
+///
+/// Each quantum is timed as an independent segment (cold structures), the
+/// same conservative approximation [`run_sampling`] uses; `cfg.num_cores`
+/// caps how many cores the thread can exploit regardless of availability.
+pub fn run_dynamic(
+    trace: &[DynInst],
+    cfg: &FgstpConfig,
+    hcfg: &HierarchyConfig,
+    schedule: &[CorePhase],
+    dyncfg: &DynamicConfig,
+) -> DynamicResult {
+    assert!(
+        schedule
+            .windows(2)
+            .all(|w| w[0].from_cycle <= w[1].from_cycle),
+        "schedule phases must be sorted by from_cycle"
+    );
+    let quantum = dyncfg.quantum_insts.max(1);
+    let mut now = 0u64;
+    let mut reconfigs = 0u64;
+    let mut phases: Vec<CorePhase> = Vec::new();
+    let mut current = 0usize; // cores held; 0 = not configured yet
+    let mut done = 0usize;
+    while done < trace.len() {
+        let want = available_cores(schedule, now).min(cfg.num_cores).max(1);
+        if want != current {
+            if current != 0 {
+                now += dyncfg.reconfig_penalty;
+                reconfigs += 1;
+            }
+            current = want;
+            phases.push(CorePhase {
+                from_cycle: now,
+                cores: current,
+            });
+        }
+        let end = (done + quantum).min(trace.len());
+        let segment = &trace[done..end];
+        let cycles = if current == 1 {
+            let h = HierarchyConfig { cores: 1, ..*hcfg };
+            run_single(segment, &cfg.core, &h).cycles
+        } else {
+            let h = HierarchyConfig {
+                cores: current,
+                ..*hcfg
+            };
+            let (r, _) = run_fgstp(segment, &cfg.clone().with_cores(current), &h);
+            r.cycles
+        };
+        now += cycles;
+        done = end;
+    }
+    DynamicResult {
+        cycles: now,
+        reconfigs,
+        phases,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -194,6 +314,111 @@ mod tests {
                 oracle.cycles
             );
         }
+    }
+
+    #[test]
+    fn dynamic_with_a_flat_two_core_schedule_uses_two_cores_throughout() {
+        let t = partitionable();
+        let r = run_dynamic(
+            t.insts(),
+            &FgstpConfig::small(),
+            &HierarchyConfig::small(2),
+            &[CorePhase {
+                from_cycle: 0,
+                cores: 2,
+            }],
+            &DynamicConfig::default(),
+        );
+        assert_eq!(r.reconfigs, 0);
+        assert_eq!(
+            r.phases,
+            vec![CorePhase {
+                from_cycle: 0,
+                cores: 2
+            }]
+        );
+        assert!(r.cycles > 0);
+    }
+
+    #[test]
+    fn dynamic_reconfigures_when_a_corunner_claims_cores() {
+        let t = partitionable();
+        let dyncfg = DynamicConfig {
+            quantum_insts: 400,
+            reconfig_penalty: 100,
+        };
+        // A co-runner arrives early and releases the second core late.
+        let schedule = [
+            CorePhase {
+                from_cycle: 0,
+                cores: 2,
+            },
+            CorePhase {
+                from_cycle: 200,
+                cores: 1,
+            },
+            CorePhase {
+                from_cycle: 100_000,
+                cores: 2,
+            },
+        ];
+        let r = run_dynamic(
+            t.insts(),
+            &FgstpConfig::small(),
+            &HierarchyConfig::small(2),
+            &schedule,
+            &dyncfg,
+        );
+        assert!(r.reconfigs >= 1, "claim-back must force a reconfiguration");
+        assert!(r.phases.iter().any(|p| p.cores == 1));
+        // Penalties are charged: cycles exceed a penalty-free rerun.
+        let free = run_dynamic(
+            t.insts(),
+            &FgstpConfig::small(),
+            &HierarchyConfig::small(2),
+            &schedule,
+            &DynamicConfig {
+                quantum_insts: 400,
+                reconfig_penalty: 0,
+            },
+        );
+        assert!(r.cycles >= free.cycles + dyncfg.reconfig_penalty * r.reconfigs);
+    }
+
+    #[test]
+    fn dynamic_never_exceeds_the_machine_core_count() {
+        let t = serial();
+        let r = run_dynamic(
+            t.insts(),
+            &FgstpConfig::small(), // 2-core machine
+            &HierarchyConfig::small(2),
+            &[CorePhase {
+                from_cycle: 0,
+                cores: 8,
+            }],
+            &DynamicConfig::default(),
+        );
+        assert!(r.phases.iter().all(|p| p.cores <= 2));
+    }
+
+    #[test]
+    fn empty_schedule_means_one_core() {
+        let t = serial();
+        let r = run_dynamic(
+            t.insts(),
+            &FgstpConfig::small(),
+            &HierarchyConfig::small(2),
+            &[],
+            &DynamicConfig::default(),
+        );
+        assert_eq!(r.reconfigs, 0);
+        assert_eq!(
+            r.phases,
+            vec![CorePhase {
+                from_cycle: 0,
+                cores: 1
+            }]
+        );
     }
 
     #[test]

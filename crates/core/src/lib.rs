@@ -46,19 +46,27 @@
 
 pub mod adaptive;
 pub mod commq;
+pub mod corun;
 pub mod depgraph;
 pub mod exec;
 pub mod machine;
 pub mod partition;
 
-pub use adaptive::{run_oracle, run_sampling, AdaptiveResult, Mode, SamplingConfig};
+pub use adaptive::{
+    run_dynamic, run_oracle, run_sampling, AdaptiveResult, CorePhase, DynamicConfig, DynamicResult,
+    Mode, SamplingConfig,
+};
 pub use commq::{CommConfig, CommFabric, CommQueue, CommStats};
+pub use corun::{
+    run_corun, CoRunContention, CoRunPlan, CoRunProgram, CoRunProgramResult, CoRunResult,
+};
 pub use depgraph::DepGraph;
 pub use exec::{check_partition, CheckError};
 pub use machine::{
     run_fgstp, run_fgstp_recorded, run_fgstp_warm, run_fgstp_warm_with_sink, run_fgstp_with_sink,
-    FgstpConfig, FgstpStats,
+    FgstpConfig, FgstpMachine, FgstpStats, PreparedProgram,
 };
 pub use partition::{
-    partition_stream, PartitionConfig, PartitionPolicy, PartitionStats, PartitionedStream,
+    partition_stream, partition_stream_weighted, PartitionConfig, PartitionPolicy, PartitionStats,
+    PartitionedStream,
 };

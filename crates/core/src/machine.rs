@@ -20,7 +20,7 @@
 //! default); every mechanism generalizes unchanged to N cores.
 
 use fgstp_isa::DynInst;
-use fgstp_mem::{Hierarchy, HierarchyConfig};
+use fgstp_mem::{Hierarchy, HierarchyConfig, HierarchyStats};
 use fgstp_ooo::{
     build_exec_stream, classify_single, stat_delta, CommitStall, Core, CoreConfig, CoreStats,
     ExecEnv, ExecInst, FetchGate, LoadGate, Prediction, PredictorState, RunResult, StatDelta,
@@ -29,7 +29,9 @@ use fgstp_ooo::{
 use fgstp_telemetry::{CycleOutcome, CycleSink, NullSink, StallCategory};
 
 use crate::commq::{CommConfig, CommFabric, CommStats};
-use crate::partition::{partition_stream, PartitionConfig, PartitionStats, PartitionedStream};
+use crate::partition::{
+    partition_stream_weighted, PartitionConfig, PartitionStats, PartitionedStream,
+};
 
 /// Configuration of the full Fg-STP machine.
 #[derive(Debug, Clone, PartialEq)]
@@ -50,6 +52,11 @@ pub struct FgstpConfig {
     pub dep_speculation: bool,
     /// Partitioner configuration.
     pub partition: PartitionConfig,
+    /// Per-core configuration overrides for asymmetric machines (index =
+    /// core; the length must equal `num_cores`). `None` — the default —
+    /// keeps every core identical to `core`. The shared frontend
+    /// orchestrator (branch predictor geometry) always follows `core`.
+    pub per_core: Option<Vec<CoreConfig>>,
 }
 
 impl FgstpConfig {
@@ -63,6 +70,7 @@ impl FgstpConfig {
             cross_violation_penalty: 12,
             dep_speculation: true,
             partition: PartitionConfig::default(),
+            per_core: None,
         }
     }
 
@@ -77,7 +85,40 @@ impl FgstpConfig {
     /// The same machine partitioned across `n` cores.
     pub fn with_cores(mut self, n: usize) -> FgstpConfig {
         self.num_cores = n;
+        self.per_core = None;
         self
+    }
+
+    /// An asymmetric machine: one explicit configuration per core.
+    /// `num_cores` follows the list length; `core` (the shared-frontend
+    /// base) is left as is.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is empty.
+    pub fn with_per_core(mut self, cores: Vec<CoreConfig>) -> FgstpConfig {
+        assert!(!cores.is_empty(), "per-core list must not be empty");
+        self.num_cores = cores.len();
+        self.per_core = Some(cores);
+        self
+    }
+
+    /// The configuration of core `i`.
+    pub fn core_for(&self, i: usize) -> &CoreConfig {
+        match &self.per_core {
+            Some(cores) => &cores[i],
+            None => &self.core,
+        }
+    }
+
+    /// Relative steering capacity per core for the weighted partitioner:
+    /// issue widths on an asymmetric machine, uniform otherwise (which
+    /// keeps the partition bit-identical to the unweighted path).
+    pub fn steering_caps(&self) -> Vec<u64> {
+        match &self.per_core {
+            Some(cores) => cores.iter().map(|c| c.issue_width as u64).collect(),
+            None => vec![1; self.num_cores],
+        }
     }
 
     /// Fetch-skew bound implied by the partition lookahead window.
@@ -514,6 +555,13 @@ fn run_fgstp_loop<S: CycleSink>(
         n,
         "hierarchy core count must match FgstpConfig::num_cores"
     );
+    if let Some(per_core) = &cfg.per_core {
+        assert_eq!(
+            per_core.len(),
+            n,
+            "per-core override list must match FgstpConfig::num_cores"
+        );
+    }
     let stream = build_exec_stream(trace);
     // Destructured so the environment can borrow the send masks and load
     // barriers while the cores borrow their streams — no per-run clones.
@@ -523,12 +571,12 @@ fn run_fgstp_loop<S: CycleSink>(
         load_barriers,
         stats: partition_stats,
         ..
-    } = partition_stream(&stream, &cfg.partition, n);
+    } = partition_stream_weighted(&stream, &cfg.partition, &cfg.steering_caps());
     let mut env = FgstpEnv::new(cfg, &stream, &send_targets, &load_barriers, n, pred);
     let mut cores: Vec<Core> = streams
         .iter()
         .enumerate()
-        .map(|(i, s)| Core::new(i, &cfg.core, s))
+        .map(|(i, s)| Core::new(i, cfg.core_for(i), s))
         .collect();
     let recording = recorders.is_some();
     if let Some(recs) = recorders {
@@ -613,6 +661,169 @@ fn run_fgstp_loop<S: CycleSink>(
         None
     };
     (result, stats, warmup_cycles, recorders)
+}
+
+/// A partitioned program ready to run on an [`FgstpMachine`]: owns the
+/// execution stream and the partition data the machine borrows, so
+/// machines can be created against it and stepped side by side in a
+/// co-run.
+#[derive(Debug)]
+pub struct PreparedProgram {
+    stream: Vec<ExecInst>,
+    parts: PartitionedStream,
+}
+
+impl PreparedProgram {
+    /// Builds the annotated execution stream and partitions it for `cfg`'s
+    /// machine (capacity-weighted on asymmetric machines, exactly like
+    /// [`run_fgstp`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.per_core` is present with the wrong length.
+    pub fn new(trace: &[DynInst], cfg: &FgstpConfig) -> PreparedProgram {
+        if let Some(per_core) = &cfg.per_core {
+            assert_eq!(
+                per_core.len(),
+                cfg.num_cores,
+                "per-core override list must match FgstpConfig::num_cores"
+            );
+        }
+        let stream = build_exec_stream(trace);
+        let parts = partition_stream_weighted(&stream, &cfg.partition, &cfg.steering_caps());
+        PreparedProgram { stream, parts }
+    }
+
+    /// Number of primary (architectural) instructions.
+    pub fn len(&self) -> usize {
+        self.stream.len()
+    }
+
+    /// Whether the program has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.stream.is_empty()
+    }
+
+    /// The partitioning summary.
+    pub fn partition_stats(&self) -> &PartitionStats {
+        &self.parts.stats
+    }
+}
+
+/// One steppable Fg-STP machine instance over a [`PreparedProgram`] — the
+/// co-run building block. [`FgstpMachine::step`] performs exactly the
+/// per-cycle operations of [`run_fgstp`]'s loop (same core stepping order,
+/// same shared environment), so a lone machine stepped from cycle 0
+/// against a cold hierarchy is bit-identical to [`run_fgstp`]; the co-run
+/// degenerate-case tests pin this down.
+///
+/// `mem_core_base` remaps the machine's locally-numbered cores onto a
+/// slice of a larger shared hierarchy: core `i` issues its memory accesses
+/// as hierarchy core `mem_core_base + i`, while every environment
+/// interaction (prediction, fabric, commit) keeps the local index.
+#[derive(Debug)]
+pub struct FgstpMachine<'a> {
+    prog: &'a PreparedProgram,
+    env: FgstpEnv<'a>,
+    cores: Vec<Core<'a>>,
+    stepped: u64,
+    cap: u64,
+}
+
+impl<'a> FgstpMachine<'a> {
+    /// Builds the machine with a fresh predictor bundle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prog` was partitioned for a different core count than
+    /// `cfg.num_cores`.
+    pub fn new(
+        prog: &'a PreparedProgram,
+        cfg: &'a FgstpConfig,
+        mem_core_base: usize,
+    ) -> FgstpMachine<'a> {
+        let n = cfg.num_cores;
+        assert_eq!(
+            prog.parts.num_cores(),
+            n,
+            "program was partitioned for a different core count"
+        );
+        let mut pred = PredictorState::new(&cfg.core);
+        let env = FgstpEnv::new(
+            cfg,
+            &prog.stream,
+            &prog.parts.send_targets,
+            &prog.parts.load_barriers,
+            n,
+            &mut pred,
+        );
+        let mut cores: Vec<Core> = prog
+            .parts
+            .streams
+            .iter()
+            .enumerate()
+            .map(|(i, s)| Core::new(i, cfg.core_for(i), s))
+            .collect();
+        for (i, c) in cores.iter_mut().enumerate() {
+            c.set_mem_core(mem_core_base + i);
+        }
+        FgstpMachine {
+            prog,
+            env,
+            cores,
+            stepped: 0,
+            cap: (prog.stream.len() as u64) * DEADLOCK_CPI + 100_000,
+        }
+    }
+
+    /// Whether every core has drained its stream.
+    pub fn done(&self) -> bool {
+        self.cores.iter().all(Core::done)
+    }
+
+    /// Primary instructions committed so far.
+    pub fn committed(&self) -> u64 {
+        self.env.committed
+    }
+
+    /// Advances every core one cycle at global time `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine exceeds its deadlock bound (a model bug).
+    pub fn step(&mut self, now: u64, mem: &mut Hierarchy) {
+        for core in &mut self.cores {
+            core.cycle(now, &mut self.env, mem);
+        }
+        self.stepped += 1;
+        assert!(
+            self.stepped < self.cap,
+            "Fg-STP machine deadlocked after {} cycles",
+            self.stepped
+        );
+    }
+
+    /// Consumes the machine into its results. `cycles` is the program's
+    /// own elapsed-cycle count (finish minus start on the caller's clock);
+    /// `mem` is the hierarchy view to embed — the program's slice of a
+    /// shared hierarchy, or a private hierarchy's full stats.
+    pub fn finish(self, cycles: u64, mem: HierarchyStats) -> (RunResult, FgstpStats) {
+        let n = self.cores.len();
+        let core_stats: Vec<CoreStats> = self.cores.iter().map(|c| *c.stats()).collect();
+        let stats = FgstpStats {
+            partition: self.prog.parts.stats.clone(),
+            comm: (0..n).map(|to| self.env.fabric.inbound_stats(to)).collect(),
+            cross_violations: core_stats.iter().map(|c| c.cross_violations).sum(),
+        };
+        let result = RunResult {
+            cycles,
+            committed: self.env.committed,
+            cores: core_stats,
+            branches: (self.env.branches, self.env.mispredicts),
+            mem,
+        };
+        (result, stats)
+    }
 }
 
 #[cfg(test)]
@@ -747,6 +958,38 @@ mod tests {
             assert_eq!(s.comm.len(), n);
             assert_eq!(s.partition.insts.len(), n);
         }
+    }
+
+    #[test]
+    fn asymmetric_machine_commits_the_whole_trace() {
+        let t = two_chain_trace();
+        let cfg =
+            FgstpConfig::small().with_per_core(vec![CoreConfig::medium(), CoreConfig::small()]);
+        let (r, s) = run_fgstp(t.insts(), &cfg, &HierarchyConfig::small(2));
+        assert_eq!(r.committed, t.len() as u64);
+        assert_eq!(r.cores.len(), 2);
+        // The wide core is favored by weighted steering.
+        assert!(s.partition.insts[0] >= s.partition.insts[1]);
+    }
+
+    #[test]
+    fn identical_per_core_list_matches_the_uniform_machine_exactly() {
+        let t = two_chain_trace();
+        let uniform = FgstpConfig::small();
+        let listed = FgstpConfig::small().with_per_core(vec![CoreConfig::small(); 2]);
+        let (a, _) = run_fgstp(t.insts(), &uniform, &HierarchyConfig::small(2));
+        let (b, _) = run_fgstp(t.insts(), &listed, &HierarchyConfig::small(2));
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.cores, b.cores);
+    }
+
+    #[test]
+    #[should_panic(expected = "per-core override list")]
+    fn wrong_per_core_length_is_rejected() {
+        let t = trace("li x1, 1\nhalt");
+        let mut cfg = FgstpConfig::small();
+        cfg.per_core = Some(vec![CoreConfig::small()]);
+        run_fgstp(t.insts(), &cfg, &HierarchyConfig::small(2));
     }
 
     #[test]

@@ -168,13 +168,37 @@ pub fn partition_stream(
     cfg: &PartitionConfig,
     num_cores: usize,
 ) -> PartitionedStream {
+    partition_stream_weighted(stream, cfg, &vec![1; num_cores])
+}
+
+/// Like [`partition_stream`], but steering weighs heterogeneous cores:
+/// `caps[c]` is core `c`'s relative capacity (e.g. its issue width), and
+/// every least-loaded selection minimizes `load/cap` instead of raw load,
+/// so wide cores absorb proportionally more instructions. With uniform
+/// capacities the result is bit-identical to [`partition_stream`] (the
+/// comparisons reduce to the same raw-load arg-min, ties toward the lowest
+/// core index). Chain seeding also hands the window's critical path to the
+/// highest-capacity core (stable order, so uniform capacities keep the
+/// core-0 seeding).
+///
+/// # Panics
+///
+/// Panics if `caps` is empty, longer than [`MAX_PARTITION_CORES`], or
+/// contains a zero capacity.
+pub fn partition_stream_weighted(
+    stream: &[ExecInst],
+    cfg: &PartitionConfig,
+    caps: &[u64],
+) -> PartitionedStream {
+    let num_cores = caps.len();
     assert!(
         (1..=MAX_PARTITION_CORES).contains(&num_cores),
         "num_cores must be in 1..={MAX_PARTITION_CORES}, got {num_cores}"
     );
+    assert!(caps.iter().all(|&c| c > 0), "core capacities must be > 0");
     let assign = match cfg.policy {
         PartitionPolicy::ModN { chunk } => assign_modn(stream, chunk.max(1), num_cores),
-        PartitionPolicy::GreedyDep => assign_greedy(stream, num_cores),
+        PartitionPolicy::GreedyDep => assign_greedy(stream, caps),
         PartitionPolicy::SliceLookahead {
             window,
             refine_passes,
@@ -183,7 +207,7 @@ pub fn partition_stream(
             window.max(8),
             refine_passes,
             cfg.balance_slack,
-            num_cores,
+            caps,
         ),
     };
     let replica_on = if cfg.replication && num_cores > 1 {
@@ -194,11 +218,13 @@ pub fn partition_stream(
     materialize(stream, assign, replica_on, num_cores)
 }
 
-/// Index of the minimum element, ties broken toward the lowest index.
-fn argmin<T: PartialOrd + Copy>(xs: &[T]) -> usize {
+/// Index minimizing `load[i] / caps[i]`, compared by exact integer
+/// cross-multiplication; ties toward the lowest index. With uniform
+/// capacities this is exactly [`argmin`].
+fn argmin_weighted(load: &[u64], caps: &[u64]) -> usize {
     let mut best = 0;
-    for (i, &x) in xs.iter().enumerate().skip(1) {
-        if x < xs[best] {
+    for i in 1..load.len() {
+        if (load[i] as u128) * (caps[best] as u128) < (load[best] as u128) * (caps[i] as u128) {
             best = i;
         }
     }
@@ -211,11 +237,12 @@ fn assign_modn(stream: &[ExecInst], chunk: usize, num_cores: usize) -> Vec<u8> {
         .collect()
 }
 
-fn assign_greedy(stream: &[ExecInst], num_cores: usize) -> Vec<u8> {
+fn assign_greedy(stream: &[ExecInst], caps: &[u64]) -> Vec<u8> {
+    let num_cores = caps.len();
     let mut assign = vec![0u8; stream.len()];
-    let mut counts = vec![0i64; num_cores];
+    let mut counts = vec![0u64; num_cores];
     let mut votes = vec![0i64; num_cores];
-    const MAX_IMBALANCE: i64 = 24;
+    const MAX_IMBALANCE: u64 = 24;
     for (i, x) in stream.iter().enumerate() {
         votes.fill(0);
         for dep in x.deps.iter().flatten() {
@@ -232,14 +259,16 @@ fn assign_greedy(stream: &[ExecInst], num_cores: usize) -> Vec<u8> {
         }
         // Steer to the most-voted core (ties toward the lowest index);
         // bail out to the least-loaded core when the balance guard trips.
+        // The least-loaded selection is capacity-weighted; the imbalance
+        // guard itself stays on raw counts (a fixed instruction budget).
         let mut preferred = 0;
         for (c, &v) in votes.iter().enumerate().skip(1) {
             if v > votes[preferred] {
                 preferred = c;
             }
         }
-        let least = argmin(&counts);
-        let c = if counts[preferred] - counts[least] > MAX_IMBALANCE {
+        let least = argmin_weighted(&counts, caps);
+        let c = if counts[preferred].saturating_sub(counts[least]) > MAX_IMBALANCE {
             least
         } else {
             preferred
@@ -276,7 +305,7 @@ fn assign_lookahead(
     window: usize,
     refine_passes: usize,
     balance_slack: f64,
-    num_cores: usize,
+    caps: &[u64],
 ) -> Vec<u8> {
     let replicable = replicable_closure(stream);
     let mut assign = vec![0u8; stream.len()];
@@ -293,7 +322,7 @@ fn assign_lookahead(
             &replicable,
             refine_passes,
             balance_slack,
-            num_cores,
+            caps,
         );
         assign[base..end].copy_from_slice(&local);
         base = end;
@@ -318,8 +347,9 @@ fn assign_window(
     replicable: &[bool],
     refine_passes: usize,
     balance_slack: f64,
-    num_cores: usize,
+    caps: &[u64],
 ) -> Vec<u8> {
+    let num_cores = caps.len();
     let n = win.len();
     let mut assign = vec![u8::MAX; n];
     let mut load = vec![0u64; num_cores];
@@ -329,17 +359,21 @@ fn assign_window(
     let effective = |p_global: usize| !replicable[p_global];
 
     // Seed each core with the longest dependence chain disjoint from the
-    // chains already placed (core 0 gets the window's critical path).
+    // chains already placed, in decreasing capacity order — the window's
+    // critical path goes to the highest-capacity core (core 0 on a
+    // uniform machine: the sort is stable).
+    let mut seed_order: Vec<usize> = (0..num_cores).collect();
+    seed_order.sort_by_key(|&c| std::cmp::Reverse(caps[c]));
     let mut excluded = vec![false; n];
-    for (core, core_load) in load.iter_mut().enumerate() {
-        let chain = if core == 0 {
+    for (k, &core) in seed_order.iter().enumerate() {
+        let chain = if k == 0 {
             g.critical_path()
         } else {
             g.longest_chain(&excluded)
         };
         for &i in &chain {
             assign[i] = core as u8;
-            *core_load += g.weight(i);
+            load[core] += g.weight(i);
             excluded[i] = true;
         }
     }
@@ -394,11 +428,11 @@ fn assign_window(
             deepest(false)
                 .map(|(_, c)| c)
                 .or_else(|| external(false))
-                .unwrap_or_else(|| argmin(&load))
+                .unwrap_or_else(|| argmin_weighted(&load, caps))
         } else {
             // A fresh computation rooted only in replicable values: start
-            // it on the least-loaded core.
-            argmin(&load)
+            // it on the least-loaded core (capacity-weighted).
+            argmin_weighted(&load, caps)
         };
         assign[i] = c as u8;
         load[c] += g.weight(i);
@@ -878,5 +912,49 @@ mod tests {
     #[should_panic(expected = "num_cores")]
     fn zero_cores_is_rejected() {
         partition_stream(&[], &PartitionConfig::default(), 0);
+    }
+
+    #[test]
+    fn uniform_capacities_reproduce_unweighted_partition_exactly() {
+        let s = n_chains(4);
+        for n in [2usize, 3, 4] {
+            for policy in [
+                PartitionPolicy::fgstp_default(),
+                PartitionPolicy::GreedyDep,
+                PartitionPolicy::ModN { chunk: 4 },
+            ] {
+                let cfg = PartitionConfig {
+                    policy,
+                    ..PartitionConfig::default()
+                };
+                let plain = partition_stream(&s, &cfg, n);
+                let weighted = partition_stream_weighted(&s, &cfg, &vec![3; n]);
+                assert_eq!(plain.assign, weighted.assign, "{policy:?} n={n}");
+                assert_eq!(plain.stats, weighted.stats);
+            }
+        }
+    }
+
+    #[test]
+    fn wide_core_absorbs_more_of_the_balance_points() {
+        let s = n_chains(6);
+        let cfg = PartitionConfig {
+            replication: false,
+            ..PartitionConfig::default()
+        };
+        let even = partition_stream_weighted(&s, &cfg, &[1, 1]);
+        let skewed = partition_stream_weighted(&s, &cfg, &[3, 1]);
+        assert!(
+            skewed.stats.insts[0] > even.stats.insts[0],
+            "a 3x-capacity core 0 must take more instructions: {:?} vs {:?}",
+            skewed.stats.insts,
+            even.stats.insts
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "capacities must be > 0")]
+    fn zero_capacity_is_rejected() {
+        partition_stream_weighted(&[], &PartitionConfig::default(), &[1, 0]);
     }
 }

@@ -54,6 +54,29 @@ pub struct CacheStats {
 }
 
 impl CacheStats {
+    /// Accumulates `other` into `self` (plain counter addition). Merging
+    /// the disjoint per-requestor slices of a shared cache reconstructs
+    /// the cache-wide counters; the co-run breakdown relies on this.
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.accesses += other.accesses;
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.writebacks += other.writebacks;
+        self.prefetch_fills += other.prefetch_fills;
+    }
+
+    /// The counter increments between two snapshots of the same cache
+    /// (`later` must be a later snapshot than `self`).
+    pub fn delta(&self, later: &CacheStats) -> CacheStats {
+        CacheStats {
+            accesses: later.accesses - self.accesses,
+            hits: later.hits - self.hits,
+            misses: later.misses - self.misses,
+            writebacks: later.writebacks - self.writebacks,
+            prefetch_fills: later.prefetch_fills - self.prefetch_fills,
+        }
+    }
+
     /// Miss rate over demand accesses (0 when there were none).
     pub fn miss_rate(&self) -> f64 {
         if self.accesses == 0 {

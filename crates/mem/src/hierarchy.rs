@@ -84,6 +84,68 @@ impl HierarchyConfig {
     }
 }
 
+/// Bandwidth model of the shared DRAM channel: a fixed number of
+/// concurrent transaction slots, each held for `occupancy` cycles. A miss
+/// that finds every slot busy queues for the earliest-freed one (ties
+/// toward the lowest slot index), so arbitration is fixed-priority among
+/// same-cycle requests and round-robin over slots as they free —
+/// deterministic for any worker-pool size because requests arrive in the
+/// co-run driver's fixed core-stepping order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DramBandwidth {
+    /// Concurrent DRAM transactions in flight.
+    pub max_inflight: usize,
+    /// Cycles one transaction occupies its slot.
+    pub occupancy: u64,
+}
+
+impl Default for DramBandwidth {
+    fn default() -> DramBandwidth {
+        DramBandwidth {
+            max_inflight: 2,
+            occupancy: 24,
+        }
+    }
+}
+
+/// DRAM traffic counters (all zero unless a [`DramBandwidth`] model is
+/// configured).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DramStats {
+    /// Transactions issued to DRAM.
+    pub transactions: u64,
+    /// Cycles transactions spent waiting for a free channel slot.
+    pub queue_cycles: u64,
+}
+
+impl DramStats {
+    /// Accumulates `other` into `self`.
+    pub fn merge(&mut self, other: &DramStats) {
+        self.transactions += other.transactions;
+        self.queue_cycles += other.queue_cycles;
+    }
+}
+
+/// One requestor's (co-running program's) share of the shared resources.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RequestorStats {
+    /// This requestor's slice of the shared-L2 traffic.
+    pub l2: CacheStats,
+    /// This requestor's slice of the DRAM traffic.
+    pub dram: DramStats,
+    /// Invalidations performed among this requestor's cores.
+    pub invalidations: u64,
+}
+
+impl RequestorStats {
+    /// Accumulates `other` into `self`.
+    pub fn merge(&mut self, other: &RequestorStats) {
+        self.l2.merge(&other.l2);
+        self.dram.merge(&other.dram);
+        self.invalidations += other.invalidations;
+    }
+}
+
 /// Aggregated statistics over the hierarchy.
 #[derive(Debug, Clone, Default)]
 pub struct HierarchyStats {
@@ -95,6 +157,65 @@ pub struct HierarchyStats {
     pub l2: CacheStats,
     /// Cross-core invalidations performed (Fg-STP mode).
     pub invalidations: u64,
+    /// DRAM traffic (all zero without a bandwidth model).
+    pub dram: DramStats,
+    /// Shared-resource traffic broken down per requestor. Empty unless the
+    /// hierarchy was built with [`Hierarchy::new_shared`]; then the entries
+    /// sum to the machine-wide counters for every access made through the
+    /// timed per-core paths (functional warming is unattributed).
+    pub by_requestor: Vec<RequestorStats>,
+}
+
+impl HierarchyStats {
+    /// Merges another hierarchy's (or program slice's) statistics into
+    /// `self`: the per-core L1 vectors are concatenated (cores are
+    /// distinct), shared-level counters are added, and requestor
+    /// breakdowns are concatenated. Merging the per-program views of a
+    /// co-run reconstructs the machine-wide view; the co-run breakdown in
+    /// the bench crate relies on this instead of ad-hoc summation.
+    pub fn merge(&mut self, other: &HierarchyStats) {
+        self.l1i.extend_from_slice(&other.l1i);
+        self.l1d.extend_from_slice(&other.l1d);
+        self.l2.merge(&other.l2);
+        self.invalidations += other.invalidations;
+        self.dram.merge(&other.dram);
+        self.by_requestor.extend_from_slice(&other.by_requestor);
+    }
+}
+
+/// The shared DRAM channel slots (see [`DramBandwidth`]).
+#[derive(Debug)]
+struct DramChannel {
+    /// Busy-until cycle per slot.
+    slots: Vec<u64>,
+    occupancy: u64,
+    stats: DramStats,
+}
+
+impl DramChannel {
+    fn new(cfg: DramBandwidth) -> DramChannel {
+        DramChannel {
+            slots: vec![0; cfg.max_inflight.max(1)],
+            occupancy: cfg.occupancy,
+            stats: DramStats::default(),
+        }
+    }
+
+    /// Claims the earliest-free slot for a transaction arriving at `at`;
+    /// returns the cycle the transaction actually starts.
+    fn acquire(&mut self, at: u64) -> u64 {
+        let mut best = 0;
+        for (i, &busy) in self.slots.iter().enumerate().skip(1) {
+            if busy < self.slots[best] {
+                best = i;
+            }
+        }
+        let start = at.max(self.slots[best]);
+        self.slots[best] = start + self.occupancy;
+        self.stats.transactions += 1;
+        self.stats.queue_cycles += start - at;
+        start
+    }
 }
 
 /// The memory hierarchy timing model.
@@ -113,12 +234,26 @@ pub struct Hierarchy {
     l2_mshr: MshrFile,
     prefetchers: Vec<StridePrefetcher>,
     invalidations: u64,
+    /// Requestor (co-running program) id per core. All zero in the
+    /// single-program hierarchy.
+    requestors: Vec<usize>,
+    /// Address-space offset per core, derived from the requestor map so
+    /// independent programs never alias in the shared levels.
+    asid_bases: Vec<u64>,
+    /// Per-requestor shared-resource breakdown; empty unless built with
+    /// [`Hierarchy::new_shared`].
+    req_stats: Vec<RequestorStats>,
+    /// Finite-bandwidth DRAM channel, when configured.
+    dram: Option<DramChannel>,
 }
 
 /// Byte offset of the instruction address region.
 const INST_REGION: u64 = 1 << 40;
 /// Nominal instruction size used to map instruction indices to addresses.
 const INST_BYTES: u64 = 4;
+/// Address-space stride between requestors: far above both the data
+/// region and [`INST_REGION`], so co-running programs never alias.
+const ASID_STRIDE: u64 = 1 << 45;
 
 impl Hierarchy {
     /// Creates an empty hierarchy.
@@ -141,12 +276,88 @@ impl Hierarchy {
                 .map(|_| StridePrefetcher::new(64, 2))
                 .collect(),
             invalidations: 0,
+            requestors: vec![0; config.cores],
+            asid_bases: vec![0; config.cores],
+            req_stats: Vec::new(),
+            dram: None,
+        }
+    }
+
+    /// Creates a hierarchy whose shared levels are arbitrated between
+    /// several requestors (co-running programs): `requestors[core]` names
+    /// the program owning each core. Each requestor gets a disjoint
+    /// address space, a [`RequestorStats`] slice of the shared-L2 and DRAM
+    /// traffic, and write-invalidations stay within its own cores. With an
+    /// all-zero requestor map and `dram = None` the timing is bit-identical
+    /// to [`Hierarchy::new`] — only the breakdown is additionally recorded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `requestors.len() != config.cores`, if requestor ids are
+    /// not dense from zero, or if the geometry is invalid.
+    pub fn new_shared(
+        config: &HierarchyConfig,
+        requestors: &[usize],
+        dram: Option<DramBandwidth>,
+    ) -> Hierarchy {
+        assert_eq!(requestors.len(), config.cores, "one requestor id per core");
+        let num_req = requestors.iter().max().map_or(0, |m| m + 1);
+        assert!(
+            (0..num_req).all(|r| requestors.contains(&r)),
+            "requestor ids must be dense from zero"
+        );
+        let mut h = Hierarchy::new(config);
+        h.requestors = requestors.to_vec();
+        h.asid_bases = requestors.iter().map(|&r| r as u64 * ASID_STRIDE).collect();
+        h.req_stats = vec![RequestorStats::default(); num_req];
+        h.dram = dram.map(DramChannel::new);
+        h
+    }
+
+    /// Replaces one core's private L1 geometries (asymmetric machines).
+    /// Only geometry and MSHR capacity vary per core; hit latencies come
+    /// from the base config, and the line size must match it. Call before
+    /// simulating — the replaced caches start empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a line size differs from the base config or the geometry
+    /// is invalid.
+    pub fn set_core_l1(&mut self, core: usize, l1i: Option<CacheConfig>, l1d: Option<CacheConfig>) {
+        if let Some(cfg) = l1i {
+            assert_eq!(
+                cfg.line_bytes, self.config.l1i.line_bytes,
+                "per-core L1I line size must match the base config"
+            );
+            self.l1i[core] = Cache::new(cfg);
+        }
+        if let Some(cfg) = l1d {
+            assert_eq!(
+                cfg.line_bytes, self.config.l1d.line_bytes,
+                "per-core L1D line size must match the base config"
+            );
+            self.l1d[core] = Cache::new(cfg);
+            self.l1d_mshrs[core] = MshrFile::new(cfg.mshrs as usize);
         }
     }
 
     /// The hierarchy configuration.
     pub fn config(&self) -> &HierarchyConfig {
         &self.config
+    }
+
+    /// The core's effective address: private address spaces per requestor.
+    fn eff(&self, core: usize, addr: u64) -> u64 {
+        addr + self.asid_bases[core]
+    }
+
+    /// Attributes the L2 counter increments since `before` to `core`'s
+    /// requestor (no-op in the single-program hierarchy).
+    fn note_l2_delta(&mut self, core: usize, before: &CacheStats) {
+        if !self.req_stats.is_empty() {
+            let delta = before.delta(self.l2.stats());
+            self.req_stats[self.requestors[core]].l2.merge(&delta);
+        }
     }
 
     /// Maps an instruction index to its address in the instruction region.
@@ -158,18 +369,34 @@ impl Hierarchy {
     ///
     /// A line that is present in the L2 but whose own fill is still in
     /// flight (an earlier miss to the same line) is served when that fill
-    /// completes, not at the L2 hit latency.
-    fn fill_from_l2(&mut self, line: u64, now: u64) -> u64 {
+    /// completes, not at the L2 hit latency. An L2 miss under a finite
+    /// DRAM bandwidth model additionally queues for a channel slot.
+    fn fill_from_l2(&mut self, core: usize, line: u64, now: u64) -> u64 {
+        let before = *self.l2.stats();
         let l2_result = self.l2.access(line, false);
+        self.note_l2_delta(core, &before);
         if l2_result.hit {
             match self.l2_mshr.pending(line, now) {
                 Some(done) => done - now,
                 None => self.config.l2.latency,
             }
         } else {
-            let done =
-                self.l2_mshr
-                    .request(line, now, self.config.l2.latency + self.config.dram_latency);
+            let mut queue = 0;
+            if let Some(ch) = &mut self.dram {
+                // The request reaches the channel after the L2 lookup.
+                let at = now + self.config.l2.latency;
+                queue = ch.acquire(at) - at;
+                if !self.req_stats.is_empty() {
+                    let r = self.requestors[core];
+                    self.req_stats[r].dram.transactions += 1;
+                    self.req_stats[r].dram.queue_cycles += queue;
+                }
+            }
+            let done = self.l2_mshr.request(
+                line,
+                now,
+                self.config.l2.latency + queue + self.config.dram_latency,
+            );
             done - now
         }
     }
@@ -186,7 +413,7 @@ impl Hierarchy {
                 None => self.config.l1d.latency,
             }
         } else {
-            let fill = self.fill_from_l2(line, now);
+            let fill = self.fill_from_l2(core, line, now);
             let done = self.l1d_mshrs[core].request(line, now, self.config.l1d.latency + fill);
             done - now
         }
@@ -195,6 +422,7 @@ impl Hierarchy {
     /// Data access by `core` at `addr` (`is_write` for stores) issued at
     /// cycle `now`; returns the latency until data is available.
     pub fn access_data(&mut self, core: usize, addr: u64, is_write: bool, now: u64) -> u64 {
+        let addr = self.eff(core, addr);
         let latency = self.l1d_access(core, addr, is_write, now);
         if self.config.prefetch && !is_write {
             for pf_addr in self.prefetchers[core].observe(addr, addr) {
@@ -207,6 +435,7 @@ impl Hierarchy {
     /// Data access steered by the load's PC (lets the stride prefetcher
     /// train per static load rather than per address stream).
     pub fn access_load_with_pc(&mut self, core: usize, pc: u64, addr: u64, now: u64) -> u64 {
+        let addr = self.eff(core, addr);
         let latency = self.l1d_access(core, addr, false, now);
         if self.config.prefetch {
             for pf_addr in self.prefetchers[core].observe(pc, addr) {
@@ -219,19 +448,21 @@ impl Hierarchy {
     fn prefetch_fill(&mut self, core: usize, addr: u64) {
         let line = self.l1d[core].line_addr(addr);
         self.l1d[core].fill(line);
+        let before = *self.l2.stats();
         self.l2.fill(line);
+        self.note_l2_delta(core, &before);
     }
 
     /// Instruction fetch by `core` of the line containing instruction index
     /// `pc`; returns the latency until the fetch group is available.
     pub fn access_inst(&mut self, core: usize, pc: u64, now: u64) -> u64 {
-        let addr = Self::inst_addr(pc);
+        let addr = self.eff(core, Self::inst_addr(pc));
         let line = self.l1i[core].line_addr(addr);
         let l1 = self.l1i[core].access(addr, false);
         if l1.hit {
             self.config.l1i.latency
         } else {
-            let fill = self.fill_from_l2(line, now);
+            let fill = self.fill_from_l2(core, line, now);
             self.config.l1i.latency + fill
         }
     }
@@ -269,24 +500,34 @@ impl Hierarchy {
         }
     }
 
-    /// Invalidates the line containing `addr` in every L1D except
-    /// `writer_core` (write-invalidate between collaborating cores).
+    /// Invalidates the line containing `addr` in the L1D of every core
+    /// *collaborating with* `writer_core` — same requestor, write-invalidate
+    /// between the cores of one partitioned program. Co-running programs
+    /// never invalidate each other (their address spaces are disjoint
+    /// anyway).
     pub fn invalidate_others(&mut self, writer_core: usize, addr: u64) {
+        let addr = self.eff(writer_core, addr);
+        let req = self.requestors[writer_core];
         for core in 0..self.config.cores {
-            if core != writer_core {
+            if core != writer_core && self.requestors[core] == req {
                 let line = self.l1d[core].line_addr(addr);
                 if self.l1d[core].invalidate(line) {
                     // Dirty data migrates through the shared L2.
+                    let before = *self.l2.stats();
                     self.l2.fill(line);
+                    self.note_l2_delta(writer_core, &before);
                 }
                 self.invalidations += 1;
+                if !self.req_stats.is_empty() {
+                    self.req_stats[req].invalidations += 1;
+                }
             }
         }
     }
 
     /// Whether the line containing `addr` is present in `core`'s L1D.
     pub fn l1d_has(&self, core: usize, addr: u64) -> bool {
-        self.l1d[core].probe(addr)
+        self.l1d[core].probe(self.eff(core, addr))
     }
 
     /// Snapshot of all statistics.
@@ -296,6 +537,8 @@ impl Hierarchy {
             l1d: self.l1d.iter().map(|c| *c.stats()).collect(),
             l2: *self.l2.stats(),
             invalidations: self.invalidations,
+            dram: self.dram.as_ref().map_or(DramStats::default(), |d| d.stats),
+            by_requestor: self.req_stats.clone(),
         }
     }
 }
@@ -445,5 +688,178 @@ mod tests {
             cores: 0,
             ..HierarchyConfig::small(1)
         });
+    }
+
+    #[test]
+    fn shared_with_one_requestor_times_like_private() {
+        let cfg = HierarchyConfig::small(2);
+        let mut plain = Hierarchy::new(&cfg);
+        let mut shared = Hierarchy::new_shared(&cfg, &[0, 0], None);
+        let mut now = 0;
+        for i in 0..200u64 {
+            let addr = (i * 72) % 0x8000;
+            let a = plain.access_data((i % 2) as usize, addr, i % 7 == 0, now);
+            let b = shared.access_data((i % 2) as usize, addr, i % 7 == 0, now);
+            assert_eq!(a, b, "access {i}");
+            now += 3;
+        }
+        plain.invalidate_others(0, 0x40);
+        shared.invalidate_others(0, 0x40);
+        let (p, s) = (plain.stats(), shared.stats());
+        assert_eq!(p.l2, s.l2);
+        assert_eq!(p.invalidations, s.invalidations);
+        // The shared build additionally records the breakdown.
+        assert_eq!(s.by_requestor.len(), 1);
+        assert_eq!(s.by_requestor[0].l2, s.l2);
+    }
+
+    #[test]
+    fn requestor_slices_sum_to_shared_totals() {
+        let cfg = HierarchyConfig::small(4);
+        let mut h = Hierarchy::new_shared(&cfg, &[0, 0, 1, 1], Some(DramBandwidth::default()));
+        let mut now = 0;
+        for i in 0..400u64 {
+            let core = (i % 4) as usize;
+            h.access_data(core, (i * 264) % 0x40_0000, i % 5 == 0, now);
+            h.access_inst(core, i % 900, now);
+            now += 2;
+        }
+        h.invalidate_others(0, 0x100);
+        h.invalidate_others(2, 0x100);
+        let s = h.stats();
+        assert_eq!(s.by_requestor.len(), 2);
+        let mut sum = RequestorStats::default();
+        for r in &s.by_requestor {
+            sum.merge(r);
+        }
+        assert_eq!(sum.l2, s.l2);
+        assert_eq!(sum.dram, s.dram);
+        assert_eq!(sum.invalidations, s.invalidations);
+        // Both programs actually produced traffic.
+        assert!(s.by_requestor.iter().all(|r| r.l2.accesses > 0));
+    }
+
+    #[test]
+    fn requestor_address_spaces_do_not_alias() {
+        let cfg = HierarchyConfig::small(2);
+        let mut h = Hierarchy::new_shared(&cfg, &[0, 1], None);
+        // Program 0 writes 0x3000; program 1 must not see it anywhere.
+        h.access_data(0, 0x3000, true, 0);
+        assert!(h.l1d_has(0, 0x3000));
+        assert!(!h.l1d_has(1, 0x3000));
+        let miss = h.access_data(1, 0x3000, false, 1_000);
+        assert_eq!(
+            miss,
+            cfg.l1d.latency + cfg.l2.latency + cfg.dram_latency,
+            "same numeric address is a cold miss in the other program"
+        );
+    }
+
+    #[test]
+    fn invalidations_stay_within_a_requestor() {
+        let mut h = Hierarchy::new_shared(&HierarchyConfig::small(3), &[0, 0, 1], None);
+        for core in 0..3 {
+            h.access_data(core, 0x5000, false, 0);
+        }
+        h.invalidate_others(0, 0x5000);
+        assert!(!h.l1d_has(1, 0x5000), "partner core is invalidated");
+        assert!(
+            h.l1d_has(2, 0x5000),
+            "the co-running program keeps its line"
+        );
+        assert_eq!(h.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn dram_bandwidth_queues_concurrent_misses() {
+        let cfg = HierarchyConfig::small(2);
+        let bw = DramBandwidth {
+            max_inflight: 1,
+            occupancy: 32,
+        };
+        let mut h = Hierarchy::new_shared(&cfg, &[0, 1], Some(bw));
+        // Two cold misses in the same cycle: the second queues behind the
+        // first for the single channel slot.
+        let a = h.access_data(0, 0x1000, false, 0);
+        let b = h.access_data(1, 0x1000, false, 0);
+        assert_eq!(a, cfg.l1d.latency + cfg.l2.latency + cfg.dram_latency);
+        assert_eq!(b, a + bw.occupancy, "second miss waits one occupancy");
+        let s = h.stats();
+        assert_eq!(s.dram.transactions, 2);
+        assert_eq!(s.dram.queue_cycles, bw.occupancy);
+        assert_eq!(s.by_requestor[1].dram.queue_cycles, bw.occupancy);
+    }
+
+    #[test]
+    fn unlimited_dram_is_the_default_and_adds_no_queueing() {
+        let cfg = HierarchyConfig::small(2);
+        let mut h = Hierarchy::new_shared(&cfg, &[0, 1], None);
+        let a = h.access_data(0, 0x1000, false, 0);
+        let b = h.access_data(1, 0x1000, false, 0);
+        assert_eq!(a, b, "no bandwidth model: concurrent misses do not queue");
+        assert_eq!(h.stats().dram, DramStats::default());
+    }
+
+    #[test]
+    fn per_core_l1_overrides_change_capacity_only() {
+        let cfg = HierarchyConfig::small(2);
+        let mut h = Hierarchy::new(&cfg);
+        // Core 1 gets a quarter-size L1D.
+        h.set_core_l1(
+            1,
+            None,
+            Some(CacheConfig {
+                size_bytes: 4 << 10,
+                ..cfg.l1d
+            }),
+        );
+        // Both cores stream 8 KiB; the small L1D thrashes where the big
+        // one holds the working set.
+        for round in 0..2u64 {
+            for i in 0..128u64 {
+                let addr = i * 64;
+                h.access_data(0, addr, false, round * 10_000 + i * 10);
+                h.access_data(1, addr, false, round * 10_000 + i * 10);
+            }
+        }
+        let s = h.stats();
+        assert!(
+            s.l1d[1].misses > s.l1d[0].misses,
+            "small L1D must miss more: {:?} vs {:?}",
+            s.l1d[1],
+            s.l1d[0]
+        );
+    }
+
+    #[test]
+    fn hierarchy_stats_merge_reconstructs_the_machine_view() {
+        let cfg = HierarchyConfig::small(2);
+        let mut h = Hierarchy::new_shared(&cfg, &[0, 1], None);
+        for i in 0..100u64 {
+            h.access_data((i % 2) as usize, i * 136, false, i);
+        }
+        let global = h.stats();
+        // Build per-program views and merge them back together.
+        let view = |p: usize| HierarchyStats {
+            l1i: vec![global.l1i[p]],
+            l1d: vec![global.l1d[p]],
+            l2: global.by_requestor[p].l2,
+            invalidations: global.by_requestor[p].invalidations,
+            dram: global.by_requestor[p].dram,
+            by_requestor: vec![global.by_requestor[p]],
+        };
+        let mut merged = view(0);
+        merged.merge(&view(1));
+        assert_eq!(merged.l2, global.l2);
+        assert_eq!(merged.invalidations, global.invalidations);
+        assert_eq!(merged.dram, global.dram);
+        assert_eq!(merged.l1d.len(), 2);
+        assert_eq!(merged.l1d[1], global.l1d[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dense from zero")]
+    fn sparse_requestor_ids_are_rejected() {
+        Hierarchy::new_shared(&HierarchyConfig::small(2), &[0, 2], None);
     }
 }

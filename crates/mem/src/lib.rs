@@ -30,7 +30,9 @@ pub mod prefetch;
 pub mod wheel;
 
 pub use cache::{AccessResult, Cache, CacheConfig, CacheStats};
-pub use hierarchy::{Hierarchy, HierarchyConfig, HierarchyStats};
+pub use hierarchy::{
+    DramBandwidth, DramStats, Hierarchy, HierarchyConfig, HierarchyStats, RequestorStats,
+};
 pub use mshr::MshrFile;
 pub use prefetch::StridePrefetcher;
 pub use wheel::EventWheel;

@@ -272,6 +272,11 @@ fn classify_mem_level(mlat: u64, cfg: &HierarchyConfig) -> MemLevel {
 #[derive(Debug)]
 pub struct Core<'a> {
     id: usize,
+    /// Core index used for memory-hierarchy accesses. Equal to `id` on a
+    /// private hierarchy; a co-run driver remaps it so each program's
+    /// locally-numbered cores address their own slice of one shared
+    /// hierarchy.
+    mem_core: usize,
     cfg: &'a CoreConfig,
     stream: &'a [ExecInst],
     cursor: usize,
@@ -323,6 +328,7 @@ impl<'a> Core<'a> {
         let clusters = cfg.clusters.len();
         Core {
             id,
+            mem_core: id,
             cfg,
             stream,
             cursor: 0,
@@ -388,6 +394,12 @@ impl<'a> Core<'a> {
     /// The core identifier.
     pub fn id(&self) -> usize {
         self.id
+    }
+
+    /// Remaps the core index used for memory-hierarchy accesses (see the
+    /// `mem_core` field). Environment callbacks keep using `id`.
+    pub fn set_mem_core(&mut self, mem_core: usize) {
+        self.mem_core = mem_core;
     }
 
     /// One-line snapshot of pipeline occupancy, for diagnostics.
@@ -523,8 +535,8 @@ impl<'a> Core<'a> {
             let gseq = x.gseq;
             if x.is_store() && !x.replica {
                 if let Some((addr, _)) = x.mem_range() {
-                    mem.access_data(self.id, addr, true, now);
-                    mem.invalidate_others(self.id, addr);
+                    mem.access_data(self.mem_core, addr, true, now);
+                    mem.invalidate_others(self.mem_core, addr);
                 }
             }
             match x.class() {
@@ -835,7 +847,7 @@ impl<'a> Core<'a> {
                         }
                         let (addr, _) = x.mem_range().expect("load has address");
                         let access_at = now + lat.agen;
-                        let mlat = mem.access_load_with_pc(self.id, x.d.pc, addr, access_at);
+                        let mlat = mem.access_load_with_pc(self.mem_core, x.d.pc, addr, access_at);
                         issue_mem_level = Some(classify_mem_level(mlat, mem.config()));
                         access_at + mlat + penalty
                     }
@@ -985,7 +997,7 @@ impl<'a> Core<'a> {
         // re-accessed on resume — that would double-count it in the L1I
         // statistics.
         if self.filled_line.take() != Some(group_line) {
-            let lat = mem.access_inst(self.id, first.d.pc, now);
+            let lat = mem.access_inst(self.mem_core, first.d.pc, now);
             if lat > hit_latency {
                 self.filled_line = Some(group_line);
                 self.fetch_stall_until = now + lat;

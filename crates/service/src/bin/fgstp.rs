@@ -31,7 +31,8 @@ use fgstp_telemetry::json::Json;
 const DEFAULT_ADDR: &str = "127.0.0.1:4655";
 
 const USAGE: &str = "usage: fgstp <run|submit|status|results|stats|shutdown> \
-[--addr=HOST:PORT] [--job=N] [--wait] [--now] [--csv] <spec flags>\nspec flags: ";
+[--addr=HOST:PORT] [--timeout=SECS] [--job=N] [--wait] [--now] [--csv] <spec flags>\n\
+spec flags: ";
 
 fn usage_exit(msg: &str) -> ! {
     eprintln!("{msg}\n{USAGE}{SPEC_USAGE}");
@@ -41,6 +42,7 @@ fn usage_exit(msg: &str) -> ! {
 /// Flags shared by the subcommands, split off the spec vocabulary.
 struct Cli {
     addr: String,
+    timeout: std::time::Duration,
     job: Option<u64>,
     wait: bool,
     now: bool,
@@ -52,6 +54,7 @@ impl Cli {
     fn parse(args: &[String]) -> Cli {
         let mut cli = Cli {
             addr: DEFAULT_ADDR.to_owned(),
+            timeout: std::time::Duration::from_secs(10),
             job: None,
             wait: false,
             now: false,
@@ -61,6 +64,11 @@ impl Cli {
         for a in args {
             if let Some(v) = a.strip_prefix("--addr=") {
                 cli.addr = v.to_owned();
+            } else if let Some(v) = a.strip_prefix("--timeout=") {
+                match v.parse::<f64>() {
+                    Ok(s) if s > 0.0 => cli.timeout = std::time::Duration::from_secs_f64(s),
+                    _ => usage_exit(&format!("bad --timeout value `{v}`")),
+                }
             } else if let Some(v) = a.strip_prefix("--job=") {
                 match v.parse() {
                     Ok(n) => cli.job = Some(n),
@@ -87,7 +95,10 @@ impl Cli {
     }
 
     fn connect(&self) -> Client {
-        Client::connect(&self.addr).unwrap_or_else(|e| {
+        // The connect deadline keeps a dead daemon from hanging the CLI;
+        // reads stay unbounded because `--wait` legitimately blocks while
+        // a job runs.
+        Client::connect_timeout(self.addr.as_str(), self.timeout).unwrap_or_else(|e| {
             eprintln!("fgstp: cannot connect to {}: {e}", self.addr);
             exit(1);
         })

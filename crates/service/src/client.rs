@@ -10,6 +10,7 @@
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 use fgstp_sim::ExperimentSpec;
 use fgstp_telemetry::json::Json;
@@ -26,6 +27,15 @@ pub enum ClientError {
     Protocol(ProtocolError),
     /// The daemon sent a line the client cannot interpret.
     Malformed(String),
+    /// A connect or read deadline expired (see
+    /// [`Client::connect_timeout`] and [`Client::set_read_timeout`]):
+    /// which phase, and the deadline that passed.
+    Timeout {
+        /// `"connect"` or `"read"`.
+        phase: &'static str,
+        /// The deadline that expired.
+        after: Duration,
+    },
 }
 
 impl std::fmt::Display for ClientError {
@@ -34,6 +44,9 @@ impl std::fmt::Display for ClientError {
             ClientError::Io(e) => write!(f, "io: {e}"),
             ClientError::Protocol(e) => write!(f, "{e}"),
             ClientError::Malformed(m) => write!(f, "malformed reply: {m}"),
+            ClientError::Timeout { phase, after } => {
+                write!(f, "{phase} timed out after {:.1}s", after.as_secs_f64())
+            }
         }
     }
 }
@@ -86,17 +99,66 @@ impl JobOutcome {
 pub struct Client {
     writer: TcpStream,
     reader: BufReader<TcpStream>,
+    read_timeout: Option<Duration>,
 }
 
 impl Client {
-    /// Connects to a daemon.
+    /// Connects to a daemon, blocking for as long as the OS allows.
+    /// Prefer [`Client::connect_timeout`] in anything interactive.
     pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
         let stream = TcpStream::connect(addr)?;
+        Client::from_stream(stream)
+    }
+
+    /// Connects to a daemon with a deadline on the connect itself: a
+    /// daemon that is not accepting (wedged machine, firewalled port)
+    /// surfaces as [`ClientError::Timeout`] after `timeout` instead of
+    /// hanging the caller indefinitely. Every address the name resolves
+    /// to is tried in turn, each under the same deadline.
+    pub fn connect_timeout(
+        addr: impl ToSocketAddrs,
+        timeout: Duration,
+    ) -> Result<Client, ClientError> {
+        let addrs: Vec<_> = addr.to_socket_addrs()?.collect();
+        let mut last: Option<std::io::Error> = None;
+        for a in &addrs {
+            match TcpStream::connect_timeout(a, timeout) {
+                Ok(stream) => return Ok(Client::from_stream(stream)?),
+                Err(e) => last = Some(e),
+            }
+        }
+        match last {
+            Some(e) if e.kind() == std::io::ErrorKind::TimedOut => Err(ClientError::Timeout {
+                phase: "connect",
+                after: timeout,
+            }),
+            Some(e) => Err(ClientError::Io(e)),
+            None => Err(ClientError::Io(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "address resolved to nothing",
+            ))),
+        }
+    }
+
+    fn from_stream(stream: TcpStream) -> std::io::Result<Client> {
         let writer = stream.try_clone()?;
         Ok(Client {
             writer,
             reader: BufReader::new(stream),
+            read_timeout: None,
         })
+    }
+
+    /// Caps how long any single reply read may block; an expired deadline
+    /// surfaces as [`ClientError::Timeout`] with phase `"read"` instead
+    /// of blocking forever on a daemon that stops responding. `None`
+    /// restores unbounded reads. Note that a streaming `results --wait`
+    /// read legitimately blocks until the next row, so the cap bounds the
+    /// gap *between* rows, not the whole job.
+    pub fn set_read_timeout(&mut self, timeout: Option<Duration>) -> Result<(), ClientError> {
+        self.reader.get_ref().set_read_timeout(timeout)?;
+        self.read_timeout = timeout;
+        Ok(())
     }
 
     fn send(&mut self, req: &Request) -> Result<(), ClientError> {
@@ -108,7 +170,21 @@ impl Client {
 
     fn read_line(&mut self) -> Result<Json, ClientError> {
         let mut line = String::new();
-        let n = self.reader.read_line(&mut line)?;
+        let n = match self.reader.read_line(&mut line) {
+            Ok(n) => n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) && self.read_timeout.is_some() =>
+            {
+                return Err(ClientError::Timeout {
+                    phase: "read",
+                    after: self.read_timeout.unwrap_or_default(),
+                });
+            }
+            Err(e) => return Err(e.into()),
+        };
         if n == 0 {
             return Err(ClientError::Io(std::io::Error::new(
                 std::io::ErrorKind::UnexpectedEof,

@@ -164,6 +164,27 @@ fn run_job(
     if let Some(dir) = cache_dir {
         session = session.cache_dir(dir);
     }
+    if spec.corun.is_some() {
+        // A co-run is one deterministic job: the programs couple through
+        // the shared hierarchy, so it cannot stream workload-by-workload.
+        // All rows (one per program) land when the scenario drains.
+        let results = session.run_suite();
+        let mut failure = None;
+        for b in &results {
+            if failure.is_none() {
+                if let Some(e) = &b.error {
+                    failure = Some(format!("workload {}: {e}", b.name));
+                }
+            }
+            queue.push_row(id, bench_result_row(b));
+        }
+        let stats = session.cache_stats();
+        queue.add_trace_stats(stats.hits, stats.misses);
+        return match failure {
+            None => Ok(()),
+            Some(e) => Err(e),
+        };
+    }
     let mut failure = None;
     for name in spec.workload_names() {
         let results = session.plan().workload_names(&[name.as_str()]).execute();

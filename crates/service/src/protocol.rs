@@ -254,6 +254,21 @@ pub fn bench_result_row(b: &BenchResult) -> Json {
                 },
             ));
             m.push((
+                "corun".to_owned(),
+                match &r.corun {
+                    None => Json::Null,
+                    Some(c) => Json::Obj(vec![
+                        ("program".to_owned(), Json::Num(c.program as f64)),
+                        ("first_core".to_owned(), Json::Num(c.first_core as f64)),
+                        ("cores".to_owned(), Json::Num(c.cores as f64)),
+                        ("start_cycle".to_owned(), Json::Num(c.start_cycle as f64)),
+                        ("finish_cycle".to_owned(), Json::Num(c.finish_cycle as f64)),
+                        ("total_cycles".to_owned(), Json::Num(c.total_cycles as f64)),
+                        ("isolated".to_owned(), Json::Bool(c.isolated)),
+                    ]),
+                },
+            ));
+            m.push((
                 "sampled".to_owned(),
                 match &r.sampled {
                     None => Json::Null,

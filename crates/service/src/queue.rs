@@ -26,7 +26,7 @@ use std::time::Instant;
 
 use fgstp_sim::ExperimentSpec;
 use fgstp_telemetry::json::Json;
-use fgstp_telemetry::{Metric, Registry};
+use fgstp_telemetry::Registry;
 
 use crate::protocol::{ProtocolError, ERR_QUEUE_FULL, ERR_SHUTTING_DOWN, ERR_UNKNOWN_JOB};
 
@@ -171,6 +171,9 @@ impl JobQueue {
             ));
         }
         g.registry.inc("service.submitted", 1);
+        if spec.corun.is_some() {
+            g.registry.inc("service.corun-jobs", 1);
+        }
         let key = spec.dedup_key();
         if let Some(&id) = g.by_key.get(&key) {
             g.registry.inc("service.dedup-hits", 1);
@@ -321,20 +324,11 @@ impl JobQueue {
     pub fn stats(&self) -> Json {
         let g = self.inner.lock().unwrap();
         let uptime = self.started.elapsed().as_secs_f64();
-        let mut counters = Vec::new();
-        for (name, metric) in g.registry.iter() {
-            let v = match metric {
-                Metric::Counter(n) => Json::Num(*n as f64),
-                Metric::Gauge(v) => Json::Num(*v),
-                Metric::Histogram(h) => Json::Num(h.count() as f64),
-            };
-            counters.push((name.to_owned(), v));
-        }
         let completed = g.registry.counter("service.completed") as f64;
         let rows = g.registry.counter("service.rows") as f64;
         Json::Obj(vec![
             ("ok".to_owned(), Json::Bool(true)),
-            ("counters".to_owned(), Json::Obj(counters)),
+            ("counters".to_owned(), g.registry.to_json()),
             ("uptime_secs".to_owned(), Json::Num(uptime)),
             (
                 "experiments_per_sec".to_owned(),

@@ -7,8 +7,10 @@
 //! free functions ([`run_suite`]) as thin compatibility shims over a
 //! default session.
 
-use fgstp::{run_fgstp, run_fgstp_with_sink, FgstpStats};
-use fgstp_isa::DynInst;
+use fgstp::{
+    run_corun, run_fgstp, run_fgstp_with_sink, CoRunContention, CoRunPlan, CoRunProgram, FgstpStats,
+};
+use fgstp_isa::{DynInst, Trace};
 use fgstp_ooo::{run_single, run_single_with_sink, RunResult};
 use fgstp_sampling::{
     sample_fgstp, sample_fgstp_instrumented, sample_single, sample_single_instrumented,
@@ -19,6 +21,25 @@ use fgstp_workloads::{Scale, Workload};
 
 use crate::presets::MachineKind;
 use crate::session::Session;
+
+/// Where one program sat inside a co-run (see [`run_on_corun`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoRunInfo {
+    /// Index of the program in the co-run plan.
+    pub program: usize,
+    /// First chip core the program owned.
+    pub first_core: usize,
+    /// Cores the program's machine instance owned.
+    pub cores: usize,
+    /// Global cycle the program started.
+    pub start_cycle: u64,
+    /// Global cycle the program finished.
+    pub finish_cycle: u64,
+    /// Global cycles until the whole co-run drained.
+    pub total_cycles: u64,
+    /// Whether the co-run ran with private hierarchies (contention off).
+    pub isolated: bool,
+}
 
 /// Outcome of one (workload, machine) run.
 #[derive(Debug, Clone)]
@@ -38,6 +59,11 @@ pub struct MachineRun {
     /// estimate with its 95% confidence interval, and detail-reduction
     /// accounting. `result` then carries *projected* totals.
     pub sampled: Option<SampledRun>,
+    /// The program's placement and window inside a co-run, when the run
+    /// came from [`run_on_corun`] (or a `--corun` spec). `result.cycles`
+    /// then counts from the program's arrival to its own completion, and
+    /// `result.mem` is the program's slice of the shared hierarchy.
+    pub corun: Option<CoRunInfo>,
 }
 
 impl MachineRun {
@@ -117,6 +143,7 @@ pub fn run_on_with_cores(kind: MachineKind, trace: &[DynInst], cores: Option<usi
             fgstp: Some(stats),
             cpi: None,
             sampled: None,
+            corun: None,
         }
     } else {
         assert!(
@@ -130,8 +157,82 @@ pub fn run_on_with_cores(kind: MachineKind, trace: &[DynInst], cores: Option<usi
             fgstp: None,
             cpi: None,
             sampled: None,
+            corun: None,
         }
     }
+}
+
+/// Runs a multi-program co-run on one Fg-STP machine preset: program `i`
+/// is `workloads[i]`/`traces[i]` on `cores[i]` consecutive chip cores (see
+/// [`fgstp::run_corun`] for the arbitration and determinism contracts).
+/// With `isolated` every program instead gets a private hierarchy and
+/// reproduces its solo cycle count exactly.
+///
+/// Returns one [`BenchResult`] per program, in plan order, each holding a
+/// single [`MachineRun`] whose [`MachineRun::corun`] records the
+/// placement; `result.mem` is the program's slice of the shared hierarchy
+/// (its L1s plus its requestor share of L2/DRAM traffic).
+///
+/// # Panics
+///
+/// Panics if `kind` is not an Fg-STP preset or the slice lengths disagree
+/// — `--corun` specs are validated upstream by
+/// [`crate::ExperimentSpec::validate`].
+pub fn run_on_corun(
+    kind: MachineKind,
+    workloads: &[Workload],
+    traces: &[Trace],
+    cores: &[usize],
+    isolated: bool,
+) -> Vec<BenchResult> {
+    assert!(
+        workloads.len() == traces.len() && traces.len() == cores.len(),
+        "one workload, trace and core count per co-running program"
+    );
+    let base = kind
+        .try_fgstp_config()
+        .unwrap_or_else(|| panic!("--corun needs an Fg-STP machine, not {kind}"));
+    let plan = CoRunPlan {
+        programs: cores
+            .iter()
+            .map(|&n| CoRunProgram::new(base.clone().with_cores(n)))
+            .collect(),
+        contention: if isolated {
+            CoRunContention::isolated()
+        } else {
+            CoRunContention::shared()
+        },
+    };
+    let hcfg = kind.hierarchy_for(plan.total_cores());
+    let insts: Vec<&[DynInst]> = traces.iter().map(|t| t.insts()).collect();
+    let co = run_corun(&insts, &plan, &hcfg);
+    workloads
+        .iter()
+        .zip(traces)
+        .zip(co.programs)
+        .enumerate()
+        .map(|(i, ((w, t), p))| BenchResult {
+            name: w.name,
+            committed: t.len() as u64,
+            runs: vec![MachineRun {
+                kind,
+                fgstp: Some(p.stats),
+                cpi: None,
+                sampled: None,
+                corun: Some(CoRunInfo {
+                    program: i,
+                    first_core: p.first_core,
+                    cores: cores[i],
+                    start_cycle: p.start_cycle,
+                    finish_cycle: p.finish_cycle,
+                    total_cycles: co.total_cycles,
+                    isolated,
+                }),
+                result: p.result,
+            }],
+            error: None,
+        })
+        .collect()
 }
 
 /// Runs one trace through one machine preset under SMARTS-style systematic
@@ -177,6 +278,7 @@ pub fn run_on_sampled(
         fgstp: None,
         cpi: sampled.cpi_stack,
         sampled: Some(sampled),
+        corun: None,
     }
 }
 
@@ -225,6 +327,7 @@ pub fn run_on_instrumented_with_cores(
             fgstp: Some(stats),
             cpi: None,
             sampled: None,
+            corun: None,
         };
     } else {
         assert!(
@@ -248,6 +351,7 @@ pub fn run_on_instrumented_with_cores(
             fgstp: None,
             cpi: None,
             sampled: None,
+            corun: None,
         };
     }
     let timeline = sink.finish_episodes(run.result.cycles);

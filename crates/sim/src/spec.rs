@@ -152,6 +152,63 @@ pub fn parse_machine_set(s: &str) -> Result<Vec<MachineKind>, SpecError> {
     }
 }
 
+/// One co-running program inside a [`CoRunSpec`]: a workload and the
+/// number of cores its Fg-STP machine instance owns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoRunProgramSpec {
+    /// Workload name (must be in the suite).
+    pub workload: String,
+    /// Cores the program's machine owns (≥ 1).
+    pub cores: usize,
+}
+
+/// A multi-program co-run request: independent workloads on disjoint core
+/// sets of one machine, coupled through the shared L2 (and, unless
+/// `isolated`, a finite-bandwidth DRAM channel).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoRunSpec {
+    /// The co-running programs, in chip core order.
+    pub programs: Vec<CoRunProgramSpec>,
+    /// Give every program a private hierarchy instead (contention off);
+    /// each program then reproduces its solo cycle count exactly.
+    pub isolated: bool,
+}
+
+impl CoRunSpec {
+    /// Total chip cores across all programs.
+    pub fn total_cores(&self) -> usize {
+        self.programs.iter().map(|p| p.cores).sum()
+    }
+
+    /// Parses the `--corun=` value: comma-separated `workload[:cores]`
+    /// entries, cores defaulting to 1.
+    pub fn parse(value: &str) -> Result<CoRunSpec, SpecError> {
+        let mut programs = Vec::new();
+        for entry in value.split(',') {
+            let (workload, cores) = match entry.split_once(':') {
+                Some((w, c)) => {
+                    let n = c.parse::<usize>().map_err(|_| {
+                        SpecError::new(
+                            SpecErrorKind::Value,
+                            format!("bad core count `{c}` in --corun entry `{entry}`"),
+                        )
+                    })?;
+                    (w, n)
+                }
+                None => (entry, 1),
+            };
+            programs.push(CoRunProgramSpec {
+                workload: workload.to_owned(),
+                cores,
+            });
+        }
+        Ok(CoRunSpec {
+            programs,
+            isolated: false,
+        })
+    }
+}
+
 /// One experiment, fully specified. See the [module docs](self).
 #[derive(Debug, Clone, PartialEq)]
 pub struct ExperimentSpec {
@@ -172,6 +229,11 @@ pub struct ExperimentSpec {
     pub telemetry: bool,
     /// SMARTS-style sampling regime, off by default.
     pub sample: Option<SampleConfig>,
+    /// Multi-program co-run scenario, off by default. Requires a machine
+    /// set of exactly one Fg-STP preset (which supplies the core and
+    /// cache shapes) and conflicts with `--cores`, `--sample` and
+    /// `--telemetry`.
+    pub corun: Option<CoRunSpec>,
 }
 
 impl Default for ExperimentSpec {
@@ -187,6 +249,7 @@ impl Default for ExperimentSpec {
             no_cache: false,
             telemetry: false,
             sample: None,
+            corun: None,
         }
     }
 }
@@ -196,7 +259,8 @@ impl Default for ExperimentSpec {
 pub const SPEC_USAGE: &str = "[test|small|reference] [--workloads=a,b,..] \
 [--machines=small-cmp|medium-cmp|all|scaling|<label,..>] [--cores=N] \
 [--threads=N] [--no-cache] [--telemetry] [--sample] [--sample-interval=N] \
-[--sample-warmup=N] [--sample-detail=N]";
+[--sample-warmup=N] [--sample-detail=N] [--corun=wl[:cores],..] \
+[--corun-isolated]";
 
 impl ExperimentSpec {
     /// Applies one CLI argument to the spec. Returns `Ok(true)` when the
@@ -219,6 +283,15 @@ impl ExperimentSpec {
             }
             "--sample" => {
                 self.sample.get_or_insert_with(SampleConfig::default);
+                return Ok(true);
+            }
+            "--corun-isolated" => {
+                self.corun
+                    .get_or_insert_with(|| CoRunSpec {
+                        programs: Vec::new(),
+                        isolated: false,
+                    })
+                    .isolated = true;
                 return Ok(true);
             }
             _ => {}
@@ -248,6 +321,14 @@ impl ExperimentSpec {
             }
             "--sample-detail" => {
                 self.sample.get_or_insert_with(SampleConfig::default).detail = count(flag)?;
+            }
+            "--corun" => {
+                let parsed = CoRunSpec::parse(value)?;
+                match &mut self.corun {
+                    // --corun-isolated may have arrived first.
+                    Some(c) => c.programs = parsed.programs,
+                    None => self.corun = Some(parsed),
+                }
             }
             _ => return Ok(false),
         }
@@ -335,12 +416,76 @@ impl ExperimentSpec {
                 ));
             }
         }
+        if let Some(c) = &self.corun {
+            if c.programs.is_empty() {
+                return Err(SpecError::new(
+                    SpecErrorKind::Value,
+                    "--corun needs at least one workload[:cores] entry",
+                ));
+            }
+            if self.machines.len() != 1 || !self.machines[0].is_fgstp() {
+                return Err(SpecError::new(
+                    SpecErrorKind::Conflict,
+                    "--corun needs exactly one Fg-STP machine (it supplies the core \
+                     and cache shapes); pass e.g. --machines=fgstp-small",
+                ));
+            }
+            if self.cores.is_some() {
+                return Err(SpecError::new(
+                    SpecErrorKind::Conflict,
+                    "--corun sets per-program core counts; --cores does not apply",
+                ));
+            }
+            if self.sample.is_some() {
+                return Err(SpecError::new(
+                    SpecErrorKind::Conflict,
+                    "--corun cannot be combined with --sample",
+                ));
+            }
+            if self.telemetry {
+                return Err(SpecError::new(
+                    SpecErrorKind::Conflict,
+                    "--corun does not collect CPI stacks; drop --telemetry",
+                ));
+            }
+            if !self.workloads.is_empty() {
+                return Err(SpecError::new(
+                    SpecErrorKind::Conflict,
+                    "--corun names its own workloads; --workloads does not apply",
+                ));
+            }
+            for p in &c.programs {
+                if by_name(&p.workload, Scale::Test).is_none() {
+                    return Err(SpecError::new(
+                        SpecErrorKind::UnknownWorkload,
+                        format!("unknown co-run workload `{}`", p.workload),
+                    ));
+                }
+                if p.cores == 0 {
+                    return Err(SpecError::new(
+                        SpecErrorKind::Value,
+                        format!("co-run program `{}` needs at least one core", p.workload),
+                    ));
+                }
+            }
+            if c.total_cores() > 64 {
+                return Err(SpecError::new(
+                    SpecErrorKind::Value,
+                    format!("co-run asks for {} cores (max 64)", c.total_cores()),
+                ));
+            }
+        }
         Ok(())
     }
 
-    /// The workload names this spec runs, in suite order — the explicit
-    /// subset, or the whole suite when none was given.
+    /// The workload names this spec runs — one per co-run program (in
+    /// plan order, duplicates kept: each program produces its own result
+    /// row), else the explicit subset, else the whole suite, both in
+    /// suite order.
     pub fn workload_names(&self) -> Vec<String> {
+        if let Some(c) = &self.corun {
+            return c.programs.iter().map(|p| p.workload.clone()).collect();
+        }
         if self.workloads.is_empty() {
             suite(Scale::Test)
                 .iter()
@@ -375,6 +520,9 @@ impl ExperimentSpec {
         if let Some(scfg) = self.sample {
             s = s.sample(scfg);
         }
+        if let Some(c) = &self.corun {
+            s = s.corun(c.clone());
+        }
         s
     }
 
@@ -396,6 +544,26 @@ impl ExperimentSpec {
                 ("interval".to_owned(), Json::Num(s.interval as f64)),
                 ("warmup".to_owned(), Json::Num(s.warmup as f64)),
                 ("detail".to_owned(), Json::Num(s.detail as f64)),
+            ]),
+            None => Json::Null,
+        };
+        let corun = match &self.corun {
+            Some(c) => Json::Obj(vec![
+                (
+                    "programs".to_owned(),
+                    Json::Arr(
+                        c.programs
+                            .iter()
+                            .map(|p| {
+                                Json::Obj(vec![
+                                    ("workload".to_owned(), Json::Str(p.workload.clone())),
+                                    ("cores".to_owned(), Json::Num(p.cores as f64)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+                ("isolated".to_owned(), Json::Bool(c.isolated)),
             ]),
             None => Json::Null,
         };
@@ -427,6 +595,7 @@ impl ExperimentSpec {
             ("no_cache".to_owned(), Json::Bool(self.no_cache)),
             ("telemetry".to_owned(), Json::Bool(self.telemetry)),
             ("sample".to_owned(), sample),
+            ("corun".to_owned(), corun),
         ])
     }
 
@@ -522,6 +691,45 @@ impl ExperimentSpec {
                         }),
                     };
                 }
+                "corun" => {
+                    spec.corun = match value {
+                        Json::Null => None,
+                        v => {
+                            let progs =
+                                v.get("programs").and_then(Json::as_arr).ok_or_else(|| {
+                                    bad("spec field `corun.programs` must be an array".to_owned())
+                                })?;
+                            let programs = progs
+                                .iter()
+                                .map(|p| {
+                                    let workload = p
+                                        .get("workload")
+                                        .and_then(Json::as_str)
+                                        .ok_or_else(|| {
+                                            bad("co-run programs need a `workload` string"
+                                                .to_owned())
+                                        })?
+                                        .to_owned();
+                                    let cores = as_count(
+                                        p.get("cores").unwrap_or(&Json::Null),
+                                        "corun.programs[].cores",
+                                    )? as usize;
+                                    Ok(CoRunProgramSpec { workload, cores })
+                                })
+                                .collect::<Result<_, SpecError>>()?;
+                            let isolated = match v.get("isolated") {
+                                None | Some(Json::Null) => false,
+                                Some(Json::Bool(b)) => *b,
+                                _ => {
+                                    return Err(bad(
+                                        "spec field `corun.isolated` must be a bool".to_owned()
+                                    ))
+                                }
+                            };
+                            Some(CoRunSpec { programs, isolated })
+                        }
+                    };
+                }
                 other => {
                     return Err(bad(format!("unknown spec field `{other}`")));
                 }
@@ -552,7 +760,9 @@ impl ExperimentSpec {
         let mut normalized = self.clone();
         normalized.threads = None;
         normalized.no_cache = false;
-        normalized.workloads = self.workload_names();
+        if self.corun.is_none() {
+            normalized.workloads = self.workload_names();
+        }
         let mut body = normalized.to_json();
         if let Json::Obj(members) = &mut body {
             members.retain(|(k, _)| k != "threads" && k != "no_cache");
@@ -593,6 +803,7 @@ mod tests {
             no_cache: true,
             telemetry: true,
             sample: None,
+            corun: None,
         };
         spec.validate().unwrap();
         let text = spec.to_json().render();
@@ -786,6 +997,101 @@ mod tests {
             a.dedup_key()
                 .starts_with(&format!("fgtr-v{}:", fgstp_tracefile::VERSION)),
             "key is versioned by the trace format"
+        );
+    }
+
+    #[test]
+    fn corun_flags_build_a_validated_spec_that_round_trips() {
+        let spec = ExperimentSpec::from_args(&[
+            "test",
+            "--machines=fgstp-small",
+            "--corun=perl_hash:2,hmmer_dp:2",
+        ])
+        .unwrap();
+        let c = spec.corun.as_ref().unwrap();
+        assert_eq!(c.programs.len(), 2);
+        assert_eq!(c.programs[0].workload, "perl_hash");
+        assert_eq!(c.programs[0].cores, 2);
+        assert!(!c.isolated);
+        assert_eq!(c.total_cores(), 4);
+        assert_eq!(spec.workload_names(), ["perl_hash", "hmmer_dp"]);
+        assert_eq!(ExperimentSpec::from_json(&spec.to_json()).unwrap(), spec);
+
+        // Flag order does not matter; cores default to 1.
+        let iso = ExperimentSpec::from_args(&[
+            "test",
+            "--corun-isolated",
+            "--machines=fgstp-small",
+            "--corun=perl_hash,hmmer_dp:3",
+        ])
+        .unwrap();
+        let c = iso.corun.as_ref().unwrap();
+        assert!(c.isolated);
+        assert_eq!(c.programs[0].cores, 1);
+        assert_eq!(c.programs[1].cores, 3);
+        assert_eq!(ExperimentSpec::from_json(&iso.to_json()).unwrap(), iso);
+        assert_ne!(spec.dedup_key(), iso.dedup_key());
+    }
+
+    #[test]
+    fn corun_validation_rejects_each_conflict() {
+        let base = || {
+            let mut s = ExperimentSpec {
+                scale: Scale::Test,
+                machines: vec![MachineKind::FgstpSmall],
+                ..ExperimentSpec::default()
+            };
+            s.corun = Some(CoRunSpec::parse("perl_hash:2,hmmer_dp").unwrap());
+            s
+        };
+        base().validate().unwrap();
+
+        let mut s = base();
+        s.machines = MachineKind::SMALL_CMP.to_vec();
+        assert_eq!(s.validate().unwrap_err().kind, SpecErrorKind::Conflict);
+
+        let mut s = base();
+        s.machines = vec![MachineKind::SingleSmall];
+        assert_eq!(s.validate().unwrap_err().kind, SpecErrorKind::Conflict);
+
+        let mut s = base();
+        s.cores = Some(2);
+        assert_eq!(s.validate().unwrap_err().kind, SpecErrorKind::Conflict);
+
+        let mut s = base();
+        s.sample = Some(SampleConfig::default());
+        assert_eq!(s.validate().unwrap_err().kind, SpecErrorKind::Conflict);
+
+        let mut s = base();
+        s.telemetry = true;
+        assert_eq!(s.validate().unwrap_err().kind, SpecErrorKind::Conflict);
+
+        let mut s = base();
+        s.workloads = vec!["perl_hash".to_owned()];
+        assert_eq!(s.validate().unwrap_err().kind, SpecErrorKind::Conflict);
+
+        let mut s = base();
+        s.corun.as_mut().unwrap().programs.clear();
+        assert_eq!(s.validate().unwrap_err().kind, SpecErrorKind::Value);
+
+        let mut s = base();
+        s.corun.as_mut().unwrap().programs[0].workload = "nope".to_owned();
+        assert_eq!(
+            s.validate().unwrap_err().kind,
+            SpecErrorKind::UnknownWorkload
+        );
+
+        let mut s = base();
+        s.corun.as_mut().unwrap().programs[0].cores = 0;
+        assert_eq!(s.validate().unwrap_err().kind, SpecErrorKind::Value);
+
+        let mut s = base();
+        s.corun.as_mut().unwrap().programs[0].cores = 100;
+        assert_eq!(s.validate().unwrap_err().kind, SpecErrorKind::Value);
+
+        assert_eq!(
+            CoRunSpec::parse("perl_hash:lots").unwrap_err().kind,
+            SpecErrorKind::Value
         );
     }
 

@@ -8,6 +8,8 @@
 
 use std::collections::BTreeMap;
 
+use crate::json::Json;
+
 /// A log2-bucketed histogram of `u64` samples.
 ///
 /// Bucket `i` counts samples in `[2^(i-1), 2^i)` (bucket 0 counts zeros),
@@ -215,6 +217,26 @@ impl Registry {
         self.metrics.is_empty()
     }
 
+    /// The registry as one flat JSON object, each metric reduced to a
+    /// number: counters and gauges their value, histograms their sample
+    /// count. This is the `counters` body of the service's `stats`
+    /// reply — the shape remote clients key into (e.g.
+    /// `counters.service.corun-jobs`).
+    pub fn to_json(&self) -> Json {
+        Json::Obj(
+            self.iter()
+                .map(|(name, m)| {
+                    let v = match m {
+                        Metric::Counter(c) => *c as f64,
+                        Metric::Gauge(g) => *g,
+                        Metric::Histogram(h) => h.count() as f64,
+                    };
+                    (name.to_owned(), Json::Num(v))
+                })
+                .collect(),
+        )
+    }
+
     /// Renders `name,kind,value` CSV rows (histograms report their mean;
     /// the full buckets are in [`Registry::render`]).
     pub fn to_csv(&self) -> String {
@@ -255,6 +277,23 @@ impl Registry {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn to_json_flattens_every_metric_shape_to_a_number() {
+        let mut r = Registry::new();
+        r.inc("service.corun-jobs", 3);
+        r.set_gauge("occupancy", 2.5);
+        r.observe("episode-cycles", 7);
+        r.observe("episode-cycles", 9);
+        let v = r.to_json();
+        assert_eq!(v.get("service.corun-jobs"), Some(&Json::Num(3.0)));
+        assert_eq!(v.get("occupancy"), Some(&Json::Num(2.5)));
+        assert_eq!(
+            v.get("episode-cycles"),
+            Some(&Json::Num(2.0)),
+            "histograms report their sample count"
+        );
+    }
 
     #[test]
     fn histogram_buckets_powers_of_two() {

@@ -37,6 +37,27 @@ FGSTPD_ADDR="127.0.0.1:$(cat target/fgstpd_smoke_port)"
 ./target/release/fgstp submit "--addr=$FGSTPD_ADDR" small \
   --workloads=perl_hash --machines=small-cmp --wait --csv \
   > target/fgstpd_smoke.csv
+# Same daemon, co-run spec: two programs on disjoint cores of one
+# machine must come back as one row per program, and resubmitting the
+# identical spec must dedup to byte-identical rows (co-runs are one
+# deterministic job).
+./target/release/fgstp submit "--addr=$FGSTPD_ADDR" test \
+  --machines=fgstp-small --corun=perl_hash:2,mcf_pointer:2 --wait --csv \
+  > target/fgstpd_corun.csv
+./target/release/fgstp submit "--addr=$FGSTPD_ADDR" test \
+  --machines=fgstp-small --corun=perl_hash:2,mcf_pointer:2 --wait --csv \
+  > target/fgstpd_corun2.csv
+cmp -s target/fgstpd_corun.csv target/fgstpd_corun2.csv || {
+  echo "deduped co-run resubmission returned different rows:"
+  diff target/fgstpd_corun.csv target/fgstpd_corun2.csv || true
+  exit 1
+}
+awk -F, 'NR > 1 && $3 > 0 { rows++ } END { exit rows == 2 ? 0 : 1 }' \
+  target/fgstpd_corun.csv || {
+  echo "co-run job did not produce one row per program with cycles > 0:"
+  cat target/fgstpd_corun.csv
+  exit 1
+}
 ./target/release/fgstp shutdown "--addr=$FGSTPD_ADDR"
 wait "$FGSTPD_PID"
 # The daemon-served speedup row must reproduce the figures recorded in
@@ -46,6 +67,28 @@ expected=$(awk '$1 == "perl_hash" { print $1","$2","$3","$4","$5; exit }' \
 grep -qx "$expected" target/fgstpd_smoke.csv || {
   echo "daemon row does not match recorded E1 figures ($expected):"
   cat target/fgstpd_smoke.csv
+  exit 1
+}
+
+echo "== co-run smoke (E16 at test scale, deterministic)"
+# The binary itself asserts a rerun of one scenario is bit-identical;
+# two full runs diffing clean pins the whole sweep, and the pressured
+# table must show a real slowdown for the memory-bound foreground.
+cargo build --release -q -p fgstp-bench --bin exp_e16_corun
+./target/release/exp_e16_corun test \
+  --workloads=perl_hash,mcf_pointer,libq_stream > target/e16_smoke_a.txt
+./target/release/exp_e16_corun test \
+  --workloads=perl_hash,mcf_pointer,libq_stream > target/e16_smoke_b.txt
+cmp -s target/e16_smoke_a.txt target/e16_smoke_b.txt || {
+  echo "E16 co-run sweep is not deterministic across reruns:"
+  diff target/e16_smoke_a.txt target/e16_smoke_b.txt || true
+  exit 1
+}
+awk '/capacity pressure/ { p = 1; next } /^====/ { p = 0 }
+     p && $1 == "mcf_pointer" && $4 > 1.0 { found = 1 }
+     END { exit found ? 0 : 1 }' target/e16_smoke_a.txt || {
+  echo "E16 shows no co-run slowdown for mcf_pointer:"
+  cat target/e16_smoke_a.txt
   exit 1
 }
 
