@@ -46,6 +46,7 @@ pub mod asm;
 pub mod inst;
 pub mod machine;
 pub mod op;
+pub mod predecode;
 pub mod program;
 pub mod reg;
 pub mod semantics;
@@ -55,6 +56,7 @@ pub use asm::{assemble, AsmError};
 pub use inst::Inst;
 pub use machine::{ExecError, Machine, StepOutcome};
 pub use op::{InstClass, Op};
+pub use predecode::{PreProgram, ThreadedMachine};
 pub use program::{DataInit, Program};
 pub use reg::Reg;
 pub use trace::{trace_program, DynInst, Trace, TraceError};

@@ -13,16 +13,22 @@ use crate::op::Op;
 use crate::program::Program;
 use crate::reg::NUM_REGS;
 
-const PAGE_SHIFT: u64 = 12;
-const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
+pub(crate) const PAGE_SHIFT: u64 = 12;
+pub(crate) const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
 
 /// Sparse, paged, byte-addressable little-endian memory.
 ///
 /// Reads of never-written locations return zero, matching a zero-initialized
 /// address space.
+///
+/// Storage is split into a page-index map and a dense slot arena: a page's
+/// slot number is stable for the life of the memory (pages are never
+/// removed), which lets the threaded interpreter cache its last page
+/// translation and skip the hash lookup on the common same-page access.
 #[derive(Debug, Clone, Default)]
 pub struct Memory {
-    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+    map: HashMap<u64, u32>,
+    pages: Vec<Box<[u8; PAGE_SIZE]>>,
 }
 
 impl Memory {
@@ -31,25 +37,69 @@ impl Memory {
         Memory::default()
     }
 
+    /// Slot of an already-allocated page, if any. Read paths never
+    /// allocate: a missing page reads as zero.
+    #[inline]
+    pub(crate) fn slot_of(&self, page: u64) -> Option<u32> {
+        self.map.get(&page).copied()
+    }
+
+    /// Slot of `page`, allocating a zero page on first write.
+    #[inline]
+    pub(crate) fn slot_for_write(&mut self, page: u64) -> u32 {
+        if let Some(&slot) = self.map.get(&page) {
+            return slot;
+        }
+        let slot = self.pages.len() as u32;
+        self.pages.push(Box::new([0u8; PAGE_SIZE]));
+        self.map.insert(page, slot);
+        slot
+    }
+
+    /// The bytes of an allocated page.
+    #[inline]
+    pub(crate) fn page_bytes(&self, slot: u32) -> &[u8; PAGE_SIZE] {
+        &self.pages[slot as usize]
+    }
+
+    /// The bytes of an allocated page, mutably.
+    #[inline]
+    pub(crate) fn page_bytes_mut(&mut self, slot: u32) -> &mut [u8; PAGE_SIZE] {
+        &mut self.pages[slot as usize]
+    }
+
     /// Reads one byte.
     pub fn read_u8(&self, addr: u64) -> u8 {
-        match self.pages.get(&(addr >> PAGE_SHIFT)) {
-            Some(page) => page[(addr as usize) & (PAGE_SIZE - 1)],
+        match self.slot_of(addr >> PAGE_SHIFT) {
+            Some(slot) => self.page_bytes(slot)[(addr as usize) & (PAGE_SIZE - 1)],
             None => 0,
         }
     }
 
     /// Writes one byte.
     pub fn write_u8(&mut self, addr: u64, value: u8) {
-        let page = self
-            .pages
-            .entry(addr >> PAGE_SHIFT)
-            .or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
-        page[(addr as usize) & (PAGE_SIZE - 1)] = value;
+        let slot = self.slot_for_write(addr >> PAGE_SHIFT);
+        self.page_bytes_mut(slot)[(addr as usize) & (PAGE_SIZE - 1)] = value;
     }
 
     /// Reads `width` bytes (1, 2, 4 or 8) little-endian, zero-extended.
+    #[inline]
     pub fn read(&self, addr: u64, width: u8) -> u64 {
+        let off = (addr as usize) & (PAGE_SIZE - 1);
+        let w = usize::from(width);
+        // Within-page fast path: any access that does not straddle a page
+        // boundary (all aligned accesses in particular) decodes with one
+        // page lookup instead of `width` byte lookups.
+        if off + w <= PAGE_SIZE {
+            return match self.slot_of(addr >> PAGE_SHIFT) {
+                Some(slot) => {
+                    let mut le = [0u8; 8];
+                    le[..w].copy_from_slice(&self.page_bytes(slot)[off..off + w]);
+                    u64::from_le_bytes(le)
+                }
+                None => 0,
+            };
+        }
         let mut v = 0u64;
         for i in 0..u64::from(width) {
             v |= u64::from(self.read_u8(addr.wrapping_add(i))) << (8 * i);
@@ -58,9 +108,33 @@ impl Memory {
     }
 
     /// Writes the low `width` bytes of `value` little-endian.
+    #[inline]
     pub fn write(&mut self, addr: u64, width: u8, value: u64) {
+        let off = (addr as usize) & (PAGE_SIZE - 1);
+        let w = usize::from(width);
+        if off + w <= PAGE_SIZE {
+            let slot = self.slot_for_write(addr >> PAGE_SHIFT);
+            self.page_bytes_mut(slot)[off..off + w].copy_from_slice(&value.to_le_bytes()[..w]);
+            return;
+        }
         for i in 0..u64::from(width) {
             self.write_u8(addr.wrapping_add(i), (value >> (8 * i)) as u8);
+        }
+    }
+
+    /// Bulk-loads `bytes` starting at `addr`, copying page-sized chunks
+    /// instead of issuing one write per byte — machine construction loads
+    /// whole data segments through this.
+    pub fn load_image(&mut self, addr: u64, bytes: &[u8]) {
+        let mut addr = addr;
+        let mut rest = bytes;
+        while !rest.is_empty() {
+            let off = (addr as usize) & (PAGE_SIZE - 1);
+            let n = rest.len().min(PAGE_SIZE - off);
+            let slot = self.slot_for_write(addr >> PAGE_SHIFT);
+            self.page_bytes_mut(slot)[off..off + n].copy_from_slice(&rest[..n]);
+            addr = addr.wrapping_add(n as u64);
+            rest = &rest[n..];
         }
     }
 
@@ -150,9 +224,7 @@ impl<'p> Machine<'p> {
     pub fn new(program: &'p Program) -> Machine<'p> {
         let mut mem = Memory::new();
         for init in &program.data {
-            for (i, b) in init.bytes.iter().enumerate() {
-                mem.write_u8(init.addr + i as u64, *b);
-            }
+            mem.load_image(init.addr, &init.bytes);
         }
         Machine {
             program,

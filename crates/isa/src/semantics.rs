@@ -12,6 +12,7 @@ use crate::op::Op;
 ///
 /// Returns `None` for opcodes whose result depends on memory, the pc or
 /// control flow (loads, stores, branches, jumps, `nop`, `halt`).
+#[inline(always)]
 pub fn eval_compute(op: Op, rs1: u64, rs2: u64, imm: i64) -> Option<u64> {
     let f1 = f64::from_bits(rs1);
     let f2 = f64::from_bits(rs2);
@@ -67,6 +68,7 @@ pub fn eval_compute(op: Op, rs1: u64, rs2: u64, imm: i64) -> Option<u64> {
 }
 
 /// Evaluates a conditional branch; `None` for non-branch opcodes.
+#[inline(always)]
 pub fn branch_taken(op: Op, rs1: u64, rs2: u64) -> Option<bool> {
     use Op::*;
     Some(match op {
@@ -81,6 +83,7 @@ pub fn branch_taken(op: Op, rs1: u64, rs2: u64) -> Option<bool> {
 }
 
 /// Applies a load's sign/zero extension to the raw little-endian bytes.
+#[inline(always)]
 pub fn load_extend(op: Op, raw: u64) -> u64 {
     use Op::*;
     match op {

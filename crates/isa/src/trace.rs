@@ -10,8 +10,9 @@
 use std::fmt;
 
 use crate::inst::Inst;
-use crate::machine::{ExecError, Machine, StepOutcome};
+use crate::machine::ExecError;
 use crate::op::InstClass;
+use crate::predecode::{PreProgram, ThreadedMachine};
 use crate::program::Program;
 
 /// One committed dynamic instruction.
@@ -121,6 +122,11 @@ impl Trace {
         &self.insts
     }
 
+    /// Consumes the trace, yielding the instruction vector without a copy.
+    pub fn into_insts(self) -> Vec<DynInst> {
+        self.insts
+    }
+
     /// Number of dynamic instructions.
     pub fn len(&self) -> usize {
         self.insts.len()
@@ -175,33 +181,10 @@ impl std::ops::Index<usize> for Trace {
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub fn trace_program(program: &Program, limit: u64) -> Result<Trace, TraceError> {
-    let mut machine = Machine::new(program);
+    let pre = PreProgram::new(program);
+    let mut machine = ThreadedMachine::new(&pre);
     let mut insts = Vec::new();
-    let mut seq = 0u64;
-    loop {
-        if seq >= limit {
-            return Err(TraceError::Truncated { limit });
-        }
-        match machine.step()? {
-            StepOutcome::Halted => break,
-            StepOutcome::Executed(info) => {
-                if info.inst.op == crate::op::Op::Halt {
-                    break;
-                }
-                insts.push(DynInst {
-                    seq,
-                    pc: info.pc,
-                    inst: info.inst,
-                    next_pc: info.next_pc,
-                    addr: info.addr,
-                    taken: info.taken,
-                    rd_value: info.rd_value,
-                    store_value: info.store_value,
-                });
-                seq += 1;
-            }
-        }
-    }
+    machine.run_trace(limit, &mut insts)?;
     Ok(Trace { insts })
 }
 

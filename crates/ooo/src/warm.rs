@@ -61,8 +61,15 @@ impl WarmState {
 
     /// Functionally retires a whole stretch of the trace.
     pub fn warm(&mut self, insts: &[DynInst]) {
+        self.warm_iter(insts.iter().copied());
+    }
+
+    /// Functionally retires a streamed stretch of the trace — the same
+    /// per-instruction work as [`WarmState::warm`] without requiring the
+    /// stretch to be materialized as a slice.
+    pub fn warm_iter(&mut self, insts: impl IntoIterator<Item = DynInst>) {
         for d in insts {
-            self.retire(d);
+            self.retire(&d);
         }
     }
 

@@ -223,18 +223,40 @@ struct Drive {
 /// too short for a full window is warmed only — unless nothing has been
 /// measured yet (trace shorter than one window), in which case the whole
 /// remainder runs in detail so every sampled run has at least one interval.
+///
+/// Delegates to [`drive_stream`], so the slice and streaming entry points
+/// are one implementation and cannot diverge.
 fn drive<F>(
     trace: &[DynInst],
     scfg: &SampleConfig,
     warm: &mut WarmState,
     cores: u64,
-    mut run_window: F,
+    run_window: F,
 ) -> Drive
 where
     F: FnMut(&[DynInst], &mut WarmState, u64) -> WarmRun,
 {
+    drive_stream(trace.iter().copied(), scfg, warm, cores, run_window).0
+}
+
+/// The streaming interval walker behind [`drive`]: consumes the trace one
+/// [`DynInst`] at a time, holding at most one detailed window
+/// (`warmup + detail` instructions) in memory. Instructions older than the
+/// window ring retire into functional warming as they are evicted, which
+/// reproduces the slice walker's warm-then-window order exactly. Returns
+/// the accumulator and the total number of instructions consumed.
+fn drive_stream<I, F>(
+    trace: I,
+    scfg: &SampleConfig,
+    warm: &mut WarmState,
+    cores: u64,
+    mut run_window: F,
+) -> (Drive, u64)
+where
+    I: IntoIterator<Item = DynInst>,
+    F: FnMut(&[DynInst], &mut WarmState, u64) -> WarmRun,
+{
     scfg.validate();
-    let n = trace.len() as u64;
     let unit = scfg.unit();
     let mut d = Drive {
         intervals: Vec::new(),
@@ -243,25 +265,40 @@ where
         functional_insts: 0,
         detail_core_cycles: 0,
     };
+    let mut ring: std::collections::VecDeque<DynInst> =
+        std::collections::VecDeque::with_capacity(unit as usize);
+    let mut it = trace.into_iter();
     let mut pos = 0u64;
-    while pos < n {
-        let end = (pos + scfg.interval).min(n);
-        let len = end - pos;
+    let mut total = 0u64;
+    loop {
+        // Pull one interval; the ring keeps the newest `unit` instructions
+        // and retires everything older into functional warming.
+        let mut len = 0u64;
+        while len < scfg.interval {
+            let Some(inst) = it.next() else { break };
+            if ring.len() as u64 == unit {
+                let old = ring.pop_front().expect("ring is non-empty");
+                warm.retire(&old);
+                d.functional_insts += 1;
+            }
+            ring.push_back(inst);
+            len += 1;
+        }
+        total += len;
+        let end = pos + len;
         if len >= unit {
-            let wstart = end - unit;
-            warm.warm(&trace[pos as usize..wstart as usize]);
-            d.functional_insts += wstart - pos;
-            let wr = run_window(&trace[wstart as usize..end as usize], warm, scfg.warmup);
+            let wr = run_window(ring.make_contiguous(), warm, scfg.warmup);
             d.intervals.push(IntervalMeasure {
-                start: wstart + scfg.warmup,
+                start: end - unit + scfg.warmup,
                 insts: scfg.detail,
                 cycles: wr.measured_cycles(),
             });
             d.measured_insts += scfg.detail;
             d.detailed_insts += unit;
             d.detail_core_cycles += wr.result.cycles * cores;
-        } else if d.intervals.is_empty() {
-            let wr = run_window(&trace[pos as usize..end as usize], warm, 0);
+            ring.clear();
+        } else if len > 0 && d.intervals.is_empty() {
+            let wr = run_window(ring.make_contiguous(), warm, 0);
             d.intervals.push(IntervalMeasure {
                 start: pos,
                 insts: len,
@@ -270,18 +307,24 @@ where
             d.measured_insts += len;
             d.detailed_insts += len;
             d.detail_core_cycles += wr.result.cycles * cores;
-        } else {
-            warm.warm(&trace[pos as usize..end as usize]);
-            d.functional_insts += len;
+            ring.clear();
+        } else if len > 0 {
+            for old in ring.drain(..) {
+                warm.retire(&old);
+                d.functional_insts += 1;
+            }
+        }
+        if len < scfg.interval {
+            break;
         }
         pos = end;
     }
-    d
+    (d, total)
 }
 
 fn finish(
     scfg: &SampleConfig,
-    trace: &[DynInst],
+    total_insts: u64,
     d: Drive,
     warm: WarmState,
     cpi_stack: Option<CpiStack>,
@@ -289,7 +332,7 @@ fn finish(
     let cpis: Vec<f64> = d.intervals.iter().map(IntervalMeasure::cpi).collect();
     SampledRun {
         config: *scfg,
-        total_insts: trace.len() as u64,
+        total_insts,
         measured_insts: d.measured_insts,
         detailed_insts: d.detailed_insts,
         functional_insts: d.functional_insts,
@@ -313,7 +356,24 @@ pub fn sample_single(
     let d = drive(trace, scfg, &mut warm, 1, |w, warm, mf| {
         run_single_warm(w, cfg, warm, mf)
     });
-    finish(scfg, trace, d, warm, None)
+    finish(scfg, trace.len() as u64, d, warm, None)
+}
+
+/// Like [`sample_single`], but consumes the trace as a stream (e.g. a
+/// streaming trace-file reader) without ever materializing it: at most one
+/// detailed window is held in memory at a time. Produces bit-identical
+/// results to the slice path — they share one walker.
+pub fn sample_single_stream(
+    trace: impl IntoIterator<Item = DynInst>,
+    cfg: &CoreConfig,
+    hcfg: &HierarchyConfig,
+    scfg: &SampleConfig,
+) -> SampledRun {
+    let mut warm = WarmState::new(cfg, hcfg);
+    let (d, total) = drive_stream(trace, scfg, &mut warm, 1, |w, warm, mf| {
+        run_single_warm(w, cfg, warm, mf)
+    });
+    finish(scfg, total, d, warm, None)
 }
 
 /// Like [`sample_single`], but additionally aggregates a CPI stack over
@@ -330,7 +390,7 @@ pub fn sample_single_instrumented(
     let d = drive(trace, scfg, &mut warm, 1, |w, warm, mf| {
         run_single_warm_with_sink(w, cfg, warm, mf, &mut sink)
     });
-    finish(scfg, trace, d, warm, Some(sink.merged()))
+    finish(scfg, trace.len() as u64, d, warm, Some(sink.merged()))
 }
 
 /// Sampled run on the N-core Fg-STP machine.
@@ -352,7 +412,30 @@ pub fn sample_fgstp(
         cfg.num_cores as u64,
         |w, warm, mf| run_fgstp_warm(w, cfg, warm, mf).0,
     );
-    finish(scfg, trace, d, warm, None)
+    finish(scfg, trace.len() as u64, d, warm, None)
+}
+
+/// Like [`sample_fgstp`], but consumes the trace as a stream; see
+/// [`sample_single_stream`].
+///
+/// # Panics
+///
+/// Panics if `hcfg` does not describe `cfg.num_cores` cores.
+pub fn sample_fgstp_stream(
+    trace: impl IntoIterator<Item = DynInst>,
+    cfg: &FgstpConfig,
+    hcfg: &HierarchyConfig,
+    scfg: &SampleConfig,
+) -> SampledRun {
+    let mut warm = WarmState::new(&cfg.core, hcfg);
+    let (d, total) = drive_stream(
+        trace,
+        scfg,
+        &mut warm,
+        cfg.num_cores as u64,
+        |w, warm, mf| run_fgstp_warm(w, cfg, warm, mf).0,
+    );
+    finish(scfg, total, d, warm, None)
 }
 
 /// Like [`sample_fgstp`], but additionally aggregates a CPI stack (all
@@ -376,7 +459,7 @@ pub fn sample_fgstp_instrumented(
         cfg.num_cores as u64,
         |w, warm, mf| run_fgstp_warm_with_sink(w, cfg, warm, mf, &mut sink).0,
     );
-    finish(scfg, trace, d, warm, Some(sink.merged()))
+    finish(scfg, trace.len() as u64, d, warm, Some(sink.merged()))
 }
 
 #[cfg(test)]
@@ -521,6 +604,35 @@ mod tests {
             paired.mean,
             point
         );
+    }
+
+    #[test]
+    fn streaming_run_is_bit_identical_to_slice_run() {
+        // Cover full intervals, a partial tail, and the short-trace
+        // degenerate case.
+        for iters in [2_000u64, 137, 3] {
+            let t = loop_trace(iters);
+            let cfg = CoreConfig::small();
+            let hcfg = HierarchyConfig::small(1);
+            let slice = sample_single(t.insts(), &cfg, &hcfg, &scfg());
+            let stream = sample_single_stream(t.insts().iter().copied(), &cfg, &hcfg, &scfg());
+            assert_eq!(stream.total_insts, slice.total_insts);
+            assert_eq!(stream.intervals, slice.intervals);
+            assert_eq!(stream.measured_insts, slice.measured_insts);
+            assert_eq!(stream.detailed_insts, slice.detailed_insts);
+            assert_eq!(stream.functional_insts, slice.functional_insts);
+            assert_eq!(stream.detail_core_cycles, slice.detail_core_cycles);
+            assert_eq!(stream.branches, slice.branches);
+            assert_eq!(stream.est_cycles(), slice.est_cycles());
+        }
+        let t = loop_trace(2_000);
+        let fcfg = FgstpConfig::small();
+        let hcfg = HierarchyConfig::small(2);
+        let slice = sample_fgstp(t.insts(), &fcfg, &hcfg, &scfg());
+        let stream = sample_fgstp_stream(t.insts().iter().copied(), &fcfg, &hcfg, &scfg());
+        assert_eq!(stream.intervals, slice.intervals);
+        assert_eq!(stream.branches, slice.branches);
+        assert_eq!(stream.est_cycles(), slice.est_cycles());
     }
 
     #[test]

@@ -13,8 +13,8 @@ use fgstp::{
 use fgstp_isa::{DynInst, Trace};
 use fgstp_ooo::{run_single, run_single_with_sink, RunResult};
 use fgstp_sampling::{
-    sample_fgstp, sample_fgstp_instrumented, sample_single, sample_single_instrumented,
-    SampleConfig, SampledRun,
+    sample_fgstp, sample_fgstp_instrumented, sample_fgstp_stream, sample_single,
+    sample_single_instrumented, sample_single_stream, SampleConfig, SampledRun,
 };
 use fgstp_telemetry::{CpiSink, CpiStack, Episode};
 use fgstp_workloads::{Scale, Workload};
@@ -277,6 +277,40 @@ pub fn run_on_sampled(
         result,
         fgstp: None,
         cpi: sampled.cpi_stack,
+        sampled: Some(sampled),
+        corun: None,
+    }
+}
+
+/// Like [`run_on_sampled`] (uninstrumented), but consumes the trace as a
+/// stream — e.g. an [`fgstp_tracefile::OwnedTraceReader`] straight off the
+/// on-disk cache — so the decoded `Vec<DynInst>` is never materialized; at
+/// most one detailed window of instructions is in memory at a time.
+/// Results are bit-identical to the slice path: the sampler's slice and
+/// stream entry points share one interval walker.
+pub fn run_on_sampled_stream(
+    kind: MachineKind,
+    trace: impl IntoIterator<Item = DynInst>,
+    scfg: &SampleConfig,
+) -> MachineRun {
+    let sampled = if let Some(cfg) = kind.try_fgstp_config() {
+        let hcfg = kind.hierarchy_for(cfg.num_cores);
+        sample_fgstp_stream(trace, &cfg, &hcfg, scfg)
+    } else {
+        sample_single_stream(trace, &kind.core_config(), &kind.hierarchy_config(), scfg)
+    };
+    let result = RunResult {
+        cycles: sampled.est_cycles().round() as u64,
+        committed: sampled.total_insts,
+        cores: Vec::new(),
+        branches: sampled.branches,
+        mem: sampled.mem.clone(),
+    };
+    MachineRun {
+        kind,
+        result,
+        fgstp: None,
+        cpi: None,
         sampled: Some(sampled),
         corun: None,
     }

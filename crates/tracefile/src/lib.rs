@@ -11,27 +11,42 @@
 //! Everything is plain `Vec<u8>`/`&[u8]` — the crate has no external
 //! dependencies, so the workspace builds with no network access.
 //!
-//! Format (version 1):
+//! Format (version 2, block-framed):
 //!
 //! ```text
-//! "FGTR" magic | u32 version | varint count | count x record
+//! "FGTR" magic | u32 version | varint total_count | block*
+//! block:  varint block_count | varint payload_bytes
+//!         | payload (block_count x record) | u64 LE FNV-1a(payload)
 //! record: opcode u8 | rd u8 | rs1 u8 | rs2 u8 | zigzag-varint imm
 //!         | flags u8 (addr?, taken?, taken-value, rd_value?, store_value?)
 //!         | varint pc | varint next_pc | optional fields in order
 //! ```
 //!
-//! [`TraceCache`] wraps this format with a checksum footer and a
-//! name-keyed directory layout; see the [`cache`] module docs for the
+//! Records are framed in blocks of [`BLOCK_INSTS`] instructions, each with
+//! its own checksum, so [`TraceReader`] can stream a trace — validating as
+//! it goes — without materializing the decoded `Vec<DynInst>`. Version-1
+//! files (a single unframed record stream) remain readable; writes always
+//! use the current version.
+//!
+//! [`TraceCache`] wraps this format with a whole-file checksum footer and
+//! a name-keyed directory layout; see the [`cache`] module docs for the
 //! location, key and invalidation rules.
 //!
 //! ```
 //! use fgstp_isa::{assemble, trace_program};
-//! use fgstp_tracefile::{read_trace, write_trace};
+//! use fgstp_tracefile::{read_trace, write_trace, TraceReader};
 //!
 //! let p = assemble("li x1, 7\nadd x2, x1, x1\nhalt")?;
 //! let t = trace_program(&p, 100)?;
 //! let bytes = write_trace(t.insts());
 //! assert_eq!(read_trace(&bytes)?, t.insts());
+//! // Or stream it, one record at a time:
+//! let mut n = 0;
+//! for rec in TraceReader::new(&bytes)? {
+//!     let _d = rec?;
+//!     n += 1;
+//! }
+//! assert_eq!(n, t.len());
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
@@ -49,8 +64,18 @@ pub use varint::{read_varint, write_varint, zigzag_decode, zigzag_encode};
 
 const MAGIC: &[u8; 4] = b"FGTR";
 
-/// On-disk trace format version; bumping it invalidates every cache file.
-pub const VERSION: u32 = 1;
+/// On-disk trace format version; bumping it invalidates every cache file
+/// and every `ExperimentSpec` dedup key derived from it.
+pub const VERSION: u32 = 2;
+
+/// The legacy unframed format, still accepted by readers.
+const VERSION_V1: u32 = 1;
+
+/// Records per block in the current format. Large enough that framing
+/// overhead (two varints and an 8-byte checksum per block) is noise,
+/// small enough that a streaming consumer touches at most a few tens of
+/// kilobytes per validation unit.
+pub const BLOCK_INSTS: usize = 4096;
 
 /// Error decoding a trace file.
 #[derive(Debug)]
@@ -65,9 +90,9 @@ pub enum TraceFileError {
     BadOpcode(u8),
     /// A register index outside the architectural space.
     BadRegister(u8),
-    /// The buffer ended mid-record.
+    /// The buffer ended mid-record or mid-block.
     Truncated,
-    /// The checksum footer did not match the payload (cache files only).
+    /// A block or cache-file checksum did not match its payload.
     BadChecksum,
 }
 
@@ -100,6 +125,16 @@ impl From<std::io::Error> for TraceFileError {
     }
 }
 
+/// 64-bit FNV-1a, the integrity check for blocks and cache files.
+pub(crate) fn fnv1a(data: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in data {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
 /// Stable opcode numbering: position in [`Op::all`].
 fn op_code(op: Op) -> u8 {
     Op::all().position(|o| o == op).expect("op in table") as u8
@@ -115,48 +150,41 @@ const FLAG_TAKEN_VALUE: u8 = 1 << 2;
 const FLAG_RD_VALUE: u8 = 1 << 3;
 const FLAG_STORE_VALUE: u8 = 1 << 4;
 
-/// Serializes a trace to its binary representation.
-pub fn write_trace(insts: &[DynInst]) -> Vec<u8> {
-    let mut buf = Vec::with_capacity(16 + insts.len() * 12);
-    buf.extend_from_slice(MAGIC);
-    buf.extend_from_slice(&VERSION.to_le_bytes());
-    write_varint(&mut buf, insts.len() as u64);
-    for d in insts {
-        buf.push(op_code(d.inst.op));
-        buf.push(d.inst.rd.index() as u8);
-        buf.push(d.inst.rs1.index() as u8);
-        buf.push(d.inst.rs2.index() as u8);
-        write_varint(&mut buf, zigzag_encode(d.inst.imm));
-        let mut flags = 0u8;
-        if d.addr.is_some() {
-            flags |= FLAG_ADDR;
-        }
-        if let Some(t) = d.taken {
-            flags |= FLAG_TAKEN_PRESENT;
-            if t {
-                flags |= FLAG_TAKEN_VALUE;
-            }
-        }
-        if d.rd_value.is_some() {
-            flags |= FLAG_RD_VALUE;
-        }
-        if d.store_value.is_some() {
-            flags |= FLAG_STORE_VALUE;
-        }
-        buf.push(flags);
-        write_varint(&mut buf, d.pc);
-        write_varint(&mut buf, d.next_pc);
-        if let Some(a) = d.addr {
-            write_varint(&mut buf, a);
-        }
-        if let Some(v) = d.rd_value {
-            write_varint(&mut buf, v);
-        }
-        if let Some(v) = d.store_value {
-            write_varint(&mut buf, v);
+/// Encodes one record (identical in v1 and v2; only the framing differs).
+fn write_record(buf: &mut Vec<u8>, d: &DynInst) {
+    buf.push(op_code(d.inst.op));
+    buf.push(d.inst.rd.index() as u8);
+    buf.push(d.inst.rs1.index() as u8);
+    buf.push(d.inst.rs2.index() as u8);
+    write_varint(buf, zigzag_encode(d.inst.imm));
+    let mut flags = 0u8;
+    if d.addr.is_some() {
+        flags |= FLAG_ADDR;
+    }
+    if let Some(t) = d.taken {
+        flags |= FLAG_TAKEN_PRESENT;
+        if t {
+            flags |= FLAG_TAKEN_VALUE;
         }
     }
-    buf
+    if d.rd_value.is_some() {
+        flags |= FLAG_RD_VALUE;
+    }
+    if d.store_value.is_some() {
+        flags |= FLAG_STORE_VALUE;
+    }
+    buf.push(flags);
+    write_varint(buf, d.pc);
+    write_varint(buf, d.next_pc);
+    if let Some(a) = d.addr {
+        write_varint(buf, a);
+    }
+    if let Some(v) = d.rd_value {
+        write_varint(buf, v);
+    }
+    if let Some(v) = d.store_value {
+        write_varint(buf, v);
+    }
 }
 
 fn take_u8(buf: &mut &[u8]) -> Result<u8, TraceFileError> {
@@ -170,79 +198,326 @@ fn read_reg(buf: &mut &[u8]) -> Result<Reg, TraceFileError> {
     Reg::from_index(b).ok_or(TraceFileError::BadRegister(b))
 }
 
-/// Deserializes a trace from its binary representation.
+/// Decodes one record, assigning `seq`.
+fn read_record(buf: &mut &[u8], seq: u64) -> Result<DynInst, TraceFileError> {
+    let opcode = take_u8(buf)?;
+    let op = op_from_code(opcode).ok_or(TraceFileError::BadOpcode(opcode))?;
+    let rd = read_reg(buf)?;
+    let rs1 = read_reg(buf)?;
+    let rs2 = read_reg(buf)?;
+    let imm = zigzag_decode(read_varint(buf).ok_or(TraceFileError::Truncated)?);
+    let flags = take_u8(buf)?;
+    let pc = read_varint(buf).ok_or(TraceFileError::Truncated)?;
+    let next_pc = read_varint(buf).ok_or(TraceFileError::Truncated)?;
+    let addr = if flags & FLAG_ADDR != 0 {
+        Some(read_varint(buf).ok_or(TraceFileError::Truncated)?)
+    } else {
+        None
+    };
+    let rd_value = if flags & FLAG_RD_VALUE != 0 {
+        Some(read_varint(buf).ok_or(TraceFileError::Truncated)?)
+    } else {
+        None
+    };
+    let store_value = if flags & FLAG_STORE_VALUE != 0 {
+        Some(read_varint(buf).ok_or(TraceFileError::Truncated)?)
+    } else {
+        None
+    };
+    let taken = if flags & FLAG_TAKEN_PRESENT != 0 {
+        Some(flags & FLAG_TAKEN_VALUE != 0)
+    } else {
+        None
+    };
+    Ok(DynInst {
+        seq,
+        pc,
+        inst: Inst {
+            op,
+            rd,
+            rs1,
+            rs2,
+            imm,
+        },
+        next_pc,
+        addr,
+        taken,
+        rd_value,
+        store_value,
+    })
+}
+
+/// Serializes a trace to its binary representation (current version:
+/// block-framed with per-block checksums).
+pub fn write_trace(insts: &[DynInst]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(16 + insts.len() * 12);
+    buf.extend_from_slice(MAGIC);
+    buf.extend_from_slice(&VERSION.to_le_bytes());
+    write_varint(&mut buf, insts.len() as u64);
+    let mut payload = Vec::with_capacity(BLOCK_INSTS * 12);
+    for chunk in insts.chunks(BLOCK_INSTS) {
+        payload.clear();
+        for d in chunk {
+            write_record(&mut payload, d);
+        }
+        write_varint(&mut buf, chunk.len() as u64);
+        write_varint(&mut buf, payload.len() as u64);
+        buf.extend_from_slice(&payload);
+        buf.extend_from_slice(&fnv1a(&payload).to_le_bytes());
+    }
+    buf
+}
+
+/// Serializes a trace in the legacy version-1 framing: a single unframed,
+/// unchecksummed record stream. New files are always written by
+/// [`write_trace`]; this encoder exists so compatibility tests (and any
+/// tooling that must fabricate old files) can exercise the v1 read path.
+pub fn write_trace_v1(insts: &[DynInst]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(16 + insts.len() * 12);
+    buf.extend_from_slice(MAGIC);
+    buf.extend_from_slice(&VERSION_V1.to_le_bytes());
+    write_varint(&mut buf, insts.len() as u64);
+    for d in insts {
+        write_record(&mut buf, d);
+    }
+    buf
+}
+
+/// Shared cursor over a trace buffer; drives both the borrowing
+/// [`TraceReader`] and the owning [`OwnedTraceReader`].
+#[derive(Debug, Clone)]
+struct ReaderState {
+    version: u32,
+    total: u64,
+    emitted: u64,
+    /// Absolute offset of the next unread byte.
+    pos: usize,
+    /// Absolute end of the current block's payload (buffer end for v1).
+    block_end: usize,
+    /// Records remaining in the current block (whole trace for v1).
+    block_left: u64,
+    /// A decode error poisons the reader: one `Err` is yielded, then
+    /// `None` forever.
+    failed: bool,
+}
+
+impl ReaderState {
+    fn new(data: &[u8]) -> Result<ReaderState, TraceFileError> {
+        if data.len() < 8 {
+            return Err(TraceFileError::Truncated);
+        }
+        if &data[..4] != MAGIC {
+            return Err(TraceFileError::BadMagic);
+        }
+        let version = u32::from_le_bytes(data[4..8].try_into().expect("4 bytes"));
+        if version != VERSION && version != VERSION_V1 {
+            return Err(TraceFileError::BadVersion(version));
+        }
+        let mut buf = &data[8..];
+        let total = read_varint(&mut buf).ok_or(TraceFileError::Truncated)?;
+        // A record is at least 8 bytes; reject counts the buffer cannot
+        // hold before anyone reserves memory for them.
+        if total > (buf.len() / 8) as u64 {
+            return Err(TraceFileError::Truncated);
+        }
+        let pos = data.len() - buf.len();
+        let (block_end, block_left) = if version == VERSION_V1 {
+            // v1 is one unframed "block" spanning the rest of the buffer.
+            (data.len(), total)
+        } else {
+            // Force a block-header parse on the first record.
+            (pos, 0)
+        };
+        Ok(ReaderState {
+            version,
+            total,
+            emitted: 0,
+            pos,
+            block_end,
+            block_left,
+            failed: false,
+        })
+    }
+
+    /// Parses the next v2 block header and verifies its payload checksum.
+    fn enter_block(&mut self, data: &[u8]) -> Result<(), TraceFileError> {
+        if self.pos >= data.len() {
+            return Err(TraceFileError::Truncated);
+        }
+        let mut buf = &data[self.pos..];
+        let count = read_varint(&mut buf).ok_or(TraceFileError::Truncated)?;
+        let payload_len = read_varint(&mut buf).ok_or(TraceFileError::Truncated)?;
+        let payload_len = usize::try_from(payload_len).map_err(|_| TraceFileError::Truncated)?;
+        if payload_len > buf.len().saturating_sub(8) {
+            return Err(TraceFileError::Truncated);
+        }
+        let payload = &buf[..payload_len];
+        let footer = &buf[payload_len..payload_len + 8];
+        if fnv1a(payload) != u64::from_le_bytes(footer.try_into().expect("8 bytes")) {
+            return Err(TraceFileError::BadChecksum);
+        }
+        let payload_start = data.len() - buf.len();
+        self.pos = payload_start;
+        self.block_end = payload_start + payload_len;
+        self.block_left = count;
+        if count == 0 {
+            // Skip a degenerate empty block instead of spinning on it.
+            self.pos = self.block_end + 8;
+        }
+        Ok(())
+    }
+
+    fn next(&mut self, data: &[u8]) -> Option<Result<DynInst, TraceFileError>> {
+        if self.failed || self.emitted >= self.total {
+            return None;
+        }
+        while self.block_left == 0 {
+            if let Err(e) = self.enter_block(data) {
+                self.failed = true;
+                return Some(Err(e));
+            }
+        }
+        let mut buf = &data[self.pos..self.block_end];
+        match read_record(&mut buf, self.emitted) {
+            Ok(d) => {
+                self.pos = self.block_end - buf.len();
+                self.emitted += 1;
+                self.block_left -= 1;
+                if self.block_left == 0 && self.version != VERSION_V1 {
+                    // Past the payload (any slack included) and checksum.
+                    self.pos = self.block_end + 8;
+                }
+                Some(Ok(d))
+            }
+            Err(e) => {
+                self.failed = true;
+                Some(Err(e))
+            }
+        }
+    }
+
+    fn remaining(&self) -> u64 {
+        self.total - self.emitted
+    }
+}
+
+/// Streaming decoder over a borrowed trace buffer.
+///
+/// Yields one `Result<DynInst, TraceFileError>` per record, in commit
+/// order with dense `seq`, validating block checksums as each block is
+/// entered — the full decoded `Vec<DynInst>` is never materialized.
+/// Reads both the current block-framed format and legacy v1 files. The
+/// first error poisons the iterator: it is yielded once, then the
+/// iterator ends.
+#[derive(Debug, Clone)]
+pub struct TraceReader<'a> {
+    data: &'a [u8],
+    state: ReaderState,
+}
+
+impl<'a> TraceReader<'a> {
+    /// Opens a reader over an encoded trace, validating the header.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TraceFileError`] if the header is malformed, the
+    /// version is unsupported, or the declared record count cannot fit in
+    /// the buffer.
+    pub fn new(data: &'a [u8]) -> Result<TraceReader<'a>, TraceFileError> {
+        Ok(TraceReader {
+            state: ReaderState::new(data)?,
+            data,
+        })
+    }
+
+    /// Total number of records the file declares.
+    pub fn total(&self) -> u64 {
+        self.state.total
+    }
+
+    /// Format version of the underlying buffer (1 or the current version).
+    pub fn version(&self) -> u32 {
+        self.state.version
+    }
+}
+
+impl Iterator for TraceReader<'_> {
+    type Item = Result<DynInst, TraceFileError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.state.next(self.data)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.state.remaining() as usize;
+        if self.state.failed {
+            (0, Some(0))
+        } else {
+            (0, Some(rem))
+        }
+    }
+}
+
+/// Streaming decoder that owns its buffer and cannot fail.
+///
+/// Produced by [`TraceCache::open_stream`], which fully validates the
+/// file (structure, every record, every block checksum) before handing
+/// out the iterator; iteration then yields plain [`DynInst`]s. Holding
+/// the compact encoded bytes (~10 B/record) instead of the decoded
+/// vector (~100 B/record) is what lets sessions replay cached traces
+/// without materializing them.
+#[derive(Debug, Clone)]
+pub struct OwnedTraceReader {
+    data: Vec<u8>,
+    state: ReaderState,
+}
+
+impl OwnedTraceReader {
+    /// Wraps a buffer that has already been validated end to end.
+    pub(crate) fn new_validated(data: Vec<u8>) -> OwnedTraceReader {
+        let state = ReaderState::new(&data).expect("buffer was validated");
+        OwnedTraceReader { data, state }
+    }
+
+    /// Total number of records in the trace.
+    pub fn total(&self) -> u64 {
+        self.state.total
+    }
+
+    /// Records not yet yielded.
+    pub fn remaining(&self) -> u64 {
+        self.state.remaining()
+    }
+}
+
+impl Iterator for OwnedTraceReader {
+    type Item = DynInst;
+
+    fn next(&mut self) -> Option<DynInst> {
+        self.state
+            .next(&self.data)
+            .map(|r| r.expect("buffer was validated"))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.state.remaining() as usize;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for OwnedTraceReader {}
+
+/// Deserializes a trace from its binary representation (either version).
 ///
 /// # Errors
 ///
 /// Returns a [`TraceFileError`] describing the first malformation found.
 pub fn read_trace(data: &[u8]) -> Result<Vec<DynInst>, TraceFileError> {
-    let buf = &mut &data[..];
-    if buf.len() < 8 {
-        return Err(TraceFileError::Truncated);
-    }
-    let (magic, rest) = buf.split_at(4);
-    if magic != MAGIC {
-        return Err(TraceFileError::BadMagic);
-    }
-    let (ver, rest) = rest.split_at(4);
-    *buf = rest;
-    let version = u32::from_le_bytes(ver.try_into().expect("4 bytes"));
-    if version != VERSION {
-        return Err(TraceFileError::BadVersion(version));
-    }
-    let count = read_varint(buf).ok_or(TraceFileError::Truncated)?;
-    // A record is at least 8 bytes; reject counts the buffer cannot hold
-    // before reserving memory for them.
-    if count > (buf.len() / 8) as u64 {
-        return Err(TraceFileError::Truncated);
-    }
-    let mut out = Vec::with_capacity(count as usize);
-    for seq in 0..count {
-        let opcode = take_u8(buf)?;
-        let op = op_from_code(opcode).ok_or(TraceFileError::BadOpcode(opcode))?;
-        let rd = read_reg(buf)?;
-        let rs1 = read_reg(buf)?;
-        let rs2 = read_reg(buf)?;
-        let imm = zigzag_decode(read_varint(buf).ok_or(TraceFileError::Truncated)?);
-        let flags = take_u8(buf)?;
-        let pc = read_varint(buf).ok_or(TraceFileError::Truncated)?;
-        let next_pc = read_varint(buf).ok_or(TraceFileError::Truncated)?;
-        let addr = if flags & FLAG_ADDR != 0 {
-            Some(read_varint(buf).ok_or(TraceFileError::Truncated)?)
-        } else {
-            None
-        };
-        let rd_value = if flags & FLAG_RD_VALUE != 0 {
-            Some(read_varint(buf).ok_or(TraceFileError::Truncated)?)
-        } else {
-            None
-        };
-        let store_value = if flags & FLAG_STORE_VALUE != 0 {
-            Some(read_varint(buf).ok_or(TraceFileError::Truncated)?)
-        } else {
-            None
-        };
-        let taken = if flags & FLAG_TAKEN_PRESENT != 0 {
-            Some(flags & FLAG_TAKEN_VALUE != 0)
-        } else {
-            None
-        };
-        out.push(DynInst {
-            seq,
-            pc,
-            inst: Inst {
-                op,
-                rd,
-                rs1,
-                rs2,
-                imm,
-            },
-            next_pc,
-            addr,
-            taken,
-            rd_value,
-            store_value,
-        });
+    let reader = TraceReader::new(data)?;
+    // Safe to reserve: the header guard bounds `total` by the buffer size.
+    let mut out = Vec::with_capacity(reader.total() as usize);
+    for rec in reader {
+        out.push(rec?);
     }
     Ok(out)
 }
@@ -289,6 +564,21 @@ mod tests {
         trace_program(&p, 100_000).unwrap().insts().to_vec()
     }
 
+    /// Wraps `payload` (claiming `count` records) in valid v2 framing —
+    /// header, block header and a *correct* checksum — so record-level
+    /// malformations are reachable past the checksum.
+    fn frame_v2(count: u64, payload: &[u8]) -> Vec<u8> {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&VERSION.to_le_bytes());
+        write_varint(&mut buf, count);
+        write_varint(&mut buf, count);
+        write_varint(&mut buf, payload.len() as u64);
+        buf.extend_from_slice(payload);
+        buf.extend_from_slice(&fnv1a(payload).to_le_bytes());
+        buf
+    }
+
     #[test]
     fn round_trip_preserves_every_field() {
         let t = sample();
@@ -301,6 +591,39 @@ mod tests {
     fn empty_trace_round_trips() {
         let bytes = write_trace(&[]);
         assert!(read_trace(&bytes).unwrap().is_empty());
+    }
+
+    #[test]
+    fn multi_block_traces_round_trip() {
+        // Tile the sample out past several block boundaries, re-sequencing
+        // so `seq` stays dense the way a real trace is.
+        let unit = sample();
+        let mut t = Vec::new();
+        while t.len() < 3 * BLOCK_INSTS + 17 {
+            t.extend(unit.iter().copied());
+        }
+        for (i, d) in t.iter_mut().enumerate() {
+            d.seq = i as u64;
+        }
+        let bytes = write_trace(&t);
+        assert_eq!(read_trace(&bytes).unwrap(), t);
+        // And the streaming reader agrees record for record.
+        let reader = TraceReader::new(&bytes).unwrap();
+        assert_eq!(reader.total(), t.len() as u64);
+        for (got, want) in reader.zip(t.iter()) {
+            assert_eq!(&got.unwrap(), want);
+        }
+    }
+
+    #[test]
+    fn v1_files_remain_readable() {
+        let t = sample();
+        let bytes = write_trace_v1(&t);
+        assert_eq!(read_trace(&bytes).unwrap(), t);
+        let reader = TraceReader::new(&bytes).unwrap();
+        assert_eq!(reader.version(), 1);
+        let streamed: Vec<DynInst> = reader.map(|r| r.unwrap()).collect();
+        assert_eq!(streamed, t);
     }
 
     #[test]
@@ -338,22 +661,89 @@ mod tests {
     }
 
     #[test]
-    fn bad_opcode_and_register_are_rejected() {
+    fn flipped_payload_byte_fails_the_block_checksum() {
         let t = sample();
+        let mut bytes = write_trace(&t);
+        // Flip a byte well inside the first (only) block's payload: the
+        // per-block checksum catches it before record decoding trusts it.
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        assert!(matches!(
+            read_trace(&bytes),
+            Err(TraceFileError::BadChecksum)
+        ));
+    }
+
+    #[test]
+    fn streaming_reader_poisons_after_first_error() {
+        let t = sample();
+        let mut bytes = write_trace(&t);
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        let mut reader = TraceReader::new(&bytes).unwrap();
+        assert!(matches!(
+            reader.next(),
+            Some(Err(TraceFileError::BadChecksum))
+        ));
+        assert!(reader.next().is_none(), "error is terminal");
+    }
+
+    #[test]
+    fn mid_block_eof_is_truncation() {
+        let unit = sample();
+        let mut t = Vec::new();
+        // Just over one block: a full first block plus a short second one.
+        while t.len() <= BLOCK_INSTS {
+            t.extend(unit.iter().copied());
+        }
+        for (i, d) in t.iter_mut().enumerate() {
+            d.seq = i as u64;
+        }
         let good = write_trace(&t);
-        let body_start = 4 + 4 + 1; // magic + version + 1-byte count varint
-        let mut bad_op = good.clone();
-        bad_op[body_start] = 255;
+        // Cut inside the second block: the first block must still stream
+        // cleanly, then the reader reports truncation.
+        let cut = &good[..good.len() - 40];
+        let mut n = 0usize;
+        let mut saw_err = false;
+        for rec in TraceReader::new(cut).unwrap() {
+            match rec {
+                Ok(d) => {
+                    assert_eq!(d, t[n]);
+                    n += 1;
+                }
+                Err(e) => {
+                    assert!(matches!(e, TraceFileError::Truncated));
+                    saw_err = true;
+                    break;
+                }
+            }
+        }
+        assert!(saw_err, "truncation must surface as an error");
+        assert_eq!(n, BLOCK_INSTS, "the intact first block decodes fully");
+    }
+
+    #[test]
+    fn bad_opcode_and_register_are_rejected() {
+        // Record bytes: opcode, rd, rs1, rs2, imm=0, flags=0, pc=0,
+        // next_pc=0. Framed with a *valid* checksum so the record-level
+        // error is what surfaces.
+        let bad_op = frame_v2(1, &[255, 0, 0, 0, 0, 0, 0, 0]);
         assert!(matches!(
             read_trace(&bad_op),
             Err(TraceFileError::BadOpcode(255))
         ));
-        let mut bad_reg = good.clone();
-        bad_reg[body_start + 1] = 200;
+        let bad_reg = frame_v2(1, &[0, 200, 0, 0, 0, 0, 0, 0]);
         assert!(matches!(
             read_trace(&bad_reg),
             Err(TraceFileError::BadRegister(200))
         ));
+    }
+
+    #[test]
+    fn record_straddling_a_block_boundary_is_truncation() {
+        // A block whose payload ends mid-record: 4 of the 8 minimum bytes.
+        let bytes = frame_v2(1, &[0, 0, 0, 0]);
+        assert!(matches!(read_trace(&bytes), Err(TraceFileError::Truncated)));
     }
 
     #[test]

@@ -100,4 +100,16 @@ cargo build --release -q -p fgstp-bench --bin bench_hotloop
 ./target/release/bench_hotloop --schema-check=target/bench_hotloop_smoke.json
 ./target/release/bench_hotloop --schema-check=BENCH_hotloop.json
 
+echo "== functional-interpreter bench smoke + report schema check"
+# The measure run is itself a correctness smoke: it cross-checks the
+# frozen baseline and the threaded engine for identical final state on
+# all 18 kernels before timing anything. The checked-in report is held
+# to the full 10x speedup floor; the single-iteration smoke report is
+# not floor-checked here (one wall-clock sample under arbitrary load —
+# the measured floor is enforced, with tolerance, by perf_gate.sh).
+cargo build --release -q -p fgstp-bench --bin bench_functional
+./target/release/bench_functional test --iters=1 \
+  --out=target/bench_functional_smoke.json
+./target/release/bench_functional --schema-check=BENCH_functional.json
+
 echo "== verify OK"

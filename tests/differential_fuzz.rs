@@ -14,7 +14,9 @@
 //! replays exactly; divergences are collected and reported together rather
 //! than stopping at the first.
 
-use fg_stp_repro::isa::{trace_program, DynInst, Inst, Machine, Op, Program, Reg, Trace};
+use fg_stp_repro::isa::{
+    trace_program, DynInst, Inst, Machine, Op, PreProgram, Program, Reg, ThreadedMachine, Trace,
+};
 use fg_stp_repro::prelude::*;
 use fg_stp_repro::workloads::gen::Xorshift;
 
@@ -190,6 +192,86 @@ fn fgstp_matches_sequential_interpreter() {
                     reference.image[off]
                 ));
             }
+        }
+    }
+    assert!(
+        divergences.is_empty(),
+        "{} divergence(s) across {CASES} cases:\n{}",
+        divergences.len(),
+        divergences.join("\n")
+    );
+}
+
+/// 200 random programs: the threaded-code functional engine
+/// ([`ThreadedMachine`]) against the reference `Machine::step` oracle.
+/// Three agreements, all exact and all over the same seeds as the timing
+/// differential above:
+///
+/// 1. the [`DynInst`] stream off `ThreadedMachine::run_trace` is
+///    identical to `trace_program`'s (sequence numbers, pcs, operands,
+///    addresses, values — everything),
+/// 2. the untraced `run()` path — the only one using decode-time pair
+///    fusion — retires to the same final register file, and
+/// 3. its memory image is byte-exact over the whole reachable region.
+#[test]
+fn threaded_interpreter_matches_reference_oracle() {
+    let mut divergences: Vec<String> = Vec::new();
+    for case in 0..CASES {
+        let mut g = Xorshift::new(0x0DD1_0001 + case);
+        let program = arb_program(&mut g);
+        let (reference, trace) = interpret(&program);
+
+        let pre = PreProgram::new(&program);
+        let mut traced = ThreadedMachine::new(&pre);
+        let mut stream: Vec<DynInst> = Vec::new();
+        if let Err(e) = traced.run_trace(100_000, &mut stream) {
+            divergences.push(format!("case {case}: run_trace failed: {e:?}"));
+            continue;
+        }
+        if stream != trace.insts() {
+            let off = (0..stream.len().min(trace.len()))
+                .find(|&i| stream[i] != trace.insts()[i])
+                .unwrap_or_else(|| stream.len().min(trace.len()));
+            divergences.push(format!(
+                "case {case}: DynInst streams diverge at seq {off} \
+                 (threaded {} insts, reference {})",
+                stream.len(),
+                trace.len()
+            ));
+        }
+
+        let mut fused = ThreadedMachine::new(&pre);
+        if let Err(e) = fused.run(100_000) {
+            divergences.push(format!("case {case}: run() failed: {e:?}"));
+            continue;
+        }
+        if !fused.is_halted() {
+            divergences.push(format!("case {case}: run() did not halt"));
+            continue;
+        }
+        if fused.regs()[..] != reference.regs[..] {
+            let r = (0..reference.regs.len())
+                .find(|&r| fused.regs()[r] != reference.regs[r])
+                .unwrap();
+            divergences.push(format!(
+                "case {case}: run() reg x{r} = {:#x}, interpreter has {:#x}",
+                fused.regs()[r],
+                reference.regs[r]
+            ));
+        }
+        let image: Vec<u8> = (IMAGE_START..IMAGE_END)
+            .map(|a| fused.mem().read_u8(a))
+            .collect();
+        if image != reference.image {
+            let off = (0..image.len())
+                .find(|&i| image[i] != reference.image[i])
+                .unwrap();
+            divergences.push(format!(
+                "case {case}: run() memory byte 0x{:x} = {:#04x}, interpreter has {:#04x}",
+                IMAGE_START + off as u64,
+                image[off],
+                reference.image[off]
+            ));
         }
     }
     assert!(

@@ -77,11 +77,16 @@ fn cached_traces_are_bit_identical_and_warm_runs_hit() {
         fingerprint(&warm),
         "cached traces must not change any statistic"
     );
-    // Decoding a trace file is much cheaper than functional simulation;
-    // the tracing portion dominates the cold run at Test scale.
+    // Since the threaded-code interpreter landed, functional tracing is
+    // cheap enough that detailed timing simulation dominates both runs —
+    // cold and warm wall-clock are near-equal at Test scale, so a strict
+    // warm < cold assertion is a coin flip. The load-bearing checks are
+    // the hit counts and bit-identity above; here we only require that
+    // serving 18 traces from the cache is not substantially *slower*
+    // than re-tracing them.
     assert!(
-        warm_time < cold_time,
-        "warm cache should be faster: cold {cold_time:?}, warm {warm_time:?}"
+        warm_time.as_secs_f64() < cold_time.as_secs_f64() * 1.25,
+        "warm cache should not be slower: cold {cold_time:?}, warm {warm_time:?}"
     );
 
     std::fs::remove_dir_all(&dir).unwrap();
