@@ -122,7 +122,7 @@ fn main() {
     let w = by_name("hmmer_dp", Scale::Test).unwrap();
     let hmmer_len = trace_workload(&w, Scale::Test).len() as u64;
     h.bench("functional/trace_hmmer", hmmer_len, || {
-        fgstp_isa::trace_program(black_box(&w.program), 10_000_000).unwrap()
+        fgstp_isa::trace_program(black_box(w.program()), 10_000_000).unwrap()
     });
 
     // Stream building and partitioning.

@@ -622,10 +622,10 @@ fn measure(scale: Scale, iters: usize) -> (Vec<Measurement>, Vec<&'static str>) 
     );
     let mut insts = 0u64;
     for w in &suite {
-        let mut fm = frozen::Machine::new(&w.program);
+        let mut fm = frozen::Machine::new(w.program());
         fm.run(budget)
             .unwrap_or_else(|e| panic!("{} (reference): {e}", w.name));
-        let pre = PreProgram::new(&w.program);
+        let pre = PreProgram::new(w.program());
         let mut tm = ThreadedMachine::new(&pre);
         tm.run(budget)
             .unwrap_or_else(|e| panic!("{} (threaded): {e}", w.name));
@@ -646,7 +646,7 @@ fn measure(scale: Scale, iters: usize) -> (Vec<Measurement>, Vec<&'static str>) 
 
     let sweep_reference = || {
         for w in &suite {
-            let mut m = frozen::Machine::new(&w.program);
+            let mut m = frozen::Machine::new(w.program());
             black_box(m.run_trace(black_box(budget)).unwrap());
         }
     };
@@ -654,7 +654,7 @@ fn measure(scale: Scale, iters: usize) -> (Vec<Measurement>, Vec<&'static str>) 
     // resulting op tables are reused across sweeps, which is exactly how
     // `Session` and the runners consume them. Machine construction (the
     // data-segment boot) stays inside the timed region for both engines.
-    let pres: Vec<PreProgram> = suite.iter().map(|w| PreProgram::new(&w.program)).collect();
+    let pres: Vec<PreProgram> = suite.iter().map(|w| PreProgram::new(w.program())).collect();
     let sweep_threaded = || {
         for pre in &pres {
             let mut m = ThreadedMachine::new(pre);

@@ -1,0 +1,675 @@
+//! Two-pass RV32IM assembler.
+//!
+//! Accepts the standard GNU-flavoured syntax subset the in-tree programs
+//! use:
+//!
+//! * labels (`name:`, also inline before an instruction), `#` comments;
+//! * directives: `.text`, `.data <addr>` (switch emission to an absolute
+//!   data address), `.word v, ..` and `.byte v, ..` (little-endian);
+//! * every RV32IM instruction in its usual operand shape (`lw rd,
+//!   off(rs1)`, `sw rs2, off(rs1)`, `lui rd, upper20`, …), with ABI
+//!   register names (`a0`, `sp`, `t3`, …) alongside `x0`–`x31`;
+//! * the standard pseudo-instructions: `nop`, `li`, `la`, `mv`, `not`,
+//!   `neg`, `seqz`, `snez`, `j`, `jr`, `ret`, `call`, `beqz`, `bnez`,
+//!   `bltz`, `bgez`, `bgtz`, `blez`, `ble`, `bgt`, `bleu`, `bgtu`.
+//!
+//! Pass 1 sizes every statement (`li` is one instruction when its
+//! constant fits a signed 12-bit immediate, else `lui`+`addi`; `la` is
+//! always the two-instruction form) and binds labels; pass 2 resolves
+//! and encodes.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::encode::encode;
+use crate::inst::{RvInst, RvOp};
+use crate::program::{DataSegment, RvProgram};
+
+/// An assembly error, carrying the 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line number in the source.
+    pub line: usize,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+/// Parses a register name: `x0`–`x31` or an ABI name.
+fn parse_reg(s: &str) -> Option<u8> {
+    if let Some(n) = s.strip_prefix('x') {
+        return match n.parse::<u8>() {
+            Ok(v) if v < 32 => Some(v),
+            _ => None,
+        };
+    }
+    let abi = [
+        "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0", "a1", "a2", "a3", "a4",
+        "a5", "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11", "t3", "t4",
+        "t5", "t6",
+    ];
+    if s == "fp" {
+        return Some(8);
+    }
+    abi.iter().position(|&n| n == s).map(|i| i as u8)
+}
+
+/// Parses an integer literal: decimal or `0x` hex, optionally negated.
+fn parse_int(s: &str) -> Option<i64> {
+    let (neg, body) = match s.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, s),
+    };
+    let v = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
+        i64::from_str_radix(&hex.replace('_', ""), 16).ok()?
+    } else {
+        body.replace('_', "").parse::<i64>().ok()?
+    };
+    Some(if neg { -v } else { v })
+}
+
+/// One source statement after lexing: the mnemonic plus its operands.
+struct Stmt<'a> {
+    line: usize,
+    mnemonic: &'a str,
+    ops: Vec<&'a str>,
+}
+
+impl Stmt<'_> {
+    fn err(&self, msg: impl Into<String>) -> AsmError {
+        AsmError {
+            line: self.line,
+            msg: msg.into(),
+        }
+    }
+
+    fn expect_ops(&self, n: usize) -> Result<(), AsmError> {
+        if self.ops.len() == n {
+            Ok(())
+        } else {
+            Err(self.err(format!(
+                "`{}` takes {n} operand(s), got {}",
+                self.mnemonic,
+                self.ops.len()
+            )))
+        }
+    }
+
+    fn reg(&self, i: usize) -> Result<u8, AsmError> {
+        parse_reg(self.ops[i]).ok_or_else(|| self.err(format!("bad register `{}`", self.ops[i])))
+    }
+
+    fn int(&self, i: usize) -> Result<i64, AsmError> {
+        parse_int(self.ops[i])
+            .ok_or_else(|| self.err(format!("bad integer literal `{}`", self.ops[i])))
+    }
+
+    /// Parses an `off(reg)` memory operand.
+    fn mem(&self, i: usize) -> Result<(i32, u8), AsmError> {
+        let s = self.ops[i];
+        let open = s
+            .find('(')
+            .ok_or_else(|| self.err(format!("expected `off(reg)`, got `{s}`")))?;
+        let close = s
+            .strip_suffix(')')
+            .ok_or_else(|| self.err(format!("expected `off(reg)`, got `{s}`")))?;
+        let off = if open == 0 {
+            0
+        } else {
+            parse_int(&s[..open]).ok_or_else(|| self.err(format!("bad offset in `{s}`")))?
+        };
+        let reg = parse_reg(&close[open + 1..])
+            .ok_or_else(|| self.err(format!("bad register in `{s}`")))?;
+        if !(-2048..2048).contains(&off) {
+            return Err(self.err(format!("memory offset {off} exceeds ±2 KiB")));
+        }
+        Ok((off as i32, reg))
+    }
+}
+
+/// How many instructions a statement expands to (pass 1).
+fn width_of(stmt: &Stmt) -> Result<usize, AsmError> {
+    Ok(match stmt.mnemonic {
+        "li" => {
+            stmt.expect_ops(2)?;
+            let v = stmt.int(1)?;
+            if (-2048..2048).contains(&v) {
+                1
+            } else {
+                2
+            }
+        }
+        "la" => 2,
+        _ => 1,
+    })
+}
+
+/// Resolves a branch/jump target operand: a label or an absolute byte
+/// address literal. Returns the byte offset from `pc`.
+fn target_offset(
+    stmt: &Stmt,
+    i: usize,
+    labels: &HashMap<String, u32>,
+    pc: u32,
+) -> Result<i32, AsmError> {
+    let s = stmt.ops[i];
+    let abs = if let Some(&a) = labels.get(s) {
+        a
+    } else if let Some(v) = parse_int(s) {
+        v as u32
+    } else {
+        return Err(stmt.err(format!("unknown label `{s}`")));
+    };
+    Ok(abs.wrapping_sub(pc) as i32)
+}
+
+fn check_range(stmt: &Stmt, what: &str, v: i64, lo: i64, hi: i64) -> Result<i32, AsmError> {
+    if (lo..=hi).contains(&v) {
+        Ok(v as i32)
+    } else {
+        Err(stmt.err(format!("{what} {v} out of range [{lo}, {hi}]")))
+    }
+}
+
+/// Expands one statement into encoded instruction words (pass 2).
+fn assemble_stmt(
+    stmt: &Stmt,
+    labels: &HashMap<String, u32>,
+    pc: u32,
+    out: &mut Vec<u32>,
+) -> Result<(), AsmError> {
+    use RvOp::*;
+    let mut emit = |inst: RvInst| out.push(encode(&inst));
+    let r_type = |op| -> Result<RvInst, AsmError> {
+        stmt.expect_ops(3)?;
+        Ok(RvInst::r(op, stmt.reg(0)?, stmt.reg(1)?, stmt.reg(2)?))
+    };
+    let i_type = |op| -> Result<RvInst, AsmError> {
+        stmt.expect_ops(3)?;
+        let imm = check_range(stmt, "immediate", stmt.int(2)?, -2048, 2047)?;
+        Ok(RvInst::i(op, stmt.reg(0)?, stmt.reg(1)?, imm))
+    };
+    let shift = |op| -> Result<RvInst, AsmError> {
+        stmt.expect_ops(3)?;
+        let sh = check_range(stmt, "shift amount", stmt.int(2)?, 0, 31)?;
+        Ok(RvInst::i(op, stmt.reg(0)?, stmt.reg(1)?, sh))
+    };
+    let load = |op| -> Result<RvInst, AsmError> {
+        stmt.expect_ops(2)?;
+        let (off, base) = stmt.mem(1)?;
+        Ok(RvInst::i(op, stmt.reg(0)?, base, off))
+    };
+    let store = |op| -> Result<RvInst, AsmError> {
+        stmt.expect_ops(2)?;
+        let (off, base) = stmt.mem(1)?;
+        Ok(RvInst::s(op, stmt.reg(0)?, base, off))
+    };
+    let branch = |op, rs1, rs2, ti: usize| -> Result<RvInst, AsmError> {
+        let off = target_offset(stmt, ti, labels, pc)?;
+        if !(-4096..4096).contains(&off) {
+            return Err(stmt.err(format!("branch target {off} bytes away exceeds ±4 KiB")));
+        }
+        Ok(RvInst::b(op, rs1, rs2, off))
+    };
+    // Plain `op rs1, rs2, label` branch.
+    let branch3 = |op| -> Result<RvInst, AsmError> {
+        stmt.expect_ops(3)?;
+        branch(op, stmt.reg(0)?, stmt.reg(1)?, 2)
+    };
+    // `bXz rs, label` zero-compare pseudo (rs against x0, either order).
+    let branch_z = |op, swap: bool| -> Result<RvInst, AsmError> {
+        stmt.expect_ops(2)?;
+        let rs = stmt.reg(0)?;
+        let (a, b) = if swap { (0, rs) } else { (rs, 0) };
+        branch(op, a, b, 1)
+    };
+    // `ble/bgt/bleu/bgtu a, b, label`: operand-swapped real branches.
+    let branch_swapped = |op| -> Result<RvInst, AsmError> {
+        stmt.expect_ops(3)?;
+        branch(op, stmt.reg(1)?, stmt.reg(0)?, 2)
+    };
+    let upper = |op| -> Result<RvInst, AsmError> {
+        stmt.expect_ops(2)?;
+        let v = check_range(stmt, "upper immediate", stmt.int(1)?, 0, 0xf_ffff)?;
+        Ok(RvInst::u(op, stmt.reg(0)?, v << 12))
+    };
+    let jump = |rd, ti: usize| -> Result<RvInst, AsmError> {
+        let off = target_offset(stmt, ti, labels, pc)?;
+        if !(-(1 << 20)..1 << 20).contains(&off) {
+            return Err(stmt.err(format!("jump target {off} bytes away exceeds ±1 MiB")));
+        }
+        Ok(RvInst::jal(rd, off))
+    };
+
+    match stmt.mnemonic {
+        "add" => emit(r_type(Add)?),
+        "sub" => emit(r_type(Sub)?),
+        "sll" => emit(r_type(Sll)?),
+        "slt" => emit(r_type(Slt)?),
+        "sltu" => emit(r_type(Sltu)?),
+        "xor" => emit(r_type(Xor)?),
+        "srl" => emit(r_type(Srl)?),
+        "sra" => emit(r_type(Sra)?),
+        "or" => emit(r_type(Or)?),
+        "and" => emit(r_type(And)?),
+        "mul" => emit(r_type(Mul)?),
+        "mulh" => emit(r_type(Mulh)?),
+        "mulhsu" => emit(r_type(Mulhsu)?),
+        "mulhu" => emit(r_type(Mulhu)?),
+        "div" => emit(r_type(Div)?),
+        "divu" => emit(r_type(Divu)?),
+        "rem" => emit(r_type(Rem)?),
+        "remu" => emit(r_type(Remu)?),
+        "addi" => emit(i_type(Addi)?),
+        "slti" => emit(i_type(Slti)?),
+        "sltiu" => emit(i_type(Sltiu)?),
+        "xori" => emit(i_type(Xori)?),
+        "ori" => emit(i_type(Ori)?),
+        "andi" => emit(i_type(Andi)?),
+        "slli" => emit(shift(Slli)?),
+        "srli" => emit(shift(Srli)?),
+        "srai" => emit(shift(Srai)?),
+        "lb" => emit(load(Lb)?),
+        "lh" => emit(load(Lh)?),
+        "lw" => emit(load(Lw)?),
+        "lbu" => emit(load(Lbu)?),
+        "lhu" => emit(load(Lhu)?),
+        "sb" => emit(store(Sb)?),
+        "sh" => emit(store(Sh)?),
+        "sw" => emit(store(Sw)?),
+        "beq" => emit(branch3(Beq)?),
+        "bne" => emit(branch3(Bne)?),
+        "blt" => emit(branch3(Blt)?),
+        "bge" => emit(branch3(Bge)?),
+        "bltu" => emit(branch3(Bltu)?),
+        "bgeu" => emit(branch3(Bgeu)?),
+        "lui" => emit(upper(Lui)?),
+        "auipc" => emit(upper(Auipc)?),
+        "jal" => match stmt.ops.len() {
+            1 => emit(jump(1, 0)?),
+            2 => {
+                let rd = stmt.reg(0)?;
+                emit(jump(rd, 1)?);
+            }
+            _ => return Err(stmt.err("`jal` takes `[rd,] target`")),
+        },
+        "jalr" => match stmt.ops.len() {
+            1 => emit(RvInst::i(Jalr, 1, stmt.reg(0)?, 0)),
+            3 => {
+                let imm = check_range(stmt, "immediate", stmt.int(2)?, -2048, 2047)?;
+                emit(RvInst::i(Jalr, stmt.reg(0)?, stmt.reg(1)?, imm));
+            }
+            _ => return Err(stmt.err("`jalr` takes `rs` or `rd, rs1, imm`")),
+        },
+        "fence" => emit(RvInst::sys(Fence, 0x0ff)),
+        "ecall" => emit(RvInst::sys(Ecall, 0)),
+        "ebreak" => emit(RvInst::sys(Ebreak, 1)),
+
+        // Pseudo-instructions.
+        "nop" => emit(RvInst::i(Addi, 0, 0, 0)),
+        "mv" => {
+            stmt.expect_ops(2)?;
+            emit(RvInst::i(Addi, stmt.reg(0)?, stmt.reg(1)?, 0));
+        }
+        "not" => {
+            stmt.expect_ops(2)?;
+            emit(RvInst::i(Xori, stmt.reg(0)?, stmt.reg(1)?, -1));
+        }
+        "neg" => {
+            stmt.expect_ops(2)?;
+            emit(RvInst::r(Sub, stmt.reg(0)?, 0, stmt.reg(1)?));
+        }
+        "seqz" => {
+            stmt.expect_ops(2)?;
+            emit(RvInst::i(Sltiu, stmt.reg(0)?, stmt.reg(1)?, 1));
+        }
+        "snez" => {
+            stmt.expect_ops(2)?;
+            emit(RvInst::r(Sltu, stmt.reg(0)?, 0, stmt.reg(1)?));
+        }
+        "li" => {
+            stmt.expect_ops(2)?;
+            let rd = stmt.reg(0)?;
+            let v = stmt.int(1)?;
+            if !(-(1i64 << 31)..1i64 << 32).contains(&v) {
+                return Err(stmt.err(format!("`li` constant {v} does not fit 32 bits")));
+            }
+            let v = v as u32;
+            if (-2048..2048).contains(&(v as i32)) {
+                emit(RvInst::i(Addi, rd, 0, v as i32));
+            } else {
+                let hi = v.wrapping_add(0x800) & 0xffff_f000;
+                let lo = v.wrapping_sub(hi) as i32; // sign-extended low 12
+                emit(RvInst::u(Lui, rd, hi as i32));
+                emit(RvInst::i(Addi, rd, rd, lo));
+            }
+        }
+        "la" => {
+            stmt.expect_ops(2)?;
+            let rd = stmt.reg(0)?;
+            let addr = *labels
+                .get(stmt.ops[1])
+                .ok_or_else(|| stmt.err(format!("unknown label `{}`", stmt.ops[1])))?;
+            let hi = addr.wrapping_add(0x800) & 0xffff_f000;
+            let lo = addr.wrapping_sub(hi) as i32;
+            emit(RvInst::u(Lui, rd, hi as i32));
+            emit(RvInst::i(Addi, rd, rd, lo));
+        }
+        "j" => {
+            stmt.expect_ops(1)?;
+            emit(jump(0, 0)?);
+        }
+        "jr" => {
+            stmt.expect_ops(1)?;
+            emit(RvInst::i(Jalr, 0, stmt.reg(0)?, 0));
+        }
+        "ret" => {
+            stmt.expect_ops(0)?;
+            emit(RvInst::i(Jalr, 0, 1, 0));
+        }
+        "call" => {
+            stmt.expect_ops(1)?;
+            emit(jump(1, 0)?);
+        }
+        "beqz" => emit(branch_z(Beq, false)?),
+        "bnez" => emit(branch_z(Bne, false)?),
+        "bltz" => emit(branch_z(Blt, false)?),
+        "bgez" => emit(branch_z(Bge, false)?),
+        "bgtz" => emit(branch_z(Blt, true)?),
+        "blez" => emit(branch_z(Bge, true)?),
+        "ble" => emit(branch_swapped(Bge)?),
+        "bgt" => emit(branch_swapped(Blt)?),
+        "bleu" => emit(branch_swapped(Bgeu)?),
+        "bgtu" => emit(branch_swapped(Bltu)?),
+        other => return Err(stmt.err(format!("unknown mnemonic `{other}`"))),
+    }
+    Ok(())
+}
+
+/// Where the cursor currently emits.
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Text,
+    Data,
+}
+
+/// Splits one source line into (labels, statement) after comment
+/// stripping.
+fn lex_line(line: &str, lineno: usize) -> Result<(Vec<&str>, Option<Stmt<'_>>), AsmError> {
+    let line = line.split('#').next().unwrap_or("").trim();
+    let mut labels = Vec::new();
+    let mut rest = line;
+    while let Some(colon) = rest.find(':') {
+        let head = rest[..colon].trim();
+        // A colon inside an operand (there are none in this syntax) would
+        // break this, but labels must be leading identifiers.
+        if head.is_empty()
+            || !head
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+        {
+            break;
+        }
+        labels.push(head);
+        rest = rest[colon + 1..].trim_start();
+    }
+    if rest.is_empty() {
+        return Ok((labels, None));
+    }
+    let (mnemonic, ops_text) = match rest.split_once(char::is_whitespace) {
+        Some((m, o)) => (m, o.trim()),
+        None => (rest, ""),
+    };
+    let ops: Vec<&str> = if ops_text.is_empty() {
+        Vec::new()
+    } else {
+        ops_text.split(',').map(str::trim).collect()
+    };
+    if ops.iter().any(|o| o.is_empty()) {
+        return Err(AsmError {
+            line: lineno,
+            msg: format!("empty operand in `{rest}`"),
+        });
+    }
+    Ok((
+        labels,
+        Some(Stmt {
+            line: lineno,
+            mnemonic,
+            ops,
+        }),
+    ))
+}
+
+/// Assembles RV32IM source into an [`RvProgram`].
+///
+/// # Errors
+///
+/// Returns the first [`AsmError`] encountered: unknown mnemonics or
+/// labels, operand-shape mismatches, and out-of-range immediates or
+/// branch displacements.
+pub fn assemble_rv(src: &str) -> Result<RvProgram, AsmError> {
+    // Pass 1: bind labels, size the text segment, lay out data.
+    let mut labels: HashMap<String, u32> = HashMap::new();
+    let mut mode = Mode::Text;
+    let mut text_len: u32 = 0;
+    let mut data_cursor: u32 = 0;
+    for (i, line) in src.lines().enumerate() {
+        let lineno = i + 1;
+        let (line_labels, stmt) = lex_line(line, lineno)?;
+        for l in line_labels {
+            let addr = match mode {
+                Mode::Text => text_len * 4,
+                Mode::Data => data_cursor,
+            };
+            if labels.insert(l.to_owned(), addr).is_some() {
+                return Err(AsmError {
+                    line: lineno,
+                    msg: format!("duplicate label `{l}`"),
+                });
+            }
+        }
+        let Some(stmt) = stmt else { continue };
+        match stmt.mnemonic {
+            ".text" => mode = Mode::Text,
+            ".data" => {
+                stmt.expect_ops(1)?;
+                let addr = stmt.int(0)?;
+                data_cursor = check_range(&stmt, ".data address", addr, 0, u32::MAX as i64)? as u32;
+                mode = Mode::Data;
+            }
+            ".word" => {
+                if mode != Mode::Data {
+                    return Err(stmt.err("`.word` outside a `.data` section"));
+                }
+                data_cursor += 4 * stmt.ops.len() as u32;
+            }
+            ".byte" => {
+                if mode != Mode::Data {
+                    return Err(stmt.err("`.byte` outside a `.data` section"));
+                }
+                data_cursor += stmt.ops.len() as u32;
+            }
+            _ => {
+                if mode != Mode::Text {
+                    return Err(stmt.err("instruction outside the `.text` section"));
+                }
+                text_len += width_of(&stmt)? as u32;
+            }
+        }
+    }
+
+    // Pass 2: emit.
+    let mut text: Vec<u32> = Vec::with_capacity(text_len as usize);
+    let mut data: Vec<DataSegment> = Vec::new();
+    let mut segment: Option<DataSegment> = None;
+    for (i, line) in src.lines().enumerate() {
+        let (_, stmt) = lex_line(line, i + 1)?;
+        let Some(stmt) = stmt else { continue };
+        match stmt.mnemonic {
+            ".text" => {}
+            ".data" => {
+                if let Some(seg) = segment.take() {
+                    data.push(seg);
+                }
+                segment = Some(DataSegment {
+                    base: stmt.int(0)? as u32,
+                    bytes: Vec::new(),
+                });
+            }
+            ".word" => {
+                let seg = segment.as_mut().expect("pass 1 checked the mode");
+                for j in 0..stmt.ops.len() {
+                    let v = check_range(
+                        &stmt,
+                        ".word value",
+                        stmt.int(j)?,
+                        i32::MIN as i64,
+                        u32::MAX as i64,
+                    )?;
+                    seg.bytes.extend_from_slice(&(v as u32).to_le_bytes());
+                }
+            }
+            ".byte" => {
+                let seg = segment.as_mut().expect("pass 1 checked the mode");
+                for j in 0..stmt.ops.len() {
+                    let v = check_range(&stmt, ".byte value", stmt.int(j)?, -128, 255)?;
+                    seg.bytes.push(v as u8);
+                }
+            }
+            _ => {
+                let pc = text.len() as u32 * 4;
+                assemble_stmt(&stmt, &labels, pc, &mut text)?;
+            }
+        }
+    }
+    if let Some(seg) = segment.take() {
+        data.push(seg);
+    }
+    debug_assert_eq!(text.len() as u32, text_len, "pass 1 and pass 2 agree");
+    Ok(RvProgram { text, data })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decode::decode;
+
+    #[test]
+    fn assembles_labels_and_branches() {
+        let p = assemble_rv(
+            r#"
+                li   t0, 5        # counter
+            loop:
+                addi t0, t0, -1
+                bnez t0, loop
+                ecall
+            "#,
+        )
+        .unwrap();
+        assert_eq!(p.len(), 4);
+        // bnez expands to bne t0, x0, -4.
+        assert_eq!(decode(p.text[2]).unwrap(), RvInst::b(RvOp::Bne, 5, 0, -4));
+    }
+
+    #[test]
+    fn li_width_depends_on_the_constant() {
+        let small = assemble_rv("li a0, 100\necall").unwrap();
+        assert_eq!(small.len(), 2);
+        let large = assemble_rv("li a0, 0x12345\necall").unwrap();
+        assert_eq!(large.len(), 3);
+        let negative = assemble_rv("li a0, -1\necall").unwrap();
+        assert_eq!(negative.len(), 2);
+    }
+
+    #[test]
+    fn la_resolves_data_labels() {
+        let p = assemble_rv(
+            r#"
+                la   a0, table
+                lw   a1, 0(a0)
+                ecall
+            .data 0x2000
+            table:
+                .word 7, 8, 9
+            "#,
+        )
+        .unwrap();
+        assert_eq!(p.len(), 4); // la (2) + lw + ecall
+        assert_eq!(p.data.len(), 1);
+        assert_eq!(p.data[0].base, 0x2000);
+        assert_eq!(p.data[0].bytes.len(), 12);
+        assert_eq!(&p.data[0].bytes[..4], &7u32.to_le_bytes());
+        // la → lui a0, 0x2 ; addi a0, a0, 0.
+        assert_eq!(decode(p.text[0]).unwrap(), RvInst::u(RvOp::Lui, 10, 0x2000));
+        assert_eq!(decode(p.text[1]).unwrap(), RvInst::i(RvOp::Addi, 10, 10, 0));
+    }
+
+    #[test]
+    fn abi_register_names_match_numbers() {
+        let p = assemble_rv("add a0, sp, t3\necall").unwrap();
+        assert_eq!(decode(p.text[0]).unwrap(), RvInst::r(RvOp::Add, 10, 2, 28));
+        let q = assemble_rv("add x10, x2, x28\necall").unwrap();
+        assert_eq!(p.text[0], q.text[0]);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = assemble_rv("nop\nfrobnicate a0\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.msg.contains("frobnicate"));
+        let e = assemble_rv("beq a0, a1, nowhere").unwrap_err();
+        assert!(e.msg.contains("nowhere"));
+        let e = assemble_rv("addi a0, a1, 5000").unwrap_err();
+        assert!(e.msg.contains("out of range"));
+        let e = assemble_rv("dup: nop\ndup: nop").unwrap_err();
+        assert!(e.msg.contains("duplicate"));
+    }
+
+    #[test]
+    fn pseudo_expansions_are_canonical() {
+        let p = assemble_rv(
+            r#"
+                nop
+                mv   a1, a2
+                not  a1, a2
+                neg  a1, a2
+                seqz a1, a2
+                snez a1, a2
+                jr   ra
+                ret
+            "#,
+        )
+        .unwrap();
+        let d: Vec<RvInst> = p.text.iter().map(|&w| decode(w).unwrap()).collect();
+        assert_eq!(d[0], RvInst::i(RvOp::Addi, 0, 0, 0));
+        assert_eq!(d[1], RvInst::i(RvOp::Addi, 11, 12, 0));
+        assert_eq!(d[2], RvInst::i(RvOp::Xori, 11, 12, -1));
+        assert_eq!(d[3], RvInst::r(RvOp::Sub, 11, 0, 12));
+        assert_eq!(d[4], RvInst::i(RvOp::Sltiu, 11, 12, 1));
+        assert_eq!(d[5], RvInst::r(RvOp::Sltu, 11, 0, 12));
+        assert_eq!(d[6], RvInst::i(RvOp::Jalr, 0, 1, 0));
+        assert_eq!(d[7], RvInst::i(RvOp::Jalr, 0, 1, 0));
+    }
+
+    #[test]
+    fn call_links_and_jumps_forward() {
+        let p = assemble_rv(
+            r#"
+                call fn
+                ecall
+            fn:
+                ret
+            "#,
+        )
+        .unwrap();
+        assert_eq!(decode(p.text[0]).unwrap(), RvInst::jal(1, 8));
+    }
+}

@@ -1,0 +1,269 @@
+//! RV32IM instruction decoder: 32-bit words to typed [`RvInst`]s.
+
+use std::fmt;
+
+use crate::inst::{RvInst, RvOp};
+
+/// A word the decoder does not recognise as RV32IM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeError {
+    /// The offending instruction word.
+    pub word: u32,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "illegal RV32IM instruction word {:#010x}", self.word)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn rd(w: u32) -> u8 {
+    ((w >> 7) & 0x1f) as u8
+}
+
+fn rs1(w: u32) -> u8 {
+    ((w >> 15) & 0x1f) as u8
+}
+
+fn rs2(w: u32) -> u8 {
+    ((w >> 20) & 0x1f) as u8
+}
+
+fn funct3(w: u32) -> u32 {
+    (w >> 12) & 0x7
+}
+
+fn funct7(w: u32) -> u32 {
+    w >> 25
+}
+
+/// Sign-extended 12-bit I-type immediate.
+fn imm_i(w: u32) -> i32 {
+    (w as i32) >> 20
+}
+
+/// Sign-extended 12-bit S-type immediate.
+fn imm_s(w: u32) -> i32 {
+    (((w as i32) >> 25) << 5) | ((w >> 7) & 0x1f) as i32
+}
+
+/// Sign-extended 13-bit B-type byte offset (bit 0 is zero).
+fn imm_b(w: u32) -> i32 {
+    let sign = (w as i32) >> 31; // bit 12
+    (sign << 12)
+        | (((w >> 7) & 0x1) as i32) << 11
+        | (((w >> 25) & 0x3f) as i32) << 5
+        | (((w >> 8) & 0xf) as i32) << 1
+}
+
+/// U-type constant: the upper 20 bits, already shifted into place.
+fn imm_u(w: u32) -> i32 {
+    (w & 0xffff_f000) as i32
+}
+
+/// Sign-extended 21-bit J-type byte offset (bit 0 is zero).
+fn imm_j(w: u32) -> i32 {
+    let sign = (w as i32) >> 31; // bit 20
+    (sign << 20)
+        | (((w >> 12) & 0xff) as i32) << 12
+        | (((w >> 20) & 0x1) as i32) << 11
+        | (((w >> 21) & 0x3ff) as i32) << 1
+}
+
+/// Decodes one 32-bit instruction word.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] carrying the word when it is not a valid
+/// RV32IM encoding (reserved opcode, bad funct7, compressed-width low
+/// bits, …).
+pub fn decode(w: u32) -> Result<RvInst, DecodeError> {
+    use RvOp::*;
+    let err = Err(DecodeError { word: w });
+    if w & 0x3 != 0x3 {
+        // 16-bit (compressed) or reserved instruction widths.
+        return err;
+    }
+    let opcode = w & 0x7f;
+    let inst = match opcode {
+        // LUI / AUIPC.
+        0b0110111 => RvInst::u(Lui, rd(w), imm_u(w)),
+        0b0010111 => RvInst::u(Auipc, rd(w), imm_u(w)),
+        // JAL.
+        0b1101111 => RvInst::jal(rd(w), imm_j(w)),
+        // JALR.
+        0b1100111 => {
+            if funct3(w) != 0 {
+                return err;
+            }
+            RvInst::i(Jalr, rd(w), rs1(w), imm_i(w))
+        }
+        // Branches.
+        0b1100011 => {
+            let op = match funct3(w) {
+                0b000 => Beq,
+                0b001 => Bne,
+                0b100 => Blt,
+                0b101 => Bge,
+                0b110 => Bltu,
+                0b111 => Bgeu,
+                _ => return err,
+            };
+            RvInst::b(op, rs1(w), rs2(w), imm_b(w))
+        }
+        // Loads.
+        0b0000011 => {
+            let op = match funct3(w) {
+                0b000 => Lb,
+                0b001 => Lh,
+                0b010 => Lw,
+                0b100 => Lbu,
+                0b101 => Lhu,
+                _ => return err,
+            };
+            RvInst::i(op, rd(w), rs1(w), imm_i(w))
+        }
+        // Stores.
+        0b0100011 => {
+            let op = match funct3(w) {
+                0b000 => Sb,
+                0b001 => Sh,
+                0b010 => Sw,
+                _ => return err,
+            };
+            RvInst::s(op, rs2(w), rs1(w), imm_s(w))
+        }
+        // OP-IMM.
+        0b0010011 => {
+            let f3 = funct3(w);
+            let op = match f3 {
+                0b000 => Addi,
+                0b010 => Slti,
+                0b011 => Sltiu,
+                0b100 => Xori,
+                0b110 => Ori,
+                0b111 => Andi,
+                0b001 => {
+                    if funct7(w) != 0 {
+                        return err;
+                    }
+                    Slli
+                }
+                0b101 => match funct7(w) {
+                    0b0000000 => Srli,
+                    0b0100000 => Srai,
+                    _ => return err,
+                },
+                _ => unreachable!("funct3 is 3 bits"),
+            };
+            let imm = match op {
+                Slli | Srli | Srai => rs2(w) as i32, // shamt
+                _ => imm_i(w),
+            };
+            RvInst::i(op, rd(w), rs1(w), imm)
+        }
+        // OP.
+        0b0110011 => {
+            let op = match (funct7(w), funct3(w)) {
+                (0b0000000, 0b000) => Add,
+                (0b0100000, 0b000) => Sub,
+                (0b0000000, 0b001) => Sll,
+                (0b0000000, 0b010) => Slt,
+                (0b0000000, 0b011) => Sltu,
+                (0b0000000, 0b100) => Xor,
+                (0b0000000, 0b101) => Srl,
+                (0b0100000, 0b101) => Sra,
+                (0b0000000, 0b110) => Or,
+                (0b0000000, 0b111) => And,
+                (0b0000001, 0b000) => Mul,
+                (0b0000001, 0b001) => Mulh,
+                (0b0000001, 0b010) => Mulhsu,
+                (0b0000001, 0b011) => Mulhu,
+                (0b0000001, 0b100) => Div,
+                (0b0000001, 0b101) => Divu,
+                (0b0000001, 0b110) => Rem,
+                (0b0000001, 0b111) => Remu,
+                _ => return err,
+            };
+            RvInst::r(op, rd(w), rs1(w), rs2(w))
+        }
+        // MISC-MEM: fence (pred/succ kept in imm for round-tripping).
+        0b0001111 => {
+            if funct3(w) != 0 || rd(w) != 0 || rs1(w) != 0 {
+                return err;
+            }
+            RvInst::sys(Fence, imm_i(w))
+        }
+        // SYSTEM: ecall / ebreak.
+        0b1110011 => {
+            if funct3(w) != 0 || rd(w) != 0 || rs1(w) != 0 {
+                return err;
+            }
+            match imm_i(w) {
+                0 => RvInst::sys(Ecall, 0),
+                1 => RvInst::sys(Ebreak, 1),
+                _ => return err,
+            }
+        }
+        _ => return err,
+    };
+    Ok(inst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decodes_reference_encodings() {
+        // Encodings cross-checked against the RISC-V ISA manual examples.
+        assert_eq!(decode(0x00000013).unwrap(), RvInst::i(RvOp::Addi, 0, 0, 0)); // nop
+        assert_eq!(
+            decode(0x00b50633).unwrap(),
+            RvInst::r(RvOp::Add, 12, 10, 11)
+        );
+        assert_eq!(
+            decode(0x40b50633).unwrap(),
+            RvInst::r(RvOp::Sub, 12, 10, 11)
+        );
+        assert_eq!(
+            decode(0x02b50633).unwrap(),
+            RvInst::r(RvOp::Mul, 12, 10, 11)
+        );
+        assert_eq!(
+            decode(0xfff00593).unwrap(),
+            RvInst::i(RvOp::Addi, 11, 0, -1)
+        );
+        assert_eq!(
+            decode(0x000105b7).unwrap(),
+            RvInst::u(RvOp::Lui, 11, 0x10000)
+        );
+        assert_eq!(decode(0xff872283).unwrap(), RvInst::i(RvOp::Lw, 5, 14, -8));
+        assert_eq!(decode(0x00552423).unwrap(), RvInst::s(RvOp::Sw, 5, 10, 8));
+        assert_eq!(decode(0x00000073).unwrap(), RvInst::sys(RvOp::Ecall, 0));
+        assert_eq!(decode(0x00100073).unwrap(), RvInst::sys(RvOp::Ebreak, 1));
+    }
+
+    #[test]
+    fn branch_offset_reassembles_with_sign() {
+        // beq x1, x2, -4 (backward by one instruction).
+        let w = decode(0xfe208ee3).unwrap();
+        assert_eq!(w, RvInst::b(RvOp::Beq, 1, 2, -4));
+    }
+
+    #[test]
+    fn jal_offset_reassembles_with_sign() {
+        // jal x1, -16.
+        let w = decode(0xff1ff0ef).unwrap();
+        assert_eq!(w, RvInst::jal(1, -16));
+    }
+
+    #[test]
+    fn rejects_compressed_and_reserved_words() {
+        assert!(decode(0x0000).is_err()); // all-zero (compressed width)
+        assert!(decode(0xffff_ffff).is_err());
+        assert!(decode(0x0000007f).is_err()); // reserved major opcode
+    }
+}

@@ -1,0 +1,464 @@
+//! RV32IM functional emulator.
+//!
+//! A plain fetch–decode–execute interpreter over an [`RvProgram`]:
+//! 32 × 32-bit integer registers, a byte-addressed sparse memory
+//! (zero-filled 4 KiB pages on demand), and the M-extension edge
+//! semantics mandated by the ISA spec (division by zero yields all-ones
+//! / the dividend, `INT_MIN / -1` wraps). `fence` is a no-op; `ecall`
+//! and `ebreak` halt cleanly — the in-tree programs use `ecall` as their
+//! exit convention.
+//!
+//! Misaligned loads and stores are executed byte-wise (no trap), matching
+//! a core with hardware misalignment support; the in-tree programs only
+//! issue naturally aligned accesses.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::decode::{decode, DecodeError};
+use crate::inst::{RvInst, RvOp};
+use crate::program::RvProgram;
+
+const PAGE_SHIFT: u32 = 12;
+const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
+
+/// Error from RV32 functional execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RvError {
+    /// The pc left the text segment (or lost 4-byte alignment).
+    BadPc {
+        /// The offending byte pc.
+        pc: u32,
+    },
+    /// An instruction word did not decode.
+    Illegal(DecodeError),
+    /// The step budget ran out before `ecall`/`ebreak`.
+    StepLimit {
+        /// The exhausted budget.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for RvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RvError::BadPc { pc } => write!(f, "pc {pc:#x} outside the text segment"),
+            RvError::Illegal(e) => write!(f, "{e}"),
+            RvError::StepLimit { limit } => {
+                write!(f, "program did not halt within {limit} steps")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RvError {}
+
+impl From<DecodeError> for RvError {
+    fn from(e: DecodeError) -> RvError {
+        RvError::Illegal(e)
+    }
+}
+
+/// One committed RV32 instruction with everything a trace needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RvCommit {
+    /// Byte pc of the instruction.
+    pub pc: u32,
+    /// The decoded instruction.
+    pub inst: RvInst,
+    /// Byte pc of the next instruction on the committed path.
+    pub next_pc: u32,
+    /// Effective byte address, for loads and stores.
+    pub addr: Option<u32>,
+    /// Outcome, for conditional branches.
+    pub taken: Option<bool>,
+    /// Value written to `rd` (absent for x0 and non-writing ops).
+    pub rd_value: Option<u32>,
+    /// Value stored, for stores.
+    pub store_value: Option<u32>,
+    /// Whether this instruction halted the machine (`ecall`/`ebreak`).
+    pub halted: bool,
+}
+
+/// The RV32IM machine state.
+pub struct RvMachine {
+    regs: [u32; 32],
+    pc: u32,
+    /// Pre-decoded text segment (index = byte pc / 4).
+    text: Vec<RvInst>,
+    pages: HashMap<u32, Box<[u8; PAGE_SIZE]>>,
+    halted: bool,
+}
+
+impl RvMachine {
+    /// Builds a machine: decodes the text segment and loads the data
+    /// segments.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RvError::Illegal`] if a text word is not valid RV32IM.
+    pub fn new(program: &RvProgram) -> Result<RvMachine, RvError> {
+        let text = program
+            .text
+            .iter()
+            .map(|&w| decode(w))
+            .collect::<Result<Vec<_>, _>>()?;
+        let mut m = RvMachine {
+            regs: [0; 32],
+            pc: 0,
+            text,
+            pages: HashMap::new(),
+            halted: false,
+        };
+        for seg in &program.data {
+            for (i, &b) in seg.bytes.iter().enumerate() {
+                m.write_byte(seg.base.wrapping_add(i as u32), b);
+            }
+        }
+        Ok(m)
+    }
+
+    /// Current register file (x0 is always zero).
+    pub fn regs(&self) -> &[u32; 32] {
+        &self.regs
+    }
+
+    /// Current byte pc.
+    pub fn pc(&self) -> u32 {
+        self.pc
+    }
+
+    /// Whether the machine has executed `ecall`/`ebreak`.
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    fn page(&mut self, addr: u32) -> &mut [u8; PAGE_SIZE] {
+        self.pages
+            .entry(addr >> PAGE_SHIFT)
+            .or_insert_with(|| Box::new([0; PAGE_SIZE]))
+    }
+
+    fn write_byte(&mut self, addr: u32, b: u8) {
+        self.page(addr)[(addr as usize) & (PAGE_SIZE - 1)] = b;
+    }
+
+    fn read_byte(&self, addr: u32) -> u8 {
+        match self.pages.get(&(addr >> PAGE_SHIFT)) {
+            Some(p) => p[(addr as usize) & (PAGE_SIZE - 1)],
+            None => 0,
+        }
+    }
+
+    /// Reads `len` (≤ 8) little-endian bytes, zero-extended — the same
+    /// shape as the SimRISC `Memory::read` accessor, so checksum checks
+    /// look identical across frontends.
+    pub fn read(&self, addr: u32, len: usize) -> u64 {
+        debug_assert!(len <= 8);
+        let mut v = 0u64;
+        for i in (0..len).rev() {
+            v = v << 8 | self.read_byte(addr.wrapping_add(i as u32)) as u64;
+        }
+        v
+    }
+
+    fn write(&mut self, addr: u32, len: usize, value: u32) {
+        let bytes = value.to_le_bytes();
+        for (i, &b) in bytes.iter().take(len).enumerate() {
+            self.write_byte(addr.wrapping_add(i as u32), b);
+        }
+    }
+
+    fn set_rd(&mut self, rd: u8, value: u32) -> Option<u32> {
+        if rd == 0 {
+            return None;
+        }
+        self.regs[rd as usize] = value;
+        Some(value)
+    }
+
+    /// Executes one instruction, returning its commit record.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RvError::BadPc`] when the pc leaves the text segment or
+    /// loses alignment (e.g. a wild `jalr`). Calling `step` on a halted
+    /// machine also reports the (now out-of-band) pc.
+    pub fn step(&mut self) -> Result<RvCommit, RvError> {
+        use RvOp::*;
+        let pc = self.pc;
+        if self.halted || !pc.is_multiple_of(4) || (pc / 4) as usize >= self.text.len() {
+            return Err(RvError::BadPc { pc });
+        }
+        let inst = self.text[(pc / 4) as usize];
+        let rs1 = self.regs[inst.rs1 as usize];
+        let rs2 = self.regs[inst.rs2 as usize];
+        let imm = inst.imm;
+        let mut commit = RvCommit {
+            pc,
+            inst,
+            next_pc: pc.wrapping_add(4),
+            addr: None,
+            taken: None,
+            rd_value: None,
+            store_value: None,
+            halted: false,
+        };
+        match inst.op {
+            Add => commit.rd_value = self.set_rd(inst.rd, rs1.wrapping_add(rs2)),
+            Sub => commit.rd_value = self.set_rd(inst.rd, rs1.wrapping_sub(rs2)),
+            Sll => commit.rd_value = self.set_rd(inst.rd, rs1 << (rs2 & 31)),
+            Slt => commit.rd_value = self.set_rd(inst.rd, ((rs1 as i32) < rs2 as i32) as u32),
+            Sltu => commit.rd_value = self.set_rd(inst.rd, (rs1 < rs2) as u32),
+            Xor => commit.rd_value = self.set_rd(inst.rd, rs1 ^ rs2),
+            Srl => commit.rd_value = self.set_rd(inst.rd, rs1 >> (rs2 & 31)),
+            Sra => commit.rd_value = self.set_rd(inst.rd, ((rs1 as i32) >> (rs2 & 31)) as u32),
+            Or => commit.rd_value = self.set_rd(inst.rd, rs1 | rs2),
+            And => commit.rd_value = self.set_rd(inst.rd, rs1 & rs2),
+            Mul => commit.rd_value = self.set_rd(inst.rd, rs1.wrapping_mul(rs2)),
+            Mulh => {
+                let p = (rs1 as i32 as i64).wrapping_mul(rs2 as i32 as i64);
+                commit.rd_value = self.set_rd(inst.rd, (p >> 32) as u32);
+            }
+            Mulhsu => {
+                let p = (rs1 as i32 as i64).wrapping_mul(rs2 as i64);
+                commit.rd_value = self.set_rd(inst.rd, (p >> 32) as u32);
+            }
+            Mulhu => {
+                let p = (rs1 as u64).wrapping_mul(rs2 as u64);
+                commit.rd_value = self.set_rd(inst.rd, (p >> 32) as u32);
+            }
+            Div => {
+                let v = match (rs1 as i32, rs2 as i32) {
+                    (_, 0) => -1,
+                    (i32::MIN, -1) => i32::MIN,
+                    (a, b) => a / b,
+                };
+                commit.rd_value = self.set_rd(inst.rd, v as u32);
+            }
+            Divu => {
+                let v = rs1.checked_div(rs2).unwrap_or(u32::MAX);
+                commit.rd_value = self.set_rd(inst.rd, v);
+            }
+            Rem => {
+                let v = match (rs1 as i32, rs2 as i32) {
+                    (a, 0) => a,
+                    (i32::MIN, -1) => 0,
+                    (a, b) => a % b,
+                };
+                commit.rd_value = self.set_rd(inst.rd, v as u32);
+            }
+            Remu => {
+                let v = rs1.checked_rem(rs2).unwrap_or(rs1);
+                commit.rd_value = self.set_rd(inst.rd, v);
+            }
+            Addi => commit.rd_value = self.set_rd(inst.rd, rs1.wrapping_add(imm as u32)),
+            Slti => commit.rd_value = self.set_rd(inst.rd, ((rs1 as i32) < imm) as u32),
+            Sltiu => commit.rd_value = self.set_rd(inst.rd, (rs1 < imm as u32) as u32),
+            Xori => commit.rd_value = self.set_rd(inst.rd, rs1 ^ imm as u32),
+            Ori => commit.rd_value = self.set_rd(inst.rd, rs1 | imm as u32),
+            Andi => commit.rd_value = self.set_rd(inst.rd, rs1 & imm as u32),
+            Slli => commit.rd_value = self.set_rd(inst.rd, rs1 << imm),
+            Srli => commit.rd_value = self.set_rd(inst.rd, rs1 >> imm),
+            Srai => commit.rd_value = self.set_rd(inst.rd, ((rs1 as i32) >> imm) as u32),
+            Lb | Lh | Lw | Lbu | Lhu => {
+                let addr = rs1.wrapping_add(imm as u32);
+                commit.addr = Some(addr);
+                let v = match inst.op {
+                    Lb => self.read(addr, 1) as u8 as i8 as i32 as u32,
+                    Lbu => self.read(addr, 1) as u32,
+                    Lh => self.read(addr, 2) as u16 as i16 as i32 as u32,
+                    Lhu => self.read(addr, 2) as u32,
+                    _ => self.read(addr, 4) as u32,
+                };
+                commit.rd_value = self.set_rd(inst.rd, v);
+            }
+            Sb | Sh | Sw => {
+                let addr = rs1.wrapping_add(imm as u32);
+                let len = match inst.op {
+                    Sb => 1,
+                    Sh => 2,
+                    _ => 4,
+                };
+                commit.addr = Some(addr);
+                commit.store_value = Some(rs2);
+                self.write(addr, len, rs2);
+            }
+            Beq | Bne | Blt | Bge | Bltu | Bgeu => {
+                let taken = match inst.op {
+                    Beq => rs1 == rs2,
+                    Bne => rs1 != rs2,
+                    Blt => (rs1 as i32) < rs2 as i32,
+                    Bge => (rs1 as i32) >= rs2 as i32,
+                    Bltu => rs1 < rs2,
+                    _ => rs1 >= rs2,
+                };
+                commit.taken = Some(taken);
+                if taken {
+                    commit.next_pc = pc.wrapping_add(imm as u32);
+                }
+            }
+            Lui => commit.rd_value = self.set_rd(inst.rd, imm as u32),
+            Auipc => commit.rd_value = self.set_rd(inst.rd, pc.wrapping_add(imm as u32)),
+            Jal => {
+                commit.rd_value = self.set_rd(inst.rd, pc.wrapping_add(4));
+                commit.next_pc = pc.wrapping_add(imm as u32);
+            }
+            Jalr => {
+                let target = rs1.wrapping_add(imm as u32) & !1;
+                commit.rd_value = self.set_rd(inst.rd, pc.wrapping_add(4));
+                commit.next_pc = target;
+            }
+            Fence => {}
+            Ecall | Ebreak => {
+                self.halted = true;
+                commit.halted = true;
+                commit.next_pc = pc;
+            }
+        }
+        self.pc = commit.next_pc;
+        Ok(commit)
+    }
+
+    /// Runs until `ecall`/`ebreak`, for at most `limit` instructions.
+    ///
+    /// # Errors
+    ///
+    /// [`RvError::StepLimit`] when the budget runs out,
+    /// [`RvError::BadPc`] when control flow escapes the text segment.
+    pub fn run(&mut self, limit: u64) -> Result<u64, RvError> {
+        for n in 0..limit {
+            if self.step()?.halted {
+                return Ok(n + 1);
+            }
+        }
+        Err(RvError::StepLimit { limit })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble_rv;
+
+    fn run(src: &str) -> RvMachine {
+        let p = assemble_rv(src).unwrap();
+        let mut m = RvMachine::new(&p).unwrap();
+        m.run(1_000_000).unwrap();
+        m
+    }
+
+    #[test]
+    fn computes_a_sum_loop() {
+        let m = run(r#"
+                li t0, 0        # sum
+                li t1, 10       # i
+            loop:
+                add t0, t0, t1
+                addi t1, t1, -1
+                bnez t1, loop
+                ecall
+            "#);
+        assert_eq!(m.regs()[5], 55);
+    }
+
+    #[test]
+    fn m_extension_edge_semantics() {
+        let m = run(r#"
+                li  t0, 7
+                li  t1, 0
+                div  t2, t0, t1      # /0 -> -1
+                divu t3, t0, t1      # /0 -> 2^32-1
+                rem  t4, t0, t1      # %0 -> dividend
+                li  t5, -2147483648
+                li  t6, -1
+                div  s2, t5, t6      # overflow -> INT_MIN
+                rem  s3, t5, t6      # overflow -> 0
+                mulh s4, t5, t6      # high half
+                ecall
+            "#);
+        assert_eq!(m.regs()[7] as i32, -1);
+        assert_eq!(m.regs()[28], u32::MAX);
+        assert_eq!(m.regs()[29], 7);
+        assert_eq!(m.regs()[18], i32::MIN as u32);
+        assert_eq!(m.regs()[19], 0);
+        // (-2^31) * (-1) = 2^31; high 32 bits are 0.
+        assert_eq!(m.regs()[20], 0);
+    }
+
+    #[test]
+    fn memory_subword_accesses_sign_extend() {
+        let m = run(r#"
+                li  t0, 0x3000
+                li  t1, -2
+                sb  t1, 0(t0)
+                lb  t2, 0(t0)
+                lbu t3, 0(t0)
+                li  t4, -300
+                sh  t4, 4(t0)
+                lh  t5, 4(t0)
+                lhu t6, 4(t0)
+                ecall
+            "#);
+        assert_eq!(m.regs()[7] as i32, -2);
+        assert_eq!(m.regs()[28], 0xfe);
+        assert_eq!(m.regs()[30] as i32, -300);
+        assert_eq!(m.regs()[31], 0x1_0000 - 300);
+    }
+
+    #[test]
+    fn unwritten_memory_reads_zero() {
+        let m = run("li t0, 0x9000\nlw t1, 0(t0)\necall");
+        assert_eq!(m.regs()[6], 0);
+        assert_eq!(m.read(0x123456, 8), 0);
+    }
+
+    #[test]
+    fn data_segments_are_loaded() {
+        let p = assemble_rv(
+            r#"
+                la a0, tbl
+                lw a1, 4(a0)
+                ecall
+            .data 0x2000
+            tbl: .word 17, 42
+            "#,
+        )
+        .unwrap();
+        let mut m = RvMachine::new(&p).unwrap();
+        m.run(100).unwrap();
+        assert_eq!(m.regs()[11], 42);
+        assert_eq!(m.read(0x2000, 4), 17);
+    }
+
+    #[test]
+    fn x0_stays_zero_and_wild_jumps_fault() {
+        let p = assemble_rv("li x0, 99\nli t0, 0x5000\njr t0\necall").unwrap();
+        let mut m = RvMachine::new(&p).unwrap();
+        let e = m.run(100).unwrap_err();
+        assert_eq!(e, RvError::BadPc { pc: 0x5000 });
+        assert_eq!(m.regs()[0], 0);
+    }
+
+    #[test]
+    fn step_limit_is_reported() {
+        let p = assemble_rv("loop: j loop").unwrap();
+        let mut m = RvMachine::new(&p).unwrap();
+        assert_eq!(m.run(50), Err(RvError::StepLimit { limit: 50 }));
+    }
+
+    #[test]
+    fn function_calls_link_and_return() {
+        let m = run(r#"
+                li   sp, 0x8000
+                li   a0, 5
+                call square
+                mv   s0, a0
+                ecall
+            square:
+                mul  a0, a0, a0
+                ret
+            "#);
+        assert_eq!(m.regs()[8], 25);
+    }
+}

@@ -1,0 +1,158 @@
+//! RV32IM instruction encoder: typed [`RvInst`]s to 32-bit words.
+//!
+//! The inverse of [`mod@crate::decode`]: `decode(encode(i)) == i` for every
+//! well-formed instruction, and `encode(decode(w)) == w` for every word
+//! the decoder accepts — both pinned by property tests.
+
+use crate::inst::{RvFormat, RvInst, RvOp};
+
+fn opcode(op: RvOp) -> u32 {
+    use RvOp::*;
+    match op {
+        Lui => 0b0110111,
+        Auipc => 0b0010111,
+        Jal => 0b1101111,
+        Jalr => 0b1100111,
+        Beq | Bne | Blt | Bge | Bltu | Bgeu => 0b1100011,
+        Lb | Lh | Lw | Lbu | Lhu => 0b0000011,
+        Sb | Sh | Sw => 0b0100011,
+        Addi | Slti | Sltiu | Xori | Ori | Andi | Slli | Srli | Srai => 0b0010011,
+        Fence => 0b0001111,
+        Ecall | Ebreak => 0b1110011,
+        _ => 0b0110011, // R-type OP
+    }
+}
+
+fn funct3(op: RvOp) -> u32 {
+    use RvOp::*;
+    match op {
+        Add | Sub | Addi | Mul | Beq | Lb | Sb | Jalr | Fence | Ecall | Ebreak => 0b000,
+        Sll | Slli | Mulh | Bne | Lh | Sh => 0b001,
+        Slt | Slti | Mulhsu | Lw | Sw => 0b010,
+        Sltu | Sltiu | Mulhu => 0b011,
+        Xor | Xori | Div | Blt | Lbu => 0b100,
+        Srl | Sra | Srli | Srai | Divu | Bge | Lhu => 0b101,
+        Or | Ori | Rem | Bltu => 0b110,
+        And | Andi | Remu | Bgeu => 0b111,
+        Lui | Auipc | Jal => 0,
+    }
+}
+
+fn funct7(op: RvOp) -> u32 {
+    use RvOp::*;
+    match op {
+        Sub | Sra | Srai => 0b0100000,
+        Mul | Mulh | Mulhsu | Mulhu | Div | Divu | Rem | Remu => 0b0000001,
+        _ => 0,
+    }
+}
+
+/// Encodes one instruction to its 32-bit word.
+///
+/// # Panics
+///
+/// Debug-asserts that register numbers and immediates fit their fields
+/// (the assembler range-checks before calling; hand-built `RvInst`s must
+/// respect the same ranges).
+pub fn encode(inst: &RvInst) -> u32 {
+    let RvInst {
+        op,
+        rd,
+        rs1,
+        rs2,
+        imm,
+    } = *inst;
+    debug_assert!(rd < 32 && rs1 < 32 && rs2 < 32);
+    let (rd, rs1, rs2) = (rd as u32, rs1 as u32, rs2 as u32);
+    let base = opcode(op) | funct3(op) << 12;
+    match op.format() {
+        RvFormat::R => base | rd << 7 | rs1 << 15 | rs2 << 20 | funct7(op) << 25,
+        RvFormat::I | RvFormat::Load => {
+            let imm12 = match op {
+                RvOp::Slli | RvOp::Srli | RvOp::Srai => {
+                    debug_assert!((0..32).contains(&imm), "shamt {imm}");
+                    (imm as u32) | funct7(op) << 5
+                }
+                _ => {
+                    debug_assert!((-2048..2048).contains(&imm), "I-imm {imm}");
+                    (imm as u32) & 0xfff
+                }
+            };
+            base | rd << 7 | rs1 << 15 | imm12 << 20
+        }
+        RvFormat::S => {
+            debug_assert!((-2048..2048).contains(&imm), "S-imm {imm}");
+            let imm = imm as u32;
+            base | (imm & 0x1f) << 7 | rs1 << 15 | rs2 << 20 | (imm >> 5 & 0x7f) << 25
+        }
+        RvFormat::B => {
+            debug_assert!(
+                (-4096..4096).contains(&imm) && imm & 1 == 0,
+                "B-offset {imm}"
+            );
+            let imm = imm as u32;
+            base | (imm >> 11 & 0x1) << 7
+                | (imm >> 1 & 0xf) << 8
+                | rs1 << 15
+                | rs2 << 20
+                | (imm >> 5 & 0x3f) << 25
+                | (imm >> 12 & 0x1) << 31
+        }
+        RvFormat::U => {
+            debug_assert_eq!(imm & 0xfff, 0, "U-constant {imm:#x}");
+            base | rd << 7 | (imm as u32)
+        }
+        RvFormat::J => {
+            debug_assert!(
+                (-(1 << 20)..1 << 20).contains(&imm) && imm & 1 == 0,
+                "J-offset {imm}"
+            );
+            let imm = imm as u32;
+            base | rd << 7
+                | (imm >> 12 & 0xff) << 12
+                | (imm >> 11 & 0x1) << 20
+                | (imm >> 1 & 0x3ff) << 21
+                | (imm >> 20 & 0x1) << 31
+        }
+        RvFormat::Sys => {
+            debug_assert!((-2048..2048).contains(&imm), "funct12 {imm}");
+            base | ((imm as u32) & 0xfff) << 20
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decode::decode;
+
+    #[test]
+    fn encodes_reference_words() {
+        assert_eq!(encode(&RvInst::i(RvOp::Addi, 0, 0, 0)), 0x00000013);
+        assert_eq!(encode(&RvInst::r(RvOp::Add, 12, 10, 11)), 0x00b50633);
+        assert_eq!(encode(&RvInst::u(RvOp::Lui, 11, 0x10000)), 0x000105b7);
+        assert_eq!(encode(&RvInst::s(RvOp::Sw, 5, 10, 8)), 0x00552423);
+        assert_eq!(encode(&RvInst::b(RvOp::Beq, 1, 2, -4)), 0xfe208ee3);
+        assert_eq!(encode(&RvInst::jal(1, -16)), 0xff1ff0ef);
+        assert_eq!(encode(&RvInst::sys(RvOp::Ecall, 0)), 0x00000073);
+        assert_eq!(encode(&RvInst::sys(RvOp::Ebreak, 1)), 0x00100073);
+    }
+
+    #[test]
+    fn edge_immediates_round_trip() {
+        for inst in [
+            RvInst::i(RvOp::Addi, 31, 31, -2048),
+            RvInst::i(RvOp::Addi, 1, 2, 2047),
+            RvInst::s(RvOp::Sb, 31, 1, -2048),
+            RvInst::b(RvOp::Bgeu, 31, 30, -4096),
+            RvInst::b(RvOp::Bltu, 3, 4, 4094),
+            RvInst::jal(0, -(1 << 20)),
+            RvInst::jal(31, (1 << 20) - 2),
+            RvInst::u(RvOp::Auipc, 15, i32::MIN), // 0x80000000: top page
+            RvInst::i(RvOp::Slli, 1, 1, 31),
+            RvInst::i(RvOp::Srai, 1, 1, 31),
+        ] {
+            assert_eq!(decode(encode(&inst)).unwrap(), inst, "{inst}");
+        }
+    }
+}

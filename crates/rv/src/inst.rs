@@ -1,0 +1,336 @@
+//! Typed RV32IM instruction representation.
+
+use std::fmt;
+
+/// One RV32IM opcode.
+///
+/// The set covers the RV32I base integer ISA plus the M extension —
+/// everything the in-tree assembly programs (and a compiler targeting
+/// `rv32im`) can produce. `Fence`, `Ecall` and `Ebreak` are included so
+/// the decoder is total over well-formed words; the emulator treats
+/// `Fence` as a no-op and both system instructions as a clean halt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RvOp {
+    // R-type (OP).
+    Add,
+    Sub,
+    Sll,
+    Slt,
+    Sltu,
+    Xor,
+    Srl,
+    Sra,
+    Or,
+    And,
+    // R-type, M extension.
+    Mul,
+    Mulh,
+    Mulhsu,
+    Mulhu,
+    Div,
+    Divu,
+    Rem,
+    Remu,
+    // I-type (OP-IMM).
+    Addi,
+    Slti,
+    Sltiu,
+    Xori,
+    Ori,
+    Andi,
+    Slli,
+    Srli,
+    Srai,
+    // Loads.
+    Lb,
+    Lh,
+    Lw,
+    Lbu,
+    Lhu,
+    // Stores.
+    Sb,
+    Sh,
+    Sw,
+    // Branches.
+    Beq,
+    Bne,
+    Blt,
+    Bge,
+    Bltu,
+    Bgeu,
+    // Upper-immediate.
+    Lui,
+    Auipc,
+    // Jumps.
+    Jal,
+    Jalr,
+    // Misc.
+    Fence,
+    Ecall,
+    Ebreak,
+}
+
+/// Operand shape of an [`RvOp`], driving encode/decode/display.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RvFormat {
+    /// `op rd, rs1, rs2`.
+    R,
+    /// `op rd, rs1, imm` (ALU immediates, `jalr`).
+    I,
+    /// `op rd, imm(rs1)` (loads).
+    Load,
+    /// `op rs2, imm(rs1)` (stores).
+    S,
+    /// `op rs1, rs2, imm` (branches; `imm` is a byte offset from the pc).
+    B,
+    /// `op rd, imm` (`lui`/`auipc`; `imm` carries the full shifted value).
+    U,
+    /// `jal rd, imm` (`imm` is a byte offset from the pc).
+    J,
+    /// No register operands (`fence`, `ecall`, `ebreak`).
+    Sys,
+}
+
+impl RvOp {
+    /// The operand shape of this opcode.
+    pub fn format(self) -> RvFormat {
+        use RvOp::*;
+        match self {
+            Add | Sub | Sll | Slt | Sltu | Xor | Srl | Sra | Or | And | Mul | Mulh | Mulhsu
+            | Mulhu | Div | Divu | Rem | Remu => RvFormat::R,
+            Addi | Slti | Sltiu | Xori | Ori | Andi | Slli | Srli | Srai | Jalr => RvFormat::I,
+            Lb | Lh | Lw | Lbu | Lhu => RvFormat::Load,
+            Sb | Sh | Sw => RvFormat::S,
+            Beq | Bne | Blt | Bge | Bltu | Bgeu => RvFormat::B,
+            Lui | Auipc => RvFormat::U,
+            Jal => RvFormat::J,
+            Fence | Ecall | Ebreak => RvFormat::Sys,
+        }
+    }
+
+    /// Whether the instruction writes `rd` (x0 writes are discarded).
+    pub fn writes_rd(self) -> bool {
+        matches!(
+            self.format(),
+            RvFormat::R | RvFormat::I | RvFormat::Load | RvFormat::U | RvFormat::J
+        )
+    }
+
+    /// The assembly mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        use RvOp::*;
+        match self {
+            Add => "add",
+            Sub => "sub",
+            Sll => "sll",
+            Slt => "slt",
+            Sltu => "sltu",
+            Xor => "xor",
+            Srl => "srl",
+            Sra => "sra",
+            Or => "or",
+            And => "and",
+            Mul => "mul",
+            Mulh => "mulh",
+            Mulhsu => "mulhsu",
+            Mulhu => "mulhu",
+            Div => "div",
+            Divu => "divu",
+            Rem => "rem",
+            Remu => "remu",
+            Addi => "addi",
+            Slti => "slti",
+            Sltiu => "sltiu",
+            Xori => "xori",
+            Ori => "ori",
+            Andi => "andi",
+            Slli => "slli",
+            Srli => "srli",
+            Srai => "srai",
+            Lb => "lb",
+            Lh => "lh",
+            Lw => "lw",
+            Lbu => "lbu",
+            Lhu => "lhu",
+            Sb => "sb",
+            Sh => "sh",
+            Sw => "sw",
+            Beq => "beq",
+            Bne => "bne",
+            Blt => "blt",
+            Bge => "bge",
+            Bltu => "bltu",
+            Bgeu => "bgeu",
+            Lui => "lui",
+            Auipc => "auipc",
+            Jal => "jal",
+            Jalr => "jalr",
+            Fence => "fence",
+            Ecall => "ecall",
+            Ebreak => "ebreak",
+        }
+    }
+
+    /// Every computational opcode (system instructions excluded), for
+    /// exhaustive tests and random instruction generation.
+    pub const ALL: [RvOp; 45] = {
+        use RvOp::*;
+        [
+            Add, Sub, Sll, Slt, Sltu, Xor, Srl, Sra, Or, And, Mul, Mulh, Mulhsu, Mulhu, Div, Divu,
+            Rem, Remu, Addi, Slti, Sltiu, Xori, Ori, Andi, Slli, Srli, Srai, Lb, Lh, Lw, Lbu, Lhu,
+            Sb, Sh, Sw, Beq, Bne, Blt, Bge, Bltu, Bgeu, Lui, Auipc, Jal, Jalr,
+        ]
+    };
+}
+
+/// A decoded RV32IM instruction.
+///
+/// Fields an opcode does not use are zero. `imm` holds the sign-extended
+/// immediate in the opcode's natural unit: byte offsets for memory,
+/// branches and `jal`, the full shifted constant for `lui`/`auipc`
+/// (low 12 bits zero), the shift amount for `slli`/`srli`/`srai`, and the
+/// raw 12-bit field for `fence` (pred/succ bits) and
+/// `ecall`/`ebreak` (funct12).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RvInst {
+    /// The opcode.
+    pub op: RvOp,
+    /// Destination register number (0–31).
+    pub rd: u8,
+    /// First source register number.
+    pub rs1: u8,
+    /// Second source register number.
+    pub rs2: u8,
+    /// Immediate, see the struct docs.
+    pub imm: i32,
+}
+
+impl RvInst {
+    /// A register-register instruction.
+    pub fn r(op: RvOp, rd: u8, rs1: u8, rs2: u8) -> RvInst {
+        debug_assert_eq!(op.format(), RvFormat::R);
+        RvInst {
+            op,
+            rd,
+            rs1,
+            rs2,
+            imm: 0,
+        }
+    }
+
+    /// A register-immediate instruction (`addi`, `jalr`, loads).
+    pub fn i(op: RvOp, rd: u8, rs1: u8, imm: i32) -> RvInst {
+        debug_assert!(matches!(op.format(), RvFormat::I | RvFormat::Load));
+        RvInst {
+            op,
+            rd,
+            rs1,
+            rs2: 0,
+            imm,
+        }
+    }
+
+    /// A store (`sw rs2, imm(rs1)`).
+    pub fn s(op: RvOp, rs2: u8, rs1: u8, imm: i32) -> RvInst {
+        debug_assert_eq!(op.format(), RvFormat::S);
+        RvInst {
+            op,
+            rd: 0,
+            rs1,
+            rs2,
+            imm,
+        }
+    }
+
+    /// A branch with a byte offset from its own pc.
+    pub fn b(op: RvOp, rs1: u8, rs2: u8, offset: i32) -> RvInst {
+        debug_assert_eq!(op.format(), RvFormat::B);
+        RvInst {
+            op,
+            rd: 0,
+            rs1,
+            rs2,
+            imm: offset,
+        }
+    }
+
+    /// `lui`/`auipc` carrying the full shifted constant.
+    pub fn u(op: RvOp, rd: u8, value: i32) -> RvInst {
+        debug_assert_eq!(op.format(), RvFormat::U);
+        debug_assert_eq!(value & 0xfff, 0, "U-type constant has zero low bits");
+        RvInst {
+            op,
+            rd,
+            rs1: 0,
+            rs2: 0,
+            imm: value,
+        }
+    }
+
+    /// `jal rd` with a byte offset from its own pc.
+    pub fn jal(rd: u8, offset: i32) -> RvInst {
+        RvInst {
+            op: RvOp::Jal,
+            rd,
+            rs1: 0,
+            rs2: 0,
+            imm: offset,
+        }
+    }
+
+    /// A system instruction (`fence`/`ecall`/`ebreak`).
+    pub fn sys(op: RvOp, imm: i32) -> RvInst {
+        debug_assert_eq!(op.format(), RvFormat::Sys);
+        RvInst {
+            op,
+            rd: 0,
+            rs1: 0,
+            rs2: 0,
+            imm,
+        }
+    }
+}
+
+impl fmt::Display for RvInst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let m = self.op.mnemonic();
+        match self.op.format() {
+            RvFormat::R => write!(f, "{m} x{}, x{}, x{}", self.rd, self.rs1, self.rs2),
+            RvFormat::I => write!(f, "{m} x{}, x{}, {}", self.rd, self.rs1, self.imm),
+            RvFormat::Load => write!(f, "{m} x{}, {}(x{})", self.rd, self.imm, self.rs1),
+            RvFormat::S => write!(f, "{m} x{}, {}(x{})", self.rs2, self.imm, self.rs1),
+            RvFormat::B => write!(f, "{m} x{}, x{}, {}", self.rs1, self.rs2, self.imm),
+            RvFormat::U => write!(f, "{m} x{}, {:#x}", self.rd, (self.imm as u32) >> 12),
+            RvFormat::J => write!(f, "{m} x{}, {}", self.rd, self.imm),
+            RvFormat::Sys => f.write_str(m),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formats_partition_the_opcode_set() {
+        for op in RvOp::ALL {
+            // Every opcode has a total format and mnemonic.
+            let _ = op.format();
+            assert!(!op.mnemonic().is_empty());
+        }
+        assert_eq!(RvOp::Fence.format(), RvFormat::Sys);
+        assert_eq!(RvOp::Ecall.format(), RvFormat::Sys);
+    }
+
+    #[test]
+    fn display_formats_common_shapes() {
+        assert_eq!(RvInst::r(RvOp::Add, 1, 2, 3).to_string(), "add x1, x2, x3");
+        assert_eq!(RvInst::i(RvOp::Lw, 5, 2, -8).to_string(), "lw x5, -8(x2)");
+        assert_eq!(RvInst::s(RvOp::Sw, 7, 2, 12).to_string(), "sw x7, 12(x2)");
+        assert_eq!(
+            RvInst::b(RvOp::Bne, 1, 0, -16).to_string(),
+            "bne x1, x0, -16"
+        );
+        assert_eq!(RvInst::u(RvOp::Lui, 3, 0x10000).to_string(), "lui x3, 0x10");
+    }
+}

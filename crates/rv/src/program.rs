@@ -1,0 +1,34 @@
+//! An assembled RV32 program image.
+
+/// One initialised data region.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct DataSegment {
+    /// Absolute base byte address.
+    pub base: u32,
+    /// The initialised bytes, little-endian for `.word` values.
+    pub bytes: Vec<u8>,
+}
+
+/// An assembled RV32 program: instruction words loaded at address 0 plus
+/// initialised data segments. All other memory reads as zero until
+/// written (the emulator zero-fills pages on demand), so arrays that
+/// start empty need no directive.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct RvProgram {
+    /// Encoded instruction words; the entry point is address 0.
+    pub text: Vec<u32>,
+    /// Initialised data, in declaration order.
+    pub data: Vec<DataSegment>,
+}
+
+impl RvProgram {
+    /// Number of instructions in the text segment.
+    pub fn len(&self) -> usize {
+        self.text.len()
+    }
+
+    /// Whether the text segment is empty.
+    pub fn is_empty(&self) -> bool {
+        self.text.is_empty()
+    }
+}

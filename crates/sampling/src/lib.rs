@@ -30,7 +30,7 @@
 //! use fgstp_workloads::{by_name, Scale};
 //!
 //! let w = by_name("hmmer_dp", Scale::Test).unwrap();
-//! let trace = trace_program(&w.program, Scale::Test.trace_budget()).unwrap();
+//! let trace = trace_program(w.program(), Scale::Test.trace_budget()).unwrap();
 //! let scfg = SampleConfig { interval: 2_000, warmup: 300, detail: 150 };
 //! let run = sample_single(
 //!     trace.insts(),

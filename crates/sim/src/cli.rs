@@ -72,18 +72,21 @@ fn parse_machine(s: Option<&str>) -> Result<MachineKind, CliError> {
 
 fn find_workload(name: &str, scale: Scale) -> Result<fgstp_workloads::Workload, CliError> {
     by_name(name, scale).ok_or_else(|| {
-        let names: Vec<&str> = suite(Scale::Test).iter().map(|w| w.name).collect();
         CliError(format!(
             "unknown workload `{name}` (one of: {})",
-            names.join(", ")
+            fgstp_workloads::all_names().join(", ")
         ))
     })
 }
 
-/// `list`: one line per workload.
+/// `list`: one line per workload — the synthetic suite, then the RV32
+/// real-program suite.
 pub fn list() -> String {
     let mut t = Table::new(["name", "models", "class", "description"]);
-    for w in suite(Scale::Test) {
+    for w in suite(Scale::Test)
+        .into_iter()
+        .chain(fgstp_workloads::rv_suite(Scale::Test))
+    {
         t.row([w.name, w.models, &w.suite.to_string(), w.description]);
     }
     t.to_string()

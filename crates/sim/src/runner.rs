@@ -411,7 +411,7 @@ pub fn trace_workload(w: &Workload, scale: Scale) -> fgstp_isa::Trace {
 /// kernel fault) as an error instead of panicking — a single bad workload
 /// must not take down a whole suite run.
 pub fn try_trace_workload(w: &Workload, scale: Scale) -> Result<fgstp_isa::Trace, String> {
-    fgstp_isa::trace_program(&w.program, scale.trace_budget())
+    w.try_trace(scale.trace_budget())
         .map_err(|e| format!("workload {} failed to trace: {e}", w.name))
 }
 

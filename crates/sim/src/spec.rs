@@ -181,12 +181,14 @@ impl CoRunSpec {
     }
 
     /// Parses the `--corun=` value: comma-separated `workload[:cores]`
-    /// entries, cores defaulting to 1.
+    /// entries, cores defaulting to 1. The cores suffix is the *last*
+    /// `:`-separated field and only when it is numeric, so prefixed
+    /// workload names (`rv:quicksort`, `rv:quicksort:2`) parse correctly.
     pub fn parse(value: &str) -> Result<CoRunSpec, SpecError> {
         let mut programs = Vec::new();
         for entry in value.split(',') {
-            let (workload, cores) = match entry.split_once(':') {
-                Some((w, c)) => {
+            let (workload, cores) = match entry.rsplit_once(':') {
+                Some((w, c)) if c.chars().all(|ch| ch.is_ascii_digit()) && !c.is_empty() => {
                     let n = c.parse::<usize>().map_err(|_| {
                         SpecError::new(
                             SpecErrorKind::Value,
@@ -195,7 +197,7 @@ impl CoRunSpec {
                     })?;
                     (w, n)
                 }
-                None => (entry, 1),
+                _ => (entry, 1),
             };
             programs.push(CoRunProgramSpec {
                 workload: workload.to_owned(),
@@ -364,10 +366,12 @@ impl ExperimentSpec {
         }
         for name in &self.workloads {
             if by_name(name, Scale::Test).is_none() {
-                let names: Vec<&str> = suite(Scale::Test).iter().map(|w| w.name).collect();
                 return Err(SpecError::new(
                     SpecErrorKind::UnknownWorkload,
-                    format!("unknown workload `{name}` (one of: {})", names.join(", ")),
+                    format!(
+                        "unknown workload `{name}` (one of: {})",
+                        fgstp_workloads::all_names().join(", ")
+                    ),
                 ));
             }
         }
@@ -458,7 +462,11 @@ impl ExperimentSpec {
                 if by_name(&p.workload, Scale::Test).is_none() {
                     return Err(SpecError::new(
                         SpecErrorKind::UnknownWorkload,
-                        format!("unknown co-run workload `{}`", p.workload),
+                        format!(
+                            "unknown co-run workload `{}` (one of: {})",
+                            p.workload,
+                            fgstp_workloads::all_names().join(", ")
+                        ),
                     ));
                 }
                 if p.cores == 0 {
@@ -754,8 +762,11 @@ impl ExperimentSpec {
     /// `no_cache` — the worker pool and trace cache never change a
     /// figure), resolves an empty workload list to the concrete suite,
     /// and is versioned by the trace-file format
-    /// ([`fgstp_tracefile::VERSION`]): a format bump re-keys every job,
-    /// exactly like it re-keys the on-disk trace cache.
+    /// ([`fgstp_tracefile::VERSION`]) *and* the RV32 translation scheme
+    /// ([`fgstp_rv::TRANSLATION_VERSION`]): bumping either re-keys every
+    /// job, exactly like it re-keys the on-disk trace cache — so jobs
+    /// resolved under different frontend semantics can never dedup
+    /// against each other.
     pub fn dedup_key(&self) -> String {
         let mut normalized = self.clone();
         normalized.threads = None;
@@ -767,7 +778,11 @@ impl ExperimentSpec {
         if let Json::Obj(members) = &mut body {
             members.retain(|(k, _)| k != "threads" && k != "no_cache");
         }
-        let mut key = format!("fgtr-v{}:", fgstp_tracefile::VERSION);
+        let mut key = format!(
+            "fgtr-v{}-rv{}:",
+            fgstp_tracefile::VERSION,
+            fgstp_rv::TRANSLATION_VERSION
+        );
         // Render on one line: the key is a map key, not a document.
         key.push_str(
             &body
@@ -994,9 +1009,12 @@ mod tests {
         assert_ne!(a.dedup_key(), f.dedup_key());
 
         assert!(
-            a.dedup_key()
-                .starts_with(&format!("fgtr-v{}:", fgstp_tracefile::VERSION)),
-            "key is versioned by the trace format"
+            a.dedup_key().starts_with(&format!(
+                "fgtr-v{}-rv{}:",
+                fgstp_tracefile::VERSION,
+                fgstp_rv::TRANSLATION_VERSION
+            )),
+            "key is versioned by the trace format and the RV translation"
         );
     }
 
@@ -1089,10 +1107,43 @@ mod tests {
         s.corun.as_mut().unwrap().programs[0].cores = 100;
         assert_eq!(s.validate().unwrap_err().kind, SpecErrorKind::Value);
 
+        // A non-numeric suffix is part of the workload name (it may be a
+        // prefixed name like `rv:quicksort`), so the mistake surfaces at
+        // validation as an unknown workload, not at parse time.
+        let mut s = base();
+        s.corun = Some(CoRunSpec::parse("perl_hash:lots").unwrap());
         assert_eq!(
-            CoRunSpec::parse("perl_hash:lots").unwrap_err().kind,
-            SpecErrorKind::Value
+            s.validate().unwrap_err().kind,
+            SpecErrorKind::UnknownWorkload
         );
+    }
+
+    #[test]
+    fn corun_parse_keeps_prefixed_workload_names_intact() {
+        let c = CoRunSpec::parse("rv:quicksort,rv:crc32:2,perl_hash:3").unwrap();
+        assert_eq!(
+            c.programs,
+            vec![
+                CoRunProgramSpec {
+                    workload: "rv:quicksort".to_owned(),
+                    cores: 1,
+                },
+                CoRunProgramSpec {
+                    workload: "rv:crc32".to_owned(),
+                    cores: 2,
+                },
+                CoRunProgramSpec {
+                    workload: "perl_hash".to_owned(),
+                    cores: 3,
+                },
+            ]
+        );
+        let spec = ExperimentSpec {
+            machines: vec![MachineKind::FgstpSmall4],
+            corun: Some(c),
+            ..ExperimentSpec::default()
+        };
+        spec.validate().unwrap();
     }
 
     #[test]

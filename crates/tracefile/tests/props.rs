@@ -77,7 +77,7 @@ fn zigzag_bijection() {
 #[test]
 fn workload_trace_round_trips_and_is_compact() {
     let w = by_name("gcc_expr", Scale::Test).unwrap();
-    let t = trace_program(&w.program, 2_000_000).unwrap();
+    let t = trace_program(w.program(), 2_000_000).unwrap();
     let bytes = write_trace(t.insts());
     let back = read_trace(&bytes).unwrap();
     assert_eq!(back, t.insts());

@@ -15,7 +15,7 @@
 
 use fgstp_isa::Program;
 
-use super::{epilogue, extra, fp, int, must_assemble};
+use super::{epilogue, extra, fp, int, must_assemble, syn};
 use crate::gen::Xorshift;
 use crate::{Scale, SuiteClass, Workload};
 
@@ -64,49 +64,49 @@ pub fn long_suite(scale: Scale) -> Vec<Workload> {
             models: "429.mcf (large)",
             suite: SuiteClass::Int,
             description: "pointer chasing over a 2 MiB list, L2-resident misses",
-            program: chase_long(f),
+            source: syn(chase_long(f)),
         },
         Workload {
             name: "mcf_pointer_long",
             models: "429.mcf",
             suite: SuiteClass::Int,
             description: "long-run pointer chasing over a shuffled linked list",
-            program: int::mcf_pointer(48 * f),
+            source: syn(int::mcf_pointer(48 * f)),
         },
         Workload {
             name: "perl_hash_long",
             models: "400.perlbench",
             suite: SuiteClass::Int,
             description: "long-run string hashing with data-dependent branches",
-            program: int::perl_hash(8 * f),
+            source: syn(int::perl_hash(8 * f)),
         },
         Workload {
             name: "hmmer_dp_long",
             models: "456.hmmer",
             suite: SuiteClass::Int,
             description: "long-run dynamic-programming inner loop, high ILP",
-            program: int::hmmer_dp(40 * f),
+            source: syn(int::hmmer_dp(40 * f)),
         },
         Workload {
             name: "libq_stream_long",
             models: "462.libquantum",
             suite: SuiteClass::Int,
             description: "long-run streaming gate application over a large array",
-            program: int::libq_stream(16 * f),
+            source: syn(int::libq_stream(16 * f)),
         },
         Workload {
             name: "lbm_stencil_long",
             models: "470.lbm",
             suite: SuiteClass::Fp,
             description: "long-run streaming FP stencil over a large grid",
-            program: fp::lbm_stencil(24 * f),
+            source: syn(fp::lbm_stencil(24 * f)),
         },
         Workload {
             name: "omnetpp_queue_long",
             models: "471.omnetpp",
             suite: SuiteClass::Int,
             description: "long-run event-heap sift with data-dependent branching",
-            program: extra::omnetpp_queue(32 * f),
+            source: syn(extra::omnetpp_queue(32 * f)),
         },
     ]
 }
@@ -129,7 +129,7 @@ mod tests {
     #[test]
     fn long_kernels_are_long_but_fit_the_trace_budget() {
         for w in long_suite(Scale::Test) {
-            let t = trace_program(&w.program, Scale::Test.trace_budget())
+            let t = trace_program(w.program(), Scale::Test.trace_budget())
                 .unwrap_or_else(|e| panic!("{}: {e}", w.name));
             let n = t.len();
             assert!(
@@ -162,7 +162,7 @@ mod tests {
     fn chase_long_is_memory_latency_bound() {
         let w = long_suite(Scale::Test).remove(0);
         assert_eq!(w.name, "chase_long");
-        let t = trace_program(&w.program, Scale::Test.trace_budget()).unwrap();
+        let t = trace_program(w.program(), Scale::Test.trace_budget()).unwrap();
         assert!(t.class_fraction(InstClass::Load) > 0.3, "chases pointers");
         // The chain visits ~steps distinct nodes of a 131072-node ring:
         // far more distinct lines than the 1 MiB L2 holds in a run this

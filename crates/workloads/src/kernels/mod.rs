@@ -4,12 +4,19 @@ mod extra;
 mod fp;
 mod int;
 mod long;
+pub mod rv;
 
 pub use long::long_suite;
+pub use rv::{rv_expected_checksum, rv_suite};
 
 use fgstp_isa::Program;
 
-use crate::{Scale, SuiteClass, Workload};
+use crate::{Scale, SuiteClass, Workload, WorkloadSource};
+
+/// Wraps a synthetic SimRISC kernel program as a workload source.
+pub(crate) fn syn(p: Program) -> WorkloadSource {
+    WorkloadSource::Synthetic(p)
+}
 
 /// Assembles a kernel, panicking with the kernel name on error (kernel
 /// sources are static and covered by tests, so a failure is a build bug).
@@ -41,126 +48,126 @@ pub fn all(scale: Scale) -> Vec<Workload> {
             models: "400.perlbench",
             suite: SuiteClass::Int,
             description: "string hashing with data-dependent branches",
-            program: int::perl_hash(f),
+            source: syn(int::perl_hash(f)),
         },
         Workload {
             name: "bzip_rle",
             models: "401.bzip2",
             suite: SuiteClass::Int,
             description: "run-length encoding over byte data",
-            program: int::bzip_rle(f),
+            source: syn(int::bzip_rle(f)),
         },
         Workload {
             name: "gcc_expr",
             models: "403.gcc",
             suite: SuiteClass::Int,
             description: "irregular expression-node dispatch",
-            program: int::gcc_expr(f),
+            source: syn(int::gcc_expr(f)),
         },
         Workload {
             name: "mcf_pointer",
             models: "429.mcf",
             suite: SuiteClass::Int,
             description: "pointer chasing over a shuffled linked list",
-            program: int::mcf_pointer(f),
+            source: syn(int::mcf_pointer(f)),
         },
         Workload {
             name: "gobmk_board",
             models: "445.gobmk",
             suite: SuiteClass::Int,
             description: "board scanning with unpredictable branches",
-            program: int::gobmk_board(f),
+            source: syn(int::gobmk_board(f)),
         },
         Workload {
             name: "hmmer_dp",
             models: "456.hmmer",
             suite: SuiteClass::Int,
             description: "dynamic-programming inner loop, high ILP",
-            program: int::hmmer_dp(f),
+            source: syn(int::hmmer_dp(f)),
         },
         Workload {
             name: "sjeng_eval",
             models: "458.sjeng",
             suite: SuiteClass::Int,
             description: "branchy position evaluation",
-            program: int::sjeng_eval(f),
+            source: syn(int::sjeng_eval(f)),
         },
         Workload {
             name: "libq_stream",
             models: "462.libquantum",
             suite: SuiteClass::Int,
             description: "streaming gate application over a large array",
-            program: int::libq_stream(f),
+            source: syn(int::libq_stream(f)),
         },
         Workload {
             name: "h264_sad",
             models: "464.h264ref",
             suite: SuiteClass::Int,
             description: "sum of absolute differences over blocks",
-            program: int::h264_sad(f),
+            source: syn(int::h264_sad(f)),
         },
         Workload {
             name: "astar_grid",
             models: "473.astar",
             suite: SuiteClass::Int,
             description: "cost-driven grid walk, data-dependent control",
-            program: int::astar_grid(f),
+            source: syn(int::astar_grid(f)),
         },
         Workload {
             name: "xalanc_tree",
             models: "483.xalancbmk",
             suite: SuiteClass::Int,
             description: "repeated tree descent with compares",
-            program: int::xalanc_tree(f),
+            source: syn(int::xalanc_tree(f)),
         },
         Workload {
             name: "milc_su3",
             models: "433.milc",
             suite: SuiteClass::Fp,
             description: "3x3 complex-free matrix products",
-            program: fp::milc_su3(f),
+            source: syn(fp::milc_su3(f)),
         },
         Workload {
             name: "namd_force",
             models: "444.namd",
             suite: SuiteClass::Fp,
             description: "pairwise force computation with divides",
-            program: fp::namd_force(f),
+            source: syn(fp::namd_force(f)),
         },
         Workload {
             name: "lbm_stencil",
             models: "470.lbm",
             suite: SuiteClass::Fp,
             description: "streaming FP stencil over a large grid",
-            program: fp::lbm_stencil(f),
+            source: syn(fp::lbm_stencil(f)),
         },
         Workload {
             name: "omnetpp_queue",
             models: "471.omnetpp",
             suite: SuiteClass::Int,
             description: "event-heap sift with data-dependent branching",
-            program: extra::omnetpp_queue(f),
+            source: syn(extra::omnetpp_queue(f)),
         },
         Workload {
             name: "soplex_sparse",
             models: "450.soplex",
             suite: SuiteClass::Fp,
             description: "sparse matrix-vector product with indirect FP loads",
-            program: extra::soplex_sparse(f),
+            source: syn(extra::soplex_sparse(f)),
         },
         Workload {
             name: "povray_trace",
             models: "453.povray",
             suite: SuiteClass::Fp,
             description: "ray-sphere tests: branchy FP with sqrt/divide hit path",
-            program: extra::povray_trace(f),
+            source: syn(extra::povray_trace(f)),
         },
         Workload {
             name: "bwaves_block",
             models: "410.bwaves",
             suite: SuiteClass::Fp,
             description: "blocked multi-coefficient stencil",
-            program: extra::bwaves_block(f),
+            source: syn(extra::bwaves_block(f)),
         },
     ]
 }
@@ -172,7 +179,7 @@ mod tests {
     use fgstp_isa::{trace_program, InstClass, Machine};
 
     fn checksum(w: &Workload) -> u64 {
-        let mut m = Machine::new(&w.program);
+        let mut m = Machine::new(w.program());
         m.run(64_000_000)
             .unwrap_or_else(|e| panic!("{} faulted: {e}", w.name));
         m.mem().read(CHECKSUM_ADDR, 8)
@@ -198,14 +205,14 @@ mod tests {
         let a = all(Scale::Test);
         let b = all(Scale::Test);
         for (x, y) in a.iter().zip(&b) {
-            assert_eq!(x.program, y.program, "{} rebuilds identically", x.name);
+            assert_eq!(x.program(), y.program(), "{} rebuilds identically", x.name);
         }
     }
 
     #[test]
     fn dynamic_sizes_are_in_band() {
         for w in all(Scale::Test) {
-            let t = trace_program(&w.program, Scale::Test.trace_budget())
+            let t = trace_program(w.program(), Scale::Test.trace_budget())
                 .unwrap_or_else(|e| panic!("{}: {e}", w.name));
             let n = t.len();
             assert!(
@@ -222,7 +229,7 @@ mod tests {
         let s = all(Scale::Test);
         let trace_of = |name: &str| {
             let w = s.iter().find(|w| w.name == name).unwrap();
-            trace_program(&w.program, Scale::Test.trace_budget()).unwrap()
+            trace_program(w.program(), Scale::Test.trace_budget()).unwrap()
         };
         let mcf = trace_of("mcf_pointer");
         assert!(
@@ -240,7 +247,7 @@ mod tests {
     fn fp_kernels_execute_fp_work() {
         for name in ["milc_su3", "namd_force", "lbm_stencil"] {
             let w = crate::by_name(name, Scale::Test).unwrap();
-            let t = trace_program(&w.program, Scale::Test.trace_budget()).unwrap();
+            let t = trace_program(w.program(), Scale::Test.trace_budget()).unwrap();
             let fp = t.class_fraction(InstClass::FpAdd)
                 + t.class_fraction(InstClass::FpMul)
                 + t.class_fraction(InstClass::FpDiv);
@@ -252,7 +259,7 @@ mod tests {
     fn branchy_kernels_have_branches() {
         for name in ["gobmk_board", "sjeng_eval", "gcc_expr"] {
             let w = crate::by_name(name, Scale::Test).unwrap();
-            let t = trace_program(&w.program, Scale::Test.trace_budget()).unwrap();
+            let t = trace_program(w.program(), Scale::Test.trace_budget()).unwrap();
             assert!(
                 t.class_fraction(InstClass::Branch) > 0.1,
                 "{name} branch fraction too low"
@@ -264,8 +271,8 @@ mod tests {
     fn scaling_up_scales_dynamic_length() {
         let small = crate::by_name("libq_stream", Scale::Test).unwrap();
         let big = crate::by_name("libq_stream", Scale::Small).unwrap();
-        let ts = trace_program(&small.program, Scale::Small.trace_budget()).unwrap();
-        let tb = trace_program(&big.program, Scale::Small.trace_budget()).unwrap();
+        let ts = trace_program(small.program(), Scale::Small.trace_budget()).unwrap();
+        let tb = trace_program(big.program(), Scale::Small.trace_budget()).unwrap();
         assert!(tb.len() > 3 * ts.len());
     }
 }

@@ -1,0 +1,642 @@
+//! The RV32 real-program suite.
+//!
+//! Five classic algorithms written in RV32IM assembly and executed by the
+//! `fgstp-rv` frontend — unlike the synthetic kernels (which reproduce
+//! SPEC behaviour *classes*), these are the actual algorithms, with real
+//! calling conventions, stack frames and data layouts. Each program
+//! generates its own input with an in-register LCG (so sources stay
+//! self-contained and scale by iteration count alone), computes a 32-bit
+//! checksum and stores it to [`crate::CHECKSUM_ADDR`] before `ecall`.
+//!
+//! Functional correctness is pinned by differential tests against
+//! straight-line Rust re-implementations of the same algorithms (same
+//! LCG, same wrapping arithmetic): see [`rv_expected_checksum`]. The
+//! SimRISC translation layer is *not* part of that oracle — it is
+//! class-level, not value-exact (see `fgstp_rv::translate`).
+//!
+//! Memory map (byte addresses): text at 0, data buffers from `0x2000`,
+//! the quicksort stack below `0x80000`, the checksum word at `0x10_0000`.
+
+use fgstp_rv::RvProgram;
+
+use crate::{Scale, SuiteClass, Workload, WorkloadSource};
+
+/// The shared input generator, as implemented in each program's `gen`
+/// loop: a plain LCG over wrapping u32.
+fn lcg(state: &mut u32) -> u32 {
+    *state = state.wrapping_mul(1_103_515_245).wrapping_add(12_345);
+    *state
+}
+
+fn must_rv(name: &str, src: &str) -> RvProgram {
+    fgstp_rv::assemble_rv(src)
+        .unwrap_or_else(|e| panic!("RV program {name} does not assemble: {e}"))
+}
+
+fn rv32(p: RvProgram) -> WorkloadSource {
+    WorkloadSource::Rv32(p)
+}
+
+const CKS: u64 = crate::CHECKSUM_ADDR;
+
+/// Recursive quicksort (Lomuto partition, last-element pivot) over
+/// `256 * f` LCG-generated words, with real call frames on a descending
+/// stack. Checksum: Σ a[k]·(k+1) over the sorted array, wrapping.
+fn quicksort(f: usize) -> RvProgram {
+    let n = 256 * f;
+    let src = format!(
+        r#"
+            li   s0, 0x2000          # array base
+            li   s1, {n}             # element count
+            # generate input: a[k] = lcg_state >> 8
+            li   t0, 12345           # lcg state
+            mv   t1, s0
+            mv   t2, s1
+        gen:
+            li   t3, 1103515245
+            mul  t0, t0, t3
+            li   t3, 12345
+            add  t0, t0, t3
+            srli t3, t0, 8
+            sw   t3, 0(t1)
+            addi t1, t1, 4
+            addi t2, t2, -1
+            bnez t2, gen
+            # qsort(&a[0], &a[n-1])
+            li   sp, 0x80000
+            mv   a0, s0
+            slli a1, s1, 2
+            add  a1, a1, s0
+            addi a1, a1, -4
+            call qsort
+            # checksum = sum a[k] * (k+1)
+            mv   t1, s0
+            li   t2, 0
+            li   t3, 0
+            mv   t4, s1
+        cks:
+            lw   t5, 0(t1)
+            addi t2, t2, 1
+            mul  t5, t5, t2
+            add  t3, t3, t5
+            addi t1, t1, 4
+            addi t4, t4, -1
+            bnez t4, cks
+            li   t6, {CKS}
+            sw   t3, 0(t6)
+            ecall
+
+        qsort:                       # a0 = lo addr, a1 = hi addr
+            bgeu a0, a1, qs_ret
+            addi sp, sp, -16
+            sw   ra, 0(sp)
+            sw   s2, 4(sp)
+            sw   s3, 8(sp)
+            lw   t0, 0(a1)           # pivot = a[hi]
+            addi t1, a0, -4          # i
+            mv   t2, a0              # j
+        part:
+            lw   t3, 0(t2)
+            bgt  t3, t0, part_next   # keep elements <= pivot left
+            addi t1, t1, 4
+            lw   t4, 0(t1)
+            sw   t3, 0(t1)
+            sw   t4, 0(t2)
+        part_next:
+            addi t2, t2, 4
+            bltu t2, a1, part
+            addi t1, t1, 4           # pivot slot
+            lw   t4, 0(t1)
+            lw   t3, 0(a1)
+            sw   t3, 0(t1)
+            sw   t4, 0(a1)
+            mv   s2, t1
+            mv   s3, a1
+            addi a1, t1, -4
+            call qsort               # left half
+            addi a0, s2, 4
+            mv   a1, s3
+            call qsort               # right half
+            lw   ra, 0(sp)
+            lw   s2, 4(sp)
+            lw   s3, 8(sp)
+            addi sp, sp, 16
+        qs_ret:
+            ret
+        "#
+    );
+    must_rv("rv:quicksort", &src)
+}
+
+/// Rust reference for `rv:quicksort`: the sorted array itself, for the
+/// memory-image differential test.
+pub fn quicksort_reference_array(f: usize) -> Vec<u32> {
+    let mut state = 12_345u32;
+    let mut a: Vec<u32> = (0..256 * f).map(|_| lcg(&mut state) >> 8).collect();
+    a.sort_unstable();
+    a
+}
+
+fn quicksort_checksum(f: usize) -> u32 {
+    quicksort_reference_array(f)
+        .iter()
+        .enumerate()
+        .fold(0u32, |c, (k, &v)| {
+            c.wrapping_add(v.wrapping_mul(k as u32 + 1))
+        })
+}
+
+/// Dense 16×16 integer matrix multiply, `f` repetitions with fresh LCG
+/// inputs per repetition (seed = repetition index). Checksum: wrapping
+/// sum of every C entry across repetitions.
+fn matmul(f: usize) -> RvProgram {
+    let src = format!(
+        r#"
+            li   s0, 0x2000          # A (16x16 words), B directly after
+            li   s1, 0x2400          # B
+            li   s2, 0x2800          # C
+            li   s3, {f}             # repetitions
+            li   s4, 0               # checksum
+            li   s5, 1               # repetition seed
+        rep:
+            # fill A and B: 512 words of (lcg_state >> 20)
+            mv   t0, s5
+            mv   t1, s0
+            li   t2, 512
+        gen:
+            li   t3, 1103515245
+            mul  t0, t0, t3
+            li   t3, 12345
+            add  t0, t0, t3
+            srli t3, t0, 20
+            sw   t3, 0(t1)
+            addi t1, t1, 4
+            addi t2, t2, -1
+            bnez t2, gen
+            li   t0, 0               # i
+        mi:
+            li   t1, 0               # j
+        mj:
+            li   t2, 0               # k
+            li   t6, 0               # acc
+        mk:
+            slli t3, t0, 4           # A[i][k]
+            add  t3, t3, t2
+            slli t3, t3, 2
+            add  t3, t3, s0
+            lw   t4, 0(t3)
+            slli t3, t2, 4           # B[k][j]
+            add  t3, t3, t1
+            slli t3, t3, 2
+            add  t3, t3, s1
+            lw   t5, 0(t3)
+            mul  t4, t4, t5
+            add  t6, t6, t4
+            addi t2, t2, 1
+            li   t3, 16
+            bne  t2, t3, mk
+            slli t3, t0, 4           # C[i][j] = acc
+            add  t3, t3, t1
+            slli t3, t3, 2
+            add  t3, t3, s2
+            sw   t6, 0(t3)
+            add  s4, s4, t6
+            addi t1, t1, 1
+            li   t3, 16
+            bne  t1, t3, mj
+            addi t0, t0, 1
+            li   t3, 16
+            bne  t0, t3, mi
+            addi s5, s5, 1
+            addi s3, s3, -1
+            bnez s3, rep
+            li   t6, {CKS}
+            sw   s4, 0(t6)
+            ecall
+        "#
+    );
+    must_rv("rv:matmul", &src)
+}
+
+fn matmul_checksum(f: usize) -> u32 {
+    const N: usize = 16;
+    let mut cks = 0u32;
+    for rep in 1..=f as u32 {
+        let mut state = rep;
+        let vals: Vec<u32> = (0..2 * N * N).map(|_| lcg(&mut state) >> 20).collect();
+        let (a, b) = vals.split_at(N * N);
+        for i in 0..N {
+            for j in 0..N {
+                let mut acc = 0u32;
+                for k in 0..N {
+                    acc = acc.wrapping_add(a[i * N + k].wrapping_mul(b[k * N + j]));
+                }
+                cks = cks.wrapping_add(acc);
+            }
+        }
+    }
+    cks
+}
+
+/// 3×3 box filter over a 32×32 image, `f` ping-pong passes between two
+/// buffers (only interior pixels are written, so each buffer keeps its
+/// stale border — the reference replicates that exactly). The divide by
+/// 9 exercises the IntDiv class. Checksum: wrapping sum of the final
+/// buffer.
+fn box_blur(f: usize) -> RvProgram {
+    let src = format!(
+        r#"
+            li   s0, 0x2000          # source buffer (32x32 words)
+            li   s1, 0x4000          # target buffer
+            li   s2, {f}             # passes
+            # generate image: 1024 words of (lcg_state >> 24)
+            li   t0, 7
+            mv   t1, s0
+            li   t2, 1024
+        gen:
+            li   t3, 1103515245
+            mul  t0, t0, t3
+            li   t3, 12345
+            add  t0, t0, t3
+            srli t3, t0, 24
+            sw   t3, 0(t1)
+            addi t1, t1, 4
+            addi t2, t2, -1
+            bnez t2, gen
+        pass:
+            li   t0, 1               # y
+        by:
+            li   t1, 1               # x
+        bx:
+            li   t6, 0               # 3x3 sum
+            addi t2, t0, -1          # yy from y-1
+            addi t5, t0, 1           #   to y+1
+        row:
+            slli t3, t2, 5
+            add  t3, t3, t1
+            slli t3, t3, 2
+            add  t3, t3, s0
+            lw   t4, -4(t3)
+            add  t6, t6, t4
+            lw   t4, 0(t3)
+            add  t6, t6, t4
+            lw   t4, 4(t3)
+            add  t6, t6, t4
+            addi t2, t2, 1
+            ble  t2, t5, row
+            li   t4, 9
+            divu t6, t6, t4
+            slli t3, t0, 5           # target[y][x]
+            add  t3, t3, t1
+            slli t3, t3, 2
+            add  t3, t3, s1
+            sw   t6, 0(t3)
+            addi t1, t1, 1
+            li   t3, 31
+            bne  t1, t3, bx
+            addi t0, t0, 1
+            li   t3, 31
+            bne  t0, t3, by
+            mv   t3, s0              # ping-pong buffers
+            mv   s0, s1
+            mv   s1, t3
+            addi s2, s2, -1
+            bnez s2, pass
+            # checksum = sum of the buffer holding the final pass
+            mv   t1, s0
+            li   t2, 1024
+            li   t3, 0
+        cks:
+            lw   t4, 0(t1)
+            add  t3, t3, t4
+            addi t1, t1, 4
+            addi t2, t2, -1
+            bnez t2, cks
+            li   t6, {CKS}
+            sw   t3, 0(t6)
+            ecall
+        "#
+    );
+    must_rv("rv:box_blur", &src)
+}
+
+fn box_blur_checksum(f: usize) -> u32 {
+    const W: usize = 32;
+    let mut state = 7u32;
+    let mut src: Vec<u32> = (0..W * W).map(|_| lcg(&mut state) >> 24).collect();
+    let mut dst = vec![0u32; W * W];
+    for _ in 0..f {
+        for y in 1..W - 1 {
+            for x in 1..W - 1 {
+                let mut sum = 0u32;
+                for yy in y - 1..=y + 1 {
+                    for xx in x - 1..=x + 1 {
+                        sum = sum.wrapping_add(src[yy * W + xx]);
+                    }
+                }
+                dst[y * W + x] = sum / 9;
+            }
+        }
+        std::mem::swap(&mut src, &mut dst);
+    }
+    src.iter().fold(0u32, |c, &v| c.wrapping_add(v))
+}
+
+/// Sieve of Eratosthenes over `2048 * f` byte flags (memory starts
+/// zero-filled, so no init pass), then a scan summing the primes.
+/// Checksum: prime sum XOR (prime count << 16).
+fn prime_sieve(f: usize) -> RvProgram {
+    let n = 2048 * f;
+    let src = format!(
+        r#"
+            li   s0, 0x2000          # composite flags, one byte each
+            li   s1, {n}
+            li   t0, 2               # p
+        sieve:
+            mul  t1, t0, t0
+            bgeu t1, s1, scan        # p*p >= n: done marking
+            add  t2, s0, t0
+            lbu  t3, 0(t2)
+            bnez t3, next_p
+        mark:                        # m = p*p, p*p+p, ...
+            add  t2, s0, t1
+            li   t3, 1
+            sb   t3, 0(t2)
+            add  t1, t1, t0
+            bltu t1, s1, mark
+        next_p:
+            addi t0, t0, 1
+            j    sieve
+        scan:
+            li   t0, 2
+            li   t4, 0               # sum of primes
+            li   t5, 0               # prime count
+        pl:
+            add  t2, s0, t0
+            lbu  t3, 0(t2)
+            bnez t3, not_prime
+            add  t4, t4, t0
+            addi t5, t5, 1
+        not_prime:
+            addi t0, t0, 1
+            bltu t0, s1, pl
+            slli t5, t5, 16
+            xor  t4, t4, t5
+            li   t6, {CKS}
+            sw   t4, 0(t6)
+            ecall
+        "#
+    );
+    must_rv("rv:prime_sieve", &src)
+}
+
+fn prime_sieve_checksum(f: usize) -> u32 {
+    let n = 2048 * f;
+    let mut composite = vec![false; n];
+    let mut p = 2usize;
+    while p * p < n {
+        if !composite[p] {
+            let mut m = p * p;
+            while m < n {
+                composite[m] = true;
+                m += p;
+            }
+        }
+        p += 1;
+    }
+    let (mut sum, mut count) = (0u32, 0u32);
+    for (q, &c) in composite.iter().enumerate().skip(2) {
+        if !c {
+            sum = sum.wrapping_add(q as u32);
+            count += 1;
+        }
+    }
+    sum ^ (count << 16)
+}
+
+/// Bitwise CRC-32 (poly `0xEDB88320`, init/xorout all-ones) over
+/// `768 * f` LCG bytes plus a fixed 16-byte tail loaded from a `.data`
+/// segment via `la`. Checksum: the final CRC.
+fn crc32(f: usize) -> RvProgram {
+    let m = 768 * f;
+    let src = format!(
+        r#"
+            li   s0, 0x2000          # message buffer
+            li   s1, {m}             # generated length
+            # generate message bytes: low byte of (lcg_state >> 16)
+            li   t0, 99
+            mv   t1, s0
+            mv   t2, s1
+        gen:
+            li   t3, 1103515245
+            mul  t0, t0, t3
+            li   t3, 12345
+            add  t0, t0, t3
+            srli t3, t0, 16
+            sb   t3, 0(t1)
+            addi t1, t1, 1
+            addi t2, t2, -1
+            bnez t2, gen
+            # append the fixed tail
+            la   t3, tail
+            li   t2, 16
+        copy:
+            lbu  t4, 0(t3)
+            sb   t4, 0(t1)
+            addi t3, t3, 1
+            addi t1, t1, 1
+            addi t2, t2, -1
+            bnez t2, copy
+            # bitwise crc over m + 16 bytes
+            li   t0, -1              # crc
+            mv   t1, s0
+            addi t2, s1, 16
+            li   t4, -306674912      # 0xEDB88320
+        byte:
+            lbu  t3, 0(t1)
+            xor  t0, t0, t3
+            li   t5, 8
+        bit:
+            andi t6, t0, 1
+            srli t0, t0, 1
+            beqz t6, no_xor
+            xor  t0, t0, t4
+        no_xor:
+            addi t5, t5, -1
+            bnez t5, bit
+            addi t1, t1, 1
+            addi t2, t2, -1
+            bnez t2, byte
+            not  t0, t0
+            li   t6, {CKS}
+            sw   t0, 0(t6)
+            ecall
+        .data 0x8000
+        tail:
+            .byte 70, 103, 45, 83, 84, 80, 32, 82, 86, 51, 50, 73, 77, 46, 46, 46
+        "#
+    );
+    must_rv("rv:crc32", &src)
+}
+
+fn crc32_checksum(f: usize) -> u32 {
+    const TAIL: [u8; 16] = [
+        70, 103, 45, 83, 84, 80, 32, 82, 86, 51, 50, 73, 77, 46, 46, 46,
+    ];
+    let mut state = 99u32;
+    let msg: Vec<u8> = (0..768 * f)
+        .map(|_| (lcg(&mut state) >> 16) as u8)
+        .chain(TAIL)
+        .collect();
+    let mut crc = u32::MAX;
+    for b in msg {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let lsb = crc & 1;
+            crc >>= 1;
+            if lsb != 0 {
+                crc ^= 0xEDB8_8320;
+            }
+        }
+    }
+    !crc
+}
+
+/// Builds the RV32 real-program suite at `scale`.
+pub fn rv_suite(scale: Scale) -> Vec<Workload> {
+    let f = scale.factor();
+    vec![
+        Workload {
+            name: "rv:quicksort",
+            models: "recursive quicksort",
+            suite: SuiteClass::Int,
+            description: "recursive quicksort with real call frames and a stack",
+            source: rv32(quicksort(f)),
+        },
+        Workload {
+            name: "rv:matmul",
+            models: "dense integer matmul",
+            suite: SuiteClass::Int,
+            description: "16x16 integer matrix products, multiply-heavy loop nest",
+            source: rv32(matmul(f)),
+        },
+        Workload {
+            name: "rv:box_blur",
+            models: "3x3 box filter",
+            suite: SuiteClass::Int,
+            description: "2D stencil with per-pixel integer divides",
+            source: rv32(box_blur(f)),
+        },
+        Workload {
+            name: "rv:prime_sieve",
+            models: "sieve of Eratosthenes",
+            suite: SuiteClass::Int,
+            description: "strided byte-flag marking with data-dependent skips",
+            source: rv32(prime_sieve(f)),
+        },
+        Workload {
+            name: "rv:crc32",
+            models: "bitwise CRC-32",
+            suite: SuiteClass::Int,
+            description: "long serial dependence chain with per-bit branches",
+            source: rv32(crc32(f)),
+        },
+    ]
+}
+
+/// The checksum each RV program must produce at `scale`, computed by a
+/// straight-line Rust re-implementation of the same algorithm (same LCG,
+/// same wrapping arithmetic) — the differential oracle for the RV32
+/// emulator. `None` for unknown names.
+pub fn rv_expected_checksum(name: &str, scale: Scale) -> Option<u32> {
+    let f = scale.factor();
+    Some(match name {
+        "rv:quicksort" => quicksort_checksum(f),
+        "rv:matmul" => matmul_checksum(f),
+        "rv:box_blur" => box_blur_checksum(f),
+        "rv:prime_sieve" => prime_sieve_checksum(f),
+        "rv:crc32" => crc32_checksum(f),
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fgstp_isa::InstClass;
+    use fgstp_rv::RvMachine;
+
+    #[test]
+    fn every_rv_program_matches_its_rust_reference() {
+        for w in rv_suite(Scale::Test) {
+            let want = rv_expected_checksum(w.name, Scale::Test).unwrap();
+            let got = w
+                .run_reference()
+                .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            assert_eq!(got, want as u64, "{} checksum diverges", w.name);
+            assert_ne!(want, 0, "{} reference checksum is zero", w.name);
+        }
+    }
+
+    #[test]
+    fn quicksort_memory_image_matches_the_sorted_reference() {
+        let w = rv_suite(Scale::Test).remove(0);
+        assert_eq!(w.name, "rv:quicksort");
+        let crate::WorkloadSource::Rv32(p) = &w.source else {
+            panic!("rv workload has a synthetic source");
+        };
+        let mut m = RvMachine::new(p).unwrap();
+        m.run(64_000_000).unwrap();
+        let want = quicksort_reference_array(Scale::Test.factor());
+        let got: Vec<u32> = (0..want.len())
+            .map(|k| m.read(0x2000 + 4 * k as u32, 4) as u32)
+            .collect();
+        assert_eq!(got, want, "final array is not the sorted input");
+    }
+
+    #[test]
+    fn checksums_are_scale_sensitive() {
+        for w in rv_suite(Scale::Small) {
+            let test = rv_expected_checksum(w.name, Scale::Test).unwrap();
+            let small = rv_expected_checksum(w.name, Scale::Small).unwrap();
+            assert_ne!(test, small, "{} checksum ignores scale", w.name);
+        }
+    }
+
+    #[test]
+    fn dynamic_sizes_are_in_band() {
+        for w in rv_suite(Scale::Test) {
+            let t = w
+                .try_trace(Scale::Test.trace_budget())
+                .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            let n = t.len();
+            assert!(
+                (2_000..200_000).contains(&n),
+                "{} has {} dynamic instructions at test scale",
+                w.name,
+                n
+            );
+        }
+    }
+
+    #[test]
+    fn programs_rebuild_identically() {
+        for (x, y) in rv_suite(Scale::Test).iter().zip(rv_suite(Scale::Test)) {
+            assert_eq!(x.source, y.source, "{} rebuilds identically", x.name);
+        }
+    }
+
+    #[test]
+    fn traces_exercise_the_expected_classes() {
+        let traces: Vec<_> = rv_suite(Scale::Test)
+            .into_iter()
+            .map(|w| (w.name, w.try_trace(Scale::Test.trace_budget()).unwrap()))
+            .collect();
+        let of = |name: &str| &traces.iter().find(|(n, _)| *n == name).unwrap().1;
+        assert!(of("rv:matmul").class_fraction(InstClass::IntMul) > 0.05);
+        assert!(of("rv:box_blur").class_fraction(InstClass::IntDiv) > 0.01);
+        assert!(of("rv:crc32").class_fraction(InstClass::Branch) > 0.2);
+        assert!(of("rv:quicksort").class_fraction(InstClass::Jump) > 0.005);
+        assert!(of("rv:prime_sieve").class_fraction(InstClass::Store) > 0.05);
+    }
+}

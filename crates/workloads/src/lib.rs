@@ -13,6 +13,11 @@
 //! memory-level parallelism — and each kernel reproduces its class's
 //! structure. See `DESIGN.md` for the substitution rationale.
 //!
+//! Alongside the synthetic kernels, [`rv_suite`] provides five *real*
+//! RV32IM programs (`rv:`-prefixed names) assembled and executed by the
+//! `fgstp-rv` frontend and translated into the same dynamic-stream
+//! format — see [`WorkloadSource`].
+//!
 //! Every kernel writes a checksum to [`CHECKSUM_ADDR`] before halting, so
 //! functional correctness of any machine model can be asserted against the
 //! reference interpreter.
@@ -31,9 +36,14 @@
 pub mod gen;
 pub mod kernels;
 
-use fgstp_isa::{ExecError, Machine, Program};
+pub use kernels::rv_expected_checksum;
 
-/// Address at which every kernel stores its 64-bit checksum.
+use fgstp_isa::{Machine, Program, Trace};
+use fgstp_rv::{RvMachine, RvProgram};
+
+/// Address at which every kernel stores its checksum (64-bit for SimRISC
+/// kernels, 32-bit for RV32 programs — [`Workload::run_reference`] reads
+/// it zero-extended either way).
 pub const CHECKSUM_ADDR: u64 = 0x10_0000;
 
 /// Benchmark suite class, mirroring SPECint/SPECfp.
@@ -85,33 +95,104 @@ impl Scale {
     }
 }
 
+/// The program a workload executes, tagged by frontend.
+///
+/// The simulator pipeline is frontend-agnostic: both variants produce a
+/// SimRISC [`Trace`] via [`Workload::try_trace`], and everything
+/// downstream (timing models, trace files, sampling, the service)
+/// consumes that. The tag matters only at trace-generation time and for
+/// cache/dedup identity (translated RV traces carry
+/// [`fgstp_rv::TRANSLATION_VERSION`] in their keys).
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkloadSource {
+    /// A synthetic SimRISC kernel, executed by [`fgstp_isa::Machine`].
+    Synthetic(Program),
+    /// A real RV32IM program, executed by [`fgstp_rv::RvMachine`] and
+    /// translated (see `fgstp_rv::translate`).
+    Rv32(RvProgram),
+}
+
 /// One benchmark: a program plus its identity.
 #[derive(Debug, Clone)]
 pub struct Workload {
-    /// Short kernel name (e.g. `"mcf_pointer"`).
+    /// Short kernel name (e.g. `"mcf_pointer"`, `"rv:quicksort"`).
     pub name: &'static str,
-    /// The SPEC CPU2006 benchmark whose behaviour class it models.
+    /// The SPEC CPU2006 benchmark whose behaviour class it models, or
+    /// the real algorithm for RV32 programs.
     pub models: &'static str,
     /// Suite class.
     pub suite: SuiteClass,
     /// One-line behaviour description.
     pub description: &'static str,
-    /// The assembled program.
-    pub program: Program,
+    /// The assembled program, tagged by frontend.
+    pub source: WorkloadSource,
 }
 
 impl Workload {
-    /// Runs the kernel on the reference interpreter and returns its
-    /// checksum.
+    /// The SimRISC program of a synthetic kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics for RV32 workloads — call sites that reach directly into
+    /// SimRISC internals (the functional interpreters, warm-up replay
+    /// benchmarks) are synthetic-only by construction; everything else
+    /// should go through [`Workload::try_trace`].
+    pub fn program(&self) -> &Program {
+        match &self.source {
+            WorkloadSource::Synthetic(p) => p,
+            WorkloadSource::Rv32(_) => {
+                panic!(
+                    "workload {} is an RV32 program, not a SimRISC kernel",
+                    self.name
+                )
+            }
+        }
+    }
+
+    /// Short frontend tag: `"syn"` for synthetic SimRISC kernels,
+    /// `"rv"` for RV32 programs. Used in trace-cache keys.
+    pub fn frontend(&self) -> &'static str {
+        match self.source {
+            WorkloadSource::Synthetic(_) => "syn",
+            WorkloadSource::Rv32(_) => "rv",
+        }
+    }
+
+    /// Traces the workload's committed dynamic stream, whichever
+    /// frontend it comes from, within `budget` instructions.
     ///
     /// # Errors
     ///
-    /// Returns an [`ExecError`] if the program faults or exceeds the
+    /// A displayable message if the program faults or exceeds `budget`.
+    pub fn try_trace(&self, budget: u64) -> Result<Trace, String> {
+        match &self.source {
+            WorkloadSource::Synthetic(p) => {
+                fgstp_isa::trace_program(p, budget).map_err(|e| e.to_string())
+            }
+            WorkloadSource::Rv32(p) => fgstp_rv::trace_rv(p, budget).map_err(|e| e.to_string()),
+        }
+    }
+
+    /// Runs the workload on its frontend's reference interpreter and
+    /// returns the checksum stored at [`CHECKSUM_ADDR`].
+    ///
+    /// # Errors
+    ///
+    /// A displayable message if the program faults or exceeds the
     /// reference step budget (which would be a kernel bug).
-    pub fn run_reference(&self) -> Result<u64, ExecError> {
-        let mut m = Machine::new(&self.program);
-        m.run(64_000_000)?;
-        Ok(m.mem().read(CHECKSUM_ADDR, 8))
+    pub fn run_reference(&self) -> Result<u64, String> {
+        match &self.source {
+            WorkloadSource::Synthetic(p) => {
+                let mut m = Machine::new(p);
+                m.run(64_000_000).map_err(|e| e.to_string())?;
+                Ok(m.mem().read(CHECKSUM_ADDR, 8))
+            }
+            WorkloadSource::Rv32(p) => {
+                let mut m = RvMachine::new(p).map_err(|e| e.to_string())?;
+                m.run(64_000_000).map_err(|e| e.to_string())?;
+                Ok(m.read(CHECKSUM_ADDR as u32, 8))
+            }
+        }
     }
 }
 
@@ -130,13 +211,39 @@ pub fn long_suite(scale: Scale) -> Vec<Workload> {
     kernels::long_suite(scale)
 }
 
-/// Looks up one kernel by name, searching the main suite first and then
-/// the long-run suite.
+/// Builds the RV32 real-program suite at the given scale: five classic
+/// algorithms (`rv:quicksort`, `rv:matmul`, `rv:box_blur`,
+/// `rv:prime_sieve`, `rv:crc32`) assembled from RV32IM source and fed
+/// through the `fgstp-rv` frontend. Kept separate from [`suite`] so the
+/// recorded synthetic-suite figures are unaffected; experiment E17
+/// compares the two.
+pub fn rv_suite(scale: Scale) -> Vec<Workload> {
+    kernels::rv_suite(scale)
+}
+
+/// Looks up one kernel by name, searching the main suite, then the
+/// long-run suite, then the RV32 suite (`rv:`-prefixed names).
 pub fn by_name(name: &str, scale: Scale) -> Option<Workload> {
+    // The prefix makes rv lookups cheap and collisions impossible.
+    if name.starts_with("rv:") {
+        return rv_suite(scale).into_iter().find(|w| w.name == name);
+    }
     suite(scale)
         .into_iter()
         .find(|w| w.name == name)
         .or_else(|| long_suite(scale).into_iter().find(|w| w.name == name))
+}
+
+/// Every workload name resolvable by [`by_name`], in presentation order
+/// (main suite, long-run suite, RV32 suite) — the canonical list for
+/// "unknown workload" error messages.
+pub fn all_names() -> Vec<&'static str> {
+    suite(Scale::Test)
+        .iter()
+        .chain(long_suite(Scale::Test).iter())
+        .chain(rv_suite(Scale::Test).iter())
+        .map(|w| w.name)
+        .collect()
 }
 
 #[cfg(test)]
@@ -162,6 +269,35 @@ mod tests {
         let w = by_name("chase_long", Scale::Test).unwrap();
         assert_eq!(w.name, "chase_long");
         assert!(by_name("mcf_pointer_long", Scale::Test).is_some());
+    }
+
+    #[test]
+    fn by_name_reaches_the_rv_suite() {
+        let w = by_name("rv:quicksort", Scale::Test).unwrap();
+        assert_eq!(w.frontend(), "rv");
+        assert!(by_name("rv:nonexistent", Scale::Test).is_none());
+    }
+
+    #[test]
+    fn all_names_covers_every_suite_and_stays_unique() {
+        let names = all_names();
+        let unique: std::collections::HashSet<_> = names.iter().collect();
+        assert_eq!(names.len(), unique.len(), "duplicate workload names");
+        for probe in ["mcf_pointer", "chase_long", "rv:crc32"] {
+            assert!(names.contains(&probe), "{probe} missing from all_names");
+        }
+        for n in &names {
+            assert!(by_name(n, Scale::Test).is_some(), "{n} not resolvable");
+        }
+    }
+
+    #[test]
+    fn program_accessor_panics_only_for_rv_sources() {
+        let syn = by_name("mcf_pointer", Scale::Test).unwrap();
+        assert!(!syn.program().insts.is_empty());
+        assert_eq!(syn.frontend(), "syn");
+        let rv = by_name("rv:matmul", Scale::Test).unwrap();
+        assert!(std::panic::catch_unwind(|| rv.program().clone()).is_err());
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! ```
 
 use fg_stp_repro::prelude::*;
-use fg_stp_repro::workloads::SuiteClass;
+use fg_stp_repro::workloads::{SuiteClass, WorkloadSource};
 
 const KERNEL: &str = r#"
     .equ N, 400
@@ -50,7 +50,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         models: "-",
         suite: SuiteClass::Int,
         description: "two interleaved reductions",
-        program,
+        source: WorkloadSource::Synthetic(program),
     };
     let session = Session::new()
         .scale(Scale::Test)

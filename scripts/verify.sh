@@ -58,6 +58,18 @@ awk -F, 'NR > 1 && $3 > 0 { rows++ } END { exit rows == 2 ? 0 : 1 }' \
   cat target/fgstpd_corun.csv
   exit 1
 }
+# Same daemon, RV32-frontend workload: an rv:-prefixed spec must round
+# trip through submit/wait exactly like a synthetic one, coming back as
+# one comparison-triple row with real cycle counts.
+./target/release/fgstp submit "--addr=$FGSTPD_ADDR" test \
+  --workloads=rv:crc32 --machines=small-cmp --wait --csv \
+  > target/fgstpd_rv.csv
+awk -F, 'NR > 1 && $1 == "rv:crc32" && $2 > 0 && $3 > 0 { rows++ }
+         END { exit rows == 1 ? 0 : 1 }' target/fgstpd_rv.csv || {
+  echo "rv: workload did not round-trip through the daemon:"
+  cat target/fgstpd_rv.csv
+  exit 1
+}
 ./target/release/fgstp shutdown "--addr=$FGSTPD_ADDR"
 wait "$FGSTPD_PID"
 # The daemon-served speedup row must reproduce the figures recorded in
@@ -89,6 +101,25 @@ awk '/capacity pressure/ { p = 1; next } /^====/ { p = 0 }
      END { exit found ? 0 : 1 }' target/e16_smoke_a.txt || {
   echo "E16 shows no co-run slowdown for mcf_pointer:"
   cat target/e16_smoke_a.txt
+  exit 1
+}
+
+echo "== RV32-frontend smoke (E17 at test scale, deterministic)"
+# The binary itself asserts an RV-fed Fg-STP rerun is bit-identical;
+# two full runs diffing clean pin the sweep and the stream-mix table,
+# and every RV program must show a real Fg-STP run (speedup > 0).
+cargo build --release -q -p fgstp-bench --bin exp_e17_rv
+./target/release/exp_e17_rv test > target/e17_smoke_a.txt
+./target/release/exp_e17_rv test > target/e17_smoke_b.txt
+cmp -s target/e17_smoke_a.txt target/e17_smoke_b.txt || {
+  echo "E17 RV sweep is not deterministic across reruns:"
+  diff target/e17_smoke_a.txt target/e17_smoke_b.txt || true
+  exit 1
+}
+awk 'NF == 5 && $1 ~ /^rv:/ && $4 > 0 { rows++ }
+     END { exit rows == 5 ? 0 : 1 }' target/e17_smoke_a.txt || {
+  echo "E17 did not produce an Fg-STP figure for all 5 RV programs:"
+  cat target/e17_smoke_a.txt
   exit 1
 }
 

@@ -16,7 +16,8 @@
 //! | module | crate | contents |
 //! |---|---|---|
 //! | [`isa`] | `fgstp-isa` | SimRISC ISA, assembler, functional interpreter, traces |
-//! | [`workloads`] | `fgstp-workloads` | 18 self-checking SPEC-2006-class kernels |
+//! | [`rv`] | `fgstp-rv` | RV32IM frontend: assembler, emulator, trace translation |
+//! | [`workloads`] | `fgstp-workloads` | 18 self-checking SPEC-2006-class kernels + 5 RV32 programs |
 //! | [`mem`] | `fgstp-mem` | caches, MSHRs, prefetcher, two-level hierarchy |
 //! | [`bpred`] | `fgstp-bpred` | direction predictors, BTB, return stack |
 //! | [`ooo`] | `fgstp-ooo` | the cycle-level out-of-order core model |
@@ -51,6 +52,7 @@ pub use fgstp_bpred as bpred;
 pub use fgstp_isa as isa;
 pub use fgstp_mem as mem;
 pub use fgstp_ooo as ooo;
+pub use fgstp_rv as rv;
 pub use fgstp_sampling as sampling;
 pub use fgstp_service as service;
 pub use fgstp_sim as sim;

@@ -1,0 +1,168 @@
+//! Repo-level gates on the RV32IM frontend ([`fg_stp_repro::rv`]).
+//!
+//! Four properties hold the frontend together:
+//!
+//! * the encoder and decoder are exact inverses over the whole RV32IM
+//!   instruction space (randomized property test),
+//! * every in-tree RV program's emulated checksum matches the independent
+//!   Rust reference computation (the differential oracle for RV
+//!   correctness — RV traces never go through SimRISC value
+//!   re-verification),
+//! * RV workloads ride the sampled-simulation path bit-identically for
+//!   any worker-pool size, exactly like the synthetic suite
+//!   (`tests/sampling.rs`), and
+//! * RV workloads co-run with synthetic workloads on one chip, again
+//!   bit-identically for any pool size.
+
+use fg_stp_repro::prelude::*;
+use fg_stp_repro::rv::{decode, encode, RvFormat, RvInst, RvOp};
+use fg_stp_repro::sim::CoRunSpec;
+use fg_stp_repro::workloads::gen::Xorshift;
+use fg_stp_repro::workloads::{by_name, rv_expected_checksum, rv_suite};
+
+/// A uniformly random well-formed instruction: random opcode, random
+/// registers, and an immediate drawn from the opcode's legal range (even
+/// byte offsets for branches/`jal`, 20-bit page constants for `lui`/
+/// `auipc`, 5-bit shift amounts).
+fn random_inst(g: &mut Xorshift) -> RvInst {
+    let op = *g.pick(&RvOp::ALL);
+    let reg = |g: &mut Xorshift| g.below(32) as u8;
+    match op.format() {
+        RvFormat::R => RvInst::r(op, reg(g), reg(g), reg(g)),
+        RvFormat::I => {
+            let imm = match op {
+                RvOp::Slli | RvOp::Srli | RvOp::Srai => g.range_i64(0, 32),
+                _ => g.range_i64(-2048, 2048),
+            };
+            RvInst::i(op, reg(g), reg(g), imm as i32)
+        }
+        RvFormat::Load => RvInst::i(op, reg(g), reg(g), g.range_i64(-2048, 2048) as i32),
+        RvFormat::S => RvInst::s(op, reg(g), reg(g), g.range_i64(-2048, 2048) as i32),
+        RvFormat::B => RvInst::b(op, reg(g), reg(g), g.range_i64(-2048, 2048) as i32 * 2),
+        RvFormat::U => RvInst::u(op, reg(g), ((g.next_u64() as u32 & 0xf_ffff) << 12) as i32),
+        RvFormat::J => RvInst::jal(reg(g), g.range_i64(-(1 << 19), 1 << 19) as i32 * 2),
+        RvFormat::Sys => unreachable!("RvOp::ALL excludes system instructions"),
+    }
+}
+
+/// `decode(encode(i)) == i` and `encode(decode(w)) == w` over thousands of
+/// random instructions spanning every opcode and immediate range.
+#[test]
+fn encoder_and_decoder_are_inverses_over_random_instructions() {
+    let mut g = Xorshift::new(0x5eed_0032);
+    let mut seen = std::collections::HashSet::new();
+    for _ in 0..4000 {
+        let inst = random_inst(&mut g);
+        seen.insert(inst.op);
+        let word = encode(&inst);
+        let back = decode(word).unwrap_or_else(|e| panic!("{inst} encoded to rejected word: {e}"));
+        assert_eq!(back, inst, "decode(encode({inst})) @ {word:#010x}");
+        assert_eq!(encode(&back), word, "encode(decode({word:#010x}))");
+    }
+    assert_eq!(
+        seen.len(),
+        RvOp::ALL.len(),
+        "4000 draws cover every computational opcode"
+    );
+}
+
+/// Random 32-bit words that the decoder accepts re-encode to the same
+/// word: decoding never loses bits it would need to reproduce the
+/// encoding (and rejects compressed-width words outright).
+#[test]
+fn accepted_words_reencode_exactly() {
+    let mut g = Xorshift::new(0xdec0de);
+    let mut accepted = 0u32;
+    for _ in 0..200_000 {
+        let word = g.next_u64() as u32;
+        if let Ok(inst) = decode(word) {
+            accepted += 1;
+            assert_eq!(encode(&inst), word, "{inst} from {word:#010x}");
+        }
+    }
+    assert!(
+        accepted > 100,
+        "fuzz actually exercised the decoder: {accepted}"
+    );
+}
+
+/// Every RV program's emulated checksum equals the independent Rust
+/// reference computation, at both in-repo test scales. This is the
+/// frontend's correctness oracle: SimRISC value re-verification never
+/// sees RV traces, so the differential check carries the full weight.
+#[test]
+fn rv_programs_match_reference_checksums_at_both_scales() {
+    for scale in [Scale::Test, Scale::Small] {
+        for w in rv_suite(scale) {
+            let expected = rv_expected_checksum(w.name, scale)
+                .unwrap_or_else(|| panic!("{} has a reference checksum", w.name));
+            let got = w
+                .run_reference()
+                .unwrap_or_else(|e| panic!("{} failed on the emulator: {e}", w.name));
+            assert_eq!(got, expected as u64, "{} @ {scale:?}", w.name);
+        }
+    }
+}
+
+fn regime() -> SampleConfig {
+    SampleConfig {
+        interval: 10_000,
+        warmup: 600,
+        detail: 300,
+    }
+}
+
+fn fingerprint(results: &[fg_stp_repro::sim::BenchResult]) -> String {
+    format!("{results:#?}")
+}
+
+/// An RV workload through [`Session::sample`] is bit-identical for any
+/// worker-pool size — the same gate `tests/sampling.rs` pins for the
+/// synthetic long suite.
+#[test]
+fn sampled_rv_runs_are_bit_identical_across_pool_sizes() {
+    let run = |threads: usize| {
+        let results = Session::new()
+            .scale(Scale::Test)
+            .machines([MachineKind::SingleSmall, MachineKind::FgstpSmall])
+            .threads(threads)
+            .no_cache()
+            .sample(regime())
+            .plan()
+            .workloads([by_name("rv:crc32", Scale::Test).unwrap()])
+            .execute();
+        assert_eq!(results.len(), 1);
+        assert!(results[0].error.is_none(), "{:?}", results[0].error);
+        assert!(results[0].committed > 0);
+        fingerprint(&results)
+    };
+    assert_eq!(
+        run(1),
+        run(4),
+        "sampled RV run must not depend on pool size"
+    );
+}
+
+/// A 2-program co-run mixing an RV program with a synthetic kernel runs
+/// on one four-core Fg-STP chip and is bit-identical for any pool size.
+#[test]
+fn rv_corun_with_synthetic_kernel_is_bit_identical_across_pool_sizes() {
+    let spec = CoRunSpec::parse("rv:quicksort:2,perl_hash:2").unwrap();
+    let run = |threads: usize| {
+        let results = Session::new()
+            .scale(Scale::Test)
+            .machines([MachineKind::FgstpSmall4])
+            .threads(threads)
+            .no_cache()
+            .corun(spec.clone())
+            .run_suite();
+        assert_eq!(results.len(), 2, "one result per co-running program");
+        assert_eq!(results[0].name, "rv:quicksort");
+        assert_eq!(results[1].name, "perl_hash");
+        for r in &results {
+            assert!(r.committed > 0, "{} traced", r.name);
+        }
+        fingerprint(&results)
+    };
+    assert_eq!(run(1), run(4), "co-run must not depend on pool size");
+}

@@ -26,7 +26,7 @@ fn every_workload_partition_preserves_semantics() {
         let t = trace_workload(&w, Scale::Test);
         let stream = build_exec_stream(t.insts());
         let data: Vec<(u64, Vec<u8>)> = w
-            .program
+            .program()
             .data
             .iter()
             .map(|d| (d.addr, d.bytes.clone()))

@@ -99,7 +99,9 @@ fn a_workload_that_fails_to_trace_is_reported_not_fatal() {
         models: "none",
         suite: SuiteClass::Int,
         description: "infinite loop; must fail to trace",
-        program: fg_stp_repro::isa::assemble("top:\nbeq x0, x0, top\n").unwrap(),
+        source: fg_stp_repro::workloads::WorkloadSource::Synthetic(
+            fg_stp_repro::isa::assemble("top:\nbeq x0, x0, top\n").unwrap(),
+        ),
     };
     let good = fg_stp_repro::workloads::by_name("hmmer_dp", Scale::Test).unwrap();
     let results = Session::new()

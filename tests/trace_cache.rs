@@ -27,8 +27,8 @@ fn cache_round_trip_and_corruption_fallback() {
     let cache_file = &files[0];
     let name = cache_file.file_name().unwrap().to_str().unwrap();
     assert!(
-        name.starts_with("gcc_expr-test-v") && name.ends_with(".fgtr"),
-        "key is workload + scale + format version: {name}"
+        name.starts_with("syn-gcc_expr-test-v") && name.ends_with(".fgtr"),
+        "key is frontend + workload + scale + format version: {name}"
     );
 
     // Warm: hit, identical trace.

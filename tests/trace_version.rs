@@ -68,6 +68,49 @@ fn version_bump_orphans_old_cache_files() {
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
+/// Cache file names lead with the frontend — `syn-` for SimRISC kernels,
+/// `rv<translation-version>-` for RV32 programs — so traces produced by
+/// different frontends (or different translation schemes) can never
+/// collide, and both frontends hit their own files on a warm re-read.
+#[test]
+fn cache_file_identity_separates_frontends() {
+    let dir = temp_dir("frontend");
+    let _ = std::fs::remove_dir_all(&dir);
+    let syn = by_name("gcc_expr", Scale::Test).unwrap();
+    let rv = by_name("rv:crc32", Scale::Test).unwrap();
+
+    let writer = Session::new().scale(Scale::Test).cache_dir(&dir);
+    let syn_trace = writer.trace(&syn);
+    let rv_trace = writer.trace(&rv);
+    assert_eq!(writer.cache_stats(), CacheStats { hits: 0, misses: 2 });
+
+    let names: Vec<String> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().to_str().unwrap().to_owned())
+        .collect();
+    assert_eq!(names.len(), 2, "{names:?}");
+    assert!(
+        names.iter().any(|n| n.starts_with("syn-gcc_expr-")),
+        "synthetic trace file carries the syn prefix: {names:?}"
+    );
+    let rv_prefix = format!("rv{}-rv_crc32-", fg_stp_repro::rv::TRANSLATION_VERSION);
+    assert!(
+        names.iter().any(|n| n.starts_with(&rv_prefix)),
+        "RV trace file carries the translation-versioned prefix: {names:?}"
+    );
+
+    let reader = Session::new().scale(Scale::Test).cache_dir(&dir);
+    assert_eq!(reader.trace(&syn), syn_trace);
+    assert_eq!(reader.trace(&rv), rv_trace);
+    assert_eq!(
+        reader.cache_stats(),
+        CacheStats { hits: 2, misses: 0 },
+        "both frontends hit their own files"
+    );
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
 /// The service queue's dedup identity is the spec's `dedup_key`, and that
 /// key is versioned by the trace format: equal specs dedup to one job,
 /// while the same spec keyed by a different format version can never
@@ -76,10 +119,13 @@ fn version_bump_orphans_old_cache_files() {
 fn queue_dedup_is_keyed_by_the_versioned_spec_identity() {
     let spec = ExperimentSpec::from_args(&["test", "--workloads=perl_hash"]).unwrap();
     let key = spec.dedup_key();
-    let prefix = format!("fgtr-v{VERSION}:");
+    let prefix = format!(
+        "fgtr-v{VERSION}-rv{}:",
+        fg_stp_repro::rv::TRANSLATION_VERSION
+    );
     assert!(
         key.starts_with(&prefix),
-        "dedup key is versioned by the trace format: {key}"
+        "dedup key is versioned by the trace format and RV translation: {key}"
     );
 
     // Same spec, same build: the queue returns the first job instead of
@@ -94,9 +140,20 @@ fn queue_dedup_is_keyed_by_the_versioned_spec_identity() {
     // A pre-bump build computes the same spec body under the previous
     // version prefix. The queue's dedup map is keyed on the full string,
     // so the old and new identities are distinct — a format bump re-keys
-    // every job, exactly like it re-keys the cache files.
-    let old_key = format!("fgtr-v{}:{}", VERSION - 1, &key[prefix.len()..]);
+    // every job, exactly like it re-keys the cache files. The same holds
+    // for a translation-scheme bump on the RV side of the prefix.
+    let body = &key[prefix.len()..];
+    let old_key = format!(
+        "fgtr-v{}-rv{}:{body}",
+        VERSION - 1,
+        fg_stp_repro::rv::TRANSLATION_VERSION
+    );
     assert_ne!(old_key, key);
+    let old_rv_key = format!(
+        "fgtr-v{VERSION}-rv{}:{body}",
+        fg_stp_repro::rv::TRANSLATION_VERSION + 1
+    );
+    assert_ne!(old_rv_key, key);
 
     // Distinct spec bodies stay distinct jobs under the same version.
     let other = ExperimentSpec::from_args(&["test", "--workloads=hmmer_dp"]).unwrap();

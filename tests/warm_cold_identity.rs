@@ -21,7 +21,7 @@ fn traced(name: &str) -> Vec<fg_stp_repro::isa::DynInst> {
         .into_iter()
         .find(|w| w.name == name)
         .unwrap_or_else(|| panic!("kernel {name} in suite"));
-    trace_program(&w.program, Scale::Test.trace_budget())
+    trace_program(w.program(), Scale::Test.trace_budget())
         .expect("suite kernel terminates")
         .insts()
         .to_vec()
