@@ -1,5 +1,7 @@
 //! Branch target buffer.
 
+use crate::codec::{put_u64, take_u64};
+
 /// A direct-mapped branch target buffer.
 ///
 /// Maps a branch PC to its most recent taken target. The frontend uses a
@@ -51,6 +53,49 @@ impl Btb {
     pub fn stats(&self) -> (u64, u64) {
         (self.hits, self.misses)
     }
+
+    /// Appends the full BTB state (entries and statistics) to `out`.
+    pub fn save_state(&self, out: &mut Vec<u8>) {
+        put_u64(out, self.entries.len() as u64);
+        for e in &self.entries {
+            match e {
+                Some((pc, target)) => {
+                    out.push(1);
+                    put_u64(out, *pc);
+                    put_u64(out, *target);
+                }
+                None => out.push(0),
+            }
+        }
+        put_u64(out, self.hits);
+        put_u64(out, self.misses);
+    }
+
+    /// Restores state written by [`Btb::save_state`] on a same-size BTB,
+    /// consuming it from the front of `bytes`.
+    pub fn load_state(&mut self, bytes: &mut &[u8]) -> Result<(), String> {
+        let n = take_u64(bytes)? as usize;
+        if n != self.entries.len() {
+            return Err(format!(
+                "btb shape mismatch: {n} entries, expected {}",
+                self.entries.len()
+            ));
+        }
+        for e in &mut self.entries {
+            let Some((&flag, rest)) = bytes.split_first() else {
+                return Err("btb snapshot truncated".to_owned());
+            };
+            *bytes = rest;
+            *e = match flag {
+                0 => None,
+                1 => Some((take_u64(bytes)?, take_u64(bytes)?)),
+                other => return Err(format!("bad btb entry flag {other}")),
+            };
+        }
+        self.hits = take_u64(bytes)?;
+        self.misses = take_u64(bytes)?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -81,5 +126,26 @@ mod tests {
         btb.update(0x3, 10);
         btb.update(0x3, 20);
         assert_eq!(btb.lookup(0x3), Some(20));
+    }
+
+    #[test]
+    fn state_round_trips_and_rejects_mismatch() {
+        let mut btb = Btb::new(4);
+        btb.update(0x3, 10);
+        btb.update(0x7, 30);
+        btb.lookup(0x3);
+        btb.lookup(0x9);
+        let mut bytes = Vec::new();
+        btb.save_state(&mut bytes);
+        let mut restored = Btb::new(4);
+        let mut r = bytes.as_slice();
+        restored.load_state(&mut r).unwrap();
+        assert!(r.is_empty());
+        assert_eq!(restored.stats(), btb.stats());
+        assert_eq!(restored.lookup(0x3), Some(10));
+        assert_eq!(restored.lookup(0x7), Some(30));
+        assert!(Btb::new(2).load_state(&mut bytes.as_slice()).is_err());
+        let mut truncated = &bytes[..bytes.len() - 3];
+        assert!(Btb::new(4).load_state(&mut truncated).is_err());
     }
 }

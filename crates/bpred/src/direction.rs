@@ -2,17 +2,33 @@
 
 use std::fmt;
 
+use crate::codec::{put_bytes, put_u64, take_bytes_exact, take_u64};
+
 /// A conditional-branch direction predictor.
 ///
 /// `predict` must not change predictor state; `update` trains with the
 /// resolved outcome. The timing models call `predict` at fetch and `update`
 /// at commit, in program order.
+///
+/// Predictors are snapshottable for checkpointed sampling: `save_state`
+/// serializes the trained tables, `load_state` restores them into a
+/// predictor *of the same shape* (same [`PredictorKind`], same index
+/// bits). A shape mismatch is reported as an `Err`, never a panic, so a
+/// stale snapshot degrades to a re-warm instead of taking the run down.
 pub trait DirectionPredictor {
     /// Predicts the direction of the branch at `pc`.
     fn predict(&self, pc: u64) -> bool;
 
     /// Trains with the resolved direction of the branch at `pc`.
     fn update(&mut self, pc: u64, taken: bool);
+
+    /// Appends the trained state (tables and history) to `out`.
+    fn save_state(&self, out: &mut Vec<u8>);
+
+    /// Restores state written by [`save_state`](Self::save_state) on a
+    /// same-shape predictor, consuming it from the front of `bytes`. On
+    /// error the predictor's state is unspecified — discard it.
+    fn load_state(&mut self, bytes: &mut &[u8]) -> Result<(), String>;
 }
 
 /// Saturating 2-bit counter helpers.
@@ -59,6 +75,16 @@ impl DirectionPredictor for Bimodal {
         let i = self.index(pc);
         self.counters[i] = counter_train(self.counters[i], taken);
     }
+
+    fn save_state(&self, out: &mut Vec<u8>) {
+        put_bytes(out, &self.counters);
+    }
+
+    fn load_state(&mut self, bytes: &mut &[u8]) -> Result<(), String> {
+        let n = self.counters.len();
+        self.counters.copy_from_slice(take_bytes_exact(bytes, n)?);
+        Ok(())
+    }
 }
 
 /// Gshare: global history XOR PC indexing into 2-bit counters.
@@ -94,6 +120,18 @@ impl DirectionPredictor for Gshare {
         let i = self.index(pc);
         self.counters[i] = counter_train(self.counters[i], taken);
         self.history = ((self.history << 1) | u64::from(taken)) & self.history_mask;
+    }
+
+    fn save_state(&self, out: &mut Vec<u8>) {
+        put_bytes(out, &self.counters);
+        put_u64(out, self.history);
+    }
+
+    fn load_state(&mut self, bytes: &mut &[u8]) -> Result<(), String> {
+        let n = self.counters.len();
+        self.counters.copy_from_slice(take_bytes_exact(bytes, n)?);
+        self.history = take_u64(bytes)? & self.history_mask;
+        Ok(())
     }
 }
 
@@ -139,6 +177,20 @@ impl DirectionPredictor for Tournament {
         }
         self.bimodal.update(pc, taken);
         self.gshare.update(pc, taken);
+    }
+
+    fn save_state(&self, out: &mut Vec<u8>) {
+        self.bimodal.save_state(out);
+        self.gshare.save_state(out);
+        put_bytes(out, &self.chooser);
+    }
+
+    fn load_state(&mut self, bytes: &mut &[u8]) -> Result<(), String> {
+        self.bimodal.load_state(bytes)?;
+        self.gshare.load_state(bytes)?;
+        let n = self.chooser.len();
+        self.chooser.copy_from_slice(take_bytes_exact(bytes, n)?);
+        Ok(())
     }
 }
 
@@ -259,6 +311,43 @@ mod tests {
             let _ = p.predict(0x8);
             assert!(!kind.to_string().is_empty());
         }
+    }
+
+    #[test]
+    fn state_round_trips_through_bytes_for_every_kind() {
+        for kind in [
+            PredictorKind::Bimodal(8),
+            PredictorKind::Gshare(8),
+            PredictorKind::Tournament(8),
+        ] {
+            let mut trained = kind.build();
+            for (i, &(pc, t)) in loop_stream(0x30, 7, 40).iter().enumerate() {
+                trained.update(pc, t);
+                trained.update(0x90 + i as u64, i % 3 == 0);
+            }
+            let mut bytes = Vec::new();
+            trained.save_state(&mut bytes);
+            let mut restored = kind.build();
+            let mut r = bytes.as_slice();
+            restored.load_state(&mut r).unwrap();
+            assert!(r.is_empty(), "load consumes exactly what save wrote");
+            // Behavioural identity: same predictions, same evolution.
+            for &(pc, t) in &alternating_stream(0x30, 64) {
+                assert_eq!(restored.predict(pc), trained.predict(pc), "{kind}");
+                restored.update(pc, t);
+                trained.update(pc, t);
+            }
+        }
+    }
+
+    #[test]
+    fn state_load_rejects_wrong_shape() {
+        let mut bytes = Vec::new();
+        Bimodal::new(8).save_state(&mut bytes);
+        let mut small = Bimodal::new(6);
+        assert!(small.load_state(&mut bytes.as_slice()).is_err());
+        let mut truncated = &bytes[..bytes.len() - 1];
+        assert!(Bimodal::new(8).load_state(&mut truncated).is_err());
     }
 
     #[test]

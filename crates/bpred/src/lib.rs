@@ -18,6 +18,7 @@
 //! ```
 
 pub mod btb;
+mod codec;
 pub mod direction;
 pub mod ras;
 

@@ -1,5 +1,7 @@
 //! Return-address stack.
 
+use crate::codec::{put_u64, take_u64};
+
 /// A fixed-depth return-address stack with wrap-around overwrite, as in
 /// real frontends (an overflowing push silently drops the oldest entry).
 #[derive(Debug, Clone)]
@@ -51,6 +53,39 @@ impl ReturnStack {
     pub fn is_empty(&self) -> bool {
         self.len == 0
     }
+
+    /// Appends the full stack state to `out`.
+    pub fn save_state(&self, out: &mut Vec<u8>) {
+        put_u64(out, self.entries.len() as u64);
+        for &e in &self.entries {
+            put_u64(out, e);
+        }
+        put_u64(out, self.top as u64);
+        put_u64(out, self.len as u64);
+    }
+
+    /// Restores state written by [`ReturnStack::save_state`] on a
+    /// same-depth stack, consuming it from the front of `bytes`.
+    pub fn load_state(&mut self, bytes: &mut &[u8]) -> Result<(), String> {
+        let depth = take_u64(bytes)? as usize;
+        if depth != self.entries.len() {
+            return Err(format!(
+                "ras shape mismatch: depth {depth}, expected {}",
+                self.entries.len()
+            ));
+        }
+        for e in &mut self.entries {
+            *e = take_u64(bytes)?;
+        }
+        let top = take_u64(bytes)? as usize;
+        let len = take_u64(bytes)? as usize;
+        if top >= depth || len > depth {
+            return Err(format!("ras snapshot out of range: top {top}, len {len}"));
+        }
+        self.top = top;
+        self.len = len;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -83,5 +118,28 @@ mod tests {
     #[should_panic(expected = "at least one entry")]
     fn zero_depth_panics() {
         ReturnStack::new(0);
+    }
+
+    #[test]
+    fn state_round_trips_and_rejects_mismatch() {
+        let mut ras = ReturnStack::new(4);
+        for v in [10, 20, 30, 40, 50] {
+            ras.push(v); // overflows once: wrap state matters
+        }
+        ras.pop();
+        let mut bytes = Vec::new();
+        ras.save_state(&mut bytes);
+        let mut restored = ReturnStack::new(4);
+        let mut r = bytes.as_slice();
+        restored.load_state(&mut r).unwrap();
+        assert!(r.is_empty());
+        assert_eq!(restored.len(), ras.len());
+        assert_eq!(restored.pop(), Some(40));
+        assert_eq!(restored.pop(), Some(30));
+        assert!(ReturnStack::new(2)
+            .load_state(&mut bytes.as_slice())
+            .is_err());
+        let mut truncated = &bytes[..bytes.len() - 5];
+        assert!(ReturnStack::new(4).load_state(&mut truncated).is_err());
     }
 }

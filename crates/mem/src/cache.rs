@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use crate::codec::{put_u64, take_u64, take_u8};
+
 /// Static cache geometry and latency.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheConfig {
@@ -227,6 +229,64 @@ impl Cache {
         } else {
             false
         }
+    }
+
+    /// Appends the full cache state — geometry check header, LRU clock,
+    /// statistics and every line's (tag, valid, dirty, last-use) — to
+    /// `out`, for checkpointed-sampling snapshots.
+    pub fn save_state(&self, out: &mut Vec<u8>) {
+        put_u64(out, self.sets.len() as u64);
+        put_u64(out, u64::from(self.config.assoc));
+        put_u64(out, self.use_counter);
+        put_u64(out, self.stats.accesses);
+        put_u64(out, self.stats.hits);
+        put_u64(out, self.stats.misses);
+        put_u64(out, self.stats.writebacks);
+        put_u64(out, self.stats.prefetch_fills);
+        for set in &self.sets {
+            for line in set {
+                put_u64(out, line.tag);
+                out.push(u8::from(line.valid) | (u8::from(line.dirty) << 1));
+                put_u64(out, line.last_use);
+            }
+        }
+    }
+
+    /// Restores state written by [`Cache::save_state`] on a same-geometry
+    /// cache, consuming it from the front of `bytes`. A geometry mismatch
+    /// or truncation is an `Err` (the cache is then unspecified — discard
+    /// it), never a panic.
+    pub fn load_state(&mut self, bytes: &mut &[u8]) -> Result<(), String> {
+        let sets = take_u64(bytes)? as usize;
+        let assoc = take_u64(bytes)?;
+        if sets != self.sets.len() || assoc != u64::from(self.config.assoc) {
+            return Err(format!(
+                "cache shape mismatch: {sets}x{assoc}, expected {}x{}",
+                self.sets.len(),
+                self.config.assoc
+            ));
+        }
+        self.use_counter = take_u64(bytes)?;
+        self.stats = CacheStats {
+            accesses: take_u64(bytes)?,
+            hits: take_u64(bytes)?,
+            misses: take_u64(bytes)?,
+            writebacks: take_u64(bytes)?,
+            prefetch_fills: take_u64(bytes)?,
+        };
+        for set in &mut self.sets {
+            for line in set {
+                line.tag = take_u64(bytes)?;
+                let flags = take_u8(bytes)?;
+                if flags > 3 {
+                    return Err(format!("bad cache line flags {flags}"));
+                }
+                line.valid = flags & 1 != 0;
+                line.dirty = flags & 2 != 0;
+                line.last_use = take_u64(bytes)?;
+            }
+        }
+        Ok(())
     }
 
     fn fill_line(&mut self, set: usize, tag: u64, dirty: bool) -> Option<u64> {

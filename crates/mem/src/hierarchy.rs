@@ -530,6 +530,39 @@ impl Hierarchy {
         self.l1d[core].probe(self.eff(core, addr))
     }
 
+    /// Appends the hierarchy's *warm* state — every cache's tags, LRU
+    /// clocks and statistics — to `out`, for checkpointed-sampling
+    /// snapshots. Functional warming ([`Hierarchy::warm_data`] /
+    /// [`Hierarchy::warm_inst`]) only ever moves this state: MSHRs,
+    /// prefetchers, the DRAM channel and invalidation counters stay at
+    /// their initial values, so they are reconstructed from the config on
+    /// load rather than serialized.
+    pub fn save_warm_state(&self, out: &mut Vec<u8>) {
+        crate::codec::put_u64(out, self.config.cores as u64);
+        for c in self.l1i.iter().chain(&self.l1d) {
+            c.save_state(out);
+        }
+        self.l2.save_state(out);
+    }
+
+    /// Restores state written by [`Hierarchy::save_warm_state`] on a
+    /// same-geometry hierarchy, consuming it from the front of `bytes`.
+    /// Any mismatch is an `Err` (the hierarchy is then unspecified —
+    /// discard it), never a panic.
+    pub fn load_warm_state(&mut self, bytes: &mut &[u8]) -> Result<(), String> {
+        let cores = crate::codec::take_u64(bytes)? as usize;
+        if cores != self.config.cores {
+            return Err(format!(
+                "hierarchy shape mismatch: {cores} cores, expected {}",
+                self.config.cores
+            ));
+        }
+        for c in self.l1i.iter_mut().chain(&mut self.l1d) {
+            c.load_state(bytes)?;
+        }
+        self.l2.load_state(bytes)
+    }
+
     /// Snapshot of all statistics.
     pub fn stats(&self) -> HierarchyStats {
         HierarchyStats {
@@ -861,5 +894,49 @@ mod tests {
     #[should_panic(expected = "dense from zero")]
     fn sparse_requestor_ids_are_rejected() {
         Hierarchy::new_shared(&HierarchyConfig::small(2), &[0, 2], None);
+    }
+
+    #[test]
+    fn warm_state_round_trips_through_bytes() {
+        let cfg = HierarchyConfig::small(2);
+        let mut warmed = Hierarchy::new(&cfg);
+        for i in 0..5_000u64 {
+            warmed.warm_data(i * 72 % 0x2_0000, i % 9 == 0);
+            warmed.warm_inst(i % 700);
+        }
+        let mut bytes = Vec::new();
+        warmed.save_warm_state(&mut bytes);
+        let mut restored = Hierarchy::new(&cfg);
+        let mut r = bytes.as_slice();
+        restored.load_warm_state(&mut r).unwrap();
+        assert!(r.is_empty(), "load consumes exactly what save wrote");
+        // Statistics and behaviour are identical from here on.
+        assert_eq!(restored.stats().l2, warmed.stats().l2);
+        assert_eq!(restored.stats().l1d, warmed.stats().l1d);
+        for i in 0..500u64 {
+            let addr = i * 104 % 0x2_0000;
+            let a = warmed.access_data((i % 2) as usize, addr, false, i * 3);
+            let b = restored.access_data((i % 2) as usize, addr, false, i * 3);
+            assert_eq!(a, b, "post-restore timing diverged at access {i}");
+        }
+        assert_eq!(restored.stats().l2, warmed.stats().l2);
+    }
+
+    #[test]
+    fn warm_state_load_rejects_mismatch_and_truncation() {
+        let mut h = Hierarchy::new(&HierarchyConfig::small(2));
+        h.warm_data(0x40, false);
+        let mut bytes = Vec::new();
+        h.save_warm_state(&mut bytes);
+        let mut wrong_cores = Hierarchy::new(&HierarchyConfig::small(1));
+        assert!(wrong_cores.load_warm_state(&mut bytes.as_slice()).is_err());
+        let mut wrong_geometry = Hierarchy::new(&HierarchyConfig::medium(2));
+        assert!(wrong_geometry
+            .load_warm_state(&mut bytes.as_slice())
+            .is_err());
+        let mut truncated = &bytes[..bytes.len() / 2];
+        assert!(Hierarchy::new(&HierarchyConfig::small(2))
+            .load_warm_state(&mut truncated)
+            .is_err());
     }
 }

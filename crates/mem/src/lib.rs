@@ -24,6 +24,7 @@
 //! ```
 
 pub mod cache;
+mod codec;
 pub mod hierarchy;
 pub mod mshr;
 pub mod prefetch;

@@ -125,6 +125,37 @@ impl PredictorState {
         }
     }
 
+    /// Appends the full predictor-bundle state — direction tables, BTB,
+    /// RAS and the cumulative branch counters — to `out`, for
+    /// checkpointed-sampling snapshots.
+    pub fn save_state(&self, out: &mut Vec<u8>) {
+        self.dir.save_state(out);
+        self.btb.save_state(out);
+        self.ras.save_state(out);
+        out.extend_from_slice(&self.branches.to_le_bytes());
+        out.extend_from_slice(&self.mispredicts.to_le_bytes());
+    }
+
+    /// Restores state written by [`PredictorState::save_state`] on a
+    /// bundle built from the same [`CoreConfig`], consuming it from the
+    /// front of `bytes`. Any shape mismatch or truncation is an `Err`
+    /// (the bundle is then unspecified — discard it), never a panic.
+    pub fn load_state(&mut self, bytes: &mut &[u8]) -> Result<(), String> {
+        self.dir.load_state(bytes)?;
+        self.btb.load_state(bytes)?;
+        self.ras.load_state(bytes)?;
+        let mut take = || -> Result<u64, String> {
+            let Some((head, rest)) = bytes.split_first_chunk::<8>() else {
+                return Err("predictor snapshot truncated".to_owned());
+            };
+            *bytes = rest;
+            Ok(u64::from_le_bytes(*head))
+        };
+        self.branches = take()?;
+        self.mispredicts = take()?;
+        Ok(())
+    }
+
     /// Predicts and trains on the control instruction `x`.
     pub fn predict(&mut self, x: &ExecInst) -> Prediction {
         self.predict_dyn(&x.d)

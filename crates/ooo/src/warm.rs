@@ -73,6 +73,49 @@ impl WarmState {
         }
     }
 
+    /// Serializes the full warm state — hierarchy, predictor bundle and
+    /// architectural registers — into one byte payload. The payload is
+    /// shape-checked but unversioned and unchecksummed; the snapshot
+    /// container in `fgstp-tracefile` adds both.
+    pub fn save_state(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.mem.save_warm_state(&mut out);
+        self.pred.save_state(&mut out);
+        for r in &self.regs {
+            out.extend_from_slice(&r.to_le_bytes());
+        }
+        out
+    }
+
+    /// Rebuilds a warm state for the machine described by (`cfg`, `hcfg`)
+    /// from a payload written by [`WarmState::save_state`] on the same
+    /// machine shape. Any mismatch, truncation or trailing garbage is an
+    /// `Err` — the caller falls back to cold warming — never a panic.
+    pub fn from_state_bytes(
+        cfg: &CoreConfig,
+        hcfg: &HierarchyConfig,
+        bytes: &[u8],
+    ) -> Result<WarmState, String> {
+        let mut w = WarmState::new(cfg, hcfg);
+        let mut r = bytes;
+        w.mem.load_warm_state(&mut r)?;
+        w.pred.load_state(&mut r)?;
+        for reg in &mut w.regs {
+            let Some((head, rest)) = r.split_first_chunk::<8>() else {
+                return Err("warm-state snapshot truncated (regs)".to_owned());
+            };
+            r = rest;
+            *reg = u64::from_le_bytes(*head);
+        }
+        if !r.is_empty() {
+            return Err(format!(
+                "warm-state snapshot has {} trailing bytes",
+                r.len()
+            ));
+        }
+        Ok(w)
+    }
+
     /// Applies the register writebacks of `insts` without touching caches
     /// or predictors — used after a *detailed* window (which already
     /// simulated its memory and control traffic) to keep the architectural
@@ -138,6 +181,62 @@ mod tests {
         assert!(stats.l1d[0].accesses > 0);
         assert_eq!(stats.l1d[0].accesses, stats.l1d[1].accesses);
         assert!(w.mem.l1d_has(0, 0x2000) && w.mem.l1d_has(1, 0x2000));
+    }
+
+    #[test]
+    fn warm_state_round_trips_through_bytes() {
+        let src = r#"
+            li x1, 0x2000
+            li x9, 200
+        loop:
+            sd   x9, 0(x1)
+            ld   x5, 8(x1)
+            addi x1, x1, 16
+            addi x9, x9, -1
+            bne  x9, x0, loop
+            halt
+        "#;
+        let p = assemble(src).unwrap();
+        let t = trace_program(&p, 10_000).unwrap();
+        let cfg = CoreConfig::small();
+        let hcfg = fgstp_mem::HierarchyConfig::small(2);
+        let mut w = WarmState::new(&cfg, &hcfg);
+        w.warm(t.insts());
+        let bytes = w.save_state();
+        let mut r = WarmState::from_state_bytes(&cfg, &hcfg, &bytes).unwrap();
+        assert_eq!(r.regs, w.regs);
+        assert_eq!(r.pred.branches, w.pred.branches);
+        assert_eq!(r.pred.mispredicts, w.pred.mispredicts);
+        assert_eq!(
+            format!("{:?}", r.mem.stats()),
+            format!("{:?}", w.mem.stats())
+        );
+        // Post-restore behavior is identical too: warming the same tail
+        // through both states produces identical predictor/cache stats.
+        w.warm(t.insts());
+        r.warm(t.insts());
+        assert_eq!(r.pred.mispredicts, w.pred.mispredicts);
+        assert_eq!(
+            format!("{:?}", r.mem.stats()),
+            format!("{:?}", w.mem.stats())
+        );
+    }
+
+    #[test]
+    fn warm_state_load_rejects_bad_payloads() {
+        let cfg = CoreConfig::small();
+        let hcfg = fgstp_mem::HierarchyConfig::small(1);
+        let w = WarmState::new(&cfg, &hcfg);
+        let bytes = w.save_state();
+        // Truncation fails.
+        assert!(WarmState::from_state_bytes(&cfg, &hcfg, &bytes[..bytes.len() - 1]).is_err());
+        // Trailing garbage fails.
+        let mut long = bytes.clone();
+        long.push(0);
+        assert!(WarmState::from_state_bytes(&cfg, &hcfg, &long).is_err());
+        // Wrong machine shape fails.
+        let hcfg2 = fgstp_mem::HierarchyConfig::small(2);
+        assert!(WarmState::from_state_bytes(&cfg, &hcfg2, &bytes).is_err());
     }
 
     #[test]

@@ -2,23 +2,38 @@
 //!
 //! SMARTS-style systematic interval sampling over instruction traces
 //! (Wunderlich et al., ISCA 2003 — the standard methodology for the
-//! trace-driven simulator class the paper uses).
+//! trace-driven simulator class the paper uses), extended with
+//! **live-points**: checkpointed, embarrassingly parallel detailed
+//! windows.
 //!
-//! A sampled run walks the committed-path trace in fixed-size intervals of
-//! [`SampleConfig::interval`] instructions. Most of each interval is spent
-//! in **functional warming**: instructions retire through the
-//! [`fgstp_ooo::WarmState`] fast path, updating only the long-lived
-//! microarchitectural state (cache hierarchy, branch predictors) and the
-//! architectural registers — no ROB, issue or commit-queue timing. The
-//! last `warmup + detail` instructions of the interval run on the full
-//! timing machine (single-core or N-core Fg-STP): the first
-//! [`SampleConfig::warmup`] commits absorb the cold-pipeline ramp and their
-//! cycles are discarded; the remaining [`SampleConfig::detail`]
-//! instructions are the **measurement** window.
+//! A sampled run is split into two phases:
 //!
-//! Per-interval CPIs aggregate into a point estimate with a 95% confidence
-//! interval ([`Estimate`], CLT over interval means) from which total-run
-//! cycles and machine speedups are projected. The whole path is
+//! 1. **Planning** ([`SamplePlan::plan_stream`]): one pass of continuous
+//!    functional warming over the *entire* trace — every instruction
+//!    retires through the [`fgstp_ooo::WarmState`] fast path, updating
+//!    only the long-lived microarchitectural state (cache hierarchy,
+//!    branch predictors) and the architectural registers. At each
+//!    detailed-window boundary the warm state is serialized into the
+//!    window's [`WindowJob`] (a *live-point*), so every window carries an
+//!    immutable byte-for-byte copy of its pre-window machine state.
+//! 2. **Execution** ([`run_plan_single`] and friends): each window
+//!    deserializes its own private warm state and runs `warmup + detail`
+//!    instructions on the full timing machine (single-core or N-core
+//!    Fg-STP). The first [`SampleConfig::warmup`] commits absorb the
+//!    cold-pipeline ramp and their cycles are discarded; the remaining
+//!    [`SampleConfig::detail`] instructions are the **measurement**.
+//!
+//! Because windows never share mutable state, they can run in any order
+//! or concurrently — the `_with` execution variants accept a pool hook —
+//! and the merged results are bit-identical to the serial walk at any
+//! pool size. The serialized live-points are also exactly what the
+//! `fgstp-tracefile` snapshot cache persists: a re-run of a swept config
+//! converts the stored [`SnapshotData`] back into a plan with
+//! [`SamplePlan::plan_replay`] and skips functional warming entirely.
+//!
+//! Per-interval CPIs aggregate into a point estimate with a 95%
+//! confidence interval ([`Estimate`], CLT over interval means) from which
+//! total-run cycles and machine speedups are projected. The whole path is
 //! deterministic: systematic (not random) interval placement, no RNG, no
 //! wall-clock.
 //!
@@ -43,6 +58,8 @@
 //! ```
 
 pub mod stats;
+
+use std::collections::VecDeque;
 
 use fgstp::{run_fgstp_warm, run_fgstp_warm_with_sink, FgstpConfig};
 use fgstp_isa::DynInst;
@@ -123,6 +140,322 @@ impl IntervalMeasure {
     }
 }
 
+/// Placement of one detailed window, derived arithmetically from the
+/// trace length and sampling regime by [`window_schedule`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowSpec {
+    /// Trace index of the first instruction the window simulates in
+    /// detail (warmup included).
+    pub start: u64,
+    /// Instructions the window simulates in detail.
+    pub len: u64,
+    /// Leading commits whose cycles are discarded.
+    pub measure_from: u64,
+    /// Measured instructions (`len - measure_from`).
+    pub measured: u64,
+}
+
+/// The detailed-window schedule for a trace of `total` instructions under
+/// regime `scfg` — a pure function of the two, which is what lets a
+/// stored snapshot be validated against a cached trace *before* either is
+/// replayed.
+///
+/// Every `interval`-instruction chunk whose length reaches `warmup +
+/// detail` contributes one window over its last `warmup + detail`
+/// instructions. A trace too short for even one such window degenerates
+/// to a single all-detail window with no discarded warmup, so every
+/// non-empty sampled run has at least one measurement.
+pub fn window_schedule(total: u64, scfg: &SampleConfig) -> Vec<WindowSpec> {
+    scfg.validate();
+    let unit = scfg.unit();
+    let n_full = total / scfg.interval;
+    let tail = total % scfg.interval;
+    let mut specs = Vec::with_capacity(n_full as usize + 1);
+    for k in 0..n_full {
+        specs.push(WindowSpec {
+            start: (k + 1) * scfg.interval - unit,
+            len: unit,
+            measure_from: scfg.warmup,
+            measured: scfg.detail,
+        });
+    }
+    if tail >= unit {
+        specs.push(WindowSpec {
+            start: total - unit,
+            len: unit,
+            measure_from: scfg.warmup,
+            measured: scfg.detail,
+        });
+    } else if tail > 0 && n_full == 0 {
+        specs.push(WindowSpec {
+            start: 0,
+            len: tail,
+            measure_from: 0,
+            measured: tail,
+        });
+    }
+    specs
+}
+
+/// One detailed window, self-contained: its instructions and a serialized
+/// copy of the warm state the machine enters it with (the *live-point*).
+///
+/// Jobs share nothing mutable, so any subset can run concurrently; the
+/// results are merged back in `index` order, which keeps the aggregate
+/// estimate bit-identical to a serial walk at any pool size.
+#[derive(Debug, Clone)]
+pub struct WindowJob {
+    /// Position of this window in the systematic schedule.
+    pub index: usize,
+    /// Trace index of the window's first instruction (warmup included).
+    pub start: u64,
+    /// Leading commits whose cycles are discarded.
+    pub measure_from: u64,
+    /// Measured instructions.
+    pub measured: u64,
+    /// The window's instructions, in commit order.
+    pub insts: Vec<DynInst>,
+    /// Serialized pre-window [`WarmState`] ([`WarmState::save_state`]).
+    pub state: Vec<u8>,
+}
+
+/// A fully planned sampled run: every detailed window as an independent
+/// [`WindowJob`], plus the warm state after functionally retiring the
+/// whole trace (the source of trace-wide branch and memory statistics).
+#[derive(Debug, Clone)]
+pub struct SamplePlan {
+    /// The sampling regime the plan was built for.
+    pub config: SampleConfig,
+    /// Trace length in dynamic instructions.
+    pub total_insts: u64,
+    /// The detailed windows, in systematic order.
+    pub jobs: Vec<WindowJob>,
+    /// Serialized end-of-trace warm state.
+    pub final_state: Vec<u8>,
+    /// Instructions functionally warmed while building this plan: the
+    /// whole trace when planned cold, zero when replayed from a snapshot.
+    pub warmed_insts: u64,
+    /// Whether this plan was replayed from a stored snapshot.
+    pub snapshot_hit: bool,
+}
+
+/// The persistable live-points of a plan: exactly what the
+/// `fgstp-tracefile` snapshot container stores, kept as a separate type
+/// here so this crate stays independent of the on-disk format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotData {
+    /// Trace length the snapshot was taken over.
+    pub total_insts: u64,
+    /// (window start, serialized pre-window warm state), in schedule
+    /// order.
+    pub windows: Vec<(u64, Vec<u8>)>,
+    /// Serialized end-of-trace warm state.
+    pub final_state: Vec<u8>,
+}
+
+impl SnapshotData {
+    /// Whether the snapshot's window placement matches the schedule that
+    /// (`total`, `scfg`) implies. Callers check this *before* consuming a
+    /// trace stream, so a stale or mismatched snapshot degrades to cold
+    /// planning with the stream intact.
+    pub fn matches(&self, total: u64, scfg: &SampleConfig) -> bool {
+        if self.total_insts != total {
+            return false;
+        }
+        let schedule = window_schedule(total, scfg);
+        self.windows.len() == schedule.len()
+            && self
+                .windows
+                .iter()
+                .zip(&schedule)
+                .all(|((start, _), spec)| *start == spec.start)
+    }
+
+    /// Full validation: schedule placement plus every state payload
+    /// deserializing cleanly for the machine shape (`cfg`, `hcfg`). Like
+    /// [`SnapshotData::matches`] this needs no trace data, so a snapshot
+    /// whose payloads are malformed (or were taken on a different machine
+    /// shape) is rejected before any stream is consumed.
+    pub fn validate(
+        &self,
+        total: u64,
+        cfg: &CoreConfig,
+        hcfg: &HierarchyConfig,
+        scfg: &SampleConfig,
+    ) -> bool {
+        self.matches(total, scfg)
+            && WarmState::from_state_bytes(cfg, hcfg, &self.final_state).is_ok()
+            && self
+                .windows
+                .iter()
+                .all(|(_, state)| WarmState::from_state_bytes(cfg, hcfg, state).is_ok())
+    }
+}
+
+impl SamplePlan {
+    /// Plans a sampled run over a trace slice; see
+    /// [`SamplePlan::plan_stream`].
+    pub fn plan(
+        trace: &[DynInst],
+        cfg: &CoreConfig,
+        hcfg: &HierarchyConfig,
+        scfg: &SampleConfig,
+    ) -> SamplePlan {
+        SamplePlan::plan_stream(trace.iter().copied(), cfg, hcfg, scfg)
+    }
+
+    /// Plans a sampled run by one pass of continuous functional warming:
+    /// every instruction retires through the warm fast path exactly once,
+    /// and the warm state is serialized into a live-point at each window
+    /// boundary. Holds at most one window (`warmup + detail`
+    /// instructions) of the trace in flight beyond the plan itself.
+    pub fn plan_stream(
+        trace: impl IntoIterator<Item = DynInst>,
+        cfg: &CoreConfig,
+        hcfg: &HierarchyConfig,
+        scfg: &SampleConfig,
+    ) -> SamplePlan {
+        scfg.validate();
+        let unit = scfg.unit();
+        let mut warm = WarmState::new(cfg, hcfg);
+        let mut jobs: Vec<WindowJob> = Vec::new();
+        let mut ring: VecDeque<DynInst> = VecDeque::with_capacity(unit as usize);
+        let mut it = trace.into_iter();
+        let mut pos = 0u64;
+        let mut total = 0u64;
+        loop {
+            // Pull one interval; the ring delays warming of the newest
+            // `unit` instructions so the live-point taken at the window
+            // boundary reflects exactly the pre-window trace prefix.
+            let mut len = 0u64;
+            while len < scfg.interval {
+                let Some(inst) = it.next() else { break };
+                if ring.len() as u64 == unit {
+                    let old = ring.pop_front().expect("ring is non-empty");
+                    warm.retire(&old);
+                }
+                ring.push_back(inst);
+                len += 1;
+            }
+            total += len;
+            let end = pos + len;
+            if len >= unit {
+                jobs.push(WindowJob {
+                    index: jobs.len(),
+                    start: end - unit,
+                    measure_from: scfg.warmup,
+                    measured: scfg.detail,
+                    insts: ring.iter().copied().collect(),
+                    state: warm.save_state(),
+                });
+            } else if len > 0 && jobs.is_empty() {
+                // Trace shorter than one window: a single all-detail
+                // window from the initial state.
+                jobs.push(WindowJob {
+                    index: 0,
+                    start: pos,
+                    measure_from: 0,
+                    measured: len,
+                    insts: ring.iter().copied().collect(),
+                    state: warm.save_state(),
+                });
+            }
+            // Warming is continuous: the window's instructions warm too,
+            // so downstream live-points see the full trace prefix.
+            for old in ring.drain(..) {
+                warm.retire(&old);
+            }
+            if len < scfg.interval {
+                break;
+            }
+            pos = end;
+        }
+        SamplePlan {
+            config: *scfg,
+            total_insts: total,
+            jobs,
+            final_state: warm.save_state(),
+            warmed_insts: total,
+            snapshot_hit: false,
+        }
+    }
+
+    /// Rebuilds a plan from a stored snapshot and the trace it was taken
+    /// over, with **zero** functional warming: the trace is only decoded
+    /// to recover each window's instructions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot does not match the trace and regime —
+    /// callers gate on [`SnapshotData::matches`] (or
+    /// [`SnapshotData::validate`]) first, which needs only the trace
+    /// *length*, not its contents.
+    pub fn plan_replay(
+        trace: impl IntoIterator<Item = DynInst>,
+        snap: SnapshotData,
+        scfg: &SampleConfig,
+    ) -> SamplePlan {
+        let schedule = window_schedule(snap.total_insts, scfg);
+        assert!(
+            snap.matches(snap.total_insts, scfg),
+            "snapshot does not match the sampling schedule; check matches() first"
+        );
+        let mut jobs: Vec<WindowJob> = schedule
+            .iter()
+            .zip(snap.windows)
+            .enumerate()
+            .map(|(index, (spec, (start, state)))| WindowJob {
+                index,
+                start,
+                measure_from: spec.measure_from,
+                measured: spec.measured,
+                insts: Vec::with_capacity(spec.len as usize),
+                state,
+            })
+            .collect();
+        let mut next = 0usize;
+        let mut seen = 0u64;
+        for (i, inst) in trace.into_iter().enumerate() {
+            let i = i as u64;
+            seen += 1;
+            if next < jobs.len() {
+                let (start, len) = (schedule[next].start, schedule[next].len);
+                if i >= start && i < start + len {
+                    jobs[next].insts.push(inst);
+                    if i + 1 == start + len {
+                        next += 1;
+                    }
+                }
+            }
+        }
+        assert_eq!(
+            seen, snap.total_insts,
+            "trace length changed under a matching snapshot"
+        );
+        SamplePlan {
+            config: *scfg,
+            total_insts: snap.total_insts,
+            jobs,
+            final_state: snap.final_state,
+            warmed_insts: 0,
+            snapshot_hit: true,
+        }
+    }
+
+    /// Extracts the persistable live-points of this plan.
+    pub fn to_snapshot(&self) -> SnapshotData {
+        SnapshotData {
+            total_insts: self.total_insts,
+            windows: self
+                .jobs
+                .iter()
+                .map(|j| (j.start, j.state.clone()))
+                .collect(),
+            final_state: self.final_state.clone(),
+        }
+    }
+}
+
 /// Result of a sampled run on one machine.
 #[derive(Debug, Clone)]
 pub struct SampledRun {
@@ -134,8 +467,14 @@ pub struct SampledRun {
     pub measured_insts: u64,
     /// Instructions simulated on the detailed machine (warmup + measured).
     pub detailed_insts: u64,
-    /// Instructions retired through functional warming only.
+    /// Instructions accounted to functional warming only.
     pub functional_insts: u64,
+    /// Instructions actually retired through the functional-warming fast
+    /// path while building the plan: the whole trace when planned cold,
+    /// zero when the live-points came from a snapshot.
+    pub warmed_insts: u64,
+    /// Whether the run's live-points were loaded from a stored snapshot.
+    pub snapshot_hit: bool,
     /// Per-interval measurements, in trace order.
     pub intervals: Vec<IntervalMeasure>,
     /// CPI point estimate over the interval means.
@@ -145,10 +484,10 @@ pub struct SampledRun {
     /// reconcile against.
     pub detail_core_cycles: u64,
     /// (branches, mispredicts) over the whole trace: every control
-    /// instruction is predicted exactly once, by warming or by a window.
+    /// instruction is predicted exactly once by functional warming.
     pub branches: (u64, u64),
-    /// Cache-hierarchy statistics over the whole trace (warming and
-    /// detailed traffic combined).
+    /// Cache-hierarchy statistics over the whole trace (functional
+    /// warming traffic).
     pub mem: HierarchyStats,
     /// Merged CPI stack over all detailed windows, when instrumented.
     pub cpi_stack: Option<CpiStack>,
@@ -209,140 +548,178 @@ impl SampledRun {
     }
 }
 
-/// Accumulator threaded through the interval walk.
-struct Drive {
-    intervals: Vec<IntervalMeasure>,
-    measured_insts: u64,
-    detailed_insts: u64,
-    functional_insts: u64,
-    detail_core_cycles: u64,
-}
-
-/// Walks the trace interval by interval: functional warming up to the
-/// window, then one detailed window per interval. A final partial interval
-/// too short for a full window is warmed only — unless nothing has been
-/// measured yet (trace shorter than one window), in which case the whole
-/// remainder runs in detail so every sampled run has at least one interval.
+/// Runs one window of a plan on the single-core machine, on a private
+/// deserialized copy of the window's live-point. Pure: no shared state is
+/// touched, so any number of windows may run concurrently.
 ///
-/// Delegates to [`drive_stream`], so the slice and streaming entry points
-/// are one implementation and cannot diverge.
-fn drive<F>(
-    trace: &[DynInst],
-    scfg: &SampleConfig,
-    warm: &mut WarmState,
-    cores: u64,
-    run_window: F,
-) -> Drive
-where
-    F: FnMut(&[DynInst], &mut WarmState, u64) -> WarmRun,
-{
-    drive_stream(trace.iter().copied(), scfg, warm, cores, run_window).0
+/// # Panics
+///
+/// Panics if the live-point does not deserialize for this machine shape —
+/// impossible for plan-produced jobs, and snapshot-replayed jobs are
+/// validated up front by [`SnapshotData::validate`].
+pub fn run_window_single(job: &WindowJob, cfg: &CoreConfig, hcfg: &HierarchyConfig) -> WarmRun {
+    let mut warm = WarmState::from_state_bytes(cfg, hcfg, &job.state)
+        .expect("live-point matches the plan's machine shape");
+    run_single_warm(&job.insts, cfg, &mut warm, job.measure_from)
 }
 
-/// The streaming interval walker behind [`drive`]: consumes the trace one
-/// [`DynInst`] at a time, holding at most one detailed window
-/// (`warmup + detail` instructions) in memory. Instructions older than the
-/// window ring retire into functional warming as they are evicted, which
-/// reproduces the slice walker's warm-then-window order exactly. Returns
-/// the accumulator and the total number of instructions consumed.
-fn drive_stream<I, F>(
-    trace: I,
-    scfg: &SampleConfig,
-    warm: &mut WarmState,
-    cores: u64,
-    mut run_window: F,
-) -> (Drive, u64)
-where
-    I: IntoIterator<Item = DynInst>,
-    F: FnMut(&[DynInst], &mut WarmState, u64) -> WarmRun,
-{
-    scfg.validate();
-    let unit = scfg.unit();
-    let mut d = Drive {
-        intervals: Vec::new(),
-        measured_insts: 0,
-        detailed_insts: 0,
-        functional_insts: 0,
-        detail_core_cycles: 0,
-    };
-    let mut ring: std::collections::VecDeque<DynInst> =
-        std::collections::VecDeque::with_capacity(unit as usize);
-    let mut it = trace.into_iter();
-    let mut pos = 0u64;
-    let mut total = 0u64;
-    loop {
-        // Pull one interval; the ring keeps the newest `unit` instructions
-        // and retires everything older into functional warming.
-        let mut len = 0u64;
-        while len < scfg.interval {
-            let Some(inst) = it.next() else { break };
-            if ring.len() as u64 == unit {
-                let old = ring.pop_front().expect("ring is non-empty");
-                warm.retire(&old);
-                d.functional_insts += 1;
-            }
-            ring.push_back(inst);
-            len += 1;
-        }
-        total += len;
-        let end = pos + len;
-        if len >= unit {
-            let wr = run_window(ring.make_contiguous(), warm, scfg.warmup);
-            d.intervals.push(IntervalMeasure {
-                start: end - unit + scfg.warmup,
-                insts: scfg.detail,
-                cycles: wr.measured_cycles(),
-            });
-            d.measured_insts += scfg.detail;
-            d.detailed_insts += unit;
-            d.detail_core_cycles += wr.result.cycles * cores;
-            ring.clear();
-        } else if len > 0 && d.intervals.is_empty() {
-            let wr = run_window(ring.make_contiguous(), warm, 0);
-            d.intervals.push(IntervalMeasure {
-                start: pos,
-                insts: len,
-                cycles: wr.result.cycles,
-            });
-            d.measured_insts += len;
-            d.detailed_insts += len;
-            d.detail_core_cycles += wr.result.cycles * cores;
-            ring.clear();
-        } else if len > 0 {
-            for old in ring.drain(..) {
-                warm.retire(&old);
-                d.functional_insts += 1;
-            }
-        }
-        if len < scfg.interval {
-            break;
-        }
-        pos = end;
-    }
-    (d, total)
+/// Runs one window of a plan on the N-core Fg-STP machine; see
+/// [`run_window_single`].
+///
+/// # Panics
+///
+/// Panics if the live-point does not deserialize for this machine shape.
+pub fn run_window_fgstp(job: &WindowJob, cfg: &FgstpConfig, hcfg: &HierarchyConfig) -> WarmRun {
+    let mut warm = WarmState::from_state_bytes(&cfg.core, hcfg, &job.state)
+        .expect("live-point matches the plan's machine shape");
+    run_fgstp_warm(&job.insts, cfg, &mut warm, job.measure_from).0
 }
 
-fn finish(
-    scfg: &SampleConfig,
-    total_insts: u64,
-    d: Drive,
-    warm: WarmState,
+/// The execution hook type: given the plan's jobs and a pure per-window
+/// runner, produce one [`WarmRun`] per job **in job order**. The default
+/// is a serial map; `fgstp-sim` passes a thread-pool fan-out. Because the
+/// runner is pure, every implementation that preserves order is
+/// bit-identical.
+pub type WindowExec<'a> = &'a (dyn Fn(&WindowJob) -> WarmRun + Sync);
+
+fn serial_exec(jobs: &[WindowJob], run: WindowExec) -> Vec<WarmRun> {
+    jobs.iter().map(run).collect()
+}
+
+/// Merges per-window results into a [`SampledRun`], in schedule order.
+fn finish_plan(
+    plan: &SamplePlan,
+    results: Vec<WarmRun>,
+    cores: u64,
+    cfg: &CoreConfig,
+    hcfg: &HierarchyConfig,
     cpi_stack: Option<CpiStack>,
 ) -> SampledRun {
-    let cpis: Vec<f64> = d.intervals.iter().map(IntervalMeasure::cpi).collect();
+    assert_eq!(results.len(), plan.jobs.len(), "one result per window");
+    let mut intervals = Vec::with_capacity(plan.jobs.len());
+    let mut measured_insts = 0u64;
+    let mut detailed_insts = 0u64;
+    let mut detail_core_cycles = 0u64;
+    for (job, wr) in plan.jobs.iter().zip(&results) {
+        intervals.push(IntervalMeasure {
+            start: job.start + job.measure_from,
+            insts: job.measured,
+            cycles: wr.measured_cycles(),
+        });
+        measured_insts += job.measured;
+        detailed_insts += job.insts.len() as u64;
+        detail_core_cycles += wr.result.cycles * cores;
+    }
+    let final_warm = WarmState::from_state_bytes(cfg, hcfg, &plan.final_state)
+        .expect("final state matches the plan's machine shape");
+    let cpis: Vec<f64> = intervals.iter().map(IntervalMeasure::cpi).collect();
     SampledRun {
-        config: *scfg,
-        total_insts,
-        measured_insts: d.measured_insts,
-        detailed_insts: d.detailed_insts,
-        functional_insts: d.functional_insts,
-        intervals: d.intervals,
+        config: plan.config,
+        total_insts: plan.total_insts,
+        measured_insts,
+        detailed_insts,
+        functional_insts: plan.total_insts - detailed_insts,
+        warmed_insts: plan.warmed_insts,
+        snapshot_hit: plan.snapshot_hit,
+        intervals,
         cpi: Estimate::from_samples(&cpis),
-        detail_core_cycles: d.detail_core_cycles,
-        branches: (warm.pred.branches, warm.pred.mispredicts),
-        mem: warm.mem.stats(),
+        detail_core_cycles,
+        branches: (final_warm.pred.branches, final_warm.pred.mispredicts),
+        mem: final_warm.mem.stats(),
         cpi_stack,
     }
+}
+
+/// Executes a plan on the single-core machine, serially.
+pub fn run_plan_single(plan: &SamplePlan, cfg: &CoreConfig, hcfg: &HierarchyConfig) -> SampledRun {
+    run_plan_single_with(plan, cfg, hcfg, serial_exec)
+}
+
+/// Executes a plan on the single-core machine through a caller-supplied
+/// execution hook (e.g. a thread pool). The hook must return results in
+/// job order; windows are pure, so results are bit-identical to
+/// [`run_plan_single`] for any pool size.
+pub fn run_plan_single_with<E>(
+    plan: &SamplePlan,
+    cfg: &CoreConfig,
+    hcfg: &HierarchyConfig,
+    exec: E,
+) -> SampledRun
+where
+    E: FnOnce(&[WindowJob], WindowExec) -> Vec<WarmRun>,
+{
+    let results = exec(&plan.jobs, &|job| run_window_single(job, cfg, hcfg));
+    finish_plan(plan, results, 1, cfg, hcfg, None)
+}
+
+/// Executes a plan on the N-core Fg-STP machine, serially.
+pub fn run_plan_fgstp(plan: &SamplePlan, cfg: &FgstpConfig, hcfg: &HierarchyConfig) -> SampledRun {
+    run_plan_fgstp_with(plan, cfg, hcfg, serial_exec)
+}
+
+/// Executes a plan on the N-core Fg-STP machine through a caller-supplied
+/// execution hook; see [`run_plan_single_with`].
+pub fn run_plan_fgstp_with<E>(
+    plan: &SamplePlan,
+    cfg: &FgstpConfig,
+    hcfg: &HierarchyConfig,
+    exec: E,
+) -> SampledRun
+where
+    E: FnOnce(&[WindowJob], WindowExec) -> Vec<WarmRun>,
+{
+    let results = exec(&plan.jobs, &|job| run_window_fgstp(job, cfg, hcfg));
+    finish_plan(plan, results, cfg.num_cores as u64, &cfg.core, hcfg, None)
+}
+
+/// Executes a plan on the single-core machine, serially, aggregating a
+/// CPI stack over every detailed window (warmup cycles included).
+/// Instrumented runs stay serial — the sink is shared — but the windows
+/// themselves are still pure, so the cycle results match the
+/// uninstrumented path exactly.
+pub fn run_plan_single_instrumented(
+    plan: &SamplePlan,
+    cfg: &CoreConfig,
+    hcfg: &HierarchyConfig,
+) -> SampledRun {
+    let mut sink = CpiSink::new(1);
+    let results: Vec<WarmRun> = plan
+        .jobs
+        .iter()
+        .map(|job| {
+            let mut warm = WarmState::from_state_bytes(cfg, hcfg, &job.state)
+                .expect("live-point matches the plan's machine shape");
+            run_single_warm_with_sink(&job.insts, cfg, &mut warm, job.measure_from, &mut sink)
+        })
+        .collect();
+    finish_plan(plan, results, 1, cfg, hcfg, Some(sink.merged()))
+}
+
+/// Executes a plan on the N-core Fg-STP machine, serially, aggregating a
+/// CPI stack (all cores merged); see [`run_plan_single_instrumented`].
+pub fn run_plan_fgstp_instrumented(
+    plan: &SamplePlan,
+    cfg: &FgstpConfig,
+    hcfg: &HierarchyConfig,
+) -> SampledRun {
+    let mut sink = CpiSink::new(cfg.num_cores);
+    let results: Vec<WarmRun> = plan
+        .jobs
+        .iter()
+        .map(|job| {
+            let mut warm = WarmState::from_state_bytes(&cfg.core, hcfg, &job.state)
+                .expect("live-point matches the plan's machine shape");
+            run_fgstp_warm_with_sink(&job.insts, cfg, &mut warm, job.measure_from, &mut sink).0
+        })
+        .collect();
+    finish_plan(
+        plan,
+        results,
+        cfg.num_cores as u64,
+        &cfg.core,
+        hcfg,
+        Some(sink.merged()),
+    )
 }
 
 /// Sampled run on a single core (or a fused Core Fusion core).
@@ -352,28 +729,21 @@ pub fn sample_single(
     hcfg: &HierarchyConfig,
     scfg: &SampleConfig,
 ) -> SampledRun {
-    let mut warm = WarmState::new(cfg, hcfg);
-    let d = drive(trace, scfg, &mut warm, 1, |w, warm, mf| {
-        run_single_warm(w, cfg, warm, mf)
-    });
-    finish(scfg, trace.len() as u64, d, warm, None)
+    let plan = SamplePlan::plan(trace, cfg, hcfg, scfg);
+    run_plan_single(&plan, cfg, hcfg)
 }
 
 /// Like [`sample_single`], but consumes the trace as a stream (e.g. a
-/// streaming trace-file reader) without ever materializing it: at most one
-/// detailed window is held in memory at a time. Produces bit-identical
-/// results to the slice path — they share one walker.
+/// streaming trace-file reader) without ever materializing it. Produces
+/// bit-identical results to the slice path — they share one planner.
 pub fn sample_single_stream(
     trace: impl IntoIterator<Item = DynInst>,
     cfg: &CoreConfig,
     hcfg: &HierarchyConfig,
     scfg: &SampleConfig,
 ) -> SampledRun {
-    let mut warm = WarmState::new(cfg, hcfg);
-    let (d, total) = drive_stream(trace, scfg, &mut warm, 1, |w, warm, mf| {
-        run_single_warm(w, cfg, warm, mf)
-    });
-    finish(scfg, total, d, warm, None)
+    let plan = SamplePlan::plan_stream(trace, cfg, hcfg, scfg);
+    run_plan_single(&plan, cfg, hcfg)
 }
 
 /// Like [`sample_single`], but additionally aggregates a CPI stack over
@@ -385,12 +755,8 @@ pub fn sample_single_instrumented(
     hcfg: &HierarchyConfig,
     scfg: &SampleConfig,
 ) -> SampledRun {
-    let mut warm = WarmState::new(cfg, hcfg);
-    let mut sink = CpiSink::new(1);
-    let d = drive(trace, scfg, &mut warm, 1, |w, warm, mf| {
-        run_single_warm_with_sink(w, cfg, warm, mf, &mut sink)
-    });
-    finish(scfg, trace.len() as u64, d, warm, Some(sink.merged()))
+    let plan = SamplePlan::plan(trace, cfg, hcfg, scfg);
+    run_plan_single_instrumented(&plan, cfg, hcfg)
 }
 
 /// Sampled run on the N-core Fg-STP machine.
@@ -404,15 +770,8 @@ pub fn sample_fgstp(
     hcfg: &HierarchyConfig,
     scfg: &SampleConfig,
 ) -> SampledRun {
-    let mut warm = WarmState::new(&cfg.core, hcfg);
-    let d = drive(
-        trace,
-        scfg,
-        &mut warm,
-        cfg.num_cores as u64,
-        |w, warm, mf| run_fgstp_warm(w, cfg, warm, mf).0,
-    );
-    finish(scfg, trace.len() as u64, d, warm, None)
+    let plan = SamplePlan::plan(trace, &cfg.core, hcfg, scfg);
+    run_plan_fgstp(&plan, cfg, hcfg)
 }
 
 /// Like [`sample_fgstp`], but consumes the trace as a stream; see
@@ -427,15 +786,8 @@ pub fn sample_fgstp_stream(
     hcfg: &HierarchyConfig,
     scfg: &SampleConfig,
 ) -> SampledRun {
-    let mut warm = WarmState::new(&cfg.core, hcfg);
-    let (d, total) = drive_stream(
-        trace,
-        scfg,
-        &mut warm,
-        cfg.num_cores as u64,
-        |w, warm, mf| run_fgstp_warm(w, cfg, warm, mf).0,
-    );
-    finish(scfg, total, d, warm, None)
+    let plan = SamplePlan::plan_stream(trace, &cfg.core, hcfg, scfg);
+    run_plan_fgstp(&plan, cfg, hcfg)
 }
 
 /// Like [`sample_fgstp`], but additionally aggregates a CPI stack (all
@@ -450,16 +802,8 @@ pub fn sample_fgstp_instrumented(
     hcfg: &HierarchyConfig,
     scfg: &SampleConfig,
 ) -> SampledRun {
-    let mut warm = WarmState::new(&cfg.core, hcfg);
-    let mut sink = CpiSink::new(cfg.num_cores);
-    let d = drive(
-        trace,
-        scfg,
-        &mut warm,
-        cfg.num_cores as u64,
-        |w, warm, mf| run_fgstp_warm_with_sink(w, cfg, warm, mf, &mut sink).0,
-    );
-    finish(scfg, trace.len() as u64, d, warm, Some(sink.merged()))
+    let plan = SamplePlan::plan(trace, &cfg.core, hcfg, scfg);
+    run_plan_fgstp_instrumented(&plan, cfg, hcfg)
 }
 
 #[cfg(test)]
@@ -495,6 +839,20 @@ mod tests {
         }
     }
 
+    fn fingerprint(r: &SampledRun) -> String {
+        format!(
+            "{:?}|{:?}|{}|{}|{}|{}|{:?}|{:?}",
+            r.intervals,
+            r.cpi,
+            r.measured_insts,
+            r.detailed_insts,
+            r.functional_insts,
+            r.detail_core_cycles,
+            r.branches,
+            r.mem
+        )
+    }
+
     #[test]
     fn every_instruction_is_accounted_exactly_once() {
         let t = loop_trace(2_000);
@@ -508,6 +866,8 @@ mod tests {
         assert_eq!(r.functional_insts + r.detailed_insts, r.total_insts);
         assert_eq!(r.intervals.len(), (t.len() as u64 / 1_000) as usize);
         assert!(r.detail_reduction() > 2.0);
+        assert_eq!(r.warmed_insts, r.total_insts, "cold plan warms everything");
+        assert!(!r.snapshot_hit);
     }
 
     #[test]
@@ -569,6 +929,17 @@ mod tests {
     }
 
     #[test]
+    fn instrumented_cycles_match_the_uninstrumented_path() {
+        let t = loop_trace(2_000);
+        let cfg = CoreConfig::small();
+        let hcfg = HierarchyConfig::small(1);
+        let plain = sample_single(t.insts(), &cfg, &hcfg, &scfg());
+        let inst = sample_single_instrumented(t.insts(), &cfg, &hcfg, &scfg());
+        assert_eq!(inst.intervals, plain.intervals);
+        assert_eq!(inst.detail_core_cycles, plain.detail_core_cycles);
+    }
+
+    #[test]
     fn fgstp_sampling_completes_and_reconciles() {
         let t = loop_trace(2_000);
         let cfg = FgstpConfig::small();
@@ -617,12 +988,7 @@ mod tests {
             let slice = sample_single(t.insts(), &cfg, &hcfg, &scfg());
             let stream = sample_single_stream(t.insts().iter().copied(), &cfg, &hcfg, &scfg());
             assert_eq!(stream.total_insts, slice.total_insts);
-            assert_eq!(stream.intervals, slice.intervals);
-            assert_eq!(stream.measured_insts, slice.measured_insts);
-            assert_eq!(stream.detailed_insts, slice.detailed_insts);
-            assert_eq!(stream.functional_insts, slice.functional_insts);
-            assert_eq!(stream.detail_core_cycles, slice.detail_core_cycles);
-            assert_eq!(stream.branches, slice.branches);
+            assert_eq!(fingerprint(&stream), fingerprint(&slice));
             assert_eq!(stream.est_cycles(), slice.est_cycles());
         }
         let t = loop_trace(2_000);
@@ -630,9 +996,86 @@ mod tests {
         let hcfg = HierarchyConfig::small(2);
         let slice = sample_fgstp(t.insts(), &fcfg, &hcfg, &scfg());
         let stream = sample_fgstp_stream(t.insts().iter().copied(), &fcfg, &hcfg, &scfg());
-        assert_eq!(stream.intervals, slice.intervals);
-        assert_eq!(stream.branches, slice.branches);
+        assert_eq!(fingerprint(&stream), fingerprint(&slice));
         assert_eq!(stream.est_cycles(), slice.est_cycles());
+    }
+
+    #[test]
+    fn window_schedule_matches_the_planner() {
+        assert!(window_schedule(0, &scfg()).is_empty(), "empty trace");
+        for iters in [2_000u64, 137, 60, 3] {
+            let t = loop_trace(iters);
+            let cfg = CoreConfig::small();
+            let hcfg = HierarchyConfig::small(1);
+            let plan = SamplePlan::plan(t.insts(), &cfg, &hcfg, &scfg());
+            let schedule = window_schedule(t.len() as u64, &scfg());
+            assert_eq!(plan.jobs.len(), schedule.len(), "iters {iters}");
+            for (job, spec) in plan.jobs.iter().zip(&schedule) {
+                assert_eq!(job.start, spec.start);
+                assert_eq!(job.insts.len() as u64, spec.len);
+                assert_eq!(job.measure_from, spec.measure_from);
+                assert_eq!(job.measured, spec.measured);
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_replay_is_bit_identical_with_zero_warming() {
+        for iters in [2_000u64, 137, 3] {
+            let t = loop_trace(iters);
+            let cfg = CoreConfig::small();
+            let hcfg = HierarchyConfig::small(1);
+            let cold_plan = SamplePlan::plan(t.insts(), &cfg, &hcfg, &scfg());
+            let snap = cold_plan.to_snapshot();
+            assert!(snap.matches(t.len() as u64, &scfg()));
+            assert!(snap.validate(t.len() as u64, &cfg, &hcfg, &scfg()));
+            assert!(!snap.matches(t.len() as u64 + 1, &scfg()));
+            let warm_plan = SamplePlan::plan_replay(t.insts().iter().copied(), snap, &scfg());
+            assert_eq!(warm_plan.warmed_insts, 0, "replay does no warming");
+            assert!(warm_plan.snapshot_hit);
+            let cold = run_plan_single(&cold_plan, &cfg, &hcfg);
+            let warm = run_plan_single(&warm_plan, &cfg, &hcfg);
+            assert_eq!(fingerprint(&warm), fingerprint(&cold), "iters {iters}");
+            assert_eq!(warm.est_cycles(), cold.est_cycles());
+        }
+    }
+
+    #[test]
+    fn stale_snapshots_are_rejected_by_matches() {
+        let t = loop_trace(500);
+        let cfg = CoreConfig::small();
+        let hcfg = HierarchyConfig::small(1);
+        let snap = SamplePlan::plan(t.insts(), &cfg, &hcfg, &scfg()).to_snapshot();
+        let total = t.len() as u64;
+        // Wrong trace length.
+        assert!(!snap.matches(total + 1, &scfg()));
+        // Wrong regime (different window placement).
+        let other = SampleConfig {
+            interval: 500,
+            warmup: 100,
+            detail: 50,
+        };
+        assert!(!snap.matches(total, &other));
+        // Wrong machine shape fails payload validation.
+        assert!(!snap.validate(total, &cfg, &HierarchyConfig::small(2), &scfg()));
+    }
+
+    #[test]
+    fn out_of_order_execution_merges_identically() {
+        let t = loop_trace(2_000);
+        let cfg = CoreConfig::small();
+        let hcfg = HierarchyConfig::small(1);
+        let plan = SamplePlan::plan(t.insts(), &cfg, &hcfg, &scfg());
+        let serial = run_plan_single(&plan, &cfg, &hcfg);
+        // Run windows back to front, then restore job order — simulating
+        // an arbitrary pool completion order.
+        let shuffled = run_plan_single_with(&plan, &cfg, &hcfg, |jobs, run| {
+            let mut out: Vec<(usize, WarmRun)> =
+                jobs.iter().rev().map(|j| (j.index, run(j))).collect();
+            out.sort_by_key(|(i, _)| *i);
+            out.into_iter().map(|(_, wr)| wr).collect()
+        });
+        assert_eq!(fingerprint(&shuffled), fingerprint(&serial));
     }
 
     #[test]

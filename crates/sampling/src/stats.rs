@@ -74,6 +74,15 @@ impl Estimate {
         }
     }
 
+    /// Whether the confidence interval carries any information: at least
+    /// two samples exist, so a dispersion estimate was possible. A run
+    /// with a single interval (short trace, degenerate window) reports
+    /// `ci95_half == 0.0` but **no** CI — consumers should print "CI
+    /// unavailable" rather than a misleading exact ±0.
+    pub fn ci_defined(&self) -> bool {
+        self.n >= 2
+    }
+
     /// Whether the 95% confidence interval contains `x`.
     pub fn covers(&self, x: f64) -> bool {
         (x - self.mean).abs() <= self.ci95_half
@@ -95,18 +104,22 @@ impl Estimate {
 /// In log space the geomean is an average of independent `ln mean_w` terms,
 /// each with standard error `sem_w / mean_w`; the propagated half-width is
 /// mapped back symmetrically (`g · z · σ_ln`), the usual small-σ
-/// approximation. Workload means must be positive.
+/// approximation.
 ///
-/// # Panics
-///
-/// Panics if `parts` is empty or any part has a non-positive mean.
+/// The function is total — it never panics and never emits NaN. An empty
+/// input or one containing only non-positive means (a failed or empty
+/// workload slot) returns [`Estimate::empty`]; non-positive parts are
+/// otherwise skipped, since they carry no log-space information. Check
+/// `result.n` against `parts.len()` to detect skipped parts.
 pub fn geomean_estimate(parts: &[Estimate]) -> Estimate {
-    assert!(!parts.is_empty(), "geomean of an empty set");
-    let w = parts.len() as f64;
+    let usable: Vec<&Estimate> = parts.iter().filter(|p| p.mean > 0.0).collect();
+    if usable.is_empty() {
+        return Estimate::empty();
+    }
+    let w = usable.len() as f64;
     let mut ln_sum = 0.0;
     let mut var_ln = 0.0;
-    for p in parts {
-        assert!(p.mean > 0.0, "geomean needs positive means, got {}", p.mean);
+    for p in &usable {
         ln_sum += p.mean.ln();
         let sem = p.ci95_half / Z95; // standard error of the workload mean
         let sem_ln = sem / p.mean;
@@ -115,7 +128,7 @@ pub fn geomean_estimate(parts: &[Estimate]) -> Estimate {
     let mean = (ln_sum / w).exp();
     let sigma_ln = var_ln.sqrt() / w;
     let ci95_half = mean * Z95 * sigma_ln;
-    let n = parts.len();
+    let n = usable.len();
     let sem = ci95_half / Z95;
     let std_dev = sem * (n as f64).sqrt();
     Estimate {
@@ -217,8 +230,25 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "positive means")]
-    fn geomean_rejects_nonpositive_means() {
-        geomean_estimate(&[Estimate::empty()]);
+    fn geomean_is_total_over_degenerate_inputs() {
+        // Empty input, all-zero input: an empty estimate, never a panic
+        // or a NaN.
+        assert_eq!(geomean_estimate(&[]), Estimate::empty());
+        assert_eq!(geomean_estimate(&[Estimate::empty()]), Estimate::empty());
+        // A zero-mean part (failed workload slot) is skipped; the result
+        // reports how many parts actually contributed.
+        let good = Estimate::from_samples(&[2.0, 2.0, 2.0]);
+        let g = geomean_estimate(&[good, Estimate::empty()]);
+        assert_eq!(g.n, 1, "one usable part");
+        assert!((g.mean - 2.0).abs() < 1e-12);
+        assert!(g.mean.is_finite() && g.ci95_half.is_finite());
+    }
+
+    #[test]
+    fn ci_defined_requires_dispersion_information() {
+        assert!(!Estimate::empty().ci_defined());
+        assert!(!Estimate::from_samples(&[7.0]).ci_defined());
+        assert!(Estimate::from_samples(&[7.0, 7.0]).ci_defined());
+        assert!(Estimate::from_samples(&[6.0, 8.0, 7.0]).ci_defined());
     }
 }

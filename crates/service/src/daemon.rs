@@ -180,6 +180,8 @@ fn run_job(
         }
         let stats = session.cache_stats();
         queue.add_trace_stats(stats.hits, stats.misses);
+        let ss = session.snapshot_stats();
+        queue.add_snapshot_stats(ss.hits, ss.misses, ss.warmed_insts);
         return match failure {
             None => Ok(()),
             Some(e) => Err(e),
@@ -202,6 +204,8 @@ fn run_job(
     }
     let stats = session.cache_stats();
     queue.add_trace_stats(stats.hits, stats.misses);
+    let ss = session.snapshot_stats();
+    queue.add_snapshot_stats(ss.hits, ss.misses, ss.warmed_insts);
     match failure {
         None => Ok(()),
         Some(e) => Err(e),

@@ -25,7 +25,7 @@ use fgstp_workloads::{by_name, suite, Scale};
 
 use crate::presets::MachineKind;
 use crate::report::Table;
-use crate::runner::{run_on_instrumented_with_cores, run_on_sampled, run_on_with_cores};
+use crate::runner::{run_on_instrumented_with_cores, run_on_with_cores};
 use crate::session::Session;
 
 /// Error for unknown CLI inputs, carrying a usage hint.
@@ -96,7 +96,7 @@ pub fn list() -> String {
 /// position is accepted too (`run hmmer_dp test`), since users naturally
 /// drop the machine.
 pub fn run(workload: &str, machine: Option<&str>, scale: Option<&str>) -> Result<String, CliError> {
-    run_instrumented(workload, machine, scale, None, false, None, None)
+    run_instrumented(workload, machine, scale, None, false, None, None, true)
 }
 
 /// `run` with the overrides and observability flags: `cores` overrides the
@@ -104,7 +104,11 @@ pub fn run(workload: &str, machine: Option<&str>, scale: Option<&str>) -> Result
 /// `chrome_trace` writes the per-core stall timeline as Chrome
 /// `trace_event` JSON to the given path, and `sample` switches to
 /// SMARTS-style sampled simulation (projected totals plus the interval
-/// summary; incompatible with `--cores` and `--chrome-trace`).
+/// summary; incompatible with `--cores` and `--chrome-trace`). Sampled
+/// runs use live-point snapshots when `snapshot` is set (the default):
+/// a re-run of the same configuration skips functional warming by
+/// replaying the stored warm states, bit-identically.
+#[allow(clippy::too_many_arguments)]
 pub fn run_instrumented(
     workload: &str,
     machine: Option<&str>,
@@ -113,6 +117,7 @@ pub fn run_instrumented(
     cpi_stack: bool,
     chrome_trace: Option<&str>,
     sample: Option<SampleConfig>,
+    snapshot: bool,
 ) -> Result<String, CliError> {
     let (machine, scale) = match (machine, scale) {
         (Some(m), None) if parse_machine(Some(m)).is_err() && parse_scale(Some(m)).is_ok() => {
@@ -154,17 +159,31 @@ pub fn run_instrumented(
         }
     }
     let w = find_workload(workload, scale)?;
-    let trace = Session::new().scale(scale).trace(&w);
+    let session = Session::new().scale(scale);
+    let trace = session.trace(&w);
     let instrumented = cpi_stack || chrome_trace.is_some();
-    let (r, episodes) = if let Some(scfg) = &sample {
-        (
-            run_on_sampled(kind, trace.insts(), scfg, cpi_stack),
-            Vec::new(),
-        )
+    let (r, episodes, snap_stats) = if let Some(scfg) = &sample {
+        // The session path gives sampled runs the full live-point
+        // machinery: snapshot load/store and parallel window dispatch.
+        let session = session
+            .clone()
+            .machines([kind])
+            .sample(*scfg)
+            .telemetry(cpi_stack)
+            .snapshots(snapshot);
+        let mut bench = session.run_workload(&w);
+        let r = bench.runs.pop().expect("one machine yields one run");
+        (r, Vec::new(), Some(session.snapshot_stats()))
     } else if instrumented {
-        run_on_instrumented_with_cores(kind, trace.insts(), chrome_trace.is_some(), cores)
+        let (r, ep) =
+            run_on_instrumented_with_cores(kind, trace.insts(), chrome_trace.is_some(), cores);
+        (r, ep, None)
     } else {
-        (run_on_with_cores(kind, trace.insts(), cores), Vec::new())
+        (
+            run_on_with_cores(kind, trace.insts(), cores),
+            Vec::new(),
+            None,
+        )
     };
     let mut out = String::new();
     let _ = writeln!(
@@ -187,14 +206,25 @@ pub fn run_instrumented(
             s.config.detail,
             s.intervals.len()
         );
-        let _ = writeln!(
-            out,
-            "estimate:  {:.0} ± {:.0} cycles (95% CI), cpi {:.3} (cov {:.3})",
-            s.est_cycles(),
-            s.est_cycles_ci95_half(),
-            s.cpi.mean,
-            s.cpi.cov
-        );
+        if s.cpi.ci_defined() {
+            let _ = writeln!(
+                out,
+                "estimate:  {:.0} ± {:.0} cycles (95% CI), cpi {:.3} (cov {:.3})",
+                s.est_cycles(),
+                s.est_cycles_ci95_half(),
+                s.cpi.mean,
+                s.cpi.cov
+            );
+        } else {
+            // A single interval carries no dispersion information; an
+            // exact "± 0" would be misleading.
+            let _ = writeln!(
+                out,
+                "estimate:  {:.0} cycles (CI unavailable: single interval), cpi {:.3}",
+                s.est_cycles(),
+                s.cpi.mean
+            );
+        }
         let _ = writeln!(
             out,
             "detail:    {} of {} insts in detail ({:.1}x reduction)",
@@ -202,6 +232,14 @@ pub fn run_instrumented(
             s.total_insts,
             s.detail_reduction()
         );
+        if let Some(st) = &snap_stats {
+            let source = if st.hits > 0 { "replayed" } else { "stored" };
+            let _ = writeln!(
+                out,
+                "live-points: {} hit / {} miss ({source}), {} insts warmed",
+                st.hits, st.misses, st.warmed_insts
+            );
+        }
     }
     for (i, c) in r.result.cores.iter().enumerate() {
         let _ = writeln!(
@@ -384,12 +422,15 @@ pub fn dispatch(args: &[String]) -> Result<String, CliError> {
             let mut chrome_trace: Option<&str> = None;
             let mut cores: Option<usize> = None;
             let mut sample = false;
+            let mut snapshot = true;
             let mut scfg = SampleConfig::default();
             let mut positional: Vec<&str> = Vec::new();
             let mut it = rest.iter();
             while let Some(&a) = it.next() {
                 match a {
                     "--cpi-stack" => cpi_stack = true,
+                    "--snapshot" => snapshot = true,
+                    "--no-snapshot" => snapshot = false,
                     "--chrome-trace" => {
                         chrome_trace = Some(it.next().copied().ok_or_else(|| {
                             CliError("--chrome-trace needs an output path".to_owned())
@@ -429,13 +470,14 @@ pub fn dispatch(args: &[String]) -> Result<String, CliError> {
                 cpi_stack,
                 chrome_trace,
                 sample.then_some(scfg),
+                snapshot,
             )
         }
         ["compare", w, rest @ ..] => compare(w, rest.first().copied()),
         ["pipeview", w, rest @ ..] => pipeview(w, rest.first().copied()),
         ["pipeview2", w, rest @ ..] => pipeview2(w, rest.first().copied()),
         _ => Err(CliError(
-            "usage: fgstpsim <list | run <workload> [machine] [scale] [--cores N] [--cpi-stack] [--chrome-trace <path>] [--sample] [--sample-interval N] [--sample-warmup N] [--sample-detail N] | compare <workload> [scale] | pipeview <workload> [first..last] | pipeview2 <workload> [first..last]>"
+            "usage: fgstpsim <list | run <workload> [machine] [scale] [--cores N] [--cpi-stack] [--chrome-trace <path>] [--sample] [--sample-interval N] [--sample-warmup N] [--sample-detail N] [--snapshot|--no-snapshot] | compare <workload> [scale] | pipeview <workload> [first..last] | pipeview2 <workload> [first..last]>"
                 .to_owned(),
         )),
     }
@@ -574,10 +616,13 @@ mod tests {
             Some(2),
             false,
             None,
-            None
+            None,
+            true
         )
         .is_err());
-        assert!(run_instrumented("hmmer_dp", None, None, Some(0), false, None, None).is_err());
+        assert!(
+            run_instrumented("hmmer_dp", None, None, Some(0), false, None, None, true).is_err()
+        );
         let e = dispatch(&["run".into(), "hmmer_dp".into(), "--cores".into()]);
         assert!(e.is_err());
         let e = dispatch(&[
@@ -772,6 +817,7 @@ mod tests {
                 false,
                 None,
                 None,
+                true,
             );
             if kind.is_fgstp() {
                 assert!(r.is_ok(), "{}: {r:?}", kind.label());
@@ -780,7 +826,8 @@ mod tests {
                 assert!(e.0.contains("--cores"), "{}", e.0);
             }
         }
-        let e = run_instrumented("hmmer_dp", None, None, Some(0), false, None, None).unwrap_err();
+        let e =
+            run_instrumented("hmmer_dp", None, None, Some(0), false, None, None, true).unwrap_err();
         assert!(e.0.contains("at least one core"), "{}", e.0);
     }
 

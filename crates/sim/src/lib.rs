@@ -73,7 +73,7 @@ pub use report::{cpi_stack_table, speedup_table, SpeedupSummary, Table};
 pub use runner::{
     geomean, run_on, run_on_corun, run_on_instrumented, run_on_instrumented_with_cores,
     run_on_sampled, run_on_sampled_stream, run_on_with_cores, run_suite, BenchResult, CoRunInfo,
-    MachineRun,
+    MachineRun, WindowPool,
 };
-pub use session::{CacheStats, RunPlan, Session, TraceStream, TraceStreamIter};
+pub use session::{CacheStats, RunPlan, Session, SnapshotStats, TraceStream, TraceStreamIter};
 pub use spec::{CoRunProgramSpec, CoRunSpec, ExperimentSpec, SpecError, SpecErrorKind};

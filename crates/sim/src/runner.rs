@@ -11,16 +11,26 @@ use fgstp::{
     run_corun, run_fgstp, run_fgstp_with_sink, CoRunContention, CoRunPlan, CoRunProgram, FgstpStats,
 };
 use fgstp_isa::{DynInst, Trace};
-use fgstp_ooo::{run_single, run_single_with_sink, RunResult};
+use fgstp_mem::HierarchyConfig;
+use fgstp_ooo::CoreConfig;
+use fgstp_ooo::{run_single, run_single_with_sink, RunResult, WarmRun};
 use fgstp_sampling::{
-    sample_fgstp, sample_fgstp_instrumented, sample_fgstp_stream, sample_single,
-    sample_single_instrumented, sample_single_stream, SampleConfig, SampledRun,
+    run_plan_fgstp_instrumented, run_plan_fgstp_with, run_plan_single_instrumented,
+    run_plan_single_with, sample_fgstp, sample_fgstp_instrumented, sample_fgstp_stream,
+    sample_single, sample_single_instrumented, sample_single_stream, SampleConfig, SamplePlan,
+    SampledRun, WindowExec, WindowJob,
 };
 use fgstp_telemetry::{CpiSink, CpiStack, Episode};
 use fgstp_workloads::{Scale, Workload};
 
 use crate::presets::MachineKind;
 use crate::session::Session;
+
+/// A window-dispatch hook for sampled runs: executes each pure
+/// [`WindowJob`] through the provided [`WindowExec`] — possibly
+/// concurrently — and returns the results in job order. The session
+/// passes its worker pool here; `None` runs the windows serially.
+pub type WindowPool<'a> = &'a (dyn Fn(&[WindowJob], WindowExec) -> Vec<WarmRun> + Sync);
 
 /// Where one program sat inside a co-run (see [`run_on_corun`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -265,6 +275,76 @@ pub fn run_on_sampled(
             sample_single(trace, &ccfg, &hcfg, scfg)
         }
     };
+    sampled_machine_run(kind, sampled)
+}
+
+/// The functional-warming machine shape a preset samples with: the core
+/// configuration (an Fg-STP preset warms with its per-core config) and
+/// the hierarchy built for the preset's core count. Live-point snapshots
+/// are keyed on a fingerprint of this shape, so a preset change orphans
+/// its stored snapshots instead of replaying them on the wrong machine.
+pub fn warm_shape(kind: MachineKind) -> (CoreConfig, HierarchyConfig) {
+    if let Some(cfg) = kind.try_fgstp_config() {
+        let hcfg = kind.hierarchy_for(cfg.num_cores);
+        (cfg.core, hcfg)
+    } else {
+        (kind.core_config(), kind.hierarchy_config())
+    }
+}
+
+/// Plans a sampled run of `kind` over a streamed trace: one pass of
+/// continuous functional warming that captures a live-point per detailed
+/// window (see [`fgstp_sampling::SamplePlan::plan_stream`]).
+pub fn plan_on_sampled(
+    kind: MachineKind,
+    trace: impl IntoIterator<Item = DynInst>,
+    scfg: &SampleConfig,
+) -> SamplePlan {
+    let (ccfg, hcfg) = warm_shape(kind);
+    SamplePlan::plan_stream(trace, &ccfg, &hcfg, scfg)
+}
+
+/// Executes a prepared [`SamplePlan`] on machine `kind`. With `telemetry`
+/// the detailed windows run serially through a shared CPI sink (cycle
+/// results still match the uninstrumented path exactly); otherwise the
+/// caller-supplied `exec` hook dispatches the pure window jobs — the
+/// session passes its worker pool here, making sampled runs
+/// embarrassingly parallel. Results are merged in systematic-interval
+/// order, so every pool size produces bit-identical estimates.
+pub fn run_on_sampled_plan(
+    kind: MachineKind,
+    plan: &SamplePlan,
+    telemetry: bool,
+    exec: Option<WindowPool>,
+) -> MachineRun {
+    let serial = |jobs: &[WindowJob], run: WindowExec| jobs.iter().map(run).collect();
+    let sampled = if let Some(cfg) = kind.try_fgstp_config() {
+        let hcfg = kind.hierarchy_for(cfg.num_cores);
+        if telemetry {
+            run_plan_fgstp_instrumented(plan, &cfg, &hcfg)
+        } else if let Some(exec) = exec {
+            run_plan_fgstp_with(plan, &cfg, &hcfg, |jobs, run| exec(jobs, run))
+        } else {
+            run_plan_fgstp_with(plan, &cfg, &hcfg, serial)
+        }
+    } else {
+        let ccfg = kind.core_config();
+        let hcfg = kind.hierarchy_config();
+        if telemetry {
+            run_plan_single_instrumented(plan, &ccfg, &hcfg)
+        } else if let Some(exec) = exec {
+            run_plan_single_with(plan, &ccfg, &hcfg, |jobs, run| exec(jobs, run))
+        } else {
+            run_plan_single_with(plan, &ccfg, &hcfg, serial)
+        }
+    };
+    sampled_machine_run(kind, sampled)
+}
+
+/// Wraps a [`SampledRun`] in the standard [`MachineRun`] projection:
+/// `result.cycles` is the rounded CPI-estimate projection, `committed`
+/// the full trace length.
+fn sampled_machine_run(kind: MachineKind, mut sampled: SampledRun) -> MachineRun {
     let result = RunResult {
         cycles: sampled.est_cycles().round() as u64,
         committed: sampled.total_insts,
@@ -276,10 +356,122 @@ pub fn run_on_sampled(
         kind,
         result,
         fgstp: None,
-        cpi: sampled.cpi_stack,
+        cpi: sampled.cpi_stack.take(),
         sampled: Some(sampled),
         corun: None,
     }
+}
+
+/// Runs an *isolated* multi-program co-run under sampling: each program
+/// is sampled independently on its own core slice (`cores[i]`-core
+/// machine, private hierarchy), which is exactly what an isolated co-run
+/// computes in full detail. Shared-hierarchy co-runs cannot be sampled —
+/// contention couples the programs' timing, so there is no per-program
+/// interval schedule — and `--corun --sample` without `--isolated` is
+/// rejected upstream by spec validation.
+///
+/// Returns one [`BenchResult`] per program in plan order, each carrying
+/// the sampled record and its co-run placement.
+///
+/// # Panics
+///
+/// Panics if `kind` is not an Fg-STP preset or the slice lengths
+/// disagree.
+pub fn run_on_sampled_corun_isolated(
+    kind: MachineKind,
+    workloads: &[Workload],
+    traces: &[Trace],
+    cores: &[usize],
+    scfg: &SampleConfig,
+) -> Vec<BenchResult> {
+    assert_eq!(
+        traces.len(),
+        cores.len(),
+        "one trace and core count per co-running program"
+    );
+    let plans: Vec<SamplePlan> = traces
+        .iter()
+        .zip(cores)
+        .map(|(t, &n)| {
+            let (ccfg, hcfg) = corun_warm_shape(kind, n);
+            SamplePlan::plan(t.insts(), &ccfg, &hcfg, scfg)
+        })
+        .collect();
+    run_on_sampled_corun_isolated_plans(kind, workloads, plans, cores, None)
+}
+
+/// The functional-warming machine shape of one program in a sampled
+/// isolated co-run: the base Fg-STP preset's per-core configuration plus
+/// a private hierarchy sized for the program's core slice. This is the
+/// shape live-point snapshots of co-run programs are fingerprinted on.
+///
+/// # Panics
+///
+/// Panics if `kind` is not an Fg-STP preset.
+pub fn corun_warm_shape(kind: MachineKind, cores: usize) -> (CoreConfig, HierarchyConfig) {
+    let base = kind
+        .try_fgstp_config()
+        .unwrap_or_else(|| panic!("--corun needs an Fg-STP machine, not {kind}"));
+    (base.with_cores(cores).core, kind.hierarchy_for(cores))
+}
+
+/// Executes prepared per-program [`SamplePlan`]s as an isolated sampled
+/// co-run (see [`run_on_sampled_corun_isolated`]); the optional `exec`
+/// hook dispatches each plan's pure window jobs, exactly as in
+/// [`run_on_sampled_plan`].
+pub fn run_on_sampled_corun_isolated_plans(
+    kind: MachineKind,
+    workloads: &[Workload],
+    plans: Vec<SamplePlan>,
+    cores: &[usize],
+    exec: Option<WindowPool>,
+) -> Vec<BenchResult> {
+    assert!(
+        workloads.len() == plans.len() && plans.len() == cores.len(),
+        "one workload, plan and core count per co-running program"
+    );
+    let base = kind
+        .try_fgstp_config()
+        .unwrap_or_else(|| panic!("--corun needs an Fg-STP machine, not {kind}"));
+    let serial = |jobs: &[WindowJob], run: WindowExec| jobs.iter().map(run).collect();
+    let mut results = Vec::with_capacity(workloads.len());
+    let mut first_core = 0usize;
+    let mut runs: Vec<(SampledRun, usize)> = Vec::with_capacity(workloads.len());
+    for (plan, &n) in plans.iter().zip(cores) {
+        let cfg = base.clone().with_cores(n);
+        let hcfg = kind.hierarchy_for(n);
+        let sampled = match exec {
+            Some(exec) => run_plan_fgstp_with(plan, &cfg, &hcfg, |jobs, run| exec(jobs, run)),
+            None => run_plan_fgstp_with(plan, &cfg, &hcfg, serial),
+        };
+        runs.push((sampled, n));
+    }
+    let total_cycles = runs
+        .iter()
+        .map(|(s, _)| s.est_cycles().round() as u64)
+        .max()
+        .unwrap_or(0);
+    for (i, (w, (sampled, n))) in workloads.iter().zip(runs).enumerate() {
+        let est = sampled.est_cycles().round() as u64;
+        let mut run = sampled_machine_run(kind, sampled);
+        run.corun = Some(CoRunInfo {
+            program: i,
+            first_core,
+            cores: n,
+            start_cycle: 0,
+            finish_cycle: est,
+            total_cycles,
+            isolated: true,
+        });
+        first_core += n;
+        results.push(BenchResult {
+            name: w.name,
+            committed: run.result.committed,
+            runs: vec![run],
+            error: None,
+        });
+    }
+    results
 }
 
 /// Like [`run_on_sampled`] (uninstrumented), but consumes the trace as a
@@ -299,21 +491,7 @@ pub fn run_on_sampled_stream(
     } else {
         sample_single_stream(trace, &kind.core_config(), &kind.hierarchy_config(), scfg)
     };
-    let result = RunResult {
-        cycles: sampled.est_cycles().round() as u64,
-        committed: sampled.total_insts,
-        cores: Vec::new(),
-        branches: sampled.branches,
-        mem: sampled.mem.clone(),
-    };
-    MachineRun {
-        kind,
-        result,
-        fgstp: None,
-        cpi: None,
-        sampled: Some(sampled),
-        corun: None,
-    }
+    sampled_machine_run(kind, sampled)
 }
 
 /// Runs one trace through one machine preset with cycle accounting: the

@@ -227,6 +227,12 @@ pub struct ExperimentSpec {
     pub threads: Option<usize>,
     /// Disable the on-disk trace cache (execution knob).
     pub no_cache: bool,
+    /// Use live-point snapshots for sampled runs (execution knob, on by
+    /// default): a sampled re-run then replays stored warm states
+    /// instead of re-warming. Results are bit-identical either way, so
+    /// the flag — like `threads` and `no_cache` — is not part of the
+    /// result identity.
+    pub snapshot: bool,
     /// Collect CPI stacks alongside timing.
     pub telemetry: bool,
     /// SMARTS-style sampling regime, off by default.
@@ -249,6 +255,7 @@ impl Default for ExperimentSpec {
             cores: None,
             threads: None,
             no_cache: false,
+            snapshot: true,
             telemetry: false,
             sample: None,
             corun: None,
@@ -261,8 +268,8 @@ impl Default for ExperimentSpec {
 pub const SPEC_USAGE: &str = "[test|small|reference] [--workloads=a,b,..] \
 [--machines=small-cmp|medium-cmp|all|scaling|<label,..>] [--cores=N] \
 [--threads=N] [--no-cache] [--telemetry] [--sample] [--sample-interval=N] \
-[--sample-warmup=N] [--sample-detail=N] [--corun=wl[:cores],..] \
-[--corun-isolated]";
+[--sample-warmup=N] [--sample-detail=N] [--snapshot] [--no-snapshot] \
+[--corun=wl[:cores],..] [--corun-isolated]";
 
 impl ExperimentSpec {
     /// Applies one CLI argument to the spec. Returns `Ok(true)` when the
@@ -277,6 +284,14 @@ impl ExperimentSpec {
             }
             "--no-cache" => {
                 self.no_cache = true;
+                return Ok(true);
+            }
+            "--snapshot" => {
+                self.snapshot = true;
+                return Ok(true);
+            }
+            "--no-snapshot" => {
+                self.snapshot = false;
                 return Ok(true);
             }
             "--telemetry" => {
@@ -440,10 +455,12 @@ impl ExperimentSpec {
                     "--corun sets per-program core counts; --cores does not apply",
                 ));
             }
-            if self.sample.is_some() {
+            if self.sample.is_some() && !c.isolated {
                 return Err(SpecError::new(
                     SpecErrorKind::Conflict,
-                    "--corun cannot be combined with --sample",
+                    "--corun with --sample needs --corun-isolated: only private-hierarchy \
+                     programs sample independently (shared-hierarchy contention couples \
+                     their timing)",
                 ));
             }
             if self.telemetry {
@@ -525,6 +542,7 @@ impl ExperimentSpec {
         if self.no_cache {
             s = s.no_cache();
         }
+        s = s.snapshots(self.snapshot);
         if let Some(scfg) = self.sample {
             s = s.sample(scfg);
         }
@@ -601,6 +619,7 @@ impl ExperimentSpec {
             ("cores".to_owned(), opt_num(self.cores)),
             ("threads".to_owned(), opt_num(self.threads)),
             ("no_cache".to_owned(), Json::Bool(self.no_cache)),
+            ("snapshot".to_owned(), Json::Bool(self.snapshot)),
             ("telemetry".to_owned(), Json::Bool(self.telemetry)),
             ("sample".to_owned(), sample),
             ("corun".to_owned(), corun),
@@ -672,6 +691,12 @@ impl ExperimentSpec {
                     spec.no_cache = match value {
                         Json::Bool(b) => *b,
                         _ => return Err(bad("spec field `no_cache` must be a bool".to_owned())),
+                    };
+                }
+                "snapshot" => {
+                    spec.snapshot = match value {
+                        Json::Bool(b) => *b,
+                        _ => return Err(bad("spec field `snapshot` must be a bool".to_owned())),
                     };
                 }
                 "telemetry" => {
@@ -759,28 +784,31 @@ impl ExperimentSpec {
     /// serve one from the other's cached results.
     ///
     /// The key normalizes away pure execution knobs (`threads`,
-    /// `no_cache` — the worker pool and trace cache never change a
-    /// figure), resolves an empty workload list to the concrete suite,
-    /// and is versioned by the trace-file format
-    /// ([`fgstp_tracefile::VERSION`]) *and* the RV32 translation scheme
-    /// ([`fgstp_rv::TRANSLATION_VERSION`]): bumping either re-keys every
-    /// job, exactly like it re-keys the on-disk trace cache — so jobs
-    /// resolved under different frontend semantics can never dedup
-    /// against each other.
+    /// `no_cache`, `snapshot` — the worker pool, trace cache and
+    /// live-point snapshots never change a figure), resolves an empty
+    /// workload list to the concrete suite, and is versioned by the
+    /// trace-file format ([`fgstp_tracefile::VERSION`]), the live-point
+    /// snapshot format ([`fgstp_tracefile::SNAPSHOT_VERSION`]) and the
+    /// RV32 translation scheme ([`fgstp_rv::TRANSLATION_VERSION`]):
+    /// bumping any of them re-keys every job, exactly like it re-keys
+    /// the on-disk caches — so jobs resolved under different frontend or
+    /// warm-state semantics can never dedup against each other.
     pub fn dedup_key(&self) -> String {
         let mut normalized = self.clone();
         normalized.threads = None;
         normalized.no_cache = false;
+        normalized.snapshot = true;
         if self.corun.is_none() {
             normalized.workloads = self.workload_names();
         }
         let mut body = normalized.to_json();
         if let Json::Obj(members) = &mut body {
-            members.retain(|(k, _)| k != "threads" && k != "no_cache");
+            members.retain(|(k, _)| k != "threads" && k != "no_cache" && k != "snapshot");
         }
         let mut key = format!(
-            "fgtr-v{}-rv{}:",
+            "fgtr-v{}-ss{}-rv{}:",
             fgstp_tracefile::VERSION,
+            fgstp_tracefile::SNAPSHOT_VERSION,
             fgstp_rv::TRANSLATION_VERSION
         );
         // Render on one line: the key is a map key, not a document.
@@ -816,6 +844,7 @@ mod tests {
             cores: Some(3),
             threads: Some(2),
             no_cache: true,
+            snapshot: true,
             telemetry: true,
             sample: None,
             corun: None,
@@ -847,6 +876,7 @@ mod tests {
             "--threads=2",
             "--no-cache",
             "--telemetry",
+            "--no-snapshot",
         ])
         .unwrap();
         assert_eq!(spec.scale, Scale::Test);
@@ -858,7 +888,12 @@ mod tests {
         assert_eq!(spec.cores, Some(3));
         assert_eq!(spec.threads, Some(2));
         assert!(spec.no_cache && spec.telemetry);
+        assert!(!spec.snapshot, "--no-snapshot turns live-points off");
         assert_eq!(ExperimentSpec::from_json(&spec.to_json()).unwrap(), spec);
+        // --snapshot restores the default explicitly.
+        let mut back = spec.clone();
+        back.apply_arg("--snapshot").unwrap();
+        assert!(back.snapshot);
     }
 
     #[test]
@@ -981,10 +1016,11 @@ mod tests {
         let mut b = a.clone();
         b.threads = Some(7);
         b.no_cache = true;
+        b.snapshot = false;
         assert_eq!(
             a.dedup_key(),
             b.dedup_key(),
-            "execution knobs normalize away"
+            "execution knobs (threads, caching, snapshots) normalize away"
         );
 
         // An explicit full-suite workload list equals the implicit one.
@@ -1010,11 +1046,13 @@ mod tests {
 
         assert!(
             a.dedup_key().starts_with(&format!(
-                "fgtr-v{}-rv{}:",
+                "fgtr-v{}-ss{}-rv{}:",
                 fgstp_tracefile::VERSION,
+                fgstp_tracefile::SNAPSHOT_VERSION,
                 fgstp_rv::TRANSLATION_VERSION
             )),
-            "key is versioned by the trace format and the RV translation"
+            "key is versioned by the trace format, the snapshot format \
+             and the RV translation"
         );
     }
 
@@ -1076,9 +1114,12 @@ mod tests {
         s.cores = Some(2);
         assert_eq!(s.validate().unwrap_err().kind, SpecErrorKind::Conflict);
 
+        // A shared-hierarchy co-run cannot be sampled; an isolated one can.
         let mut s = base();
         s.sample = Some(SampleConfig::default());
         assert_eq!(s.validate().unwrap_err().kind, SpecErrorKind::Conflict);
+        s.corun.as_mut().unwrap().isolated = true;
+        s.validate().unwrap();
 
         let mut s = base();
         s.telemetry = true;

@@ -49,6 +49,21 @@ pub mod json;
 pub mod registry;
 pub mod sink;
 
+/// Canonical metric names shared by every counter producer (the session
+/// driver, the batch service) and consumer (CLI summaries, CI smoke
+/// checks), so a rename cannot silently decouple the two sides.
+pub mod names {
+    /// Sampled runs whose live-points were loaded from a stored snapshot
+    /// (functional warming skipped entirely).
+    pub const SNAPSHOT_HITS: &str = "sampling.snapshot-hits";
+    /// Sampled runs that had to warm cold (no usable snapshot on disk).
+    pub const SNAPSHOT_MISSES: &str = "sampling.snapshot-misses";
+    /// Instructions retired through the functional-warming fast path
+    /// across all sampled runs. Zero on a fully snapshot-warm rerun —
+    /// the property the E18 smoke test asserts.
+    pub const WARMED_INSTS: &str = "sampling.warmed-insts";
+}
+
 pub use chrome::write_chrome_trace;
 pub use cpi::{CpiStack, MemLevel, StallCategory};
 pub use json::Json;

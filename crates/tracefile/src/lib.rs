@@ -57,9 +57,11 @@ use std::path::Path;
 use fgstp_isa::{DynInst, Inst, Op, Reg};
 
 pub mod cache;
+pub mod snapshot;
 mod varint;
 
 pub use cache::TraceCache;
+pub use snapshot::{SnapshotFile, SNAPSHOT_VERSION};
 pub use varint::{read_varint, write_varint, zigzag_decode, zigzag_encode};
 
 const MAGIC: &[u8; 4] = b"FGTR";
@@ -125,8 +127,11 @@ impl From<std::io::Error> for TraceFileError {
     }
 }
 
-/// 64-bit FNV-1a, the integrity check for blocks and cache files.
-pub(crate) fn fnv1a(data: &[u8]) -> u64 {
+/// 64-bit FNV-1a: the integrity check for blocks and cache files, also
+/// exported so cache-key producers (e.g. the session's live-point
+/// snapshot keys) fingerprint configuration with the same hash the files
+/// themselves are checked with.
+pub fn fnv1a(data: &[u8]) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
     for &b in data {
         h ^= u64::from(b);

@@ -23,6 +23,38 @@ cargo test -q --test telemetry
 echo "== sampled-simulation smoke (E14 at test scale)"
 cargo run --release -q -p fgstp-bench --bin exp_e14_sampling -- test --no-cache
 
+echo "== live-points smoke (E18: snapshot-warm rerun is bit-identical and warms nothing)"
+# The binary asserts internally that all three phases (cold, snapshot-warm,
+# snapshots-off) project identical figures and that the warm phase warms
+# zero instructions; pin the printed verdict too.
+cargo build --release -q -p fgstp-bench --bin exp_e18_livepoints
+./target/release/exp_e18_livepoints test > target/e18_smoke.txt
+grep -q "figures identical: yes" target/e18_smoke.txt || {
+  echo "E18 live-point phases disagree:"
+  cat target/e18_smoke.txt
+  exit 1
+}
+# CLI level: the same sampled config run twice must replay stored
+# live-points on the second run (zero instructions warmed) and print
+# bit-identical estimates.
+cargo build --release -q -p fgstp-sim
+rm -rf target/trace-cache
+./target/release/fgstpsim run chase_long fgstp-small test --sample \
+  > target/e18_cli_a.txt
+./target/release/fgstpsim run chase_long fgstp-small test --sample \
+  > target/e18_cli_b.txt
+grep "live-points:" target/e18_cli_b.txt | grep -q "(replayed), 0 insts warmed" || {
+  echo "second sampled CLI run did not replay live-points:"
+  cat target/e18_cli_b.txt
+  exit 1
+}
+if ! cmp -s <(grep -v "live-points:" target/e18_cli_a.txt) \
+            <(grep -v "live-points:" target/e18_cli_b.txt); then
+  echo "snapshot-warm CLI rerun changed the estimates:"
+  diff target/e18_cli_a.txt target/e18_cli_b.txt || true
+  exit 1
+fi
+
 echo "== batch-service smoke (fgstpd round trip matches recorded E1 row)"
 cargo build --release -q -p fgstp-service
 rm -f target/fgstpd_smoke_port
